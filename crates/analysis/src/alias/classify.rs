@@ -1,0 +1,291 @@
+//! Per-reference ambiguity classification (paper §4.2).
+//!
+//! Every memory reference is classified as **unambiguous** (eligible for
+//! register management and cache bypass) or **ambiguous** (must go through
+//! the cache so that aliases observe it). The rules, at Mini's name
+//! granularity:
+//!
+//! | name           | class |
+//! |----------------|-------|
+//! | spill slot     | unambiguous (compiler-private) |
+//! | scalar object  | unambiguous iff its alias set is isolated |
+//! | array element  | ambiguous (`a[i]`/`a[j]` are sometimes aliases) |
+//! | `*p`, one scalar target | inherits the target's classification (true alias) |
+//! | `*p`, otherwise| ambiguous |
+
+use super::points_to::{AbsLoc, PointsTo};
+use super::sets::AliasSets;
+use crate::callgraph::CallGraph;
+use std::collections::HashMap;
+use ucm_ir::{FuncId, InstrRef, Module, RefName};
+
+/// Ambiguity class of one memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefClass {
+    /// Provably refers to exactly one, known value — may bypass the cache.
+    Unambiguous,
+    /// May alias other names — must go through the cache.
+    Ambiguous,
+}
+
+/// Classification of every load/store in a module.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    classes: HashMap<(FuncId, InstrRef), RefClass>,
+    /// The points-to solution used (exposed for downstream passes).
+    pub points_to: PointsTo,
+    /// The alias sets used.
+    pub alias_sets: AliasSets,
+}
+
+/// Static (per-instruction) classification counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticCounts {
+    /// Memory instructions classified unambiguous.
+    pub unambiguous: usize,
+    /// Memory instructions classified ambiguous.
+    pub ambiguous: usize,
+}
+
+impl StaticCounts {
+    /// Total classified memory instructions.
+    pub fn total(&self) -> usize {
+        self.unambiguous + self.ambiguous
+    }
+
+    /// Fraction of references that are unambiguous (0.0 when empty).
+    pub fn unambiguous_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.unambiguous as f64 / self.total() as f64
+        }
+    }
+}
+
+impl Classification {
+    /// Classifies every memory reference in `module`.
+    pub fn compute(module: &Module) -> Self {
+        let points_to = PointsTo::compute(module);
+        let cg = CallGraph::compute(module);
+        let alias_sets = AliasSets::compute(module, &points_to, &cg);
+        let mut classes = HashMap::new();
+        for fid in module.func_ids() {
+            for (iref, instr) in module.func(fid).instrs() {
+                let Some(mem) = instr.mem() else { continue };
+                let class = classify_name(module, fid, mem.name, &points_to, &alias_sets);
+                classes.insert((fid, iref), class);
+            }
+        }
+        Classification {
+            classes,
+            points_to,
+            alias_sets,
+        }
+    }
+
+    /// The class of the memory instruction at `(func, iref)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if that instruction is not a load/store of this module
+    /// (caller bug).
+    pub fn class_of(&self, func: FuncId, iref: InstrRef) -> RefClass {
+        self.classes[&(func, iref)]
+    }
+
+    /// The class, or `None` for non-memory instructions.
+    pub fn get(&self, func: FuncId, iref: InstrRef) -> Option<RefClass> {
+        self.classes.get(&(func, iref)).copied()
+    }
+
+    /// Static counts over the whole module.
+    pub fn static_counts(&self) -> StaticCounts {
+        let mut c = StaticCounts::default();
+        for class in self.classes.values() {
+            match class {
+                RefClass::Unambiguous => c.unambiguous += 1,
+                RefClass::Ambiguous => c.ambiguous += 1,
+            }
+        }
+        c
+    }
+
+    /// Static counts for one function.
+    pub fn static_counts_of(&self, func: FuncId) -> StaticCounts {
+        let mut c = StaticCounts::default();
+        for ((f, _), class) in &self.classes {
+            if *f == func {
+                match class {
+                    RefClass::Unambiguous => c.unambiguous += 1,
+                    RefClass::Ambiguous => c.ambiguous += 1,
+                }
+            }
+        }
+        c
+    }
+}
+
+fn classify_name(
+    module: &Module,
+    func: FuncId,
+    name: RefName,
+    pt: &PointsTo,
+    sets: &AliasSets,
+) -> RefClass {
+    match name {
+        RefName::Spill(_) => RefClass::Unambiguous,
+        RefName::Scalar(obj) => {
+            let loc = AbsLoc::from_object(func, obj);
+            if sets.is_isolated(pt.index_of(loc)) {
+                RefClass::Unambiguous
+            } else {
+                RefClass::Ambiguous
+            }
+        }
+        RefName::Elem(_) => RefClass::Ambiguous,
+        RefName::Deref(v) => {
+            let targets: Vec<usize> = pt.of(func, v).iter().collect();
+            if targets.len() == 1 {
+                let loc = pt.locs[targets[0]];
+                let scalar = match loc {
+                    AbsLoc::Global(g) => module.global(g).is_scalar,
+                    AbsLoc::Frame(f, s) => {
+                        module.func(f).frame[s.index()].kind
+                            == ucm_ir::SlotKind::Scalar
+                    }
+                };
+                if scalar && sets.is_isolated(targets[0]) {
+                    return RefClass::Unambiguous;
+                }
+                RefClass::Ambiguous
+            } else {
+                RefClass::Ambiguous
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::lower;
+    use ucm_lang::parse_and_check;
+
+    fn classify(src: &str) -> (Module, Classification) {
+        let m = lower(&parse_and_check(src).unwrap()).unwrap();
+        let c = Classification::compute(&m);
+        (m, c)
+    }
+
+    #[test]
+    fn plain_globals_are_unambiguous() {
+        let (_, c) = classify("global g: int; fn main() { g = g + 1; print(g); }");
+        let counts = c.static_counts();
+        assert_eq!(counts.ambiguous, 0);
+        assert_eq!(counts.unambiguous, 3);
+        assert!((counts.unambiguous_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn array_elements_are_ambiguous() {
+        let (_, c) = classify("global a: [int; 4]; fn main() { a[0] = 1; print(a[0]); }");
+        let counts = c.static_counts();
+        assert_eq!(counts.unambiguous, 0);
+        assert_eq!(counts.ambiguous, 2);
+    }
+
+    #[test]
+    fn true_alias_deref_is_unambiguous() {
+        let (_, c) = classify(
+            "fn main() { let x: int = 1; let p: *int = &x; *p = 2; print(x); }",
+        );
+        let counts = c.static_counts();
+        // x's slot store at init, *p store, x load for print: all unambiguous
+        // because p can only point to x.
+        assert_eq!(counts.ambiguous, 0);
+        assert!(counts.unambiguous >= 3);
+    }
+
+    #[test]
+    fn two_target_pointer_makes_everything_ambiguous() {
+        let (_, c) = classify(
+            "fn main() { let x: int = 1; let y: int = 2; let p: *int = &x; \
+             if x { p = &y; } *p = 3; print(x + y); }",
+        );
+        let counts = c.static_counts();
+        assert_eq!(counts.unambiguous, 0);
+        assert!(counts.ambiguous >= 5); // x init, y init, *p, x load, y load
+    }
+
+    #[test]
+    fn deref_into_array_is_ambiguous() {
+        let (_, c) = classify(
+            "global a: [int; 4]; fn main() { let p: *int = a; *p = 1; }",
+        );
+        assert_eq!(c.static_counts().unambiguous, 0);
+    }
+
+    #[test]
+    fn mixed_program_counts_split() {
+        let (_, c) = classify(
+            "global g: int; global a: [int; 4]; \
+             fn main() { g = 1; a[g] = 2; print(a[g] + g); }",
+        );
+        let counts = c.static_counts();
+        // g: 1 store + 2 loads (index, operand) + ... count: store g, load g
+        // (index of a[g]=2), store a[g], load g (index), load a[g], load g.
+        assert!(counts.unambiguous >= 3);
+        assert_eq!(counts.ambiguous, 2);
+    }
+
+    #[test]
+    fn recursive_escape_declassifies() {
+        // &x crosses the recursive call boundary, so x's accesses (and the
+        // derefs of q) must be ambiguous.
+        let (m, c) = classify(
+            "fn f(n: int, q: *int) { let x: int = n; *q = n; print(x); \
+             if n > 0 { f(n - 1, &x); } } \
+             fn main() { let y: int = 0; f(2, &y); print(y); }",
+        );
+        let fid = m.func_by_name("f").unwrap();
+        let counts = c.static_counts_of(fid);
+        assert_eq!(counts.unambiguous, 0, "multi-activation x is ambiguous");
+        assert!(counts.ambiguous >= 3);
+    }
+
+    #[test]
+    fn recursive_local_true_alias_stays_unambiguous() {
+        let (m, c) = classify(
+            "fn f(n: int) { let x: int = n; let p: *int = &x; *p = 1; print(x); \
+             if n > 0 { f(n - 1); } } \
+             fn main() { f(2); }",
+        );
+        let fid = m.func_by_name("f").unwrap();
+        let counts = c.static_counts_of(fid);
+        assert_eq!(counts.ambiguous, 0);
+        assert!(counts.unambiguous >= 3);
+    }
+
+    #[test]
+    fn paper_figure2_example_is_ambiguous() {
+        // Paper Figure 2: `read(i, j); a[i+j] = a[i] + a[j];` — whether the
+        // element references alias is statically unsolvable, so they must
+        // classify ambiguous (while i and j themselves stay unambiguous).
+        let (_, c) = classify(
+            "global a: [int; 16]; \
+             fn main() { let i: int = 3; let j: int = 4; \
+               a[i + j] = a[i] + a[j]; print(a[7]); }",
+        );
+        let counts = c.static_counts();
+        assert_eq!(counts.ambiguous, 4, "all four element refs are ambiguous");
+    }
+
+    #[test]
+    fn class_lookup_matches_instruction_kind() {
+        let (m, c) = classify("global g: int; fn main() { g = 5; print(g); }");
+        for (iref, instr) in m.func(m.main).instrs() {
+            assert_eq!(c.get(m.main, iref).is_some(), instr.is_memory());
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Alias analysis: points-to, alias-set formation, and reference
+//! classification (paper §4.1).
+
+pub mod classify;
+pub mod points_to;
+pub mod sets;
+
+pub use classify::{Classification, RefClass, StaticCounts};
+pub use points_to::{AbsLoc, PointsTo};
+pub use sets::AliasSets;

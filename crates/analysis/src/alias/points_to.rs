@@ -1,0 +1,322 @@
+//! Interprocedural flow-insensitive points-to analysis.
+//!
+//! Mini pointers originate from `&x`, array decay, pointer arithmetic,
+//! copies, and parameter passing. They can additionally flow through
+//! *unaliased scalar frame slots* — unpromoted pointer locals and register
+//! spill slots — which are only ever accessed by their own name (`&p` is
+//! rejected by the checker), so a field per abstract location suffices.
+//! The Andersen-style subset constraints:
+//!
+//! * `v = &obj`                  →  `pt(v) ∋ obj`
+//! * `v = w`, `v = w ± k`        →  `pt(v) ⊇ pt(w)`
+//! * `call g(…, aᵢ, …)`          →  `pt(g.paramᵢ) ⊇ pt(aᵢ)`
+//! * `store v → scalar/spill s`  →  `pt(s) ⊇ pt(v)`
+//! * `v = load scalar/spill s`   →  `pt(v) ⊇ pt(s)`
+//!
+//! Array elements and multi-target derefs never hold pointers (they are
+//! `int`-typed by construction), so no other memory flow exists.
+
+use crate::bitset::BitSet;
+use std::collections::HashMap;
+use ucm_ir::{FuncId, GlobalId, Instr, MemObject, Module, Operand, SlotId, VReg};
+
+/// A module-wide abstract memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbsLoc {
+    /// A global variable.
+    Global(GlobalId),
+    /// A frame slot of a specific function (all activations merged).
+    Frame(FuncId, SlotId),
+}
+
+impl AbsLoc {
+    /// Lifts a function-relative [`MemObject`] to a module-wide location.
+    pub fn from_object(func: FuncId, obj: MemObject) -> Self {
+        match obj {
+            MemObject::Global(g) => AbsLoc::Global(g),
+            MemObject::Frame(s) => AbsLoc::Frame(func, s),
+        }
+    }
+}
+
+/// Points-to solution for every virtual register in the module.
+#[derive(Debug, Clone)]
+pub struct PointsTo {
+    /// The abstract-location universe, in a stable order.
+    pub locs: Vec<AbsLoc>,
+    loc_index: HashMap<AbsLoc, usize>,
+    /// Per (function, vreg): indices into [`Self::locs`].
+    sets: HashMap<(FuncId, VReg), BitSet>,
+    universe: usize,
+    empty: BitSet,
+    param_escaped: BitSet,
+}
+
+impl PointsTo {
+    /// Computes points-to sets for `module` by fixpoint over the subset
+    /// constraint graph.
+    pub fn compute(module: &Module) -> Self {
+        // Universe: all globals + all frame slots.
+        let mut locs = Vec::new();
+        for g in 0..module.globals.len() {
+            locs.push(AbsLoc::Global(GlobalId::from_index(g)));
+        }
+        for fid in module.func_ids() {
+            for s in 0..module.func(fid).frame.len() {
+                locs.push(AbsLoc::Frame(fid, SlotId::from_index(s)));
+            }
+        }
+        let loc_index: HashMap<AbsLoc, usize> =
+            locs.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        let universe = locs.len();
+
+        // Pointer-holding cells: registers per function, plus abstract
+        // locations themselves (scalar slots and spill slots).
+        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+        enum Key {
+            Reg(FuncId, VReg),
+            Cell(usize),
+        }
+        let slot_key = |fid: FuncId, name: &ucm_ir::RefName| -> Option<Key> {
+            match name {
+                ucm_ir::RefName::Scalar(obj) => Some(Key::Cell(
+                    loc_index[&AbsLoc::from_object(fid, *obj)],
+                )),
+                ucm_ir::RefName::Spill(s) => Some(Key::Cell(
+                    loc_index[&AbsLoc::Frame(fid, *s)],
+                )),
+                _ => None,
+            }
+        };
+        let mut base: Vec<(Key, usize)> = Vec::new();
+        let mut edges: Vec<(Key, Key)> = Vec::new(); // src ⊆ dst
+        for fid in module.func_ids() {
+            for (_, instr) in module.func(fid).instrs() {
+                match instr {
+                    Instr::AddrOf { dst, object } => {
+                        let loc = AbsLoc::from_object(fid, *object);
+                        base.push((Key::Reg(fid, *dst), loc_index[&loc]));
+                    }
+                    Instr::Copy { dst, src } => {
+                        edges.push((Key::Reg(fid, *src), Key::Reg(fid, *dst)));
+                    }
+                    Instr::Binary { dst, lhs, rhs, .. } => {
+                        edges.push((Key::Reg(fid, *lhs), Key::Reg(fid, *dst)));
+                        if let Operand::Reg(r) = rhs {
+                            edges.push((Key::Reg(fid, *r), Key::Reg(fid, *dst)));
+                        }
+                    }
+                    Instr::Call { callee, args, .. } => {
+                        let params = &module.func(*callee).params;
+                        for (arg, param) in args.iter().zip(params) {
+                            edges.push((Key::Reg(fid, *arg), Key::Reg(*callee, *param)));
+                        }
+                    }
+                    Instr::Store { src, mem } => {
+                        if let Some(cell) = slot_key(fid, &mem.name) {
+                            edges.push((Key::Reg(fid, *src), cell));
+                        }
+                    }
+                    Instr::Load { dst, mem } => {
+                        if let Some(cell) = slot_key(fid, &mem.name) {
+                            edges.push((cell, Key::Reg(fid, *dst)));
+                        }
+                    }
+                    // Const/Neg/Not results are integers; array elements and
+                    // deref targets are int-typed and never hold pointers.
+                    _ => {}
+                }
+            }
+        }
+
+        let mut key_sets: HashMap<Key, BitSet> = HashMap::new();
+        for (key, loc) in base {
+            key_sets
+                .entry(key)
+                .or_insert_with(|| BitSet::new(universe))
+                .insert(loc);
+        }
+        // Fixpoint over subset edges.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (src, dst) in &edges {
+                let Some(src_set) = key_sets.get(src).cloned() else {
+                    continue;
+                };
+                if src_set.is_empty() {
+                    continue;
+                }
+                let dst_set = key_sets
+                    .entry(*dst)
+                    .or_insert_with(|| BitSet::new(universe));
+                changed |= dst_set.union_with(&src_set);
+            }
+        }
+        let sets: HashMap<(FuncId, VReg), BitSet> = key_sets
+            .into_iter()
+            .filter_map(|(k, v)| match k {
+                Key::Reg(f, r) => Some(((f, r), v)),
+                Key::Cell(_) => None,
+            })
+            .collect();
+        // Locations whose pointers crossed a call boundary: the union of the
+        // points-to sets of every function's parameters. (Mere address
+        // materialization for array indexing does not count as an escape.)
+        let mut param_escaped = BitSet::new(universe);
+        for fid in module.func_ids() {
+            for &p in &module.func(fid).params {
+                if let Some(s) = sets.get(&(fid, p)) {
+                    param_escaped.union_with(s);
+                }
+            }
+        }
+        PointsTo {
+            locs,
+            loc_index,
+            sets,
+            universe,
+            empty: BitSet::new(universe),
+            param_escaped,
+        }
+    }
+
+    /// The points-to set of register `v` in function `f` (empty if `v` never
+    /// holds a pointer).
+    pub fn of(&self, f: FuncId, v: VReg) -> &BitSet {
+        self.sets.get(&(f, v)).unwrap_or(&self.empty)
+    }
+
+    /// The locations `v` may point to, resolved.
+    pub fn locs_of(&self, f: FuncId, v: VReg) -> Vec<AbsLoc> {
+        self.of(f, v).iter().map(|i| self.locs[i]).collect()
+    }
+
+    /// Index of `loc` in the universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is not part of this module (caller bug).
+    pub fn index_of(&self, loc: AbsLoc) -> usize {
+        self.loc_index[&loc]
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Locations that appear in at least one points-to set ("escaped": their
+    /// address was taken and propagated).
+    pub fn escaped(&self) -> BitSet {
+        let mut out = BitSet::new(self.universe);
+        for s in self.sets.values() {
+            out.union_with(s);
+        }
+        out
+    }
+
+    /// Locations whose pointers were passed across a call boundary — the
+    /// only locations another activation or function can touch.
+    pub fn param_escaped(&self) -> &BitSet {
+        &self.param_escaped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::lower;
+    use ucm_lang::parse_and_check;
+
+    fn analyze(src: &str) -> (Module, PointsTo) {
+        let m = lower(&parse_and_check(src).unwrap()).unwrap();
+        let pt = PointsTo::compute(&m);
+        (m, pt)
+    }
+
+    /// Finds the points-to set of the pointer used by the first deref in `f`.
+    fn first_deref_pt(m: &Module, pt: &PointsTo, fname: &str) -> Vec<AbsLoc> {
+        let fid = m.func_by_name(fname).unwrap();
+        for (_, i) in m.func(fid).instrs() {
+            if let Some(mem) = i.mem() {
+                if let ucm_ir::RefName::Deref(v) = mem.name {
+                    return pt.locs_of(fid, v);
+                }
+            }
+        }
+        panic!("no deref in {fname}");
+    }
+
+    #[test]
+    fn addr_of_local() {
+        let (m, pt) = analyze("fn main() { let x: int = 1; let p: *int = &x; *p = 2; }");
+        let locs = first_deref_pt(&m, &pt, "main");
+        assert_eq!(locs.len(), 1);
+        assert!(matches!(locs[0], AbsLoc::Frame(_, _)));
+    }
+
+    #[test]
+    fn array_decay_and_arithmetic() {
+        let (m, pt) = analyze(
+            "global a: [int; 8]; fn main() { let p: *int = a; let q: *int = p + 3; *q = 1; }",
+        );
+        let locs = first_deref_pt(&m, &pt, "main");
+        assert_eq!(locs, vec![AbsLoc::Global(GlobalId(0))]);
+    }
+
+    #[test]
+    fn flows_through_calls() {
+        let (m, pt) = analyze(
+            "global a: [int; 8]; global b: [int; 8]; \
+             fn store(p: *int, v: int) { *p = v; } \
+             fn main() { store(&a[0], 1); store(&b[0], 2); }",
+        );
+        let mut locs = first_deref_pt(&m, &pt, "store");
+        locs.sort();
+        assert_eq!(
+            locs,
+            vec![AbsLoc::Global(GlobalId(0)), AbsLoc::Global(GlobalId(1))]
+        );
+    }
+
+    #[test]
+    fn conditional_pointer_merges_targets() {
+        let (m, pt) = analyze(
+            "fn main() { let x: int = 1; let y: int = 2; let p: *int = &x; \
+             if x { p = &y; } *p = 3; print(x + y); }",
+        );
+        let locs = first_deref_pt(&m, &pt, "main");
+        assert_eq!(locs.len(), 2);
+    }
+
+    #[test]
+    fn non_pointers_have_empty_sets() {
+        let (m, pt) = analyze("fn main() { let x: int = 1; print(x + 2); }");
+        let fid = m.main;
+        for v in 0..m.func(fid).num_vregs {
+            assert!(pt.of(fid, VReg(v)).is_empty());
+        }
+    }
+
+    #[test]
+    fn escaped_covers_pointed_to_only() {
+        let (m, pt) = analyze(
+            "global a: [int; 4]; global g: int; \
+             fn main() { let p: *int = a; *p = 1; g = 2; print(g); }",
+        );
+        let escaped = pt.escaped();
+        assert!(escaped.contains(pt.index_of(AbsLoc::Global(GlobalId(0)))));
+        assert!(!escaped.contains(pt.index_of(AbsLoc::Global(GlobalId(1)))));
+        let _ = m;
+    }
+
+    #[test]
+    fn recursion_reaches_fixpoint() {
+        let (_m, _pt) = analyze(
+            "fn f(p: *int, n: int) { if n > 0 { *p = n; f(p, n - 1); } } \
+             fn main() { let x: int = 0; f(&x, 3); print(x); }",
+        );
+        // Termination is the assertion.
+    }
+}

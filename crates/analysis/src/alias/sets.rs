@@ -1,0 +1,195 @@
+//! Alias-set formation (paper §4.1.1.2).
+//!
+//! Alias sets are the closure of the *ambiguous alias* relation over
+//! aliased-object names. With Mini's name granularity:
+//!
+//! * A pointer deref whose points-to set has **one** target is a *true alias*
+//!   of that target (paper Definition 1, user-name merging) — no ambiguity.
+//! * A deref with **several** targets makes those targets *sometimes aliases*
+//!   of each other — they are unioned into one alias set.
+//! * Frame objects of **recursive** functions whose address escapes are
+//!   conservatively self-ambiguous: distinct activations share the abstract
+//!   object, so a "true alias" might actually reference another activation.
+
+use super::points_to::{AbsLoc, PointsTo};
+use crate::callgraph::CallGraph;
+use ucm_ir::{Module, RefName};
+
+/// Union-find partition of abstract locations into alias sets.
+#[derive(Debug, Clone)]
+pub struct AliasSets {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    /// Locations that are self-ambiguous regardless of set size
+    /// (multi-activation frame slots of recursive functions).
+    self_ambiguous: Vec<bool>,
+}
+
+impl AliasSets {
+    /// Builds alias sets for `module` from a points-to solution.
+    pub fn compute(module: &Module, pt: &PointsTo, cg: &CallGraph) -> Self {
+        let n = pt.universe();
+        let mut sets = AliasSets {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            self_ambiguous: vec![false; n],
+        };
+        // Multi-target derefs union their targets.
+        for fid in module.func_ids() {
+            for (_, instr) in module.func(fid).instrs() {
+                let Some(mem) = instr.mem() else { continue };
+                if let RefName::Deref(v) = mem.name {
+                    let locs: Vec<usize> = pt.of(fid, v).iter().collect();
+                    if locs.len() > 1 {
+                        for w in locs.windows(2) {
+                            sets.union(w[0], w[1]);
+                        }
+                    }
+                }
+            }
+        }
+        // Multi-activation escape: frame slots of recursive functions whose
+        // pointer crossed a call boundary may be referenced by *another*
+        // activation than the locally visible one.
+        let escaped = pt.param_escaped();
+        for (i, loc) in pt.locs.iter().enumerate() {
+            if let AbsLoc::Frame(f, _) = loc {
+                if cg.is_recursive(*f) && escaped.contains(i) {
+                    sets.self_ambiguous[i] = true;
+                }
+            }
+        }
+        sets
+    }
+
+    fn find(&self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+
+    /// Representative of the alias set containing location index `i`.
+    pub fn rep(&self, i: usize) -> usize {
+        self.find(i)
+    }
+
+    /// Number of locations in `i`'s alias set.
+    pub fn set_size(&self, i: usize) -> usize {
+        self.size[self.find(i)]
+    }
+
+    /// Whether two locations are in the same alias set.
+    pub fn same_set(&self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Whether location `i` may only be referenced as itself: a singleton
+    /// alias set and not multi-activation ambiguous.
+    pub fn is_isolated(&self, i: usize) -> bool {
+        self.set_size(i) == 1 && !self.self_ambiguous[self.find(i)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::lower;
+    use ucm_lang::parse_and_check;
+
+    fn build(src: &str) -> (Module, PointsTo, AliasSets) {
+        let m = lower(&parse_and_check(src).unwrap()).unwrap();
+        let pt = PointsTo::compute(&m);
+        let cg = CallGraph::compute(&m);
+        let sets = AliasSets::compute(&m, &pt, &cg);
+        (m, pt, sets)
+    }
+
+    #[test]
+    fn unrelated_locations_stay_isolated() {
+        let (_m, pt, sets) = build(
+            "global x: int; global y: int; fn main() { x = 1; y = 2; print(x + y); }",
+        );
+        for i in 0..pt.universe() {
+            assert!(sets.is_isolated(i));
+        }
+    }
+
+    #[test]
+    fn single_target_deref_is_true_alias() {
+        let (_m, pt, sets) = build(
+            "fn main() { let x: int = 1; let p: *int = &x; *p = 2; print(x); }",
+        );
+        // x stays isolated: *p is a true alias of x.
+        for i in 0..pt.universe() {
+            assert!(sets.is_isolated(i), "loc {i} should stay isolated");
+        }
+    }
+
+    #[test]
+    fn multi_target_deref_unions_targets() {
+        let (_m, pt, sets) = build(
+            "fn main() { let x: int = 1; let y: int = 2; let p: *int = &x; \
+             if x { p = &y; } *p = 3; print(x + y); }",
+        );
+        // x and y must share an alias set of size 2.
+        let frames: Vec<usize> = (0..pt.universe())
+            .filter(|&i| matches!(pt.locs[i], AbsLoc::Frame(_, _)))
+            .collect();
+        assert_eq!(frames.len(), 2);
+        assert!(sets.same_set(frames[0], frames[1]));
+        assert_eq!(sets.set_size(frames[0]), 2);
+        assert!(!sets.is_isolated(frames[0]));
+    }
+
+    #[test]
+    fn recursive_frame_escape_is_self_ambiguous() {
+        // &x is passed down the recursion: a deref of q in a deeper
+        // activation aliases an *outer* activation's x.
+        let (m, pt, sets) = build(
+            "fn f(n: int, q: *int) { let x: int = n; *q = n; \
+             if n > 0 { f(n - 1, &x); } } \
+             fn main() { let y: int = 0; f(2, &y); print(y); }",
+        );
+        let fid = m.func_by_name("f").unwrap();
+        let loc = pt.index_of(AbsLoc::Frame(fid, ucm_ir::SlotId(0)));
+        assert!(!sets.is_isolated(loc));
+    }
+
+    #[test]
+    fn recursive_local_pointer_stays_true_alias() {
+        // p = &x never crosses a call boundary, so each activation's *p is a
+        // true alias of its own x even though f is recursive.
+        let (m, pt, sets) = build(
+            "fn f(n: int) { let x: int = n; let p: *int = &x; *p = 1; \
+             if n > 0 { f(n - 1); } } \
+             fn main() { f(2); }",
+        );
+        let fid = m.func_by_name("f").unwrap();
+        let loc = pt.index_of(AbsLoc::Frame(fid, ucm_ir::SlotId(0)));
+        assert!(sets.is_isolated(loc));
+    }
+
+    #[test]
+    fn nonrecursive_frame_escape_stays_isolated() {
+        let (m, pt, sets) = build(
+            "fn g(p: *int) { *p = 1; } \
+             fn main() { let x: int = 0; g(&x); print(x); }",
+        );
+        let fid = m.main;
+        let loc = pt.index_of(AbsLoc::Frame(fid, ucm_ir::SlotId(0)));
+        assert!(sets.is_isolated(loc));
+    }
+}

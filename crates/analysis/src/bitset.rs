@@ -1,0 +1,221 @@
+//! A dense fixed-capacity bit set used by the dataflow analyses.
+
+use std::fmt;
+
+/// A fixed-universe bit set over `0..len`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The universe size.
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `i`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the universe.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} outside universe {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `i`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the universe.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} outside universe {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Unions `other` into `self`; returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Removes every element of `other` from `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn subtract(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Intersects `self` with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of elements present.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set whose universe is `max + 1` (or 0 when empty).
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(200);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(199));
+        assert!(!s.insert(63));
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        b.insert(7);
+        b.insert(70);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn subtract_and_intersect() {
+        let mut a: BitSet = [1, 2, 3, 64].into_iter().collect();
+        let b: BitSet = [2, 64, 64].into_iter().collect();
+        let mut c = a.clone();
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3]);
+        c.intersect_with(&b);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![2, 64]);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s: BitSet = [5, 1, 99, 64, 63].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 63, 64, 99]);
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = BitSet::new(10);
+        assert!(s.is_empty());
+        s.insert(3);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn debug_formats_as_set() {
+        let s: BitSet = [1, 3].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1, 3}");
+    }
+}

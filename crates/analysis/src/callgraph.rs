@@ -1,0 +1,99 @@
+//! Call graph and recursion detection.
+
+use std::collections::HashSet;
+use ucm_ir::{FuncId, Instr, Module};
+
+/// The static call graph of a module.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// `callees[f]` = functions `f` may call (deduplicated).
+    pub callees: Vec<Vec<FuncId>>,
+    recursive: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `module` and marks recursive functions
+    /// (those reachable from themselves, including mutual recursion).
+    pub fn compute(module: &Module) -> Self {
+        let n = module.funcs.len();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for fid in module.func_ids() {
+            let mut seen = HashSet::new();
+            for (_, instr) in module.func(fid).instrs() {
+                if let Instr::Call { callee, .. } = instr {
+                    if seen.insert(*callee) {
+                        callees[fid.index()].push(*callee);
+                    }
+                }
+            }
+        }
+        let mut recursive = vec![false; n];
+        for f in 0..n {
+            // f is recursive iff f is reachable from any of its callees.
+            let mut visited = vec![false; n];
+            let mut stack: Vec<usize> =
+                callees[f].iter().map(|c| c.index()).collect();
+            while let Some(g) = stack.pop() {
+                if g == f {
+                    recursive[f] = true;
+                    break;
+                }
+                if !visited[g] {
+                    visited[g] = true;
+                    stack.extend(callees[g].iter().map(|c| c.index()));
+                }
+            }
+        }
+        CallGraph { callees, recursive }
+    }
+
+    /// Whether `f` can (transitively) call itself.
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        self.recursive[f.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::lower;
+    use ucm_lang::parse_and_check;
+
+    fn graph(src: &str) -> (Module, CallGraph) {
+        let m = lower(&parse_and_check(src).unwrap()).unwrap();
+        let g = CallGraph::compute(&m);
+        (m, g)
+    }
+
+    #[test]
+    fn non_recursive_program() {
+        let (m, g) = graph("fn f() {} fn main() { f(); f(); }");
+        let f = m.func_by_name("f").unwrap();
+        let main = m.func_by_name("main").unwrap();
+        assert_eq!(g.callees[main.index()], vec![f]);
+        assert!(!g.is_recursive(f));
+        assert!(!g.is_recursive(main));
+    }
+
+    #[test]
+    fn direct_recursion() {
+        let (m, g) = graph(
+            "fn fact(n: int) -> int { if n <= 1 { return 1; } return n * fact(n - 1); } \
+             fn main() { print(fact(5)); }",
+        );
+        assert!(g.is_recursive(m.func_by_name("fact").unwrap()));
+        assert!(!g.is_recursive(m.func_by_name("main").unwrap()));
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        let (m, g) = graph(
+            "fn even(n: int) -> int { if n == 0 { return 1; } return odd(n - 1); } \
+             fn odd(n: int) -> int { if n == 0 { return 0; } return even(n - 1); } \
+             fn main() { print(even(4)); }",
+        );
+        assert!(g.is_recursive(m.func_by_name("even").unwrap()));
+        assert!(g.is_recursive(m.func_by_name("odd").unwrap()));
+        assert!(!g.is_recursive(m.func_by_name("main").unwrap()));
+    }
+}

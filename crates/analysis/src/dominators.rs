@@ -1,0 +1,163 @@
+//! Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+
+use std::collections::HashMap;
+use ucm_ir::{BlockId, Cfg, Function};
+
+/// Immediate-dominator tree for the reachable blocks of a function.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` for each reachable block; the entry maps to itself.
+    idom: HashMap<BlockId, BlockId>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators over `cfg`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Self {
+        let rpo: Vec<BlockId> = cfg.reverse_postorder().to_vec();
+        let rpo_index: HashMap<BlockId, usize> =
+            rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(func.entry, func.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if !rpo_index.contains_key(&p) {
+                        continue; // unreachable predecessor
+                    }
+                    if idom.contains_key(&p) {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(p, cur, &idom, &rpo_index),
+                        });
+                    }
+                }
+                if let Some(n) = new_idom {
+                    if idom.get(&b) != Some(&n) {
+                        idom.insert(b, n);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators {
+            idom,
+            entry: func.entry,
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry or unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            return None;
+        }
+        self.idom.get(&b).copied()
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.idom.contains_key(&b) {
+            return false; // b unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = self.idom[&cur];
+        }
+    }
+}
+
+fn intersect(
+    mut a: BlockId,
+    mut b: BlockId,
+    idom: &HashMap<BlockId, BlockId>,
+    rpo_index: &HashMap<BlockId, usize>,
+) -> BlockId {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::builder::Builder;
+
+    #[test]
+    fn diamond_dominators() {
+        let mut b = Builder::new("f", false);
+        let c = b.const_(1);
+        let t = b.block();
+        let e = b.block();
+        let j = b.block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        assert_eq!(dom.idom(f.entry), None);
+        assert_eq!(dom.idom(t), Some(f.entry));
+        assert_eq!(dom.idom(e), Some(f.entry));
+        // The join is dominated by the entry, not by either arm.
+        assert_eq!(dom.idom(j), Some(f.entry));
+        assert!(dom.dominates(f.entry, j));
+        assert!(!dom.dominates(t, j));
+        assert!(dom.dominates(j, j));
+    }
+
+    #[test]
+    fn loop_head_dominates_body() {
+        let mut b = Builder::new("f", false);
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.const_(1);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        assert!(dom.dominates(head, body));
+        assert!(dom.dominates(head, exit));
+        assert!(!dom.dominates(body, exit));
+        assert_eq!(dom.idom(body), Some(head));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_not_dominated() {
+        let mut b = Builder::new("f", false);
+        b.ret(None);
+        b.const_(1); // dead block
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        assert!(!dom.dominates(f.entry, BlockId(1)));
+        assert_eq!(dom.idom(BlockId(1)), None);
+    }
+}

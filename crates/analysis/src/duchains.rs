@@ -1,0 +1,329 @@
+//! Reaching definitions and D-U / U-D chains.
+//!
+//! These are the raw material for the paper's live-range definitions: the
+//! live range of a *value* (Def. 1) is its D-U chain plus the instructions on
+//! flow paths between the def and its last uses.
+
+use crate::bitset::BitSet;
+use crate::dataflow::{solve, Direction, GenKillProblem};
+use std::collections::HashMap;
+use ucm_ir::{BlockId, Cfg, Function, InstrRef, VReg};
+
+/// Where a definition happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DefLoc {
+    /// Pseudo-definition of parameter `n` at function entry.
+    Param(usize),
+    /// An instruction's destination register.
+    Instr(InstrRef),
+}
+
+/// Where a use happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UseLoc {
+    /// An instruction operand.
+    Instr(InstrRef),
+    /// A terminator operand (branch condition or return value).
+    Term(BlockId),
+}
+
+/// One definition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefSite {
+    /// The register defined.
+    pub reg: VReg,
+    /// Where.
+    pub loc: DefLoc,
+}
+
+/// Reaching-definitions solution.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// All definition sites, in a stable order (params first).
+    pub sites: Vec<DefSite>,
+    /// For each register, the indices into [`Self::sites`] that define it.
+    pub defs_of: Vec<Vec<usize>>,
+    /// Definition sites reaching each block entry.
+    pub block_in: Vec<BitSet>,
+}
+
+impl ReachingDefs {
+    /// Computes reaching definitions for `func`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Self {
+        let mut sites = Vec::new();
+        let mut defs_of = vec![Vec::new(); func.num_vregs as usize];
+        for (i, &p) in func.params.iter().enumerate() {
+            defs_of[p.index()].push(sites.len());
+            sites.push(DefSite {
+                reg: p,
+                loc: DefLoc::Param(i),
+            });
+        }
+        for (iref, instr) in func.instrs() {
+            if let Some(d) = instr.def() {
+                defs_of[d.index()].push(sites.len());
+                sites.push(DefSite {
+                    reg: d,
+                    loc: DefLoc::Instr(iref),
+                });
+            }
+        }
+        let u = sites.len();
+        let n = func.blocks.len();
+        let mut gens = vec![BitSet::new(u); n];
+        let mut kills = vec![BitSet::new(u); n];
+        // Map (block, instr index) → site index for quick scanning.
+        let mut site_at: HashMap<InstrRef, usize> = HashMap::new();
+        for (i, s) in sites.iter().enumerate() {
+            if let DefLoc::Instr(r) = s.loc {
+                site_at.insert(r, i);
+            }
+        }
+        let mut boundary = BitSet::new(u);
+        for i in 0..func.params.len() {
+            boundary.insert(i);
+        }
+        for bid in func.block_ids() {
+            let bi = bid.index();
+            for (idx, instr) in func.block(bid).instrs.iter().enumerate() {
+                if let Some(d) = instr.def() {
+                    let site = site_at[&InstrRef::new(bid, idx)];
+                    // A new def of d kills all other defs of d.
+                    for &other in &defs_of[d.index()] {
+                        if other != site {
+                            kills[bi].insert(other);
+                        }
+                        gens[bi].remove(other);
+                    }
+                    gens[bi].insert(site);
+                    kills[bi].remove(site);
+                }
+            }
+        }
+        struct P {
+            gens: Vec<BitSet>,
+            kills: Vec<BitSet>,
+            u: usize,
+            boundary: BitSet,
+        }
+        impl GenKillProblem for P {
+            fn direction(&self) -> Direction {
+                Direction::Forward
+            }
+            fn universe(&self) -> usize {
+                self.u
+            }
+            fn gen_set(&self, b: BlockId) -> &BitSet {
+                &self.gens[b.index()]
+            }
+            fn kill_set(&self, b: BlockId) -> &BitSet {
+                &self.kills[b.index()]
+            }
+            fn boundary(&self) -> Option<&BitSet> {
+                Some(&self.boundary)
+            }
+        }
+        let sol = solve(
+            func,
+            cfg,
+            &P {
+                gens,
+                kills,
+                u,
+                boundary,
+            },
+        );
+        ReachingDefs {
+            sites,
+            defs_of,
+            block_in: sol.block_in,
+        }
+    }
+}
+
+/// D-U and U-D chains.
+#[derive(Debug, Clone)]
+pub struct DuChains {
+    /// The underlying reaching-definitions solution.
+    pub defs: ReachingDefs,
+    /// For each def site index: every use it may reach, sorted.
+    pub du: Vec<Vec<UseLoc>>,
+    /// For each `(use, register)`: the def sites that may supply the value.
+    pub ud: HashMap<(UseLoc, VReg), Vec<usize>>,
+}
+
+impl DuChains {
+    /// Computes D-U/U-D chains for `func`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Self {
+        let defs = ReachingDefs::compute(func, cfg);
+        let mut du = vec![Vec::new(); defs.sites.len()];
+        let mut ud: HashMap<(UseLoc, VReg), Vec<usize>> = HashMap::new();
+        let mut uses = Vec::new();
+        for bid in func.block_ids() {
+            // Current reaching set, updated as we walk the block.
+            let mut reach = defs.block_in[bid.index()].clone();
+            let mut record =
+                |reach: &BitSet, u: UseLoc, v: VReg, du: &mut Vec<Vec<UseLoc>>| {
+                    let mut srcs = Vec::new();
+                    for &site in &defs.defs_of[v.index()] {
+                        if reach.contains(site) {
+                            du[site].push(u);
+                            srcs.push(site);
+                        }
+                    }
+                    ud.insert((u, v), srcs);
+                };
+            for (idx, instr) in func.block(bid).instrs.iter().enumerate() {
+                let loc = UseLoc::Instr(InstrRef::new(bid, idx));
+                uses.clear();
+                instr.uses_into(&mut uses);
+                uses.sort_unstable();
+                uses.dedup();
+                for &v in &uses {
+                    record(&reach, loc, v, &mut du);
+                }
+                if let Some(d) = instr.def() {
+                    for &other in &defs.defs_of[d.index()] {
+                        reach.remove(other);
+                    }
+                    // Find this instruction's own site.
+                    for &site in &defs.defs_of[d.index()] {
+                        if defs.sites[site].loc == DefLoc::Instr(InstrRef::new(bid, idx)) {
+                            reach.insert(site);
+                        }
+                    }
+                }
+            }
+            let mut tuses = func.block(bid).term.uses();
+            tuses.sort_unstable();
+            tuses.dedup();
+            for v in tuses {
+                record(&reach, UseLoc::Term(bid), v, &mut du);
+            }
+        }
+        for d in &mut du {
+            d.sort_unstable();
+            d.dedup();
+        }
+        DuChains { defs, du, ud }
+    }
+
+    /// The def sites that may supply register `v` at `use_loc`, if any use of
+    /// `v` was recorded there.
+    pub fn defs_for_use(&self, use_loc: UseLoc, v: VReg) -> &[usize] {
+        self.ud
+            .get(&(use_loc, v))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::builder::Builder;
+    use ucm_ir::OpCode;
+
+    #[test]
+    fn straightline_chains() {
+        let mut b = Builder::new("f", true);
+        let x = b.param(); // site 0 (param)
+        let y = b.binary(OpCode::Add, x, 1); // site 1, uses x
+        let z = b.binary(OpCode::Mul, y, y); // site 2, uses y
+        b.ret(Some(z)); // term use of z
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let ch = DuChains::compute(&f, &cfg);
+        assert_eq!(ch.defs.sites.len(), 3);
+        // Param x has one use (the add).
+        assert_eq!(ch.du[0].len(), 1);
+        // y's def reaches one use location (the mul, deduped).
+        assert_eq!(ch.du[1], vec![UseLoc::Instr(InstrRef::new(f.entry, 1))]);
+        // z is used by the terminator.
+        assert_eq!(ch.du[2], vec![UseLoc::Term(f.entry)]);
+        // U-D: the mul's use of y comes from site 1.
+        assert_eq!(
+            ch.defs_for_use(UseLoc::Instr(InstrRef::new(f.entry, 1)), y),
+            &[1]
+        );
+    }
+
+    #[test]
+    fn redefinition_kills_previous_def() {
+        let mut b = Builder::new("f", false);
+        let x = b.vreg();
+        b.emit(ucm_ir::Instr::Const { dst: x, value: 1 }); // site 0
+        b.print(x); // use of site 0
+        b.emit(ucm_ir::Instr::Const { dst: x, value: 2 }); // site 1
+        b.print(x); // use of site 1 only
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let ch = DuChains::compute(&f, &cfg);
+        assert_eq!(ch.du[0], vec![UseLoc::Instr(InstrRef::new(f.entry, 1))]);
+        assert_eq!(ch.du[1], vec![UseLoc::Instr(InstrRef::new(f.entry, 3))]);
+    }
+
+    #[test]
+    fn merge_joins_both_defs() {
+        // if c { x = 1 } else { x = 2 }; print(x)
+        let mut b = Builder::new("f", false);
+        let c = b.const_(1);
+        let x = b.vreg();
+        let t = b.block();
+        let e = b.block();
+        let j = b.block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.emit(ucm_ir::Instr::Const { dst: x, value: 1 });
+        b.jump(j);
+        b.switch_to(e);
+        b.emit(ucm_ir::Instr::Const { dst: x, value: 2 });
+        b.jump(j);
+        b.switch_to(j);
+        b.print(x);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let ch = DuChains::compute(&f, &cfg);
+        let use_loc = UseLoc::Instr(InstrRef::new(j, 0));
+        let defs = ch.defs_for_use(use_loc, x);
+        assert_eq!(defs.len(), 2, "both branch defs reach the join use");
+    }
+
+    #[test]
+    fn loop_carried_def_reaches_head_use() {
+        // i = 0; loop: use i; i = i + 1; goto loop/exit
+        let mut b = Builder::new("f", false);
+        let i = b.const_(0); // site 0
+        let head = b.block();
+        let exit = b.block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.binary(OpCode::Lt, i, 3); // use of i
+        let i2 = b.binary(OpCode::Add, i, 1);
+        b.copy_to(i, i2); // site for i (copy)
+        b.branch(c, head, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let ch = DuChains::compute(&f, &cfg);
+        // The use of i in `i < 3` sees both the initial const and the copy.
+        let use_loc = UseLoc::Instr(InstrRef::new(head, 0));
+        assert_eq!(ch.defs_for_use(use_loc, i).len(), 2);
+    }
+
+    #[test]
+    fn param_defs_reach_entry() {
+        let mut b = Builder::new("f", false);
+        let p = b.param();
+        b.print(p);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let ch = DuChains::compute(&f, &cfg);
+        assert_eq!(ch.defs.sites[0].loc, DefLoc::Param(0));
+        assert_eq!(ch.du[0].len(), 1);
+    }
+}

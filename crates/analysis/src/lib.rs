@@ -1,0 +1,54 @@
+//! # ucm-analysis — program analyses for unified register/cache management
+//!
+//! The compiler analyses the paper's model builds on:
+//!
+//! * [`dataflow`] — generic gen/kill worklist framework over the CFG
+//! * [`liveness`] — register liveness (block- and instruction-level)
+//! * [`duchains`] — reaching definitions, D-U / U-D chains
+//! * [`liverange`] — live ranges of *values* (paper Def. 1) and last uses
+//! * [`dominators`], [`loops`] — dominator tree, natural loops, loop depth
+//!   (paper Def. 2, instruction live ranges)
+//! * [`alias`] — points-to analysis, alias-set formation (§4.1), and
+//!   per-reference ambiguity classification (§4.2)
+//! * [`memliveness`] — memory-value liveness for last-reference marking
+//!   (§3.1–3.2)
+//! * [`callgraph`] — call graph and recursion detection
+//!
+//! ## Example: classify a program's references
+//!
+//! ```rust
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ucm_analysis::alias::Classification;
+//!
+//! let checked = ucm_lang::parse_and_check(
+//!     "global g: int; global a: [int; 8];
+//!      fn main() { g = 1; a[g] = 2; print(a[g]); }",
+//! )?;
+//! let module = ucm_ir::lower(&checked)?;
+//! let classes = Classification::compute(&module);
+//! let counts = classes.static_counts();
+//! assert!(counts.unambiguous > 0 && counts.ambiguous > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod alias;
+pub mod bitset;
+pub mod callgraph;
+pub mod dataflow;
+pub mod dominators;
+pub mod duchains;
+pub mod liveness;
+pub mod liverange;
+pub mod loops;
+pub mod memliveness;
+
+pub use alias::{AbsLoc, AliasSets, Classification, PointsTo, RefClass, StaticCounts};
+pub use bitset::BitSet;
+pub use callgraph::CallGraph;
+pub use dominators::Dominators;
+pub use duchains::{DefLoc, DefSite, DuChains, ReachingDefs, UseLoc};
+pub use liveness::Liveness;
+pub use liverange::{last_uses, ValueLiveRanges};
+pub use loops::{LoopInfo, NaturalLoop};
+pub use memliveness::MemLastRefs;

@@ -1,0 +1,234 @@
+//! Liveness of virtual registers.
+
+use crate::bitset::BitSet;
+use crate::dataflow::{solve, Direction, GenKillProblem, Solution};
+use ucm_ir::{BlockId, Cfg, Function, VReg};
+
+/// Block-level liveness solution plus per-instruction queries.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live on entry to each block.
+    pub live_in: Vec<BitSet>,
+    /// Registers live on exit of each block.
+    pub live_out: Vec<BitSet>,
+}
+
+struct LiveProblem {
+    gens: Vec<BitSet>,
+    kills: Vec<BitSet>,
+    universe: usize,
+}
+
+impl GenKillProblem for LiveProblem {
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+    fn universe(&self) -> usize {
+        self.universe
+    }
+    fn gen_set(&self, b: BlockId) -> &BitSet {
+        &self.gens[b.index()]
+    }
+    fn kill_set(&self, b: BlockId) -> &BitSet {
+        &self.kills[b.index()]
+    }
+}
+
+impl Liveness {
+    /// Computes liveness for `func`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Self {
+        let u = func.num_vregs as usize;
+        let n = func.blocks.len();
+        let mut gens = vec![BitSet::new(u); n];
+        let mut kills = vec![BitSet::new(u); n];
+        let mut uses = Vec::new();
+        for bid in func.block_ids() {
+            let bi = bid.index();
+            let block = func.block(bid);
+            // Scan forward: a use is upward-exposed if not yet defined here.
+            for instr in &block.instrs {
+                uses.clear();
+                instr.uses_into(&mut uses);
+                for &use_reg in &uses {
+                    if !kills[bi].contains(use_reg.index()) {
+                        gens[bi].insert(use_reg.index());
+                    }
+                }
+                if let Some(def) = instr.def() {
+                    kills[bi].insert(def.index());
+                }
+            }
+            for use_reg in block.term.uses() {
+                if !kills[bi].contains(use_reg.index()) {
+                    gens[bi].insert(use_reg.index());
+                }
+            }
+        }
+        let Solution {
+            block_in,
+            block_out,
+        } = solve(
+            func,
+            cfg,
+            &LiveProblem {
+                gens,
+                kills,
+                universe: u,
+            },
+        );
+        Liveness {
+            live_in: block_in,
+            live_out: block_out,
+        }
+    }
+
+    /// Whether `v` is live on entry to `block`.
+    pub fn is_live_in(&self, block: BlockId, v: VReg) -> bool {
+        self.live_in[block.index()].contains(v.index())
+    }
+
+    /// Whether `v` is live on exit of `block`.
+    pub fn is_live_out(&self, block: BlockId, v: VReg) -> bool {
+        self.live_out[block.index()].contains(v.index())
+    }
+
+    /// The set live immediately *after* each instruction of `block`
+    /// (index `i` corresponds to `block.instrs[i]`).
+    pub fn instr_live_out(&self, func: &Function, block: BlockId) -> Vec<BitSet> {
+        let b = func.block(block);
+        let mut cur = self.live_out[block.index()].clone();
+        for u in b.term.uses() {
+            cur.insert(u.index());
+        }
+        let mut result = vec![BitSet::new(cur.universe()); b.instrs.len()];
+        let mut uses = Vec::new();
+        for (i, instr) in b.instrs.iter().enumerate().rev() {
+            result[i] = cur.clone();
+            if let Some(d) = instr.def() {
+                cur.remove(d.index());
+            }
+            uses.clear();
+            instr.uses_into(&mut uses);
+            for &u in &uses {
+                cur.insert(u.index());
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::builder::Builder;
+    use ucm_ir::OpCode;
+
+    #[test]
+    fn straightline_liveness() {
+        let mut b = Builder::new("f", true);
+        let x = b.param();
+        let y = b.binary(OpCode::Add, x, 1); // y = x + 1
+        let z = b.binary(OpCode::Mul, y, y); // z = y * y
+        b.ret(Some(z));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(lv.is_live_in(f.entry, x));
+        assert!(!lv.is_live_out(f.entry, x));
+        let per = lv.instr_live_out(&f, f.entry);
+        // After `y = x + 1`: y live, x dead.
+        assert!(per[0].contains(y.index()));
+        assert!(!per[0].contains(x.index()));
+        // After `z = y * y`: z live (return), y dead.
+        assert!(per[1].contains(z.index()));
+        assert!(!per[1].contains(y.index()));
+    }
+
+    #[test]
+    fn loop_keeps_counter_live() {
+        // i = 0; while (i < 3) { i = i + 1 } return
+        let mut b = Builder::new("f", false);
+        let i = b.const_(0);
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.binary(OpCode::Lt, i, 3);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.binary(OpCode::Add, i, 1);
+        b.copy_to(i, i2);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // i is live around the whole loop.
+        assert!(lv.is_live_in(head, i));
+        assert!(lv.is_live_out(body, i));
+        // But dead at the exit block.
+        assert!(!lv.is_live_in(exit, i));
+    }
+
+    #[test]
+    fn branch_condition_is_live() {
+        let mut b = Builder::new("f", false);
+        let c = b.const_(1);
+        let t = b.block();
+        let e = b.block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let per = lv.instr_live_out(&f, f.entry);
+        // After the const, c is still live for the terminator.
+        assert!(per[0].contains(c.index()));
+    }
+
+    #[test]
+    fn dead_def_is_not_live() {
+        let mut b = Builder::new("f", false);
+        let x = b.const_(1);
+        let _dead = b.binary(OpCode::Add, x, 2);
+        b.print(x);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let per = lv.instr_live_out(&f, f.entry);
+        // After the dead add: its result is never used again.
+        assert!(!per[1].contains(1));
+    }
+
+    #[test]
+    fn value_live_across_diamond() {
+        let mut b = Builder::new("f", false);
+        let x = b.const_(5);
+        let c = b.const_(1);
+        let t = b.block();
+        let e = b.block();
+        let j = b.block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.print(x);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        for blk in [t, e] {
+            assert!(lv.is_live_in(blk, x));
+            assert!(lv.is_live_out(blk, x));
+        }
+        assert!(lv.is_live_in(j, x));
+    }
+}

@@ -1,0 +1,208 @@
+//! Live ranges of *values* (paper Definition 1) and last-use detection.
+//!
+//! The paper defines the live range of a value `v` as its D-U chain plus all
+//! instructions that may execute between the def and a last use on some flow
+//! path. Here a value is one def site of a virtual register; its live range
+//! is the set of instructions where (a) the def reaches and (b) the register
+//! is still wanted.
+
+use crate::bitset::BitSet;
+use crate::duchains::{DefLoc, ReachingDefs};
+use crate::liveness::Liveness;
+use std::collections::HashSet;
+use ucm_ir::{Cfg, Function, InstrRef, VReg};
+
+/// Value live ranges for every def site of a function.
+#[derive(Debug, Clone)]
+pub struct ValueLiveRanges {
+    /// The def sites (shared indexing with [`ReachingDefs::sites`]).
+    pub defs: ReachingDefs,
+    /// For each site: the instructions in the value's live range.
+    pub ranges: Vec<HashSet<InstrRef>>,
+}
+
+impl ValueLiveRanges {
+    /// Computes the live range of every value in `func`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Self {
+        let defs = ReachingDefs::compute(func, cfg);
+        let live = Liveness::compute(func, cfg);
+        let mut ranges = vec![HashSet::new(); defs.sites.len()];
+        for bid in func.block_ids() {
+            let block = func.block(bid);
+            // live-before for each instruction, derived from live-out sets.
+            let per_out = live.instr_live_out(func, bid);
+            let mut reach = defs.block_in[bid.index()].clone();
+            let mut uses = Vec::new();
+            for (idx, instr) in block.instrs.iter().enumerate() {
+                let iref = InstrRef::new(bid, idx);
+                // live-before(i) = (live-after(i) − def(i)) ∪ uses(i)
+                let mut live_before = per_out[idx].clone();
+                if let Some(d) = instr.def() {
+                    live_before.remove(d.index());
+                }
+                uses.clear();
+                instr.uses_into(&mut uses);
+                for &u in &uses {
+                    live_before.insert(u.index());
+                }
+                for site in reach.iter() {
+                    let v = defs.sites[site].reg;
+                    if live_before.contains(v.index()) {
+                        ranges[site].insert(iref);
+                    }
+                }
+                // The defining instruction belongs to its own value's range.
+                if let Some(d) = instr.def() {
+                    update_reach(&defs, &mut reach, d, iref);
+                    for &site in &defs.defs_of[d.index()] {
+                        if defs.sites[site].loc == DefLoc::Instr(iref) {
+                            ranges[site].insert(iref);
+                        }
+                    }
+                }
+            }
+        }
+        ValueLiveRanges { defs, ranges }
+    }
+
+    /// Whether two values (def sites) have overlapping live ranges, i.e. are
+    /// simultaneously live somewhere.
+    pub fn overlaps(&self, a: usize, b: usize) -> bool {
+        let (small, big) = if self.ranges[a].len() <= self.ranges[b].len() {
+            (&self.ranges[a], &self.ranges[b])
+        } else {
+            (&self.ranges[b], &self.ranges[a])
+        };
+        small.iter().any(|i| big.contains(i))
+    }
+}
+
+fn update_reach(defs: &ReachingDefs, reach: &mut BitSet, d: VReg, iref: InstrRef) {
+    for &other in &defs.defs_of[d.index()] {
+        reach.remove(other);
+    }
+    for &site in &defs.defs_of[d.index()] {
+        if defs.sites[site].loc == DefLoc::Instr(iref) {
+            reach.insert(site);
+        }
+    }
+}
+
+/// Uses at which a register *dies* (no later use on any path).
+///
+/// Returns the set of `(instruction, register)` pairs where the instruction
+/// uses the register and the register is dead afterwards. This powers the
+/// compiler's "last reference" marking (paper §3.2).
+pub fn last_uses(func: &Function, cfg: &Cfg) -> HashSet<(InstrRef, VReg)> {
+    let live = Liveness::compute(func, cfg);
+    let mut out = HashSet::new();
+    let mut uses = Vec::new();
+    for bid in func.block_ids() {
+        let per_out = live.instr_live_out(func, bid);
+        for (idx, instr) in func.block(bid).instrs.iter().enumerate() {
+            uses.clear();
+            instr.uses_into(&mut uses);
+            for &u in &uses {
+                if !per_out[idx].contains(u.index()) {
+                    out.insert((InstrRef::new(bid, idx), u));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::builder::Builder;
+    use ucm_ir::OpCode;
+
+    #[test]
+    fn range_spans_def_to_last_use() {
+        let mut b = Builder::new("f", true);
+        let x = b.param(); // site 0
+        let y = b.binary(OpCode::Add, x, 1); // idx 0, site 1
+        let _unrelated = b.const_(9); // idx 1
+        let z = b.binary(OpCode::Mul, y, y); // idx 2, site 3
+        b.ret(Some(z));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let vlr = ValueLiveRanges::compute(&f, &cfg);
+        // y's value (site 1) spans instructions 0..=2.
+        let range = &vlr.ranges[1];
+        assert!(range.contains(&InstrRef::new(f.entry, 0)));
+        assert!(range.contains(&InstrRef::new(f.entry, 1)));
+        assert!(range.contains(&InstrRef::new(f.entry, 2)));
+        // x's value (site 0) ends at instruction 0.
+        assert!(!vlr.ranges[0].contains(&InstrRef::new(f.entry, 2)));
+    }
+
+    #[test]
+    fn disjoint_values_of_one_register_do_not_overlap() {
+        // x = 1; print(x); x = 2; print(x) — two values, one register.
+        let mut b = Builder::new("f", false);
+        let x = b.vreg();
+        b.emit(ucm_ir::Instr::Const { dst: x, value: 1 }); // site 0
+        b.print(x);
+        b.emit(ucm_ir::Instr::Const { dst: x, value: 2 }); // site 1
+        b.print(x);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let vlr = ValueLiveRanges::compute(&f, &cfg);
+        assert!(!vlr.overlaps(0, 1), "sequential values must not overlap");
+    }
+
+    #[test]
+    fn simultaneously_live_values_overlap() {
+        let mut b = Builder::new("f", false);
+        let x = b.const_(1); // site 0
+        let y = b.const_(2); // site 1
+        let s = b.binary(OpCode::Add, x, y);
+        b.print(s);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let vlr = ValueLiveRanges::compute(&f, &cfg);
+        assert!(vlr.overlaps(0, 1));
+    }
+
+    #[test]
+    fn last_uses_detected() {
+        let mut b = Builder::new("f", true);
+        let x = b.param();
+        let y = b.binary(OpCode::Add, x, 1); // last use of x (idx 0)
+        let z = b.binary(OpCode::Mul, y, x); // wait—x used again? no: use y,x
+        b.ret(Some(z));
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lu = last_uses(&f, &cfg);
+        // x's real last use is the mul (idx 1), not the add.
+        assert!(!lu.contains(&(InstrRef::new(f.entry, 0), x)));
+        assert!(lu.contains(&(InstrRef::new(f.entry, 1), x)));
+        assert!(lu.contains(&(InstrRef::new(f.entry, 1), y)));
+    }
+
+    #[test]
+    fn loop_uses_are_not_last() {
+        let mut b = Builder::new("f", false);
+        let i = b.const_(0);
+        let head = b.block();
+        let exit = b.block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.binary(OpCode::Lt, i, 3); // uses i — not last (loops back)
+        let i2 = b.binary(OpCode::Add, i, 1);
+        b.copy_to(i, i2);
+        b.branch(c, head, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let lu = last_uses(&f, &cfg);
+        assert!(!lu.contains(&(InstrRef::new(head, 0), i)));
+        // i2's use in the copy *is* a last use of i2.
+        assert!(lu.contains(&(InstrRef::new(head, 2), i2)));
+    }
+}

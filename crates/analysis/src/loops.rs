@@ -1,0 +1,179 @@
+//! Natural-loop detection and per-block loop depth.
+//!
+//! Loop depth drives the spill-cost heuristic of the Chaitin allocator
+//! (references inside loops cost `10^depth`) and the paper's *instruction
+//! live range* (Def. 2): an instruction inside a loop is live across the
+//! whole loop body.
+
+use crate::dominators::Dominators;
+use std::collections::HashSet;
+use ucm_ir::{BlockId, Cfg, Function};
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub blocks: HashSet<BlockId>,
+}
+
+/// All natural loops of a function plus per-block nesting depth.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// Detected loops (one per back edge; loops sharing a header are merged).
+    pub loops: Vec<NaturalLoop>,
+    /// `depth[b]` = number of loops containing block `b` (0 = not in a loop).
+    depth: Vec<usize>,
+}
+
+impl LoopInfo {
+    /// Detects natural loops using dominator-identified back edges.
+    pub fn compute(func: &Function, cfg: &Cfg, dom: &Dominators) -> Self {
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for &n in cfg.reverse_postorder() {
+            for &h in cfg.succs(n) {
+                if dom.dominates(h, n) {
+                    // Back edge n → h: collect the natural loop.
+                    let mut blocks = HashSet::new();
+                    blocks.insert(h);
+                    let mut stack = vec![n];
+                    while let Some(b) = stack.pop() {
+                        if blocks.insert(b) {
+                            for &p in cfg.preds(b) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                    // Merge with an existing loop sharing this header.
+                    if let Some(existing) =
+                        loops.iter_mut().find(|l| l.header == h)
+                    {
+                        existing.blocks.extend(blocks);
+                    } else {
+                        loops.push(NaturalLoop { header: h, blocks });
+                    }
+                }
+            }
+        }
+        let mut depth = vec![0usize; func.blocks.len()];
+        for l in &loops {
+            for b in &l.blocks {
+                depth[b.index()] += 1;
+            }
+        }
+        LoopInfo { loops, depth }
+    }
+
+    /// Loop-nesting depth of `b` (0 outside any loop).
+    pub fn depth(&self, b: BlockId) -> usize {
+        self.depth[b.index()]
+    }
+
+    /// The blocks of every loop containing `b`, unioned — the paper's
+    /// *instruction live range* (Def. 2) for instructions in `b`, expressed
+    /// at block granularity. Straight-line blocks yield just `{b}`.
+    pub fn instruction_live_range(&self, b: BlockId) -> HashSet<BlockId> {
+        let mut out = HashSet::new();
+        out.insert(b);
+        for l in &self.loops {
+            if l.blocks.contains(&b) {
+                out.extend(l.blocks.iter().copied());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::builder::Builder;
+
+    fn loop_fn() -> (Function, BlockId, BlockId, BlockId) {
+        let mut b = Builder::new("f", false);
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.const_(1);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        (b.finish(), head, body, exit)
+    }
+
+    #[test]
+    fn detects_single_loop() {
+        let (f, head, body, exit) = loop_fn();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let li = LoopInfo::compute(&f, &cfg, &dom);
+        assert_eq!(li.loops.len(), 1);
+        assert_eq!(li.loops[0].header, head);
+        assert!(li.loops[0].blocks.contains(&body));
+        assert!(!li.loops[0].blocks.contains(&exit));
+        assert_eq!(li.depth(head), 1);
+        assert_eq!(li.depth(body), 1);
+        assert_eq!(li.depth(exit), 0);
+        assert_eq!(li.depth(f.entry), 0);
+    }
+
+    #[test]
+    fn nested_loops_have_depth_two() {
+        // entry -> h1 -> h2 -> b2 (-> h2) ; h2 -> l1latch -> h1 ; h1 -> exit
+        let mut b = Builder::new("f", false);
+        let h1 = b.block();
+        let h2 = b.block();
+        let b2 = b.block();
+        let latch = b.block();
+        let exit = b.block();
+        b.jump(h1);
+        b.switch_to(h1);
+        let c1 = b.const_(1);
+        b.branch(c1, h2, exit);
+        b.switch_to(h2);
+        let c2 = b.const_(1);
+        b.branch(c2, b2, latch);
+        b.switch_to(b2);
+        b.jump(h2);
+        b.switch_to(latch);
+        b.jump(h1);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let li = LoopInfo::compute(&f, &cfg, &dom);
+        assert_eq!(li.loops.len(), 2);
+        assert_eq!(li.depth(b2), 2);
+        assert_eq!(li.depth(h2), 2);
+        assert_eq!(li.depth(latch), 1);
+        assert_eq!(li.depth(exit), 0);
+    }
+
+    #[test]
+    fn instruction_live_range_in_loop_covers_body() {
+        let (f, head, body, exit) = loop_fn();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let li = LoopInfo::compute(&f, &cfg, &dom);
+        let lr = li.instruction_live_range(body);
+        assert!(lr.contains(&head) && lr.contains(&body));
+        assert!(!lr.contains(&exit));
+        // Straight-line block: singleton.
+        assert_eq!(li.instruction_live_range(exit).len(), 1);
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let mut b = Builder::new("f", false);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let li = LoopInfo::compute(&f, &cfg, &dom);
+        assert!(li.loops.is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! Liveness of *memory values* at alias-set granularity, for last-reference
+//! marking (paper §3.1–3.2).
+//!
+//! A cached copy of a memory value may be discarded (not written back, line
+//! marked empty) at a reference after which no instruction on any path can
+//! read that value again. This module computes, per memory instruction,
+//! whether it is such a **last reference** of everything it may touch.
+//!
+//! The dataflow is backward over alias-set tokens:
+//!
+//! * a load *gens* the tokens it may read;
+//! * a store to an isolated scalar *kills* its token (full overwrite);
+//! * stores to arrays / non-isolated names neither gen nor kill (may-write);
+//! * calls *gen* every token visible to other functions (globals and escaped
+//!   locations);
+//! * at function exit, globals and escaped locations are live.
+
+use crate::alias::{AliasSets, Classification, PointsTo};
+use crate::bitset::BitSet;
+use crate::dataflow::{solve, Direction, GenKillProblem};
+use std::collections::HashSet;
+use ucm_ir::{BlockId, Cfg, FuncId, Instr, InstrRef, MemRef, Module, RefName};
+
+/// The set of memory instructions that are last references.
+#[derive(Debug, Clone, Default)]
+pub struct MemLastRefs {
+    marks: HashSet<(FuncId, InstrRef)>,
+}
+
+impl MemLastRefs {
+    /// Computes last-reference marks for every function of `module`.
+    pub fn compute(module: &Module, classification: &Classification) -> Self {
+        let pt = &classification.points_to;
+        let sets = &classification.alias_sets;
+        let u = pt.universe();
+
+        // Tokens visible across calls: globals + locations whose pointers
+        // crossed a call boundary.
+        let escaped = pt.param_escaped();
+        let mut call_visible = BitSet::new(u);
+        for (i, loc) in pt.locs.iter().enumerate() {
+            let vis = matches!(loc, crate::alias::AbsLoc::Global(_)) || escaped.contains(i);
+            if vis {
+                call_visible.insert(sets.rep(i));
+            }
+        }
+
+        let cg = crate::callgraph::CallGraph::compute(module);
+        let mut marks = HashSet::new();
+        for fid in module.func_ids() {
+            // Live at this function's exit: everything call-visible except
+            // its own frame slots — those die with the returning activation
+            // (unless the function is recursive, in which case the abstract
+            // slot also stands for still-live outer activations).
+            let mut boundary = BitSet::new(u);
+            for (i, loc) in pt.locs.iter().enumerate() {
+                let vis = match loc {
+                    crate::alias::AbsLoc::Global(_) => true,
+                    crate::alias::AbsLoc::Frame(f, _) => {
+                        escaped.contains(i) && (*f != fid || cg.is_recursive(fid))
+                    }
+                };
+                if vis {
+                    boundary.insert(sets.rep(i));
+                }
+            }
+            mark_function(module, fid, pt, sets, &call_visible, &boundary, &mut marks);
+        }
+        MemLastRefs { marks }
+    }
+
+    /// Whether the memory instruction at `(func, iref)` is a last reference.
+    pub fn is_last_ref(&self, func: FuncId, iref: InstrRef) -> bool {
+        self.marks.contains(&(func, iref))
+    }
+
+    /// Number of marked instructions (for statistics).
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Whether no instruction is marked.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+}
+
+/// Tokens a memory access may read/touch, as alias-set representatives.
+fn tokens_of(
+    func: FuncId,
+    mem: &MemRef,
+    pt: &PointsTo,
+    sets: &AliasSets,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    match mem.name {
+        RefName::Scalar(obj) | RefName::Elem(obj) => {
+            let loc = crate::alias::AbsLoc::from_object(func, obj);
+            out.push(sets.rep(pt.index_of(loc)));
+        }
+        RefName::Deref(v) => {
+            for i in pt.of(func, v).iter() {
+                out.push(sets.rep(i));
+            }
+            out.sort_unstable();
+            out.dedup();
+        }
+        RefName::Spill(_) => {
+            // Spill slots are introduced after this analysis runs; their
+            // lifetimes are handled by the allocator itself.
+        }
+    }
+}
+
+/// Whether a store through `mem` definitely overwrites its whole token.
+fn store_kills(func: FuncId, mem: &MemRef, pt: &PointsTo, sets: &AliasSets) -> Option<usize> {
+    if let RefName::Scalar(obj) = mem.name {
+        let i = pt.index_of(crate::alias::AbsLoc::from_object(func, obj));
+        if sets.is_isolated(i) {
+            return Some(sets.rep(i));
+        }
+    }
+    None
+}
+
+fn mark_function(
+    module: &Module,
+    fid: FuncId,
+    pt: &PointsTo,
+    sets: &AliasSets,
+    call_visible: &BitSet,
+    boundary: &BitSet,
+    marks: &mut HashSet<(FuncId, InstrRef)>,
+) {
+    let func = module.func(fid);
+    let cfg = Cfg::new(func);
+    let u = pt.universe();
+    let n = func.blocks.len();
+    let mut gens = vec![BitSet::new(u); n];
+    let mut kills = vec![BitSet::new(u); n];
+    let mut toks = Vec::new();
+
+    // Block summaries, scanning backward (upward-exposed semantics for a
+    // backward problem means scanning the block in reverse).
+    for bid in func.block_ids() {
+        let bi = bid.index();
+        for instr in func.block(bid).instrs.iter().rev() {
+            match instr {
+                Instr::Load { mem, .. } => {
+                    tokens_of(fid, mem, pt, sets, &mut toks);
+                    for &t in &toks {
+                        gens[bi].insert(t);
+                        kills[bi].remove(t);
+                    }
+                }
+                Instr::Store { mem, .. } => {
+                    if let Some(t) = store_kills(fid, mem, pt, sets) {
+                        kills[bi].insert(t);
+                        gens[bi].remove(t);
+                    }
+                }
+                Instr::Call { .. } => {
+                    gens[bi].union_with(call_visible);
+                    kills[bi].subtract(call_visible);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    struct P<'a> {
+        gens: &'a [BitSet],
+        kills: &'a [BitSet],
+        u: usize,
+        boundary: &'a BitSet,
+    }
+    impl GenKillProblem for P<'_> {
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn universe(&self) -> usize {
+            self.u
+        }
+        fn gen_set(&self, b: BlockId) -> &BitSet {
+            &self.gens[b.index()]
+        }
+        fn kill_set(&self, b: BlockId) -> &BitSet {
+            &self.kills[b.index()]
+        }
+        fn boundary(&self) -> Option<&BitSet> {
+            Some(self.boundary)
+        }
+    }
+    let sol = solve(
+        func,
+        &cfg,
+        &P {
+            gens: &gens,
+            kills: &kills,
+            u,
+            boundary,
+        },
+    );
+
+    // Per-instruction marking: walk each block backward from its live-out.
+    for bid in func.block_ids() {
+        let bi = bid.index();
+        let mut live = sol.block_out[bi].clone();
+        for (idx, instr) in func.block(bid).instrs.iter().enumerate().rev() {
+            match instr {
+                Instr::Load { mem, .. } => {
+                    tokens_of(fid, mem, pt, sets, &mut toks);
+                    if !toks.is_empty() && toks.iter().all(|&t| !live.contains(t)) {
+                        marks.insert((fid, InstrRef::new(bid, idx)));
+                    }
+                    for &t in &toks {
+                        live.insert(t);
+                    }
+                }
+                Instr::Store { mem, .. } => {
+                    tokens_of(fid, mem, pt, sets, &mut toks);
+                    if !toks.is_empty() && toks.iter().all(|&t| !live.contains(t)) {
+                        marks.insert((fid, InstrRef::new(bid, idx)));
+                    }
+                    if let Some(t) = store_kills(fid, mem, pt, sets) {
+                        live.remove(t);
+                    }
+                }
+                Instr::Call { .. } => {
+                    live.union_with(call_visible);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::lower;
+    use ucm_lang::parse_and_check;
+
+    fn analyze(src: &str) -> (Module, Classification, MemLastRefs) {
+        let m = lower(&parse_and_check(src).unwrap()).unwrap();
+        let c = Classification::compute(&m);
+        let l = MemLastRefs::compute(&m, &c);
+        (m, c, l)
+    }
+
+    /// Collects (instr index within main, is_last_ref) for memory ops.
+    fn main_marks(m: &Module, l: &MemLastRefs) -> Vec<(String, bool)> {
+        m.func(m.main)
+            .instrs()
+            .filter(|(_, i)| i.is_memory())
+            .map(|(r, i)| (i.to_string(), l.is_last_ref(m.main, r)))
+            .collect()
+    }
+
+    #[test]
+    fn local_array_dies_after_final_read() {
+        let (m, _, l) = analyze(
+            "fn main() { let a: [int; 4]; a[0] = 1; a[1] = 2; print(a[0] + a[1]); }",
+        );
+        let marks = main_marks(&m, &l);
+        // Stores are not last refs (reads follow); the final two loads: the
+        // very last load is a last reference, the one before it is not (same
+        // token still read by the last).
+        let loads: Vec<bool> = marks
+            .iter()
+            .filter(|(s, _)| s.contains("load"))
+            .map(|&(_, b)| b)
+            .collect();
+        assert_eq!(loads.len(), 2);
+        assert!(!loads[0]);
+        assert!(loads[1], "final read of the dead local array");
+        let stores: Vec<bool> = marks
+            .iter()
+            .filter(|(s, _)| s.contains("store"))
+            .map(|&(_, b)| b)
+            .collect();
+        assert_eq!(stores, vec![false, false]);
+    }
+
+    #[test]
+    fn globals_stay_live_at_exit() {
+        let (m, _, l) = analyze("global g: int; fn main() { g = 1; print(g); }");
+        let marks = main_marks(&m, &l);
+        // Even the final load of g is not a last reference: globals are
+        // conservatively live at function exit.
+        assert!(marks.iter().all(|&(_, b)| !b));
+    }
+
+    #[test]
+    fn dead_store_to_local_scalar_is_last_ref() {
+        let (m, _, l) = analyze(
+            "fn main() { let x: int = 0; let p: *int = &x; *p = 1; print(*p); x = 3; }",
+        );
+        let marks = main_marks(&m, &l);
+        // The trailing `x = 3` is never read again: last reference.
+        let (_, last) = marks.last().unwrap();
+        assert!(last);
+    }
+
+    #[test]
+    fn loop_reads_are_not_last_refs() {
+        let (m, _, l) = analyze(
+            "fn main() { let a: [int; 8]; let i: int = 0; let s: int = 0; \
+             while i < 8 { a[i] = i; i = i + 1; } \
+             i = 0; while i < 8 { s = s + a[i]; i = i + 1; } print(s); }",
+        );
+        let f = m.func(m.main);
+        // The load of a[i] inside the second loop must NOT be marked: later
+        // iterations still read a.
+        for (r, i) in f.instrs() {
+            if matches!(i, Instr::Load { mem, .. } if matches!(mem.name, RefName::Elem(_))) {
+                assert!(!l.is_last_ref(m.main, r));
+            }
+        }
+    }
+
+    #[test]
+    fn calls_keep_escaped_locals_live() {
+        let (m, _, l) = analyze(
+            "fn read(p: *int) -> int { return *p; } \
+             fn main() { let x: int = 1; let p: *int = &x; \
+               let a: int = *p; print(read(&x)); print(a); }",
+        );
+        let f = m.func(m.main);
+        // The load `*p` before the call is not a last ref: read() still
+        // reads x afterwards.
+        let first_deref_load = f
+            .instrs()
+            .find(|(_, i)| {
+                matches!(i, Instr::Load { mem, .. } if matches!(mem.name, RefName::Deref(_)))
+            })
+            .map(|(r, _)| r)
+            .unwrap();
+        assert!(!l.is_last_ref(m.main, first_deref_load));
+    }
+}

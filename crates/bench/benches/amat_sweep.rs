@@ -1,0 +1,56 @@
+//! E4 — total-memory-access-time sweep (paper §4.4).
+//!
+//! The paper asserts that the single bypass control bit buys "speedups of
+//! total memory access time by factors of 2 or more". Bypass wins when the
+//! cache is under pressure (it avoids fills that would displace useful
+//! lines) and loses when the cache would have absorbed the traffic, so this
+//! experiment sweeps the cache size with hit = 1 cycle, memory = 10 cycles,
+//! and reports `conventional AMAT / unified AMAT` per benchmark — including
+//! the crossover — for both compiler settings:
+//!
+//! * *paper codegen*: scalars in the frame (the binaries the paper
+//!   measured), where bypass traffic is plentiful;
+//! * *modern codegen*: scalars fully register-allocated, where bypass
+//!   traffic is rare boundary traffic.
+
+use ucm_bench::{default_vm, paper_options, print_table, times};
+use ucm_cache::{CacheConfig, Latency};
+use ucm_core::evaluate::compare;
+use ucm_core::pipeline::CompilerOptions;
+use ucm_workloads::paper_suite;
+
+fn sweep(label: &str, options: &CompilerOptions) {
+    let suite = paper_suite();
+    let sizes = [16usize, 64, 256, 1024, 4096];
+    println!("\nE4 ({label}): memory-access-time speedup (conventional / unified)");
+    println!("(4-way LRU, line = 1, hit = 1 cycle, memory word = 10 cycles)\n");
+    let mut rows = Vec::new();
+    for w in &suite {
+        let mut cells = vec![w.name.clone()];
+        for size in sizes {
+            let cfg = CacheConfig {
+                size_words: size,
+                associativity: 4,
+                ..CacheConfig::default()
+            };
+            let cmp = compare(&w.name, &w.source, options, cfg, &default_vm())
+                .expect("comparison runs");
+            cells.push(times(cmp.access_time_speedup(Latency::default())));
+        }
+        rows.push(cells);
+    }
+    let headers: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(sizes.iter().map(|s| format!("{s}w")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(&header_refs, &rows);
+}
+
+fn main() {
+    sweep("paper codegen", &paper_options());
+    sweep("modern codegen", &CompilerOptions::default());
+    println!("\n  paper: \"speedups of total memory access time by factors of 2 or more\"");
+    println!("  (expected shape: unified wins under cache pressure — small caches/large");
+    println!("   footprints — and loses where the conventional cache absorbed the scalar");
+    println!("   traffic that bypass now sends to memory)\n");
+}

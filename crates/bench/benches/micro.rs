@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks of the infrastructure itself: front-end +
+//! pipeline compile speed, VM interpretation speed, and cache-simulator
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ucm_cache::{CacheConfig, CacheSim};
+use ucm_core::pipeline::{compile, CompilerOptions};
+use ucm_machine::{run, Flavour, MemEvent, MemTag, NullSink, VmConfig};
+
+fn bench_compile(c: &mut Criterion) {
+    let src = ucm_workloads::puzzle::source();
+    c.bench_function("compile_puzzle_unified", |b| {
+        b.iter(|| compile(black_box(&src), &CompilerOptions::paper()).unwrap())
+    });
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let w = ucm_workloads::sieve::workload(8190, 1);
+    let compiled = compile(&w.source, &CompilerOptions::paper()).unwrap();
+    c.bench_function("vm_sieve_8190", |b| {
+        b.iter(|| {
+            run(
+                black_box(&compiled.program),
+                &mut NullSink,
+                &VmConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    // 1M-reference synthetic mixed trace.
+    let mut x = 0x1234_5678_9abc_def0u64;
+    let trace: Vec<MemEvent> = (0..1_000_000)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let flavour = match x % 5 {
+                0 => Flavour::Plain,
+                1 => Flavour::AmLoad,
+                2 => Flavour::AmSpStore,
+                3 => Flavour::UmAmLoad,
+                _ => Flavour::UmAmStore,
+            };
+            MemEvent {
+                addr: (x % 4096) as i64,
+                is_write: matches!(flavour, Flavour::AmSpStore | Flavour::UmAmStore),
+                tag: MemTag {
+                    flavour,
+                    last_ref: i % 13 == 0,
+                    unambiguous: flavour.bypass_bit(),
+                },
+            }
+        })
+        .collect();
+    c.bench_function("cache_sim_1m_refs", |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::new(CacheConfig {
+                associativity: 4,
+                ..CacheConfig::default()
+            });
+            for ev in &trace {
+                sim.access(black_box(*ev));
+            }
+            sim.stats().misses()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compile, bench_vm, bench_cache
+}
+criterion_main!(benches);

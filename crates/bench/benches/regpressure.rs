@@ -1,0 +1,49 @@
+//! E6 — register-pressure ablation (paper §2.1.3 / §4.2).
+//!
+//! How the Figure-5 quantities move with the machine's register count and
+//! the allocator family (Chaitin coloring vs Freiburghouse usage counts):
+//! fewer registers mean more spill/caller-save traffic, all of it
+//! unambiguous, which grows the bypassable share.
+
+use ucm_bench::{compare_suite, default_cache, pct, print_table};
+use ucm_core::pipeline::CompilerOptions;
+use ucm_regalloc::Strategy;
+use ucm_workloads::paper_suite;
+
+fn main() {
+    let suite = paper_suite();
+    println!("\nE6: Register count x allocator ablation");
+    println!("(modern codegen, where register pressure exists;");
+    println!(" per-cell: dynamic unambiguous % / cache-ref reduction %)\n");
+    let ks = [6usize, 8, 16];
+    let mut rows = Vec::new();
+    for strategy in [Strategy::Coloring, Strategy::UsageCount] {
+        for w in &suite {
+            let mut cells = vec![format!("{w}/{strategy}", w = w.name)];
+            for k in ks {
+                let options = CompilerOptions {
+                    num_regs: k,
+                    strategy,
+                    ..CompilerOptions::default()
+                };
+                let cmp = &compare_suite(
+                    std::slice::from_ref(w),
+                    &options,
+                    default_cache(),
+                )[0];
+                cells.push(format!(
+                    "{} / {}",
+                    pct(cmp.dynamic_unambiguous_pct()),
+                    pct(cmp.cache_ref_reduction_pct())
+                ));
+            }
+            rows.push(cells);
+        }
+    }
+    let headers: Vec<String> = std::iter::once("benchmark/allocator".to_string())
+        .chain(ks.iter().map(|k| format!("k={k}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(&header_refs, &rows);
+    println!();
+}

@@ -1,0 +1,109 @@
+//! # ucm-bench — experiment harness
+//!
+//! Shared plumbing for the bench targets that regenerate the paper's
+//! evaluation. Each experiment is a `harness = false` bench target under
+//! `benches/`, so `cargo bench -p ucm-bench` reproduces every table:
+//!
+//! * `figure5` — the paper's Figure 5 (E1)
+//! * `lastref_ablation` — last-reference invalidation across
+//!   associativities (E2)
+//! * `policy_sweep` — replacement policies × management modes (E3)
+//! * `amat_sweep` — memory-access-time speedup across cache sizes (E4)
+//! * `static_ratio` — static unambiguous:ambiguous ratios vs Miller (E5)
+//! * `regpressure` — register count × allocator ablation (E6)
+//! * `micro` — Criterion micro-benchmarks of the infrastructure itself
+
+use ucm_cache::CacheConfig;
+use ucm_core::evaluate::Comparison;
+use ucm_core::pipeline::CompilerOptions;
+use ucm_machine::VmConfig;
+use ucm_workloads::Workload;
+
+/// The standard experiment machine: 16 registers, coloring allocator.
+pub fn default_options() -> CompilerOptions {
+    CompilerOptions::default()
+}
+
+/// The paper-faithful machine: like [`default_options`] but with scalars in
+/// the frame (the codegen style of the binaries the paper measured).
+pub fn paper_options() -> CompilerOptions {
+    CompilerOptions::paper()
+}
+
+/// The standard experiment cache: 256 words, direct-mapped, line = 1, LRU.
+pub fn default_cache() -> CacheConfig {
+    CacheConfig::default()
+}
+
+/// The standard VM configuration.
+pub fn default_vm() -> VmConfig {
+    VmConfig::default()
+}
+
+/// Runs the unified-vs-conventional comparison over a suite, panicking on
+/// any failure (experiments should be loud).
+pub fn compare_suite(
+    suite: &[Workload],
+    options: &CompilerOptions,
+    cache: CacheConfig,
+) -> Vec<Comparison> {
+    suite
+        .iter()
+        .map(|w| {
+            w.compare(options, cache, &default_vm())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name))
+        })
+        .collect()
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+/// Formats a ratio with two decimals and an `x` suffix.
+pub fn times(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Prints a fixed-width text table: a header row, a rule, then rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("  {}", padded.join("  "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(59.944), "59.9%");
+        assert_eq!(times(2.004), "2.00x");
+    }
+
+    #[test]
+    fn compare_suite_on_one_quick_workload() {
+        let suite = vec![ucm_workloads::sieve::workload(50, 1)];
+        let cmps = compare_suite(&suite, &default_options(), default_cache());
+        assert_eq!(cmps.len(), 1);
+        assert_eq!(cmps[0].unified.outcome.output[0], 15); // π(50)
+    }
+}

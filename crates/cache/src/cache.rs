@@ -1,0 +1,539 @@
+//! The online cache simulator.
+//!
+//! The simulator models tags and state only — data correctness lives in the
+//! VM, so compiler-directed management (bypass, take-and-invalidate,
+//! last-reference discard) is evaluated purely as a traffic question, as in
+//! any trace-driven cache study.
+
+use crate::config::{CacheConfig, WritePolicy};
+use crate::policy::PolicyState;
+use crate::stats::CacheStats;
+use ucm_machine::{Flavour, MemEvent, TraceSink};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+}
+
+/// A set-associative data cache with compiler-tag support.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    config: CacheConfig,
+    lines: Vec<Line>,        // num_sets * ways, way-major within set
+    policies: Vec<PolicyState>,
+    stats: CacheStats,
+    now: u64,
+    rng: u64,
+}
+
+impl CacheSim {
+    /// Creates a simulator for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation (construct configs via
+    /// [`CacheConfig::validate`] when they come from user input).
+    pub fn new(config: CacheConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid cache config: {e}"));
+        let sets = config.num_sets();
+        CacheSim {
+            lines: vec![Line::default(); sets * config.associativity],
+            policies: vec![PolicyState::new(config.policy, config.associativity); sets],
+            stats: CacheStats::default(),
+            now: 0,
+            rng: config.seed | 1,
+            config,
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Whether `addr`'s line is currently cached (tests/diagnostics).
+    pub fn contains(&self, addr: i64) -> bool {
+        let (set, tag) = self.locate(addr);
+        self.find(set, tag).is_some()
+    }
+
+    fn locate(&self, addr: i64) -> (usize, u64) {
+        let line_addr = (addr as u64) / self.config.line_words as u64;
+        let set = (line_addr % self.config.num_sets() as u64) as usize;
+        let tag = line_addr / self.config.num_sets() as u64;
+        (set, tag)
+    }
+
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let ways = self.config.associativity;
+        (0..ways).find(|&w| {
+            let l = &self.lines[set * ways + w];
+            l.valid && l.tag == tag
+        })
+    }
+
+    fn line_mut(&mut self, set: usize, way: usize) -> &mut Line {
+        &mut self.lines[set * self.config.associativity + way]
+    }
+
+    /// Invalidates `(set, way)`; a dirty line is *discarded* (no write-back)
+    /// because invalidation only happens when the value is dead.
+    fn invalidate(&mut self, set: usize, way: usize) {
+        let was_dirty = {
+            let line = self.line_mut(set, way);
+            let d = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            d
+        };
+        if was_dirty {
+            self.stats.dead_line_discards += 1;
+        }
+        self.stats.invalidates += 1;
+        self.policies[set].on_invalidate(way);
+    }
+
+    /// Allocates a way in `set` for `tag`, evicting (with write-back) if
+    /// every way is valid. Returns the chosen way.
+    fn allocate(&mut self, set: usize, tag: u64) -> usize {
+        let ways = self.config.associativity;
+        let way = (0..ways)
+            .find(|&w| !self.lines[set * ways + w].valid)
+            .unwrap_or_else(|| {
+                let victim = self.policies[set].victim(&mut self.rng);
+                let line = &mut self.lines[set * ways + victim];
+                if line.dirty {
+                    self.stats.writebacks += 1;
+                    self.stats.words_to_memory += self.config.line_words as u64;
+                }
+                line.valid = false;
+                line.dirty = false;
+                victim
+            });
+        let line = self.line_mut(set, way);
+        line.valid = true;
+        line.dirty = false;
+        line.tag = tag;
+        self.policies[set].on_fill(way, self.now);
+        way
+    }
+
+    /// Presents one reference to the cache.
+    pub fn access(&mut self, ev: MemEvent) {
+        self.now += 1;
+        let flavour = if self.config.honor_tags {
+            ev.tag.flavour
+        } else {
+            Flavour::Plain
+        };
+        let last_ref =
+            self.config.honor_tags && self.config.honor_last_ref && ev.tag.last_ref;
+        if ev.is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        let (set, tag) = self.locate(ev.addr);
+        match (flavour, ev.is_write) {
+            // ---- unambiguous loads: take and invalidate / bypass ----
+            (Flavour::UmAmLoad, false) => match self.find(set, tag) {
+                Some(way) => {
+                    self.stats.read_hits += 1;
+                    // Take-and-invalidate is the liveness half of the model
+                    // (§4.3 "that datum in cache is then marked as invalid or
+                    // empty"); the honor_last_ref ablation disables it.
+                    if self.config.honor_last_ref {
+                        self.invalidate(set, way);
+                    } else {
+                        self.policies[set].on_access(way, self.now);
+                    }
+                }
+                None => {
+                    self.stats.bypass_reads += 1;
+                    self.stats.words_from_memory += 1;
+                }
+            },
+            // ---- unambiguous stores: straight to memory ----
+            (Flavour::UmAmStore, true) => {
+                self.stats.bypass_writes += 1;
+                self.stats.words_to_memory += 1;
+                // Defensive coherence: discard any (unexpected) cached copy.
+                if let Some(way) = self.find(set, tag) {
+                    self.invalidate(set, way);
+                }
+            }
+            // ---- everything else goes through the cache ----
+            (_, false) => match self.find(set, tag) {
+                Some(way) => {
+                    self.stats.read_hits += 1;
+                    if last_ref {
+                        self.invalidate(set, way);
+                    } else {
+                        self.policies[set].on_access(way, self.now);
+                    }
+                }
+                None if last_ref => {
+                    // A dying value is not worth a fill (§3.2): reference
+                    // memory via the bypass path.
+                    self.stats.bypass_reads += 1;
+                    self.stats.words_from_memory += 1;
+                }
+                None => {
+                    self.stats.read_misses += 1;
+                    self.stats.fills += 1;
+                    self.stats.words_from_memory += self.config.line_words as u64;
+                    self.allocate(set, tag);
+                }
+            },
+            (_, true) => match self.config.write_policy {
+                WritePolicy::WriteBackAllocate => match self.find(set, tag) {
+                    Some(way) => {
+                        self.stats.write_hits += 1;
+                        if last_ref {
+                            self.invalidate(set, way);
+                        } else {
+                            self.line_mut(set, way).dirty = true;
+                            self.policies[set].on_access(way, self.now);
+                        }
+                    }
+                    None if last_ref => {
+                        self.stats.bypass_writes += 1;
+                        self.stats.words_to_memory += 1;
+                    }
+                    None => {
+                        self.stats.write_misses += 1;
+                        self.stats.fills += 1;
+                        // A full-line write needs no fetch; partial-line
+                        // writes fetch the rest of the line.
+                        if self.config.line_words > 1 {
+                            self.stats.words_from_memory += self.config.line_words as u64;
+                        }
+                        let way = self.allocate(set, tag);
+                        self.line_mut(set, way).dirty = true;
+                    }
+                },
+                WritePolicy::WriteThroughNoAllocate => {
+                    self.stats.words_to_memory += 1;
+                    match self.find(set, tag) {
+                        Some(way) => {
+                            self.stats.write_hits += 1;
+                            if last_ref {
+                                self.invalidate(set, way);
+                            } else {
+                                self.policies[set].on_access(way, self.now);
+                            }
+                        }
+                        None => {
+                            self.stats.write_misses += 1;
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+impl TraceSink for CacheSim {
+    fn data_ref(&mut self, ev: MemEvent) {
+        self.access(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyKind;
+    use ucm_machine::MemTag;
+
+    fn ev(addr: i64, is_write: bool, flavour: Flavour, last_ref: bool) -> MemEvent {
+        MemEvent {
+            addr,
+            is_write,
+            tag: MemTag {
+                flavour,
+                last_ref,
+                unambiguous: flavour.bypass_bit(),
+            },
+        }
+    }
+
+    fn small(policy: PolicyKind) -> CacheSim {
+        CacheSim::new(CacheConfig {
+            size_words: 4,
+            line_words: 1,
+            associativity: 4,
+            policy,
+            ..CacheConfig::default()
+        })
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(100, false, Flavour::AmLoad, false));
+        c.access(ev(100, false, Flavour::AmLoad, false));
+        assert_eq!(c.stats().read_misses, 1);
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().fills, 1);
+        assert_eq!(c.stats().words_from_memory, 1);
+    }
+
+    #[test]
+    fn lru_eviction_and_writeback() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(0, true, Flavour::AmSpStore, false)); // dirty line 0
+        for a in [1, 2, 3] {
+            c.access(ev(a, false, Flavour::AmLoad, false));
+        }
+        assert_eq!(c.stats().writebacks, 0);
+        c.access(ev(4, false, Flavour::AmLoad, false)); // evicts dirty 0
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().words_to_memory, 1);
+        assert!(!c.contains(0));
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    fn write_allocate_full_line_fetches_nothing() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(5, true, Flavour::AmSpStore, false));
+        assert_eq!(c.stats().write_misses, 1);
+        assert_eq!(c.stats().words_from_memory, 0, "line=1 write needs no fetch");
+        assert!(c.contains(5));
+    }
+
+    #[test]
+    fn umam_load_takes_and_invalidates() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(7, true, Flavour::AmSpStore, false)); // spill store
+        assert!(c.contains(7));
+        c.access(ev(7, false, Flavour::UmAmLoad, false)); // reload
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().invalidates, 1);
+        assert_eq!(c.stats().dead_line_discards, 1, "dirty dead line discarded");
+        assert_eq!(c.stats().writebacks, 0, "no write-back for a dead value");
+        assert!(!c.contains(7));
+    }
+
+    #[test]
+    fn umam_load_miss_bypasses_without_fill() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(9, false, Flavour::UmAmLoad, false));
+        assert_eq!(c.stats().bypass_reads, 1);
+        assert_eq!(c.stats().fills, 0);
+        assert!(!c.contains(9));
+        assert_eq!(c.stats().words_from_memory, 1);
+    }
+
+    #[test]
+    fn umam_store_goes_to_memory() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(11, true, Flavour::UmAmStore, false));
+        assert_eq!(c.stats().bypass_writes, 1);
+        assert_eq!(c.stats().words_to_memory, 1);
+        assert!(!c.contains(11));
+    }
+
+    #[test]
+    fn last_ref_hit_empties_line() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(3, false, Flavour::AmLoad, false));
+        c.access(ev(3, false, Flavour::AmLoad, true)); // last reference
+        assert!(!c.contains(3));
+        assert_eq!(c.stats().invalidates, 1);
+        // The emptied way is reused without evicting anyone.
+        for a in [10, 11, 12] {
+            c.access(ev(a, false, Flavour::AmLoad, false));
+        }
+        c.access(ev(13, false, Flavour::AmLoad, false));
+        assert_eq!(c.stats().writebacks, 0);
+        assert!(c.contains(13));
+    }
+
+    #[test]
+    fn last_ref_miss_bypasses() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(3, false, Flavour::AmLoad, true));
+        assert_eq!(c.stats().bypass_reads, 1);
+        assert_eq!(c.stats().fills, 0);
+    }
+
+    #[test]
+    fn conventional_mode_ignores_tags() {
+        let mut c = CacheSim::new(
+            CacheConfig {
+                size_words: 4,
+                associativity: 4,
+                ..CacheConfig::default()
+            }
+            .conventional(),
+        );
+        c.access(ev(7, false, Flavour::UmAmLoad, true));
+        assert_eq!(c.stats().read_misses, 1, "treated as a plain miss");
+        assert!(c.contains(7), "filled despite the bypass tag");
+        c.access(ev(7, false, Flavour::UmAmLoad, true));
+        assert_eq!(c.stats().read_hits, 1);
+        assert!(c.contains(7), "no invalidation in conventional mode");
+    }
+
+    #[test]
+    fn honor_last_ref_separable() {
+        let mut c = CacheSim::new(CacheConfig {
+            size_words: 4,
+            associativity: 4,
+            honor_tags: true,
+            honor_last_ref: false,
+            ..CacheConfig::default()
+        });
+        c.access(ev(3, false, Flavour::AmLoad, false));
+        c.access(ev(3, false, Flavour::AmLoad, true));
+        assert!(c.contains(3), "last-ref ignored when disabled");
+        // Bypass still honoured.
+        c.access(ev(4, false, Flavour::UmAmLoad, false));
+        assert_eq!(c.stats().bypass_reads, 1);
+    }
+
+    #[test]
+    fn write_through_no_allocate() {
+        let mut c = CacheSim::new(CacheConfig {
+            size_words: 4,
+            associativity: 4,
+            write_policy: WritePolicy::WriteThroughNoAllocate,
+            ..CacheConfig::default()
+        });
+        c.access(ev(5, true, Flavour::AmSpStore, false));
+        assert!(!c.contains(5));
+        assert_eq!(c.stats().words_to_memory, 1);
+        c.access(ev(5, false, Flavour::AmLoad, false));
+        c.access(ev(5, true, Flavour::AmSpStore, false));
+        assert_eq!(c.stats().write_hits, 1);
+        assert_eq!(c.stats().words_to_memory, 2);
+        // No write-backs ever.
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn set_mapping_respects_associativity() {
+        // Direct-mapped, 2 sets: addresses 0 and 2 collide.
+        let mut c = CacheSim::new(CacheConfig {
+            size_words: 2,
+            line_words: 1,
+            associativity: 1,
+            ..CacheConfig::default()
+        });
+        c.access(ev(0, false, Flavour::AmLoad, false));
+        c.access(ev(2, false, Flavour::AmLoad, false));
+        assert!(!c.contains(0), "2 evicted 0 in the same set");
+        assert!(c.contains(2));
+        c.access(ev(1, false, Flavour::AmLoad, false));
+        assert!(c.contains(1), "odd addresses use the other set");
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn multiword_lines_fetch_whole_line() {
+        let mut c = CacheSim::new(CacheConfig {
+            size_words: 16,
+            line_words: 4,
+            associativity: 1,
+            ..CacheConfig::default()
+        });
+        c.access(ev(5, false, Flavour::AmLoad, false));
+        assert_eq!(c.stats().words_from_memory, 4);
+        // Same line: hit.
+        c.access(ev(6, false, Flavour::AmLoad, false));
+        assert_eq!(c.stats().read_hits, 1);
+        // Partial-line write miss fetches the line.
+        c.access(ev(32, true, Flavour::AmSpStore, false));
+        assert_eq!(c.stats().words_from_memory, 8);
+    }
+
+    #[test]
+    fn bypass_moves_single_words_even_with_long_lines() {
+        let mut c = CacheSim::new(CacheConfig {
+            size_words: 16,
+            line_words: 4,
+            associativity: 1,
+            ..CacheConfig::default()
+        });
+        c.access(ev(8, false, Flavour::UmAmLoad, false)); // miss → bypass
+        assert_eq!(c.stats().words_from_memory, 1, "bypass reads one word, not a line");
+        c.access(ev(9, true, Flavour::UmAmStore, false));
+        assert_eq!(c.stats().words_to_memory, 1);
+        assert!(!c.contains(8) && !c.contains(9));
+    }
+
+    #[test]
+    fn umam_load_invalidates_whole_line() {
+        // A 4-word line cached by an ambiguous access; an unambiguous load
+        // of one word consumes the line.
+        let mut c = CacheSim::new(CacheConfig {
+            size_words: 16,
+            line_words: 4,
+            associativity: 1,
+            ..CacheConfig::default()
+        });
+        c.access(ev(4, false, Flavour::AmLoad, false));
+        assert!(c.contains(6), "same line");
+        c.access(ev(5, false, Flavour::UmAmLoad, false));
+        assert!(!c.contains(6), "take-and-invalidate empties the line");
+    }
+
+    #[test]
+    fn interleaved_spill_reload_cycles() {
+        // Spill/reload the same slot repeatedly: every reload hits the
+        // just-written value and consumes it; no write-back ever happens.
+        let mut c = small(PolicyKind::Lru);
+        for _ in 0..100 {
+            c.access(ev(42, true, Flavour::AmSpStore, false));
+            c.access(ev(42, false, Flavour::UmAmLoad, false));
+        }
+        let s = c.stats();
+        assert_eq!(s.read_hits, 100);
+        assert_eq!(s.writebacks, 0);
+        assert_eq!(s.dead_line_discards, 100);
+        assert_eq!(s.bus_words(), 0, "the cache absorbed the whole cycle");
+    }
+
+    #[test]
+    fn stats_balance_invariant() {
+        // total = hits + misses + bypasses, for a random-ish mix.
+        let mut c = small(PolicyKind::OneBitLru);
+        let flavours = [
+            Flavour::Plain,
+            Flavour::AmLoad,
+            Flavour::AmSpStore,
+            Flavour::UmAmLoad,
+            Flavour::UmAmStore,
+        ];
+        let mut x = 12345u64;
+        for i in 0..1000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = flavours[(x % 5) as usize];
+            let is_write = matches!(f, Flavour::AmSpStore | Flavour::UmAmStore)
+                || (f == Flavour::Plain && i % 2 == 0);
+            c.access(ev((x % 64) as i64, is_write, f, i % 7 == 0));
+        }
+        let s = c.stats();
+        assert_eq!(
+            s.total_refs(),
+            s.read_hits
+                + s.write_hits
+                + s.read_misses
+                + s.write_misses
+                + s.bypass_reads
+                + s.bypass_writes
+        );
+    }
+}

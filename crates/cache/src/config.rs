@@ -1,0 +1,180 @@
+//! Cache configuration.
+
+use std::fmt;
+
+/// Replacement policy selection.
+///
+/// Belady's MIN is offline and therefore lives in [`crate::min`] rather than
+/// here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicyKind {
+    /// True least-recently-used.
+    #[default]
+    Lru,
+    /// One-bit LRU approximation (reference bit per line, paper §3.2).
+    OneBitLru,
+    /// First-in first-out.
+    Fifo,
+    /// Uniform random victim (deterministic xorshift stream).
+    Random,
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::OneBitLru => "1-bit-lru",
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Random => "random",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Write handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WritePolicy {
+    /// Write-back with write-allocate (the default the paper's traffic
+    /// argument assumes).
+    #[default]
+    WriteBackAllocate,
+    /// Write-through without allocation (ablation).
+    WriteThroughNoAllocate,
+}
+
+/// Geometry and policies of a simulated cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in words.
+    pub size_words: usize,
+    /// Line size in words (the paper assumes 1).
+    pub line_words: usize,
+    /// Set associativity (ways). Use `num_lines()` for fully associative.
+    pub associativity: usize,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+    /// Whether the hardware honours compiler tags (bypass bits, the four
+    /// flavours, last-reference invalidation). When `false`, every
+    /// reference behaves like `Plain` — the conventional baseline.
+    pub honor_tags: bool,
+    /// Whether liveness-driven invalidation is honoured: the last-reference
+    /// bit *and* `UmAm_LOAD` take-and-invalidate. Separable from bypass for
+    /// the E2 ablation; only meaningful when `honor_tags` is set.
+    pub honor_last_ref: bool,
+    /// Seed for the random policy.
+    pub seed: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            size_words: 256,
+            line_words: 1,
+            associativity: 1,
+            policy: PolicyKind::Lru,
+            write_policy: WritePolicy::WriteBackAllocate,
+            honor_tags: true,
+            honor_last_ref: true,
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Total number of lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (validate first).
+    pub fn num_lines(&self) -> usize {
+        self.size_words / self.line_words
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_lines() / self.associativity
+    }
+
+    /// Checks that sizes are powers of two and divide evenly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.line_words == 0 || !self.line_words.is_power_of_two() {
+            return Err(format!("line_words {} must be a power of two", self.line_words));
+        }
+        if self.size_words == 0 || !self.size_words.is_power_of_two() {
+            return Err(format!("size_words {} must be a power of two", self.size_words));
+        }
+        if !self.size_words.is_multiple_of(self.line_words) {
+            return Err("size must be a multiple of the line size".into());
+        }
+        let lines = self.num_lines();
+        if self.associativity == 0 || self.associativity > lines {
+            return Err(format!(
+                "associativity {} must be in 1..={lines}",
+                self.associativity
+            ));
+        }
+        if !lines.is_multiple_of(self.associativity) {
+            return Err("lines must divide evenly into ways".into());
+        }
+        Ok(())
+    }
+
+    /// A conventional cache of the same geometry: tags ignored.
+    pub fn conventional(mut self) -> Self {
+        self.honor_tags = false;
+        self.honor_last_ref = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let c = CacheConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.num_lines(), 256);
+        assert_eq!(c.num_sets(), 256);
+    }
+
+    #[test]
+    fn geometry_math() {
+        let c = CacheConfig {
+            size_words: 1024,
+            line_words: 4,
+            associativity: 2,
+            ..CacheConfig::default()
+        };
+        c.validate().unwrap();
+        assert_eq!(c.num_lines(), 256);
+        assert_eq!(c.num_sets(), 128);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let bad = |f: fn(&mut CacheConfig)| {
+            let mut c = CacheConfig::default();
+            f(&mut c);
+            c.validate().unwrap_err()
+        };
+        bad(|c| c.line_words = 3);
+        bad(|c| c.size_words = 100);
+        bad(|c| c.associativity = 0);
+        bad(|c| c.associativity = 999);
+    }
+
+    #[test]
+    fn conventional_strips_tags() {
+        let c = CacheConfig::default().conventional();
+        assert!(!c.honor_tags);
+        assert!(!c.honor_last_ref);
+    }
+}

@@ -1,0 +1,55 @@
+//! # ucm-cache — data-cache simulator with compiler-directed management
+//!
+//! The hardware model the paper's evaluation runs on: a set-associative,
+//! word-addressed cache (line size 1 by default, matching the paper's
+//! assumption) that honours compiler tags:
+//!
+//! * **bypass** — `UmAm_LOAD` misses and `UmAm_STORE`s go straight to
+//!   memory, no allocation;
+//! * **take-and-invalidate** — `UmAm_LOAD` hits consume the cached copy;
+//! * **last-reference** — marked references empty their line, discarding
+//!   even dirty data without write-back (§3.1: "a value which has become
+//!   dead need not be stored back to main memory").
+//!
+//! Replacement: LRU, one-bit LRU approximation, FIFO, random
+//! ([`config::PolicyKind`]) online, plus offline Belady MIN
+//! ([`min::simulate_min`]) — each with the §3.2 last-reference modification.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use ucm_cache::{CacheConfig, CacheSim};
+//! use ucm_machine::{Flavour, MemEvent, MemTag};
+//!
+//! let mut cache = CacheSim::new(CacheConfig::default());
+//! let spill = MemEvent {
+//!     addr: 0x800,
+//!     is_write: true,
+//!     tag: MemTag { flavour: Flavour::AmSpStore, last_ref: false, unambiguous: true },
+//! };
+//! let reload = MemEvent {
+//!     addr: 0x800,
+//!     is_write: false,
+//!     tag: MemTag { flavour: Flavour::UmAmLoad, last_ref: true, unambiguous: true },
+//! };
+//! cache.access(spill);
+//! cache.access(reload);
+//! // The reload hit the spilled value and the dead line was discarded
+//! // without a write-back.
+//! assert_eq!(cache.stats().read_hits, 1);
+//! assert_eq!(cache.stats().writebacks, 0);
+//! assert_eq!(cache.stats().dead_line_discards, 1);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod min;
+pub mod policy;
+pub mod stats;
+pub mod system;
+
+pub use cache::CacheSim;
+pub use config::{CacheConfig, PolicyKind, WritePolicy};
+pub use min::simulate_min;
+pub use stats::{CacheStats, Latency};
+pub use system::MemorySystem;

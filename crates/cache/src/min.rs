@@ -1,0 +1,308 @@
+//! Offline Belady MIN simulation (paper §3.2: the last-reference
+//! modification "can be done easily for FIFO, random, and even Belady's MIN
+//! algorithm").
+//!
+//! MIN needs the future, so it runs over a recorded trace: the victim is the
+//! resident line whose next use lies farthest in the future.
+
+use crate::config::{CacheConfig, WritePolicy};
+use crate::stats::CacheStats;
+use std::collections::HashMap;
+use ucm_machine::{Flavour, MemEvent};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct MinLine {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    /// Event index of this line's next reference (`u64::MAX` = never).
+    next_use: u64,
+}
+
+/// Simulates `events` under Belady MIN replacement with the same flavour and
+/// last-reference semantics as [`crate::CacheSim`].
+pub fn simulate_min(events: &[MemEvent], config: &CacheConfig) -> CacheStats {
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid cache config: {e}"));
+    // next_use[i] = index of the next event touching the same line.
+    let line_of = |addr: i64| (addr as u64) / config.line_words as u64;
+    let mut next_use = vec![u64::MAX; events.len()];
+    let mut last_seen: HashMap<u64, u64> = HashMap::new();
+    for (i, ev) in events.iter().enumerate().rev() {
+        let line = line_of(ev.addr);
+        if let Some(&j) = last_seen.get(&line) {
+            next_use[i] = j;
+        }
+        last_seen.insert(line, i as u64);
+    }
+
+    let sets = config.num_sets();
+    let ways = config.associativity;
+    let mut lines = vec![MinLine::default(); sets * ways];
+    let mut stats = CacheStats::default();
+
+    for (i, ev) in events.iter().enumerate() {
+        let flavour = if config.honor_tags {
+            ev.tag.flavour
+        } else {
+            Flavour::Plain
+        };
+        let last_ref = config.honor_tags && config.honor_last_ref && ev.tag.last_ref;
+        if ev.is_write {
+            stats.writes += 1;
+        } else {
+            stats.reads += 1;
+        }
+        let line_addr = line_of(ev.addr);
+        let set = (line_addr % sets as u64) as usize;
+        let tag = line_addr / sets as u64;
+        let slice = &mut lines[set * ways..(set + 1) * ways];
+        let hit = slice.iter().position(|l| l.valid && l.tag == tag);
+
+        let invalidate = |l: &mut MinLine, stats: &mut CacheStats| {
+            if l.dirty {
+                stats.dead_line_discards += 1;
+            }
+            l.valid = false;
+            l.dirty = false;
+            stats.invalidates += 1;
+        };
+        let this_next = next_use[i];
+
+        match (flavour, ev.is_write) {
+            (Flavour::UmAmLoad, false) => match hit {
+                Some(w) => {
+                    stats.read_hits += 1;
+                    if config.honor_last_ref {
+                        invalidate(&mut slice[w], &mut stats);
+                    } else {
+                        slice[w].next_use = this_next;
+                    }
+                }
+                None => {
+                    stats.bypass_reads += 1;
+                    stats.words_from_memory += 1;
+                }
+            },
+            (Flavour::UmAmStore, true) => {
+                stats.bypass_writes += 1;
+                stats.words_to_memory += 1;
+                if let Some(w) = hit {
+                    invalidate(&mut slice[w], &mut stats);
+                }
+            }
+            (_, false) => match hit {
+                Some(w) => {
+                    stats.read_hits += 1;
+                    if last_ref {
+                        invalidate(&mut slice[w], &mut stats);
+                    } else {
+                        slice[w].next_use = this_next;
+                    }
+                }
+                None if last_ref => {
+                    stats.bypass_reads += 1;
+                    stats.words_from_memory += 1;
+                }
+                None => {
+                    stats.read_misses += 1;
+                    stats.fills += 1;
+                    stats.words_from_memory += config.line_words as u64;
+                    fill(slice, tag, this_next, &mut stats, config);
+                }
+            },
+            (_, true) => match config.write_policy {
+                WritePolicy::WriteBackAllocate => match hit {
+                    Some(w) => {
+                        stats.write_hits += 1;
+                        if last_ref {
+                            invalidate(&mut slice[w], &mut stats);
+                        } else {
+                            slice[w].dirty = true;
+                            slice[w].next_use = this_next;
+                        }
+                    }
+                    None if last_ref => {
+                        stats.bypass_writes += 1;
+                        stats.words_to_memory += 1;
+                    }
+                    None => {
+                        stats.write_misses += 1;
+                        stats.fills += 1;
+                        if config.line_words > 1 {
+                            stats.words_from_memory += config.line_words as u64;
+                        }
+                        let w = fill(slice, tag, this_next, &mut stats, config);
+                        slice[w].dirty = true;
+                    }
+                },
+                WritePolicy::WriteThroughNoAllocate => {
+                    stats.words_to_memory += 1;
+                    match hit {
+                        Some(w) => {
+                            stats.write_hits += 1;
+                            if last_ref {
+                                invalidate(&mut slice[w], &mut stats);
+                            } else {
+                                slice[w].next_use = this_next;
+                            }
+                        }
+                        None => stats.write_misses += 1,
+                    }
+                }
+            },
+        }
+    }
+    stats
+}
+
+/// Fills `tag` into a free way, or evicts the way with the farthest next use.
+fn fill(
+    slice: &mut [MinLine],
+    tag: u64,
+    this_next: u64,
+    stats: &mut CacheStats,
+    config: &CacheConfig,
+) -> usize {
+    let way = match slice.iter().position(|l| !l.valid) {
+        Some(w) => w,
+        None => {
+            let victim = slice
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| l.next_use)
+                .map(|(w, _)| w)
+                .expect("associativity >= 1");
+            if slice[victim].dirty {
+                stats.writebacks += 1;
+                stats.words_to_memory += config.line_words as u64;
+            }
+            victim
+        }
+    };
+    slice[way] = MinLine {
+        valid: true,
+        dirty: false,
+        tag,
+        next_use: this_next,
+    };
+    way
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheSim;
+    use crate::config::PolicyKind;
+    use ucm_machine::MemTag;
+
+    fn plain_read(addr: i64) -> MemEvent {
+        MemEvent {
+            addr,
+            is_write: false,
+            tag: MemTag::plain(false),
+        }
+    }
+
+    fn cfg(size: usize, ways: usize) -> CacheConfig {
+        CacheConfig {
+            size_words: size,
+            line_words: 1,
+            associativity: ways,
+            ..CacheConfig::default()
+        }
+    }
+
+    #[test]
+    fn min_keeps_the_sooner_reused_line() {
+        // Cache of 2, fully associative. Trace: a b c a — MIN evicts b
+        // (never reused), so `a` stays and hits.
+        let trace: Vec<MemEvent> = [0, 1, 2, 0].iter().map(|&a| plain_read(a)).collect();
+        let s = simulate_min(&trace, &cfg(2, 2));
+        assert_eq!(s.read_hits, 1);
+        assert_eq!(s.read_misses, 3);
+        // LRU on the same trace evicts `a` and takes 4 misses.
+        let mut lru = CacheSim::new(CacheConfig {
+            policy: PolicyKind::Lru,
+            ..cfg(2, 2)
+        });
+        for ev in &trace {
+            lru.access(*ev);
+        }
+        assert_eq!(lru.stats().read_misses, 4);
+    }
+
+    #[test]
+    fn min_never_loses_to_lru_on_plain_reads() {
+        // Pseudo-random trace over a small footprint.
+        let mut x = 0xdeadbeefu64;
+        let trace: Vec<MemEvent> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                plain_read((x % 48) as i64)
+            })
+            .collect();
+        for ways in [1, 2, 4, 16] {
+            let c = cfg(16, ways);
+            let s_min = simulate_min(&trace, &c);
+            let mut lru = CacheSim::new(c);
+            for ev in &trace {
+                lru.access(*ev);
+            }
+            assert!(
+                s_min.misses() <= lru.stats().misses(),
+                "MIN ({}) beat by LRU ({}) at ways={ways}",
+                s_min.misses(),
+                lru.stats().misses()
+            );
+        }
+    }
+
+    #[test]
+    fn min_honors_last_ref_invalidation() {
+        let mk = |last| MemEvent {
+            addr: 5,
+            is_write: false,
+            tag: MemTag {
+                flavour: Flavour::AmLoad,
+                last_ref: last,
+                unambiguous: false,
+            },
+        };
+        let s = simulate_min(&[mk(false), mk(true), mk(false)], &cfg(4, 4));
+        // miss-fill, hit+invalidate, miss again.
+        assert_eq!(s.read_misses, 2);
+        assert_eq!(s.invalidates, 1);
+    }
+
+    #[test]
+    fn min_honors_bypass_flavours() {
+        let ev = |fl: Flavour, w| MemEvent {
+            addr: 9,
+            is_write: w,
+            tag: MemTag {
+                flavour: fl,
+                last_ref: false,
+                unambiguous: true,
+            },
+        };
+        let s = simulate_min(
+            &[
+                ev(Flavour::AmSpStore, true),
+                ev(Flavour::UmAmLoad, false),
+                ev(Flavour::UmAmLoad, false),
+                ev(Flavour::UmAmStore, true),
+            ],
+            &cfg(4, 4),
+        );
+        assert_eq!(s.write_misses, 1); // spill store allocates
+        assert_eq!(s.read_hits, 1); // reload hits and invalidates
+        assert_eq!(s.bypass_reads, 1); // second reload bypasses
+        assert_eq!(s.bypass_writes, 1);
+        assert_eq!(s.dead_line_discards, 1);
+        assert_eq!(s.writebacks, 0);
+    }
+}

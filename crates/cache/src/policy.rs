@@ -1,0 +1,144 @@
+//! Replacement policies (per-set state).
+//!
+//! All policies support the paper's §3.2 modification: a last-reference
+//! invalidation simply marks the way empty, which every policy prefers as
+//! the next victim — "only a simple placement is required to install a new
+//! line".
+
+use crate::config::PolicyKind;
+
+/// Replacement metadata for one cache set.
+#[derive(Debug, Clone)]
+pub struct PolicyState {
+    kind: PolicyKind,
+    /// Per-way metadata: LRU/FIFO stamp, or reference bit for 1-bit LRU.
+    meta: Vec<u64>,
+}
+
+impl PolicyState {
+    /// Fresh state for `ways` ways.
+    pub fn new(kind: PolicyKind, ways: usize) -> Self {
+        PolicyState {
+            kind,
+            meta: vec![0; ways],
+        }
+    }
+
+    /// Records a hit on `way` at logical time `now`.
+    pub fn on_access(&mut self, way: usize, now: u64) {
+        match self.kind {
+            PolicyKind::Lru => self.meta[way] = now,
+            PolicyKind::OneBitLru => self.meta[way] = 1,
+            PolicyKind::Fifo | PolicyKind::Random => {}
+        }
+    }
+
+    /// Records a fill into `way` at logical time `now`.
+    pub fn on_fill(&mut self, way: usize, now: u64) {
+        match self.kind {
+            PolicyKind::Lru | PolicyKind::Fifo => self.meta[way] = now,
+            PolicyKind::OneBitLru => self.meta[way] = 1,
+            PolicyKind::Random => {}
+        }
+    }
+
+    /// Clears metadata for an invalidated way so it is chosen first.
+    pub fn on_invalidate(&mut self, way: usize) {
+        self.meta[way] = 0;
+    }
+
+    /// Chooses a victim among fully-valid ways. `rng` is the cache's
+    /// xorshift state (used by the random policy).
+    pub fn victim(&mut self, rng: &mut u64) -> usize {
+        match self.kind {
+            PolicyKind::Lru | PolicyKind::Fifo => {
+                let mut best = 0;
+                for (w, &m) in self.meta.iter().enumerate() {
+                    if m < self.meta[best] {
+                        best = w;
+                    }
+                }
+                best
+            }
+            PolicyKind::OneBitLru => {
+                if let Some(w) = self.meta.iter().position(|&m| m == 0) {
+                    w
+                } else {
+                    // All referenced since the last sweep: reset the stamps
+                    // (the paper's read-and-reset) and take way 0.
+                    self.meta.fill(0);
+                    0
+                }
+            }
+            PolicyKind::Random => {
+                *rng ^= *rng << 13;
+                *rng ^= *rng >> 7;
+                *rng ^= *rng << 17;
+                (*rng % self.meta.len() as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = PolicyState::new(PolicyKind::Lru, 4);
+        for (w, t) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+            p.on_fill(w, t);
+        }
+        p.on_access(0, 5); // way 0 becomes most recent
+        let mut rng = 1;
+        assert_eq!(p.victim(&mut rng), 1);
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut p = PolicyState::new(PolicyKind::Fifo, 3);
+        p.on_fill(0, 1);
+        p.on_fill(1, 2);
+        p.on_fill(2, 3);
+        p.on_access(0, 10); // FIFO does not care
+        let mut rng = 1;
+        assert_eq!(p.victim(&mut rng), 0);
+    }
+
+    #[test]
+    fn one_bit_prefers_unreferenced() {
+        let mut p = PolicyState::new(PolicyKind::OneBitLru, 3);
+        p.on_fill(0, 1);
+        p.on_fill(1, 2);
+        p.on_fill(2, 3);
+        p.on_invalidate(1);
+        let mut rng = 1;
+        assert_eq!(p.victim(&mut rng), 1);
+        // All referenced → sweep resets and picks way 0.
+        p.on_access(1, 4);
+        assert_eq!(p.victim(&mut rng), 0);
+        // After the sweep everything is unreferenced again.
+        assert_eq!(p.victim(&mut rng), 0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut p1 = PolicyState::new(PolicyKind::Random, 8);
+        let mut p2 = PolicyState::new(PolicyKind::Random, 8);
+        let mut r1 = 42;
+        let mut r2 = 42;
+        for _ in 0..32 {
+            assert_eq!(p1.victim(&mut r1), p2.victim(&mut r2));
+        }
+    }
+
+    #[test]
+    fn random_victims_are_in_range() {
+        let mut p = PolicyState::new(PolicyKind::Random, 4);
+        let mut rng = 7;
+        for _ in 0..100 {
+            assert!(p.victim(&mut rng) < 4);
+        }
+    }
+}

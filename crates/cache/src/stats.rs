@@ -1,0 +1,149 @@
+//! Cache statistics and the memory-access-time model.
+
+/// Counters accumulated by the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read references presented.
+    pub reads: u64,
+    /// Write references presented.
+    pub writes: u64,
+    /// Read hits.
+    pub read_hits: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Read misses that allocated a line.
+    pub read_misses: u64,
+    /// Write misses (allocating or not, per write policy).
+    pub write_misses: u64,
+    /// Reads served directly from memory (bypass bit, or last-ref miss).
+    pub bypass_reads: u64,
+    /// Writes sent directly to memory.
+    pub bypass_writes: u64,
+    /// Lines invalidated by `UmAm_LOAD` take-and-invalidate or last-ref.
+    pub invalidates: u64,
+    /// Dirty lines discarded without write-back because their value was
+    /// provably dead (the paper's "empty line" benefit).
+    pub dead_line_discards: u64,
+    /// Lines fetched from memory into the cache.
+    pub fills: u64,
+    /// Dirty lines written back to memory on eviction.
+    pub writebacks: u64,
+    /// Words moved memory → processor/cache.
+    pub words_from_memory: u64,
+    /// Words moved processor/cache → memory.
+    pub words_to_memory: u64,
+}
+
+/// Latency parameters for the access-time model (cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latency {
+    /// Cache hit time.
+    pub cache: u64,
+    /// Main-memory word access time.
+    pub memory: u64,
+}
+
+impl Default for Latency {
+    fn default() -> Self {
+        Latency {
+            cache: 1,
+            memory: 10,
+        }
+    }
+}
+
+impl CacheStats {
+    /// Total references presented to the memory system.
+    pub fn total_refs(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// References that entered the cache (the quantity Figure 5 reports a
+    /// reduction of).
+    pub fn cache_refs(&self) -> u64 {
+        self.total_refs() - self.bypass_reads - self.bypass_writes
+    }
+
+    /// Misses among cache references.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss rate over cache references (0 when no cache references).
+    pub fn miss_rate(&self) -> f64 {
+        let c = self.cache_refs();
+        if c == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / c as f64
+        }
+    }
+
+    /// Total bus traffic in words (both directions).
+    pub fn bus_words(&self) -> u64 {
+        self.words_from_memory + self.words_to_memory
+    }
+
+    /// Bus words moved by the *cache* (fills and write-backs), excluding
+    /// direct bypass transfers — the policy-sensitive part of the traffic.
+    pub fn cache_bus_words(&self) -> u64 {
+        self.bus_words() - self.bypass_reads - self.bypass_writes
+    }
+
+    /// Total memory access time under a simple latency model: every
+    /// reference pays the hit time; misses, bypasses, fills, and write-backs
+    /// pay the memory time per word moved.
+    pub fn access_time(&self, lat: Latency) -> u64 {
+        self.cache_refs() * lat.cache + self.bus_words() * lat.memory
+    }
+
+    /// Average memory access time per reference.
+    pub fn amat(&self, lat: Latency) -> f64 {
+        let t = self.total_refs();
+        if t == 0 {
+            0.0
+        } else {
+            self.access_time(lat) as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = CacheStats {
+            reads: 80,
+            writes: 20,
+            read_hits: 60,
+            write_hits: 10,
+            read_misses: 10,
+            write_misses: 5,
+            bypass_reads: 10,
+            bypass_writes: 5,
+            fills: 15,
+            writebacks: 3,
+            words_from_memory: 25, // 15 fills + 10 bypass reads (line = 1)
+            words_to_memory: 8,    // 3 writebacks + 5 bypass writes
+            ..CacheStats::default()
+        };
+        assert_eq!(s.total_refs(), 100);
+        assert_eq!(s.cache_refs(), 85);
+        assert_eq!(s.misses(), 15);
+        assert!((s.miss_rate() - 15.0 / 85.0).abs() < 1e-12);
+        assert_eq!(s.bus_words(), 33);
+        let lat = Latency::default();
+        assert_eq!(s.access_time(lat), 85 + 330);
+        assert!((s.amat(lat) - 4.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.amat(Latency::default()), 0.0);
+        assert_eq!(s.cache_refs(), 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! # ucm-cli — the `ucmc` driver
+//!
+//! A command-line front door to the pipeline:
+//!
+//! ```text
+//! ucmc run <file.mini>       compile + execute, print output and counters
+//! ucmc compare <file.mini>   unified vs conventional, Figure-5 style row
+//! ucmc ir <file.mini>        dump the lowered IR
+//! ucmc classify <file.mini>  per-reference ambiguity classification
+//! ucmc trace <file.mini>     first memory references with their tags
+//! ```
+//!
+//! Common flags: `--regs N`, `--paper` (frame-resident scalars, the paper's
+//! measured codegen), `--conventional` (baseline management),
+//! `--cache-words N`, `--ways N`, `--limit N` (trace length).
+//!
+//! The command logic lives in this library (returning the rendered output)
+//! so it is unit-testable; `main.rs` is a thin wrapper.
+
+use std::fmt::Write as _;
+use ucm_analysis::alias::Classification;
+use ucm_cache::CacheConfig;
+use ucm_core::evaluate::{compare, run_with_cache};
+use ucm_core::pipeline::{compile, CompilerOptions};
+use ucm_core::ManagementMode;
+use ucm_machine::{run, VecSink, VmConfig};
+
+/// A CLI failure: message for stderr, suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+macro_rules! from_error {
+    ($($ty:ty),+ $(,)?) => {
+        $(impl From<$ty> for CliError {
+            fn from(e: $ty) -> Self {
+                CliError { message: e.to_string() }
+            }
+        })+
+    };
+}
+
+from_error!(
+    ucm_lang::LangError,
+    ucm_ir::LowerError,
+    ucm_core::CompileError,
+    ucm_core::EvalError,
+    ucm_machine::VmError,
+);
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    command: String,
+    source: String,
+    options: CompilerOptions,
+    cache: CacheConfig,
+    limit: usize,
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: ucmc <run|compare|ir|classify|trace> <file.mini> \
+[--regs N] [--paper] [--conventional] [--cache-words N] [--ways N] [--limit N]";
+
+/// Parses arguments (excluding `argv0`) and reads the source file.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on unknown commands/flags, malformed numbers, or
+/// unreadable files.
+pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
+    let err = |m: &str| CliError {
+        message: format!("{m}\n{USAGE}"),
+    };
+    let mut it = args.iter();
+    let command = it.next().ok_or_else(|| err("missing command"))?.clone();
+    if !["run", "compare", "ir", "classify", "trace"].contains(&command.as_str()) {
+        return Err(err(&format!("unknown command `{command}`")));
+    }
+    let path = it.next().ok_or_else(|| err("missing source file"))?;
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| err(&format!("cannot read `{path}`: {e}")))?;
+    let mut options = CompilerOptions::default();
+    let mut cache = CacheConfig::default();
+    let mut limit = 20usize;
+    while let Some(flag) = it.next() {
+        let mut number = |what: &str| -> Result<usize, CliError> {
+            it.next()
+                .ok_or_else(|| err(&format!("{what} needs a value")))?
+                .parse::<usize>()
+                .map_err(|_| err(&format!("{what} needs a number")))
+        };
+        match flag.as_str() {
+            "--regs" => options.num_regs = number("--regs")?,
+            "--paper" => {
+                let mode = options.mode;
+                options = CompilerOptions {
+                    mode,
+                    num_regs: options.num_regs,
+                    ..CompilerOptions::paper()
+                };
+            }
+            "--conventional" => options.mode = ManagementMode::Conventional,
+            "--cache-words" => cache.size_words = number("--cache-words")?,
+            "--ways" => cache.associativity = number("--ways")?,
+            "--limit" => limit = number("--limit")?,
+            other => return Err(err(&format!("unknown flag `{other}`"))),
+        }
+    }
+    cache
+        .validate()
+        .map_err(|e| err(&format!("bad cache geometry: {e}")))?;
+    Ok(Invocation {
+        command,
+        source,
+        options,
+        cache,
+        limit,
+    })
+}
+
+/// Executes an invocation, returning the text to print.
+///
+/// # Errors
+///
+/// Propagates compile and runtime errors as [`CliError`].
+pub fn execute(inv: &Invocation) -> Result<String, CliError> {
+    match inv.command.as_str() {
+        "run" => cmd_run(inv),
+        "compare" => cmd_compare(inv),
+        "ir" => cmd_ir(inv),
+        "classify" => cmd_classify(inv),
+        "trace" => cmd_trace(inv),
+        _ => unreachable!("parse_args validated the command"),
+    }
+}
+
+fn cmd_run(inv: &Invocation) -> Result<String, CliError> {
+    let compiled = compile(&inv.source, &inv.options)?;
+    let m = run_with_cache(&compiled, inv.cache, &VmConfig::default())?;
+    let mut out = String::new();
+    for v in &m.outcome.output {
+        let _ = writeln!(out, "{v}");
+    }
+    let _ = writeln!(out, "-- steps: {}", m.outcome.steps);
+    let _ = writeln!(
+        out,
+        "-- data refs: {} ({:.1}% unambiguous, {:.1}% bypassed)",
+        m.counts.total(),
+        100.0 * m.counts.unambiguous_fraction(),
+        100.0 * m.counts.bypass_fraction()
+    );
+    let _ = writeln!(
+        out,
+        "-- cache: {} refs, {:.1}% miss, {} bus words",
+        m.cache.cache_refs(),
+        100.0 * m.cache.miss_rate(),
+        m.cache.bus_words()
+    );
+    Ok(out)
+}
+
+fn cmd_compare(inv: &Invocation) -> Result<String, CliError> {
+    let cmp = compare(
+        "program",
+        &inv.source,
+        &inv.options,
+        inv.cache,
+        &VmConfig::default(),
+    )?;
+    let mut out = String::new();
+    let _ = writeln!(out, "output: {:?}", cmp.unified.outcome.output);
+    let _ = writeln!(out, "static unambiguous : {:>6.1}%", cmp.static_unambiguous_pct());
+    let _ = writeln!(out, "dynamic unambiguous: {:>6.1}%", cmp.dynamic_unambiguous_pct());
+    let _ = writeln!(out, "cache-ref reduction: {:>6.1}%", cmp.cache_ref_reduction_pct());
+    let _ = writeln!(
+        out,
+        "bus words          : {} -> {}",
+        cmp.conventional.cache.bus_words(),
+        cmp.unified.cache.bus_words()
+    );
+    let _ = writeln!(
+        out,
+        "write-backs        : {} -> {}",
+        cmp.conventional.cache.writebacks, cmp.unified.cache.writebacks
+    );
+    Ok(out)
+}
+
+fn cmd_ir(inv: &Invocation) -> Result<String, CliError> {
+    let checked = ucm_lang::parse_and_check(&inv.source)?;
+    let module = ucm_ir::lower_with(
+        &checked,
+        &ucm_ir::LowerOptions {
+            promote_scalars: inv.options.promote_scalars,
+        },
+    )?;
+    Ok(ucm_ir::print::module_to_string(&module))
+}
+
+fn cmd_classify(inv: &Invocation) -> Result<String, CliError> {
+    let checked = ucm_lang::parse_and_check(&inv.source)?;
+    let module = ucm_ir::lower_with(
+        &checked,
+        &ucm_ir::LowerOptions {
+            promote_scalars: inv.options.promote_scalars,
+        },
+    )?;
+    let classes = Classification::compute(&module);
+    let mut out = String::new();
+    for fid in module.func_ids() {
+        for (iref, instr) in module.func(fid).instrs() {
+            if let Some(class) = classes.get(fid, iref) {
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:<48} {class:?}",
+                    module.func(fid).name,
+                    instr.to_string()
+                );
+            }
+        }
+    }
+    let c = classes.static_counts();
+    let _ = writeln!(
+        out,
+        "-- {} unambiguous / {} ambiguous ({:.1}%)",
+        c.unambiguous,
+        c.ambiguous,
+        100.0 * c.unambiguous_fraction()
+    );
+    Ok(out)
+}
+
+fn cmd_trace(inv: &Invocation) -> Result<String, CliError> {
+    let compiled = compile(&inv.source, &inv.options)?;
+    let mut sink = VecSink::default();
+    run(&compiled.program, &mut sink, &VmConfig::default())?;
+    let mut out = String::new();
+    for ev in sink.events.iter().take(inv.limit) {
+        let _ = writeln!(
+            out,
+            "{} {:#8x}  {}{}",
+            if ev.is_write { "store" } else { "load " },
+            ev.addr,
+            ev.tag.flavour,
+            if ev.tag.last_ref { " [last-ref]" } else { "" },
+        );
+    }
+    if sink.events.len() > inv.limit {
+        let _ = writeln!(out, "... {} more references", sink.events.len() - inv.limit);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("ucmc_test_{name}.mini"));
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const HELLO: &str = "global g: int; fn main() { g = 6; print(g * 7); }";
+
+    #[test]
+    fn run_command_prints_output_and_stats() {
+        let path = write_temp("run", HELLO);
+        let inv = parse_args(&args(&["run", &path])).unwrap();
+        let out = execute(&inv).unwrap();
+        assert!(out.starts_with("42\n"));
+        assert!(out.contains("data refs"));
+        assert!(out.contains("cache:"));
+    }
+
+    #[test]
+    fn compare_command_reports_reduction() {
+        let path = write_temp(
+            "compare",
+            "global a: [int; 32]; global s: int; \
+             fn main() { let i: int = 0; \
+               while i < 32 { a[i] = i; i = i + 1; } \
+               i = 0; while i < 32 { s = s + a[i]; i = i + 1; } print(s); }",
+        );
+        let inv = parse_args(&args(&["compare", &path, "--paper"])).unwrap();
+        let out = execute(&inv).unwrap();
+        assert!(out.contains("output: [496]"));
+        assert!(out.contains("cache-ref reduction"));
+    }
+
+    #[test]
+    fn ir_command_dumps_functions() {
+        let path = write_temp("ir", HELLO);
+        let inv = parse_args(&args(&["ir", &path])).unwrap();
+        let out = execute(&inv).unwrap();
+        assert!(out.contains("fn main()"));
+        assert!(out.contains("global g0: g"));
+    }
+
+    #[test]
+    fn classify_command_labels_references() {
+        let path = write_temp("classify", HELLO);
+        let inv = parse_args(&args(&["classify", &path])).unwrap();
+        let out = execute(&inv).unwrap();
+        assert!(out.contains("Unambiguous"));
+        assert!(out.contains("-- 2 unambiguous / 0 ambiguous"));
+    }
+
+    #[test]
+    fn trace_command_respects_limit() {
+        let path = write_temp(
+            "trace",
+            "global a: [int; 8]; fn main() { let i: int = 0; \
+             while i < 8 { a[i] = i; i = i + 1; } print(a[7]); }",
+        );
+        let inv = parse_args(&args(&["trace", &path, "--limit", "3", "--paper"])).unwrap();
+        let out = execute(&inv).unwrap();
+        let shown = out.lines().filter(|l| l.starts_with(&"load"[..4]) || l.starts_with("store")).count();
+        assert_eq!(shown, 3);
+        assert!(out.contains("more references"));
+    }
+
+    #[test]
+    fn flag_parsing_and_errors() {
+        let path = write_temp("flags", HELLO);
+        let inv = parse_args(&args(&[
+            "run", &path, "--regs", "8", "--cache-words", "64", "--ways", "2",
+        ]))
+        .unwrap();
+        assert_eq!(inv.options.num_regs, 8);
+        assert_eq!(inv.cache.size_words, 64);
+        assert_eq!(inv.cache.associativity, 2);
+
+        assert!(parse_args(&args(&["bogus", &path])).is_err());
+        assert!(parse_args(&args(&["run"])).is_err());
+        assert!(parse_args(&args(&["run", "/no/such/file.mini"])).is_err());
+        assert!(parse_args(&args(&["run", &path, "--regs", "x"])).is_err());
+        assert!(parse_args(&args(&["run", &path, "--cache-words", "100"])).is_err());
+    }
+
+    #[test]
+    fn conventional_flag_switches_mode() {
+        let path = write_temp("conv", HELLO);
+        let inv = parse_args(&args(&["run", &path, "--conventional"])).unwrap();
+        assert_eq!(inv.options.mode, ManagementMode::Conventional);
+        let out = execute(&inv).unwrap();
+        assert!(out.contains("0.0% bypassed"));
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let path = write_temp("bad", "fn main() { print(undefined_var); }");
+        let inv = parse_args(&args(&["run", &path])).unwrap();
+        let err = execute(&inv).unwrap_err();
+        assert!(err.message.contains("unknown variable"));
+    }
+}

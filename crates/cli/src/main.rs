@@ -1,0 +1,19 @@
+//! `ucmc` — see [`ucm_cli`] for the command reference.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let inv = match ucm_cli::parse_args(&args) {
+        Ok(inv) => inv,
+        Err(e) => {
+            eprintln!("ucmc: {e}");
+            std::process::exit(2);
+        }
+    };
+    match ucm_cli::execute(&inv) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("ucmc: {e}");
+            std::process::exit(1);
+        }
+    }
+}

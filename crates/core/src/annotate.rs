@@ -1,0 +1,240 @@
+//! The unified-management annotation pass (paper §4.2–4.3).
+//!
+//! Maps every IR memory reference to one of the four load/store flavours:
+//!
+//! | reference                        | flavour      |
+//! |----------------------------------|--------------|
+//! | spill reload                     | `UmAm_LOAD`  |
+//! | spill store                      | `AmSp_STORE` |
+//! | unambiguous load                 | `UmAm_LOAD`  |
+//! | unambiguous store (not a spill)  | `UmAm_STORE` |
+//! | ambiguous load                   | `Am_LOAD`    |
+//! | ambiguous store                  | `AmSp_STORE` |
+//!
+//! Ambiguous references additionally carry the liveness-derived
+//! *last-reference* bit (§3.1–3.2); unambiguous loads invalidate on hit by
+//! their own semantics, so their bit is set unconditionally.
+
+use crate::mode::ManagementMode;
+use std::collections::HashMap;
+use ucm_analysis::{Classification, MemLastRefs, RefClass};
+use ucm_ir::{FuncId, Instr, InstrRef, Module, RefName};
+use ucm_machine::{Flavour, MemTag, MemTagger};
+
+/// The computed tags for every memory instruction of a module.
+#[derive(Debug, Clone)]
+pub struct Annotations {
+    tags: HashMap<(FuncId, InstrRef), MemTag>,
+    /// The classification the tags were derived from.
+    pub classification: Classification,
+}
+
+impl Annotations {
+    /// Runs classification, memory liveness, and flavour assignment on a
+    /// (post-regalloc) module.
+    pub fn compute(module: &Module, mode: ManagementMode) -> Self {
+        let classification = Classification::compute(module);
+        let last_refs = MemLastRefs::compute(module, &classification);
+        let mut tags = HashMap::new();
+        for fid in module.func_ids() {
+            for (iref, instr) in module.func(fid).instrs() {
+                let Some(mem) = instr.mem() else { continue };
+                let is_load = matches!(instr, Instr::Load { .. });
+                let is_spill = matches!(mem.name, RefName::Spill(_));
+                let class = classification.class_of(fid, iref);
+                let unambiguous = class == RefClass::Unambiguous;
+                let tag = match mode {
+                    ManagementMode::Conventional => MemTag::plain(unambiguous),
+                    ManagementMode::Unified => {
+                        let (flavour, last_ref) = match (is_load, is_spill, unambiguous) {
+                            (true, true, _) | (true, false, true) => (Flavour::UmAmLoad, true),
+                            (false, true, _) => (Flavour::AmSpStore, false),
+                            (false, false, true) => (Flavour::UmAmStore, false),
+                            (true, false, false) => {
+                                (Flavour::AmLoad, last_refs.is_last_ref(fid, iref))
+                            }
+                            (false, false, false) => {
+                                (Flavour::AmSpStore, last_refs.is_last_ref(fid, iref))
+                            }
+                        };
+                        MemTag {
+                            flavour,
+                            last_ref,
+                            unambiguous,
+                        }
+                    }
+                };
+                tags.insert((fid, iref), tag);
+            }
+        }
+        Annotations {
+            tags,
+            classification,
+        }
+    }
+
+    /// Number of annotated memory instructions.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the module had no memory instructions.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+}
+
+impl MemTagger for Annotations {
+    fn tag_of(&self, func: FuncId, iref: InstrRef) -> MemTag {
+        self.tags[&(func, iref)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use ucm_ir::lower;
+    use ucm_lang::parse_and_check;
+    use ucm_regalloc::{allocate, Strategy};
+
+    fn annotated(src: &str, k: usize) -> (Module, Annotations) {
+        let module = lower(&parse_and_check(src).unwrap()).unwrap();
+        let mut allocated = Module {
+            globals: module.globals.clone(),
+            funcs: Vec::new(),
+            main: module.main,
+        };
+        for f in &module.funcs {
+            allocated
+                .funcs
+                .push(allocate(f.clone(), k, Strategy::Coloring).unwrap().func);
+        }
+        let ann = Annotations::compute(&allocated, ManagementMode::Unified);
+        (allocated, ann)
+    }
+
+    fn flavours_of(m: &Module, ann: &Annotations) -> Vec<(String, Flavour, bool)> {
+        let mut out = Vec::new();
+        for fid in m.func_ids() {
+            for (iref, instr) in m.func(fid).instrs() {
+                if instr.is_memory() {
+                    let t = ann.tag_of(fid, iref);
+                    out.push((instr.to_string(), t.flavour, t.last_ref));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn unambiguous_globals_get_umam_flavours() {
+        let (m, ann) = annotated("global g: int; fn main() { g = g + 1; print(g); }", 8);
+        let fl: HashSet<Flavour> = flavours_of(&m, &ann).iter().map(|x| x.1).collect();
+        assert!(fl.contains(&Flavour::UmAmLoad));
+        assert!(fl.contains(&Flavour::UmAmStore));
+        assert!(!fl.contains(&Flavour::AmLoad));
+    }
+
+    #[test]
+    fn arrays_get_am_flavours() {
+        let (m, ann) = annotated(
+            "global a: [int; 8]; fn main() { a[0] = 1; print(a[0]); }",
+            8,
+        );
+        let fl: Vec<Flavour> = flavours_of(&m, &ann).iter().map(|x| x.1).collect();
+        assert!(fl.contains(&Flavour::AmSpStore));
+        assert!(fl.contains(&Flavour::AmLoad));
+        assert!(!fl.contains(&Flavour::UmAmStore));
+    }
+
+    #[test]
+    fn spill_code_gets_spill_flavours() {
+        // Force spills with k=2 and many live values.
+        let (m, ann) = annotated(
+            "fn main() { let a: int = 1; let b: int = 2; let c: int = 3; \
+             print(a + b + c); print(c + b + a); }",
+            2,
+        );
+        let spill_tags: Vec<(String, Flavour, bool)> = flavours_of(&m, &ann)
+            .into_iter()
+            .filter(|(s, _, _)| s.contains("spill"))
+            .collect();
+        assert!(!spill_tags.is_empty(), "expected spill code");
+        for (s, fl, last) in spill_tags {
+            if s.contains("load") {
+                assert_eq!(fl, Flavour::UmAmLoad, "{s}");
+                assert!(last, "spill reloads kill the cached copy: {s}");
+            } else {
+                assert_eq!(fl, Flavour::AmSpStore, "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn unambiguous_loads_carry_last_ref() {
+        let (m, ann) = annotated("global g: int; fn main() { print(g); }", 8);
+        let all = flavours_of(&m, &ann);
+        let (_, fl, last) = &all[0];
+        assert_eq!(*fl, Flavour::UmAmLoad);
+        assert!(*last);
+    }
+
+    #[test]
+    fn ambiguous_last_ref_propagates_from_liveness() {
+        let (m, ann) = annotated(
+            "fn main() { let a: [int; 4]; a[0] = 1; print(a[0] + a[0]); }",
+            8,
+        );
+        let loads: Vec<(String, Flavour, bool)> = flavours_of(&m, &ann)
+            .into_iter()
+            .filter(|(s, _, _)| s.contains("load"))
+            .collect();
+        // The last load of the dead local array is marked.
+        assert!(loads.last().unwrap().2, "final array read marked last-ref");
+        assert!(!loads[0].2);
+    }
+
+    #[test]
+    fn conventional_mode_is_all_plain() {
+        let module = lower(
+            &parse_and_check("global g: int; global a: [int; 4]; \
+                              fn main() { g = 1; a[0] = g; print(a[0]); }")
+                .unwrap(),
+        )
+        .unwrap();
+        let ann = Annotations::compute(&module, ManagementMode::Conventional);
+        for fid in module.func_ids() {
+            for (iref, instr) in module.func(fid).instrs() {
+                if instr.is_memory() {
+                    let t = ann.tag_of(fid, iref);
+                    assert_eq!(t.flavour, Flavour::Plain);
+                    assert!(!t.last_ref);
+                }
+            }
+        }
+        // Classification still recorded for statistics.
+        assert!(ann.classification.static_counts().unambiguous > 0);
+    }
+
+    #[test]
+    fn every_memory_instruction_is_tagged() {
+        let (m, ann) = annotated(
+            "global a: [int; 8]; global g: int; \
+             fn f(p: *int) -> int { return *p + g; } \
+             fn main() { let i: int = 0; while i < 8 { a[i] = f(&g); i = i + 1; } }",
+            4,
+        );
+        let mem_count: usize = m
+            .func_ids()
+            .map(|f| {
+                m.func(f)
+                    .instrs()
+                    .filter(|(_, i)| i.is_memory())
+                    .count()
+            })
+            .sum();
+        assert_eq!(ann.len(), mem_count);
+        assert!(!ann.is_empty());
+    }
+}

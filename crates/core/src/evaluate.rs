@@ -1,0 +1,258 @@
+//! Measurement harness: run compiled programs against the cache simulator
+//! and compare unified vs conventional management (the paper's §5 setup).
+
+use crate::mode::ManagementMode;
+use crate::pipeline::{compile, Compiled, CompileError, CompilerOptions};
+use crate::stats::{static_ref_stats, StaticRefStats};
+use std::error::Error;
+use std::fmt;
+use ucm_cache::{CacheConfig, CacheSim, CacheStats};
+use ucm_machine::{run, CountSink, TeeSink, VmConfig, VmError, VmOutcome};
+
+/// One program execution measured against a cache.
+#[derive(Debug, Clone)]
+pub struct RunMeasurement {
+    /// VM outcome (program output, step count).
+    pub outcome: VmOutcome,
+    /// Dynamic reference-class counts.
+    pub counts: CountSink,
+    /// Cache statistics.
+    pub cache: CacheStats,
+}
+
+/// Runs `compiled` with its references streamed into a cache of `cache_cfg`.
+///
+/// For conventionally-compiled programs pass
+/// [`CacheConfig::conventional`] geometry or rely on the `Plain` tags —
+/// both give baseline behaviour.
+///
+/// # Errors
+///
+/// Propagates VM traps (divide by zero, bounds, step limit).
+pub fn run_with_cache(
+    compiled: &Compiled,
+    cache_cfg: CacheConfig,
+    vm_cfg: &VmConfig,
+) -> Result<RunMeasurement, VmError> {
+    let mut cache = CacheSim::new(cache_cfg);
+    let mut counts = CountSink::default();
+    let outcome = {
+        let mut tee = TeeSink {
+            a: &mut counts,
+            b: &mut cache,
+        };
+        run(&compiled.program, &mut tee, vm_cfg)?
+    };
+    Ok(RunMeasurement {
+        outcome,
+        counts,
+        cache: *cache.stats(),
+    })
+}
+
+/// A unified-vs-conventional comparison for one program — one row of the
+/// paper's Figure 5 plus the underlying physics.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Program label.
+    pub name: String,
+    /// Static reference statistics of the unified binary.
+    pub static_stats: StaticRefStats,
+    /// Measurement of the conventional build.
+    pub conventional: RunMeasurement,
+    /// Measurement of the unified build.
+    pub unified: RunMeasurement,
+}
+
+impl Comparison {
+    /// Static % of references classified unambiguous (paper: 70–80%).
+    pub fn static_unambiguous_pct(&self) -> f64 {
+        100.0 * self.static_stats.unambiguous_fraction()
+    }
+
+    /// Dynamic % of references classified unambiguous (paper: 45–75%).
+    pub fn dynamic_unambiguous_pct(&self) -> f64 {
+        100.0 * self.unified.counts.unambiguous_fraction()
+    }
+
+    /// Reduction in references entering the data cache (paper: ~60%).
+    pub fn cache_ref_reduction_pct(&self) -> f64 {
+        let conv = self.conventional.cache.cache_refs();
+        let uni = self.unified.cache.cache_refs();
+        if conv == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - uni as f64 / conv as f64)
+        }
+    }
+
+    /// Reduction in memory-bus words moved.
+    pub fn bus_words_reduction_pct(&self) -> f64 {
+        let conv = self.conventional.cache.bus_words();
+        let uni = self.unified.cache.bus_words();
+        if conv == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - uni as f64 / conv as f64)
+        }
+    }
+
+    /// Speedup of total memory access time (paper §4.4 claims ≥ 2×).
+    pub fn access_time_speedup(&self, lat: ucm_cache::Latency) -> f64 {
+        let conv = self.conventional.cache.access_time(lat);
+        let uni = self.unified.cache.access_time(lat);
+        if uni == 0 {
+            1.0
+        } else {
+            conv as f64 / uni as f64
+        }
+    }
+}
+
+/// Errors from a comparison run.
+#[derive(Debug)]
+pub enum EvalError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Execution trapped.
+    Vm(VmError),
+    /// The two builds disagreed on program output (a compiler bug).
+    OutputMismatch {
+        /// Program label.
+        name: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Compile(e) => write!(f, "{e}"),
+            EvalError::Vm(e) => write!(f, "{e}"),
+            EvalError::OutputMismatch { name } => {
+                write!(f, "unified and conventional builds of `{name}` disagree")
+            }
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+impl From<CompileError> for EvalError {
+    fn from(e: CompileError) -> Self {
+        EvalError::Compile(e)
+    }
+}
+
+impl From<VmError> for EvalError {
+    fn from(e: VmError) -> Self {
+        EvalError::Vm(e)
+    }
+}
+
+/// Compiles `src` in both modes, runs both against `cache_cfg`, and
+/// cross-checks that program outputs agree.
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] on compile failure, VM trap, or output mismatch
+/// between the two builds.
+pub fn compare(
+    name: &str,
+    src: &str,
+    base: &CompilerOptions,
+    cache_cfg: CacheConfig,
+    vm_cfg: &VmConfig,
+) -> Result<Comparison, EvalError> {
+    let unified_build = compile(
+        src,
+        &CompilerOptions {
+            mode: ManagementMode::Unified,
+            ..*base
+        },
+    )?;
+    let conventional_build = compile(
+        src,
+        &CompilerOptions {
+            mode: ManagementMode::Conventional,
+            ..*base
+        },
+    )?;
+    let unified = run_with_cache(&unified_build, cache_cfg, vm_cfg)?;
+    let conventional = run_with_cache(
+        &conventional_build,
+        cache_cfg.conventional(),
+        vm_cfg,
+    )?;
+    if unified.outcome.output != conventional.outcome.output {
+        return Err(EvalError::OutputMismatch { name: name.into() });
+    }
+    Ok(Comparison {
+        name: name.into(),
+        static_stats: static_ref_stats(&unified_build.program),
+        conventional,
+        unified,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARRAY_WALK: &str = "global a: [int; 64]; global sum: int; \
+        fn main() { let i: int = 0; let pass: int = 0; \
+          while pass < 4 { i = 0; \
+            while i < 64 { a[i] = a[i] + pass; i = i + 1; } pass = pass + 1; } \
+          i = 0; while i < 64 { sum = sum + a[i]; i = i + 1; } print(sum); }";
+
+    fn compare_default(src: &str) -> Comparison {
+        compare(
+            "t",
+            src,
+            &CompilerOptions::default(),
+            CacheConfig::default(),
+            &VmConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unified_reduces_cache_references() {
+        let c = compare_default(ARRAY_WALK);
+        assert!(
+            c.cache_ref_reduction_pct() > 0.0,
+            "unified must keep unambiguous traffic out of the cache \
+             (reduction = {:.1}%)",
+            c.cache_ref_reduction_pct()
+        );
+        assert!(c.dynamic_unambiguous_pct() > 0.0);
+        assert!(c.static_unambiguous_pct() > 0.0);
+    }
+
+    #[test]
+    fn totals_are_mode_independent() {
+        let c = compare_default(ARRAY_WALK);
+        assert_eq!(
+            c.conventional.counts.total(),
+            c.unified.counts.total(),
+            "same code shape → same number of data references"
+        );
+        assert_eq!(
+            c.conventional.counts.unambiguous, c.unified.counts.unambiguous,
+            "classification is mode-independent"
+        );
+        // In conventional mode nothing bypasses.
+        assert_eq!(c.conventional.counts.bypassed, 0);
+    }
+
+    #[test]
+    fn unified_never_inflates_cache_refs() {
+        let c = compare_default(ARRAY_WALK);
+        assert!(c.unified.cache.cache_refs() <= c.conventional.cache.cache_refs());
+    }
+
+    #[test]
+    fn output_checked_across_modes() {
+        let c = compare_default("global g: int; fn main() { g = 7; print(g * 6); }");
+        assert_eq!(c.unified.outcome.output, vec![42]);
+    }
+}

@@ -1,0 +1,52 @@
+//! # ucm-core — unified management of registers and cache
+//!
+//! The paper's contribution (*Chi & Dietz, PLDI 1989*): a single
+//! compiler-driven model for registers **and** the data cache.
+//!
+//! * [`annotate`] — classifies every memory reference (via
+//!   `ucm-analysis` alias sets) and assigns the four load/store flavours of
+//!   §4.3 plus last-reference bits from liveness (§3.1–3.2)
+//! * [`pipeline`] — the end-to-end compiler: Mini source → checked AST →
+//!   IR → register allocation (spills routed to cache per §4.2) → annotated
+//!   machine code
+//! * [`stats`] — static reference statistics (Figure 5's static series)
+//! * [`evaluate`] — runs unified vs conventional builds against the cache
+//!   simulator and reports traffic reductions (Figure 5's dynamic series)
+//!
+//! ## Example: reproduce one Figure-5 style measurement
+//!
+//! ```rust
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ucm_core::evaluate::compare;
+//! use ucm_core::pipeline::CompilerOptions;
+//! use ucm_cache::CacheConfig;
+//! use ucm_machine::VmConfig;
+//!
+//! let src = "global a: [int; 32]; global sum: int;
+//!     fn main() {
+//!         let i: int = 0;
+//!         while i < 32 { a[i] = i; i = i + 1; }
+//!         i = 0;
+//!         while i < 32 { sum = sum + a[i]; i = i + 1; }
+//!         print(sum);
+//!     }";
+//! let cmp = compare("walk", src, &CompilerOptions::default(),
+//!                   CacheConfig::default(), &VmConfig::default())?;
+//! assert!(cmp.cache_ref_reduction_pct() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod annotate;
+pub mod evaluate;
+pub mod mode;
+pub mod pipeline;
+pub mod promote;
+pub mod stats;
+
+pub use annotate::Annotations;
+pub use evaluate::{compare, run_with_cache, Comparison, EvalError, RunMeasurement};
+pub use mode::ManagementMode;
+pub use pipeline::{compile, compile_module, Compiled, CompileError, CompilerOptions};
+pub use promote::{promote_locals, PromotionStats};
+pub use stats::{static_ref_stats, StaticRefStats};

@@ -1,0 +1,36 @@
+//! Management-mode selection.
+
+use std::fmt;
+
+/// How registers and cache are managed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ManagementMode {
+    /// The paper's proposal: compiler-classified references, the four
+    /// load/store flavours, cache bypass, and last-reference invalidation.
+    #[default]
+    Unified,
+    /// The 1980s baseline: cache managed purely by hardware; every data
+    /// reference goes through the cache.
+    Conventional,
+}
+
+impl fmt::Display for ManagementMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagementMode::Unified => write!(f, "unified"),
+            ManagementMode::Conventional => write!(f, "conventional"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_default() {
+        assert_eq!(ManagementMode::default(), ManagementMode::Unified);
+        assert_eq!(ManagementMode::Unified.to_string(), "unified");
+        assert_eq!(ManagementMode::Conventional.to_string(), "conventional");
+    }
+}

@@ -1,0 +1,629 @@
+//! Block-local promotion of unambiguous scalars.
+//!
+//! The "register allocation (with cache bypass)" half of the unified model
+//! (paper Figure 4): within a basic block, an unambiguous scalar is loaded
+//! into a register once, subsequent reads copy from the register, and dirty
+//! values are stored back at block exit (or before anything that could
+//! observe memory: a call, or a dereference that might be a true alias of
+//! the scalar).
+//!
+//! This models the statement-level register reuse of a late-1980s optimizing
+//! compiler, and it is what makes cache bypass *profitable*: the residual
+//! memory traffic of register-resident values is rare enough that sending it
+//! straight to main memory costs little while keeping the cache clean for
+//! ambiguous data.
+
+use std::collections::HashMap;
+use ucm_analysis::{Classification, RefClass};
+use ucm_ir::{FuncId, Instr, InstrRef, MemObject, MemRef, Module, RefName, VReg};
+
+/// Statistics of one promotion run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PromotionStats {
+    /// Loads replaced by register copies.
+    pub loads_eliminated: usize,
+    /// Stores coalesced (overwritten before block exit).
+    pub stores_eliminated: usize,
+}
+
+/// Runs block-local promotion over every function of `module`, in place.
+///
+/// Only references classified [`RefClass::Unambiguous`] with a
+/// [`RefName::Scalar`] name participate; everything else (arrays, derefs,
+/// aliased scalars) is untouched, and acts as a barrier when it could read
+/// promoted state.
+pub fn promote_locals(module: &mut Module) -> PromotionStats {
+    let classification = Classification::compute(module);
+    let mut stats = PromotionStats::default();
+    for fid_idx in 0..module.funcs.len() {
+        let fid = FuncId::from_index(fid_idx);
+        promote_function(module, fid, &classification, &mut stats);
+    }
+    stats
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CachedValue {
+    reg: VReg,
+    dirty: bool,
+}
+
+fn promote_function(
+    module: &mut Module,
+    fid: FuncId,
+    classification: &Classification,
+    stats: &mut PromotionStats,
+) {
+    let nblocks = module.func(fid).blocks.len();
+    for b in 0..nblocks {
+        let bid = ucm_ir::BlockId::from_index(b);
+        let old = std::mem::take(&mut module.func_mut(fid).block_mut(bid).instrs);
+        let mut new: Vec<Instr> = Vec::with_capacity(old.len());
+        let mut cached: HashMap<MemObject, CachedValue> = HashMap::new();
+
+        let flush_all = |cached: &mut HashMap<MemObject, CachedValue>, new: &mut Vec<Instr>| {
+            // Deterministic order for reproducible binaries.
+            let mut dirty: Vec<(MemObject, VReg)> = cached
+                .iter()
+                .filter(|(_, v)| v.dirty)
+                .map(|(o, v)| (*o, v.reg))
+                .collect();
+            dirty.sort_unstable_by_key(|(o, _)| *o);
+            for (obj, reg) in dirty {
+                new.push(Instr::Store {
+                    src: reg,
+                    mem: MemRef::scalar(obj),
+                });
+            }
+            cached.clear();
+        };
+
+        for (idx, instr) in old.into_iter().enumerate() {
+            let iref = InstrRef::new(bid, idx);
+            let promotable = |mem: &MemRef| -> Option<MemObject> {
+                match mem.name {
+                    RefName::Scalar(obj)
+                        if classification.get(fid, iref) == Some(RefClass::Unambiguous) =>
+                    {
+                        Some(obj)
+                    }
+                    _ => None,
+                }
+            };
+            match &instr {
+                Instr::Load { dst, mem } if promotable(mem).is_some() => {
+                    let obj = promotable(mem).expect("guard checked");
+                    let dst_reg = *dst;
+                    match cached.get(&obj) {
+                        Some(c) => {
+                            stats.loads_eliminated += 1;
+                            new.push(Instr::Copy {
+                                dst: dst_reg,
+                                src: c.reg,
+                            });
+                        }
+                        None => {
+                            new.push(instr);
+                            cached.insert(
+                                obj,
+                                CachedValue {
+                                    reg: dst_reg,
+                                    dirty: false,
+                                },
+                            );
+                        }
+                    }
+                    // The load's destination may shadow another cached reg.
+                    invalidate_redefined(&mut cached, &mut new, dst_reg, Some(obj), stats);
+                }
+                Instr::Store { src, mem } if promotable(mem).is_some() => {
+                    let obj = promotable(mem).expect("guard checked");
+                    if let Some(prev) = cached.insert(
+                        obj,
+                        CachedValue {
+                            reg: *src,
+                            dirty: true,
+                        },
+                    ) {
+                        if prev.dirty {
+                            stats.stores_eliminated += 1;
+                        }
+                    }
+                }
+                Instr::Call { .. } => {
+                    // The callee may read or write any escaped scalar.
+                    flush_all(&mut cached, &mut new);
+                    let def = instr.def();
+                    new.push(instr);
+                    if let Some(d) = def {
+                        invalidate_redefined(&mut cached, &mut new, d, None, stats);
+                    }
+                }
+                Instr::Load { mem, .. } | Instr::Store { mem, .. }
+                    if matches!(mem.name, RefName::Deref(_)) =>
+                {
+                    // A dereference can be a true alias of a promoted scalar:
+                    // make memory consistent and forget everything.
+                    flush_all(&mut cached, &mut new);
+                    let def = instr.def();
+                    new.push(instr);
+                    if let Some(d) = def {
+                        invalidate_redefined(&mut cached, &mut new, d, None, stats);
+                    }
+                }
+                _ => {
+                    let def = instr.def();
+                    new.push(instr);
+                    if let Some(d) = def {
+                        invalidate_redefined(&mut cached, &mut new, d, None, stats);
+                    }
+                }
+            }
+        }
+        flush_all(&mut cached, &mut new);
+        module.func_mut(fid).block_mut(bid).instrs = new;
+    }
+}
+
+/// Drops (after flushing, if dirty) every cache entry whose register was
+/// just redefined by an instruction that is *already* in `new`.
+///
+/// The flush store is correct only when inserted *before* the redefinition,
+/// so it is spliced in front of the last instruction.
+fn invalidate_redefined(
+    cached: &mut HashMap<MemObject, CachedValue>,
+    new: &mut Vec<Instr>,
+    redefined: VReg,
+    keep: Option<MemObject>,
+    stats: &mut PromotionStats,
+) {
+    let stale: Vec<MemObject> = cached
+        .iter()
+        .filter(|(o, v)| v.reg == redefined && Some(**o) != keep)
+        .map(|(o, _)| *o)
+        .collect();
+    for obj in stale {
+        let entry = cached.remove(&obj).expect("key collected above");
+        if entry.dirty {
+            // Undo one coalescing credit: the value must hit memory after
+            // all, before the register is clobbered.
+            stats.stores_eliminated = stats.stores_eliminated.saturating_sub(1);
+            let pos = new.len() - 1;
+            new.insert(
+                pos,
+                Instr::Store {
+                    src: entry.reg,
+                    mem: MemRef::scalar(obj),
+                },
+            );
+        }
+    }
+}
+
+/// Loop-level promotion of unambiguous scalars.
+///
+/// For each natural loop containing no calls and no pointer dereferences,
+/// every unambiguous scalar referenced inside is loaded into a register in a
+/// freshly-created preheader, all in-loop accesses become register
+/// copies, and the value is stored back on each exit edge. This is the
+/// register half of the unified model working at live-range granularity
+/// (paper §4.2 rule 1: "when a register will be used for a series of
+/// operations, the loading and storing of the value into a register should
+/// bypass the cache") — the preheader load and exit stores become the rare
+/// `UmAm_LOAD`/`UmAm_STORE` boundary traffic that makes bypass profitable.
+///
+/// Returns the number of (loop, scalar) pairs promoted.
+pub fn promote_loops(module: &mut Module) -> usize {
+    let mut promoted = 0;
+    for fid_idx in 0..module.funcs.len() {
+        let fid = FuncId::from_index(fid_idx);
+        // Headers already processed (block ids of original blocks survive
+        // rewriting; new blocks are appended).
+        let mut done: std::collections::HashSet<ucm_ir::BlockId> = std::collections::HashSet::new();
+        loop {
+            // Recompute analyses after each rewrite: the CFG changed.
+            let classification = Classification::compute(module);
+            let func = module.func(fid);
+            let cfg = ucm_ir::Cfg::new(func);
+            let dom = ucm_analysis::Dominators::compute(func, &cfg);
+            let loops = ucm_analysis::LoopInfo::compute(func, &cfg, &dom);
+            // Outermost (largest) candidate first.
+            let mut candidates: Vec<&ucm_analysis::NaturalLoop> = loops
+                .loops
+                .iter()
+                .filter(|l| !done.contains(&l.header))
+                .collect();
+            candidates.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
+            let Some(target) = candidates.first() else { break };
+            let header = target.header;
+            let blocks: std::collections::HashSet<ucm_ir::BlockId> =
+                target.blocks.iter().copied().collect();
+            done.insert(header);
+            promoted += promote_one_loop(module, fid, header, &blocks, &cfg, &classification);
+        }
+    }
+    promoted
+}
+
+/// Attempts promotion for one loop; returns how many scalars were promoted.
+fn promote_one_loop(
+    module: &mut Module,
+    fid: FuncId,
+    header: ucm_ir::BlockId,
+    blocks: &std::collections::HashSet<ucm_ir::BlockId>,
+    cfg: &ucm_ir::Cfg,
+    classification: &Classification,
+) -> usize {
+    use ucm_ir::Terminator;
+    // Eligibility: no calls, no dereferences anywhere in the loop.
+    let func = module.func(fid);
+    let mut candidates: Vec<MemObject> = Vec::new();
+    let mut stored: std::collections::HashSet<MemObject> = std::collections::HashSet::new();
+    for &bid in blocks {
+        for (idx, instr) in func.block(bid).instrs.iter().enumerate() {
+            match instr {
+                Instr::Call { .. } => return 0,
+                Instr::Load { mem, .. } | Instr::Store { mem, .. } => match mem.name {
+                    RefName::Deref(_) => return 0,
+                    RefName::Scalar(obj) => {
+                        let iref = InstrRef::new(bid, idx);
+                        if classification.get(fid, iref) == Some(RefClass::Unambiguous) {
+                            candidates.push(obj);
+                            if matches!(instr, Instr::Store { .. }) {
+                                stored.insert(obj);
+                            }
+                        } else {
+                            // An aliased scalar inside the loop could be a
+                            // true alias of a candidate; bail out.
+                            return 0;
+                        }
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    if candidates.is_empty() {
+        return 0;
+    }
+
+    // One register per promoted scalar.
+    let regs: HashMap<MemObject, VReg> = candidates
+        .iter()
+        .map(|&obj| (obj, module.func_mut(fid).new_vreg()))
+        .collect();
+
+    // Preheader: loads, then jump to the header. Redirect every entry edge
+    // from outside the loop.
+    let preheader = module.func_mut(fid).new_block();
+    {
+        let f = module.func_mut(fid);
+        for &obj in &candidates {
+            let dst = regs[&obj];
+            f.block_mut(preheader)
+                .instrs
+                .push(Instr::Load {
+                    dst,
+                    mem: MemRef::scalar(obj),
+                });
+        }
+        f.block_mut(preheader).term = Terminator::Jump(header);
+        for pred in cfg.preds(header).to_vec() {
+            if blocks.contains(&pred) {
+                continue; // back edge
+            }
+            retarget(f.block_mut(pred), header, preheader);
+        }
+        if f.entry == header {
+            f.entry = preheader;
+        }
+    }
+
+    // Rewrite in-loop accesses to register copies.
+    for &bid in blocks {
+        let f = module.func_mut(fid);
+        for instr in &mut f.block_mut(bid).instrs {
+            match instr {
+                Instr::Load { dst, mem } => {
+                    if let RefName::Scalar(obj) = mem.name {
+                        if let Some(&r) = regs.get(&obj) {
+                            *instr = Instr::Copy { dst: *dst, src: r };
+                        }
+                    }
+                }
+                Instr::Store { src, mem } => {
+                    if let RefName::Scalar(obj) = mem.name {
+                        if let Some(&r) = regs.get(&obj) {
+                            *instr = Instr::Copy { dst: r, src: *src };
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Exit stubs: store every promoted scalar back on each exit edge.
+    let mut exit_edges: Vec<(ucm_ir::BlockId, ucm_ir::BlockId)> = Vec::new();
+    for &bid in blocks {
+        for succ in module.func(fid).block(bid).term.successors() {
+            if !blocks.contains(&succ) {
+                exit_edges.push((bid, succ));
+            }
+        }
+    }
+    for (from, to) in exit_edges {
+        let f = module.func_mut(fid);
+        let stub = f.new_block();
+        for &obj in &candidates {
+            // Read-only scalars need no store back.
+            if stored.contains(&obj) {
+                f.block_mut(stub).instrs.push(Instr::Store {
+                    src: regs[&obj],
+                    mem: MemRef::scalar(obj),
+                });
+            }
+        }
+        f.block_mut(stub).term = Terminator::Jump(to);
+        retarget(f.block_mut(from), to, stub);
+    }
+    candidates.len()
+}
+
+/// Replaces terminator target `from` with `to`.
+fn retarget(block: &mut ucm_ir::Block, from: ucm_ir::BlockId, to: ucm_ir::BlockId) {
+    use ucm_ir::Terminator;
+    match &mut block.term {
+        Terminator::Jump(t) => {
+            if *t == from {
+                *t = to;
+            }
+        }
+        Terminator::Branch {
+            if_true, if_false, ..
+        } => {
+            if *if_true == from {
+                *if_true = to;
+            }
+            if *if_false == from {
+                *if_false = to;
+            }
+        }
+        Terminator::Return(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::lower::{lower_with, LowerOptions};
+    use ucm_ir::verify_module;
+    use ucm_lang::parse_and_check;
+
+    fn promote_src(src: &str) -> (Module, PromotionStats) {
+        let checked = parse_and_check(src).unwrap();
+        let mut m = lower_with(
+            &checked,
+            &LowerOptions {
+                promote_scalars: false,
+            },
+        )
+        .unwrap();
+        let stats = promote_locals(&mut m);
+        verify_module(&m).unwrap();
+        (m, stats)
+    }
+
+    fn run_module(m: &Module) -> Vec<i64> {
+        let compiled =
+            crate::pipeline::compile_module(m.clone(), &crate::pipeline::CompilerOptions::default())
+                .unwrap();
+        ucm_machine::run(
+            &compiled.program,
+            &mut ucm_machine::NullSink,
+            &ucm_machine::VmConfig::default(),
+        )
+        .unwrap()
+        .output
+    }
+
+    #[test]
+    fn eliminates_redundant_scalar_loads() {
+        let (m, stats) = promote_src(
+            "fn main() { let x: int = 3; print(x + x * x); }",
+        );
+        assert!(stats.loads_eliminated >= 2, "x loaded once, reused");
+        assert_eq!(run_module(&m), vec![12]);
+    }
+
+    #[test]
+    fn coalesces_repeated_stores() {
+        let (m, stats) = promote_src(
+            "fn main() { let x: int = 1; x = 2; x = 3; print(x); }",
+        );
+        assert!(stats.stores_eliminated >= 2);
+        assert_eq!(run_module(&m), vec![3]);
+    }
+
+    #[test]
+    fn value_survives_across_blocks_via_memory() {
+        let (m, _) = promote_src(
+            "fn main() { let x: int = 0; let i: int = 0; \
+             while i < 5 { x = x + i; i = i + 1; } print(x); }",
+        );
+        assert_eq!(run_module(&m), vec![10]);
+    }
+
+    #[test]
+    fn calls_flush_dirty_scalars() {
+        let (m, _) = promote_src(
+            "global g: int; \
+             fn bump() { g = g + 1; } \
+             fn main() { g = 10; bump(); print(g); }",
+        );
+        assert_eq!(run_module(&m), vec![11]);
+    }
+
+    #[test]
+    fn true_alias_deref_sees_promoted_value() {
+        let (m, _) = promote_src(
+            "fn main() { let x: int = 1; let p: *int = &x; \
+             x = 5; print(*p); *p = 9; print(x); }",
+        );
+        assert_eq!(run_module(&m), vec![5, 9]);
+    }
+
+    #[test]
+    fn arrays_are_untouched() {
+        let (m, stats) = promote_src(
+            "global a: [int; 4]; fn main() { a[0] = 7; print(a[0]); }",
+        );
+        let _ = stats;
+        assert_eq!(run_module(&m), vec![7]);
+        // The array store and load both remain.
+        let mems = m
+            .func(m.main)
+            .instrs()
+            .filter(|(_, i)| {
+                i.mem()
+                    .is_some_and(|mm| matches!(mm.name, RefName::Elem(_)))
+            })
+            .count();
+        assert_eq!(mems, 2);
+    }
+
+    #[test]
+    fn workload_outputs_preserved() {
+        for w in ucm_workloads_like_sources() {
+            let checked = parse_and_check(&w.0).unwrap();
+            let mut m = lower_with(
+                &checked,
+                &LowerOptions {
+                    promote_scalars: false,
+                },
+            )
+            .unwrap();
+            promote_locals(&mut m);
+            verify_module(&m).unwrap();
+            assert_eq!(run_module(&m), w.1, "promotion must not change results");
+        }
+    }
+
+    fn loop_promote_src(src: &str) -> (Module, usize) {
+        let checked = parse_and_check(src).unwrap();
+        let mut m = lower_with(
+            &checked,
+            &LowerOptions {
+                promote_scalars: false,
+            },
+        )
+        .unwrap();
+        let n = promote_loops(&mut m);
+        verify_module(&m).unwrap();
+        (m, n)
+    }
+
+    #[test]
+    fn loop_promotion_registers_hot_globals() {
+        let (m, n) = loop_promote_src(
+            "global sum: int; \
+             fn main() { let i: int = 0; \
+               while i < 100 { sum = sum + i; i = i + 1; } print(sum); }",
+        );
+        assert!(n >= 2, "sum and i both promoted, got {n}");
+        assert_eq!(run_module(&m), vec![4950]);
+        // No scalar memory traffic inside the loop blocks any more: total
+        // scalar refs shrink to preheader loads + exit stores + prints.
+        let scalar_refs = m
+            .func(m.main)
+            .instrs()
+            .filter(|(_, i)| {
+                i.mem()
+                    .is_some_and(|mm| matches!(mm.name, RefName::Scalar(_)))
+            })
+            .count();
+        assert!(
+            scalar_refs <= 8,
+            "boundary traffic only, found {scalar_refs} scalar refs"
+        );
+    }
+
+    #[test]
+    fn loop_promotion_skips_loops_with_calls() {
+        let (m, _) = loop_promote_src(
+            "global g: int; \
+             fn bump() { g = g + 1; } \
+             fn main() { let i: int = 0; \
+               while i < 5 { bump(); i = i + 1; } print(g); }",
+        );
+        assert_eq!(run_module(&m), vec![5]);
+    }
+
+    #[test]
+    fn loop_promotion_skips_loops_with_derefs() {
+        let (m, _) = loop_promote_src(
+            "fn main() { let x: int = 0; let p: *int = &x; let i: int = 0; \
+               while i < 5 { *p = *p + i; i = i + 1; } print(x); }",
+        );
+        assert_eq!(run_module(&m), vec![10]);
+    }
+
+    #[test]
+    fn loop_promotion_handles_break_exits() {
+        let (m, n) = loop_promote_src(
+            "global acc: int; \
+             fn main() { let i: int = 0; \
+               while 1 { acc = acc + i; if i == 9 { break; } i = i + 1; } \
+               print(acc); }",
+        );
+        assert!(n >= 1);
+        assert_eq!(run_module(&m), vec![45]);
+    }
+
+    #[test]
+    fn loop_promotion_nested_loops() {
+        let (m, _) = loop_promote_src(
+            "global total: int; \
+             fn main() { let i: int = 0; let j: int = 0; \
+               while i < 4 { j = 0; \
+                 while j < 4 { total = total + i * j; j = j + 1; } \
+                 i = i + 1; } \
+               print(total); }",
+        );
+        assert_eq!(run_module(&m), vec![36]);
+    }
+
+    #[test]
+    fn loop_promotion_entry_header() {
+        // The loop header is reached straight from the function entry.
+        let (m, _) = loop_promote_src(
+            "global n: int = 10; \
+             fn main() { while n > 0 { n = n - 1; } print(n); }",
+        );
+        assert_eq!(run_module(&m), vec![0]);
+    }
+
+    /// A couple of miniature but branchy/loopy programs with expected output.
+    fn ucm_workloads_like_sources() -> Vec<(String, Vec<i64>)> {
+        vec![
+            (
+                "global a: [int; 10]; global s: int; \
+                 fn main() { let i: int = 0; \
+                   while i < 10 { a[i] = i * i; i = i + 1; } \
+                   i = 0; while i < 10 { s = s + a[i]; i = i + 1; } print(s); }"
+                    .into(),
+                vec![285],
+            ),
+            (
+                "fn fib(n: int) -> int { if n < 2 { return n; } \
+                   return fib(n - 1) + fib(n - 2); } \
+                 fn main() { print(fib(10)); }"
+                    .into(),
+                vec![55],
+            ),
+        ]
+    }
+}

@@ -1,0 +1,154 @@
+//! Static reference statistics over compiled machine code.
+//!
+//! The paper's Figure 5 reports both a *static* percentage (70–80% of the
+//! load/store instructions in the binary are unambiguous) and a *dynamic*
+//! one; this module provides the static side, counting every memory
+//! instruction the code generator emitted — including prologue/epilogue
+//! saves, caller saves, and argument traffic.
+
+use ucm_machine::{Flavour, MInstr, MachineProgram};
+
+/// Static (per-instruction) counts of memory references in a binary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticRefStats {
+    /// Memory instructions classified unambiguous.
+    pub unambiguous: usize,
+    /// Memory instructions classified ambiguous.
+    pub ambiguous: usize,
+    /// Loads (including frame reloads).
+    pub loads: usize,
+    /// Stores (including frame saves).
+    pub stores: usize,
+    /// Per-flavour counts: plain, Am_LOAD, AmSp_STORE, UmAm_LOAD, UmAm_STORE.
+    pub by_flavour: [usize; 5],
+}
+
+impl StaticRefStats {
+    /// Total memory references.
+    pub fn total(&self) -> usize {
+        self.unambiguous + self.ambiguous
+    }
+
+    /// Static fraction of unambiguous references.
+    pub fn unambiguous_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.unambiguous as f64 / self.total() as f64
+        }
+    }
+
+    fn record(&mut self, flavour: Flavour, unambiguous: bool, is_store: bool, count: usize) {
+        if unambiguous {
+            self.unambiguous += count;
+        } else {
+            self.ambiguous += count;
+        }
+        if is_store {
+            self.stores += count;
+        } else {
+            self.loads += count;
+        }
+        let idx = match flavour {
+            Flavour::Plain => 0,
+            Flavour::AmLoad => 1,
+            Flavour::AmSpStore => 2,
+            Flavour::UmAmLoad => 3,
+            Flavour::UmAmStore => 4,
+        };
+        self.by_flavour[idx] += count;
+    }
+}
+
+/// Counts the static memory references of `program`.
+pub fn static_ref_stats(program: &MachineProgram) -> StaticRefStats {
+    let mut s = StaticRefStats::default();
+    for f in &program.funcs {
+        for i in &f.code {
+            match i {
+                MInstr::Load { tag, .. } => {
+                    s.record(tag.flavour, tag.unambiguous, false, 1)
+                }
+                MInstr::Store { tag, .. } => {
+                    s.record(tag.flavour, tag.unambiguous, true, 1)
+                }
+                MInstr::Enter { save_ra, tag, .. } => {
+                    s.record(tag.flavour, tag.unambiguous, true, 1 + usize::from(*save_ra))
+                }
+                MInstr::Leave { save_ra, tag, .. } => {
+                    s.record(tag.flavour, tag.unambiguous, false, 1 + usize::from(*save_ra))
+                }
+                _ => {}
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::ManagementMode;
+    use crate::pipeline::{compile, CompilerOptions};
+
+    #[test]
+    fn counts_split_by_class() {
+        let c = compile(
+            "global g: int; global a: [int; 8]; \
+             fn main() { g = 1; a[g] = g; print(a[g]); }",
+            &CompilerOptions::default(),
+        )
+        .unwrap();
+        let s = static_ref_stats(&c.program);
+        assert!(s.unambiguous > 0);
+        assert!(s.ambiguous > 0);
+        assert_eq!(s.total(), s.loads + s.stores);
+        let frac = s.unambiguous_fraction();
+        assert!(frac > 0.0 && frac < 1.0);
+    }
+
+    #[test]
+    fn scalar_only_program_is_fully_unambiguous() {
+        let c = compile(
+            "global g: int; fn main() { g = 41; print(g + 1); }",
+            &CompilerOptions::default(),
+        )
+        .unwrap();
+        let s = static_ref_stats(&c.program);
+        assert_eq!(s.ambiguous, 0);
+        assert!((s.unambiguous_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conventional_mode_still_counts_classes() {
+        let c = compile(
+            "global g: int; global a: [int; 8]; \
+             fn main() { g = 1; a[g] = g; print(a[g]); }",
+            &CompilerOptions {
+                mode: ManagementMode::Conventional,
+                ..CompilerOptions::default()
+            },
+        )
+        .unwrap();
+        let s = static_ref_stats(&c.program);
+        // Everything is Plain-flavoured...
+        assert_eq!(s.by_flavour[0], s.total());
+        // ...but the classification is still visible.
+        assert!(s.unambiguous > 0 && s.ambiguous > 0);
+    }
+
+    #[test]
+    fn enter_leave_counted_per_saved_word() {
+        let c = compile(
+            "fn leaf() { } fn main() { leaf(); }",
+            &CompilerOptions::default(),
+        )
+        .unwrap();
+        let s = static_ref_stats(&c.program);
+        // main (non-leaf): Enter = 2 stores, Leave = 2 loads.
+        // leaf: Enter = 1 store, Leave = 1 load.
+        assert_eq!(s.stores, 3);
+        assert_eq!(s.loads, 3);
+        assert_eq!(s.ambiguous, 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Convenience builder for constructing IR functions.
+
+use crate::func::{Function, SlotKind};
+use crate::ids::{BlockId, FuncId, SlotId, VReg};
+use crate::instr::{Instr, OpCode, Operand, Terminator};
+use crate::mem::{MemObject, MemRef};
+
+/// Incrementally builds one [`Function`].
+///
+/// The builder maintains a *current block*; instruction helpers append to it.
+/// Once a block is terminated, further instructions open a fresh
+/// (unreachable) block, which mirrors how dead code after `return` behaves.
+///
+/// # Example
+///
+/// ```rust
+/// use ucm_ir::builder::Builder;
+/// use ucm_ir::instr::OpCode;
+///
+/// let mut b = Builder::new("add2", true);
+/// let x = b.param();
+/// let r = b.binary(OpCode::Add, x, 2);
+/// b.ret(Some(r));
+/// let f = b.finish();
+/// assert_eq!(f.name, "add2");
+/// assert_eq!(f.instr_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Builder {
+    func: Function,
+    cur: BlockId,
+    terminated: Vec<bool>,
+}
+
+impl Builder {
+    /// Starts building a function.
+    pub fn new(name: impl Into<String>, returns_value: bool) -> Self {
+        let func = Function::new(name, returns_value);
+        Builder {
+            cur: func.entry,
+            terminated: vec![false],
+            func,
+        }
+    }
+
+    /// Declares the next parameter and returns its register.
+    pub fn param(&mut self) -> VReg {
+        let v = self.func.new_vreg();
+        self.func.params.push(v);
+        v
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn vreg(&mut self) -> VReg {
+        self.func.new_vreg()
+    }
+
+    /// Allocates a new block (does not switch to it).
+    pub fn block(&mut self) -> BlockId {
+        let b = self.func.new_block();
+        self.terminated.push(false);
+        b
+    }
+
+    /// Makes `b` the current block.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// The current block.
+    pub fn current(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Adds a frame slot.
+    pub fn slot(&mut self, name: impl Into<String>, words: usize, kind: SlotKind) -> SlotId {
+        self.func.new_slot(name, words, kind)
+    }
+
+    /// Appends `instr` to the current block (opening a fresh block first if
+    /// the current one is already terminated).
+    pub fn emit(&mut self, instr: Instr) {
+        if self.terminated[self.cur.index()] {
+            let b = self.block();
+            self.cur = b;
+        }
+        self.func.block_mut(self.cur).instrs.push(instr);
+    }
+
+    /// Emits `dst = const value` and returns `dst`.
+    pub fn const_(&mut self, value: i64) -> VReg {
+        let dst = self.vreg();
+        self.emit(Instr::Const { dst, value });
+        dst
+    }
+
+    /// Emits `dst = src` and returns `dst`.
+    pub fn copy(&mut self, src: VReg) -> VReg {
+        let dst = self.vreg();
+        self.emit(Instr::Copy { dst, src });
+        dst
+    }
+
+    /// Emits a copy into an existing register.
+    pub fn copy_to(&mut self, dst: VReg, src: VReg) {
+        self.emit(Instr::Copy { dst, src });
+    }
+
+    /// Emits `dst = op lhs rhs` and returns `dst`.
+    pub fn binary(&mut self, op: OpCode, lhs: VReg, rhs: impl Into<Operand>) -> VReg {
+        let dst = self.vreg();
+        self.emit(Instr::Binary {
+            dst,
+            op,
+            lhs,
+            rhs: rhs.into(),
+        });
+        dst
+    }
+
+    /// Emits `dst = -src` and returns `dst`.
+    pub fn neg(&mut self, src: VReg) -> VReg {
+        let dst = self.vreg();
+        self.emit(Instr::Neg { dst, src });
+        dst
+    }
+
+    /// Emits `dst = !src` (logical) and returns `dst`.
+    pub fn not(&mut self, src: VReg) -> VReg {
+        let dst = self.vreg();
+        self.emit(Instr::Not { dst, src });
+        dst
+    }
+
+    /// Emits `dst = &object` and returns `dst`.
+    pub fn addr_of(&mut self, object: MemObject) -> VReg {
+        let dst = self.vreg();
+        self.emit(Instr::AddrOf { dst, object });
+        dst
+    }
+
+    /// Emits a load and returns the destination register.
+    pub fn load(&mut self, mem: MemRef) -> VReg {
+        let dst = self.vreg();
+        self.emit(Instr::Load { dst, mem });
+        dst
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, src: VReg, mem: MemRef) {
+        self.emit(Instr::Store { src, mem });
+    }
+
+    /// Emits a call; returns the result register if `returns_value`.
+    pub fn call(&mut self, callee: FuncId, args: Vec<VReg>, returns_value: bool) -> Option<VReg> {
+        let dst = returns_value.then(|| self.vreg());
+        self.emit(Instr::Call { dst, callee, args });
+        dst
+    }
+
+    /// Emits `print src`.
+    pub fn print(&mut self, src: VReg) {
+        self.emit(Instr::Print { src });
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        if self.terminated[self.cur.index()] {
+            // Unreachable terminator (e.g. `break; continue;`): park it in a
+            // fresh dead block so the reachable CFG stays intact.
+            let b = self.block();
+            self.cur = b;
+        }
+        self.func.block_mut(self.cur).term = term;
+        self.terminated[self.cur.index()] = true;
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn branch(&mut self, cond: VReg, if_true: BlockId, if_false: BlockId) {
+        self.terminate(Terminator::Branch {
+            cond,
+            if_true,
+            if_false,
+        });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<VReg>) {
+        self.terminate(Terminator::Return(value));
+    }
+
+    /// Whether the current block already has a terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated[self.cur.index()]
+    }
+
+    /// Finishes the function. Unterminated blocks fall back to `return`
+    /// (with a zero value for value-returning functions, matching Mini's
+    /// "missing return yields 0" rule).
+    pub fn finish(mut self) -> Function {
+        for i in 0..self.func.blocks.len() {
+            if !self.terminated[i] {
+                if self.func.returns_value {
+                    let b = BlockId::from_index(i);
+                    let dst = self.func.new_vreg();
+                    self.func
+                        .block_mut(b)
+                        .instrs
+                        .push(Instr::Const { dst, value: 0 });
+                    self.func.block_mut(b).term = Terminator::Return(Some(dst));
+                } else {
+                    self.func.blocks[i].term = Terminator::Return(None);
+                }
+            }
+        }
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straightline_function() {
+        let mut b = Builder::new("f", true);
+        let x = b.param();
+        let y = b.binary(OpCode::Mul, x, x);
+        b.ret(Some(y));
+        let f = b.finish();
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.instr_count(), 1);
+        assert_eq!(f.block(f.entry).term, Terminator::Return(Some(y)));
+    }
+
+    #[test]
+    fn builds_diamond() {
+        let mut b = Builder::new("f", false);
+        let c = b.const_(1);
+        let t = b.block();
+        let e = b.block();
+        let j = b.block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        let v = b.const_(10);
+        b.print(v);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.block(f.entry).term.successors(), vec![t, e]);
+    }
+
+    #[test]
+    fn code_after_terminator_goes_to_dead_block() {
+        let mut b = Builder::new("f", false);
+        b.ret(None);
+        let v = b.const_(5);
+        b.print(v);
+        let f = b.finish();
+        // The entry block holds only the return; dead code landed elsewhere.
+        assert!(f.block(f.entry).instrs.is_empty());
+        assert_eq!(f.instr_count(), 2);
+    }
+
+    #[test]
+    fn double_terminator_does_not_overwrite() {
+        let mut b = Builder::new("f", false);
+        let target = b.block();
+        b.jump(target);
+        b.ret(None); // dead terminator
+        let f = b.finish();
+        assert_eq!(f.block(f.entry).term, Terminator::Jump(target));
+    }
+
+    #[test]
+    fn finish_seals_value_returning_function_with_zero() {
+        let b = Builder::new("f", true);
+        let f = b.finish();
+        match &f.block(f.entry).term {
+            Terminator::Return(Some(v)) => {
+                assert!(matches!(
+                    f.block(f.entry).instrs.last(),
+                    Some(Instr::Const { dst, value: 0 }) if dst == v
+                ));
+            }
+            other => panic!("expected return of zero, got {other:?}"),
+        }
+    }
+}

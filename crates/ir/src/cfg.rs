@@ -1,0 +1,167 @@
+//! Control-flow graph utilities: successors, predecessors, orderings.
+
+use crate::func::Function;
+use crate::ids::BlockId;
+
+/// Precomputed CFG adjacency for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func`.
+    pub fn new(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for bid in func.block_ids() {
+            for s in func.block(bid).term.successors() {
+                succs[bid.index()].push(s);
+                preds[s.index()].push(bid);
+            }
+        }
+        let rpo = compute_rpo(func, &succs);
+        Cfg { succs, preds, rpo }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks reachable from the entry, in reverse postorder.
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Blocks reachable from the entry, in postorder.
+    pub fn postorder(&self) -> Vec<BlockId> {
+        let mut po = self.rpo.clone();
+        po.reverse();
+        po
+    }
+
+    /// Whether `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo.contains(&b)
+    }
+
+    /// Number of blocks in the underlying function (including unreachable).
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+}
+
+fn compute_rpo(func: &Function, succs: &[Vec<BlockId>]) -> Vec<BlockId> {
+    let n = func.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with explicit stack: (block, next-successor-index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+    visited[func.entry.index()] = true;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let bs = &succs[b.index()];
+        if *i < bs.len() {
+            let s = bs[*i];
+            *i += 1;
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+
+    /// entry -> {t, e} -> join -> exit(return)
+    fn diamond() -> Function {
+        let mut b = Builder::new("f", false);
+        let c = b.const_(1);
+        let t = b.block();
+        let e = b.block();
+        let j = b.block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_adjacency() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(0)), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_ends_at_exit() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo[3], BlockId(3));
+        // RPO property: a block precedes its successors unless on a back edge.
+        let pos: Vec<_> = (0..4)
+            .map(|i| rpo.iter().position(|b| b.index() == i).unwrap())
+            .collect();
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_excluded_from_rpo() {
+        let mut b = Builder::new("f", false);
+        b.ret(None);
+        b.const_(1); // lands in a fresh unreachable block
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.reverse_postorder().len(), 1);
+        assert!(cfg.is_reachable(BlockId(0)));
+        assert!(!cfg.is_reachable(BlockId(1)));
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let mut b = Builder::new("f", false);
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.const_(1);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.preds(head).contains(&body));
+        assert!(cfg.preds(head).contains(&BlockId(0)));
+        assert_eq!(cfg.reverse_postorder().len(), 4);
+    }
+}

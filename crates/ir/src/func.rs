@@ -1,0 +1,216 @@
+//! Functions, basic blocks, and frame slots.
+
+use crate::ids::{BlockId, InstrRef, SlotId, VReg};
+use crate::instr::{Instr, Terminator};
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Instructions in execution order.
+    pub instrs: Vec<Instr>,
+    /// The terminator; [`Terminator::Return`] with no value until sealed.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// An empty block ending in a bare return (builder replaces it).
+    pub fn new() -> Self {
+        Block {
+            instrs: Vec::new(),
+            term: Terminator::Return(None),
+        }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block::new()
+    }
+}
+
+/// What a frame slot holds; drives alias classification and frame layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    /// An address-taken scalar local or parameter.
+    Scalar,
+    /// A local array.
+    Array,
+    /// A register-allocator spill slot (always unambiguous).
+    Spill,
+    /// A caller-save slot used to preserve a register across a call
+    /// (always unambiguous).
+    CallerSave,
+}
+
+/// One stack-frame slot group (1 word for scalars/spills, N for arrays).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameSlot {
+    /// Debug name.
+    pub name: String,
+    /// Size in words.
+    pub words: usize,
+    /// What the slot holds.
+    pub kind: SlotKind,
+}
+
+/// A function: blocks, parameters, and frame layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (unique within the module).
+    pub name: String,
+    /// Registers holding the incoming parameters, in order.
+    pub params: Vec<VReg>,
+    /// Whether the function returns a value.
+    pub returns_value: bool,
+    /// Basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// The entry block.
+    pub entry: BlockId,
+    /// Frame slots, indexed by [`SlotId`].
+    pub frame: Vec<FrameSlot>,
+    /// Number of virtual registers allocated so far.
+    pub num_vregs: u32,
+}
+
+impl Function {
+    /// Creates an empty function with a single entry block.
+    pub fn new(name: impl Into<String>, returns_value: bool) -> Self {
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            returns_value,
+            blocks: vec![Block::new()],
+            entry: BlockId(0),
+            frame: Vec::new(),
+            num_vregs: 0,
+        }
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_vreg(&mut self) -> VReg {
+        let v = VReg(self.num_vregs);
+        self.num_vregs += 1;
+        v
+    }
+
+    /// Allocates a new empty block and returns its id.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(Block::new());
+        id
+    }
+
+    /// Adds a frame slot, returning its id.
+    pub fn new_slot(&mut self, name: impl Into<String>, words: usize, kind: SlotKind) -> SlotId {
+        let id = SlotId::from_index(self.frame.len());
+        self.frame.push(FrameSlot {
+            name: name.into(),
+            words,
+            kind,
+        });
+        id
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (caller bug).
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (caller bug).
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterates over all block ids in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len()).map(BlockId::from_index)
+    }
+
+    /// Iterates over every instruction as `(InstrRef, &Instr)`.
+    pub fn instrs(&self) -> impl Iterator<Item = (InstrRef, &Instr)> + '_ {
+        self.block_ids().flat_map(move |bid| {
+            self.block(bid)
+                .instrs
+                .iter()
+                .enumerate()
+                .map(move |(i, instr)| (InstrRef::new(bid, i), instr))
+        })
+    }
+
+    /// The instruction at `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range (caller bug).
+    pub fn instr(&self, r: InstrRef) -> &Instr {
+        &self.block(r.block).instrs[r.index as usize]
+    }
+
+    /// Total instruction count (excluding terminators).
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// Total frame size in words.
+    pub fn frame_words(&self) -> usize {
+        self.frame.iter().map(|s| s.words).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+
+    #[test]
+    fn new_function_has_entry_block() {
+        let f = Function::new("f", false);
+        assert_eq!(f.entry, BlockId(0));
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.instr_count(), 0);
+    }
+
+    #[test]
+    fn vreg_and_block_allocation() {
+        let mut f = Function::new("f", true);
+        assert_eq!(f.new_vreg(), VReg(0));
+        assert_eq!(f.new_vreg(), VReg(1));
+        let b = f.new_block();
+        assert_eq!(b, BlockId(1));
+        assert_eq!(f.blocks.len(), 2);
+    }
+
+    #[test]
+    fn frame_slots_accumulate() {
+        let mut f = Function::new("f", false);
+        let a = f.new_slot("arr", 16, SlotKind::Array);
+        let s = f.new_slot("x", 1, SlotKind::Scalar);
+        assert_eq!(a, SlotId(0));
+        assert_eq!(s, SlotId(1));
+        assert_eq!(f.frame_words(), 17);
+    }
+
+    #[test]
+    fn instr_iteration_covers_all_blocks() {
+        let mut f = Function::new("f", false);
+        let v = f.new_vreg();
+        f.block_mut(BlockId(0))
+            .instrs
+            .push(Instr::Const { dst: v, value: 1 });
+        let b1 = f.new_block();
+        f.block_mut(b1).instrs.push(Instr::Print { src: v });
+        let refs: Vec<_> = f.instrs().map(|(r, _)| r).collect();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0], InstrRef::new(BlockId(0), 0));
+        assert_eq!(refs[1], InstrRef::new(b1, 0));
+        assert!(matches!(f.instr(refs[1]), Instr::Print { .. }));
+    }
+}

@@ -1,0 +1,113 @@
+//! Index newtypes used throughout the IR.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Converts to a `usize` for indexing.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a vector index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `i` exceeds `u32::MAX`.
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id overflow"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A virtual register. Functions have an unbounded supply; the register
+    /// allocator later maps these onto physical registers or spill slots.
+    VReg,
+    "v"
+);
+id_type!(
+    /// A basic block within a function.
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// A function within a module.
+    FuncId,
+    "fn"
+);
+id_type!(
+    /// A global variable within a module.
+    GlobalId,
+    "g"
+);
+id_type!(
+    /// A stack-frame slot group within a function (a local array, an
+    /// address-taken scalar, or a regalloc-created spill slot).
+    SlotId,
+    "slot"
+);
+
+/// Identifies one instruction inside a function: block plus position.
+///
+/// Terminators are addressed by `index == block.instrs.len()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstrRef {
+    /// Containing block.
+    pub block: BlockId,
+    /// Position within the block's instruction list.
+    pub index: u32,
+}
+
+impl InstrRef {
+    /// Creates an instruction reference.
+    pub fn new(block: BlockId, index: usize) -> Self {
+        InstrRef {
+            block,
+            index: u32::try_from(index).expect("instruction index overflow"),
+        }
+    }
+}
+
+impl fmt::Display for InstrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.block, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let v = VReg::from_index(17);
+        assert_eq!(v.index(), 17);
+        assert_eq!(v.to_string(), "v17");
+        assert_eq!(BlockId(3).to_string(), "bb3");
+        assert_eq!(GlobalId(0).to_string(), "g0");
+        assert_eq!(SlotId(2).to_string(), "slot2");
+        assert_eq!(FuncId(1).to_string(), "fn1");
+    }
+
+    #[test]
+    fn instr_ref_ordering_within_block() {
+        let a = InstrRef::new(BlockId(0), 1);
+        let b = InstrRef::new(BlockId(0), 2);
+        let c = InstrRef::new(BlockId(1), 0);
+        assert!(a < b && b < c);
+        assert_eq!(a.to_string(), "bb0[1]");
+    }
+}

@@ -1,0 +1,454 @@
+//! IR instructions and terminators.
+
+use crate::ids::{BlockId, FuncId, VReg};
+use crate::mem::MemRef;
+use std::fmt;
+
+/// A scalar binary operation. `&&`/`||` do not appear: the front end lowers
+/// them to control flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpCode {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Truncating division; the VM traps on a zero divisor.
+    Div,
+    /// Remainder; the VM traps on a zero divisor.
+    Rem,
+    /// Equality (yields 0/1).
+    Eq,
+    /// Inequality (yields 0/1).
+    Ne,
+    /// Signed less-than (yields 0/1).
+    Lt,
+    /// Signed less-or-equal (yields 0/1).
+    Le,
+    /// Signed greater-than (yields 0/1).
+    Gt,
+    /// Signed greater-or-equal (yields 0/1).
+    Ge,
+}
+
+impl OpCode {
+    /// Evaluates the operation on constants, as the VM would.
+    ///
+    /// Returns `None` for division/remainder by zero.
+    pub fn eval(self, a: i64, b: i64) -> Option<i64> {
+        Some(match self {
+            OpCode::Add => a.wrapping_add(b),
+            OpCode::Sub => a.wrapping_sub(b),
+            OpCode::Mul => a.wrapping_mul(b),
+            OpCode::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            OpCode::Rem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            OpCode::Eq => i64::from(a == b),
+            OpCode::Ne => i64::from(a != b),
+            OpCode::Lt => i64::from(a < b),
+            OpCode::Le => i64::from(a <= b),
+            OpCode::Gt => i64::from(a > b),
+            OpCode::Ge => i64::from(a >= b),
+        })
+    }
+}
+
+impl fmt::Display for OpCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpCode::Add => "add",
+            OpCode::Sub => "sub",
+            OpCode::Mul => "mul",
+            OpCode::Div => "div",
+            OpCode::Rem => "rem",
+            OpCode::Eq => "eq",
+            OpCode::Ne => "ne",
+            OpCode::Lt => "lt",
+            OpCode::Le => "le",
+            OpCode::Gt => "gt",
+            OpCode::Ge => "ge",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A right-hand operand: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(VReg),
+    /// An immediate constant.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register, if this operand is one.
+    pub fn as_reg(&self) -> Option<VReg> {
+        match self {
+            Operand::Reg(v) => Some(*v),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<VReg> for Operand {
+    fn from(v: VReg) -> Self {
+        Operand::Reg(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(v) => write!(f, "{v}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// A non-terminator IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = value`
+    Const {
+        /// Destination register.
+        dst: VReg,
+        /// Constant value.
+        value: i64,
+    },
+    /// `dst = src`
+    Copy {
+        /// Destination register.
+        dst: VReg,
+        /// Source register.
+        src: VReg,
+    },
+    /// `dst = op lhs rhs`
+    Binary {
+        /// Destination register.
+        dst: VReg,
+        /// Operation.
+        op: OpCode,
+        /// Left operand.
+        lhs: VReg,
+        /// Right operand (register or immediate).
+        rhs: Operand,
+    },
+    /// `dst = -src`
+    Neg {
+        /// Destination register.
+        dst: VReg,
+        /// Source register.
+        src: VReg,
+    },
+    /// `dst = (src == 0) ? 1 : 0`
+    Not {
+        /// Destination register.
+        dst: VReg,
+        /// Source register.
+        src: VReg,
+    },
+    /// `dst = &object` — materializes the address of a global or frame slot.
+    AddrOf {
+        /// Destination register.
+        dst: VReg,
+        /// The object whose address is taken.
+        object: crate::mem::MemObject,
+    },
+    /// `dst = load mem` — a data memory read.
+    Load {
+        /// Destination register.
+        dst: VReg,
+        /// Address + aliased-object name.
+        mem: MemRef,
+    },
+    /// `store src -> mem` — a data memory write.
+    Store {
+        /// Value to store.
+        src: VReg,
+        /// Address + aliased-object name.
+        mem: MemRef,
+    },
+    /// `dst = call callee(args...)`
+    Call {
+        /// Destination register, if the callee returns a value *and* the
+        /// result is used.
+        dst: Option<VReg>,
+        /// The called function.
+        callee: FuncId,
+        /// Argument registers, in order.
+        args: Vec<VReg>,
+    },
+    /// `print src` — appends one integer to the program output.
+    Print {
+        /// Value to print.
+        src: VReg,
+    },
+}
+
+impl Instr {
+    /// The register this instruction defines, if any.
+    pub fn def(&self) -> Option<VReg> {
+        match self {
+            Instr::Const { dst, .. }
+            | Instr::Copy { dst, .. }
+            | Instr::Binary { dst, .. }
+            | Instr::Neg { dst, .. }
+            | Instr::Not { dst, .. }
+            | Instr::AddrOf { dst, .. }
+            | Instr::Load { dst, .. } => Some(*dst),
+            Instr::Call { dst, .. } => *dst,
+            Instr::Store { .. } | Instr::Print { .. } => None,
+        }
+    }
+
+    /// Appends the registers this instruction uses to `out`.
+    pub fn uses_into(&self, out: &mut Vec<VReg>) {
+        match self {
+            Instr::Const { .. } | Instr::AddrOf { .. } => {}
+            Instr::Copy { src, .. } | Instr::Neg { src, .. } | Instr::Not { src, .. } => {
+                out.push(*src)
+            }
+            Instr::Binary { lhs, rhs, .. } => {
+                out.push(*lhs);
+                if let Operand::Reg(r) = rhs {
+                    out.push(*r);
+                }
+            }
+            Instr::Load { mem, .. } => {
+                if let Some(r) = mem.addr_reg() {
+                    out.push(r);
+                }
+            }
+            Instr::Store { src, mem } => {
+                out.push(*src);
+                if let Some(r) = mem.addr_reg() {
+                    out.push(r);
+                }
+            }
+            Instr::Call { args, .. } => out.extend_from_slice(args),
+            Instr::Print { src } => out.push(*src),
+        }
+    }
+
+    /// The registers this instruction uses.
+    pub fn uses(&self) -> Vec<VReg> {
+        let mut out = Vec::new();
+        self.uses_into(&mut out);
+        out
+    }
+
+    /// The memory reference, if this is a load or store.
+    pub fn mem(&self) -> Option<&MemRef> {
+        match self {
+            Instr::Load { mem, .. } | Instr::Store { mem, .. } => Some(mem),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for loads and stores.
+    pub fn is_memory(&self) -> bool {
+        self.mem().is_some()
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Const { dst, value } => write!(f, "{dst} = const {value}"),
+            Instr::Copy { dst, src } => write!(f, "{dst} = {src}"),
+            Instr::Binary { dst, op, lhs, rhs } => write!(f, "{dst} = {op} {lhs}, {rhs}"),
+            Instr::Neg { dst, src } => write!(f, "{dst} = neg {src}"),
+            Instr::Not { dst, src } => write!(f, "{dst} = not {src}"),
+            Instr::AddrOf { dst, object } => write!(f, "{dst} = addr {object}"),
+            Instr::Load { dst, mem } => write!(f, "{dst} = load {mem}"),
+            Instr::Store { src, mem } => write!(f, "store {src} -> {mem}"),
+            Instr::Call { dst, callee, args } => {
+                if let Some(dst) = dst {
+                    write!(f, "{dst} = call {callee}(")?;
+                } else {
+                    write!(f, "call {callee}(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Instr::Print { src } => write!(f, "print {src}"),
+        }
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// Condition register.
+        cond: VReg,
+        /// Target when `cond != 0`.
+        if_true: BlockId,
+        /// Target when `cond == 0`.
+        if_false: BlockId,
+    },
+    /// Function return, with optional value.
+    Return(Option<VReg>),
+}
+
+impl Terminator {
+    /// Successor blocks, in branch order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                if_true, if_false, ..
+            } => vec![*if_true, *if_false],
+            Terminator::Return(_) => vec![],
+        }
+    }
+
+    /// Registers used by the terminator.
+    pub fn uses(&self) -> Vec<VReg> {
+        match self {
+            Terminator::Jump(_) => vec![],
+            Terminator::Branch { cond, .. } => vec![*cond],
+            Terminator::Return(Some(v)) => vec![*v],
+            Terminator::Return(None) => vec![],
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(b) => write!(f, "jump {b}"),
+            Terminator::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => write!(f, "branch {cond} ? {if_true} : {if_false}"),
+            Terminator::Return(Some(v)) => write!(f, "return {v}"),
+            Terminator::Return(None) => write!(f, "return"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{GlobalId, SlotId};
+    use crate::mem::{MemObject, MemRef};
+
+    #[test]
+    fn opcode_eval_matches_semantics() {
+        assert_eq!(OpCode::Add.eval(2, 3), Some(5));
+        assert_eq!(OpCode::Sub.eval(2, 3), Some(-1));
+        assert_eq!(OpCode::Mul.eval(-4, 3), Some(-12));
+        assert_eq!(OpCode::Div.eval(7, 2), Some(3));
+        assert_eq!(OpCode::Div.eval(-7, 2), Some(-3));
+        assert_eq!(OpCode::Rem.eval(7, 2), Some(1));
+        assert_eq!(OpCode::Rem.eval(-7, 2), Some(-1));
+        assert_eq!(OpCode::Div.eval(1, 0), None);
+        assert_eq!(OpCode::Rem.eval(1, 0), None);
+        assert_eq!(OpCode::Lt.eval(1, 2), Some(1));
+        assert_eq!(OpCode::Ge.eval(1, 2), Some(0));
+        assert_eq!(OpCode::Add.eval(i64::MAX, 1), Some(i64::MIN));
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let v = |n| VReg(n);
+        let i = Instr::Binary {
+            dst: v(0),
+            op: OpCode::Add,
+            lhs: v(1),
+            rhs: Operand::Reg(v(2)),
+        };
+        assert_eq!(i.def(), Some(v(0)));
+        assert_eq!(i.uses(), vec![v(1), v(2)]);
+
+        let i = Instr::Binary {
+            dst: v(0),
+            op: OpCode::Add,
+            lhs: v(1),
+            rhs: Operand::Imm(5),
+        };
+        assert_eq!(i.uses(), vec![v(1)]);
+
+        let st = Instr::Store {
+            src: v(3),
+            mem: MemRef::elem(v(4), MemObject::Global(GlobalId(0))),
+        };
+        assert_eq!(st.def(), None);
+        assert_eq!(st.uses(), vec![v(3), v(4)]);
+        assert!(st.is_memory());
+
+        let ld = Instr::Load {
+            dst: v(5),
+            mem: MemRef::spill(SlotId(0)),
+        };
+        assert_eq!(ld.def(), Some(v(5)));
+        assert!(ld.uses().is_empty());
+
+        let call = Instr::Call {
+            dst: Some(v(6)),
+            callee: FuncId(0),
+            args: vec![v(7), v(8)],
+        };
+        assert_eq!(call.def(), Some(v(6)));
+        assert_eq!(call.uses(), vec![v(7), v(8)]);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump(BlockId(3)).successors(), vec![BlockId(3)]);
+        let b = Terminator::Branch {
+            cond: VReg(0),
+            if_true: BlockId(1),
+            if_false: BlockId(2),
+        };
+        assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(b.uses(), vec![VReg(0)]);
+        assert!(Terminator::Return(None).successors().is_empty());
+        assert_eq!(Terminator::Return(Some(VReg(9))).uses(), vec![VReg(9)]);
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = VReg(3).into();
+        assert_eq!(o.as_reg(), Some(VReg(3)));
+        let o: Operand = 42i64.into();
+        assert_eq!(o.as_reg(), None);
+        assert_eq!(o.to_string(), "42");
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instr::Load {
+            dst: VReg(1),
+            mem: MemRef::scalar(MemObject::Global(GlobalId(2))),
+        };
+        assert_eq!(i.to_string(), "v1 = load &g2 (scalar g2)");
+    }
+}

@@ -1,0 +1,46 @@
+//! # ucm-ir — three-address IR with named memory references
+//!
+//! The intermediate representation for the reproduction of *Chi & Dietz,
+//! PLDI 1989*. Its defining feature is that every load and store carries a
+//! symbolic **aliased-object name** ([`mem::RefName`]) in addition to its
+//! address computation, which is what the paper's alias-set construction
+//! (§4.1) operates on.
+//!
+//! * [`lower::lower`] converts a checked Mini program into a [`module::Module`].
+//! * [`builder::Builder`] constructs functions programmatically (tests, tools).
+//! * [`cfg::Cfg`] provides successor/predecessor/RPO views.
+//! * [`verify::verify_module`] checks structural invariants after each pass.
+//!
+//! ## Example
+//!
+//! ```rust
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let checked = ucm_lang::parse_and_check(
+//!     "global a: [int; 4]; fn main() { a[0] = 1; print(a[0]); }",
+//! )?;
+//! let module = ucm_ir::lower(&checked)?;
+//! ucm_ir::verify_module(&module)?;
+//! println!("{}", ucm_ir::print::module_to_string(&module));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod func;
+pub mod ids;
+pub mod instr;
+pub mod lower;
+pub mod mem;
+pub mod module;
+pub mod print;
+pub mod verify;
+
+pub use cfg::Cfg;
+pub use func::{Block, FrameSlot, Function, SlotKind};
+pub use ids::{BlockId, FuncId, GlobalId, InstrRef, SlotId, VReg};
+pub use instr::{Instr, OpCode, Operand, Terminator};
+pub use lower::{lower, lower_with, LowerError, LowerOptions};
+pub use mem::{MemAddr, MemObject, MemRef, RefName};
+pub use module::{GlobalVar, Module};
+pub use verify::{verify_module, VerifyError};

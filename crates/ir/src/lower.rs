@@ -1,0 +1,919 @@
+//! Lowering from checked Mini ASTs to IR.
+//!
+//! The lowering fixes the memory model the unified-management analysis relies
+//! on:
+//!
+//! * Scalars whose address is never taken live in **virtual registers** and
+//!   generate no IR memory traffic (their residual traffic appears later as
+//!   register spills and caller saves).
+//! * Scalar **globals** are loaded/stored at each access (candidate
+//!   unambiguous references).
+//! * **Arrays** (global or local) and **address-taken scalars** live in
+//!   memory; every access carries a symbolic [`RefName`](crate::mem::RefName) for alias analysis.
+//! * `&&`/`||` lower to control flow; `for`/`while` to the usual loop shapes.
+
+use crate::builder::Builder;
+use crate::func::SlotKind;
+use crate::ids::{FuncId, GlobalId, SlotId, VReg};
+use crate::instr::OpCode;
+use crate::mem::{MemObject, MemRef};
+use crate::module::{GlobalVar, Module};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use ucm_lang::ast::{self, BinOp, Block as AstBlock, Expr, ExprKind, Stmt, StmtKind, UnOp};
+use ucm_lang::check::VarTarget;
+use ucm_lang::types::Type;
+use ucm_lang::CheckedProgram;
+
+/// Lowering failure (currently only a missing `main`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering failed: {}", self.message)
+    }
+}
+
+impl Error for LowerError {}
+
+/// Lowering options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerOptions {
+    /// When `true` (default), scalars whose address is never taken live in
+    /// virtual registers. When `false`, every scalar local and parameter
+    /// lives in a frame slot and is loaded/stored at each access — the
+    /// codegen style of the unoptimizing late-1980s compilers the paper
+    /// measured, where scalar stack traffic dominates the dynamic reference
+    /// mix.
+    pub promote_scalars: bool,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions {
+            promote_scalars: true,
+        }
+    }
+}
+
+/// Lowers a checked program to an IR module with default options.
+///
+/// # Errors
+///
+/// Returns an error if the program has no `main` function or `main` has
+/// parameters / returns a value.
+pub fn lower(checked: &CheckedProgram) -> Result<Module, LowerError> {
+    lower_with(checked, &LowerOptions::default())
+}
+
+/// Lowers a checked program with explicit [`LowerOptions`].
+///
+/// # Errors
+///
+/// Returns an error if the program has no `main` function or `main` has
+/// parameters / returns a value.
+pub fn lower_with(
+    checked: &CheckedProgram,
+    options: &LowerOptions,
+) -> Result<Module, LowerError> {
+    let Some(main_idx) = checked.ast.funcs.iter().position(|f| f.name == "main") else {
+        return Err(LowerError {
+            message: "program has no `main` function".into(),
+        });
+    };
+    let main_fn = &checked.ast.funcs[main_idx];
+    if !main_fn.params.is_empty() || main_fn.returns_value {
+        return Err(LowerError {
+            message: "`main` must take no parameters and return nothing".into(),
+        });
+    }
+
+    let globals = checked
+        .ast
+        .globals
+        .iter()
+        .map(|g| {
+            let ty = Type::from(&g.ty);
+            GlobalVar {
+                name: g.name.clone(),
+                words: ty.size_in_words(),
+                is_scalar: ty.is_scalar(),
+                init: g.init.unwrap_or(0),
+            }
+        })
+        .collect();
+
+    let mut module = Module {
+        globals,
+        funcs: Vec::with_capacity(checked.ast.funcs.len()),
+        main: FuncId::from_index(main_idx),
+    };
+    for (i, f) in checked.ast.funcs.iter().enumerate() {
+        let lowered = FuncLowerer::new(checked, i, f, options.promote_scalars).run();
+        module.funcs.push(lowered);
+    }
+    Ok(module)
+}
+
+/// Where an expression's address lands, with alias provenance.
+enum AddrInfo {
+    /// Address register plus the array object it points into.
+    Obj(VReg, MemObject),
+    /// Address register derived from a pointer value register.
+    Ptr(VReg, VReg),
+}
+
+impl AddrInfo {
+    fn mem_ref(&self) -> MemRef {
+        match *self {
+            AddrInfo::Obj(addr, obj) => MemRef::elem(addr, obj),
+            AddrInfo::Ptr(addr, ptr) => MemRef::deref(addr, ptr),
+        }
+    }
+
+    fn addr(&self) -> VReg {
+        match *self {
+            AddrInfo::Obj(a, _) | AddrInfo::Ptr(a, _) => a,
+        }
+    }
+}
+
+/// Storage assigned to a local or parameter.
+#[derive(Clone, Copy)]
+enum VarPlace {
+    /// Lives in a virtual register.
+    Reg(VReg),
+    /// Lives in a frame slot (array or address-taken scalar).
+    Slot(SlotId),
+}
+
+struct FuncLowerer<'a> {
+    checked: &'a CheckedProgram,
+    fn_index: usize,
+    decl: &'a ast::FuncDecl,
+    b: Builder,
+    locals: HashMap<usize, VarPlace>,
+    params: HashMap<usize, VarPlace>,
+    /// (continue target, break target) stack.
+    loops: Vec<(crate::ids::BlockId, crate::ids::BlockId)>,
+    addr_taken_locals: HashSet<usize>,
+    addr_taken_params: HashSet<usize>,
+    promote: bool,
+}
+
+impl<'a> FuncLowerer<'a> {
+    fn new(
+        checked: &'a CheckedProgram,
+        fn_index: usize,
+        decl: &'a ast::FuncDecl,
+        promote: bool,
+    ) -> Self {
+        let mut this = FuncLowerer {
+            checked,
+            fn_index,
+            decl,
+            b: Builder::new(decl.name.clone(), decl.returns_value),
+            locals: HashMap::new(),
+            params: HashMap::new(),
+            loops: Vec::new(),
+            addr_taken_locals: HashSet::new(),
+            addr_taken_params: HashSet::new(),
+            promote,
+        };
+        this.scan_addr_taken(&decl.body);
+        this
+    }
+
+    /// Records which locals/params have their address taken anywhere in the
+    /// body; those must live in memory.
+    fn scan_addr_taken(&mut self, block: &AstBlock) {
+        for stmt in &block.stmts {
+            self.scan_stmt(stmt);
+        }
+    }
+
+    fn scan_stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Let { init, .. } => {
+                if let Some(e) = init {
+                    self.scan_expr(e);
+                }
+            }
+            StmtKind::Assign { target, value } => {
+                self.scan_expr(target);
+                self.scan_expr(value);
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.scan_expr(cond);
+                self.scan_addr_taken(then_blk);
+                if let Some(e) = else_blk {
+                    self.scan_addr_taken(e);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.scan_expr(cond);
+                self.scan_addr_taken(body);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(s) = init {
+                    self.scan_stmt(s);
+                }
+                if let Some(c) = cond {
+                    self.scan_expr(c);
+                }
+                if let Some(s) = step {
+                    self.scan_stmt(s);
+                }
+                self.scan_addr_taken(body);
+            }
+            StmtKind::Return(Some(e)) | StmtKind::Print(e) | StmtKind::Expr(e) => {
+                self.scan_expr(e)
+            }
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+        }
+    }
+
+    fn scan_expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::AddrOf(inner) => {
+                if let ExprKind::Var(_) = &inner.kind {
+                    match self.checked.info.var_refs[&inner.id] {
+                        VarTarget::Local(i) => {
+                            self.addr_taken_locals.insert(i);
+                        }
+                        VarTarget::Param(i) => {
+                            self.addr_taken_params.insert(i);
+                        }
+                        VarTarget::Global(_) => {
+                            // Handled by alias analysis via the AddrOf instr.
+                        }
+                    }
+                }
+                self.scan_expr(inner);
+            }
+            ExprKind::Unary(_, a) | ExprKind::Deref(a) => self.scan_expr(a),
+            ExprKind::Binary(_, a, b2) | ExprKind::Index(a, b2) => {
+                self.scan_expr(a);
+                self.scan_expr(b2);
+            }
+            ExprKind::Call(_, args) => args.iter().for_each(|a| self.scan_expr(a)),
+            ExprKind::IntLit(_) | ExprKind::Var(_) => {}
+        }
+    }
+
+    fn ty(&self, e: &Expr) -> &Type {
+        self.checked.type_of(e.id)
+    }
+
+    fn run(mut self) -> crate::func::Function {
+        // Parameters: registers, copied to a frame slot when address-taken
+        // (or always, when scalar promotion is off).
+        for (i, p) in self.decl.params.iter().enumerate() {
+            let v = self.b.param();
+            if !self.promote || self.addr_taken_params.contains(&i) {
+                let slot = self.b.slot(p.name.clone(), 1, SlotKind::Scalar);
+                self.b.store(v, MemRef::scalar(MemObject::Frame(slot)));
+                self.params.insert(i, VarPlace::Slot(slot));
+            } else {
+                self.params.insert(i, VarPlace::Reg(v));
+            }
+        }
+        let body = self.decl.body.clone();
+        self.lower_block(&body);
+        if !self.b.is_terminated() {
+            if self.decl.returns_value {
+                let zero = self.b.const_(0);
+                self.b.ret(Some(zero));
+            } else {
+                self.b.ret(None);
+            }
+        }
+        self.b.finish()
+    }
+
+    fn lower_block(&mut self, block: &AstBlock) {
+        for stmt in &block.stmts {
+            self.lower_stmt(stmt);
+        }
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Let { name, ty, init } => {
+                let sem_ty = Type::from(ty);
+                // Recover this declaration's slot index: checker assigned
+                // locals in declaration order; find the next unassigned one
+                // with this name. Because lowering walks in the same order,
+                // the first unbound matching index is correct.
+                let idx = self
+                    .checked
+                    .info
+                    .fn_locals[self.fn_index]
+                    .iter()
+                    .enumerate()
+                    .position(|(i, li)| li.name == *name && !self.locals.contains_key(&i))
+                    .expect("checker recorded every local");
+                if !sem_ty.is_scalar() {
+                    let slot =
+                        self.b
+                            .slot(name.clone(), sem_ty.size_in_words(), SlotKind::Array);
+                    self.locals.insert(idx, VarPlace::Slot(slot));
+                } else if !self.promote || self.addr_taken_locals.contains(&idx) {
+                    let slot = self.b.slot(name.clone(), 1, SlotKind::Scalar);
+                    let v = match init {
+                        Some(e) => self.eval(e),
+                        None => self.b.const_(0),
+                    };
+                    self.b.store(v, MemRef::scalar(MemObject::Frame(slot)));
+                    self.locals.insert(idx, VarPlace::Slot(slot));
+                } else {
+                    let dst = self.b.vreg();
+                    match init {
+                        Some(e) => {
+                            let v = self.eval(e);
+                            self.b.copy_to(dst, v);
+                        }
+                        None => {
+                            self.b.emit(crate::instr::Instr::Const { dst, value: 0 });
+                        }
+                    }
+                    self.locals.insert(idx, VarPlace::Reg(dst));
+                }
+            }
+            StmtKind::Assign { target, value } => self.lower_assign(target, value),
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = self.eval(cond);
+                let then_bb = self.b.block();
+                let join = self.b.block();
+                let else_bb = if else_blk.is_some() { self.b.block() } else { join };
+                self.b.branch(c, then_bb, else_bb);
+                self.b.switch_to(then_bb);
+                self.lower_block(then_blk);
+                if !self.b.is_terminated() {
+                    self.b.jump(join);
+                }
+                if let Some(else_blk) = else_blk {
+                    self.b.switch_to(else_bb);
+                    self.lower_block(else_blk);
+                    if !self.b.is_terminated() {
+                        self.b.jump(join);
+                    }
+                }
+                self.b.switch_to(join);
+            }
+            StmtKind::While { cond, body } => {
+                let head = self.b.block();
+                let body_bb = self.b.block();
+                let exit = self.b.block();
+                self.b.jump(head);
+                self.b.switch_to(head);
+                let c = self.eval(cond);
+                self.b.branch(c, body_bb, exit);
+                self.b.switch_to(body_bb);
+                self.loops.push((head, exit));
+                self.lower_block(body);
+                self.loops.pop();
+                if !self.b.is_terminated() {
+                    self.b.jump(head);
+                }
+                self.b.switch_to(exit);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(s) = init {
+                    self.lower_stmt(s);
+                }
+                let head = self.b.block();
+                let body_bb = self.b.block();
+                let step_bb = self.b.block();
+                let exit = self.b.block();
+                self.b.jump(head);
+                self.b.switch_to(head);
+                match cond {
+                    Some(c) => {
+                        let v = self.eval(c);
+                        self.b.branch(v, body_bb, exit);
+                    }
+                    None => self.b.jump(body_bb),
+                }
+                self.b.switch_to(body_bb);
+                self.loops.push((step_bb, exit));
+                self.lower_block(body);
+                self.loops.pop();
+                if !self.b.is_terminated() {
+                    self.b.jump(step_bb);
+                }
+                self.b.switch_to(step_bb);
+                if let Some(s) = step {
+                    self.lower_stmt(s);
+                }
+                self.b.jump(head);
+                self.b.switch_to(exit);
+            }
+            StmtKind::Return(value) => {
+                let v = value.as_ref().map(|e| self.eval(e));
+                self.b.ret(v);
+            }
+            StmtKind::Break => {
+                let (_, exit) = *self.loops.last().expect("checker validated break");
+                self.b.jump(exit);
+            }
+            StmtKind::Continue => {
+                let (cont, _) = *self.loops.last().expect("checker validated continue");
+                self.b.jump(cont);
+            }
+            StmtKind::Print(e) => {
+                let v = self.eval(e);
+                self.b.print(v);
+            }
+            StmtKind::Expr(e) => {
+                let ExprKind::Call(_, args) = &e.kind else {
+                    unreachable!("checker only allows calls as expression statements");
+                };
+                let callee = self.checked.info.call_targets[&e.id];
+                let arg_regs: Vec<VReg> = args.iter().map(|a| self.eval(a)).collect();
+                // Discard the result even if the callee returns one.
+                self.b.call(FuncId::from_index(callee), arg_regs, false);
+            }
+        }
+    }
+
+    fn lower_assign(&mut self, target: &Expr, value: &Expr) {
+        match &target.kind {
+            ExprKind::Var(_) => {
+                match self.var_place(target) {
+                    PlaceResolved::Reg(dst) => {
+                        let v = self.eval(value);
+                        self.b.copy_to(dst, v);
+                    }
+                    PlaceResolved::Mem(mem) => {
+                        let v = self.eval(value);
+                        self.b.store(v, mem);
+                    }
+                    PlaceResolved::ArrayBase(..) => {
+                        unreachable!("checker rejects assignment to arrays")
+                    }
+                }
+            }
+            ExprKind::Index(..) | ExprKind::Deref(_) => {
+                let addr = self.lower_addr(target);
+                let v = self.eval(value);
+                self.b.store(v, addr.mem_ref());
+            }
+            _ => unreachable!("parser only accepts lvalues on the left"),
+        }
+    }
+
+    /// Evaluates `e` as an rvalue into a register. Array-typed expressions
+    /// decay to their base address.
+    fn eval(&mut self, e: &Expr) -> VReg {
+        match &e.kind {
+            ExprKind::IntLit(v) => self.b.const_(*v),
+            ExprKind::Var(_) => match self.var_place(e) {
+                PlaceResolved::Reg(v) => v,
+                PlaceResolved::Mem(mem) => self.b.load(mem),
+                PlaceResolved::ArrayBase(obj) => self.b.addr_of(obj),
+            },
+            ExprKind::Unary(UnOp::Neg, a) => {
+                let v = self.eval(a);
+                self.b.neg(v)
+            }
+            ExprKind::Unary(UnOp::Not, a) => {
+                let v = self.eval(a);
+                self.b.not(v)
+            }
+            ExprKind::Binary(BinOp::And, lhs, rhs) => self.lower_short_circuit(lhs, rhs, true),
+            ExprKind::Binary(BinOp::Or, lhs, rhs) => self.lower_short_circuit(lhs, rhs, false),
+            ExprKind::Binary(op, lhs, rhs) => {
+                let a = self.eval(lhs);
+                let b2 = self.eval(rhs);
+                let op = match op {
+                    BinOp::Add => OpCode::Add,
+                    BinOp::Sub => OpCode::Sub,
+                    BinOp::Mul => OpCode::Mul,
+                    BinOp::Div => OpCode::Div,
+                    BinOp::Rem => OpCode::Rem,
+                    BinOp::Eq => OpCode::Eq,
+                    BinOp::Ne => OpCode::Ne,
+                    BinOp::Lt => OpCode::Lt,
+                    BinOp::Le => OpCode::Le,
+                    BinOp::Gt => OpCode::Gt,
+                    BinOp::Ge => OpCode::Ge,
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                };
+                self.b.binary(op, a, b2)
+            }
+            ExprKind::Call(_, args) => {
+                let callee = self.checked.info.call_targets[&e.id];
+                let arg_regs: Vec<VReg> = args.iter().map(|a| self.eval(a)).collect();
+                self.b
+                    .call(FuncId::from_index(callee), arg_regs, true)
+                    .expect("value-context calls return a value")
+            }
+            ExprKind::Index(..) => {
+                if self.ty(e).is_scalar() {
+                    let addr = self.lower_addr(e);
+                    self.b.load(addr.mem_ref())
+                } else {
+                    // Partial index of a multi-dimensional array: the value
+                    // *is* the address (array decay).
+                    self.lower_addr(e).addr()
+                }
+            }
+            ExprKind::Deref(_) => {
+                let addr = self.lower_addr(e);
+                self.b.load(addr.mem_ref())
+            }
+            ExprKind::AddrOf(inner) => match &inner.kind {
+                ExprKind::Var(_) => match self.var_place(inner) {
+                    PlaceResolved::Reg(_) => {
+                        unreachable!("address-taken scalars live in frame slots")
+                    }
+                    PlaceResolved::Mem(mem) => match mem.addr {
+                        crate::mem::MemAddr::Object(obj) => self.b.addr_of(obj),
+                        crate::mem::MemAddr::Reg(r) => r,
+                    },
+                    PlaceResolved::ArrayBase(obj) => self.b.addr_of(obj),
+                },
+                ExprKind::Index(..) | ExprKind::Deref(_) => self.lower_addr(inner).addr(),
+                _ => unreachable!("parser restricts `&` to lvalues"),
+            },
+        }
+    }
+
+    /// Short-circuit `&&` (and=true) / `||` (and=false), yielding 0/1.
+    fn lower_short_circuit(&mut self, lhs: &Expr, rhs: &Expr, and: bool) -> VReg {
+        let result = self.b.vreg();
+        let l = self.eval(lhs);
+        let rhs_bb = self.b.block();
+        let short_bb = self.b.block();
+        let join = self.b.block();
+        if and {
+            self.b.branch(l, rhs_bb, short_bb);
+        } else {
+            self.b.branch(l, short_bb, rhs_bb);
+        }
+        self.b.switch_to(short_bb);
+        self.b.emit(crate::instr::Instr::Const {
+            dst: result,
+            value: i64::from(!and),
+        });
+        self.b.jump(join);
+        self.b.switch_to(rhs_bb);
+        let r = self.eval(rhs);
+        let zero = self.b.const_(0);
+        let norm = self.b.binary(OpCode::Ne, r, zero);
+        self.b.copy_to(result, norm);
+        self.b.jump(join);
+        self.b.switch_to(join);
+        result
+    }
+
+    /// Computes the address (and provenance) of an indexable/deref lvalue.
+    fn lower_addr(&mut self, e: &Expr) -> AddrInfo {
+        match &e.kind {
+            ExprKind::Deref(ptr) => {
+                let p = self.eval(ptr);
+                AddrInfo::Ptr(p, p)
+            }
+            ExprKind::Index(base, index) => {
+                let elem_words = self
+                    .ty(base)
+                    .index_elem()
+                    .expect("checker validated indexing")
+                    .size_in_words() as i64;
+                let base_info = self.lower_base_addr(base);
+                let idx = self.eval(index);
+                let offset = if elem_words == 1 {
+                    idx
+                } else {
+                    self.b.binary(OpCode::Mul, idx, elem_words)
+                };
+                match base_info {
+                    AddrInfo::Obj(base_addr, obj) => {
+                        let addr = self.b.binary(OpCode::Add, base_addr, offset);
+                        AddrInfo::Obj(addr, obj)
+                    }
+                    AddrInfo::Ptr(base_addr, ptr) => {
+                        let addr = self.b.binary(OpCode::Add, base_addr, offset);
+                        AddrInfo::Ptr(addr, ptr)
+                    }
+                }
+            }
+            _ => unreachable!("lower_addr only sees Index/Deref"),
+        }
+    }
+
+    /// Address of the base of an indexing chain.
+    fn lower_base_addr(&mut self, base: &Expr) -> AddrInfo {
+        match self.ty(base) {
+            Type::Array(..) => match &base.kind {
+                ExprKind::Var(_) => match self.var_place(base) {
+                    PlaceResolved::ArrayBase(obj) => {
+                        let a = self.b.addr_of(obj);
+                        AddrInfo::Obj(a, obj)
+                    }
+                    _ => unreachable!("array vars resolve to array bases"),
+                },
+                ExprKind::Index(..) => self.lower_addr(base),
+                _ => unreachable!("only vars and indexes have array type"),
+            },
+            Type::Ptr => {
+                let p = self.eval(base);
+                AddrInfo::Ptr(p, p)
+            }
+            Type::Int => unreachable!("checker rejects indexing ints"),
+        }
+    }
+
+    /// Resolves a `Var` expression to its storage.
+    fn var_place(&mut self, e: &Expr) -> PlaceResolved {
+        let target = self.checked.info.var_refs[&e.id];
+        match target {
+            VarTarget::Global(g) => {
+                let gid = GlobalId::from_index(g);
+                if self.checked.ast.globals[g].ty.size_in_words() == 1
+                    && matches!(
+                        Type::from(&self.checked.ast.globals[g].ty),
+                        Type::Int | Type::Ptr
+                    )
+                {
+                    PlaceResolved::Mem(MemRef::scalar(MemObject::Global(gid)))
+                } else {
+                    PlaceResolved::ArrayBase(MemObject::Global(gid))
+                }
+            }
+            VarTarget::Param(i) => match self.params[&i] {
+                VarPlace::Reg(v) => PlaceResolved::Reg(v),
+                VarPlace::Slot(s) => {
+                    PlaceResolved::Mem(MemRef::scalar(MemObject::Frame(s)))
+                }
+            },
+            VarTarget::Local(i) => match self.locals[&i] {
+                VarPlace::Reg(v) => PlaceResolved::Reg(v),
+                VarPlace::Slot(s) => {
+                    let info = &self.checked.info.fn_locals[self.fn_index][i];
+                    if info.ty.is_scalar() {
+                        PlaceResolved::Mem(MemRef::scalar(MemObject::Frame(s)))
+                    } else {
+                        PlaceResolved::ArrayBase(MemObject::Frame(s))
+                    }
+                }
+            },
+        }
+    }
+}
+
+enum PlaceResolved {
+    Reg(VReg),
+    Mem(MemRef),
+    ArrayBase(MemObject),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::verify::verify_module;
+    use ucm_lang::parse_and_check;
+
+    fn lower_src(src: &str) -> Module {
+        let checked = parse_and_check(src).expect("source must check");
+        let m = lower(&checked).expect("source must lower");
+        verify_module(&m).expect("lowered module must verify");
+        m
+    }
+
+    fn count_instrs(m: &Module, pred: impl Fn(&Instr) -> bool) -> usize {
+        m.funcs
+            .iter()
+            .flat_map(|f| f.instrs().map(|(_, i)| i))
+            .filter(|i| pred(i))
+            .count()
+    }
+
+    #[test]
+    fn requires_main() {
+        let checked = parse_and_check("fn f() {}").unwrap();
+        assert!(lower(&checked).is_err());
+        let checked = parse_and_check("fn main(x: int) {}").unwrap();
+        assert!(lower(&checked).is_err());
+        let checked = parse_and_check("fn main() -> int { return 0; }").unwrap();
+        assert!(lower(&checked).is_err());
+    }
+
+    #[test]
+    fn scalar_locals_stay_in_registers() {
+        let m = lower_src("fn main() { let x: int = 1; let y: int = x + 2; print(y); }");
+        assert_eq!(count_instrs(&m, Instr::is_memory), 0);
+    }
+
+    #[test]
+    fn scalar_globals_are_loaded_and_stored() {
+        let m = lower_src("global g: int; fn main() { g = g + 1; print(g); }");
+        let loads = count_instrs(&m, |i| matches!(i, Instr::Load { .. }));
+        let stores = count_instrs(&m, |i| matches!(i, Instr::Store { .. }));
+        assert_eq!(loads, 2); // g in `g + 1`, g in `print(g)`
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn array_access_carries_elem_name() {
+        let m = lower_src("global a: [int; 8]; fn main() { a[3] = 7; print(a[3]); }");
+        let f = m.func(m.main);
+        let mems: Vec<_> = f
+            .instrs()
+            .filter_map(|(_, i)| i.mem().copied())
+            .collect();
+        assert_eq!(mems.len(), 2);
+        for mem in mems {
+            assert!(matches!(
+                mem.name,
+                crate::mem::RefName::Elem(MemObject::Global(GlobalId(0)))
+            ));
+        }
+    }
+
+    #[test]
+    fn multidim_index_scales_rows() {
+        let m = lower_src("global m: [[int; 5]; 4]; fn main() { m[2][3] = 1; }");
+        // Row scaling by 5 must appear as a multiply.
+        let muls = count_instrs(&m, |i| {
+            matches!(
+                i,
+                Instr::Binary {
+                    op: OpCode::Mul,
+                    rhs: crate::instr::Operand::Imm(5),
+                    ..
+                }
+            )
+        });
+        assert_eq!(muls, 1);
+    }
+
+    #[test]
+    fn deref_carries_pointer_name() {
+        let m = lower_src("global a: [int; 4]; fn main() { let p: *int = a; *p = 9; }");
+        let f = m.func(m.main);
+        let store_mem = f
+            .instrs()
+            .find_map(|(_, i)| match i {
+                Instr::Store { mem, .. } => Some(*mem),
+                _ => None,
+            })
+            .expect("store exists");
+        assert!(matches!(store_mem.name, crate::mem::RefName::Deref(_)));
+    }
+
+    #[test]
+    fn addr_taken_local_moves_to_frame() {
+        let m = lower_src(
+            "fn main() { let x: int = 5; let p: *int = &x; *p = 6; print(x); }",
+        );
+        let f = m.func(m.main);
+        assert_eq!(f.frame.len(), 1);
+        assert_eq!(f.frame[0].kind, SlotKind::Scalar);
+        // x's reads/writes go through memory now.
+        let scalar_frame_refs = f
+            .instrs()
+            .filter(|(_, i)| {
+                i.mem().is_some_and(|m| {
+                    matches!(m.name, crate::mem::RefName::Scalar(MemObject::Frame(_)))
+                })
+            })
+            .count();
+        assert!(scalar_frame_refs >= 2);
+    }
+
+    #[test]
+    fn addr_taken_param_copied_to_slot() {
+        let m = lower_src(
+            "fn f(x: int) -> int { let p: *int = &x; return *p; } \
+             fn main() { print(f(3)); }",
+        );
+        let f = &m.funcs[0];
+        assert_eq!(f.frame.len(), 1);
+        // Entry block starts with the spill of the incoming parameter.
+        let first = &f.block(f.entry).instrs[0];
+        assert!(matches!(first, Instr::Store { .. }));
+    }
+
+    #[test]
+    fn local_array_allocates_frame_slot() {
+        let m = lower_src("fn main() { let a: [int; 16]; a[0] = 1; print(a[0]); }");
+        let f = m.func(m.main);
+        assert_eq!(f.frame.len(), 1);
+        assert_eq!(f.frame[0].words, 16);
+        assert_eq!(f.frame[0].kind, SlotKind::Array);
+    }
+
+    #[test]
+    fn short_circuit_and_produces_branches() {
+        let m = lower_src(
+            "fn t() -> int { print(1); return 1; } \
+             fn main() { let x: int = 0; if x && t() { print(2); } }",
+        );
+        let f = m.func(m.main);
+        // Short-circuit: more than one branch terminator.
+        let branches = f
+            .block_ids()
+            .filter(|b| matches!(f.block(*b).term, crate::instr::Terminator::Branch { .. }))
+            .count();
+        assert!(branches >= 2, "expected short-circuit control flow");
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let m = lower_src("fn main() { let i: int = 0; while i < 3 { i = i + 1; } }");
+        let f = m.func(m.main);
+        let cfg = crate::cfg::Cfg::new(f);
+        // Some block must have two predecessors (the loop head).
+        assert!(f.block_ids().any(|b| cfg.preds(b).len() == 2));
+    }
+
+    #[test]
+    fn for_loop_with_continue_and_break() {
+        let m = lower_src(
+            "fn main() { let s: int = 0; \
+             for s = 0; s < 10; s = s + 1 { \
+               if s == 2 { continue; } \
+               if s == 5 { break; } \
+               print(s); } }",
+        );
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn uninitialized_locals_are_zeroed() {
+        let m = lower_src("fn main() { let x: int; print(x); }");
+        let f = m.func(m.main);
+        assert!(f
+            .instrs()
+            .any(|(_, i)| matches!(i, Instr::Const { value: 0, .. })));
+    }
+
+    #[test]
+    fn call_result_discard_in_statement_position() {
+        let m = lower_src(
+            "fn f() -> int { return 1; } fn main() { f(); }",
+        );
+        let f = m.func(m.main);
+        let call = f
+            .instrs()
+            .find_map(|(_, i)| match i {
+                Instr::Call { dst, .. } => Some(*dst),
+                _ => None,
+            })
+            .unwrap();
+        assert!(call.is_none(), "discarded call result should have no dst");
+    }
+
+    #[test]
+    fn pointer_indexing_is_deref() {
+        let m = lower_src("fn f(p: *int) { p[2] = 1; } fn main() { }");
+        let f = &m.funcs[0];
+        let mem = f
+            .instrs()
+            .find_map(|(_, i)| i.mem().copied())
+            .expect("store through pointer");
+        assert!(matches!(mem.name, crate::mem::RefName::Deref(_)));
+    }
+
+    #[test]
+    fn global_initializers_propagate() {
+        let m = lower_src("global x: int = -42; fn main() { print(x); }");
+        assert_eq!(m.globals[0].init, -42);
+        assert!(m.globals[0].is_scalar);
+    }
+
+    #[test]
+    fn else_if_chains_lower() {
+        let m = lower_src(
+            "fn main() { let x: int = 2; \
+             if x == 1 { print(1); } else if x == 2 { print(2); } else { print(3); } }",
+        );
+        verify_module(&m).unwrap();
+    }
+}

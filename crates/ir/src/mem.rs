@@ -1,0 +1,170 @@
+//! Symbolic memory references.
+//!
+//! Every IR load/store carries, besides the address computation, a *symbolic
+//! name* ([`RefName`]) describing which object it may touch. This is the
+//! "aliased-object name" of paper §4.1.1.1: the alias analysis groups these
+//! names into alias sets and the unified-management pass classifies each
+//! reference as ambiguous or unambiguous from them.
+
+use crate::ids::{GlobalId, SlotId, VReg};
+use std::fmt;
+
+/// A statically known memory object: a global or a stack-frame slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemObject {
+    /// A module global (scalar or array).
+    Global(GlobalId),
+    /// A frame slot of the enclosing function (local array, address-taken
+    /// scalar, or spill slot).
+    Frame(SlotId),
+}
+
+impl fmt::Display for MemObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemObject::Global(g) => write!(f, "{g}"),
+            MemObject::Frame(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// The aliased-object name of a memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefName {
+    /// A whole-scalar access to a known object (`x` where `x` is a scalar
+    /// global or an address-taken scalar local).
+    Scalar(MemObject),
+    /// An element of a known array object (`a[i]`); which element is not
+    /// statically known, so two `Elem` references to the same object are
+    /// *sometimes aliases* (paper §4.1.2, alias type 3).
+    Elem(MemObject),
+    /// An access through a pointer held in `VReg`; resolved by the
+    /// points-to analysis.
+    Deref(VReg),
+    /// A register-allocator spill slot. Spill slots are compiler-private and
+    /// therefore always unambiguous.
+    Spill(SlotId),
+}
+
+impl fmt::Display for RefName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefName::Scalar(o) => write!(f, "scalar {o}"),
+            RefName::Elem(o) => write!(f, "elem {o}"),
+            RefName::Deref(v) => write!(f, "*{v}"),
+            RefName::Spill(s) => write!(f, "spill {s}"),
+        }
+    }
+}
+
+/// How the address of a memory access is obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemAddr {
+    /// The address of a known object's first word (scalars: the scalar
+    /// itself). Resolved to a constant (globals) or frame-relative offset
+    /// (slots) by code generation.
+    Object(MemObject),
+    /// A computed address held in a register.
+    Reg(VReg),
+}
+
+impl fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemAddr::Object(o) => write!(f, "&{o}"),
+            MemAddr::Reg(v) => write!(f, "[{v}]"),
+        }
+    }
+}
+
+/// A complete memory operand: address computation plus symbolic name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Where the access goes at run time.
+    pub addr: MemAddr,
+    /// What the access may touch, for alias analysis.
+    pub name: RefName,
+}
+
+impl MemRef {
+    /// A direct scalar access to `obj`.
+    pub fn scalar(obj: MemObject) -> Self {
+        MemRef {
+            addr: MemAddr::Object(obj),
+            name: RefName::Scalar(obj),
+        }
+    }
+
+    /// An element access into array `obj` at a computed address.
+    pub fn elem(addr: VReg, obj: MemObject) -> Self {
+        MemRef {
+            addr: MemAddr::Reg(addr),
+            name: RefName::Elem(obj),
+        }
+    }
+
+    /// An access through the pointer in `ptr`.
+    ///
+    /// `addr` may differ from `ptr` when the final address was computed from
+    /// the pointer (e.g. `p[i]`); the *name* stays tied to the pointer value.
+    pub fn deref(addr: VReg, ptr: VReg) -> Self {
+        MemRef {
+            addr: MemAddr::Reg(addr),
+            name: RefName::Deref(ptr),
+        }
+    }
+
+    /// A spill-slot access (register allocator internal).
+    pub fn spill(slot: SlotId) -> Self {
+        MemRef {
+            addr: MemAddr::Object(MemObject::Frame(slot)),
+            name: RefName::Spill(slot),
+        }
+    }
+
+    /// The register the address lives in, if computed.
+    pub fn addr_reg(&self) -> Option<VReg> {
+        match self.addr {
+            MemAddr::Reg(v) => Some(v),
+            MemAddr::Object(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.addr, self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_names() {
+        let g = MemObject::Global(GlobalId(1));
+        let m = MemRef::scalar(g);
+        assert_eq!(m.addr, MemAddr::Object(g));
+        assert_eq!(m.name, RefName::Scalar(g));
+        assert_eq!(m.addr_reg(), None);
+
+        let m = MemRef::elem(VReg(5), g);
+        assert_eq!(m.addr_reg(), Some(VReg(5)));
+        assert_eq!(m.name, RefName::Elem(g));
+
+        let m = MemRef::deref(VReg(7), VReg(6));
+        assert_eq!(m.addr_reg(), Some(VReg(7)));
+        assert_eq!(m.name, RefName::Deref(VReg(6)));
+
+        let m = MemRef::spill(SlotId(2));
+        assert_eq!(m.name, RefName::Spill(SlotId(2)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let g = MemObject::Global(GlobalId(0));
+        assert_eq!(MemRef::scalar(g).to_string(), "&g0 (scalar g0)");
+        assert_eq!(MemRef::elem(VReg(1), g).to_string(), "[v1] (elem g0)");
+    }
+}

@@ -1,0 +1,104 @@
+//! Modules and global variables.
+
+use crate::func::Function;
+use crate::ids::{FuncId, GlobalId};
+
+/// A module-level variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalVar {
+    /// Source name.
+    pub name: String,
+    /// Size in words (1 for scalars).
+    pub words: usize,
+    /// `true` for word-sized scalars (register-promotable), `false` for
+    /// arrays.
+    pub is_scalar: bool,
+    /// Initial value of word 0 (scalars only; arrays are zero-filled).
+    pub init: i64,
+}
+
+/// A whole program in IR form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Module {
+    /// Global variables, indexed by [`GlobalId`].
+    pub globals: Vec<GlobalVar>,
+    /// Functions, indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+    /// The entry function (`main`).
+    pub main: FuncId,
+}
+
+impl Module {
+    /// Shared access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (caller bug).
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (caller bug).
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Shared access to a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (caller bug).
+    pub fn global(&self, id: GlobalId) -> &GlobalVar {
+        &self.globals[id.index()]
+    }
+
+    /// Iterates over all function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> + '_ {
+        (0..self.funcs.len()).map(FuncId::from_index)
+    }
+
+    /// Total size of the global data segment in words.
+    pub fn globals_words(&self) -> usize {
+        self.globals.iter().map(|g| g.words).sum()
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_sizes() {
+        let mut m = Module::default();
+        m.globals.push(GlobalVar {
+            name: "x".into(),
+            words: 1,
+            is_scalar: true,
+            init: 7,
+        });
+        m.globals.push(GlobalVar {
+            name: "a".into(),
+            words: 100,
+            is_scalar: false,
+            init: 0,
+        });
+        m.funcs.push(Function::new("main", false));
+        assert_eq!(m.globals_words(), 101);
+        assert_eq!(m.func_by_name("main"), Some(FuncId(0)));
+        assert_eq!(m.func_by_name("nope"), None);
+        assert_eq!(m.global(GlobalId(0)).init, 7);
+        assert_eq!(m.func_ids().count(), 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Human-readable IR printing.
+
+use crate::func::Function;
+use crate::module::Module;
+use std::fmt::Write as _;
+
+/// Renders a function as text (one block per paragraph).
+pub fn function_to_string(f: &Function) -> String {
+    let mut out = String::new();
+    let ret = if f.returns_value { " -> int" } else { "" };
+    let params: Vec<String> = f.params.iter().map(|p| p.to_string()).collect();
+    let _ = writeln!(out, "fn {}({}){} {{", f.name, params.join(", "), ret);
+    for (i, slot) in f.frame.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  slot{}: {} [{} words, {:?}]",
+            i, slot.name, slot.words, slot.kind
+        );
+    }
+    for bid in f.block_ids() {
+        let _ = writeln!(out, "{bid}:");
+        for instr in &f.block(bid).instrs {
+            let _ = writeln!(out, "  {instr}");
+        }
+        let _ = writeln!(out, "  {}", f.block(bid).term);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a whole module as text.
+pub fn module_to_string(m: &Module) -> String {
+    let mut out = String::new();
+    for (i, g) in m.globals.iter().enumerate() {
+        let kind = if g.is_scalar { "scalar" } else { "array" };
+        let _ = writeln!(
+            out,
+            "global g{}: {} [{} words, {kind}] = {}",
+            i, g.name, g.words, g.init
+        );
+    }
+    for f in &m.funcs {
+        let _ = writeln!(out);
+        out.push_str(&function_to_string(f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::instr::OpCode;
+
+    #[test]
+    fn prints_function_with_blocks() {
+        let mut b = Builder::new("sq", true);
+        let x = b.param();
+        let y = b.binary(OpCode::Mul, x, x);
+        b.ret(Some(y));
+        let text = function_to_string(&b.finish());
+        assert!(text.contains("fn sq(v0) -> int {"));
+        assert!(text.contains("bb0:"));
+        assert!(text.contains("v1 = mul v0, v0"));
+        assert!(text.contains("return v1"));
+    }
+
+    #[test]
+    fn prints_module_globals() {
+        let mut m = Module::default();
+        m.globals.push(crate::module::GlobalVar {
+            name: "a".into(),
+            words: 4,
+            is_scalar: false,
+            init: 0,
+        });
+        m.funcs.push(Builder::new("main", false).finish());
+        let text = module_to_string(&m);
+        assert!(text.contains("global g0: a [4 words, array] = 0"));
+        assert!(text.contains("fn main()"));
+    }
+}

@@ -1,0 +1,269 @@
+//! IR well-formedness verifier.
+//!
+//! The verifier catches *compiler* bugs (bad ids, arity mismatches), not user
+//! errors — the front end has already rejected those. It runs after lowering
+//! and after every transforming pass in debug pipelines.
+
+use crate::ids::FuncId;
+use crate::instr::{Instr, Operand, Terminator};
+use crate::mem::{MemAddr, MemObject, RefName};
+use crate::module::Module;
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure: the function and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The offending function.
+    pub func: String,
+    /// What is malformed.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ir verification failed in `{}`: {}", self.func, self.message)
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies every function in `module`.
+///
+/// # Errors
+///
+/// Returns the first malformation found: out-of-range register, block, slot,
+/// global or function ids; call arity/return mismatches; or a call result
+/// register on a void callee.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for f in module.func_ids() {
+        verify_function(module, f)?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function of `module`.
+///
+/// # Errors
+///
+/// See [`verify_module`].
+pub fn verify_function(module: &Module, func: FuncId) -> Result<(), VerifyError> {
+    let f = module.func(func);
+    let err = |message: String| VerifyError {
+        func: f.name.clone(),
+        message,
+    };
+    let check_vreg = |v: crate::ids::VReg, what: &str| {
+        if v.0 >= f.num_vregs {
+            Err(err(format!("{what} uses unallocated register {v}")))
+        } else {
+            Ok(())
+        }
+    };
+    let check_block = |b: crate::ids::BlockId| {
+        if b.index() >= f.blocks.len() {
+            Err(err(format!("jump to nonexistent block {b}")))
+        } else {
+            Ok(())
+        }
+    };
+    let check_object = |o: &MemObject| match o {
+        MemObject::Global(g) => {
+            if g.index() >= module.globals.len() {
+                Err(err(format!("reference to nonexistent global {g}")))
+            } else {
+                Ok(())
+            }
+        }
+        MemObject::Frame(s) => {
+            if s.index() >= f.frame.len() {
+                Err(err(format!("reference to nonexistent frame slot {s}")))
+            } else {
+                Ok(())
+            }
+        }
+    };
+
+    for p in &f.params {
+        check_vreg(*p, "parameter list")?;
+    }
+
+    for (iref, instr) in f.instrs() {
+        let what = format!("{iref} `{instr}`");
+        if let Some(d) = instr.def() {
+            check_vreg(d, &what)?;
+        }
+        for u in instr.uses() {
+            check_vreg(u, &what)?;
+        }
+        match instr {
+            Instr::AddrOf { object, .. } => check_object(object)?,
+            Instr::Load { mem, .. } | Instr::Store { mem, .. } => {
+                if let MemAddr::Object(o) = &mem.addr {
+                    check_object(o)?;
+                }
+                match &mem.name {
+                    RefName::Scalar(o) | RefName::Elem(o) => check_object(o)?,
+                    RefName::Spill(s) => check_object(&MemObject::Frame(*s))?,
+                    RefName::Deref(v) => check_vreg(*v, &what)?,
+                }
+            }
+            Instr::Binary {
+                rhs: Operand::Reg(r),
+                ..
+            } => check_vreg(*r, &what)?,
+            Instr::Call { dst, callee, args } => {
+                if callee.index() >= module.funcs.len() {
+                    return Err(err(format!("{what}: call to nonexistent {callee}")));
+                }
+                let target = module.func(*callee);
+                if args.len() != target.params.len() {
+                    return Err(err(format!(
+                        "{what}: `{}` takes {} arguments, {} passed",
+                        target.name,
+                        target.params.len(),
+                        args.len()
+                    )));
+                }
+                if dst.is_some() && !target.returns_value {
+                    return Err(err(format!(
+                        "{what}: result register on call to void `{}`",
+                        target.name
+                    )));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for bid in f.block_ids() {
+        match &f.block(bid).term {
+            Terminator::Jump(t) => check_block(*t)?,
+            Terminator::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                check_vreg(*cond, &format!("{bid} terminator"))?;
+                check_block(*if_true)?;
+                check_block(*if_false)?;
+            }
+            Terminator::Return(v) => {
+                if let Some(v) = v {
+                    check_vreg(*v, &format!("{bid} terminator"))?;
+                    if !f.returns_value {
+                        return Err(err(format!(
+                            "{bid}: value returned from void function"
+                        )));
+                    }
+                } else if f.returns_value {
+                    return Err(err(format!(
+                        "{bid}: bare return in value-returning function"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::ids::{BlockId, VReg};
+    use crate::instr::OpCode;
+
+    fn module_with(f: crate::func::Function) -> Module {
+        Module {
+            funcs: vec![f],
+            ..Module::default()
+        }
+    }
+
+    #[test]
+    fn accepts_well_formed_function() {
+        let mut b = Builder::new("f", true);
+        let x = b.param();
+        let y = b.binary(OpCode::Add, x, 1);
+        b.ret(Some(y));
+        verify_module(&module_with(b.finish())).unwrap();
+    }
+
+    #[test]
+    fn rejects_unallocated_register() {
+        let mut f = crate::func::Function::new("f", false);
+        f.block_mut(BlockId(0)).instrs.push(Instr::Print { src: VReg(99) });
+        let e = verify_module(&module_with(f)).unwrap_err();
+        assert!(e.message.contains("unallocated register"));
+    }
+
+    #[test]
+    fn rejects_bad_block_target() {
+        let mut f = crate::func::Function::new("f", false);
+        f.block_mut(BlockId(0)).term = Terminator::Jump(BlockId(7));
+        let e = verify_module(&module_with(f)).unwrap_err();
+        assert!(e.message.contains("nonexistent block"));
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut callee = Builder::new("g", false);
+        callee.param();
+        let callee = callee.finish();
+        let mut b = Builder::new("f", false);
+        b.call(FuncId(1), vec![], false);
+        b.ret(None);
+        let m = Module {
+            funcs: vec![b.finish(), callee],
+            ..Module::default()
+        };
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("takes 1 arguments, 0 passed"));
+    }
+
+    #[test]
+    fn rejects_result_of_void_call() {
+        let callee = Builder::new("g", false).finish();
+        let mut f = crate::func::Function::new("f", false);
+        let dst = f.new_vreg();
+        f.block_mut(BlockId(0)).instrs.push(Instr::Call {
+            dst: Some(dst),
+            callee: FuncId(1),
+            args: vec![],
+        });
+        let m = Module {
+            funcs: vec![f, callee],
+            ..Module::default()
+        };
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("void"));
+    }
+
+    #[test]
+    fn rejects_return_mismatches() {
+        let mut f = crate::func::Function::new("f", true);
+        f.block_mut(BlockId(0)).term = Terminator::Return(None);
+        let e = verify_module(&module_with(f)).unwrap_err();
+        assert!(e.message.contains("bare return"));
+
+        let mut f = crate::func::Function::new("f", false);
+        let v = f.new_vreg();
+        f.block_mut(BlockId(0)).instrs.push(Instr::Const { dst: v, value: 0 });
+        f.block_mut(BlockId(0)).term = Terminator::Return(Some(v));
+        let e = verify_module(&module_with(f)).unwrap_err();
+        assert!(e.message.contains("void function"));
+    }
+
+    #[test]
+    fn rejects_bad_global_reference() {
+        let mut f = crate::func::Function::new("f", false);
+        let v = f.new_vreg();
+        f.block_mut(BlockId(0)).instrs.push(Instr::Load {
+            dst: v,
+            mem: crate::mem::MemRef::scalar(MemObject::Global(crate::ids::GlobalId(3))),
+        });
+        let e = verify_module(&module_with(f)).unwrap_err();
+        assert!(e.message.contains("nonexistent global"));
+    }
+}

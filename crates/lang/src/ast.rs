@@ -1,0 +1,338 @@
+//! Abstract syntax tree for the Mini language.
+//!
+//! Mini is a small C-like language designed so that the alias analysis of the
+//! unified register/cache model has realistic work to do: it has scalar `int`
+//! variables, N-dimensional `int` arrays, `*int` pointers, address-of, pointer
+//! arithmetic, and recursive functions.
+
+use crate::token::Span;
+use std::fmt;
+
+/// Unique id for every expression node, assigned by the parser.
+///
+/// Side tables produced by the semantic checker (types, variable resolutions)
+/// are keyed by `ExprId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+impl fmt::Display for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A syntactic type annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `int`
+    Int,
+    /// `*int`
+    Ptr,
+    /// `[T; N]`
+    Array(Box<TypeExpr>, usize),
+}
+
+/// A whole compilation unit: globals followed by functions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Global variable declarations, in source order.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions, in source order.
+    pub funcs: Vec<FuncDecl>,
+}
+
+/// `global name: type;` or `global name: int = LITERAL;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type (scalar or array; globals cannot be pointers in Mini).
+    pub ty: TypeExpr,
+    /// Optional scalar initializer (arrays are zero-initialized).
+    pub init: Option<i64>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// `Some` if declared `-> int`, `None` for a procedure.
+    pub returns_value: bool,
+    /// Function body.
+    pub body: Block,
+    /// Source location of the signature.
+    pub span: Span,
+}
+
+/// A formal parameter; Mini parameters are `int` or `*int`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: TypeExpr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// `{ stmt* }`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Source location including braces.
+    pub span: Span,
+}
+
+/// A statement with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// The statement itself.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `let name: type = init;` — local declaration. Local arrays are
+    /// allocated in the stack frame; `init` must be absent for arrays.
+    Let {
+        /// Local variable name.
+        name: String,
+        /// Declared type.
+        ty: TypeExpr,
+        /// Optional initializer (scalars and pointers only).
+        init: Option<Expr>,
+    },
+    /// `lvalue = expr;`
+    Assign {
+        /// Assignment target; must be an lvalue.
+        target: Expr,
+        /// Value to store.
+        value: Expr,
+    },
+    /// `if cond { .. } else { .. }`
+    If {
+        /// Condition (an `int`; nonzero is true).
+        cond: Expr,
+        /// Taken when `cond != 0`.
+        then_blk: Block,
+        /// Taken when `cond == 0`, if present.
+        else_blk: Option<Block>,
+    },
+    /// `while cond { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `for init; cond; step { .. }` — `init` and `step` are assignments.
+    For {
+        /// Loop initializer, run once.
+        init: Option<Box<Stmt>>,
+        /// Loop condition; absent means "forever".
+        cond: Option<Expr>,
+        /// Step statement, run after each iteration.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return;` or `return expr;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `print(expr);` — emits one integer to the program's output stream.
+    Print(Expr),
+    /// An expression evaluated for its side effects (a call).
+    Expr(Expr),
+}
+
+/// An expression with id and source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// Unique node id (keys into checker side tables).
+    pub id: ExprId,
+    /// The expression itself.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Variable reference (global, parameter, or local).
+    Var(String),
+    /// Unary operator application.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operator application. `&&`/`||` short-circuit.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// `base[index]` — array or pointer indexing.
+    Index(Box<Expr>, Box<Expr>),
+    /// `*ptr`
+    Deref(Box<Expr>),
+    /// `&lvalue`
+    AddrOf(Box<Expr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical not `!e` (yields 0 or 1).
+    Not,
+}
+
+/// Binary operators. Comparisons yield `int` 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` (also pointer + int)
+    Add,
+    /// `-` (also pointer - int)
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; traps on divide by zero)
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => write!(f, "-"),
+            UnOp::Not => write!(f, "!"),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl Expr {
+    /// Returns `true` if this expression is a syntactic lvalue
+    /// (assignable / addressable).
+    pub fn is_lvalue(&self) -> bool {
+        match &self.kind {
+            ExprKind::Var(_) | ExprKind::Deref(_) => true,
+            ExprKind::Index(base, _) => base.is_lvalue(),
+            _ => false,
+        }
+    }
+}
+
+impl TypeExpr {
+    /// Number of machine words a value of this type occupies.
+    pub fn size_in_words(&self) -> usize {
+        match self {
+            TypeExpr::Int | TypeExpr::Ptr => 1,
+            TypeExpr::Array(elem, n) => elem.size_in_words() * n,
+        }
+    }
+}
+
+impl fmt::Display for TypeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeExpr::Int => write!(f, "int"),
+            TypeExpr::Ptr => write!(f, "*int"),
+            TypeExpr::Array(elem, n) => write!(f, "[{elem}; {n}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(kind: ExprKind) -> Expr {
+        Expr {
+            id: ExprId(0),
+            kind,
+            span: Span::default(),
+        }
+    }
+
+    #[test]
+    fn lvalue_classification() {
+        let var = expr(ExprKind::Var("x".into()));
+        assert!(var.is_lvalue());
+        let lit = expr(ExprKind::IntLit(3));
+        assert!(!lit.is_lvalue());
+        let deref = expr(ExprKind::Deref(Box::new(var.clone())));
+        assert!(deref.is_lvalue());
+        let idx = expr(ExprKind::Index(Box::new(var), Box::new(lit.clone())));
+        assert!(idx.is_lvalue());
+        let call_idx = expr(ExprKind::Index(
+            Box::new(expr(ExprKind::Call("f".into(), vec![]))),
+            Box::new(lit),
+        ));
+        assert!(!call_idx.is_lvalue());
+    }
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(TypeExpr::Int.size_in_words(), 1);
+        assert_eq!(TypeExpr::Ptr.size_in_words(), 1);
+        let row = TypeExpr::Array(Box::new(TypeExpr::Int), 512);
+        assert_eq!(row.size_in_words(), 512);
+        let matrix = TypeExpr::Array(Box::new(row), 13);
+        assert_eq!(matrix.size_in_words(), 13 * 512);
+    }
+
+    #[test]
+    fn type_display() {
+        let matrix = TypeExpr::Array(Box::new(TypeExpr::Array(Box::new(TypeExpr::Int), 4)), 2);
+        assert_eq!(matrix.to_string(), "[[int; 4]; 2]");
+    }
+}

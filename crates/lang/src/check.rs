@@ -1,0 +1,754 @@
+//! Name resolution and type checking for Mini.
+//!
+//! [`check`] validates a parsed [`Program`] and produces the side tables the
+//! IR lowering consumes: the type of every expression, the resolution of every
+//! variable reference, the callee of every call, and the local-variable slots
+//! of every function.
+
+use crate::ast::*;
+use crate::error::{LangError, LangResult};
+use crate::token::Span;
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// How a `Var` expression resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarTarget {
+    /// Index into [`Program::globals`].
+    Global(usize),
+    /// Index into the enclosing function's parameter list.
+    Param(usize),
+    /// Index into the enclosing function's [`CheckInfo::fn_locals`] entry.
+    Local(usize),
+}
+
+/// A declared local variable (one frame slot group).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalInfo {
+    /// Source name (not unique: shadowing allocates a fresh slot).
+    pub name: String,
+    /// Resolved type.
+    pub ty: Type,
+}
+
+/// Side tables produced by the checker.
+#[derive(Debug, Clone, Default)]
+pub struct CheckInfo {
+    /// Natural (pre-decay) type of every expression.
+    pub expr_types: HashMap<ExprId, Type>,
+    /// Resolution of every `Var` expression.
+    pub var_refs: HashMap<ExprId, VarTarget>,
+    /// Callee (index into `Program::funcs`) of every `Call` expression.
+    pub call_targets: HashMap<ExprId, usize>,
+    /// Per function: every local declared anywhere in its body, in
+    /// declaration order. Shadowed names get distinct slots.
+    pub fn_locals: Vec<Vec<LocalInfo>>,
+}
+
+/// A program that has passed semantic checking, bundled with its side tables.
+#[derive(Debug, Clone)]
+pub struct CheckedProgram {
+    /// The validated syntax tree.
+    pub ast: Program,
+    /// Checker side tables.
+    pub info: CheckInfo,
+}
+
+impl CheckedProgram {
+    /// Looks up the checked type of an expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this program — that indicates a bug
+    /// in the caller, not bad user input.
+    pub fn type_of(&self, id: ExprId) -> &Type {
+        self.info
+            .expr_types
+            .get(&id)
+            .expect("expression id not from this program")
+    }
+}
+
+/// Checks `program`, returning it with resolution/type side tables.
+///
+/// # Errors
+///
+/// Returns the first semantic error found: duplicate or unknown names, type
+/// mismatches, bad `break`/`continue` placement, wrong arity, and so on.
+pub fn check(program: Program) -> LangResult<CheckedProgram> {
+    let mut checker = Checker::new(&program)?;
+    for (i, f) in program.funcs.iter().enumerate() {
+        checker.check_func(i, f)?;
+    }
+    Ok(CheckedProgram {
+        ast: program,
+        info: checker.info,
+    })
+}
+
+/// Convenience: parse then check in one call.
+///
+/// # Errors
+///
+/// Propagates lexer, parser, or checker errors.
+pub fn parse_and_check(src: &str) -> LangResult<CheckedProgram> {
+    check(crate::parser::parse(src)?)
+}
+
+struct FuncSig {
+    params: Vec<Type>,
+    returns_value: bool,
+}
+
+struct Checker {
+    globals: HashMap<String, (usize, Type)>,
+    funcs: HashMap<String, usize>,
+    sigs: Vec<FuncSig>,
+    info: CheckInfo,
+    // Per-function state.
+    scopes: Vec<HashMap<String, VarTarget>>,
+    cur_fn: usize,
+    loop_depth: usize,
+}
+
+impl Checker {
+    fn new(program: &Program) -> LangResult<Self> {
+        let mut globals = HashMap::new();
+        for (i, g) in program.globals.iter().enumerate() {
+            let ty = Type::from(&g.ty);
+            if ty == Type::Ptr {
+                return Err(LangError::check(
+                    format!("global `{}` cannot be a pointer", g.name),
+                    g.span,
+                ));
+            }
+            if g.init.is_some() && !ty.is_scalar() {
+                return Err(LangError::check(
+                    format!("array global `{}` cannot have an initializer", g.name),
+                    g.span,
+                ));
+            }
+            if globals.insert(g.name.clone(), (i, ty)).is_some() {
+                return Err(LangError::check(
+                    format!("duplicate global `{}`", g.name),
+                    g.span,
+                ));
+            }
+        }
+        let mut funcs = HashMap::new();
+        let mut sigs = Vec::new();
+        for (i, f) in program.funcs.iter().enumerate() {
+            if funcs.insert(f.name.clone(), i).is_some() {
+                return Err(LangError::check(
+                    format!("duplicate function `{}`", f.name),
+                    f.span,
+                ));
+            }
+            let mut params = Vec::new();
+            for p in &f.params {
+                let ty = Type::from(&p.ty);
+                if !ty.is_scalar() {
+                    return Err(LangError::check(
+                        format!(
+                            "parameter `{}` has non-scalar type {ty}; pass arrays as `*int`",
+                            p.name
+                        ),
+                        p.span,
+                    ));
+                }
+                params.push(ty);
+            }
+            sigs.push(FuncSig {
+                params,
+                returns_value: f.returns_value,
+            });
+        }
+        let info = CheckInfo {
+            fn_locals: vec![Vec::new(); program.funcs.len()],
+            ..CheckInfo::default()
+        };
+        Ok(Checker {
+            globals,
+            funcs,
+            sigs,
+            info,
+            scopes: Vec::new(),
+            cur_fn: 0,
+            loop_depth: 0,
+        })
+    }
+
+    fn check_func(&mut self, index: usize, f: &FuncDecl) -> LangResult<()> {
+        self.cur_fn = index;
+        self.loop_depth = 0;
+        self.scopes.clear();
+        let mut param_scope = HashMap::new();
+        for (i, p) in f.params.iter().enumerate() {
+            if param_scope
+                .insert(p.name.clone(), VarTarget::Param(i))
+                .is_some()
+            {
+                return Err(LangError::check(
+                    format!("duplicate parameter `{}`", p.name),
+                    p.span,
+                ));
+            }
+        }
+        self.scopes.push(param_scope);
+        self.check_block(&f.body)?;
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<(VarTarget, Type)> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&target) = scope.get(name) {
+                let ty = match target {
+                    VarTarget::Global(i) => {
+                        unreachable!("globals are not in scope maps: {i}")
+                    }
+                    VarTarget::Param(i) => {
+                        // Parameter types live in the current signature.
+                        self.sigs[self.cur_fn].params[i].clone()
+                    }
+                    VarTarget::Local(i) => self.info.fn_locals[self.cur_fn][i].ty.clone(),
+                };
+                return Some((target, ty));
+            }
+        }
+        self.globals
+            .get(name)
+            .map(|(i, ty)| (VarTarget::Global(*i), ty.clone()))
+    }
+
+    fn check_block(&mut self, block: &Block) -> LangResult<()> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.check_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> LangResult<()> {
+        match &stmt.kind {
+            StmtKind::Let { name, ty, init } => {
+                let ty = Type::from(ty);
+                if let Some(init) = init {
+                    if !ty.is_scalar() {
+                        return Err(LangError::check(
+                            format!("array local `{name}` cannot have an initializer"),
+                            stmt.span,
+                        ));
+                    }
+                    let it = self.check_expr(init)?;
+                    if !it.coerces_to(&ty) {
+                        return Err(LangError::check(
+                            format!("initializer of `{name}` has type {it}, expected {ty}"),
+                            init.span,
+                        ));
+                    }
+                }
+                let slot = self.info.fn_locals[self.cur_fn].len();
+                self.info.fn_locals[self.cur_fn].push(LocalInfo {
+                    name: name.clone(),
+                    ty,
+                });
+                self.scopes
+                    .last_mut()
+                    .expect("checker always has an open scope")
+                    .insert(name.clone(), VarTarget::Local(slot));
+                Ok(())
+            }
+            StmtKind::Assign { target, value } => {
+                let tt = self.check_expr(target)?;
+                if !tt.is_scalar() {
+                    return Err(LangError::check(
+                        format!("cannot assign to a value of type {tt}"),
+                        target.span,
+                    ));
+                }
+                let vt = self.check_expr(value)?;
+                if !vt.coerces_to(&tt) {
+                    return Err(LangError::check(
+                        format!("cannot assign {vt} to {tt}"),
+                        value.span,
+                    ));
+                }
+                Ok(())
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.check_cond(cond)?;
+                self.check_block(then_blk)?;
+                if let Some(e) = else_blk {
+                    self.check_block(e)?;
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                self.check_cond(cond)?;
+                self.loop_depth += 1;
+                self.check_block(body)?;
+                self.loop_depth -= 1;
+                Ok(())
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // The for header lives in its own scope so `for` headers do
+                // not leak names; Mini's `for` init is an assignment, so this
+                // mainly isolates future extensions.
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.check_stmt(init)?;
+                }
+                if let Some(cond) = cond {
+                    self.check_cond(cond)?;
+                }
+                if let Some(step) = step {
+                    self.check_stmt(step)?;
+                }
+                self.loop_depth += 1;
+                self.check_block(body)?;
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                Ok(())
+            }
+            StmtKind::Return(value) => {
+                let returns_value = self.sigs[self.cur_fn].returns_value;
+                match (returns_value, value) {
+                    (true, Some(e)) => {
+                        let t = self.check_expr(e)?;
+                        if t != Type::Int {
+                            return Err(LangError::check(
+                                format!("return value has type {t}, expected int"),
+                                e.span,
+                            ));
+                        }
+                        Ok(())
+                    }
+                    (true, None) => Err(LangError::check(
+                        "this function must return a value",
+                        stmt.span,
+                    )),
+                    (false, Some(e)) => Err(LangError::check(
+                        "this function does not return a value",
+                        e.span,
+                    )),
+                    (false, None) => Ok(()),
+                }
+            }
+            StmtKind::Break => {
+                if self.loop_depth == 0 {
+                    Err(LangError::check("`break` outside of a loop", stmt.span))
+                } else {
+                    Ok(())
+                }
+            }
+            StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    Err(LangError::check("`continue` outside of a loop", stmt.span))
+                } else {
+                    Ok(())
+                }
+            }
+            StmtKind::Print(e) => {
+                let t = self.check_expr(e)?;
+                if t != Type::Int {
+                    return Err(LangError::check(
+                        format!("print takes an int, found {t}"),
+                        e.span,
+                    ));
+                }
+                Ok(())
+            }
+            StmtKind::Expr(e) => {
+                // Only calls make sense as expression statements; allow a
+                // void call here (the one context where unit is legal).
+                if let ExprKind::Call(..) = e.kind {
+                    self.check_call(e, /*value_required=*/ false)?;
+                    Ok(())
+                } else {
+                    Err(LangError::check(
+                        "expression statement has no effect (only calls are allowed)",
+                        e.span,
+                    ))
+                }
+            }
+        }
+    }
+
+    fn check_cond(&mut self, cond: &Expr) -> LangResult<()> {
+        let t = self.check_expr(cond)?;
+        if t != Type::Int {
+            return Err(LangError::check(
+                format!("condition has type {t}, expected int"),
+                cond.span,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks an expression in value context; records and returns its
+    /// natural type.
+    fn check_expr(&mut self, e: &Expr) -> LangResult<Type> {
+        let ty = match &e.kind {
+            ExprKind::IntLit(_) => Type::Int,
+            ExprKind::Var(name) => {
+                let Some((target, ty)) = self.lookup(name) else {
+                    return Err(LangError::check(format!("unknown variable `{name}`"), e.span));
+                };
+                self.info.var_refs.insert(e.id, target);
+                ty
+            }
+            ExprKind::Unary(op, operand) => {
+                let t = self.check_expr(operand)?;
+                if t != Type::Int {
+                    return Err(LangError::check(
+                        format!("unary `{op}` requires int, found {t}"),
+                        operand.span,
+                    ));
+                }
+                Type::Int
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let lt = self.check_expr(lhs)?.decayed();
+                let rt = self.check_expr(rhs)?.decayed();
+                self.binary_type(*op, &lt, &rt, e.span)?
+            }
+            ExprKind::Call(..) => {
+                let ret = self.check_call(e, /*value_required=*/ true)?;
+                ret.expect("value_required guarantees a return type")
+            }
+            ExprKind::Index(base, index) => {
+                let bt = self.check_expr(base)?;
+                let it = self.check_expr(index)?;
+                if it != Type::Int {
+                    return Err(LangError::check(
+                        format!("array index has type {it}, expected int"),
+                        index.span,
+                    ));
+                }
+                match bt.index_elem() {
+                    Some(elem) => elem,
+                    None => {
+                        return Err(LangError::check(
+                            format!("type {bt} cannot be indexed"),
+                            base.span,
+                        ));
+                    }
+                }
+            }
+            ExprKind::Deref(ptr) => {
+                let pt = self.check_expr(ptr)?.decayed();
+                if pt != Type::Ptr {
+                    return Err(LangError::check(
+                        format!("cannot dereference a value of type {pt}"),
+                        ptr.span,
+                    ));
+                }
+                Type::Int
+            }
+            ExprKind::AddrOf(lvalue) => {
+                let lt = self.check_expr(lvalue)?;
+                if lt != Type::Int {
+                    return Err(LangError::check(
+                        format!(
+                            "`&` requires an int lvalue, found {lt} \
+                             (arrays decay to pointers without `&`)"
+                        ),
+                        lvalue.span,
+                    ));
+                }
+                Type::Ptr
+            }
+        };
+        self.info.expr_types.insert(e.id, ty.clone());
+        Ok(ty)
+    }
+
+    fn binary_type(&self, op: BinOp, lt: &Type, rt: &Type, span: Span) -> LangResult<Type> {
+        use BinOp::*;
+        let ok = match op {
+            Add => matches!(
+                (lt, rt),
+                (Type::Int, Type::Int) | (Type::Ptr, Type::Int) | (Type::Int, Type::Ptr)
+            ),
+            Sub => matches!(
+                (lt, rt),
+                (Type::Int, Type::Int) | (Type::Ptr, Type::Int) | (Type::Ptr, Type::Ptr)
+            ),
+            Mul | Div | Rem | And | Or => lt == &Type::Int && rt == &Type::Int,
+            Eq | Ne | Lt | Le | Gt | Ge => lt == rt && lt.is_scalar(),
+        };
+        if !ok {
+            return Err(LangError::check(
+                format!("invalid operand types {lt} {op} {rt}"),
+                span,
+            ));
+        }
+        Ok(match op {
+            Add | Sub => {
+                if lt == &Type::Ptr && rt == &Type::Ptr {
+                    Type::Int // pointer difference
+                } else if lt == &Type::Ptr || rt == &Type::Ptr {
+                    Type::Ptr
+                } else {
+                    Type::Int
+                }
+            }
+            _ => Type::Int,
+        })
+    }
+
+    /// Checks a call expression; returns `Some(Type::Int)` if the callee
+    /// returns a value, `None` otherwise.
+    fn check_call(&mut self, e: &Expr, value_required: bool) -> LangResult<Option<Type>> {
+        let ExprKind::Call(name, args) = &e.kind else {
+            unreachable!("check_call on non-call");
+        };
+        let Some(&callee) = self.funcs.get(name) else {
+            return Err(LangError::check(format!("unknown function `{name}`"), e.span));
+        };
+        let arity = self.sigs[callee].params.len();
+        if args.len() != arity {
+            return Err(LangError::check(
+                format!(
+                    "`{name}` takes {arity} argument{}, {} given",
+                    if arity == 1 { "" } else { "s" },
+                    args.len()
+                ),
+                e.span,
+            ));
+        }
+        for (i, arg) in args.iter().enumerate() {
+            let at = self.check_expr(arg)?;
+            let pt = self.sigs[callee].params[i].clone();
+            if !at.coerces_to(&pt) {
+                return Err(LangError::check(
+                    format!("argument {} of `{name}` has type {at}, expected {pt}", i + 1),
+                    arg.span,
+                ));
+            }
+        }
+        self.info.call_targets.insert(e.id, callee);
+        let returns_value = self.sigs[callee].returns_value;
+        if value_required && !returns_value {
+            return Err(LangError::check(
+                format!("`{name}` does not return a value"),
+                e.span,
+            ));
+        }
+        let ret = returns_value.then_some(Type::Int);
+        if let Some(t) = &ret {
+            self.info.expr_types.insert(e.id, t.clone());
+        }
+        Ok(ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_src(src: &str) -> LangResult<CheckedProgram> {
+        parse_and_check(src)
+    }
+
+    fn assert_check_err(src: &str, needle: &str) {
+        let err = check_src(src).unwrap_err();
+        assert!(
+            err.message.contains(needle),
+            "error `{}` does not contain `{needle}`",
+            err.message
+        );
+    }
+
+    #[test]
+    fn accepts_hello_world() {
+        check_src("fn main() { print(42); }").unwrap();
+    }
+
+    #[test]
+    fn resolves_globals_params_locals() {
+        let p = check_src(
+            "global g: int;\n\
+             fn f(x: int) -> int { let y: int = x + g; return y; }\n\
+             fn main() { print(f(1)); }",
+        )
+        .unwrap();
+        let targets: Vec<_> = p.info.var_refs.values().copied().collect();
+        assert!(targets.contains(&VarTarget::Global(0)));
+        assert!(targets.contains(&VarTarget::Param(0)));
+        assert!(targets.contains(&VarTarget::Local(0)));
+    }
+
+    #[test]
+    fn shadowing_allocates_fresh_slots() {
+        let p = check_src(
+            "fn main() { let x: int = 1; if x { let x: int = 2; print(x); } print(x); }",
+        )
+        .unwrap();
+        assert_eq!(p.info.fn_locals[0].len(), 2);
+        assert_eq!(p.info.fn_locals[0][0].name, "x");
+        assert_eq!(p.info.fn_locals[0][1].name, "x");
+    }
+
+    #[test]
+    fn block_scoping_hides_inner_locals() {
+        assert_check_err(
+            "fn main() { if 1 { let y: int = 2; } print(y); }",
+            "unknown variable `y`",
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert_check_err("global x: int; global x: int;", "duplicate global");
+        assert_check_err("fn f() {} fn f() {}", "duplicate function");
+        assert_check_err("fn f(a: int, a: int) {}", "duplicate parameter");
+    }
+
+    #[test]
+    fn rejects_unknowns() {
+        assert_check_err("fn main() { print(zzz); }", "unknown variable");
+        assert_check_err("fn main() { g(); }", "unknown function");
+    }
+
+    #[test]
+    fn arity_and_argument_types() {
+        assert_check_err("fn f(x: int) {} fn main() { f(); }", "takes 1 argument");
+        assert_check_err(
+            "global a: [int; 4]; fn f(x: int) {} fn main() { f(a); }",
+            "expected int",
+        );
+        // 1-D arrays decay to *int arguments.
+        check_src("global a: [int; 4]; fn f(p: *int) {} fn main() { f(a); }").unwrap();
+        // Multi-dimensional arrays do not decay.
+        assert_check_err(
+            "global m: [[int; 4]; 2]; fn f(p: *int) {} fn main() { f(m); }",
+            "expected *int",
+        );
+    }
+
+    #[test]
+    fn pointer_arithmetic_rules() {
+        check_src("fn f(p: *int) { let q: *int = p + 1; print(*q); }").unwrap();
+        check_src("fn f(p: *int, q: *int) { print(p - q); }").unwrap();
+        assert_check_err("fn f(p: *int, q: *int) { let r: *int = p + q; }", "invalid");
+        assert_check_err("fn f(p: *int) { print(p * 2); }", "invalid");
+    }
+
+    #[test]
+    fn pointer_comparisons() {
+        check_src("fn f(p: *int, q: *int) { if p == q { } if p < q { } }").unwrap();
+        assert_check_err("fn f(p: *int) { if p == 0 { } }", "invalid");
+    }
+
+    #[test]
+    fn deref_and_addrof() {
+        check_src("fn main() { let x: int = 1; let p: *int = &x; *p = 2; print(x); }").unwrap();
+        assert_check_err("fn main() { let x: int = 1; print(*x); }", "dereference");
+        assert_check_err(
+            "global a: [int; 4]; fn main() { let p: *int = &a; }",
+            "arrays decay",
+        );
+        // &a[i] is fine.
+        check_src("global a: [int; 4]; fn main() { let p: *int = &a[1]; print(*p); }").unwrap();
+    }
+
+    #[test]
+    fn indexing_rules() {
+        check_src(
+            "global m: [[int; 3]; 2]; fn main() { m[1][2] = 5; print(m[1][2]); }",
+        )
+        .unwrap();
+        // Indexing a scalar is an error.
+        assert_check_err("fn main() { let x: int = 1; print(x[0]); }", "indexed");
+        // Partial indexing yields an array, which is not assignable.
+        assert_check_err(
+            "global m: [[int; 3]; 2]; fn main() { m[0] = 1; }",
+            "cannot assign",
+        );
+        // Pointers index like arrays.
+        check_src("fn f(p: *int) { p[3] = 1; print(p[3]); }").unwrap();
+        // Index must be an int.
+        assert_check_err(
+            "global a: [int; 4]; fn f(p: *int) { print(a[p]); }",
+            "index has type",
+        );
+    }
+
+    #[test]
+    fn return_type_rules() {
+        assert_check_err("fn f() -> int { return; }", "must return a value");
+        assert_check_err("fn f() { return 1; }", "does not return a value");
+        assert_check_err(
+            "fn f(p: *int) -> int { return p; }",
+            "return value has type *int",
+        );
+    }
+
+    #[test]
+    fn break_continue_placement() {
+        assert_check_err("fn main() { break; }", "outside of a loop");
+        assert_check_err("fn main() { continue; }", "outside of a loop");
+        check_src("fn main() { while 1 { break; } for ;; { continue; } }").unwrap();
+    }
+
+    #[test]
+    fn void_calls_only_in_statement_position() {
+        check_src("fn f() {} fn main() { f(); }").unwrap();
+        assert_check_err(
+            "fn f() {} fn main() { print(f()); }",
+            "does not return a value",
+        );
+    }
+
+    #[test]
+    fn conditions_must_be_int() {
+        assert_check_err("fn f(p: *int) { if p { } }", "condition has type *int");
+        assert_check_err("global a: [int; 3]; fn main() { while a { } }", "condition");
+    }
+
+    #[test]
+    fn array_global_initializer_rejected() {
+        // Array globals cannot take scalar initializers; the parser only
+        // permits literal inits, so express this via the checker.
+        let err = check(crate::parser::parse("global a: [int; 3] = 5;").unwrap()).unwrap_err();
+        assert!(err.message.contains("cannot have an initializer"));
+    }
+
+    #[test]
+    fn local_array_initializer_rejected() {
+        assert_check_err(
+            "fn main() { let a: [int; 3] = 5; }",
+            "cannot have an initializer",
+        );
+    }
+
+    #[test]
+    fn expression_statements_must_be_calls() {
+        assert_check_err("fn main() { 1 + 2; }", "no effect");
+    }
+
+    #[test]
+    fn expr_types_recorded_for_all_value_exprs() {
+        let p = check_src("fn main() { let x: int = 1 + 2; print(x * 3); }").unwrap();
+        // 1, 2, 1+2, x, 3, x*3 → six typed expressions.
+        assert_eq!(p.info.expr_types.len(), 6);
+        assert!(p.info.expr_types.values().all(|t| *t == Type::Int));
+    }
+
+    #[test]
+    fn assignment_decay_to_pointer_local() {
+        check_src("global a: [int; 8]; fn main() { let p: *int = a; print(*p); }").unwrap();
+    }
+}

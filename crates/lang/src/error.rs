@@ -1,0 +1,105 @@
+//! Error type shared by the lexer, parser, and semantic checker.
+
+use crate::token::Span;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while processing Mini source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Which phase rejected the program.
+    pub phase: Phase,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Location of the problem in the source.
+    pub span: Span,
+}
+
+/// The front-end phase an error originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Syntax analysis.
+    Parse,
+    /// Name resolution and type checking.
+    Check,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Check => write!(f, "check"),
+        }
+    }
+}
+
+impl LangError {
+    /// Creates a lexer error.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        LangError {
+            phase: Phase::Lex,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a parser error.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        LangError {
+            phase: Phase::Parse,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Creates a semantic-checker error.
+    pub fn check(message: impl Into<String>, span: Span) -> Self {
+        LangError {
+            phase: Phase::Check,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the error with 1-based line/column resolved against `src`.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        format!("{} error at {line}:{col}: {}", self.phase, self.message)
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} error at bytes {}: {}",
+            self.phase, self.span, self.message
+        )
+    }
+}
+
+impl Error for LangError {}
+
+/// Result alias used throughout the front end.
+pub type LangResult<T> = Result<T, LangError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_reports_line_and_column() {
+        let src = "fn main() {\n  ???\n}";
+        let err = LangError::lex("unexpected character `?`", Span::new(14, 15));
+        assert_eq!(err.render(src), "lex error at 2:3: unexpected character `?`");
+    }
+
+    #[test]
+    fn display_mentions_phase() {
+        let err = LangError::parse("expected `;`", Span::new(0, 1));
+        assert!(err.to_string().contains("parse error"));
+    }
+}

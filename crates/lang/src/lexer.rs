@@ -1,0 +1,363 @@
+//! Hand-written lexer for the Mini language.
+//!
+//! Mini supports `//` line comments and `/* ... */` block comments (which do
+//! not nest), decimal integer literals, and the keywords/operators defined in
+//! [`crate::token::TokenKind`].
+
+use crate::error::{LangError, LangResult};
+use crate::token::{Span, Token, TokenKind};
+
+/// Tokenizes `src` into a vector of tokens ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on unexpected characters, unterminated block
+/// comments, or integer literals that overflow `i64`.
+pub fn lex(src: &str) -> LangResult<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn run(mut self) -> LangResult<Vec<Token>> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(b) = self.peek() else {
+                self.tokens
+                    .push(Token::new(TokenKind::Eof, Span::new(start, start)));
+                return Ok(self.tokens);
+            };
+            let kind = match b {
+                b'0'..=b'9' => self.lex_int(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'{' => self.single(TokenKind::LBrace),
+                b'}' => self.single(TokenKind::RBrace),
+                b'[' => self.single(TokenKind::LBracket),
+                b']' => self.single(TokenKind::RBracket),
+                b',' => self.single(TokenKind::Comma),
+                b';' => self.single(TokenKind::Semi),
+                b':' => self.single(TokenKind::Colon),
+                b'+' => self.single(TokenKind::Plus),
+                b'*' => self.single(TokenKind::Star),
+                b'/' => self.single(TokenKind::Slash),
+                b'%' => self.single(TokenKind::Percent),
+                b'-' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        TokenKind::Arrow
+                    } else {
+                        TokenKind::Minus
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::EqEq
+                    } else {
+                        TokenKind::Assign
+                    }
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::NotEq
+                    } else {
+                        TokenKind::Bang
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Le
+                    } else {
+                        TokenKind::Lt
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                b'&' => {
+                    self.bump();
+                    if self.peek() == Some(b'&') {
+                        self.bump();
+                        TokenKind::AndAnd
+                    } else {
+                        TokenKind::Amp
+                    }
+                }
+                b'|' => {
+                    self.bump();
+                    if self.peek() == Some(b'|') {
+                        self.bump();
+                        TokenKind::OrOr
+                    } else {
+                        return Err(LangError::lex(
+                            "unexpected character `|` (Mini has no bitwise or)",
+                            Span::new(start, self.pos),
+                        ));
+                    }
+                }
+                other => {
+                    return Err(LangError::lex(
+                        format!("unexpected character `{}`", other as char),
+                        Span::new(start, start + 1),
+                    ));
+                }
+            };
+            self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
+        }
+    }
+
+    /// Skips whitespace and comments.
+    fn skip_trivia(&mut self) -> LangResult<()> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(b) = self.bump() {
+                        if b == b'*' && self.peek() == Some(b'/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(LangError::lex(
+                            "unterminated block comment",
+                            Span::new(start, self.pos),
+                        ));
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn lex_int(&mut self, start: usize) -> LangResult<TokenKind> {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        text.parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| {
+                LangError::lex(
+                    format!("integer literal `{text}` overflows i64"),
+                    Span::new(start, self.pos),
+                )
+            })
+    }
+
+    fn lex_ident(&mut self, start: usize) -> TokenKind {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match &self.src[start..self.pos] {
+            "fn" => TokenKind::Fn,
+            "let" => TokenKind::Let,
+            "global" => TokenKind::Global,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "return" => TokenKind::Return,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "int" => TokenKind::KwInt,
+            "print" => TokenKind::Print,
+            other => TokenKind::Ident(other.to_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_empty_input_to_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t "), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_keywords_and_identifiers() {
+        assert_eq!(
+            kinds("fn foo int integer"),
+            vec![
+                TokenKind::Fn,
+                TokenKind::Ident("foo".into()),
+                TokenKind::KwInt,
+                TokenKind::Ident("integer".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("0 42 9223372036854775807"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::Int(42),
+                TokenKind::Int(i64::MAX),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        let err = lex("9223372036854775808").unwrap_err();
+        assert!(err.message.contains("overflows"));
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || -> = < > ! & - %"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Arrow,
+                TokenKind::Assign,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Bang,
+                TokenKind::Amp,
+                TokenKind::Minus,
+                TokenKind::Percent,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        assert_eq!(
+            kinds("1 // comment\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_block_comments() {
+        assert_eq!(
+            kinds("1 /* a\nb */ 2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        let err = lex("/* oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("a ? b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn token_spans_index_source() {
+        let src = "let xy = 12;";
+        let toks = lex(src).unwrap();
+        assert_eq!(&src[toks[0].span.start..toks[0].span.end], "let");
+        assert_eq!(&src[toks[1].span.start..toks[1].span.end], "xy");
+        assert_eq!(&src[toks[3].span.start..toks[3].span.end], "12");
+    }
+
+    #[test]
+    fn slash_followed_by_non_comment_is_division() {
+        assert_eq!(
+            kinds("a / b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

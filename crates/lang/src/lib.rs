@@ -1,0 +1,43 @@
+//! # ucm-lang — front end for the Mini language
+//!
+//! Mini is a small C-like language used as the source language for the
+//! reproduction of *Chi & Dietz, "Unified Management of Registers and Cache
+//! Using Liveness and Cache Bypass" (PLDI 1989)*. It was designed so the
+//! paper's alias classification has realistic work to do: scalars, N-d `int`
+//! arrays, `*int` pointers with arithmetic, address-of, and recursion.
+//!
+//! The crate provides a lexer ([`lexer::lex`]), a parser ([`parser::parse`]),
+//! and a semantic checker ([`check::check`]) whose output,
+//! [`check::CheckedProgram`], carries the type/resolution side tables that
+//! `ucm-ir` lowers from.
+//!
+//! ## Example
+//!
+//! ```rust
+//! # fn main() -> Result<(), ucm_lang::LangError> {
+//! let program = ucm_lang::parse_and_check(
+//!     "global a: [int; 8];
+//!      fn main() {
+//!          let i: int = 0;
+//!          while i < 8 { a[i] = i * i; i = i + 1; }
+//!          print(a[7]);
+//!      }",
+//! )?;
+//! assert_eq!(program.ast.funcs[0].name, "main");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod check;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+pub mod types;
+
+pub use ast::Program;
+pub use check::{check, parse_and_check, CheckInfo, CheckedProgram, VarTarget};
+pub use error::{LangError, LangResult};
+pub use parser::parse;
+pub use types::Type;

@@ -1,0 +1,814 @@
+//! Recursive-descent parser for Mini.
+//!
+//! Operator precedence (loosest to tightest): `||`, `&&`, comparisons
+//! (non-associative), `+ -`, `* / %`, unary `- ! * &`, postfix indexing.
+
+use crate::ast::*;
+use crate::error::{LangError, LangResult};
+use crate::lexer::lex;
+use crate::token::{Span, Token, TokenKind};
+
+/// Parses a full Mini program from source text.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(src: &str) -> LangResult<Program> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).program()
+}
+
+/// Parses a single expression (useful for tests and tools).
+///
+/// # Errors
+///
+/// Returns an error if the input is not exactly one expression.
+pub fn parse_expr(src: &str) -> LangResult<Expr> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let e = p.expr()?;
+    p.expect(TokenKind::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_expr_id: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            next_expr_id: 0,
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> LangResult<Token> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            Err(LangError::parse(
+                format!("expected {kind}, found {}", self.peek_kind()),
+                self.peek().span,
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> LangResult<(String, Span)> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                Ok((name, t.span))
+            }
+            other => Err(LangError::parse(
+                format!("expected identifier, found {other}"),
+                self.peek().span,
+            )),
+        }
+    }
+
+    fn mk_expr(&mut self, kind: ExprKind, span: Span) -> Expr {
+        let id = ExprId(self.next_expr_id);
+        self.next_expr_id += 1;
+        Expr { id, kind, span }
+    }
+
+    // ---- top level ----
+
+    fn program(&mut self) -> LangResult<Program> {
+        let mut program = Program::default();
+        loop {
+            match self.peek_kind() {
+                TokenKind::Eof => return Ok(program),
+                TokenKind::Global => program.globals.push(self.global_decl()?),
+                TokenKind::Fn => program.funcs.push(self.func_decl()?),
+                other => {
+                    return Err(LangError::parse(
+                        format!("expected `global` or `fn` at top level, found {other}"),
+                        self.peek().span,
+                    ));
+                }
+            }
+        }
+    }
+
+    fn global_decl(&mut self) -> LangResult<GlobalDecl> {
+        let start = self.expect(TokenKind::Global)?.span;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::Colon)?;
+        let ty = self.type_expr()?;
+        let init = if self.eat(&TokenKind::Assign) {
+            let t = self.peek().clone();
+            match t.kind {
+                TokenKind::Int(v) => {
+                    self.bump();
+                    Some(v)
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    match self.peek_kind().clone() {
+                        TokenKind::Int(v) => {
+                            self.bump();
+                            Some(-v)
+                        }
+                        other => {
+                            return Err(LangError::parse(
+                                format!("expected integer literal after `-`, found {other}"),
+                                self.peek().span,
+                            ));
+                        }
+                    }
+                }
+                other => {
+                    return Err(LangError::parse(
+                        format!("global initializers must be integer literals, found {other}"),
+                        t.span,
+                    ));
+                }
+            }
+        } else {
+            None
+        };
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(GlobalDecl {
+            name,
+            ty,
+            init,
+            span: start.merge(end),
+        })
+    }
+
+    fn func_decl(&mut self) -> LangResult<FuncDecl> {
+        let start = self.expect(TokenKind::Fn)?.span;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let (pname, pspan) = self.expect_ident()?;
+                self.expect(TokenKind::Colon)?;
+                let ty = self.type_expr()?;
+                params.push(Param {
+                    name: pname,
+                    ty,
+                    span: pspan,
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let close = self.expect(TokenKind::RParen)?.span;
+        let returns_value = if self.eat(&TokenKind::Arrow) {
+            self.expect(TokenKind::KwInt)?;
+            true
+        } else {
+            false
+        };
+        let body = self.block()?;
+        Ok(FuncDecl {
+            name,
+            params,
+            returns_value,
+            body,
+            span: start.merge(close),
+        })
+    }
+
+    fn type_expr(&mut self) -> LangResult<TypeExpr> {
+        match self.peek_kind().clone() {
+            TokenKind::KwInt => {
+                self.bump();
+                Ok(TypeExpr::Int)
+            }
+            TokenKind::Star => {
+                self.bump();
+                self.expect(TokenKind::KwInt)?;
+                Ok(TypeExpr::Ptr)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let elem = self.type_expr()?;
+                self.expect(TokenKind::Semi)?;
+                let t = self.peek().clone();
+                let len = match t.kind {
+                    TokenKind::Int(v) if v > 0 => {
+                        self.bump();
+                        v as usize
+                    }
+                    TokenKind::Int(_) => {
+                        return Err(LangError::parse("array length must be positive", t.span));
+                    }
+                    other => {
+                        return Err(LangError::parse(
+                            format!("expected array length, found {other}"),
+                            t.span,
+                        ));
+                    }
+                };
+                self.expect(TokenKind::RBracket)?;
+                Ok(TypeExpr::Array(Box::new(elem), len))
+            }
+            other => Err(LangError::parse(
+                format!("expected a type, found {other}"),
+                self.peek().span,
+            )),
+        }
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self) -> LangResult<Block> {
+        let start = self.expect(TokenKind::LBrace)?.span;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            if self.at(&TokenKind::Eof) {
+                return Err(LangError::parse("unterminated block", self.peek().span));
+            }
+            stmts.push(self.stmt()?);
+        }
+        let end = self.expect(TokenKind::RBrace)?.span;
+        Ok(Block {
+            stmts,
+            span: start.merge(end),
+        })
+    }
+
+    fn stmt(&mut self) -> LangResult<Stmt> {
+        match self.peek_kind() {
+            TokenKind::Let => self.let_stmt(),
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => self.while_stmt(),
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Return => {
+                let start = self.bump().span;
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    kind: StmtKind::Return(value),
+                    span: start.merge(end),
+                })
+            }
+            TokenKind::Break => {
+                let start = self.bump().span;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    kind: StmtKind::Break,
+                    span: start.merge(end),
+                })
+            }
+            TokenKind::Continue => {
+                let start = self.bump().span;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    kind: StmtKind::Continue,
+                    span: start.merge(end),
+                })
+            }
+            TokenKind::Print => {
+                let start = self.bump().span;
+                self.expect(TokenKind::LParen)?;
+                let value = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    kind: StmtKind::Print(value),
+                    span: start.merge(end),
+                })
+            }
+            _ => {
+                let stmt = self.simple_stmt()?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    span: stmt.span.merge(end),
+                    ..stmt
+                })
+            }
+        }
+    }
+
+    /// Parses an assignment or expression statement, without the trailing
+    /// semicolon (shared by statement position and `for` headers).
+    fn simple_stmt(&mut self) -> LangResult<Stmt> {
+        let target = self.expr()?;
+        if self.eat(&TokenKind::Assign) {
+            let value = self.expr()?;
+            if !target.is_lvalue() {
+                return Err(LangError::parse(
+                    "left-hand side of assignment is not assignable",
+                    target.span,
+                ));
+            }
+            let span = target.span.merge(value.span);
+            Ok(Stmt {
+                kind: StmtKind::Assign { target, value },
+                span,
+            })
+        } else {
+            let span = target.span;
+            Ok(Stmt {
+                kind: StmtKind::Expr(target),
+                span,
+            })
+        }
+    }
+
+    fn let_stmt(&mut self) -> LangResult<Stmt> {
+        let start = self.expect(TokenKind::Let)?.span;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::Colon)?;
+        let ty = self.type_expr()?;
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(Stmt {
+            kind: StmtKind::Let { name, ty, init },
+            span: start.merge(end),
+        })
+    }
+
+    fn if_stmt(&mut self) -> LangResult<Stmt> {
+        let start = self.expect(TokenKind::If)?.span;
+        let cond = self.expr()?;
+        let then_blk = self.block()?;
+        let mut span = start.merge(then_blk.span);
+        let else_blk = if self.eat(&TokenKind::Else) {
+            if self.at(&TokenKind::If) {
+                // `else if`: wrap the nested if in a synthetic block.
+                let nested = self.if_stmt()?;
+                let blk = Block {
+                    span: nested.span,
+                    stmts: vec![nested],
+                };
+                span = span.merge(blk.span);
+                Some(blk)
+            } else {
+                let blk = self.block()?;
+                span = span.merge(blk.span);
+                Some(blk)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt {
+            kind: StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            },
+            span,
+        })
+    }
+
+    fn while_stmt(&mut self) -> LangResult<Stmt> {
+        let start = self.expect(TokenKind::While)?.span;
+        let cond = self.expr()?;
+        let body = self.block()?;
+        let span = start.merge(body.span);
+        Ok(Stmt {
+            kind: StmtKind::While { cond, body },
+            span,
+        })
+    }
+
+    fn for_stmt(&mut self) -> LangResult<Stmt> {
+        let start = self.expect(TokenKind::For)?.span;
+        let init = if self.at(&TokenKind::Semi) {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(TokenKind::Semi)?;
+        let cond = if self.at(&TokenKind::Semi) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(TokenKind::Semi)?;
+        let step = if self.at(&TokenKind::LBrace) {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        let body = self.block()?;
+        let span = start.merge(body.span);
+        Ok(Stmt {
+            kind: StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            },
+            span,
+        })
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> LangResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = self.mk_expr(
+                ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = self.mk_expr(
+                ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> LangResult<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek_kind() {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        let span = lhs.span.merge(rhs.span);
+        Ok(self.mk_expr(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span))
+    }
+
+    fn add_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = self.mk_expr(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+    }
+
+    fn mul_expr(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = self.mk_expr(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+    }
+
+    fn unary_expr(&mut self) -> LangResult<Expr> {
+        let start = self.peek().span;
+        match self.peek_kind() {
+            TokenKind::Minus => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                let span = start.merge(operand.span);
+                Ok(self.mk_expr(ExprKind::Unary(UnOp::Neg, Box::new(operand)), span))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                let span = start.merge(operand.span);
+                Ok(self.mk_expr(ExprKind::Unary(UnOp::Not, Box::new(operand)), span))
+            }
+            TokenKind::Star => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                let span = start.merge(operand.span);
+                Ok(self.mk_expr(ExprKind::Deref(Box::new(operand)), span))
+            }
+            TokenKind::Amp => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                if !operand.is_lvalue() {
+                    return Err(LangError::parse(
+                        "`&` requires an addressable expression",
+                        operand.span,
+                    ));
+                }
+                let span = start.merge(operand.span);
+                Ok(self.mk_expr(ExprKind::AddrOf(Box::new(operand)), span))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> LangResult<Expr> {
+        let mut e = self.primary_expr()?;
+        while self.at(&TokenKind::LBracket) {
+            self.bump();
+            let index = self.expr()?;
+            let end = self.expect(TokenKind::RBracket)?.span;
+            let span = e.span.merge(end);
+            e = self.mk_expr(ExprKind::Index(Box::new(e), Box::new(index)), span);
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> LangResult<Expr> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(self.mk_expr(ExprKind::IntLit(v), t.span))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(TokenKind::RParen)?.span;
+                    let span = t.span.merge(end);
+                    Ok(self.mk_expr(ExprKind::Call(name, args), span))
+                } else {
+                    Ok(self.mk_expr(ExprKind::Var(name), t.span))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            other => Err(LangError::parse(
+                format!("expected an expression, found {other}"),
+                t.span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("fn main() { }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        assert!(p.funcs[0].params.is_empty());
+        assert!(!p.funcs[0].returns_value);
+    }
+
+    #[test]
+    fn parses_globals() {
+        let p = parse("global x: int = 3; global neg: int = -7; global a: [int; 10];").unwrap();
+        assert_eq!(p.globals.len(), 3);
+        assert_eq!(p.globals[0].init, Some(3));
+        assert_eq!(p.globals[1].init, Some(-7));
+        assert_eq!(p.globals[2].ty, TypeExpr::Array(Box::new(TypeExpr::Int), 10));
+    }
+
+    #[test]
+    fn parses_multidim_global() {
+        let p = parse("global m: [[int; 512]; 13];").unwrap();
+        assert_eq!(p.globals[0].ty.size_in_words(), 13 * 512);
+    }
+
+    #[test]
+    fn parses_function_signature() {
+        let p = parse("fn f(x: int, p: *int) -> int { return x; }").unwrap();
+        let f = &p.funcs[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].ty, TypeExpr::Int);
+        assert_eq!(f.params[1].ty, TypeExpr::Ptr);
+        assert!(f.returns_value);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e.kind {
+            ExprKind::Binary(BinOp::Add, lhs, rhs) => {
+                assert!(matches!(lhs.kind, ExprKind::IntLit(1)));
+                assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_cmp_over_and_over_or() {
+        let e = parse_expr("a < b && c || d").unwrap();
+        match e.kind {
+            ExprKind::Binary(BinOp::Or, lhs, _) => {
+                assert!(matches!(lhs.kind, ExprKind::Binary(BinOp::And, _, _)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparisons_are_non_associative() {
+        // `a < b < c` must not parse as a chain.
+        assert!(parse_expr("a < b < c").is_err());
+    }
+
+    #[test]
+    fn parses_unary_chain() {
+        let e = parse_expr("-!x").unwrap();
+        match e.kind {
+            ExprKind::Unary(UnOp::Neg, inner) => {
+                assert!(matches!(inner.kind, ExprKind::Unary(UnOp::Not, _)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_deref_and_addrof() {
+        let e = parse_expr("*p + 1").unwrap();
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Add, _, _)));
+        let e = parse_expr("&a[i]").unwrap();
+        assert!(matches!(e.kind, ExprKind::AddrOf(_)));
+    }
+
+    #[test]
+    fn rejects_addrof_rvalue() {
+        assert!(parse_expr("&(1 + 2)").is_err());
+        assert!(parse_expr("&f()").is_err());
+    }
+
+    #[test]
+    fn parses_nested_indexing() {
+        let e = parse_expr("m[i][j]").unwrap();
+        match e.kind {
+            ExprKind::Index(base, _) => {
+                assert!(matches!(base.kind, ExprKind::Index(_, _)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let p = parse(
+            "fn main() { if a { } else if b { } else { } }",
+        )
+        .unwrap();
+        let StmtKind::If { else_blk, .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!("expected if");
+        };
+        let inner = else_blk.as_ref().unwrap();
+        assert!(matches!(inner.stmts[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn parses_while_and_for() {
+        let p = parse(
+            "fn main() { let i: int = 0; while i < 10 { i = i + 1; } \
+             for i = 0; i < 5; i = i + 1 { print(i); } }",
+        )
+        .unwrap();
+        assert_eq!(p.funcs[0].body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn parses_for_with_empty_parts() {
+        let p = parse("fn main() { for ; ; { break; } }").unwrap();
+        let StmtKind::For {
+            init, cond, step, ..
+        } = &p.funcs[0].body.stmts[0].kind
+        else {
+            panic!("expected for");
+        };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn rejects_assignment_to_rvalue() {
+        assert!(parse("fn main() { 1 = 2; }").is_err());
+        assert!(parse("fn main() { f() = 2; }").is_err());
+    }
+
+    #[test]
+    fn assignment_through_pointer_ok() {
+        let p = parse("fn main() { *p = 2; a[i] = 3; m[i][j] = 4; }").unwrap();
+        assert_eq!(p.funcs[0].body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        assert!(parse("fn main() { let x: int = 1;").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_at_top_level() {
+        assert!(parse("let x: int = 1;").is_err());
+    }
+
+    #[test]
+    fn expr_ids_are_unique() {
+        let p = parse("fn main() { let x: int = 1 + 2 * 3; print(x + x); }").unwrap();
+        let mut ids = Vec::new();
+        fn collect(e: &Expr, ids: &mut Vec<ExprId>) {
+            ids.push(e.id);
+            match &e.kind {
+                ExprKind::Unary(_, a) | ExprKind::Deref(a) | ExprKind::AddrOf(a) => {
+                    collect(a, ids)
+                }
+                ExprKind::Binary(_, a, b) | ExprKind::Index(a, b) => {
+                    collect(a, ids);
+                    collect(b, ids);
+                }
+                ExprKind::Call(_, args) => args.iter().for_each(|a| collect(a, ids)),
+                ExprKind::IntLit(_) | ExprKind::Var(_) => {}
+            }
+        }
+        for f in &p.funcs {
+            for s in &f.body.stmts {
+                if let StmtKind::Let { init: Some(e), .. } = &s.kind {
+                    collect(e, &mut ids);
+                }
+                if let StmtKind::Print(e) = &s.kind {
+                    collect(e, &mut ids);
+                }
+            }
+        }
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "expression ids must be unique");
+    }
+
+    #[test]
+    fn parenthesized_expression_reassociates() {
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+}

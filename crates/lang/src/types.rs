@@ -1,0 +1,119 @@
+//! Semantic types for Mini.
+
+use crate::ast::TypeExpr;
+use std::fmt;
+
+/// A fully resolved Mini type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer, the only scalar value type.
+    Int,
+    /// Pointer to `int` (one machine word).
+    Ptr,
+    /// Fixed-length array. Element is `int` or a nested array.
+    Array(Box<Type>, usize),
+}
+
+impl Type {
+    /// Number of machine words a value of this type occupies in memory.
+    pub fn size_in_words(&self) -> usize {
+        match self {
+            Type::Int | Type::Ptr => 1,
+            Type::Array(elem, n) => elem.size_in_words() * n,
+        }
+    }
+
+    /// Returns `true` for word-sized types that fit in a register.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int | Type::Ptr)
+    }
+
+    /// The type of `self[i]`, if indexable.
+    ///
+    /// Arrays index to their element type; pointers index to `int`.
+    pub fn index_elem(&self) -> Option<Type> {
+        match self {
+            Type::Array(elem, _) => Some((**elem).clone()),
+            Type::Ptr => Some(Type::Int),
+            Type::Int => None,
+        }
+    }
+
+    /// Applies C-style array-to-pointer decay for value contexts.
+    ///
+    /// Only one-dimensional `int` arrays decay (to `*int`); other types are
+    /// returned unchanged.
+    pub fn decayed(&self) -> Type {
+        match self {
+            Type::Array(elem, _) if **elem == Type::Int => Type::Ptr,
+            other => other.clone(),
+        }
+    }
+
+    /// Whether a value of type `self` can be passed where `param` is expected,
+    /// applying decay.
+    pub fn coerces_to(&self, param: &Type) -> bool {
+        self == param || &self.decayed() == param
+    }
+}
+
+impl From<&TypeExpr> for Type {
+    fn from(te: &TypeExpr) -> Self {
+        match te {
+            TypeExpr::Int => Type::Int,
+            TypeExpr::Ptr => Type::Ptr,
+            TypeExpr::Array(elem, n) => Type::Array(Box::new(Type::from(&**elem)), *n),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Ptr => write!(f, "*int"),
+            Type::Array(elem, n) => write!(f, "[{elem}; {n}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::Int.size_in_words(), 1);
+        assert_eq!(Type::Ptr.size_in_words(), 1);
+        let m = Type::Array(Box::new(Type::Array(Box::new(Type::Int), 512)), 13);
+        assert_eq!(m.size_in_words(), 6656);
+    }
+
+    #[test]
+    fn indexing() {
+        let a = Type::Array(Box::new(Type::Int), 8);
+        assert_eq!(a.index_elem(), Some(Type::Int));
+        assert_eq!(Type::Ptr.index_elem(), Some(Type::Int));
+        assert_eq!(Type::Int.index_elem(), None);
+        let m = Type::Array(Box::new(a.clone()), 2);
+        assert_eq!(m.index_elem(), Some(a));
+    }
+
+    #[test]
+    fn decay_rules() {
+        let a = Type::Array(Box::new(Type::Int), 8);
+        assert_eq!(a.decayed(), Type::Ptr);
+        let m = Type::Array(Box::new(a.clone()), 2);
+        assert_eq!(m.decayed(), m); // multi-dim arrays do not decay
+        assert!(a.coerces_to(&Type::Ptr));
+        assert!(!m.coerces_to(&Type::Ptr));
+        assert!(Type::Int.coerces_to(&Type::Int));
+        assert!(!Type::Int.coerces_to(&Type::Ptr));
+    }
+
+    #[test]
+    fn from_type_expr() {
+        let te = TypeExpr::Array(Box::new(TypeExpr::Ptr), 4);
+        assert_eq!(Type::from(&te), Type::Array(Box::new(Type::Ptr), 4));
+    }
+}

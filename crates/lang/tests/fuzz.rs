@@ -1,0 +1,87 @@
+//! Robustness fuzzing: the front end must reject garbage with errors, never
+//! panics, and must be stable (same input → same result).
+
+use proptest::prelude::*;
+use ucm_lang::{lexer::lex, parse, parse_and_check};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics(input in ".{0,200}") {
+        let _ = lex(&input);
+    }
+
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn checker_never_panics_on_token_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("fn".to_string()),
+                Just("let".to_string()),
+                Just("global".to_string()),
+                Just("if".to_string()),
+                Just("while".to_string()),
+                Just("return".to_string()),
+                Just("int".to_string()),
+                Just("print".to_string()),
+                Just("main".to_string()),
+                Just("x".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just(";".to_string()),
+                Just(":".to_string()),
+                Just("=".to_string()),
+                Just("*".to_string()),
+                Just("&".to_string()),
+                Just("1".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse_and_check(&src);
+    }
+
+    #[test]
+    fn front_end_is_deterministic(input in ".{0,120}") {
+        let a = parse(&input).map(|p| format!("{p:?}"));
+        let b = parse(&input).map(|p| format!("{p:?}"));
+        prop_assert_eq!(a.is_ok(), b.is_ok());
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+#[test]
+fn error_positions_are_within_input() {
+    let bad_inputs = [
+        "fn main( { }",
+        "global : int;",
+        "fn f() -> { }",
+        "fn main() { let x = ; }",
+        "fn main() { if { } }",
+        "\u{0}\u{1}\u{2}",
+        "fn main() { a[[; }",
+    ];
+    for src in bad_inputs {
+        let err = ucm_lang::parse(src).unwrap_err();
+        assert!(
+            err.span.start <= src.len() && err.span.end <= src.len() + 1,
+            "span {:?} escapes input of length {} for {src:?}",
+            err.span,
+            src.len()
+        );
+        // Rendering with line/col never panics either.
+        let _ = err.render(src);
+    }
+}

@@ -1,0 +1,600 @@
+//! IR → machine-code generation.
+//!
+//! Besides translating instructions 1:1, codegen synthesizes the memory
+//! traffic that real compiled code has and the paper's measurement depends
+//! on — all of it *unambiguous* by construction and routed per the unified
+//! model when `unified` is set:
+//!
+//! * prologue/epilogue FP (and RA) saves — `AmSp_STORE` / `UmAm_LOAD`
+//! * caller-save spills of live registers around calls — same
+//! * argument passing through the stack — store `AmSp_STORE`, the callee's
+//!   parameter load `UmAm_LOAD` (the argument slot dies on first read, so
+//!   the unified cache drops it immediately)
+
+use crate::isa::{Flavour, MAddr, MFunc, MInstr, MOperand, MachineProgram, MemTag, PReg};
+use std::collections::{BTreeSet, HashMap};
+use ucm_analysis::Liveness;
+use ucm_ir::{
+    Cfg, FuncId, Function, Instr, InstrRef, MemAddr, MemObject, Module, Operand, Terminator,
+};
+
+/// Supplies the [`MemTag`] for each IR memory instruction (the unified pass
+/// in `ucm-core` implements this; tests can use [`PlainTagger`]).
+pub trait MemTagger {
+    /// The tag for the load/store at `(func, iref)`.
+    fn tag_of(&self, func: FuncId, iref: InstrRef) -> MemTag;
+}
+
+/// Tags every reference `Plain` / ambiguous (conventional baseline without
+/// classification).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlainTagger;
+
+impl MemTagger for PlainTagger {
+    fn tag_of(&self, _func: FuncId, _iref: InstrRef) -> MemTag {
+        MemTag::plain(false)
+    }
+}
+
+/// Code-generation options.
+#[derive(Debug, Clone, Copy)]
+pub struct CodegenConfig {
+    /// Number of general-purpose registers (must match the allocation).
+    pub num_regs: usize,
+    /// Whether synthesized references (saves, spills, argument passing) use
+    /// the unified flavours or stay `Plain`.
+    pub unified: bool,
+    /// Base address of the global segment.
+    pub globals_base: i64,
+}
+
+impl Default for CodegenConfig {
+    fn default() -> Self {
+        CodegenConfig {
+            num_regs: 16,
+            unified: true,
+            globals_base: 0x1000,
+        }
+    }
+}
+
+impl CodegenConfig {
+    fn spill_store_tag(&self) -> MemTag {
+        MemTag {
+            flavour: if self.unified {
+                Flavour::AmSpStore
+            } else {
+                Flavour::Plain
+            },
+            last_ref: false,
+            unambiguous: true,
+        }
+    }
+
+    fn spill_load_tag(&self) -> MemTag {
+        MemTag {
+            flavour: if self.unified {
+                Flavour::UmAmLoad
+            } else {
+                Flavour::Plain
+            },
+            // A spill/save/argument slot dies on reload (§4.2[3]).
+            last_ref: self.unified,
+            unambiguous: true,
+        }
+    }
+}
+
+/// Compiles `module` with the given per-function register assignments.
+///
+/// `assignments[f][v]` is the physical register of virtual register `v` in
+/// function `f` (functions must already be spill-rewritten so every
+/// occurring register is assigned).
+///
+/// # Panics
+///
+/// Panics if an occurring virtual register has no assignment — that is an
+/// allocator bug, not user input.
+pub fn codegen(
+    module: &Module,
+    assignments: &[Vec<Option<u8>>],
+    tagger: &dyn MemTagger,
+    config: &CodegenConfig,
+) -> MachineProgram {
+    assert_eq!(
+        module.funcs.len(),
+        assignments.len(),
+        "one assignment vector per function"
+    );
+    // Global addresses by prefix sum.
+    let mut global_addr = Vec::with_capacity(module.globals.len());
+    let mut next = config.globals_base;
+    for g in &module.globals {
+        global_addr.push(next);
+        next += g.words as i64;
+    }
+    let mut globals_init = vec![0i64; (next - config.globals_base) as usize];
+    for (g, &addr) in module.globals.iter().zip(&global_addr) {
+        globals_init[(addr - config.globals_base) as usize] = g.init;
+    }
+
+    let mut funcs = Vec::with_capacity(module.funcs.len());
+    let mut code_base = 0i64;
+    for fid in module.func_ids() {
+        let mfunc = FuncGen {
+            module,
+            fid,
+            func: module.func(fid),
+            assignment: &assignments[fid.index()],
+            global_addr: &global_addr,
+            config,
+            tagger,
+            code_base,
+        }
+        .run();
+        code_base += mfunc.code.len() as i64;
+        funcs.push(mfunc);
+    }
+    MachineProgram {
+        funcs,
+        main: module.main.index(),
+        num_regs: config.num_regs,
+        globals_base: config.globals_base,
+        globals_init,
+    }
+}
+
+struct FuncGen<'a> {
+    module: &'a Module,
+    fid: FuncId,
+    func: &'a Function,
+    assignment: &'a [Option<u8>],
+    global_addr: &'a [i64],
+    config: &'a CodegenConfig,
+    tagger: &'a dyn MemTagger,
+    code_base: i64,
+}
+
+impl FuncGen<'_> {
+    fn reg(&self, v: ucm_ir::VReg) -> PReg {
+        self.assignment[v.index()]
+            .unwrap_or_else(|| panic!("{} in `{}` has no register", v, self.func.name))
+    }
+
+    /// FP-relative offset of the first word of frame slot `s`.
+    fn slot_off(&self, s: ucm_ir::SlotId) -> i64 {
+        let cum_end: usize = self.func.frame[..=s.index()]
+            .iter()
+            .map(|sl| sl.words)
+            .sum();
+        -(2 + cum_end as i64)
+    }
+
+    fn maddr(&self, addr: &MemAddr) -> MAddr {
+        match addr {
+            MemAddr::Object(MemObject::Global(g)) => MAddr::Abs(self.global_addr[g.index()]),
+            MemAddr::Object(MemObject::Frame(s)) => MAddr::FpOff(self.slot_off(*s)),
+            MemAddr::Reg(v) => MAddr::Reg(self.reg(*v)),
+        }
+    }
+
+    fn run(self) -> MFunc {
+        let func = self.func;
+        let is_leaf = !func
+            .instrs()
+            .any(|(_, i)| matches!(i, Instr::Call { .. }));
+
+        // Caller-save planning: which physical registers are live across
+        // each call, and one extra frame slot per such register.
+        let cfg = Cfg::new(func);
+        let liveness = Liveness::compute(func, &cfg);
+        let mut call_saves: HashMap<InstrRef, Vec<PReg>> = HashMap::new();
+        let mut save_regs: BTreeSet<PReg> = BTreeSet::new();
+        for bid in func.block_ids() {
+            let per_out = liveness.instr_live_out(func, bid);
+            for (idx, instr) in func.block(bid).instrs.iter().enumerate() {
+                let Instr::Call { dst, .. } = instr else {
+                    continue;
+                };
+                let mut pregs: BTreeSet<PReg> = BTreeSet::new();
+                for l in per_out[idx].iter() {
+                    let v = ucm_ir::VReg(l as u32);
+                    if Some(v) == *dst {
+                        continue;
+                    }
+                    pregs.insert(self.reg(v));
+                }
+                save_regs.extend(pregs.iter().copied());
+                call_saves.insert(InstrRef::new(bid, idx), pregs.into_iter().collect());
+            }
+        }
+        let base_words = func.frame_words();
+        let cs_slot: HashMap<PReg, i64> = save_regs
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, -(2 + base_words as i64 + i as i64 + 1)))
+            .collect();
+        let frame_words = base_words + cs_slot.len();
+
+        let mut code: Vec<MInstr> = Vec::new();
+        code.push(MInstr::Enter {
+            nargs: func.params.len(),
+            frame_words,
+            save_ra: !is_leaf,
+            tag: self.config.spill_store_tag(),
+        });
+        // Load incoming arguments into their registers.
+        for (i, &p) in func.params.iter().enumerate() {
+            code.push(MInstr::Load {
+                dst: self.reg(p),
+                addr: MAddr::FpOff(i as i64),
+                tag: self.config.spill_load_tag(),
+            });
+        }
+
+        // Lay out blocks in index order; record starts, patch targets later.
+        let mut block_start = vec![0usize; func.blocks.len()];
+        // Patch list: (code index, block id) for Jump/BranchZero targets.
+        let mut patches: Vec<(usize, ucm_ir::BlockId)> = Vec::new();
+        for bid in func.block_ids() {
+            block_start[bid.index()] = code.len();
+            for (idx, instr) in func.block(bid).instrs.iter().enumerate() {
+                let iref = InstrRef::new(bid, idx);
+                self.emit_instr(instr, iref, &call_saves, &cs_slot, &mut code);
+            }
+            match &func.block(bid).term {
+                Terminator::Jump(t) => {
+                    patches.push((code.len(), *t));
+                    code.push(MInstr::Jump { target: 0 });
+                }
+                Terminator::Branch {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    patches.push((code.len(), *if_false));
+                    code.push(MInstr::BranchZero {
+                        cond: self.reg(*cond),
+                        target: 0,
+                    });
+                    patches.push((code.len(), *if_true));
+                    code.push(MInstr::Jump { target: 0 });
+                }
+                Terminator::Return(v) => {
+                    if let Some(v) = v {
+                        code.push(MInstr::SetRv { src: self.reg(*v) });
+                    }
+                    code.push(MInstr::Leave {
+                        nargs: func.params.len(),
+                        save_ra: !is_leaf,
+                        tag: self.config.spill_load_tag(),
+                    });
+                    code.push(MInstr::Ret);
+                }
+            }
+        }
+        for (at, block) in patches {
+            let target = block_start[block.index()];
+            match &mut code[at] {
+                MInstr::Jump { target: t } | MInstr::BranchZero { target: t, .. } => {
+                    *t = target;
+                }
+                other => unreachable!("patch points at {other:?}"),
+            }
+        }
+
+        MFunc {
+            name: func.name.clone(),
+            code,
+            nargs: func.params.len(),
+            frame_words,
+            is_leaf,
+            code_base: self.code_base,
+        }
+    }
+
+    fn emit_instr(
+        &self,
+        instr: &Instr,
+        iref: InstrRef,
+        call_saves: &HashMap<InstrRef, Vec<PReg>>,
+        cs_slot: &HashMap<PReg, i64>,
+        code: &mut Vec<MInstr>,
+    ) {
+        match instr {
+            Instr::Const { dst, value } => code.push(MInstr::LoadImm {
+                dst: self.reg(*dst),
+                value: *value,
+            }),
+            Instr::Copy { dst, src } => {
+                let (d, s) = (self.reg(*dst), self.reg(*src));
+                if d != s {
+                    code.push(MInstr::Move { dst: d, src: s });
+                }
+            }
+            Instr::Binary { dst, op, lhs, rhs } => code.push(MInstr::Op {
+                op: *op,
+                dst: self.reg(*dst),
+                lhs: self.reg(*lhs),
+                rhs: match rhs {
+                    Operand::Reg(r) => MOperand::Reg(self.reg(*r)),
+                    Operand::Imm(i) => MOperand::Imm(*i),
+                },
+            }),
+            Instr::Neg { dst, src } => code.push(MInstr::Neg {
+                dst: self.reg(*dst),
+                src: self.reg(*src),
+            }),
+            Instr::Not { dst, src } => code.push(MInstr::Not {
+                dst: self.reg(*dst),
+                src: self.reg(*src),
+            }),
+            Instr::AddrOf { dst, object } => {
+                let addr = match object {
+                    MemObject::Global(g) => MAddr::Abs(self.global_addr[g.index()]),
+                    MemObject::Frame(s) => MAddr::FpOff(self.slot_off(*s)),
+                };
+                code.push(MInstr::Lea {
+                    dst: self.reg(*dst),
+                    addr,
+                });
+            }
+            Instr::Load { dst, mem } => code.push(MInstr::Load {
+                dst: self.reg(*dst),
+                addr: self.maddr(&mem.addr),
+                tag: self.tagger.tag_of(self.fid, iref),
+            }),
+            Instr::Store { src, mem } => code.push(MInstr::Store {
+                src: self.reg(*src),
+                addr: self.maddr(&mem.addr),
+                tag: self.tagger.tag_of(self.fid, iref),
+            }),
+            Instr::Call { dst, callee, args } => {
+                let saves = call_saves
+                    .get(&iref)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                for &r in saves {
+                    code.push(MInstr::Store {
+                        src: r,
+                        addr: MAddr::FpOff(cs_slot[&r]),
+                        tag: self.config.spill_store_tag(),
+                    });
+                }
+                let n = args.len() as i64;
+                for (i, &a) in args.iter().enumerate() {
+                    code.push(MInstr::Store {
+                        src: self.reg(a),
+                        addr: MAddr::SpOff(i as i64 - n),
+                        tag: self.config.spill_store_tag(),
+                    });
+                }
+                code.push(MInstr::Call {
+                    callee: callee.index(),
+                });
+                if let Some(dst) = dst {
+                    code.push(MInstr::GetRv {
+                        dst: self.reg(*dst),
+                    });
+                }
+                for &r in saves.iter().rev() {
+                    code.push(MInstr::Load {
+                        dst: r,
+                        addr: MAddr::FpOff(cs_slot[&r]),
+                        tag: self.config.spill_load_tag(),
+                    });
+                }
+            }
+            Instr::Print { src } => code.push(MInstr::Print {
+                src: self.reg(*src),
+            }),
+        }
+        let _ = self.module;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::lower;
+    use ucm_lang::parse_and_check;
+    use ucm_regalloc::{allocate, Strategy};
+
+    fn compile(src: &str, k: usize, unified: bool) -> MachineProgram {
+        let module = lower(&parse_and_check(src).unwrap()).unwrap();
+        let mut allocated = Module {
+            globals: module.globals.clone(),
+            funcs: Vec::new(),
+            main: module.main,
+        };
+        let mut assignments = Vec::new();
+        for f in &module.funcs {
+            let a = allocate(f.clone(), k, Strategy::Coloring).unwrap();
+            allocated.funcs.push(a.func);
+            assignments.push(a.assignment);
+        }
+        codegen(
+            &allocated,
+            &assignments,
+            &PlainTagger,
+            &CodegenConfig {
+                num_regs: k,
+                unified,
+                globals_base: 0x1000,
+            },
+        )
+    }
+
+    use ucm_ir::Module;
+
+    #[test]
+    fn globals_are_laid_out_in_order() {
+        let p = compile(
+            "global x: int = 5; global a: [int; 3]; global y: int = -1; fn main() { }",
+            8,
+            true,
+        );
+        assert_eq!(p.globals_init, vec![5, 0, 0, 0, -1]);
+    }
+
+    #[test]
+    fn leaf_functions_skip_ra_save() {
+        let p = compile(
+            "fn leaf(x: int) -> int { return x + 1; } fn main() { print(leaf(1)); }",
+            8,
+            true,
+        );
+        let leaf = p.funcs.iter().find(|f| f.name == "leaf").unwrap();
+        let main = p.funcs.iter().find(|f| f.name == "main").unwrap();
+        assert!(leaf.is_leaf);
+        assert!(!main.is_leaf);
+        assert!(matches!(
+            leaf.code[0],
+            MInstr::Enter { save_ra: false, .. }
+        ));
+        assert!(matches!(main.code[0], MInstr::Enter { save_ra: true, .. }));
+    }
+
+    #[test]
+    fn arguments_are_stored_below_sp() {
+        let p = compile(
+            "fn f(a: int, b: int) { print(a + b); } fn main() { f(1, 2); }",
+            8,
+            true,
+        );
+        let main = p.funcs.iter().find(|f| f.name == "main").unwrap();
+        let arg_stores: Vec<&MInstr> = main
+            .code
+            .iter()
+            .filter(|i| matches!(i, MInstr::Store { addr: MAddr::SpOff(_), .. }))
+            .collect();
+        assert_eq!(arg_stores.len(), 2);
+        assert!(matches!(
+            arg_stores[0],
+            MInstr::Store { addr: MAddr::SpOff(-2), .. }
+        ));
+        assert!(matches!(
+            arg_stores[1],
+            MInstr::Store { addr: MAddr::SpOff(-1), .. }
+        ));
+    }
+
+    #[test]
+    fn callee_loads_params_from_positive_fp_offsets() {
+        let p = compile(
+            "fn f(a: int, b: int) { print(a + b); } fn main() { f(1, 2); }",
+            8,
+            true,
+        );
+        let f = p.funcs.iter().find(|f| f.name == "f").unwrap();
+        assert!(matches!(
+            f.code[1],
+            MInstr::Load { addr: MAddr::FpOff(0), .. }
+        ));
+        assert!(matches!(
+            f.code[2],
+            MInstr::Load { addr: MAddr::FpOff(1), .. }
+        ));
+    }
+
+    #[test]
+    fn unified_synthesized_tags() {
+        let p = compile(
+            "fn f(a: int) -> int { return a; } fn main() { print(f(1)); }",
+            8,
+            true,
+        );
+        let f = p.funcs.iter().find(|f| f.name == "f").unwrap();
+        let MInstr::Load { tag, .. } = &f.code[1] else {
+            panic!("param load expected");
+        };
+        assert_eq!(tag.flavour, Flavour::UmAmLoad);
+        assert!(tag.last_ref);
+        assert!(tag.unambiguous);
+        let main = p.funcs.iter().find(|f| f.name == "main").unwrap();
+        let arg_store = main
+            .code
+            .iter()
+            .find(|i| matches!(i, MInstr::Store { addr: MAddr::SpOff(_), .. }))
+            .unwrap();
+        let MInstr::Store { tag, .. } = arg_store else {
+            unreachable!()
+        };
+        assert_eq!(tag.flavour, Flavour::AmSpStore);
+    }
+
+    #[test]
+    fn conventional_synthesized_tags_are_plain() {
+        let p = compile(
+            "fn f(a: int) -> int { return a; } fn main() { print(f(1)); }",
+            8,
+            false,
+        );
+        for f in &p.funcs {
+            for i in &f.code {
+                if let MInstr::Load { tag, .. } | MInstr::Store { tag, .. } = i {
+                    assert_eq!(tag.flavour, Flavour::Plain);
+                    assert!(!tag.last_ref);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn caller_saves_wrap_calls_when_values_live_across() {
+        let p = compile(
+            "fn f() -> int { return 1; } \
+             fn main() { let x: int = 10; let y: int = f(); print(x + y); }",
+            8,
+            true,
+        );
+        let main = p.funcs.iter().find(|f| f.name == "main").unwrap();
+        // x is live across the call: expect a caller-save store at a
+        // negative FP offset before the call and a reload after.
+        let call_at = main
+            .code
+            .iter()
+            .position(|i| matches!(i, MInstr::Call { .. }))
+            .unwrap();
+        let has_save_before = main.code[..call_at].iter().any(|i| {
+            matches!(i, MInstr::Store { addr: MAddr::FpOff(o), .. } if *o < 0)
+        });
+        let has_reload_after = main.code[call_at..].iter().any(|i| {
+            matches!(i, MInstr::Load { addr: MAddr::FpOff(o), .. } if *o < 0)
+        });
+        assert!(has_save_before);
+        assert!(has_reload_after);
+    }
+
+    #[test]
+    fn branch_targets_are_patched_in_range() {
+        let p = compile(
+            "fn main() { let i: int = 0; while i < 3 { i = i + 1; } print(i); }",
+            8,
+            true,
+        );
+        let main = p.funcs.iter().find(|f| f.name == "main").unwrap();
+        for instr in &main.code {
+            match instr {
+                MInstr::Jump { target } | MInstr::BranchZero { target, .. } => {
+                    assert!(*target < main.code.len());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn code_bases_are_disjoint() {
+        let p = compile("fn f() {} fn g() {} fn main() { f(); g(); }", 8, true);
+        let mut spans: Vec<(i64, i64)> = p
+            .funcs
+            .iter()
+            .map(|f| (f.code_base, f.code_base + f.code.len() as i64))
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "code regions overlap: {spans:?}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Address-bit transport of the bypass tag (paper §4.4).
+//!
+//! The paper lists several ways to get the compiler's one bypass bit per
+//! reference into the hardware. The cleanest is a bit in each instruction —
+//! which [`crate::isa::MemTag`] models — but for existing instruction sets
+//! it suggests trading one *address bit* ("e.g., the most significant bit of
+//! an address"), as Intel's 80386 manual does for coherency control, at the
+//! cost of halving the usable address space and complicating pointer
+//! arithmetic.
+//!
+//! This module implements that encoding over the VM's 63-bit non-negative
+//! word addresses: bit 62 carries the bypass flag, leaving a 62-bit space.
+//! Offsets added to a tagged pointer stay inside the region (the tag
+//! survives pointer arithmetic) as long as the untagged address does not
+//! overflow 62 bits — exactly the "compiler must be careful about pointer
+//! arithmetic or comparisons" caveat of §4.4, which
+//! [`compare_untagged`] resolves.
+
+/// The address bit that carries the bypass flag.
+pub const BYPASS_ADDRESS_BIT: u32 = 62;
+
+const TAG: i64 = 1 << BYPASS_ADDRESS_BIT;
+const MASK: i64 = TAG - 1;
+
+/// Error for addresses outside the halved (62-bit) space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressSpaceExceeded {
+    /// The offending address.
+    pub addr: i64,
+}
+
+impl std::fmt::Display for AddressSpaceExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "address {:#x} does not fit the halved (62-bit) address space",
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for AddressSpaceExceeded {}
+
+/// Tags `addr` with the bypass flag.
+///
+/// # Errors
+///
+/// Returns [`AddressSpaceExceeded`] if `addr` is negative or ≥ 2⁶².
+pub fn encode(addr: i64, bypass: bool) -> Result<i64, AddressSpaceExceeded> {
+    if !(0..TAG).contains(&addr) {
+        return Err(AddressSpaceExceeded { addr });
+    }
+    Ok(if bypass { addr | TAG } else { addr })
+}
+
+/// Splits a tagged address into `(address, bypass)`.
+pub fn decode(tagged: i64) -> (i64, bool) {
+    (tagged & MASK, tagged & TAG != 0)
+}
+
+/// Pointer comparison that ignores the tag bit — what the compiler must
+/// emit for `p < q` / `p == q` once addresses carry control bits (§4.4).
+pub fn compare_untagged(a: i64, b: i64) -> std::cmp::Ordering {
+    (a & MASK).cmp(&(b & MASK))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_both_flags() {
+        for addr in [0i64, 1, 0x1000, MASK] {
+            for bypass in [false, true] {
+                let t = encode(addr, bypass).unwrap();
+                assert_eq!(decode(t), (addr, bypass));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(encode(-1, false).is_err());
+        assert!(encode(TAG, true).is_err());
+        let msg = encode(TAG, true).unwrap_err().to_string();
+        assert!(msg.contains("62-bit"));
+    }
+
+    #[test]
+    fn pointer_arithmetic_preserves_tag() {
+        let p = encode(0x1000, true).unwrap();
+        let q = p + 64; // p[64]
+        assert_eq!(decode(q), (0x1040, true));
+    }
+
+    #[test]
+    fn comparison_ignores_tag() {
+        let a = encode(100, true).unwrap();
+        let b = encode(200, false).unwrap();
+        // Raw comparison is wrong (tag dominates)...
+        assert!(a > b);
+        // ...the compiler-emitted comparison is right.
+        assert_eq!(compare_untagged(a, b), std::cmp::Ordering::Less);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_prop(addr in 0i64..(1 << 62), bypass: bool) {
+            let t = encode(addr, bypass).unwrap();
+            prop_assert_eq!(decode(t), (addr, bypass));
+        }
+
+        #[test]
+        fn offset_arithmetic_prop(addr in 0i64..(1 << 40), off in 0i64..(1 << 20),
+                                  bypass: bool) {
+            let t = encode(addr, bypass).unwrap();
+            prop_assert_eq!(decode(t + off), (addr + off, bypass));
+        }
+
+        #[test]
+        fn untagged_compare_matches_plain(a in 0i64..(1 << 40), b in 0i64..(1 << 40),
+                                          ta: bool, tb: bool) {
+            let ea = encode(a, ta).unwrap();
+            let eb = encode(b, tb).unwrap();
+            prop_assert_eq!(compare_untagged(ea, eb), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The target instruction set.
+//!
+//! A MIPS-like load/store register machine with word-addressed memory. Its
+//! distinguishing feature — the point of the paper — is that every memory
+//! instruction carries a [`MemTag`]: one of the four load/store flavours of
+//! §4.3 plus a *cache bypass* bit and a *last reference* bit.
+
+use std::fmt;
+use ucm_ir::OpCode;
+
+/// A physical register index (`R0..R{k-1}`).
+pub type PReg = u8;
+
+/// Right-hand operand of an ALU op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MOperand {
+    /// Register operand.
+    Reg(PReg),
+    /// Immediate operand.
+    Imm(i64),
+}
+
+impl fmt::Display for MOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MOperand::Reg(r) => write!(f, "r{r}"),
+            MOperand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// An effective-address expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MAddr {
+    /// Address held in a register.
+    Reg(PReg),
+    /// Frame-pointer relative (negative: locals/saves; `0..nargs`: incoming
+    /// arguments).
+    FpOff(i64),
+    /// Stack-pointer relative (negative: outgoing arguments).
+    SpOff(i64),
+    /// Absolute (globals).
+    Abs(i64),
+}
+
+impl fmt::Display for MAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MAddr::Reg(r) => write!(f, "[r{r}]"),
+            MAddr::FpOff(o) => write!(f, "[fp{o:+}]"),
+            MAddr::SpOff(o) => write!(f, "[sp{o:+}]"),
+            MAddr::Abs(a) => write!(f, "[{a:#x}]"),
+        }
+    }
+}
+
+/// The four load/store flavours of the unified model (paper §4.3), plus
+/// `Plain` for the conventional all-through-cache baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flavour {
+    /// Conventional reference: always through the cache, no compiler intent.
+    Plain,
+    /// Ambiguous load: through the cache (bypass = 0).
+    AmLoad,
+    /// Ambiguous store or register spill: through the cache (bypass = 0).
+    AmSpStore,
+    /// Unambiguous load: take from cache *and invalidate* on hit; read main
+    /// memory directly (no allocation) on miss (bypass = 1).
+    UmAmLoad,
+    /// Unambiguous store: direct to main memory, bypassing the cache
+    /// (bypass = 1).
+    UmAmStore,
+}
+
+impl Flavour {
+    /// The single hardware control bit of §4.4: `true` means "bypass".
+    pub fn bypass_bit(self) -> bool {
+        matches!(self, Flavour::UmAmLoad | Flavour::UmAmStore)
+    }
+}
+
+impl fmt::Display for Flavour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Flavour::Plain => "plain",
+            Flavour::AmLoad => "Am_LOAD",
+            Flavour::AmSpStore => "AmSp_STORE",
+            Flavour::UmAmLoad => "UmAm_LOAD",
+            Flavour::UmAmStore => "UmAm_STORE",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Compiler-produced annotation on one memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemTag {
+    /// Which load/store flavour.
+    pub flavour: Flavour,
+    /// Compiler-proven last reference to the cached value (§3.2).
+    pub last_ref: bool,
+    /// Classification result (mode-independent; used for statistics).
+    pub unambiguous: bool,
+}
+
+impl MemTag {
+    /// A conventional reference with a known classification.
+    pub fn plain(unambiguous: bool) -> Self {
+        MemTag {
+            flavour: Flavour::Plain,
+            last_ref: false,
+            unambiguous,
+        }
+    }
+}
+
+/// One machine instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MInstr {
+    /// `dst = value`
+    LoadImm {
+        /// Destination register.
+        dst: PReg,
+        /// Immediate value.
+        value: i64,
+    },
+    /// `dst = src`
+    Move {
+        /// Destination register.
+        dst: PReg,
+        /// Source register.
+        src: PReg,
+    },
+    /// `dst = op lhs rhs`
+    Op {
+        /// Operation.
+        op: OpCode,
+        /// Destination register.
+        dst: PReg,
+        /// Left operand register.
+        lhs: PReg,
+        /// Right operand.
+        rhs: MOperand,
+    },
+    /// `dst = -src`
+    Neg {
+        /// Destination register.
+        dst: PReg,
+        /// Source register.
+        src: PReg,
+    },
+    /// `dst = (src == 0)`
+    Not {
+        /// Destination register.
+        dst: PReg,
+        /// Source register.
+        src: PReg,
+    },
+    /// `dst = effective address of addr` (no memory access).
+    Lea {
+        /// Destination register.
+        dst: PReg,
+        /// Address expression.
+        addr: MAddr,
+    },
+    /// Data load.
+    Load {
+        /// Destination register.
+        dst: PReg,
+        /// Address expression.
+        addr: MAddr,
+        /// Cache-management annotation.
+        tag: MemTag,
+    },
+    /// Data store.
+    Store {
+        /// Source register.
+        src: PReg,
+        /// Address expression.
+        addr: MAddr,
+        /// Cache-management annotation.
+        tag: MemTag,
+    },
+    /// Enter the callee frame: set `FP = SP - nargs`, save the caller's FP
+    /// (and RA for non-leaf functions) below it, drop SP past the frame.
+    Enter {
+        /// Number of incoming arguments.
+        nargs: usize,
+        /// Frame slot words (locals, spills, caller-save area).
+        frame_words: usize,
+        /// Whether the return address is saved (non-leaf functions).
+        save_ra: bool,
+        /// Tag for the save stores.
+        tag: MemTag,
+    },
+    /// Tear down the frame: reload saved FP (and RA), restore SP.
+    Leave {
+        /// Number of incoming arguments.
+        nargs: usize,
+        /// Whether the return address was saved.
+        save_ra: bool,
+        /// Tag for the reload loads.
+        tag: MemTag,
+    },
+    /// Call a function whose arguments were stored at `SP-nargs..SP`.
+    Call {
+        /// Callee index in [`MachineProgram::funcs`].
+        callee: usize,
+    },
+    /// Return to the caller.
+    Ret,
+    /// `RV = src` (set the return value before `Leave`/`Ret`).
+    SetRv {
+        /// Source register.
+        src: PReg,
+    },
+    /// `dst = RV` (collect the return value after a call).
+    GetRv {
+        /// Destination register.
+        dst: PReg,
+    },
+    /// Unconditional jump to an instruction index within the function.
+    Jump {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Jump to `target` when `cond == 0`.
+    BranchZero {
+        /// Condition register.
+        cond: PReg,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Append one integer to the program output.
+    Print {
+        /// Source register.
+        src: PReg,
+    },
+}
+
+/// A compiled function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MFunc {
+    /// Source name.
+    pub name: String,
+    /// Machine code; branch targets are indices into this vector.
+    pub code: Vec<MInstr>,
+    /// Number of arguments.
+    pub nargs: usize,
+    /// Frame slot words (locals + spills + caller-save area).
+    pub frame_words: usize,
+    /// Whether the function makes calls (RA must be saved).
+    pub is_leaf: bool,
+    /// Base of this function's instruction addresses (for I-fetch traces).
+    pub code_base: i64,
+}
+
+/// A complete compiled program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineProgram {
+    /// Functions; `Call.callee` indexes this vector.
+    pub funcs: Vec<MFunc>,
+    /// Index of `main`.
+    pub main: usize,
+    /// Number of general-purpose registers.
+    pub num_regs: usize,
+    /// First word address of the global data segment.
+    pub globals_base: i64,
+    /// Initial contents of the global segment.
+    pub globals_init: Vec<i64>,
+}
+
+impl MachineProgram {
+    /// Total instruction count across all functions.
+    pub fn code_size(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bypass_bits_match_paper() {
+        assert!(!Flavour::Plain.bypass_bit());
+        assert!(!Flavour::AmLoad.bypass_bit());
+        assert!(!Flavour::AmSpStore.bypass_bit());
+        assert!(Flavour::UmAmLoad.bypass_bit());
+        assert!(Flavour::UmAmStore.bypass_bit());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MAddr::FpOff(-3).to_string(), "[fp-3]");
+        assert_eq!(MAddr::SpOff(-1).to_string(), "[sp-1]");
+        assert_eq!(MAddr::Abs(4096).to_string(), "[0x1000]");
+        assert_eq!(Flavour::UmAmLoad.to_string(), "UmAm_LOAD");
+        assert_eq!(MOperand::Imm(5).to_string(), "5");
+    }
+
+    #[test]
+    fn plain_tag() {
+        let t = MemTag::plain(true);
+        assert_eq!(t.flavour, Flavour::Plain);
+        assert!(!t.last_ref);
+        assert!(t.unambiguous);
+    }
+}

@@ -1,0 +1,49 @@
+//! # ucm-machine — MIPS-like target with cache-bypass tags
+//!
+//! The hardware half of the paper's proposal: a load/store register machine
+//! whose memory instructions carry the four flavours of §4.3 (`Am_LOAD`,
+//! `AmSp_STORE`, `UmAm_LOAD`, `UmAm_STORE`), a one-bit *cache bypass* tag
+//! (§4.4), and a *last reference* bit (§3.2).
+//!
+//! * [`isa`] — instruction set, [`isa::MemTag`], program containers
+//! * [`codegen()`](codegen()) — IR → machine code (frames, caller saves, argument slots)
+//! * [`vm`] — interpreter that streams every data reference to a
+//!   [`trace::TraceSink`]
+//!
+//! ## Example: compile and run a tiny program
+//!
+//! ```rust
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ucm_machine::codegen::{codegen, CodegenConfig, PlainTagger};
+//! use ucm_machine::trace::NullSink;
+//! use ucm_machine::vm::{run, VmConfig};
+//! use ucm_regalloc::{allocate, Strategy};
+//!
+//! let module = ucm_ir::lower(&ucm_lang::parse_and_check(
+//!     "fn main() { print(6 * 7); }",
+//! )?)?;
+//! let alloc = allocate(module.func(module.main).clone(), 8, Strategy::Coloring)?;
+//! let mut allocated = module.clone();
+//! allocated.funcs[module.main.index()] = alloc.func;
+//! let program = codegen(
+//!     &allocated,
+//!     &[alloc.assignment],
+//!     &PlainTagger,
+//!     &CodegenConfig { num_regs: 8, ..CodegenConfig::default() },
+//! );
+//! let outcome = run(&program, &mut NullSink, &VmConfig::default())?;
+//! assert_eq!(outcome.output, vec![42]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod codegen;
+pub mod encode;
+pub mod isa;
+pub mod trace;
+pub mod vm;
+
+pub use codegen::{codegen, CodegenConfig, MemTagger, PlainTagger};
+pub use isa::{Flavour, MAddr, MFunc, MInstr, MOperand, MachineProgram, MemTag, PReg};
+pub use trace::{CountSink, MemEvent, NullSink, TeeSink, TraceSink, VecSink};
+pub use vm::{run, VmConfig, VmError, VmOutcome};

@@ -1,0 +1,214 @@
+//! Memory-reference traces.
+//!
+//! The VM streams every data reference (and optionally every instruction
+//! fetch) to a [`TraceSink`]. The cache simulator is one such sink; tests use
+//! [`VecSink`] and [`CountSink`].
+
+use crate::isa::{Flavour, MemTag};
+
+/// One data memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEvent {
+    /// Word address.
+    pub addr: i64,
+    /// `true` for stores.
+    pub is_write: bool,
+    /// The compiler annotation carried by the instruction.
+    pub tag: MemTag,
+}
+
+/// Consumer of a reference stream.
+pub trait TraceSink {
+    /// Called for every data load/store, in execution order.
+    fn data_ref(&mut self, ev: MemEvent);
+
+    /// Called for every instruction fetch when fetch tracing is enabled.
+    fn instr_fetch(&mut self, addr: i64) {
+        let _ = addr;
+    }
+}
+
+/// Discards all events.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn data_ref(&mut self, _ev: MemEvent) {}
+}
+
+/// Records all events (tests / small runs only).
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    /// The recorded data references.
+    pub events: Vec<MemEvent>,
+    /// The recorded instruction-fetch addresses.
+    pub fetches: Vec<i64>,
+}
+
+impl TraceSink for VecSink {
+    fn data_ref(&mut self, ev: MemEvent) {
+        self.events.push(ev);
+    }
+
+    fn instr_fetch(&mut self, addr: i64) {
+        self.fetches.push(addr);
+    }
+}
+
+/// Counts reference classes without storing the trace — the measurement
+/// behind Figure 5's "dynamic percentage of unambiguous references".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountSink {
+    /// Data loads.
+    pub reads: u64,
+    /// Data stores.
+    pub writes: u64,
+    /// References classified unambiguous.
+    pub unambiguous: u64,
+    /// References whose bypass bit was set.
+    pub bypassed: u64,
+    /// References marked as last references.
+    pub last_refs: u64,
+    /// Instruction fetches (if enabled).
+    pub fetches: u64,
+    /// Per-flavour counts: plain, am-load, amsp-store, umam-load, umam-store.
+    pub by_flavour: [u64; 5],
+}
+
+impl CountSink {
+    /// Total data references.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of data references classified unambiguous.
+    pub fn unambiguous_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.unambiguous as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of data references that bypassed the cache.
+    pub fn bypass_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.bypassed as f64 / self.total() as f64
+        }
+    }
+}
+
+fn flavour_index(f: Flavour) -> usize {
+    match f {
+        Flavour::Plain => 0,
+        Flavour::AmLoad => 1,
+        Flavour::AmSpStore => 2,
+        Flavour::UmAmLoad => 3,
+        Flavour::UmAmStore => 4,
+    }
+}
+
+impl TraceSink for CountSink {
+    fn data_ref(&mut self, ev: MemEvent) {
+        if ev.is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+        if ev.tag.unambiguous {
+            self.unambiguous += 1;
+        }
+        if ev.tag.flavour.bypass_bit() {
+            self.bypassed += 1;
+        }
+        if ev.tag.last_ref {
+            self.last_refs += 1;
+        }
+        self.by_flavour[flavour_index(ev.tag.flavour)] += 1;
+    }
+
+    fn instr_fetch(&mut self, _addr: i64) {
+        self.fetches += 1;
+    }
+}
+
+/// Fans one event stream out to two sinks.
+#[derive(Debug)]
+pub struct TeeSink<'a, A: TraceSink, B: TraceSink> {
+    /// First sink.
+    pub a: &'a mut A,
+    /// Second sink.
+    pub b: &'a mut B,
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<'_, A, B> {
+    fn data_ref(&mut self, ev: MemEvent) {
+        self.a.data_ref(ev);
+        self.b.data_ref(ev);
+    }
+
+    fn instr_fetch(&mut self, addr: i64) {
+        self.a.instr_fetch(addr);
+        self.b.instr_fetch(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::MemTag;
+
+    fn ev(is_write: bool, flavour: Flavour, unamb: bool) -> MemEvent {
+        MemEvent {
+            addr: 100,
+            is_write,
+            tag: MemTag {
+                flavour,
+                last_ref: false,
+                unambiguous: unamb,
+            },
+        }
+    }
+
+    #[test]
+    fn count_sink_accumulates() {
+        let mut s = CountSink::default();
+        s.data_ref(ev(false, Flavour::AmLoad, false));
+        s.data_ref(ev(true, Flavour::UmAmStore, true));
+        s.data_ref(ev(false, Flavour::UmAmLoad, true));
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.unambiguous, 2);
+        assert_eq!(s.bypassed, 2);
+        assert_eq!(s.by_flavour, [0, 1, 0, 1, 1]);
+        assert!((s.unambiguous_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.bypass_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sink_fractions_are_zero() {
+        let s = CountSink::default();
+        assert_eq!(s.unambiguous_fraction(), 0.0);
+        assert_eq!(s.bypass_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tee_duplicates_events() {
+        let mut a = CountSink::default();
+        let mut b = VecSink::default();
+        {
+            let mut tee = TeeSink {
+                a: &mut a,
+                b: &mut b,
+            };
+            tee.data_ref(ev(false, Flavour::Plain, false));
+            tee.instr_fetch(7);
+        }
+        assert_eq!(a.reads, 1);
+        assert_eq!(a.fetches, 1);
+        assert_eq!(b.events.len(), 1);
+        assert_eq!(b.fetches, vec![7]);
+    }
+}

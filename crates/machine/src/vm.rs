@@ -1,0 +1,542 @@
+//! The virtual machine: executes a [`MachineProgram`], streaming every data
+//! reference to a [`TraceSink`].
+//!
+//! The VM's memory is the ground truth; the cache simulator is a passive
+//! observer of the reference stream, so cache-management decisions (bypass,
+//! invalidation) can never corrupt program results — exactly like a
+//! trace-driven cache study.
+
+use crate::isa::{MAddr, MInstr, MOperand, MachineProgram};
+use crate::trace::{MemEvent, TraceSink};
+use std::error::Error;
+use std::fmt;
+
+/// VM configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    /// Memory size in words (stack grows down from the top).
+    pub mem_words: usize,
+    /// Execution step budget; exceeded → [`VmError::StepLimit`].
+    pub max_steps: u64,
+    /// Whether to emit instruction-fetch events.
+    pub trace_fetches: bool,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            mem_words: 1 << 20,
+            max_steps: 4_000_000_000,
+            trace_fetches: false,
+        }
+    }
+}
+
+/// Successful execution summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmOutcome {
+    /// Values printed by the program, in order.
+    pub output: Vec<i64>,
+    /// Instructions executed.
+    pub steps: u64,
+    /// Data references issued.
+    pub data_refs: u64,
+}
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Integer division or remainder by zero.
+    DivideByZero {
+        /// Function where the trap occurred.
+        func: String,
+    },
+    /// A data access fell outside memory.
+    OutOfBounds {
+        /// The offending word address.
+        addr: i64,
+    },
+    /// The stack collided with the global segment.
+    StackOverflow,
+    /// The step budget was exhausted.
+    StepLimit,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::DivideByZero { func } => write!(f, "division by zero in `{func}`"),
+            VmError::OutOfBounds { addr } => write!(f, "memory access out of bounds: {addr:#x}"),
+            VmError::StackOverflow => write!(f, "stack overflow into the global segment"),
+            VmError::StepLimit => write!(f, "step limit exceeded"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+/// Runs `program` to completion.
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on divide-by-zero, out-of-bounds access, stack
+/// overflow, or step-budget exhaustion.
+pub fn run(
+    program: &MachineProgram,
+    sink: &mut dyn TraceSink,
+    config: &VmConfig,
+) -> Result<VmOutcome, VmError> {
+    Vm {
+        program,
+        sink,
+        config,
+        regs: vec![0; program.num_regs],
+        rv: 0,
+        fp: 0,
+        sp: 0,
+        mem: vec![0; config.mem_words],
+        output: Vec::new(),
+        steps: 0,
+        data_refs: 0,
+        globals_end: program.globals_base + program.globals_init.len() as i64,
+    }
+    .run()
+}
+
+struct Vm<'a> {
+    program: &'a MachineProgram,
+    sink: &'a mut dyn TraceSink,
+    config: &'a VmConfig,
+    regs: Vec<i64>,
+    rv: i64,
+    fp: i64,
+    sp: i64,
+    mem: Vec<i64>,
+    output: Vec<i64>,
+    steps: u64,
+    data_refs: u64,
+    globals_end: i64,
+}
+
+impl Vm<'_> {
+    fn effective(&self, addr: &MAddr) -> i64 {
+        match addr {
+            MAddr::Reg(r) => self.regs[*r as usize],
+            MAddr::FpOff(o) => self.fp + o,
+            MAddr::SpOff(o) => self.sp + o,
+            MAddr::Abs(a) => *a,
+        }
+    }
+
+    fn read(&mut self, addr: i64, tag: crate::isa::MemTag) -> Result<i64, VmError> {
+        if addr < 0 || addr as usize >= self.mem.len() {
+            return Err(VmError::OutOfBounds { addr });
+        }
+        self.data_refs += 1;
+        self.sink.data_ref(MemEvent {
+            addr,
+            is_write: false,
+            tag,
+        });
+        Ok(self.mem[addr as usize])
+    }
+
+    fn write(&mut self, addr: i64, value: i64, tag: crate::isa::MemTag) -> Result<(), VmError> {
+        if addr < 0 || addr as usize >= self.mem.len() {
+            return Err(VmError::OutOfBounds { addr });
+        }
+        self.data_refs += 1;
+        self.sink.data_ref(MemEvent {
+            addr,
+            is_write: true,
+            tag,
+        });
+        self.mem[addr as usize] = value;
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<VmOutcome, VmError> {
+        // Global image.
+        let base = self.program.globals_base as usize;
+        self.mem[base..base + self.program.globals_init.len()]
+            .copy_from_slice(&self.program.globals_init);
+        // Initial stack.
+        self.sp = self.config.mem_words as i64 - 8;
+        self.fp = self.sp;
+
+        let mut func = self.program.main;
+        let mut pc = 0usize;
+        // Return stack: (function, resume pc).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+
+        loop {
+            self.steps += 1;
+            if self.steps > self.config.max_steps {
+                return Err(VmError::StepLimit);
+            }
+            let mf = &self.program.funcs[func];
+            if self.config.trace_fetches {
+                self.sink.instr_fetch(mf.code_base + pc as i64);
+            }
+            let instr = &mf.code[pc];
+            pc += 1;
+            match instr {
+                MInstr::LoadImm { dst, value } => self.regs[*dst as usize] = *value,
+                MInstr::Move { dst, src } => {
+                    self.regs[*dst as usize] = self.regs[*src as usize]
+                }
+                MInstr::Op { op, dst, lhs, rhs } => {
+                    let a = self.regs[*lhs as usize];
+                    let b = match rhs {
+                        MOperand::Reg(r) => self.regs[*r as usize],
+                        MOperand::Imm(i) => *i,
+                    };
+                    let Some(v) = op.eval(a, b) else {
+                        return Err(VmError::DivideByZero {
+                            func: mf.name.clone(),
+                        });
+                    };
+                    self.regs[*dst as usize] = v;
+                }
+                MInstr::Neg { dst, src } => {
+                    self.regs[*dst as usize] = self.regs[*src as usize].wrapping_neg()
+                }
+                MInstr::Not { dst, src } => {
+                    self.regs[*dst as usize] = i64::from(self.regs[*src as usize] == 0)
+                }
+                MInstr::Lea { dst, addr } => {
+                    self.regs[*dst as usize] = self.effective(addr);
+                }
+                MInstr::Load { dst, addr, tag } => {
+                    let a = self.effective(addr);
+                    self.regs[*dst as usize] = self.read(a, *tag)?;
+                }
+                MInstr::Store { src, addr, tag } => {
+                    let a = self.effective(addr);
+                    let v = self.regs[*src as usize];
+                    self.write(a, v, *tag)?;
+                }
+                MInstr::Enter {
+                    nargs,
+                    frame_words,
+                    save_ra,
+                    tag,
+                } => {
+                    let old_fp = self.fp;
+                    self.fp = self.sp - *nargs as i64;
+                    self.write(self.fp - 1, old_fp, *tag)?;
+                    if *save_ra {
+                        // The VM keeps real return addresses internally; the
+                        // slot write models the traffic MIPS code would have.
+                        self.write(self.fp - 2, 0, *tag)?;
+                    }
+                    self.sp = self.fp - 2 - *frame_words as i64;
+                    if self.sp <= self.globals_end {
+                        return Err(VmError::StackOverflow);
+                    }
+                }
+                MInstr::Leave {
+                    nargs,
+                    save_ra,
+                    tag,
+                } => {
+                    if *save_ra {
+                        let _ra = self.read(self.fp - 2, *tag)?;
+                    }
+                    let old_fp = self.read(self.fp - 1, *tag)?;
+                    self.sp = self.fp + *nargs as i64;
+                    self.fp = old_fp;
+                }
+                MInstr::Call { callee } => {
+                    frames.push((func, pc));
+                    func = *callee;
+                    pc = 0;
+                }
+                MInstr::Ret => match frames.pop() {
+                    Some((f, p)) => {
+                        func = f;
+                        pc = p;
+                    }
+                    None => {
+                        return Ok(VmOutcome {
+                            output: self.output,
+                            steps: self.steps,
+                            data_refs: self.data_refs,
+                        });
+                    }
+                },
+                MInstr::SetRv { src } => self.rv = self.regs[*src as usize],
+                MInstr::GetRv { dst } => self.regs[*dst as usize] = self.rv,
+                MInstr::Jump { target } => pc = *target,
+                MInstr::BranchZero { cond, target } => {
+                    if self.regs[*cond as usize] == 0 {
+                        pc = *target;
+                    }
+                }
+                MInstr::Print { src } => self.output.push(self.regs[*src as usize]),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::{codegen, CodegenConfig, PlainTagger};
+    use crate::trace::{CountSink, NullSink, VecSink};
+    use ucm_ir::{lower, Module};
+    use ucm_lang::parse_and_check;
+    use ucm_regalloc::{allocate, Strategy};
+
+    fn compile(src: &str, k: usize) -> MachineProgram {
+        let module = lower(&parse_and_check(src).unwrap()).unwrap();
+        let mut allocated = Module {
+            globals: module.globals.clone(),
+            funcs: Vec::new(),
+            main: module.main,
+        };
+        let mut assignments = Vec::new();
+        for f in &module.funcs {
+            let a = allocate(f.clone(), k, Strategy::Coloring).unwrap();
+            allocated.funcs.push(a.func);
+            assignments.push(a.assignment);
+        }
+        codegen(
+            &allocated,
+            &assignments,
+            &PlainTagger,
+            &CodegenConfig {
+                num_regs: k,
+                unified: true,
+                globals_base: 0x1000,
+            },
+        )
+    }
+
+    fn exec(src: &str, k: usize) -> Vec<i64> {
+        let p = compile(src, k);
+        run(&p, &mut NullSink, &VmConfig::default())
+            .unwrap()
+            .output
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        assert_eq!(exec("fn main() { print(2 + 3 * 4); }", 8), vec![14]);
+        assert_eq!(exec("fn main() { print(-(7 / 2)); }", 8), vec![-3]);
+        assert_eq!(exec("fn main() { print(7 % 3); print(!5); print(!0); }", 8),
+                   vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        assert_eq!(
+            exec(
+                "global g: int = 10; global a: [int; 4]; \
+                 fn main() { a[2] = g + 1; g = a[2] * 2; print(g); print(a[2]); }",
+                8
+            ),
+            vec![22, 11]
+        );
+    }
+
+    #[test]
+    fn control_flow() {
+        assert_eq!(
+            exec(
+                "fn main() { let i: int = 0; let s: int = 0; \
+                 while i < 10 { if i % 2 == 0 { s = s + i; } i = i + 1; } print(s); }",
+                8
+            ),
+            vec![20]
+        );
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        assert_eq!(
+            exec(
+                "global side: int; \
+                 fn bump() -> int { side = side + 1; return 1; } \
+                 fn main() { let x: int = 0; \
+                   if x && bump() { } \
+                   if 1 || bump() { } \
+                   print(side); }",
+                8
+            ),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn function_calls_and_recursion() {
+        assert_eq!(
+            exec(
+                "fn fact(n: int) -> int { if n <= 1 { return 1; } return n * fact(n - 1); } \
+                 fn main() { print(fact(10)); }",
+                8
+            ),
+            vec![3628800]
+        );
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        assert_eq!(
+            exec(
+                "fn even(n: int) -> int { if n == 0 { return 1; } return odd(n - 1); } \
+                 fn odd(n: int) -> int { if n == 0 { return 0; } return even(n - 1); } \
+                 fn main() { print(even(10)); print(odd(7)); }",
+                8
+            ),
+            vec![1, 1]
+        );
+    }
+
+    #[test]
+    fn pointers_and_aliasing() {
+        assert_eq!(
+            exec(
+                "fn main() { let x: int = 1; let p: *int = &x; *p = 42; print(x); }",
+                8
+            ),
+            vec![42]
+        );
+        assert_eq!(
+            exec(
+                "global a: [int; 8]; \
+                 fn fill(p: *int, n: int) { let i: int = 0; \
+                   while i < n { p[i] = i * i; i = i + 1; } } \
+                 fn main() { fill(a, 8); print(a[7]); print(a[3]); }",
+                8
+            ),
+            vec![49, 9]
+        );
+    }
+
+    #[test]
+    fn multidim_arrays() {
+        assert_eq!(
+            exec(
+                "global m: [[int; 4]; 3]; \
+                 fn main() { let i: int = 0; let j: int = 0; \
+                   for i = 0; i < 3; i = i + 1 { \
+                     for j = 0; j < 4; j = j + 1 { m[i][j] = i * 10 + j; } } \
+                   print(m[2][3]); print(m[0][1]); print(m[1][0]); }",
+                8
+            ),
+            vec![23, 1, 10]
+        );
+    }
+
+    #[test]
+    fn results_stable_under_register_pressure() {
+        let src = "fn main() { \
+            let a: int = 1; let b: int = 2; let c: int = 3; let d: int = 4; \
+            let e: int = 5; let f: int = 6; let g: int = 7; let h: int = 8; \
+            print(a+b*c-d+e*f-g+h); print(h*g-f+e*d-c+b*a); }";
+        let expected = exec(src, 16);
+        for k in [4, 6, 8] {
+            assert_eq!(exec(src, k), expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn divide_by_zero_traps() {
+        let p = compile("fn main() { let z: int = 0; print(1 / z); }", 8);
+        let err = run(&p, &mut NullSink, &VmConfig::default()).unwrap_err();
+        assert!(matches!(err, VmError::DivideByZero { .. }));
+    }
+
+    #[test]
+    fn runaway_recursion_overflows_stack() {
+        let p = compile(
+            "fn f(n: int) -> int { return f(n + 1); } fn main() { print(f(0)); }",
+            8,
+        );
+        let err = run(
+            &p,
+            &mut NullSink,
+            &VmConfig {
+                mem_words: 1 << 16,
+                ..VmConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, VmError::StackOverflow | VmError::StepLimit));
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let p = compile("fn main() { while 1 { } }", 8);
+        let err = run(
+            &p,
+            &mut NullSink,
+            &VmConfig {
+                max_steps: 10_000,
+                ..VmConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, VmError::StepLimit);
+    }
+
+    #[test]
+    fn out_of_bounds_access_traps() {
+        let p = compile(
+            "global a: [int; 4]; fn main() { let p: *int = a; p[-90000] = 1; }",
+            8,
+        );
+        let err = run(&p, &mut NullSink, &VmConfig::default()).unwrap_err();
+        assert!(matches!(err, VmError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn trace_events_cover_array_traffic() {
+        let p = compile(
+            "global a: [int; 4]; fn main() { a[1] = 5; print(a[1]); }",
+            8,
+        );
+        let mut sink = VecSink::default();
+        let out = run(&p, &mut sink, &VmConfig::default()).unwrap();
+        assert_eq!(out.output, vec![5]);
+        // Store then load of the same global address.
+        let a1 = 0x1000 + 1;
+        let touching: Vec<_> = sink.events.iter().filter(|e| e.addr == a1).collect();
+        assert_eq!(touching.len(), 2);
+        assert!(touching[0].is_write);
+        assert!(!touching[1].is_write);
+        assert_eq!(out.data_refs, sink.events.len() as u64);
+    }
+
+    #[test]
+    fn call_traffic_appears_in_trace() {
+        let p = compile(
+            "fn f(a: int) -> int { return a + 1; } fn main() { print(f(41)); }",
+            8,
+        );
+        let mut sink = CountSink::default();
+        let out = run(&p, &mut sink, &VmConfig::default()).unwrap();
+        assert_eq!(out.output, vec![42]);
+        // At minimum: main FP+RA saves/loads, arg store, param load,
+        // f's FP save/load.
+        assert!(sink.total() >= 8, "saw only {} refs", sink.total());
+        assert!(sink.unambiguous == sink.total(), "all synthesized traffic is unambiguous");
+    }
+
+    #[test]
+    fn fetch_tracing_counts_every_step() {
+        let p = compile("fn main() { print(1 + 2); }", 8);
+        let mut sink = CountSink::default();
+        let out = run(
+            &p,
+            &mut sink,
+            &VmConfig {
+                trace_fetches: true,
+                ..VmConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sink.fetches, out.steps);
+    }
+}

@@ -1,0 +1,191 @@
+//! Chaitin-Briggs graph coloring (simplify / optimistic select).
+
+use crate::cost::SpillCosts;
+use crate::interference::InterferenceGraph;
+use std::collections::HashSet;
+use ucm_ir::VReg;
+
+/// Result of one coloring attempt.
+#[derive(Debug, Clone)]
+pub struct ColorResult {
+    /// Color per register where successful.
+    pub colors: Vec<Option<u8>>,
+    /// Registers that could not be colored and must be spilled.
+    pub spills: Vec<VReg>,
+}
+
+/// Attempts to color `graph` with `k` colors.
+///
+/// Registers in `no_spill` (spill temporaries) are never chosen as spill
+/// candidates; if one of them cannot be colored the caller must raise `k`.
+pub fn color(
+    graph: &InterferenceGraph,
+    k: usize,
+    costs: &SpillCosts,
+    no_spill: &HashSet<VReg>,
+) -> ColorResult {
+    let n = graph.len();
+    let mut removed = vec![false; n];
+    let mut degree: Vec<usize> = (0..n).map(|i| graph.degree(VReg(i as u32))).collect();
+    let mut stack: Vec<u32> = Vec::with_capacity(n);
+
+    // Simplify: repeatedly remove a trivially colorable node; when stuck,
+    // optimistically remove the cheapest spill candidate (Briggs).
+    for _ in 0..n {
+        let mut pick = None;
+        for i in 0..n {
+            if !removed[i] && degree[i] < k {
+                pick = Some(i);
+                break;
+            }
+        }
+        let pick = pick.unwrap_or_else(|| {
+            // All remaining nodes are high-degree: choose the best spill
+            // candidate by cost/degree, skipping protected temps if possible.
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..n {
+                if removed[i] || no_spill.contains(&VReg(i as u32)) {
+                    continue;
+                }
+                let metric = costs.of(VReg(i as u32)) / degree[i].max(1) as f64;
+                if best.is_none_or(|(_, m)| metric < m) {
+                    best = Some((i, metric));
+                }
+            }
+            match best {
+                Some((i, _)) => i,
+                None => {
+                    // Only protected temps remain; push the lowest-degree one
+                    // and hope optimistic selection succeeds.
+                    (0..n)
+                        .filter(|&i| !removed[i])
+                        .min_by_key(|&i| degree[i])
+                        .expect("loop bound guarantees a remaining node")
+                }
+            }
+        });
+        removed[pick] = true;
+        stack.push(pick as u32);
+        for nb in graph.neighbors(VReg(pick as u32)) {
+            if !removed[nb.index()] {
+                degree[nb.index()] -= 1;
+            }
+        }
+    }
+
+    // Select: pop in reverse, assigning the lowest color free among colored
+    // neighbors; failures become real spills.
+    let mut colors: Vec<Option<u8>> = vec![None; n];
+    let mut spills = Vec::new();
+    let mut used = vec![false; k];
+    while let Some(i) = stack.pop() {
+        used.fill(false);
+        for nb in graph.neighbors(VReg(i)) {
+            if let Some(c) = colors[nb.index()] {
+                used[c as usize] = true;
+            }
+        }
+        match used.iter().position(|u| !u) {
+            Some(c) => colors[i as usize] = Some(c as u8),
+            None => spills.push(VReg(i)),
+        }
+    }
+    spills.sort_unstable();
+    ColorResult { colors, spills }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::InterferenceGraph;
+    use ucm_analysis::Liveness;
+    use ucm_ir::builder::Builder;
+    use ucm_ir::{Cfg, Function, OpCode};
+
+    fn setup(f: &Function) -> (InterferenceGraph, SpillCosts) {
+        let cfg = Cfg::new(f);
+        let lv = Liveness::compute(f, &cfg);
+        (
+            InterferenceGraph::build(f, &cfg, &lv),
+            SpillCosts::compute(f, &cfg),
+        )
+    }
+
+    /// n mutually live constants summed at the end → an n-clique.
+    fn clique(n: usize) -> Function {
+        let mut b = Builder::new("f", false);
+        let regs: Vec<_> = (0..n).map(|i| b.const_(i as i64)).collect();
+        let mut acc = regs[0];
+        for &r in &regs[1..] {
+            acc = b.binary(OpCode::Add, acc, r);
+        }
+        b.print(acc);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn colors_clique_with_exactly_enough_registers() {
+        let f = clique(4);
+        let (g, costs) = setup(&f);
+        let r = color(&g, 4, &costs, &HashSet::new());
+        assert!(r.spills.is_empty());
+        // All four constants pairwise interfere → four distinct colors.
+        let cs: HashSet<u8> = (0..4).map(|i| r.colors[i].unwrap()).collect();
+        assert_eq!(cs.len(), 4);
+    }
+
+    #[test]
+    fn spills_when_registers_insufficient() {
+        let f = clique(5);
+        let (g, costs) = setup(&f);
+        let r = color(&g, 3, &costs, &HashSet::new());
+        assert!(!r.spills.is_empty());
+    }
+
+    #[test]
+    fn adjacent_nodes_get_distinct_colors() {
+        let f = clique(6);
+        let (g, costs) = setup(&f);
+        let r = color(&g, 6, &costs, &HashSet::new());
+        assert!(r.spills.is_empty());
+        for i in 0..g.len() {
+            for nb in g.neighbors(VReg(i as u32)) {
+                if let (Some(a), Some(b)) = (r.colors[i], r.colors[nb.index()]) {
+                    assert_ne!(a, b, "neighbors {i} and {nb} share color");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_needs_few_colors() {
+        // Sequential values: 2 colors suffice regardless of length.
+        let mut b = Builder::new("f", false);
+        let mut prev = b.const_(0);
+        for i in 1..20 {
+            let next = b.binary(OpCode::Add, prev, i);
+            prev = next;
+        }
+        b.print(prev);
+        b.ret(None);
+        let f = b.finish();
+        let (g, costs) = setup(&f);
+        let r = color(&g, 2, &costs, &HashSet::new());
+        assert!(r.spills.is_empty(), "a chain is 2-colorable");
+    }
+
+    #[test]
+    fn no_spill_set_is_respected() {
+        let f = clique(5);
+        let (g, costs) = setup(&f);
+        let protected: HashSet<VReg> = [VReg(0), VReg(1)].into_iter().collect();
+        let r = color(&g, 3, &costs, &protected);
+        for s in &r.spills {
+            assert!(
+                !protected.contains(s),
+                "protected register {s} chosen for spilling"
+            );
+        }
+    }
+}

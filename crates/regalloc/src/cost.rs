@@ -1,0 +1,100 @@
+//! Spill-cost estimation.
+//!
+//! Classic Chaitin weighting: each static occurrence (def or use) of a
+//! register costs `10^loop_depth`, so values busy inside loops are expensive
+//! to spill.
+
+use ucm_analysis::{Dominators, LoopInfo};
+use ucm_ir::{Cfg, Function, VReg};
+
+/// Per-register spill costs for one function.
+#[derive(Debug, Clone)]
+pub struct SpillCosts {
+    costs: Vec<f64>,
+}
+
+impl SpillCosts {
+    /// Computes occurrence-weighted costs for every register of `func`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Self {
+        let dom = Dominators::compute(func, cfg);
+        let loops = LoopInfo::compute(func, cfg, &dom);
+        let mut costs = vec![0.0; func.num_vregs as usize];
+        let mut uses = Vec::new();
+        for bid in func.block_ids() {
+            let weight = 10f64.powi(loops.depth(bid).min(8) as i32);
+            for instr in &func.block(bid).instrs {
+                if let Some(d) = instr.def() {
+                    costs[d.index()] += weight;
+                }
+                uses.clear();
+                instr.uses_into(&mut uses);
+                for &u in &uses {
+                    costs[u.index()] += weight;
+                }
+            }
+            for u in func.block(bid).term.uses() {
+                costs[u.index()] += weight;
+            }
+        }
+        for &p in &func.params {
+            costs[p.index()] += 1.0;
+        }
+        SpillCosts { costs }
+    }
+
+    /// The cost of spilling `v`.
+    pub fn of(&self, v: VReg) -> f64 {
+        self.costs[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::builder::Builder;
+    use ucm_ir::OpCode;
+
+    #[test]
+    fn loop_occurrences_cost_more() {
+        let mut b = Builder::new("f", false);
+        let outside = b.const_(1);
+        let i = b.const_(0);
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.binary(OpCode::Lt, i, 10);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.binary(OpCode::Add, i, 1);
+        b.copy_to(i, i2);
+        b.jump(head);
+        b.switch_to(exit);
+        b.print(outside);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let costs = SpillCosts::compute(&f, &cfg);
+        assert!(
+            costs.of(i) > costs.of(outside) * 5.0,
+            "loop register {} must dominate straight-line register {}",
+            costs.of(i),
+            costs.of(outside)
+        );
+    }
+
+    #[test]
+    fn unused_register_is_free() {
+        let mut b = Builder::new("f", false);
+        let x = b.const_(1);
+        b.print(x);
+        b.ret(None);
+        let mut f = b.finish();
+        let unused = f.new_vreg();
+        let cfg = Cfg::new(&f);
+        let costs = SpillCosts::compute(&f, &cfg);
+        assert_eq!(costs.of(unused), 0.0);
+        assert!(costs.of(x) >= 2.0);
+    }
+}

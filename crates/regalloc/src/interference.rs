@@ -1,0 +1,210 @@
+//! Live-range interference graph construction.
+//!
+//! Two virtual registers interfere when one is defined at a point where the
+//! other is live — the classic Chaitin construction: walking each block
+//! backward, every def adds edges to the registers live after it (for a
+//! copy, the source is exempted, which enables coalescing-friendly
+//! assignment downstream).
+
+use std::collections::HashSet;
+use ucm_analysis::Liveness;
+use ucm_ir::{Cfg, Function, Instr, VReg};
+
+/// Undirected interference graph over the virtual registers of one function.
+#[derive(Debug, Clone)]
+pub struct InterferenceGraph {
+    adj: Vec<HashSet<u32>>,
+}
+
+impl InterferenceGraph {
+    /// Builds the graph for `func`.
+    pub fn build(func: &Function, _cfg: &Cfg, liveness: &Liveness) -> Self {
+        let n = func.num_vregs as usize;
+        let mut g = InterferenceGraph {
+            adj: vec![HashSet::new(); n],
+        };
+        for bid in func.block_ids() {
+            let per_out = liveness.instr_live_out(func, bid);
+            for (idx, instr) in func.block(bid).instrs.iter().enumerate() {
+                let Some(d) = instr.def() else { continue };
+                let copy_src = match instr {
+                    Instr::Copy { src, .. } => Some(*src),
+                    _ => None,
+                };
+                for l in per_out[idx].iter() {
+                    let l = VReg(l as u32);
+                    if l != d && copy_src != Some(l) {
+                        g.add_edge(d, l);
+                    }
+                }
+            }
+        }
+        // Parameters are all defined at entry: each interferes with every
+        // other register live into the entry block.
+        let live_in = &liveness.live_in[func.entry.index()];
+        for &p in &func.params {
+            for l in live_in.iter() {
+                let l = VReg(l as u32);
+                if l != p {
+                    g.add_edge(p, l);
+                }
+            }
+        }
+        g
+    }
+
+    /// Adds an undirected edge.
+    pub fn add_edge(&mut self, a: VReg, b: VReg) {
+        if a == b {
+            return;
+        }
+        self.adj[a.index()].insert(b.0);
+        self.adj[b.index()].insert(a.0);
+    }
+
+    /// Whether `a` and `b` interfere.
+    pub fn interferes(&self, a: VReg, b: VReg) -> bool {
+        self.adj[a.index()].contains(&b.0)
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VReg) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: VReg) -> impl Iterator<Item = VReg> + '_ {
+        self.adj[v.index()].iter().map(|&i| VReg(i))
+    }
+
+    /// Number of nodes (registers).
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::builder::Builder;
+    use ucm_ir::OpCode;
+
+    fn graph_of(f: &Function) -> InterferenceGraph {
+        let cfg = Cfg::new(f);
+        let lv = Liveness::compute(f, &cfg);
+        InterferenceGraph::build(f, &cfg, &lv)
+    }
+
+    #[test]
+    fn simultaneously_live_interfere() {
+        let mut b = Builder::new("f", false);
+        let x = b.const_(1);
+        let y = b.const_(2);
+        let s = b.binary(OpCode::Add, x, y);
+        b.print(s);
+        b.ret(None);
+        let f = b.finish();
+        let g = graph_of(&f);
+        assert!(g.interferes(x, y));
+        // s is defined when x and y die: no interference.
+        assert!(!g.interferes(s, x));
+        assert!(!g.interferes(s, y));
+    }
+
+    #[test]
+    fn sequential_values_do_not_interfere() {
+        let mut b = Builder::new("f", false);
+        let x = b.const_(1);
+        b.print(x);
+        let y = b.const_(2);
+        b.print(y);
+        b.ret(None);
+        let f = b.finish();
+        let g = graph_of(&f);
+        assert!(!g.interferes(x, y));
+    }
+
+    #[test]
+    fn copy_source_does_not_interfere_with_dest() {
+        let mut b = Builder::new("f", false);
+        let x = b.const_(1);
+        let y = b.copy(x);
+        b.print(y);
+        b.ret(None);
+        let f = b.finish();
+        let g = graph_of(&f);
+        assert!(!g.interferes(x, y), "copy-related regs may share a color");
+    }
+
+    #[test]
+    fn copy_source_live_after_still_interferes_via_later_def() {
+        // y = x; print(x); x redefined while y live → must interfere.
+        let mut b = Builder::new("f", false);
+        let x = b.const_(1);
+        let y = b.copy(x);
+        b.print(x);
+        b.emit(ucm_ir::Instr::Const { dst: x, value: 3 });
+        b.print(y);
+        b.print(x);
+        b.ret(None);
+        let f = b.finish();
+        let g = graph_of(&f);
+        assert!(g.interferes(x, y));
+    }
+
+    #[test]
+    fn params_interfere_with_each_other_when_both_used() {
+        let mut b = Builder::new("f", true);
+        let p0 = b.param();
+        let p1 = b.param();
+        let s = b.binary(OpCode::Add, p0, p1);
+        b.ret(Some(s));
+        let f = b.finish();
+        let g = graph_of(&f);
+        assert!(g.interferes(p0, p1));
+    }
+
+    #[test]
+    fn dead_def_interferes_with_live_across_value() {
+        let mut b = Builder::new("f", false);
+        let x = b.const_(1);
+        let dead = b.const_(99); // never used, but x live across
+        b.print(x);
+        b.ret(None);
+        let f = b.finish();
+        let g = graph_of(&f);
+        assert!(g.interferes(dead, x), "writing dead must not clobber x");
+    }
+
+    #[test]
+    fn loop_counter_interferes_with_accumulator() {
+        let mut b = Builder::new("f", false);
+        let i = b.const_(0);
+        let acc = b.const_(0);
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.binary(OpCode::Lt, i, 10);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let acc2 = b.binary(OpCode::Add, acc, i);
+        b.copy_to(acc, acc2);
+        let i2 = b.binary(OpCode::Add, i, 1);
+        b.copy_to(i, i2);
+        b.jump(head);
+        b.switch_to(exit);
+        b.print(acc);
+        b.ret(None);
+        let f = b.finish();
+        let g = graph_of(&f);
+        assert!(g.interferes(i, acc));
+        assert_eq!(g.len(), f.num_vregs as usize);
+    }
+}

@@ -1,0 +1,303 @@
+//! # ucm-regalloc — register allocation with cache-directed spilling
+//!
+//! Implements both allocator families the paper cites (§2.1.2): Chaitin-style
+//! **graph coloring** with Briggs optimistic selection, and Freiburghouse
+//! **usage counts**. Spill code follows the unified model of §4.2: spilled
+//! values go to frame slots tagged [`ucm_ir::RefName::Spill`], which the
+//! unified-management pass routes *through the cache* on store
+//! (`AmSp_STORE`) and *take-and-invalidate* on reload (`UmAm_LOAD`).
+//!
+//! ## Example
+//!
+//! ```rust
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ucm_regalloc::{allocate, Strategy};
+//!
+//! let checked = ucm_lang::parse_and_check(
+//!     "fn main() { let a: int = 1; let b: int = 2; let c: int = 3;
+//!                  print(a + b * c); }",
+//! )?;
+//! let module = ucm_ir::lower(&checked)?;
+//! let alloc = allocate(module.func(module.main).clone(), 4, Strategy::Coloring)?;
+//! assert_eq!(alloc.spilled_count, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod color;
+pub mod cost;
+pub mod interference;
+pub mod spill;
+pub mod usage;
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+use ucm_analysis::Liveness;
+use ucm_ir::{Cfg, Function, VReg};
+
+pub use color::ColorResult;
+pub use cost::SpillCosts;
+pub use interference::InterferenceGraph;
+pub use spill::insert_spill_code;
+
+/// Which allocator to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strategy {
+    /// Chaitin-Briggs graph coloring (default).
+    #[default]
+    Coloring,
+    /// Freiburghouse usage counts.
+    UsageCount,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Coloring => write!(f, "coloring"),
+            Strategy::UsageCount => write!(f, "usage-count"),
+        }
+    }
+}
+
+/// Allocation failure: the machine has too few registers for the program's
+/// spill temporaries (raise `k`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError {
+    /// Function that failed.
+    pub func: String,
+    /// Register count that was attempted.
+    pub k: usize,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "register allocation of `{}` cannot converge with {} registers; \
+             increase the register count",
+            self.func, self.k
+        )
+    }
+}
+
+impl Error for AllocError {}
+
+/// A fully register-allocated function.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// The (possibly spill-rewritten) function.
+    pub func: Function,
+    /// Physical register per virtual register (dense by final vreg index).
+    /// Registers that never occur keep an arbitrary color.
+    pub assignment: Vec<Option<u8>>,
+    /// How many original registers were spilled.
+    pub spilled_count: usize,
+    /// How many build-color-spill rounds ran.
+    pub rounds: usize,
+}
+
+impl Allocation {
+    /// The physical register assigned to `v`, if colored.
+    pub fn reg_of(&self, v: VReg) -> Option<u8> {
+        self.assignment.get(v.index()).copied().flatten()
+    }
+}
+
+/// Allocates `func` onto `k` physical registers using `strategy`.
+///
+/// Runs build → color → spill rounds until everything is colored.
+///
+/// # Errors
+///
+/// Returns [`AllocError`] if spill temporaries themselves cannot be colored,
+/// i.e. `k` is smaller than the function's irreducible register need
+/// (roughly: its widest single instruction, including call argument lists).
+pub fn allocate(
+    mut func: Function,
+    k: usize,
+    strategy: Strategy,
+) -> Result<Allocation, AllocError> {
+    let mut no_spill: HashSet<VReg> = HashSet::new();
+    let mut spilled_count = 0;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let cfg = Cfg::new(&func);
+        let liveness = Liveness::compute(&func, &cfg);
+        let graph = InterferenceGraph::build(&func, &cfg, &liveness);
+        let costs = SpillCosts::compute(&func, &cfg);
+        let result = match strategy {
+            Strategy::Coloring => color::color(&graph, k, &costs, &no_spill),
+            Strategy::UsageCount => usage::color_by_usage(&graph, k, &costs, &no_spill),
+        };
+        if result.spills.is_empty() {
+            return Ok(Allocation {
+                func,
+                assignment: result.colors,
+                spilled_count,
+                rounds,
+            });
+        }
+        if rounds > 60 || result.spills.iter().any(|s| no_spill.contains(s)) {
+            return Err(AllocError {
+                func: func.name.clone(),
+                k,
+            });
+        }
+        spilled_count += result.spills.len();
+        let spill_set: HashSet<VReg> = result.spills.iter().copied().collect();
+        let temps = insert_spill_code(&mut func, &spill_set);
+        no_spill.extend(temps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::{lower, Instr, Module};
+    use ucm_lang::parse_and_check;
+
+    fn lower_main(src: &str) -> (Module, Function) {
+        let m = lower(&parse_and_check(src).unwrap()).unwrap();
+        let f = m.func(m.main).clone();
+        (m, f)
+    }
+
+    /// Checks the fundamental invariant: interfering registers have
+    /// different colors and every occurring register is colored.
+    fn assert_valid(alloc: &Allocation, k: usize) {
+        let cfg = Cfg::new(&alloc.func);
+        let liveness = Liveness::compute(&alloc.func, &cfg);
+        let graph = InterferenceGraph::build(&alloc.func, &cfg, &liveness);
+        for (_, instr) in alloc.func.instrs() {
+            let mut occurring = instr.uses();
+            occurring.extend(instr.def());
+            for v in occurring {
+                let c = alloc
+                    .reg_of(v)
+                    .unwrap_or_else(|| panic!("{v} occurs but has no register"));
+                assert!((c as usize) < k);
+                for nb in graph.neighbors(v) {
+                    if let Some(cn) = alloc.reg_of(nb) {
+                        if graph.interferes(v, nb) {
+                            assert_ne!(c, cn, "{v} and {nb} interfere but share r{c}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simple_function_needs_no_spills() {
+        let (_, f) = lower_main("fn main() { let x: int = 2; print(x * x + 1); }");
+        for strategy in [Strategy::Coloring, Strategy::UsageCount] {
+            let a = allocate(f.clone(), 8, strategy).unwrap();
+            assert_eq!(a.spilled_count, 0, "{strategy}");
+            assert_valid(&a, 8);
+        }
+    }
+
+    #[test]
+    fn pressure_forces_spills_and_still_validates() {
+        // Nine simultaneously-live values with k=4.
+        let src = "fn main() { \
+            let a: int = 1; let b: int = 2; let c: int = 3; \
+            let d: int = 4; let e: int = 5; let f: int = 6; \
+            let g: int = 7; let h: int = 8; let i: int = 9; \
+            print(a+b+c+d+e+f+g+h+i); \
+            print(i+h+g+f+e+d+c+b+a); }";
+        let (_, f) = lower_main(src);
+        for strategy in [Strategy::Coloring, Strategy::UsageCount] {
+            let a = allocate(f.clone(), 4, strategy).unwrap();
+            assert!(a.spilled_count > 0, "{strategy} must spill");
+            assert_valid(&a, 4);
+            // Spill code appeared.
+            let spill_ops = a
+                .func
+                .instrs()
+                .filter(|(_, i)| {
+                    i.mem()
+                        .is_some_and(|m| matches!(m.name, ucm_ir::RefName::Spill(_)))
+                })
+                .count();
+            assert!(spill_ops > 0);
+        }
+    }
+
+    #[test]
+    fn coloring_rounds_converge() {
+        let src = "fn main() { let i: int = 0; let s: int = 0; let t: int = 1; \
+            while i < 10 { s = s + i * t; t = t + s; i = i + 1; } \
+            print(s); print(t); }";
+        let (_, f) = lower_main(src);
+        let a = allocate(f, 3, Strategy::Coloring).unwrap();
+        assert_valid(&a, 3);
+        assert!(a.rounds <= 10, "convergence took {} rounds", a.rounds);
+    }
+
+    #[test]
+    fn too_few_registers_is_an_error() {
+        let (_, f) =
+            lower_main("fn main() { let a: int = 1; let b: int = 2; print(a + b); }");
+        let err = allocate(f, 1, Strategy::Coloring).unwrap_err();
+        assert!(err.to_string().contains("1 registers"));
+    }
+
+    #[test]
+    fn loop_heavy_function_with_various_register_counts() {
+        let src = "global acc: int; \
+            fn main() { let i: int = 0; let j: int = 0; \
+            while i < 5 { j = 0; while j < 5 { acc = acc + i * j; j = j + 1; } i = i + 1; } \
+            print(acc); }";
+        let (_, f) = lower_main(src);
+        for k in [3, 4, 8, 16] {
+            let a = allocate(f.clone(), k, Strategy::Coloring).unwrap();
+            assert_valid(&a, k);
+        }
+    }
+
+    #[test]
+    fn params_receive_distinct_registers() {
+        let m = lower(
+            &parse_and_check(
+                "fn f(a: int, b: int, c: int) -> int { return a + b + c; } \
+                 fn main() { print(f(1, 2, 3)); }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let f = m.funcs[0].clone();
+        let a = allocate(f, 4, Strategy::Coloring).unwrap();
+        assert_valid(&a, 4);
+        let regs: Vec<u8> = a
+            .func
+            .params
+            .iter()
+            .map(|&p| a.reg_of(p).unwrap())
+            .collect();
+        let unique: HashSet<u8> = regs.iter().copied().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn spill_keeps_program_shape() {
+        let (_, f) = lower_main(
+            "fn main() { let a: int = 1; let b: int = 2; let c: int = 3; \
+             print(a + b + c); print(c + b + a); }",
+        );
+        let before_prints = f
+            .instrs()
+            .filter(|(_, i)| matches!(i, Instr::Print { .. }))
+            .count();
+        let a = allocate(f, 2, Strategy::Coloring).unwrap();
+        let after_prints = a
+            .func
+            .instrs()
+            .filter(|(_, i)| matches!(i, Instr::Print { .. }))
+            .count();
+        assert_eq!(before_prints, after_prints);
+        assert_valid(&a, 2);
+    }
+}

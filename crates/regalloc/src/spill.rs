@@ -1,0 +1,275 @@
+//! Spill-code insertion.
+//!
+//! Following the unified model (paper §4.2): a spilled value is stored to a
+//! fresh frame slot tagged [`RefName::Spill`](ucm_ir::RefName::Spill). The store is later annotated
+//! `AmSp_STORE` (through the cache) and each reload `UmAm_LOAD` (take from
+//! cache and invalidate — the cached copy dies on reload).
+
+use std::collections::{HashMap, HashSet};
+use ucm_ir::{Function, Instr, MemRef, SlotKind, Terminator, VReg};
+
+/// Rewrites `func`, spilling every register in `spilled`.
+///
+/// Each use is preceded by a reload into a fresh temporary; each def is
+/// followed by a store from a fresh temporary. Returns the set of
+/// newly-created temporaries (they must not be chosen for spilling again —
+/// their live ranges are already minimal).
+pub fn insert_spill_code(func: &mut Function, spilled: &HashSet<VReg>) -> HashSet<VReg> {
+    let mut slots: HashMap<VReg, ucm_ir::SlotId> = HashMap::new();
+    for &v in spilled {
+        let slot = func.new_slot(format!("spill_{v}"), 1, SlotKind::Spill);
+        slots.insert(v, slot);
+    }
+    let mut temps = HashSet::new();
+
+    // Spilled parameters: store them at function entry, then treat every
+    // other occurrence through the slot.
+    let entry = func.entry;
+    let param_stores: Vec<Instr> = func
+        .params
+        .iter()
+        .filter(|p| spilled.contains(p))
+        .map(|&p| Instr::Store {
+            src: p,
+            mem: MemRef::spill(slots[&p]),
+        })
+        .collect();
+
+    for bid in (0..func.blocks.len()).map(ucm_ir::BlockId::from_index) {
+        let old_instrs = std::mem::take(&mut func.block_mut(bid).instrs);
+        let mut new_instrs = Vec::with_capacity(old_instrs.len());
+        if bid == entry {
+            new_instrs.extend(param_stores.iter().cloned());
+        }
+        for mut instr in old_instrs {
+            // Reload before each use.
+            let uses: Vec<VReg> = {
+                let mut u = instr.uses();
+                u.sort_unstable();
+                u.dedup();
+                u.retain(|v| spilled.contains(v));
+                u
+            };
+            let mut replace: HashMap<VReg, VReg> = HashMap::new();
+            for v in uses {
+                let t = func.new_vreg();
+                temps.insert(t);
+                new_instrs.push(Instr::Load {
+                    dst: t,
+                    mem: MemRef::spill(slots[&v]),
+                });
+                replace.insert(v, t);
+            }
+            if !replace.is_empty() {
+                rewrite_uses(&mut instr, &replace);
+            }
+            // Store after each def.
+            let def = instr.def().filter(|d| spilled.contains(d));
+            if let Some(d) = def {
+                let t = func.new_vreg();
+                temps.insert(t);
+                rewrite_def(&mut instr, t);
+                new_instrs.push(instr);
+                new_instrs.push(Instr::Store {
+                    src: t,
+                    mem: MemRef::spill(slots[&d]),
+                });
+            } else {
+                new_instrs.push(instr);
+            }
+        }
+        // Terminator uses get reloads at the end of the block.
+        let term_uses: Vec<VReg> = {
+            let mut u = func.block(bid).term.uses();
+            u.sort_unstable();
+            u.dedup();
+            u.retain(|v| spilled.contains(v));
+            u
+        };
+        let mut replace: HashMap<VReg, VReg> = HashMap::new();
+        for v in term_uses {
+            let t = func.new_vreg();
+            temps.insert(t);
+            new_instrs.push(Instr::Load {
+                dst: t,
+                mem: MemRef::spill(slots[&v]),
+            });
+            replace.insert(v, t);
+        }
+        let block = func.block_mut(bid);
+        block.instrs = new_instrs;
+        if !replace.is_empty() {
+            match &mut block.term {
+                Terminator::Branch { cond, .. } => {
+                    if let Some(&t) = replace.get(cond) {
+                        *cond = t;
+                    }
+                }
+                Terminator::Return(Some(v)) => {
+                    if let Some(&t) = replace.get(v) {
+                        *v = t;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    temps
+}
+
+fn rewrite_uses(instr: &mut Instr, replace: &HashMap<VReg, VReg>) {
+    let sub = |v: &mut VReg| {
+        if let Some(&t) = replace.get(v) {
+            *v = t;
+        }
+    };
+    match instr {
+        Instr::Copy { src, .. } | Instr::Neg { src, .. } | Instr::Not { src, .. } => sub(src),
+        Instr::Binary { lhs, rhs, .. } => {
+            sub(lhs);
+            if let ucm_ir::Operand::Reg(r) = rhs {
+                sub(r);
+            }
+        }
+        Instr::Load { mem, .. } => rewrite_mem(mem, replace),
+        Instr::Store { src, mem } => {
+            sub(src);
+            rewrite_mem(mem, replace);
+        }
+        Instr::Call { args, .. } => args.iter_mut().for_each(sub),
+        Instr::Print { src } => sub(src),
+        Instr::Const { .. } | Instr::AddrOf { .. } => {}
+    }
+}
+
+fn rewrite_mem(mem: &mut MemRef, replace: &HashMap<VReg, VReg>) {
+    if let ucm_ir::MemAddr::Reg(r) = &mut mem.addr {
+        if let Some(&t) = replace.get(r) {
+            *r = t;
+        }
+    }
+    // The symbolic Deref name keeps the original pointer register: alias
+    // classification has already been computed against it, and the reload
+    // temp carries the same pointer value.
+}
+
+fn rewrite_def(instr: &mut Instr, new_dst: VReg) {
+    match instr {
+        Instr::Const { dst, .. }
+        | Instr::Copy { dst, .. }
+        | Instr::Binary { dst, .. }
+        | Instr::Neg { dst, .. }
+        | Instr::Not { dst, .. }
+        | Instr::AddrOf { dst, .. }
+        | Instr::Load { dst, .. } => *dst = new_dst,
+        Instr::Call { dst, .. } => *dst = Some(new_dst),
+        Instr::Store { .. } | Instr::Print { .. } => unreachable!("no def to rewrite"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::builder::Builder;
+    use ucm_ir::{OpCode, RefName};
+
+    #[test]
+    fn spill_rewrites_defs_and_uses() {
+        let mut b = Builder::new("f", true);
+        let x = b.param();
+        let y = b.binary(OpCode::Add, x, 1);
+        let z = b.binary(OpCode::Mul, y, y);
+        b.ret(Some(z));
+        let mut f = b.finish();
+        let temps = insert_spill_code(&mut f, &HashSet::from([y]));
+        // One store after y's def, one reload before the mul (deduped use).
+        let spill_stores = f
+            .instrs()
+            .filter(|(_, i)| {
+                matches!(i, Instr::Store { mem, .. } if matches!(mem.name, RefName::Spill(_)))
+            })
+            .count();
+        let spill_loads = f
+            .instrs()
+            .filter(|(_, i)| {
+                matches!(i, Instr::Load { mem, .. } if matches!(mem.name, RefName::Spill(_)))
+            })
+            .count();
+        assert_eq!(spill_stores, 1);
+        assert_eq!(spill_loads, 1);
+        assert_eq!(temps.len(), 2);
+        assert_eq!(f.frame.len(), 1);
+        assert_eq!(f.frame[0].kind, SlotKind::Spill);
+        // y itself no longer appears anywhere.
+        for (_, i) in f.instrs() {
+            assert_ne!(i.def(), Some(y));
+            assert!(!i.uses().contains(&y));
+        }
+    }
+
+    #[test]
+    fn spilled_param_stored_at_entry() {
+        let mut b = Builder::new("f", true);
+        let p = b.param();
+        let r = b.binary(OpCode::Add, p, 1);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        insert_spill_code(&mut f, &HashSet::from([p]));
+        let first = &f.block(f.entry).instrs[0];
+        assert!(
+            matches!(first, Instr::Store { src, mem } if *src == p
+                && matches!(mem.name, RefName::Spill(_))),
+            "entry must begin with the param spill store, got {first}"
+        );
+    }
+
+    #[test]
+    fn terminator_use_reloaded() {
+        let mut b = Builder::new("f", true);
+        let x = b.const_(7);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        insert_spill_code(&mut f, &HashSet::from([x]));
+        let entry = f.block(f.entry);
+        // const; store; reload; return t
+        assert_eq!(entry.instrs.len(), 3);
+        let Terminator::Return(Some(v)) = entry.term else {
+            panic!("expected value return");
+        };
+        assert_ne!(v, x, "return must use the reload temp");
+    }
+
+    #[test]
+    fn branch_condition_reloaded() {
+        let mut b = Builder::new("f", false);
+        let c = b.const_(1);
+        let t = b.block();
+        let e = b.block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let mut f = b.finish();
+        insert_spill_code(&mut f, &HashSet::from([c]));
+        let Terminator::Branch { cond, .. } = f.block(f.entry).term else {
+            panic!("expected branch");
+        };
+        assert_ne!(cond, c);
+    }
+
+    #[test]
+    fn duplicate_uses_reload_once() {
+        let mut b = Builder::new("f", true);
+        let x = b.const_(3);
+        let y = b.binary(OpCode::Mul, x, x); // x used twice in one instr
+        b.ret(Some(y));
+        let mut f = b.finish();
+        insert_spill_code(&mut f, &HashSet::from([x]));
+        let loads = f
+            .instrs()
+            .filter(|(_, i)| matches!(i, Instr::Load { .. }))
+            .count();
+        assert_eq!(loads, 1, "one reload feeds both operands");
+    }
+}

@@ -1,0 +1,132 @@
+//! Usage-count allocation (Freiburghouse 1974).
+//!
+//! The second classical scheme the paper cites (§2.1.2): registers are handed
+//! out greedily in decreasing order of (loop-weighted) reference frequency,
+//! subject to interference. Values that find no free register are spilled.
+
+use crate::color::ColorResult;
+use crate::cost::SpillCosts;
+use crate::interference::InterferenceGraph;
+use std::collections::HashSet;
+use ucm_ir::VReg;
+
+/// Greedy usage-ordered coloring of `graph` with `k` colors.
+///
+/// Registers in `no_spill` are placed first (highest priority) so spill
+/// temporaries always receive a register.
+pub fn color_by_usage(
+    graph: &InterferenceGraph,
+    k: usize,
+    costs: &SpillCosts,
+    no_spill: &HashSet<VReg>,
+) -> ColorResult {
+    let n = graph.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        let pa = no_spill.contains(&VReg(a));
+        let pb = no_spill.contains(&VReg(b));
+        pb.cmp(&pa)
+            .then(
+                costs
+                    .of(VReg(b))
+                    .partial_cmp(&costs.of(VReg(a)))
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.cmp(&b))
+    });
+    let mut colors: Vec<Option<u8>> = vec![None; n];
+    let mut spills = Vec::new();
+    let mut used = vec![false; k];
+    for i in order {
+        used.fill(false);
+        for nb in graph.neighbors(VReg(i)) {
+            if let Some(c) = colors[nb.index()] {
+                used[c as usize] = true;
+            }
+        }
+        match used.iter().position(|u| !u) {
+            Some(c) => colors[i as usize] = Some(c as u8),
+            None => spills.push(VReg(i)),
+        }
+    }
+    spills.sort_unstable();
+    ColorResult { colors, spills }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_analysis::Liveness;
+    use ucm_ir::builder::Builder;
+    use ucm_ir::{Cfg, Function, OpCode};
+
+    fn setup(f: &Function) -> (InterferenceGraph, SpillCosts) {
+        let cfg = Cfg::new(f);
+        let lv = Liveness::compute(f, &cfg);
+        (
+            InterferenceGraph::build(f, &cfg, &lv),
+            SpillCosts::compute(f, &cfg),
+        )
+    }
+
+    #[test]
+    fn hot_values_get_registers_first() {
+        // A loop-busy register plus interfering cold registers with k=1:
+        // the loop register must win.
+        let mut b = Builder::new("f", false);
+        let cold = b.const_(7);
+        let i = b.const_(0);
+        let head = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(head);
+        b.switch_to(head);
+        let c = b.binary(OpCode::Lt, i, 100);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.binary(OpCode::Add, i, 1);
+        b.copy_to(i, i2);
+        b.jump(head);
+        b.switch_to(exit);
+        b.print(cold);
+        b.ret(None);
+        let f = b.finish();
+        let (g, costs) = setup(&f);
+        let r = color_by_usage(&g, 1, &costs, &HashSet::new());
+        assert!(r.colors[i.index()].is_some(), "hot loop counter kept");
+        assert!(r.spills.contains(&cold), "cold value spilled");
+    }
+
+    #[test]
+    fn respects_interference() {
+        let mut b = Builder::new("f", false);
+        let x = b.const_(1);
+        let y = b.const_(2);
+        let s = b.binary(OpCode::Add, x, y);
+        b.print(s);
+        b.ret(None);
+        let f = b.finish();
+        let (g, costs) = setup(&f);
+        let r = color_by_usage(&g, 2, &costs, &HashSet::new());
+        assert!(r.spills.is_empty());
+        assert_ne!(r.colors[x.index()], r.colors[y.index()]);
+    }
+
+    #[test]
+    fn protected_temps_win_over_hot_values() {
+        let mut b = Builder::new("f", false);
+        let x = b.const_(1);
+        let y = b.const_(2);
+        let s = b.binary(OpCode::Add, x, y);
+        b.print(s);
+        b.print(x);
+        b.print(y);
+        b.ret(None);
+        let f = b.finish();
+        let (g, costs) = setup(&f);
+        let protected: HashSet<VReg> = [y].into_iter().collect();
+        let r = color_by_usage(&g, 1, &costs, &protected);
+        assert!(r.colors[y.index()].is_some());
+        assert!(!r.spills.contains(&y));
+    }
+}

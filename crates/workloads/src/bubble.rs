@@ -1,0 +1,131 @@
+//! **Bubble** — bubble sort of `n` pseudo-random elements (paper: 500).
+//!
+//! Random data comes from the Stanford benchmark suite's linear congruential
+//! generator, implemented *inside* the Mini program so runs are reproducible
+//! bit-for-bit.
+
+use crate::harness::Workload;
+
+/// Stanford LCG seed.
+pub const SEED: i64 = 74755;
+
+/// The Mini source for an `n`-element sort.
+pub fn source(n: usize) -> String {
+    format!(
+        r#"
+global a: [int; {n}];
+global seed: int;
+
+fn rand() -> int {{
+    seed = (seed * 1309 + 13849) % 65536;
+    return seed;
+}}
+
+fn init(n: int) {{
+    let i: int = 0;
+    while i < n {{
+        a[i] = rand();
+        i = i + 1;
+    }}
+}}
+
+fn sort(n: int) {{
+    let top: int = n - 1;
+    while top > 0 {{
+        let i: int = 0;
+        while i < top {{
+            if a[i] > a[i + 1] {{
+                let t: int = a[i];
+                a[i] = a[i + 1];
+                a[i + 1] = t;
+            }}
+            i = i + 1;
+        }}
+        top = top - 1;
+    }}
+}}
+
+fn main() {{
+    seed = {SEED};
+    init({n});
+    sort({n});
+    print(a[0]);
+    print(a[{n} - 1]);
+    let i: int = 0;
+    let sum: int = 0;
+    let sorted: int = 1;
+    while i < {n} {{
+        sum = sum + a[i] * (i + 1);
+        if i + 1 < {n} && a[i] > a[i + 1] {{
+            sorted = 0;
+        }}
+        i = i + 1;
+    }}
+    print(sum);
+    print(sorted);
+}}
+"#
+    )
+}
+
+/// The LCG the benchmark uses, for reference computations.
+pub fn lcg_next(seed: &mut i64) -> i64 {
+    *seed = (*seed * 1309 + 13849) % 65536;
+    *seed
+}
+
+/// Native reference: the expected `print` outputs.
+pub fn expected(n: usize) -> Vec<i64> {
+    let mut seed = SEED;
+    let mut a: Vec<i64> = (0..n).map(|_| lcg_next(&mut seed)).collect();
+    a.sort_unstable();
+    let sum: i64 = a
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v * (i as i64 + 1))
+        .sum();
+    vec![a[0], a[n - 1], sum, 1]
+}
+
+/// The assembled workload.
+pub fn workload(n: usize) -> Workload {
+    Workload {
+        name: "bubble".into(),
+        source: source(n),
+        expected: expected(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_core::pipeline::{compile, CompilerOptions};
+    use ucm_machine::{run, NullSink, VmConfig};
+
+    #[test]
+    fn lcg_matches_itself() {
+        let mut s = SEED;
+        let first = lcg_next(&mut s);
+        assert_eq!(first, (SEED * 1309 + 13849) % 65536);
+        assert!((0..65536).contains(&first));
+    }
+
+    #[test]
+    fn vm_matches_reference() {
+        let w = workload(40);
+        let c = compile(&w.source, &CompilerOptions::default()).unwrap();
+        let out = run(&c.program, &mut NullSink, &VmConfig::default()).unwrap();
+        assert_eq!(out.output, w.expected);
+    }
+
+    #[test]
+    fn sorted_flag_is_one() {
+        assert_eq!(*expected(25).last().unwrap(), 1);
+    }
+
+    #[test]
+    fn expected_is_sorted_extremes() {
+        let e = expected(30);
+        assert!(e[0] <= e[1], "min <= max");
+    }
+}

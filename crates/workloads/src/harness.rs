@@ -1,0 +1,92 @@
+//! Workload containers and suite assembly.
+
+use ucm_cache::CacheConfig;
+use ucm_core::evaluate::{compare, Comparison, EvalError};
+use ucm_core::pipeline::CompilerOptions;
+use ucm_machine::VmConfig;
+
+/// One benchmark: Mini source plus the natively-computed expected output.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (paper spelling).
+    pub name: String,
+    /// Mini source text.
+    pub source: String,
+    /// Expected `print` outputs, computed by the Rust reference
+    /// implementation.
+    pub expected: Vec<i64>,
+}
+
+impl Workload {
+    /// Runs the unified-vs-conventional comparison for this workload and
+    /// validates program output against the native reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/VM errors; reports an output mismatch (against the
+    /// reference or between modes) as [`EvalError::OutputMismatch`].
+    pub fn compare(
+        &self,
+        options: &CompilerOptions,
+        cache: CacheConfig,
+        vm: &VmConfig,
+    ) -> Result<Comparison, EvalError> {
+        let cmp = compare(&self.name, &self.source, options, cache, vm)?;
+        if cmp.unified.outcome.output != self.expected {
+            return Err(EvalError::OutputMismatch {
+                name: format!("{} (vs native reference)", self.name),
+            });
+        }
+        Ok(cmp)
+    }
+}
+
+/// The six benchmarks at the paper's sizes (§5): Bubble on 500 random
+/// elements, Intmm 40×40, Puzzle at size 511, 8 Queens, Sieve below 8190,
+/// Towers with 18 disks.
+pub fn paper_suite() -> Vec<Workload> {
+    vec![
+        crate::bubble::workload(500),
+        crate::intmm::workload(40),
+        crate::puzzle::workload(),
+        crate::queen::workload(8),
+        crate::sieve::workload(8190, 10),
+        crate::towers::workload(18),
+    ]
+}
+
+/// Scaled-down versions for fast (debug-build) test runs.
+pub fn quick_suite() -> Vec<Workload> {
+    vec![
+        crate::bubble::workload(60),
+        crate::intmm::workload(8),
+        crate::queen::workload(6),
+        crate::sieve::workload(500, 2),
+        crate::towers::workload(8),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_members() {
+        let paper = paper_suite();
+        assert_eq!(paper.len(), 6);
+        let names: Vec<&str> = paper.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["bubble", "intmm", "puzzle", "queen", "sieve", "towers"]
+        );
+        assert_eq!(quick_suite().len(), 5);
+    }
+
+    #[test]
+    fn every_workload_has_nonempty_expectations() {
+        for w in quick_suite() {
+            assert!(!w.expected.is_empty(), "{} has no expected output", w.name);
+            assert!(!w.source.is_empty());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! **Intmm** — integer matrix multiplication of two `n × n` matrices
+//! (paper: 40 × 40).
+
+use crate::bubble::{lcg_next, SEED};
+use crate::harness::Workload;
+
+/// The Mini source for an `n × n` multiply.
+pub fn source(n: usize) -> String {
+    format!(
+        r#"
+global ma: [[int; {n}]; {n}];
+global mb: [[int; {n}]; {n}];
+global mr: [[int; {n}]; {n}];
+global seed: int;
+
+fn rand() -> int {{
+    seed = (seed * 1309 + 13849) % 65536;
+    return seed;
+}}
+
+fn initmatrices() {{
+    let i: int = 0;
+    while i < {n} {{
+        let j: int = 0;
+        while j < {n} {{
+            ma[i][j] = rand() % 120 - 60;
+            j = j + 1;
+        }}
+        i = i + 1;
+    }}
+    i = 0;
+    while i < {n} {{
+        let j: int = 0;
+        while j < {n} {{
+            mb[i][j] = rand() % 120 - 60;
+            j = j + 1;
+        }}
+        i = i + 1;
+    }}
+}}
+
+fn multiply() {{
+    let i: int = 0;
+    while i < {n} {{
+        let j: int = 0;
+        while j < {n} {{
+            let sum: int = 0;
+            let k: int = 0;
+            while k < {n} {{
+                sum = sum + ma[i][k] * mb[k][j];
+                k = k + 1;
+            }}
+            mr[i][j] = sum;
+            j = j + 1;
+        }}
+        i = i + 1;
+    }}
+}}
+
+fn main() {{
+    seed = {SEED};
+    initmatrices();
+    multiply();
+    let trace: int = 0;
+    let check: int = 0;
+    let i: int = 0;
+    while i < {n} {{
+        trace = trace + mr[i][i];
+        let j: int = 0;
+        while j < {n} {{
+            check = check + mr[i][j] * (i + 2 * j + 1);
+            j = j + 1;
+        }}
+        i = i + 1;
+    }}
+    print(trace);
+    print(check);
+    print(mr[0][0]);
+    print(mr[{n} - 1][{n} - 1]);
+}}
+"#
+    )
+}
+
+/// Native reference: the expected `print` outputs.
+pub fn expected(n: usize) -> Vec<i64> {
+    let mut seed = SEED;
+    let mut next = || lcg_next(&mut seed) % 120 - 60;
+    let ma: Vec<Vec<i64>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+    let mb: Vec<Vec<i64>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+    let mut mr = vec![vec![0i64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            mr[i][j] = (0..n).map(|k| ma[i][k] * mb[k][j]).sum();
+        }
+    }
+    let trace: i64 = (0..n).map(|i| mr[i][i]).sum();
+    let check: i64 = (0..n)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .map(|(i, j)| mr[i][j] * (i as i64 + 2 * j as i64 + 1))
+        .sum();
+    vec![trace, check, mr[0][0], mr[n - 1][n - 1]]
+}
+
+/// The assembled workload.
+pub fn workload(n: usize) -> Workload {
+    Workload {
+        name: "intmm".into(),
+        source: source(n),
+        expected: expected(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_core::pipeline::{compile, CompilerOptions};
+    use ucm_machine::{run, NullSink, VmConfig};
+
+    #[test]
+    fn vm_matches_reference() {
+        let w = workload(6);
+        let c = compile(&w.source, &CompilerOptions::default()).unwrap();
+        let out = run(&c.program, &mut NullSink, &VmConfig::default()).unwrap();
+        assert_eq!(out.output, w.expected);
+    }
+
+    #[test]
+    fn identity_sanity() {
+        // 1x1 multiply: mr = ma * mb element-wise.
+        let e = expected(1);
+        assert_eq!(e[0], e[2]); // trace == mr[0][0]
+        assert_eq!(e[2], e[3]);
+    }
+}

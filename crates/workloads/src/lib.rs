@@ -1,0 +1,43 @@
+//! # ucm-workloads — the paper's benchmark suite
+//!
+//! The six DARPA/Stanford programs of the evaluation (§5), written in Mini
+//! with deterministic inputs, each paired with a native Rust reference
+//! implementation used to validate VM output:
+//!
+//! | benchmark | paper parameters |
+//! |-----------|------------------|
+//! | [`bubble`] | 500 random elements |
+//! | [`intmm`]  | 40 × 40 integer matrices |
+//! | [`puzzle`] | Baskett's packing puzzle, size 511 |
+//! | [`queen`]  | the 8-queens problem |
+//! | [`sieve`]  | primes below 8190 |
+//! | [`towers`] | 18 disks |
+//!
+//! [`harness::paper_suite`] assembles them at paper sizes;
+//! [`harness::quick_suite`] provides scaled-down variants for fast tests.
+//!
+//! ## Example
+//!
+//! ```rust
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ucm_core::pipeline::CompilerOptions;
+//! use ucm_cache::CacheConfig;
+//! use ucm_machine::VmConfig;
+//!
+//! let w = ucm_workloads::sieve::workload(100, 1);
+//! let cmp = w.compare(&CompilerOptions::default(),
+//!                     CacheConfig::default(), &VmConfig::default())?;
+//! assert_eq!(cmp.unified.outcome.output[0], 25); // π(100) = 25
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bubble;
+pub mod harness;
+pub mod intmm;
+pub mod puzzle;
+pub mod queen;
+pub mod sieve;
+pub mod towers;
+
+pub use harness::{paper_suite, quick_suite, Workload};

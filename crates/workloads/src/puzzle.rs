@@ -1,0 +1,298 @@
+//! **Puzzle** — Forest Baskett's 3-D packing puzzle at size 511 (paper §5:
+//! "a compute-bound program from Forest Basket, which runs with a size of
+//! 511").
+//!
+//! A 5×5×5 cavity inside an 8×8×8 box is packed with 18 pieces (thirteen
+//! 2×2×4 boxes, three 1×1×3 sticks, one 1×2×2 plate, one 2×2×2 cube, in all
+//! orientations). The benchmark counts the number of `trial` calls.
+
+use crate::harness::Workload;
+
+const SIZE: usize = 511;
+const TYPEMAX: usize = 12;
+const D: i64 = 8;
+
+/// The Mini source (size is fixed by the piece definitions).
+pub fn source() -> String {
+    r#"
+global pcount: [int; 4];
+global cls: [int; 13];
+global pmax: [int; 13];
+global puzl: [int; 512];
+global p: [[int; 512]; 13];
+global kount: int;
+
+fn p2(i: int, j: int, k: int) -> int {
+    return (i * 8 + j) * 8 + k;
+}
+
+fn fit(i: int, j: int) -> int {
+    let k: int = 0;
+    while k <= pmax[i] {
+        if p[i][k] {
+            if puzl[j + k] {
+                return 0;
+            }
+        }
+        k = k + 1;
+    }
+    return 1;
+}
+
+fn place(i: int, j: int) -> int {
+    let k: int = 0;
+    while k <= pmax[i] {
+        if p[i][k] {
+            puzl[j + k] = 1;
+        }
+        k = k + 1;
+    }
+    pcount[cls[i]] = pcount[cls[i]] - 1;
+    k = j;
+    while k <= 511 {
+        if puzl[k] == 0 {
+            return k;
+        }
+        k = k + 1;
+    }
+    return 0;
+}
+
+fn removepiece(i: int, j: int) {
+    let k: int = 0;
+    while k <= pmax[i] {
+        if p[i][k] {
+            puzl[j + k] = 0;
+        }
+        k = k + 1;
+    }
+    pcount[cls[i]] = pcount[cls[i]] + 1;
+}
+
+fn trial(j: int) -> int {
+    kount = kount + 1;
+    let i: int = 0;
+    while i <= 12 {
+        if pcount[cls[i]] {
+            if fit(i, j) {
+                let k: int = place(i, j);
+                if trial(k) || k == 0 {
+                    return 1;
+                }
+                removepiece(i, j);
+            }
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+
+fn defpiece(id: int, imax: int, jmax: int, kmax: int, c: int) {
+    let i: int = 0;
+    while i <= imax {
+        let j: int = 0;
+        while j <= jmax {
+            let k: int = 0;
+            while k <= kmax {
+                p[id][p2(i, j, k)] = 1;
+                k = k + 1;
+            }
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    cls[id] = c;
+    pmax[id] = p2(imax, jmax, kmax);
+}
+
+fn main() {
+    let m: int = 0;
+    while m <= 511 {
+        puzl[m] = 1;
+        m = m + 1;
+    }
+    let i: int = 1;
+    while i <= 5 {
+        let j: int = 1;
+        while j <= 5 {
+            let k: int = 1;
+            while k <= 5 {
+                puzl[p2(i, j, k)] = 0;
+                k = k + 1;
+            }
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    defpiece(0, 3, 1, 0, 0);
+    defpiece(1, 1, 0, 3, 0);
+    defpiece(2, 0, 3, 1, 0);
+    defpiece(3, 1, 3, 0, 0);
+    defpiece(4, 3, 0, 1, 0);
+    defpiece(5, 0, 1, 3, 0);
+    defpiece(6, 2, 0, 0, 1);
+    defpiece(7, 0, 2, 0, 1);
+    defpiece(8, 0, 0, 2, 1);
+    defpiece(9, 1, 1, 0, 2);
+    defpiece(10, 1, 0, 1, 2);
+    defpiece(11, 0, 1, 1, 2);
+    defpiece(12, 1, 1, 1, 3);
+    pcount[0] = 13;
+    pcount[1] = 3;
+    pcount[2] = 1;
+    pcount[3] = 1;
+    kount = 0;
+    m = 0;
+    while puzl[m] {
+        m = m + 1;
+    }
+    let n: int = m;
+    if fit(0, n) {
+        n = place(0, n);
+    } else {
+        print(-1);
+        return;
+    }
+    if trial(n) {
+        print(kount);
+    } else {
+        print(-2);
+    }
+    print(pcount[0] + pcount[1] + pcount[2] + pcount[3]);
+}
+"#
+    .to_string()
+}
+
+/// Native reference implementation; returns the expected `print` outputs.
+pub fn expected() -> Vec<i64> {
+    struct State {
+        pcount: [i64; 4],
+        cls: [usize; TYPEMAX + 1],
+        pmax: [usize; TYPEMAX + 1],
+        puzl: [bool; SIZE + 1],
+        p: Vec<[bool; SIZE + 1]>,
+        kount: i64,
+    }
+    fn p2(i: i64, j: i64, k: i64) -> usize {
+        ((i * D + j) * D + k) as usize
+    }
+    impl State {
+        fn fit(&self, i: usize, j: usize) -> bool {
+            (0..=self.pmax[i]).all(|k| !(self.p[i][k] && self.puzl[j + k]))
+        }
+        fn place(&mut self, i: usize, j: usize) -> usize {
+            for k in 0..=self.pmax[i] {
+                if self.p[i][k] {
+                    self.puzl[j + k] = true;
+                }
+            }
+            self.pcount[self.cls[i]] -= 1;
+            (j..=SIZE).find(|&k| !self.puzl[k]).unwrap_or(0)
+        }
+        fn remove(&mut self, i: usize, j: usize) {
+            for k in 0..=self.pmax[i] {
+                if self.p[i][k] {
+                    self.puzl[j + k] = false;
+                }
+            }
+            self.pcount[self.cls[i]] += 1;
+        }
+        fn trial(&mut self, j: usize) -> bool {
+            self.kount += 1;
+            for i in 0..=TYPEMAX {
+                if self.pcount[self.cls[i]] != 0 && self.fit(i, j) {
+                    let k = self.place(i, j);
+                    if self.trial(k) || k == 0 {
+                        return true;
+                    }
+                    self.remove(i, j);
+                }
+            }
+            false
+        }
+        fn defpiece(&mut self, id: usize, imax: i64, jmax: i64, kmax: i64, c: usize) {
+            for i in 0..=imax {
+                for j in 0..=jmax {
+                    for k in 0..=kmax {
+                        self.p[id][p2(i, j, k)] = true;
+                    }
+                }
+            }
+            self.cls[id] = c;
+            self.pmax[id] = p2(imax, jmax, kmax);
+        }
+    }
+    let mut s = State {
+        pcount: [0; 4],
+        cls: [0; TYPEMAX + 1],
+        pmax: [0; TYPEMAX + 1],
+        puzl: [true; SIZE + 1],
+        p: vec![[false; SIZE + 1]; TYPEMAX + 1],
+        kount: 0,
+    };
+    for i in 1..=5 {
+        for j in 1..=5 {
+            for k in 1..=5 {
+                s.puzl[p2(i, j, k)] = false;
+            }
+        }
+    }
+    let defs: [(i64, i64, i64, usize); 13] = [
+        (3, 1, 0, 0),
+        (1, 0, 3, 0),
+        (0, 3, 1, 0),
+        (1, 3, 0, 0),
+        (3, 0, 1, 0),
+        (0, 1, 3, 0),
+        (2, 0, 0, 1),
+        (0, 2, 0, 1),
+        (0, 0, 2, 1),
+        (1, 1, 0, 2),
+        (1, 0, 1, 2),
+        (0, 1, 1, 2),
+        (1, 1, 1, 3),
+    ];
+    for (id, &(a, b, c, cl)) in defs.iter().enumerate() {
+        s.defpiece(id, a, b, c, cl);
+    }
+    s.pcount = [13, 3, 1, 1];
+    let m = (0..=SIZE).find(|&m| !s.puzl[m]).expect("cavity exists");
+    if !s.fit(0, m) {
+        return vec![-1];
+    }
+    let n = s.place(0, m);
+    if s.trial(n) {
+        let leftover: i64 = s.pcount.iter().sum();
+        vec![s.kount, leftover]
+    } else {
+        vec![-2, s.pcount.iter().sum()]
+    }
+}
+
+/// The assembled workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "puzzle".into(),
+        source: source(),
+        expected: expected(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_solves_the_puzzle() {
+        let e = expected();
+        assert_eq!(e.len(), 2);
+        assert!(e[0] > 0, "solver must succeed, got {e:?}");
+        assert_eq!(e[1], 0, "every piece is consumed in a full packing");
+    }
+
+    #[test]
+    fn source_parses_and_checks() {
+        ucm_lang::parse_and_check(&source()).unwrap();
+    }
+}

@@ -1,0 +1,104 @@
+//! **Queen** — count all solutions of the `n`-queens problem (paper: the 8
+//! queens problem; 92 solutions).
+
+use crate::harness::Workload;
+
+/// The Mini source.
+pub fn source(n: usize) -> String {
+    let diag = 2 * n;
+    format!(
+        r#"
+global colfree: [int; {n}];
+global up: [int; {diag}];
+global down: [int; {diag}];
+global rowpos: [int; {n}];
+global solutions: int;
+
+fn place(row: int) {{
+    if row == {n} {{
+        solutions = solutions + 1;
+        return;
+    }}
+    let c: int = 0;
+    while c < {n} {{
+        if colfree[c] == 0 && up[row + c] == 0 && down[row - c + {n} - 1] == 0 {{
+            colfree[c] = 1;
+            up[row + c] = 1;
+            down[row - c + {n} - 1] = 1;
+            rowpos[row] = c;
+            place(row + 1);
+            colfree[c] = 0;
+            up[row + c] = 0;
+            down[row - c + {n} - 1] = 0;
+        }}
+        c = c + 1;
+    }}
+}}
+
+fn main() {{
+    solutions = 0;
+    place(0);
+    print(solutions);
+}}
+"#
+    )
+}
+
+/// Native reference solver.
+pub fn expected(n: usize) -> Vec<i64> {
+    fn solve(row: usize, n: usize, cols: &mut [bool], up: &mut [bool], down: &mut [bool]) -> i64 {
+        if row == n {
+            return 1;
+        }
+        let mut total = 0;
+        for c in 0..n {
+            let d = row + n - 1 - c;
+            if !cols[c] && !up[row + c] && !down[d] {
+                cols[c] = true;
+                up[row + c] = true;
+                down[d] = true;
+                total += solve(row + 1, n, cols, up, down);
+                cols[c] = false;
+                up[row + c] = false;
+                down[d] = false;
+            }
+        }
+        total
+    }
+    let mut cols = vec![false; n];
+    let mut up = vec![false; 2 * n];
+    let mut down = vec![false; 2 * n];
+    vec![solve(0, n, &mut cols, &mut up, &mut down)]
+}
+
+/// The assembled workload.
+pub fn workload(n: usize) -> Workload {
+    Workload {
+        name: "queen".into(),
+        source: source(n),
+        expected: expected(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_core::pipeline::{compile, CompilerOptions};
+    use ucm_machine::{run, NullSink, VmConfig};
+
+    #[test]
+    fn known_solution_counts() {
+        assert_eq!(expected(4), vec![2]);
+        assert_eq!(expected(5), vec![10]);
+        assert_eq!(expected(6), vec![4]);
+        assert_eq!(expected(8), vec![92]);
+    }
+
+    #[test]
+    fn vm_matches_reference() {
+        let w = workload(6);
+        let c = compile(&w.source, &CompilerOptions::default()).unwrap();
+        let out = run(&c.program, &mut NullSink, &VmConfig::default()).unwrap();
+        assert_eq!(out.output, vec![4]);
+    }
+}

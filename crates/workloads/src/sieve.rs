@@ -1,0 +1,114 @@
+//! **Sieve** — count primes in `2..=limit` with the Sieve of Eratosthenes,
+//! repeated `iterations` times (paper: limit 8190; Stanford runs 10
+//! iterations).
+
+use crate::harness::Workload;
+
+/// The Mini source.
+pub fn source(limit: usize, iterations: usize) -> String {
+    let size = limit + 1;
+    format!(
+        r#"
+global flags: [int; {size}];
+global count: int;
+
+fn one_pass() {{
+    let i: int = 0;
+    while i <= {limit} {{
+        flags[i] = 1;
+        i = i + 1;
+    }}
+    count = 0;
+    i = 2;
+    while i <= {limit} {{
+        if flags[i] {{
+            let k: int = i + i;
+            while k <= {limit} {{
+                flags[k] = 0;
+                k = k + i;
+            }}
+            count = count + 1;
+        }}
+        i = i + 1;
+    }}
+}}
+
+fn main() {{
+    let iter: int = 0;
+    while iter < {iterations} {{
+        one_pass();
+        iter = iter + 1;
+    }}
+    print(count);
+    print(flags[2] + flags[3] + flags[4]);
+    let sum: int = 0;
+    let i: int = 2;
+    while i <= {limit} {{
+        if flags[i] {{
+            sum = sum + i;
+        }}
+        i = i + 1;
+    }}
+    print(sum);
+}}
+"#
+    )
+}
+
+/// Native reference: the expected `print` outputs.
+pub fn expected(limit: usize, _iterations: usize) -> Vec<i64> {
+    let mut flags = vec![true; limit + 1];
+    let mut count = 0i64;
+    for i in 2..=limit {
+        if flags[i] {
+            let mut k = i + i;
+            while k <= limit {
+                flags[k] = false;
+                k += i;
+            }
+            count += 1;
+        }
+    }
+    let fsum = i64::from(flags[2]) + i64::from(flags[3]) + i64::from(flags[4]);
+    let sum: i64 = (2..=limit).filter(|&i| flags[i]).map(|i| i as i64).sum();
+    vec![count, fsum, sum]
+}
+
+/// The assembled workload.
+pub fn workload(limit: usize, iterations: usize) -> Workload {
+    Workload {
+        name: "sieve".into(),
+        source: source(limit, iterations),
+        expected: expected(limit, iterations),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_core::pipeline::{compile, CompilerOptions};
+    use ucm_machine::{run, NullSink, VmConfig};
+
+    #[test]
+    fn reference_counts_known_primes() {
+        // Primes below 30: 2 3 5 7 11 13 17 19 23 29.
+        let e = expected(30, 1);
+        assert_eq!(e[0], 10);
+        assert_eq!(e[1], 2); // 2 and 3 prime, 4 not
+        assert_eq!(e[2], 2 + 3 + 5 + 7 + 11 + 13 + 17 + 19 + 23 + 29);
+    }
+
+    #[test]
+    fn paper_size_prime_count() {
+        // π(8190) = 1027.
+        assert_eq!(expected(8190, 10)[0], 1027);
+    }
+
+    #[test]
+    fn vm_matches_reference() {
+        let w = workload(100, 2);
+        let c = compile(&w.source, &CompilerOptions::default()).unwrap();
+        let out = run(&c.program, &mut NullSink, &VmConfig::default()).unwrap();
+        assert_eq!(out.output, w.expected);
+    }
+}

@@ -1,0 +1,95 @@
+//! **Towers** — the recursive Towers-of-Hanoi solution (paper: 18 disks).
+//!
+//! Like the Stanford original, disks live on explicit stack arrays so the
+//! benchmark generates real (ambiguous) data traffic, not just recursion.
+
+use crate::harness::Workload;
+
+/// The Mini source for a `discs`-disk run.
+pub fn source(discs: usize) -> String {
+    let depth = discs + 1;
+    format!(
+        r#"
+global stacks: [[int; {depth}]; 3];
+global height: [int; 3];
+global moves: int;
+
+fn push(peg: int, disc: int) {{
+    stacks[peg][height[peg]] = disc;
+    height[peg] = height[peg] + 1;
+}}
+
+fn pop(peg: int) -> int {{
+    height[peg] = height[peg] - 1;
+    return stacks[peg][height[peg]];
+}}
+
+fn movedisc(from: int, to: int) {{
+    push(to, pop(from));
+    moves = moves + 1;
+}}
+
+fn tower(from: int, to: int, via: int, n: int) {{
+    if n == 1 {{
+        movedisc(from, to);
+        return;
+    }}
+    tower(from, via, to, n - 1);
+    movedisc(from, to);
+    tower(via, to, from, n - 1);
+}}
+
+fn main() {{
+    let i: int = {discs};
+    while i > 0 {{
+        push(0, i);
+        i = i - 1;
+    }}
+    tower(0, 2, 1, {discs});
+    print(moves);
+    print(height[0]);
+    print(height[2]);
+    print(stacks[2][0]);
+    print(stacks[2][{discs} - 1]);
+}}
+"#
+    )
+}
+
+/// Native reference: the expected `print` outputs.
+pub fn expected(discs: usize) -> Vec<i64> {
+    let d = discs as i64;
+    // 2^d - 1 moves, everything ends on peg 2 in order.
+    vec![(1 << d) - 1, 0, d, d, 1]
+}
+
+/// The assembled workload.
+pub fn workload(discs: usize) -> Workload {
+    Workload {
+        name: "towers".into(),
+        source: source(discs),
+        expected: expected(discs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_core::pipeline::{compile, CompilerOptions};
+    use ucm_machine::{run, NullSink, VmConfig};
+
+    #[test]
+    fn vm_matches_reference() {
+        let w = workload(7);
+        let c = compile(&w.source, &CompilerOptions::default()).unwrap();
+        let out = run(&c.program, &mut NullSink, &VmConfig::default()).unwrap();
+        assert_eq!(out.output, w.expected);
+        assert_eq!(out.output[0], 127);
+    }
+
+    #[test]
+    fn expected_move_counts() {
+        assert_eq!(expected(3)[0], 7);
+        assert_eq!(expected(18)[0], 262143);
+    }
+}

@@ -1,0 +1,76 @@
+//! Pipeline tour for compiler writers: shows the IR, the alias
+//! classification of every memory reference, and the load/store flavour each
+//! one receives under unified management.
+//!
+//! ```text
+//! cargo run --example inspect_pipeline
+//! ```
+
+use ucm::analysis::alias::Classification;
+use ucm::core::pipeline::{compile, CompilerOptions};
+use ucm::ir::print::module_to_string;
+use ucm::machine::MemTagger;
+
+const PROGRAM: &str = "
+global g: int;
+global table: [int; 16];
+
+fn mix(p: *int, k: int) -> int {
+    *p = *p + k;
+    return *p;
+}
+
+fn main() {
+    let x: int = 1;
+    g = mix(&x, 41);
+    table[g % 16] = x;
+    print(table[g % 16]);
+}
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let checked = ucm::lang::parse_and_check(PROGRAM)?;
+    let module = ucm::ir::lower(&checked)?;
+
+    println!("==== IR after lowering ====\n");
+    println!("{}", module_to_string(&module));
+
+    println!("==== alias classification (paper \u{a7}4.1-4.2) ====\n");
+    let classes = Classification::compute(&module);
+    for fid in module.func_ids() {
+        for (iref, instr) in module.func(fid).instrs() {
+            if let Some(class) = classes.get(fid, iref) {
+                println!(
+                    "  {:<12} {iref:<8} {instr:<45} -> {class:?}",
+                    module.func(fid).name
+                );
+            }
+        }
+    }
+    let counts = classes.static_counts();
+    println!(
+        "\n  static: {} unambiguous / {} ambiguous ({:.0}% unambiguous)\n",
+        counts.unambiguous,
+        counts.ambiguous,
+        100.0 * counts.unambiguous_fraction()
+    );
+
+    println!("==== annotated memory instructions (\u{a7}4.3 flavours) ====\n");
+    let compiled = compile(PROGRAM, &CompilerOptions::default())?;
+    for fid in compiled.module.func_ids() {
+        for (iref, instr) in compiled.module.func(fid).instrs() {
+            if instr.is_memory() {
+                let tag = compiled.annotations.tag_of(fid, iref);
+                println!(
+                    "  {:<12} {:<45} -> {} (bypass={}, last_ref={})",
+                    compiled.module.func(fid).name,
+                    instr.to_string(),
+                    tag.flavour,
+                    u8::from(tag.flavour.bypass_bit()),
+                    u8::from(tag.last_ref),
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # ucm — Unified Management of Registers and Cache
+//!
+//! Facade crate for the reproduction of *Chi & Dietz, "Unified Management of
+//! Registers and Cache Using Liveness and Cache Bypass" (PLDI 1989)*. It
+//! re-exports the full pipeline:
+//!
+//! * [`lang`] — Mini front end (lexer/parser/checker)
+//! * [`ir`] — three-address IR with explicit named memory references
+//! * [`analysis`] — dataflow, liveness, live ranges, alias sets
+//! * [`regalloc`] — usage-count and Chaitin coloring allocators
+//! * [`core`] — the unified register/cache management model (the paper)
+//! * [`machine`] — MIPS-like target ISA, code generator, tracing VM
+//! * [`cache`] — data-cache simulator with bypass and last-ref invalidation
+//! * [`workloads`] — the six DARPA/Stanford benchmarks of the evaluation
+
+pub use ucm_analysis as analysis;
+pub use ucm_cache as cache;
+pub use ucm_core as core;
+pub use ucm_ir as ir;
+pub use ucm_lang as lang;
+pub use ucm_machine as machine;
+pub use ucm_regalloc as regalloc;
+pub use ucm_workloads as workloads;

@@ -1,0 +1,184 @@
+//! Property-based tests of the cache simulator's invariants, driven by
+//! random reference streams.
+
+use proptest::prelude::*;
+use ucm::cache::{simulate_min, CacheConfig, CacheSim, PolicyKind, WritePolicy};
+use ucm::machine::{Flavour, MemEvent, MemTag};
+
+fn arb_event() -> impl Strategy<Value = MemEvent> {
+    (
+        0i64..96,
+        any::<bool>(),
+        0u8..5,
+        any::<bool>(),
+    )
+        .prop_map(|(addr, want_write, f, last_ref)| {
+            let flavour = match f {
+                0 => Flavour::Plain,
+                1 => Flavour::AmLoad,
+                2 => Flavour::AmSpStore,
+                3 => Flavour::UmAmLoad,
+                _ => Flavour::UmAmStore,
+            };
+            // Flavours imply a direction; Plain keeps the random one.
+            let is_write = match flavour {
+                Flavour::AmLoad | Flavour::UmAmLoad => false,
+                Flavour::AmSpStore | Flavour::UmAmStore => true,
+                Flavour::Plain => want_write,
+            };
+            MemEvent {
+                addr,
+                is_write,
+                tag: MemTag {
+                    flavour,
+                    last_ref,
+                    unambiguous: flavour.bypass_bit(),
+                },
+            }
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (
+        prop_oneof![Just(16usize), Just(32), Just(64)],
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        prop_oneof![
+            Just(PolicyKind::Lru),
+            Just(PolicyKind::OneBitLru),
+            Just(PolicyKind::Fifo),
+            Just(PolicyKind::Random),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(size, ways, policy, honor_tags, honor_last_ref)| CacheConfig {
+            size_words: size,
+            line_words: 1,
+            associativity: ways,
+            policy,
+            write_policy: WritePolicy::WriteBackAllocate,
+            honor_tags,
+            honor_last_ref,
+            seed: 12345,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every reference is accounted for exactly once.
+    #[test]
+    fn accounting_balances(events in prop::collection::vec(arb_event(), 1..400),
+                           config in arb_config()) {
+        let mut sim = CacheSim::new(config);
+        for ev in &events {
+            sim.access(*ev);
+        }
+        let s = sim.stats();
+        prop_assert_eq!(s.total_refs(), events.len() as u64);
+        prop_assert_eq!(
+            s.total_refs(),
+            s.read_hits + s.write_hits + s.read_misses + s.write_misses
+                + s.bypass_reads + s.bypass_writes
+        );
+        // Each fill moves at most one line from memory; bypasses move one
+        // word each.
+        prop_assert!(s.words_from_memory >= s.bypass_reads);
+        prop_assert!(s.words_to_memory >= s.bypass_writes);
+    }
+
+    /// With tags ignored, the flavour of the events must not matter.
+    #[test]
+    fn conventional_cache_is_flavour_blind(
+        events in prop::collection::vec(arb_event(), 1..300),
+        config in arb_config(),
+    ) {
+        let config = config.conventional();
+        let mut tagged = CacheSim::new(config);
+        let mut plain = CacheSim::new(config);
+        for ev in &events {
+            tagged.access(*ev);
+            plain.access(MemEvent {
+                tag: MemTag::plain(false),
+                ..*ev
+            });
+        }
+        prop_assert_eq!(tagged.stats().misses(), plain.stats().misses());
+        prop_assert_eq!(tagged.stats().bus_words(), plain.stats().bus_words());
+        prop_assert_eq!(tagged.stats().invalidates, 0);
+    }
+
+    /// Belady MIN never takes more misses than LRU on a plain trace.
+    #[test]
+    fn min_is_optimal_vs_lru(addrs in prop::collection::vec(0i64..48, 1..600),
+                             ways in prop_oneof![Just(1usize), Just(2), Just(4), Just(16)]) {
+        let trace: Vec<MemEvent> = addrs
+            .iter()
+            .map(|&addr| MemEvent { addr, is_write: false, tag: MemTag::plain(false) })
+            .collect();
+        let config = CacheConfig {
+            size_words: 16,
+            associativity: ways,
+            ..CacheConfig::default()
+        };
+        let min = simulate_min(&trace, &config);
+        let mut lru = CacheSim::new(config);
+        for ev in &trace {
+            lru.access(*ev);
+        }
+        prop_assert!(min.misses() <= lru.stats().misses());
+    }
+
+    /// The unified extensions never increase the number of references
+    /// entering the cache.
+    #[test]
+    fn tags_never_increase_cache_refs(events in prop::collection::vec(arb_event(), 1..300),
+                                      config in arb_config()) {
+        let honoring = CacheConfig { honor_tags: true, honor_last_ref: true, ..config };
+        let mut unified = CacheSim::new(honoring);
+        let mut conventional = CacheSim::new(honoring.conventional());
+        for ev in &events {
+            unified.access(*ev);
+            conventional.access(*ev);
+        }
+        prop_assert!(unified.stats().cache_refs() <= conventional.stats().cache_refs());
+    }
+
+    /// A cache never holds more distinct resident lines than its capacity,
+    /// observed via the contains() probe.
+    #[test]
+    fn residency_bounded_by_capacity(events in prop::collection::vec(arb_event(), 1..300),
+                                     config in arb_config()) {
+        let mut sim = CacheSim::new(config);
+        for ev in &events {
+            sim.access(*ev);
+        }
+        let resident = (0i64..96).filter(|&a| sim.contains(a)).count();
+        prop_assert!(resident <= config.size_words);
+    }
+
+    /// `UmAm_STORE` always goes straight to memory: with last-ref bits
+    /// cleared, the bypass-write count equals the `UmAm_STORE` count under
+    /// every policy, online or offline.
+    #[test]
+    fn umam_store_bypass_policy_independent(events in prop::collection::vec(arb_event(), 1..300)) {
+        let events: Vec<MemEvent> = events
+            .into_iter()
+            .map(|ev| MemEvent { tag: MemTag { last_ref: false, ..ev.tag }, ..ev })
+            .collect();
+        let expected = events
+            .iter()
+            .filter(|e| e.tag.flavour == Flavour::UmAmStore)
+            .count() as u64;
+        let base = CacheConfig { size_words: 32, associativity: 2, ..CacheConfig::default() };
+        let min = simulate_min(&events, &base);
+        prop_assert_eq!(min.bypass_writes, expected);
+        for policy in [PolicyKind::Lru, PolicyKind::OneBitLru, PolicyKind::Fifo, PolicyKind::Random] {
+            let mut sim = CacheSim::new(CacheConfig { policy, ..base });
+            for ev in &events {
+                sim.access(*ev);
+            }
+            prop_assert_eq!(sim.stats().bypass_writes, expected);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Whole-program differential testing: random statement lists (assignments,
+//! conditionals, counted loops, array stores) over globals, locals, and a
+//! global array are rendered to Mini, compiled through the full pipeline in
+//! several configurations, executed on the VM, and checked against a native
+//! interpreter with identical wrapping semantics.
+
+use proptest::prelude::*;
+use ucm::core::pipeline::{compile, CompilerOptions};
+use ucm::machine::{run, NullSink, VmConfig};
+
+const NVARS: usize = 4; // g0 g1 (globals), l0 l1 (locals)
+const ARR: usize = 8;
+
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i64),
+    Var(usize),
+    Arr(Box<E>),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+}
+
+#[derive(Debug, Clone)]
+enum S {
+    Assign(usize, E),
+    StoreArr(E, E),
+    Print(E),
+    If(E, Vec<S>, Vec<S>),
+    Loop(u8, Vec<S>),
+}
+
+fn var_name(i: usize) -> &'static str {
+    ["g0", "g1", "l0", "l1"][i]
+}
+
+impl E {
+    fn render(&self) -> String {
+        match self {
+            E::Lit(v) if *v < 0 => format!("(0 - {})", -v),
+            E::Lit(v) => v.to_string(),
+            E::Var(i) => var_name(*i).to_string(),
+            E::Arr(e) => format!("arr[(({}) % {ARR} + {ARR}) % {ARR}]", e.render()),
+            E::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            E::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            E::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            E::Lt(a, b) => format!("({} < {})", a.render(), b.render()),
+        }
+    }
+
+    fn eval(&self, st: &State) -> i64 {
+        match self {
+            E::Lit(v) => *v,
+            E::Var(i) => st.vars[*i],
+            E::Arr(e) => {
+                let i = (e.eval(st).wrapping_rem(ARR as i64) + ARR as i64) % ARR as i64;
+                st.arr[i as usize]
+            }
+            E::Add(a, b) => a.eval(st).wrapping_add(b.eval(st)),
+            E::Sub(a, b) => a.eval(st).wrapping_sub(b.eval(st)),
+            E::Mul(a, b) => a.eval(st).wrapping_mul(b.eval(st)),
+            E::Lt(a, b) => i64::from(a.eval(st) < b.eval(st)),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    vars: [i64; NVARS],
+    arr: [i64; ARR],
+    out: Vec<i64>,
+}
+
+impl S {
+    fn render(&self, depth: usize, out: &mut String) {
+        let pad = "    ".repeat(depth + 1);
+        match self {
+            S::Assign(i, e) => out.push_str(&format!("{pad}{} = {};\n", var_name(*i), e.render())),
+            S::StoreArr(idx, val) => out.push_str(&format!(
+                "{pad}arr[(({}) % {ARR} + {ARR}) % {ARR}] = {};\n",
+                idx.render(),
+                val.render()
+            )),
+            S::Print(e) => out.push_str(&format!("{pad}print({});\n", e.render())),
+            S::If(c, t, f) => {
+                out.push_str(&format!("{pad}if {} {{\n", c.render()));
+                for s in t {
+                    s.render(depth + 1, out);
+                }
+                out.push_str(&format!("{pad}}} else {{\n"));
+                for s in f {
+                    s.render(depth + 1, out);
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            S::Loop(n, body) => {
+                // A fresh counter per nesting depth avoids shadowing issues.
+                let c = format!("c{depth}");
+                out.push_str(&format!("{pad}let {c}: int = 0;\n"));
+                out.push_str(&format!("{pad}while {c} < {n} {{\n"));
+                for s in body {
+                    s.render(depth + 1, out);
+                }
+                out.push_str(&format!("{pad}    {c} = {c} + 1;\n"));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+
+    fn exec(&self, st: &mut State) {
+        match self {
+            S::Assign(i, e) => st.vars[*i] = e.eval(st),
+            S::StoreArr(idx, val) => {
+                let i = (idx.eval(st).wrapping_rem(ARR as i64) + ARR as i64) % ARR as i64;
+                let v = val.eval(st);
+                st.arr[i as usize] = v;
+            }
+            S::Print(e) => {
+                let v = e.eval(st);
+                st.out.push(v);
+            }
+            S::If(c, t, f) => {
+                let branch = if c.eval(st) != 0 { t } else { f };
+                for s in branch {
+                    s.exec(st);
+                }
+            }
+            S::Loop(n, body) => {
+                for _ in 0..*n {
+                    for s in body {
+                        s.exec(st);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn render_program(stmts: &[S]) -> String {
+    let mut body = String::new();
+    for s in stmts {
+        s.render(0, &mut body);
+    }
+    format!(
+        "global g0: int;\nglobal g1: int;\nglobal arr: [int; {ARR}];\n\
+         fn main() {{\n    let l0: int = 0;\n    let l1: int = 0;\n{body}\
+         \n    print(g0); print(g1); print(l0); print(l1); print(arr[0]); print(arr[7]);\n}}\n"
+    )
+}
+
+fn native_run(stmts: &[S]) -> Vec<i64> {
+    let mut st = State::default();
+    for s in stmts {
+        s.exec(&mut st);
+    }
+    let mut out = st.out.clone();
+    out.extend([st.vars[0], st.vars[1], st.vars[2], st.vars[3], st.arr[0], st.arr[7]]);
+    out
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(E::Lit),
+        (0usize..NVARS).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| E::Arr(e.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(a.into(), b.into())),
+        ]
+    })
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<S> {
+    let simple = prop_oneof![
+        ((0usize..NVARS), arb_expr()).prop_map(|(i, e)| S::Assign(i, e)),
+        (arb_expr(), arb_expr()).prop_map(|(i, v)| S::StoreArr(i, v)),
+        arb_expr().prop_map(S::Print),
+    ];
+    if depth == 0 {
+        simple.boxed()
+    } else {
+        prop_oneof![
+            3 => simple,
+            1 => (
+                arb_expr(),
+                prop::collection::vec(arb_stmt(depth - 1), 0..3),
+                prop::collection::vec(arb_stmt(depth - 1), 0..3),
+            )
+                .prop_map(|(c, t, f)| S::If(c, t, f)),
+            1 => (
+                0u8..4,
+                prop::collection::vec(arb_stmt(depth - 1), 1..3),
+            )
+                .prop_map(|(n, b)| S::Loop(n, b)),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_match_native_interpreter(
+        stmts in prop::collection::vec(arb_stmt(2), 1..8),
+        paper in any::<bool>(),
+        k in 6usize..16,
+    ) {
+        let src = render_program(&stmts);
+        let expected = native_run(&stmts);
+        let options = CompilerOptions {
+            num_regs: k,
+            ..if paper { CompilerOptions::paper() } else { CompilerOptions::default() }
+        };
+        let compiled = compile(&src, &options)
+            .unwrap_or_else(|e| panic!("generated program failed to compile: {e}\n{src}"));
+        let out = run(&compiled.program, &mut NullSink, &VmConfig::default())
+            .unwrap_or_else(|e| panic!("generated program trapped: {e}\n{src}"));
+        prop_assert_eq!(out.output, expected, "source was:\n{}", src);
+    }
+}

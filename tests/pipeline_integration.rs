@@ -1,0 +1,199 @@
+//! End-to-end integration tests: Mini source through the full pipeline
+//! (front end → IR → analyses → register allocation → codegen → VM),
+//! checking program semantics across every compiler configuration.
+
+use ucm::core::pipeline::{compile, CompilerOptions};
+use ucm::core::ManagementMode;
+use ucm::machine::{run, CountSink, NullSink, VmConfig};
+use ucm::regalloc::Strategy;
+
+fn exec(src: &str, options: &CompilerOptions) -> Vec<i64> {
+    let compiled = compile(src, options).expect("program compiles");
+    run(&compiled.program, &mut NullSink, &VmConfig::default())
+        .expect("program runs")
+        .output
+}
+
+/// Every combination of mode, allocator, register count, and promotion
+/// setting must produce identical output.
+fn assert_config_invariant(src: &str, expected: &[i64]) {
+    for mode in [ManagementMode::Unified, ManagementMode::Conventional] {
+        for strategy in [Strategy::Coloring, Strategy::UsageCount] {
+            for num_regs in [6, 8, 16, 32] {
+                for promote_scalars in [false, true] {
+                    for local_promotion in [false, true] {
+                        for loop_promotion in [false, true] {
+                            let options = CompilerOptions {
+                                mode,
+                                strategy,
+                                num_regs,
+                                promote_scalars,
+                                local_promotion,
+                                loop_promotion,
+                                ..CompilerOptions::default()
+                            };
+                            assert_eq!(
+                                exec(src, &options),
+                                expected,
+                                "mismatch at {mode}/{strategy}/k={num_regs}\
+                                 /promote={promote_scalars}/local={local_promotion}\
+                                 /loop={loop_promotion}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gcd_program_all_configs() {
+    assert_config_invariant(
+        "fn gcd(a: int, b: int) -> int { \
+           while b != 0 { let t: int = b; b = a % b; a = t; } return a; } \
+         fn main() { print(gcd(462, 1071)); print(gcd(17, 5)); }",
+        &[21, 1],
+    );
+}
+
+#[test]
+fn ackermann_small_all_configs() {
+    assert_config_invariant(
+        "fn ack(m: int, n: int) -> int { \
+           if m == 0 { return n + 1; } \
+           if n == 0 { return ack(m - 1, 1); } \
+           return ack(m - 1, ack(m, n - 1)); } \
+         fn main() { print(ack(2, 3)); }",
+        &[9],
+    );
+}
+
+#[test]
+fn pointer_swap_all_configs() {
+    assert_config_invariant(
+        "fn swap(p: *int, q: *int) { let t: int = *p; *p = *q; *q = t; } \
+         fn main() { let a: int = 1; let b: int = 2; \
+           swap(&a, &b); print(a); print(b); }",
+        &[2, 1],
+    );
+}
+
+#[test]
+fn in_place_reverse_all_configs() {
+    assert_config_invariant(
+        "global a: [int; 9]; \
+         fn main() { let i: int = 0; \
+           while i < 9 { a[i] = i; i = i + 1; } \
+           let lo: int = 0; let hi: int = 8; \
+           while lo < hi { let t: int = a[lo]; a[lo] = a[hi]; a[hi] = t; \
+             lo = lo + 1; hi = hi - 1; } \
+           print(a[0]); print(a[4]); print(a[8]); }",
+        &[8, 4, 0],
+    );
+}
+
+#[test]
+fn collatz_all_configs() {
+    assert_config_invariant(
+        "fn main() { let n: int = 27; let steps: int = 0; \
+           while n != 1 { \
+             if n % 2 == 0 { n = n / 2; } else { n = 3 * n + 1; } \
+             steps = steps + 1; } \
+           print(steps); }",
+        &[111],
+    );
+}
+
+#[test]
+fn string_of_globals_all_configs() {
+    assert_config_invariant(
+        "global x: int = 10; global y: int = 20; global z: int; \
+         fn mix() { z = x * y + z; } \
+         fn main() { let i: int = 0; \
+           while i < 4 { mix(); x = x + 1; i = i + 1; } \
+           print(z); print(x); }",
+        &[10 * 20 + 11 * 20 + 12 * 20 + 13 * 20, 14],
+    );
+}
+
+#[test]
+fn vm_step_counts_are_deterministic() {
+    let src = "fn main() { let i: int = 0; while i < 100 { i = i + 1; } print(i); }";
+    let options = CompilerOptions::default();
+    let c1 = compile(src, &options).unwrap();
+    let c2 = compile(src, &options).unwrap();
+    let r1 = run(&c1.program, &mut NullSink, &VmConfig::default()).unwrap();
+    let r2 = run(&c2.program, &mut NullSink, &VmConfig::default()).unwrap();
+    assert_eq!(c1.program, c2.program, "compilation is deterministic");
+    assert_eq!(r1.steps, r2.steps);
+    assert_eq!(r1.data_refs, r2.data_refs);
+}
+
+#[test]
+fn conventional_build_never_sets_bypass_or_lastref() {
+    let src = "global a: [int; 16]; global g: int; \
+        fn main() { let i: int = 0; \
+          while i < 16 { a[i] = g + i; g = a[i]; i = i + 1; } print(g); }";
+    let compiled = compile(
+        src,
+        &CompilerOptions {
+            mode: ManagementMode::Conventional,
+            ..CompilerOptions::paper()
+        },
+    )
+    .unwrap();
+    let mut counts = CountSink::default();
+    run(&compiled.program, &mut counts, &VmConfig::default()).unwrap();
+    assert_eq!(counts.bypassed, 0);
+    assert_eq!(counts.last_refs, 0);
+    assert!(counts.unambiguous > 0, "classification still tracked");
+}
+
+#[test]
+fn unified_build_bypass_matches_flavours() {
+    let src = "global g: int; fn main() { g = 1; print(g + 1); }";
+    let compiled = compile(src, &CompilerOptions::paper()).unwrap();
+    let mut counts = CountSink::default();
+    run(&compiled.program, &mut counts, &VmConfig::default()).unwrap();
+    // by_flavour: [plain, am_load, amsp_store, umam_load, umam_store]
+    assert_eq!(counts.by_flavour[0], 0, "no plain refs in a unified build");
+    assert_eq!(
+        counts.bypassed,
+        counts.by_flavour[3] + counts.by_flavour[4],
+        "bypass bit is exactly the UmAm flavours"
+    );
+}
+
+#[test]
+fn deep_recursion_needs_memory() {
+    // 10k-deep recursion exercises frame allocation; it must either run to
+    // completion (large memory) or fail cleanly with a stack overflow
+    // (small memory) — never corrupt.
+    let src = "fn down(n: int) -> int { if n == 0 { return 0; } \
+                 return down(n - 1) + 1; } \
+               fn main() { print(down(10000)); }";
+    let compiled = compile(src, &CompilerOptions::default()).unwrap();
+    let big = run(
+        &compiled.program,
+        &mut NullSink,
+        &VmConfig {
+            mem_words: 1 << 20,
+            ..VmConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(big.output, vec![10000]);
+    let small = run(
+        &compiled.program,
+        &mut NullSink,
+        &VmConfig {
+            mem_words: 1 << 14,
+            ..VmConfig::default()
+        },
+    );
+    assert!(matches!(
+        small,
+        Err(ucm::machine::VmError::StackOverflow)
+    ));
+}
