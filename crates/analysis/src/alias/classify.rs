@@ -151,8 +151,7 @@ fn classify_name(
                 let scalar = match loc {
                     AbsLoc::Global(g) => module.global(g).is_scalar,
                     AbsLoc::Frame(f, s) => {
-                        module.func(f).frame[s.index()].kind
-                            == ucm_ir::SlotKind::Scalar
+                        module.func(f).frame[s.index()].kind == ucm_ir::SlotKind::Scalar
                     }
                 };
                 if scalar && sets.is_isolated(targets[0]) {
@@ -197,9 +196,7 @@ mod tests {
 
     #[test]
     fn true_alias_deref_is_unambiguous() {
-        let (_, c) = classify(
-            "fn main() { let x: int = 1; let p: *int = &x; *p = 2; print(x); }",
-        );
+        let (_, c) = classify("fn main() { let x: int = 1; let p: *int = &x; *p = 2; print(x); }");
         let counts = c.static_counts();
         // x's slot store at init, *p store, x load for print: all unambiguous
         // because p can only point to x.
@@ -220,9 +217,7 @@ mod tests {
 
     #[test]
     fn deref_into_array_is_ambiguous() {
-        let (_, c) = classify(
-            "global a: [int; 4]; fn main() { let p: *int = a; *p = 1; }",
-        );
+        let (_, c) = classify("global a: [int; 4]; fn main() { let p: *int = a; *p = 1; }");
         assert_eq!(c.static_counts().unambiguous, 0);
     }
 

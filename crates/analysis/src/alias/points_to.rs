@@ -79,12 +79,10 @@ impl PointsTo {
         }
         let slot_key = |fid: FuncId, name: &ucm_ir::RefName| -> Option<Key> {
             match name {
-                ucm_ir::RefName::Scalar(obj) => Some(Key::Cell(
-                    loc_index[&AbsLoc::from_object(fid, *obj)],
-                )),
-                ucm_ir::RefName::Spill(s) => Some(Key::Cell(
-                    loc_index[&AbsLoc::Frame(fid, *s)],
-                )),
+                ucm_ir::RefName::Scalar(obj) => {
+                    Some(Key::Cell(loc_index[&AbsLoc::from_object(fid, *obj)]))
+                }
+                ucm_ir::RefName::Spill(s) => Some(Key::Cell(loc_index[&AbsLoc::Frame(fid, *s)])),
                 _ => None,
             }
         };

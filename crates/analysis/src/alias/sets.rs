@@ -119,9 +119,8 @@ mod tests {
 
     #[test]
     fn unrelated_locations_stay_isolated() {
-        let (_m, pt, sets) = build(
-            "global x: int; global y: int; fn main() { x = 1; y = 2; print(x + y); }",
-        );
+        let (_m, pt, sets) =
+            build("global x: int; global y: int; fn main() { x = 1; y = 2; print(x + y); }");
         for i in 0..pt.universe() {
             assert!(sets.is_isolated(i));
         }
@@ -129,9 +128,8 @@ mod tests {
 
     #[test]
     fn single_target_deref_is_true_alias() {
-        let (_m, pt, sets) = build(
-            "fn main() { let x: int = 1; let p: *int = &x; *p = 2; print(x); }",
-        );
+        let (_m, pt, sets) =
+            build("fn main() { let x: int = 1; let p: *int = &x; *p = 2; print(x); }");
         // x stays isolated: *p is a true alias of x.
         for i in 0..pt.universe() {
             assert!(sets.is_isolated(i), "loc {i} should stay isolated");

@@ -31,8 +31,7 @@ impl CallGraph {
         for f in 0..n {
             // f is recursive iff f is reachable from any of its callees.
             let mut visited = vec![false; n];
-            let mut stack: Vec<usize> =
-                callees[f].iter().map(|c| c.index()).collect();
+            let mut stack: Vec<usize> = callees[f].iter().map(|c| c.index()).collect();
             while let Some(g) = stack.pop() {
                 if g == f {
                     recursive[f] = true;

@@ -162,17 +162,16 @@ impl DuChains {
         for bid in func.block_ids() {
             // Current reaching set, updated as we walk the block.
             let mut reach = defs.block_in[bid.index()].clone();
-            let mut record =
-                |reach: &BitSet, u: UseLoc, v: VReg, du: &mut Vec<Vec<UseLoc>>| {
-                    let mut srcs = Vec::new();
-                    for &site in &defs.defs_of[v.index()] {
-                        if reach.contains(site) {
-                            du[site].push(u);
-                            srcs.push(site);
-                        }
+            let mut record = |reach: &BitSet, u: UseLoc, v: VReg, du: &mut Vec<Vec<UseLoc>>| {
+                let mut srcs = Vec::new();
+                for &site in &defs.defs_of[v.index()] {
+                    if reach.contains(site) {
+                        du[site].push(u);
+                        srcs.push(site);
                     }
-                    ud.insert((u, v), srcs);
-                };
+                }
+                ud.insert((u, v), srcs);
+            };
             for (idx, instr) in func.block(bid).instrs.iter().enumerate() {
                 let loc = UseLoc::Instr(InstrRef::new(bid, idx));
                 uses.clear();
@@ -211,10 +210,7 @@ impl DuChains {
     /// The def sites that may supply register `v` at `use_loc`, if any use of
     /// `v` was recorded there.
     pub fn defs_for_use(&self, use_loc: UseLoc, v: VReg) -> &[usize] {
-        self.ud
-            .get(&(use_loc, v))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.ud.get(&(use_loc, v)).map(Vec::as_slice).unwrap_or(&[])
     }
 }
 

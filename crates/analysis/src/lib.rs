@@ -12,6 +12,8 @@
 //!   per-reference ambiguity classification (§4.2)
 //! * [`memliveness`] — memory-value liveness for last-reference marking
 //!   (§3.1–3.2)
+//! * [`spill_liveness`] — spill-slot value liveness, so only the final
+//!   reload of a spilled value carries the take-last-reference bit
 //! * [`callgraph`] — call graph and recursion detection
 //!
 //! ## Example: classify a program's references
@@ -42,6 +44,7 @@ pub mod liveness;
 pub mod liverange;
 pub mod loops;
 pub mod memliveness;
+pub mod spill_liveness;
 
 pub use alias::{AbsLoc, AliasSets, Classification, PointsTo, RefClass, StaticCounts};
 pub use bitset::BitSet;
@@ -52,3 +55,4 @@ pub use liveness::Liveness;
 pub use liverange::{last_uses, ValueLiveRanges};
 pub use loops::{LoopInfo, NaturalLoop};
 pub use memliveness::MemLastRefs;
+pub use spill_liveness::SpillLastRefs;

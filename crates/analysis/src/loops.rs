@@ -46,9 +46,7 @@ impl LoopInfo {
                         }
                     }
                     // Merge with an existing loop sharing this header.
-                    if let Some(existing) =
-                        loops.iter_mut().find(|l| l.header == h)
-                    {
+                    if let Some(existing) = loops.iter_mut().find(|l| l.header == h) {
                         existing.blocks.extend(blocks);
                     } else {
                         loops.push(NaturalLoop { header: h, blocks });

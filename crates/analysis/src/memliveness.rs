@@ -86,13 +86,7 @@ impl MemLastRefs {
 }
 
 /// Tokens a memory access may read/touch, as alias-set representatives.
-fn tokens_of(
-    func: FuncId,
-    mem: &MemRef,
-    pt: &PointsTo,
-    sets: &AliasSets,
-    out: &mut Vec<usize>,
-) {
+fn tokens_of(func: FuncId, mem: &MemRef, pt: &PointsTo, sets: &AliasSets, out: &mut Vec<usize>) {
     out.clear();
     match mem.name {
         RefName::Scalar(obj) | RefName::Elem(obj) => {
@@ -260,9 +254,8 @@ mod tests {
 
     #[test]
     fn local_array_dies_after_final_read() {
-        let (m, _, l) = analyze(
-            "fn main() { let a: [int; 4]; a[0] = 1; a[1] = 2; print(a[0] + a[1]); }",
-        );
+        let (m, _, l) =
+            analyze("fn main() { let a: [int; 4]; a[0] = 1; a[1] = 2; print(a[0] + a[1]); }");
         let marks = main_marks(&m, &l);
         // Stores are not last refs (reads follow); the final two loads: the
         // very last load is a last reference, the one before it is not (same
@@ -294,9 +287,8 @@ mod tests {
 
     #[test]
     fn dead_store_to_local_scalar_is_last_ref() {
-        let (m, _, l) = analyze(
-            "fn main() { let x: int = 0; let p: *int = &x; *p = 1; print(*p); x = 3; }",
-        );
+        let (m, _, l) =
+            analyze("fn main() { let x: int = 0; let p: *int = &x; *p = 1; print(*p); x = 3; }");
         let marks = main_marks(&m, &l);
         // The trailing `x = 3` is never read again: last reference.
         let (_, last) = marks.last().unwrap();

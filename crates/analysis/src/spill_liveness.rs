@@ -1,0 +1,294 @@
+//! Liveness of *spill-slot values* for last-reference marking.
+//!
+//! [`crate::memliveness::MemLastRefs`] deliberately ignores
+//! [`RefName::Spill`]: spill slots are introduced by the register allocator
+//! after alias analysis runs. The annotation pass used to compensate by
+//! tagging *every* spill reload as a take-last-reference (`UmAm_LOAD` with
+//! the last-reference bit set). That is only sound when each spilled value
+//! is reloaded at most once — but the spiller emits one reload per *use*,
+//! so a value spilled across two uses would be taken-and-invalidated at the
+//! first reload and the second reload would read memory the cache never
+//! wrote back. A defensive cache hides the problem; trusting bypass
+//! hardware (the paper's model, [`ucm-cache`'s functional cache]) does not.
+//!
+//! This module computes honest per-reload last-reference bits with the same
+//! backward gen/kill machinery as the alias-set analysis. The problem is
+//! much simpler here: spill slots are function-private and word-sized, so
+//!
+//! * a reload (`load spill s`) *gens* slot `s`;
+//! * a spill store (`store -> spill s`) fully overwrites and *kills* `s`;
+//! * calls neither gen nor kill (no callee can name another frame's slots);
+//! * nothing is live at function exit (the frame dies with the activation).
+
+use crate::bitset::BitSet;
+use crate::dataflow::{solve, Direction, GenKillProblem};
+use std::collections::HashSet;
+use ucm_ir::{BlockId, Cfg, FuncId, Instr, InstrRef, Module, RefName};
+
+/// Spill reloads after which the slot's value is dead on every path.
+#[derive(Debug, Clone, Default)]
+pub struct SpillLastRefs {
+    marks: HashSet<(FuncId, InstrRef)>,
+}
+
+impl SpillLastRefs {
+    /// Computes last-reference marks for every spill reload of `module`.
+    ///
+    /// Runs after spill-code insertion; on spill-free code it marks nothing.
+    pub fn compute(module: &Module) -> Self {
+        let mut marks = HashSet::new();
+        for fid in module.func_ids() {
+            mark_function(module, fid, &mut marks);
+        }
+        SpillLastRefs { marks }
+    }
+
+    /// Whether the spill reload at `(func, iref)` is the last reference of
+    /// its slot's current value.
+    pub fn is_last_ref(&self, func: FuncId, iref: InstrRef) -> bool {
+        self.marks.contains(&(func, iref))
+    }
+
+    /// Number of marked reloads (for statistics).
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Whether no reload is marked.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+}
+
+/// The spill slot a memory instruction touches, if any.
+fn spill_slot(instr: &Instr) -> Option<(usize, bool)> {
+    match instr {
+        Instr::Load { mem, .. } => match mem.name {
+            RefName::Spill(s) => Some((s.index(), false)),
+            _ => None,
+        },
+        Instr::Store { mem, .. } => match mem.name {
+            RefName::Spill(s) => Some((s.index(), true)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn mark_function(module: &Module, fid: FuncId, marks: &mut HashSet<(FuncId, InstrRef)>) {
+    let func = module.func(fid);
+    let u = func.frame.len();
+    if u == 0 {
+        return;
+    }
+    let cfg = Cfg::new(func);
+    let n = func.blocks.len();
+    let mut gens = vec![BitSet::new(u); n];
+    let mut kills = vec![BitSet::new(u); n];
+
+    // Block summaries, scanning backward (upward-exposed semantics).
+    for bid in func.block_ids() {
+        let bi = bid.index();
+        for instr in func.block(bid).instrs.iter().rev() {
+            match spill_slot(instr) {
+                Some((s, false)) => {
+                    gens[bi].insert(s);
+                    kills[bi].remove(s);
+                }
+                Some((s, true)) => {
+                    kills[bi].insert(s);
+                    gens[bi].remove(s);
+                }
+                None => {}
+            }
+        }
+    }
+
+    struct P<'a> {
+        gens: &'a [BitSet],
+        kills: &'a [BitSet],
+        u: usize,
+    }
+    impl GenKillProblem for P<'_> {
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn universe(&self) -> usize {
+            self.u
+        }
+        fn gen_set(&self, b: BlockId) -> &BitSet {
+            &self.gens[b.index()]
+        }
+        fn kill_set(&self, b: BlockId) -> &BitSet {
+            &self.kills[b.index()]
+        }
+    }
+    let sol = solve(
+        func,
+        &cfg,
+        &P {
+            gens: &gens,
+            kills: &kills,
+            u,
+        },
+    );
+
+    // Per-instruction marking: walk each block backward from its live-out.
+    for bid in func.block_ids() {
+        let bi = bid.index();
+        let mut live = sol.block_out[bi].clone();
+        for (idx, instr) in func.block(bid).instrs.iter().enumerate().rev() {
+            match spill_slot(instr) {
+                Some((s, false)) => {
+                    if !live.contains(s) {
+                        marks.insert((fid, InstrRef::new(bid, idx)));
+                    }
+                    live.insert(s);
+                }
+                Some((s, true)) => {
+                    live.remove(s);
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_ir::{Function, MemRef, Module, SlotId, SlotKind, Terminator};
+
+    /// Builds `main` with the given instruction list in one block.
+    fn module_with(instrs: Vec<Instr>, slots: usize) -> Module {
+        let mut f = Function::new("main", false);
+        for i in 0..slots {
+            f.new_slot(format!("sp{i}"), 1, SlotKind::Spill);
+        }
+        // Registers are irrelevant to this analysis; reuse one.
+        let v = f.new_vreg();
+        let _ = v;
+        f.blocks[0].instrs = instrs;
+        f.blocks[0].term = Terminator::Return(None);
+        Module {
+            globals: vec![],
+            funcs: vec![f],
+            main: FuncId(0),
+        }
+    }
+
+    fn store(s: u32) -> Instr {
+        Instr::Store {
+            src: ucm_ir::VReg(0),
+            mem: MemRef::spill(SlotId(s)),
+        }
+    }
+
+    fn load(s: u32) -> Instr {
+        Instr::Load {
+            dst: ucm_ir::VReg(0),
+            mem: MemRef::spill(SlotId(s)),
+        }
+    }
+
+    #[test]
+    fn single_reload_is_last_ref() {
+        let m = module_with(vec![store(0), load(0)], 1);
+        let l = SpillLastRefs::compute(&m);
+        assert!(!l.is_last_ref(FuncId(0), InstrRef::new(BlockId(0), 0)));
+        assert!(l.is_last_ref(FuncId(0), InstrRef::new(BlockId(0), 1)));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn only_final_reload_of_a_pair_is_last() {
+        // store s0; load s0; load s0 — taking at the first reload would
+        // leave the second reading unwritten-back memory.
+        let m = module_with(vec![store(0), load(0), load(0)], 1);
+        let l = SpillLastRefs::compute(&m);
+        assert!(!l.is_last_ref(FuncId(0), InstrRef::new(BlockId(0), 1)));
+        assert!(l.is_last_ref(FuncId(0), InstrRef::new(BlockId(0), 2)));
+    }
+
+    #[test]
+    fn respill_restarts_the_lifetime() {
+        // store; load (not last? it IS last of the first value: the next
+        // access is an overwrite, not a read) — the reload before a fresh
+        // store is a last reference of the old value.
+        let m = module_with(vec![store(0), load(0), store(0), load(0)], 1);
+        let l = SpillLastRefs::compute(&m);
+        assert!(l.is_last_ref(FuncId(0), InstrRef::new(BlockId(0), 1)));
+        assert!(l.is_last_ref(FuncId(0), InstrRef::new(BlockId(0), 3)));
+    }
+
+    #[test]
+    fn slots_are_tracked_independently() {
+        let m = module_with(vec![store(0), store(1), load(0), load(1), load(0)], 2);
+        let l = SpillLastRefs::compute(&m);
+        // load s0 at idx 2 is not last (idx 4 reads s0 again); loads at
+        // idx 3 and 4 are last for their slots.
+        assert!(!l.is_last_ref(FuncId(0), InstrRef::new(BlockId(0), 2)));
+        assert!(l.is_last_ref(FuncId(0), InstrRef::new(BlockId(0), 3)));
+        assert!(l.is_last_ref(FuncId(0), InstrRef::new(BlockId(0), 4)));
+    }
+
+    #[test]
+    fn reload_live_across_branch_join() {
+        // entry: store s0; branch to b1 or b2; both load s0.
+        // Each branch's reload is last on its own path.
+        let mut f = Function::new("main", false);
+        f.new_slot("sp0", 1, SlotKind::Spill);
+        let v = f.new_vreg();
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        f.blocks[0].instrs = vec![store(0)];
+        f.blocks[0].term = Terminator::Branch {
+            cond: v,
+            if_true: b1,
+            if_false: b2,
+        };
+        f.blocks[b1.index()].instrs = vec![load(0)];
+        f.blocks[b1.index()].term = Terminator::Return(None);
+        f.blocks[b2.index()].instrs = vec![load(0), load(0)];
+        f.blocks[b2.index()].term = Terminator::Return(None);
+        let m = Module {
+            globals: vec![],
+            funcs: vec![f],
+            main: FuncId(0),
+        };
+        let l = SpillLastRefs::compute(&m);
+        assert!(l.is_last_ref(FuncId(0), InstrRef::new(b1, 0)));
+        assert!(!l.is_last_ref(FuncId(0), InstrRef::new(b2, 0)));
+        assert!(l.is_last_ref(FuncId(0), InstrRef::new(b2, 1)));
+        // Exactly one last-reference reload per path.
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn loop_reload_is_not_last() {
+        // b0: store s0 -> b1; b1: load s0, branch back to b1 or exit.
+        let mut f = Function::new("main", false);
+        f.new_slot("sp0", 1, SlotKind::Spill);
+        let v = f.new_vreg();
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        f.blocks[0].instrs = vec![store(0)];
+        f.blocks[0].term = Terminator::Jump(b1);
+        f.blocks[b1.index()].instrs = vec![load(0)];
+        f.blocks[b1.index()].term = Terminator::Branch {
+            cond: v,
+            if_true: b1,
+            if_false: b2,
+        };
+        f.blocks[b2.index()].term = Terminator::Return(None);
+        let m = Module {
+            globals: vec![],
+            funcs: vec![f],
+            main: FuncId(0),
+        };
+        let l = SpillLastRefs::compute(&m);
+        // The reload may run again next iteration: never a last reference.
+        assert!(!l.is_last_ref(FuncId(0), InstrRef::new(b1, 0)));
+        assert!(l.is_empty());
+    }
+}

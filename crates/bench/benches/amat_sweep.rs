@@ -33,8 +33,8 @@ fn sweep(label: &str, options: &CompilerOptions) {
                 associativity: 4,
                 ..CacheConfig::default()
             };
-            let cmp = compare(&w.name, &w.source, options, cfg, &default_vm())
-                .expect("comparison runs");
+            let cmp =
+                compare(&w.name, &w.source, options, cfg, &default_vm()).expect("comparison runs");
             cells.push(times(cmp.access_time_speedup(Latency::default())));
         }
         rows.push(cells);

@@ -44,10 +44,9 @@ fn main() {
         &rows,
     );
 
-    let avg =
-        |f: fn(&ucm_core::evaluate::Comparison) -> f64| -> f64 {
-            comparisons.iter().map(f).sum::<f64>() / comparisons.len() as f64
-        };
+    let avg = |f: fn(&ucm_core::evaluate::Comparison) -> f64| -> f64 {
+        comparisons.iter().map(f).sum::<f64>() / comparisons.len() as f64
+    };
     println!();
     println!(
         "  mean: static {} | dynamic {} | cache-ref reduction {}",

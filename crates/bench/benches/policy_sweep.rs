@@ -54,7 +54,10 @@ fn main() {
                 for ev in &trace {
                     cache.access(*ev);
                 }
-                cells.push(format!("{:.1}", cache.stats().cache_bus_words() as f64 / 1000.0));
+                cells.push(format!(
+                    "{:.1}",
+                    cache.stats().cache_bus_words() as f64 / 1000.0
+                ));
             }
         }
         for honor_last_ref in [false, true] {

@@ -26,11 +26,7 @@ fn main() {
                     strategy,
                     ..CompilerOptions::default()
                 };
-                let cmp = &compare_suite(
-                    std::slice::from_ref(w),
-                    &options,
-                    default_cache(),
-                )[0];
+                let cmp = &compare_suite(std::slice::from_ref(w), &options, default_cache())[0];
                 cells.push(format!(
                     "{} / {}",
                     pct(cmp.dynamic_unambiguous_pct()),

@@ -21,7 +21,7 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct CacheSim {
     config: CacheConfig,
-    lines: Vec<Line>,        // num_sets * ways, way-major within set
+    lines: Vec<Line>, // num_sets * ways, way-major within set
     policies: Vec<PolicyState>,
     stats: CacheStats,
     now: u64,
@@ -135,8 +135,7 @@ impl CacheSim {
         } else {
             Flavour::Plain
         };
-        let last_ref =
-            self.config.honor_tags && self.config.honor_last_ref && ev.tag.last_ref;
+        let last_ref = self.config.honor_tags && self.config.honor_last_ref && ev.tag.last_ref;
         if ev.is_write {
             self.stats.writes += 1;
         } else {
@@ -307,7 +306,11 @@ mod tests {
         let mut c = small(PolicyKind::Lru);
         c.access(ev(5, true, Flavour::AmSpStore, false));
         assert_eq!(c.stats().write_misses, 1);
-        assert_eq!(c.stats().words_from_memory, 0, "line=1 write needs no fetch");
+        assert_eq!(
+            c.stats().words_from_memory,
+            0,
+            "line=1 write needs no fetch"
+        );
         assert!(c.contains(5));
     }
 
@@ -466,7 +469,11 @@ mod tests {
             ..CacheConfig::default()
         });
         c.access(ev(8, false, Flavour::UmAmLoad, false)); // miss → bypass
-        assert_eq!(c.stats().words_from_memory, 1, "bypass reads one word, not a line");
+        assert_eq!(
+            c.stats().words_from_memory,
+            1,
+            "bypass reads one word, not a line"
+        );
         c.access(ev(9, true, Flavour::UmAmStore, false));
         assert_eq!(c.stats().words_to_memory, 1);
         assert!(!c.contains(8) && !c.contains(9));

@@ -104,10 +104,16 @@ impl CacheConfig {
     /// Returns a description of the first inconsistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.line_words == 0 || !self.line_words.is_power_of_two() {
-            return Err(format!("line_words {} must be a power of two", self.line_words));
+            return Err(format!(
+                "line_words {} must be a power of two",
+                self.line_words
+            ));
         }
         if self.size_words == 0 || !self.size_words.is_power_of_two() {
-            return Err(format!("size_words {} must be a power of two", self.size_words));
+            return Err(format!(
+                "size_words {} must be a power of two",
+                self.size_words
+            ));
         }
         if !self.size_words.is_multiple_of(self.line_words) {
             return Err("size must be a multiple of the line size".into());

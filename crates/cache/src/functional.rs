@@ -1,0 +1,842 @@
+//! A *functional* cache model and a coherence oracle.
+//!
+//! [`CacheSim`](crate::cache::CacheSim) models tags and state only — it can
+//! measure traffic, but by construction it can never tell whether the
+//! compiler's annotations were *correct*. This module adds a cache whose
+//! lines carry data words over a private mirror of main memory, so every
+//! load is served with an actual value. Pairing it with the VM's flat-memory
+//! ground truth (via [`TraceSink::data_ref_checked`]) turns annotation bugs
+//! into observable value divergences instead of silent traffic noise.
+//!
+//! Unlike `CacheSim`, the functional cache models **trusting hardware**: an
+//! `UmAm_STORE` writes around the cache without probing for a stale copy,
+//! exactly as the paper's bypass path would. The compiler's claim that
+//! unambiguous addresses are never cached is *believed*, not defended —
+//! which is what makes a wrong annotation detectable at all.
+
+use crate::config::{CacheConfig, WritePolicy};
+use crate::policy::PolicyState;
+use crate::stats::CacheStats;
+use std::collections::HashMap;
+use std::fmt;
+use ucm_machine::{Flavour, MemEvent, TraceSink};
+
+/// A data-carrying cache line.
+#[derive(Debug, Clone, Default)]
+struct FLine {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    data: Vec<i64>,
+}
+
+/// Where a load's value came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// A cache hit; the value had been sitting in a line.
+    Cache,
+    /// A bypass read or a fill; the value came from (mirror) memory.
+    Memory,
+}
+
+impl fmt::Display for ServedFrom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServedFrom::Cache => write!(f, "cache"),
+            ServedFrom::Memory => write!(f, "memory"),
+        }
+    }
+}
+
+/// The result of presenting a load to the functional cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Served {
+    /// The value the modelled memory system produced.
+    pub value: i64,
+    /// Whether it was served from a line or from memory.
+    pub from: ServedFrom,
+}
+
+/// A set-associative cache that moves real data over a mirror memory.
+///
+/// Statistics follow [`CacheSim`](crate::cache::CacheSim)'s accounting,
+/// except that unambiguous stores do not defensively invalidate (see the
+/// module docs), so the two simulators can disagree on `invalidates` when
+/// annotations are wrong — that disagreement is the point.
+#[derive(Debug, Clone)]
+pub struct FunctionalCache {
+    config: CacheConfig,
+    lines: Vec<FLine>, // num_sets * ways, way-major within set
+    policies: Vec<PolicyState>,
+    stats: CacheStats,
+    now: u64,
+    rng: u64,
+    /// Mirror of main memory as the cache believes it; absent words are 0,
+    /// matching the VM's zero-initialised memory.
+    mem: HashMap<i64, i64>,
+}
+
+impl FunctionalCache {
+    /// Creates a functional cache for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation (construct configs via
+    /// [`CacheConfig::validate`] when they come from user input).
+    pub fn new(config: CacheConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid cache config: {e}"));
+        let sets = config.num_sets();
+        FunctionalCache {
+            lines: vec![
+                FLine {
+                    data: vec![0; config.line_words],
+                    ..FLine::default()
+                };
+                sets * config.associativity
+            ],
+            policies: vec![PolicyState::new(config.policy, config.associativity); sets],
+            stats: CacheStats::default(),
+            now: 0,
+            rng: config.seed | 1,
+            config,
+            mem: HashMap::new(),
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Seeds the mirror memory with an initial image (the VM copies the
+    /// global segment into memory before execution, without trace events).
+    pub fn preload(&mut self, base: i64, words: &[i64]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.mem.insert(base + i as i64, w);
+        }
+    }
+
+    /// Whether `addr`'s line is currently cached (tests/diagnostics).
+    pub fn contains(&self, addr: i64) -> bool {
+        let (set, tag) = self.locate(addr);
+        self.find(set, tag).is_some()
+    }
+
+    /// The word the modelled memory system would produce for `addr` right
+    /// now, without touching any state (tests/diagnostics).
+    pub fn peek(&self, addr: i64) -> i64 {
+        let (set, tag) = self.locate(addr);
+        match self.find(set, tag) {
+            Some(way) => {
+                let l = &self.lines[set * self.config.associativity + way];
+                l.data[self.word_of(addr)]
+            }
+            None => self.mem_read(addr),
+        }
+    }
+
+    /// Number of valid lines (tests/diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    fn mem_read(&self, addr: i64) -> i64 {
+        self.mem.get(&addr).copied().unwrap_or(0)
+    }
+
+    fn mem_write(&mut self, addr: i64, value: i64) {
+        self.mem.insert(addr, value);
+    }
+
+    fn locate(&self, addr: i64) -> (usize, u64) {
+        let line_addr = (addr as u64) / self.config.line_words as u64;
+        let set = (line_addr % self.config.num_sets() as u64) as usize;
+        let tag = line_addr / self.config.num_sets() as u64;
+        (set, tag)
+    }
+
+    /// First word address of the line `(set, tag)` maps to.
+    fn base_of(&self, set: usize, tag: u64) -> i64 {
+        ((tag * self.config.num_sets() as u64 + set as u64) * self.config.line_words as u64) as i64
+    }
+
+    /// Offset of `addr` within its line.
+    fn word_of(&self, addr: i64) -> usize {
+        (addr as u64 % self.config.line_words as u64) as usize
+    }
+
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let ways = self.config.associativity;
+        (0..ways).find(|&w| {
+            let l = &self.lines[set * ways + w];
+            l.valid && l.tag == tag
+        })
+    }
+
+    fn line_mut(&mut self, set: usize, way: usize) -> &mut FLine {
+        &mut self.lines[set * self.config.associativity + way]
+    }
+
+    /// Invalidates `(set, way)`, *discarding* dirty data — used only where
+    /// the value is provably dead.
+    fn invalidate(&mut self, set: usize, way: usize) {
+        let was_dirty = {
+            let line = self.line_mut(set, way);
+            let d = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            d
+        };
+        if was_dirty {
+            self.stats.dead_line_discards += 1;
+        }
+        self.stats.invalidates += 1;
+        self.policies[set].on_invalidate(way);
+    }
+
+    /// Writes the line's words back to the mirror memory.
+    fn write_back(&mut self, set: usize, way: usize) {
+        let (base, data) = {
+            let ways = self.config.associativity;
+            let line = &self.lines[set * ways + way];
+            (self.base_of(set, line.tag), line.data.clone())
+        };
+        for (i, w) in data.into_iter().enumerate() {
+            self.mem_write(base + i as i64, w);
+        }
+        self.stats.writebacks += 1;
+        self.stats.words_to_memory += self.config.line_words as u64;
+    }
+
+    /// Allocates a way in `set` for `tag`, evicting (with write-back) if
+    /// every way is valid. The line's data is left stale; callers fill it.
+    fn allocate(&mut self, set: usize, tag: u64) -> usize {
+        let ways = self.config.associativity;
+        let way = match (0..ways).find(|&w| !self.lines[set * ways + w].valid) {
+            Some(w) => w,
+            None => {
+                let victim = self.policies[set].victim(&mut self.rng);
+                if self.lines[set * ways + victim].dirty {
+                    self.write_back(set, victim);
+                }
+                let line = self.line_mut(set, victim);
+                line.valid = false;
+                line.dirty = false;
+                victim
+            }
+        };
+        let line = self.line_mut(set, way);
+        line.valid = true;
+        line.dirty = false;
+        line.tag = tag;
+        self.policies[set].on_fill(way, self.now);
+        way
+    }
+
+    /// Copies the line's words from the mirror memory.
+    fn fill(&mut self, set: usize, way: usize, tag: u64) {
+        let base = self.base_of(set, tag);
+        let words: Vec<i64> = (0..self.config.line_words as i64)
+            .map(|i| self.mem_read(base + i))
+            .collect();
+        self.line_mut(set, way).data = words;
+    }
+
+    /// Presents one reference. `value` is the word being stored (ignored
+    /// for loads). Returns what a load was served (an arbitrary `Served`
+    /// for stores).
+    pub fn access(&mut self, ev: MemEvent, value: i64) -> Served {
+        self.now += 1;
+        let flavour = if self.config.honor_tags {
+            ev.tag.flavour
+        } else {
+            Flavour::Plain
+        };
+        let last_ref = self.config.honor_tags && self.config.honor_last_ref && ev.tag.last_ref;
+        if ev.is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        let (set, tag) = self.locate(ev.addr);
+        let word = self.word_of(ev.addr);
+        match (flavour, ev.is_write) {
+            // ---- unambiguous loads: take and invalidate / bypass ----
+            (Flavour::UmAmLoad, false) => match self.find(set, tag) {
+                Some(way) => {
+                    self.stats.read_hits += 1;
+                    let v = self.lines[set * self.config.associativity + way].data[word];
+                    if self.config.honor_last_ref {
+                        self.invalidate(set, way);
+                    } else {
+                        self.policies[set].on_access(way, self.now);
+                    }
+                    Served {
+                        value: v,
+                        from: ServedFrom::Cache,
+                    }
+                }
+                None => {
+                    self.stats.bypass_reads += 1;
+                    self.stats.words_from_memory += 1;
+                    Served {
+                        value: self.mem_read(ev.addr),
+                        from: ServedFrom::Memory,
+                    }
+                }
+            },
+            // ---- unambiguous stores: straight to memory, trusting the
+            // compiler that no copy is cached (no defensive probe) ----
+            (Flavour::UmAmStore, true) => {
+                self.stats.bypass_writes += 1;
+                self.stats.words_to_memory += 1;
+                self.mem_write(ev.addr, value);
+                Served {
+                    value,
+                    from: ServedFrom::Memory,
+                }
+            }
+            // ---- everything else goes through the cache ----
+            (_, false) => match self.find(set, tag) {
+                Some(way) => {
+                    self.stats.read_hits += 1;
+                    let v = self.lines[set * self.config.associativity + way].data[word];
+                    if last_ref {
+                        self.invalidate(set, way);
+                    } else {
+                        self.policies[set].on_access(way, self.now);
+                    }
+                    Served {
+                        value: v,
+                        from: ServedFrom::Cache,
+                    }
+                }
+                None if last_ref => {
+                    self.stats.bypass_reads += 1;
+                    self.stats.words_from_memory += 1;
+                    Served {
+                        value: self.mem_read(ev.addr),
+                        from: ServedFrom::Memory,
+                    }
+                }
+                None => {
+                    self.stats.read_misses += 1;
+                    self.stats.fills += 1;
+                    self.stats.words_from_memory += self.config.line_words as u64;
+                    let way = self.allocate(set, tag);
+                    self.fill(set, way, tag);
+                    let v = self.lines[set * self.config.associativity + way].data[word];
+                    Served {
+                        value: v,
+                        from: ServedFrom::Memory,
+                    }
+                }
+            },
+            (_, true) => {
+                match self.config.write_policy {
+                    WritePolicy::WriteBackAllocate => match self.find(set, tag) {
+                        Some(way) => {
+                            self.stats.write_hits += 1;
+                            if last_ref {
+                                // The stored value is (claimed) dead: drop
+                                // the write with the line.
+                                self.invalidate(set, way);
+                            } else {
+                                let line = self.line_mut(set, way);
+                                line.data[word] = value;
+                                line.dirty = true;
+                                self.policies[set].on_access(way, self.now);
+                            }
+                        }
+                        None if last_ref => {
+                            self.stats.bypass_writes += 1;
+                            self.stats.words_to_memory += 1;
+                            self.mem_write(ev.addr, value);
+                        }
+                        None => {
+                            self.stats.write_misses += 1;
+                            self.stats.fills += 1;
+                            let way = self.allocate(set, tag);
+                            // A full-line write needs no fetch; partial-line
+                            // writes fetch the rest of the line.
+                            if self.config.line_words > 1 {
+                                self.stats.words_from_memory += self.config.line_words as u64;
+                                self.fill(set, way, tag);
+                            }
+                            let line = self.line_mut(set, way);
+                            line.data[word] = value;
+                            line.dirty = true;
+                        }
+                    },
+                    WritePolicy::WriteThroughNoAllocate => {
+                        self.stats.words_to_memory += 1;
+                        self.mem_write(ev.addr, value);
+                        match self.find(set, tag) {
+                            Some(way) => {
+                                self.stats.write_hits += 1;
+                                if last_ref {
+                                    self.invalidate(set, way);
+                                } else {
+                                    let line = self.line_mut(set, way);
+                                    line.data[word] = value;
+                                    self.policies[set].on_access(way, self.now);
+                                }
+                            }
+                            None => {
+                                self.stats.write_misses += 1;
+                            }
+                        }
+                    }
+                }
+                Served {
+                    value,
+                    from: ServedFrom::Memory,
+                }
+            }
+        }
+    }
+
+    /// A stack frame died: every word in `[lo, hi)` is dead. Lines fully
+    /// inside the range are discarded without write-back (the paper's empty
+    /// lines); lines straddling the boundary are written back first, since
+    /// their outside words may still be live.
+    pub fn frame_exit(&mut self, lo: i64, hi: i64) {
+        let ways = self.config.associativity;
+        for set in 0..self.config.num_sets() {
+            for way in 0..ways {
+                let (valid, tag, dirty) = {
+                    let l = &self.lines[set * ways + way];
+                    (l.valid, l.tag, l.dirty)
+                };
+                if !valid {
+                    continue;
+                }
+                let base = self.base_of(set, tag);
+                let end = base + self.config.line_words as i64;
+                if end <= lo || base >= hi {
+                    continue;
+                }
+                if dirty && (base < lo || end > hi) {
+                    self.write_back(set, way);
+                    let line = self.line_mut(set, way);
+                    line.valid = false;
+                    line.dirty = false;
+                    self.stats.invalidates += 1;
+                    self.policies[set].on_invalidate(way);
+                } else {
+                    self.invalidate(set, way);
+                }
+            }
+        }
+    }
+}
+
+impl TraceSink for FunctionalCache {
+    /// Degraded path for value-less traces: stores write 0. Drive the
+    /// functional cache through [`TraceSink::data_ref_checked`] (the VM
+    /// does) whenever data fidelity matters.
+    fn data_ref(&mut self, ev: MemEvent) {
+        self.access(ev, 0);
+    }
+
+    fn data_ref_checked(&mut self, ev: MemEvent, value: i64, _pc: i64) {
+        self.access(ev, value);
+    }
+
+    fn frame_exit(&mut self, lo: i64, hi: i64) {
+        FunctionalCache::frame_exit(self, lo, hi);
+    }
+}
+
+/// One observed divergence between the modelled memory system and the VM's
+/// flat-memory ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceViolation {
+    /// 0-based index of the data reference in the trace.
+    pub ref_index: u64,
+    /// Word address of the load.
+    pub addr: i64,
+    /// Machine-code address of the referencing instruction.
+    pub pc: i64,
+    /// The annotation flavour the load carried.
+    pub flavour: Flavour,
+    /// Whether its last-reference bit was set.
+    pub last_ref: bool,
+    /// Where the wrong value came from.
+    pub served_from: ServedFrom,
+    /// The (stale) value the model served.
+    pub stale: i64,
+    /// The VM's ground-truth value.
+    pub fresh: i64,
+}
+
+impl fmt::Display for CoherenceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ref #{} at pc {:#x}: {} load of {:#x}{} served {} from {}, expected {}",
+            self.ref_index,
+            self.pc,
+            self.flavour,
+            self.addr,
+            if self.last_ref { " (last-ref)" } else { "" },
+            self.stale,
+            self.served_from,
+            self.fresh
+        )
+    }
+}
+
+/// A [`TraceSink`] that runs a [`FunctionalCache`] beside the VM and
+/// cross-validates every load against the VM's ground truth.
+///
+/// Stores update the model; loads compare the modelled value with the word
+/// the VM actually read. The first divergence is kept in full; later ones
+/// only bump [`violations`](CoherenceOracle::violations) (a single wrong
+/// annotation typically cascades).
+#[derive(Debug, Clone)]
+pub struct CoherenceOracle {
+    cache: FunctionalCache,
+    refs: u64,
+    violations: u64,
+    first: Option<CoherenceViolation>,
+}
+
+impl CoherenceOracle {
+    /// Creates an oracle around a fresh functional cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new(config: CacheConfig) -> Self {
+        CoherenceOracle {
+            cache: FunctionalCache::new(config),
+            refs: 0,
+            violations: 0,
+            first: None,
+        }
+    }
+
+    /// Seeds the model's memory image (see [`FunctionalCache::preload`]).
+    pub fn preload(&mut self, base: i64, words: &[i64]) {
+        self.cache.preload(base, words);
+    }
+
+    /// Total data references observed.
+    pub fn refs(&self) -> u64 {
+        self.refs
+    }
+
+    /// Number of loads served a wrong value.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Whether every load matched the ground truth.
+    pub fn is_coherent(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// The first divergence, if any.
+    pub fn first_violation(&self) -> Option<&CoherenceViolation> {
+        self.first.as_ref()
+    }
+
+    /// The underlying functional cache (stats, diagnostics).
+    pub fn cache(&self) -> &FunctionalCache {
+        &self.cache
+    }
+}
+
+impl TraceSink for CoherenceOracle {
+    /// Degraded path for value-less traces: feeds the model without
+    /// checking anything. The VM always calls `data_ref_checked`.
+    fn data_ref(&mut self, ev: MemEvent) {
+        self.refs += 1;
+        self.cache.access(ev, 0);
+    }
+
+    fn data_ref_checked(&mut self, ev: MemEvent, value: i64, pc: i64) {
+        let idx = self.refs;
+        self.refs += 1;
+        let served = self.cache.access(ev, value);
+        if !ev.is_write && served.value != value {
+            self.violations += 1;
+            if self.first.is_none() {
+                self.first = Some(CoherenceViolation {
+                    ref_index: idx,
+                    addr: ev.addr,
+                    pc,
+                    flavour: ev.tag.flavour,
+                    last_ref: ev.tag.last_ref,
+                    served_from: served.from,
+                    stale: served.value,
+                    fresh: value,
+                });
+            }
+        }
+    }
+
+    fn frame_exit(&mut self, lo: i64, hi: i64) {
+        self.cache.frame_exit(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyKind;
+    use ucm_machine::MemTag;
+
+    fn ev(addr: i64, is_write: bool, flavour: Flavour, last_ref: bool) -> MemEvent {
+        MemEvent {
+            addr,
+            is_write,
+            tag: MemTag {
+                flavour,
+                last_ref,
+                unambiguous: flavour.bypass_bit(),
+            },
+        }
+    }
+
+    fn small(policy: PolicyKind) -> FunctionalCache {
+        FunctionalCache::new(CacheConfig {
+            size_words: 4,
+            line_words: 1,
+            associativity: 4,
+            policy,
+            ..CacheConfig::default()
+        })
+    }
+
+    #[test]
+    fn store_then_load_roundtrips_through_cache() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(100, true, Flavour::AmSpStore, false), 42);
+        let s = c.access(ev(100, false, Flavour::AmLoad, false), 0);
+        assert_eq!(s.value, 42);
+        assert_eq!(s.from, ServedFrom::Cache);
+    }
+
+    #[test]
+    fn spill_reload_takes_the_stored_value() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(7, true, Flavour::AmSpStore, false), 99);
+        let s = c.access(ev(7, false, Flavour::UmAmLoad, false), 0);
+        assert_eq!(s.value, 99);
+        assert_eq!(s.from, ServedFrom::Cache);
+        assert!(!c.contains(7), "take-and-invalidate consumed the line");
+        assert_eq!(c.stats().bus_words(), 0, "the cycle never touched memory");
+        // The dirty value was discarded, so the mirror memory still reads 0.
+        assert_eq!(c.peek(7), 0);
+    }
+
+    #[test]
+    fn bypass_store_reaches_memory_without_probing() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(11, true, Flavour::UmAmStore, false), 5);
+        assert_eq!(c.peek(11), 5);
+        assert_eq!(c.stats().invalidates, 0, "trusting hardware: no probe");
+        let s = c.access(ev(11, false, Flavour::UmAmLoad, false), 0);
+        assert_eq!(s.value, 5);
+        assert_eq!(s.from, ServedFrom::Memory);
+    }
+
+    #[test]
+    fn wrong_bypass_annotation_serves_stale_data() {
+        // The detectability this whole module exists for: an ambiguous
+        // store caches 1; a (mis-annotated) bypass store writes 2 around
+        // the live copy; the next cached load sees stale 1.
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(20, true, Flavour::AmSpStore, false), 1);
+        c.access(ev(20, true, Flavour::UmAmStore, false), 2);
+        let s = c.access(ev(20, false, Flavour::AmLoad, false), 0);
+        assert_eq!(s.value, 1, "stale cached copy shadows the bypass write");
+        assert_eq!(s.from, ServedFrom::Cache);
+    }
+
+    #[test]
+    fn eviction_writes_dirty_data_back() {
+        let mut c = FunctionalCache::new(CacheConfig {
+            size_words: 2,
+            line_words: 1,
+            associativity: 1,
+            ..CacheConfig::default()
+        });
+        c.access(ev(0, true, Flavour::AmSpStore, false), 7); // set 0, dirty
+        c.access(ev(2, false, Flavour::AmLoad, false), 0); // evicts 0
+        assert_eq!(c.peek(0), 7, "dirty word written back on eviction");
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn forged_last_ref_drops_a_live_write() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(9, true, Flavour::AmSpStore, false), 1);
+        // A store with a forged last-ref bit hits and drops the write.
+        c.access(ev(9, true, Flavour::AmSpStore, true), 2);
+        assert_eq!(
+            c.peek(9),
+            0,
+            "both values gone: line discarded, mem never written"
+        );
+        let s = c.access(ev(9, false, Flavour::AmLoad, false), 0);
+        assert_ne!(s.value, 2, "the second store's value is unobservable");
+    }
+
+    #[test]
+    fn multiword_line_fill_and_writeback_carry_data() {
+        let mut c = FunctionalCache::new(CacheConfig {
+            size_words: 8,
+            line_words: 4,
+            associativity: 1,
+            ..CacheConfig::default()
+        });
+        c.preload(0, &[10, 11, 12, 13]);
+        let s = c.access(ev(2, false, Flavour::AmLoad, false), 0);
+        assert_eq!(s.value, 12);
+        // Same line, different word: hit with the filled data.
+        let s = c.access(ev(3, false, Flavour::AmLoad, false), 0);
+        assert_eq!((s.value, s.from), (13, ServedFrom::Cache));
+        // Dirty one word, evict by touching the conflicting line.
+        c.access(ev(1, true, Flavour::AmSpStore, false), 99);
+        c.access(ev(9, false, Flavour::AmLoad, false), 0);
+        assert_eq!(c.peek(1), 99, "write-back preserved the dirtied word");
+        assert_eq!(c.peek(0), 10, "and the untouched neighbours");
+    }
+
+    #[test]
+    fn partial_line_write_miss_merges_with_memory() {
+        let mut c = FunctionalCache::new(CacheConfig {
+            size_words: 8,
+            line_words: 4,
+            associativity: 1,
+            ..CacheConfig::default()
+        });
+        c.preload(4, &[1, 2, 3, 4]);
+        c.access(ev(5, true, Flavour::AmSpStore, false), 20);
+        let s = c.access(ev(6, false, Flavour::AmLoad, false), 0);
+        assert_eq!(s.value, 3, "neighbour word fetched by the partial fill");
+        assert_eq!(c.peek(5), 20);
+    }
+
+    #[test]
+    fn frame_exit_discards_contained_lines() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(100, true, Flavour::AmSpStore, false), 1);
+        c.access(ev(101, true, Flavour::AmSpStore, false), 2);
+        c.frame_exit(100, 102);
+        assert!(!c.contains(100) && !c.contains(101));
+        assert_eq!(c.stats().dead_line_discards, 2, "no write-back");
+        assert_eq!(c.peek(100), 0, "dead data never reached memory");
+    }
+
+    #[test]
+    fn frame_exit_leaves_outside_lines_alone() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(50, true, Flavour::AmSpStore, false), 5);
+        c.frame_exit(100, 200);
+        assert!(c.contains(50));
+        assert_eq!(c.peek(50), 5);
+    }
+
+    #[test]
+    fn frame_exit_writes_back_straddling_dirty_lines() {
+        let mut c = FunctionalCache::new(CacheConfig {
+            size_words: 8,
+            line_words: 4,
+            associativity: 1,
+            ..CacheConfig::default()
+        });
+        // Line [4,8) dirty at word 5; frame is [6, 20) — the line straddles.
+        c.access(ev(5, true, Flavour::AmSpStore, false), 77);
+        c.frame_exit(6, 20);
+        assert!(!c.contains(5), "straddling line still invalidated");
+        assert_eq!(
+            c.peek(5),
+            77,
+            "but written back: word 5 was outside the frame"
+        );
+    }
+
+    #[test]
+    fn write_through_keeps_memory_fresh() {
+        let mut c = FunctionalCache::new(CacheConfig {
+            size_words: 4,
+            associativity: 4,
+            write_policy: WritePolicy::WriteThroughNoAllocate,
+            ..CacheConfig::default()
+        });
+        c.access(ev(3, false, Flavour::AmLoad, false), 0);
+        c.access(ev(3, true, Flavour::AmSpStore, false), 8);
+        assert_eq!(c.peek(3), 8);
+        assert_eq!(c.mem_read(3), 8, "write-through updated memory too");
+    }
+
+    #[test]
+    fn conventional_mode_is_value_transparent() {
+        let mut c = FunctionalCache::new(
+            CacheConfig {
+                size_words: 4,
+                associativity: 4,
+                ..CacheConfig::default()
+            }
+            .conventional(),
+        );
+        c.access(ev(7, true, Flavour::UmAmStore, true), 3);
+        let s = c.access(ev(7, false, Flavour::UmAmLoad, true), 0);
+        assert_eq!(s.value, 3, "tags ignored: plain write-back semantics");
+    }
+
+    #[test]
+    fn oracle_flags_stale_loads_and_keeps_the_first() {
+        let mut o = CoherenceOracle::new(CacheConfig {
+            size_words: 4,
+            line_words: 1,
+            associativity: 4,
+            ..CacheConfig::default()
+        });
+        // Mimic the VM: it would have written 1 then 2 to flat memory and
+        // read back 2. The model's cached copy still holds 1.
+        o.data_ref_checked(ev(20, true, Flavour::AmSpStore, false), 1, 0x10);
+        o.data_ref_checked(ev(20, true, Flavour::UmAmStore, false), 2, 0x11);
+        o.data_ref_checked(ev(20, false, Flavour::AmLoad, false), 2, 0x12);
+        assert_eq!(o.violations(), 1);
+        assert!(!o.is_coherent());
+        let v = o.first_violation().unwrap();
+        assert_eq!(
+            (v.ref_index, v.addr, v.pc, v.stale, v.fresh),
+            (2, 20, 0x12, 1, 2)
+        );
+        assert_eq!(v.served_from, ServedFrom::Cache);
+        assert_eq!(v.flavour, Flavour::AmLoad);
+        // Display names the essentials.
+        let msg = v.to_string();
+        assert!(msg.contains("0x12") && msg.contains("expected 2"));
+    }
+
+    #[test]
+    fn oracle_is_quiet_on_correct_annotations() {
+        let mut o = CoherenceOracle::new(CacheConfig {
+            size_words: 4,
+            line_words: 1,
+            associativity: 4,
+            ..CacheConfig::default()
+        });
+        o.preload(0x1000, &[41]);
+        o.data_ref_checked(ev(0x1000, false, Flavour::AmLoad, false), 41, 0x1);
+        o.data_ref_checked(ev(0x1000, true, Flavour::AmSpStore, false), 7, 0x2);
+        o.data_ref_checked(ev(0x1000, false, Flavour::AmLoad, true), 7, 0x3);
+        assert!(o.is_coherent());
+        assert_eq!(o.refs(), 3);
+        assert_eq!(o.cache().stats().reads, 2);
+    }
+}

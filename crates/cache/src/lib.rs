@@ -43,6 +43,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod functional;
 pub mod min;
 pub mod policy;
 pub mod stats;
@@ -50,6 +51,7 @@ pub mod system;
 
 pub use cache::CacheSim;
 pub use config::{CacheConfig, PolicyKind, WritePolicy};
+pub use functional::{CoherenceOracle, CoherenceViolation, FunctionalCache, Served, ServedFrom};
 pub use min::simulate_min;
 pub use stats::{CacheStats, Latency};
 pub use system::MemorySystem;

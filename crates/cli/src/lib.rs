@@ -8,28 +8,58 @@
 //! ucmc ir <file.mini>        dump the lowered IR
 //! ucmc classify <file.mini>  per-reference ambiguity classification
 //! ucmc trace <file.mini>     first memory references with their tags
+//! ucmc check <file.mini>     oracle-checked run: coherence report (JSON lines)
+//! ucmc faults <file.mini>    annotation fault-injection campaign (JSON lines)
 //! ```
 //!
 //! Common flags: `--regs N`, `--paper` (frame-resident scalars, the paper's
-//! measured codegen), `--conventional` (baseline management),
-//! `--cache-words N`, `--ways N`, `--limit N` (trace length).
+//! measured codegen), `--conventional` (baseline management), `--safe` /
+//! `--degrade-ambiguous` (treat every reference as ambiguous — provably
+//! coherent degradation), `--cache-words N`, `--ways N`, `--limit N` (trace
+//! length), `--max-steps N`, `--mem-words N` (VM limits).
 //!
-//! The command logic lives in this library (returning the rendered output)
-//! so it is unit-testable; `main.rs` is a thin wrapper.
+//! Fault-campaign flags: `--seed N` plus any of `--flip-bypass`,
+//! `--drop-last-ref`, `--forge-last-ref`, `--swap-flavour`,
+//! `--misclassify PCT` (no selection = all kinds).
+//!
+//! ## Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success (for `check`: coherent; for `faults`: campaign ran) |
+//! | 1    | compile or runtime failure |
+//! | 2    | usage error (bad command, flag, or file) |
+//! | 3    | coherence violation (`check` found one, or a `faults` baseline was incoherent) |
+//!
+//! The command logic lives in this library (returning the rendered output
+//! and exit code) so it is unit-testable; `main.rs` is a thin wrapper.
 
 use std::fmt::Write as _;
 use ucm_analysis::alias::Classification;
-use ucm_cache::CacheConfig;
+use ucm_cache::{CacheConfig, CoherenceViolation};
+use ucm_core::check::run_with_oracle;
 use ucm_core::evaluate::{compare, run_with_cache};
+use ucm_core::faults::{run_campaign, CampaignConfig, FaultClass, FaultKind};
 use ucm_core::pipeline::{compile, CompilerOptions};
 use ucm_core::ManagementMode;
 use ucm_machine::{run, VecSink, VmConfig};
 
-/// A CLI failure: message for stderr, suggested exit code.
+/// Exit code: success.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: compile or runtime failure.
+pub const EXIT_ERROR: i32 = 1;
+/// Exit code: usage error.
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code: a coherence violation was detected.
+pub const EXIT_INCOHERENT: i32 = 3;
+
+/// A CLI failure: message for stderr plus the process exit code.
 #[derive(Debug)]
 pub struct CliError {
     /// Human-readable message.
     pub message: String,
+    /// Suggested process exit code.
+    pub code: i32,
 }
 
 impl std::fmt::Display for CliError {
@@ -44,7 +74,7 @@ macro_rules! from_error {
     ($($ty:ty),+ $(,)?) => {
         $(impl From<$ty> for CliError {
             fn from(e: $ty) -> Self {
-                CliError { message: e.to_string() }
+                CliError { message: e.to_string(), code: EXIT_ERROR }
             }
         })+
     };
@@ -58,6 +88,24 @@ from_error!(
     ucm_machine::VmError,
 );
 
+/// Rendered command result: text for stdout plus the process exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// Text to print.
+    pub text: String,
+    /// Process exit code ([`EXIT_OK`] unless the command reports a finding).
+    pub code: i32,
+}
+
+impl CmdOutput {
+    fn ok(text: String) -> Self {
+        CmdOutput {
+            text,
+            code: EXIT_OK,
+        }
+    }
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone)]
 pub struct Invocation {
@@ -65,34 +113,48 @@ pub struct Invocation {
     source: String,
     options: CompilerOptions,
     cache: CacheConfig,
+    vm: VmConfig,
     limit: usize,
+    seed: u64,
+    kinds: Vec<FaultKind>,
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: ucmc <run|compare|ir|classify|trace> <file.mini> \
-[--regs N] [--paper] [--conventional] [--cache-words N] [--ways N] [--limit N]";
+pub const USAGE: &str = "usage: ucmc <run|compare|ir|classify|trace|check|faults> <file.mini> \
+[--regs N] [--paper] [--conventional] [--safe|--degrade-ambiguous] \
+[--cache-words N] [--ways N] [--limit N] [--max-steps N] [--mem-words N] \
+[--seed N] [--flip-bypass] [--drop-last-ref] [--forge-last-ref] \
+[--swap-flavour] [--misclassify PCT]";
 
 /// Parses arguments (excluding `argv0`) and reads the source file.
 ///
 /// # Errors
 ///
-/// Returns a [`CliError`] on unknown commands/flags, malformed numbers, or
-/// unreadable files.
+/// Returns a [`CliError`] (exit code [`EXIT_USAGE`]) on unknown
+/// commands/flags, malformed numbers, or unreadable files.
 pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
     let err = |m: &str| CliError {
         message: format!("{m}\n{USAGE}"),
+        code: EXIT_USAGE,
     };
     let mut it = args.iter();
     let command = it.next().ok_or_else(|| err("missing command"))?.clone();
-    if !["run", "compare", "ir", "classify", "trace"].contains(&command.as_str()) {
+    if ![
+        "run", "compare", "ir", "classify", "trace", "check", "faults",
+    ]
+    .contains(&command.as_str())
+    {
         return Err(err(&format!("unknown command `{command}`")));
     }
     let path = it.next().ok_or_else(|| err("missing source file"))?;
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| err(&format!("cannot read `{path}`: {e}")))?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| err(&format!("cannot read `{path}`: {e}")))?;
     let mut options = CompilerOptions::default();
     let mut cache = CacheConfig::default();
+    let mut vm = VmConfig::default();
     let mut limit = 20usize;
+    let mut seed = 1u64;
+    let mut kinds: Vec<FaultKind> = Vec::new();
     while let Some(flag) = it.next() {
         let mut number = |what: &str| -> Result<usize, CliError> {
             it.next()
@@ -111,9 +173,24 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
                 };
             }
             "--conventional" => options.mode = ManagementMode::Conventional,
+            "--safe" | "--degrade-ambiguous" => options.mode = ManagementMode::Safe,
             "--cache-words" => cache.size_words = number("--cache-words")?,
             "--ways" => cache.associativity = number("--ways")?,
             "--limit" => limit = number("--limit")?,
+            "--max-steps" => vm.max_steps = number("--max-steps")? as u64,
+            "--mem-words" => vm.mem_words = number("--mem-words")?,
+            "--seed" => seed = number("--seed")? as u64,
+            "--flip-bypass" => kinds.push(FaultKind::FlipBypass),
+            "--drop-last-ref" => kinds.push(FaultKind::DropLastRef),
+            "--forge-last-ref" => kinds.push(FaultKind::ForgeLastRef),
+            "--swap-flavour" => kinds.push(FaultKind::SwapFlavour),
+            "--misclassify" => {
+                let pct = number("--misclassify")?;
+                if pct > 100 {
+                    return Err(err("--misclassify needs a percentage (0-100)"));
+                }
+                kinds.push(FaultKind::Misclassify(pct as u8));
+            }
             other => return Err(err(&format!("unknown flag `{other}`"))),
         }
     }
@@ -125,29 +202,34 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
         source,
         options,
         cache,
+        vm,
         limit,
+        seed,
+        kinds,
     })
 }
 
-/// Executes an invocation, returning the text to print.
+/// Executes an invocation, returning the text to print and the exit code.
 ///
 /// # Errors
 ///
 /// Propagates compile and runtime errors as [`CliError`].
-pub fn execute(inv: &Invocation) -> Result<String, CliError> {
+pub fn execute(inv: &Invocation) -> Result<CmdOutput, CliError> {
     match inv.command.as_str() {
         "run" => cmd_run(inv),
         "compare" => cmd_compare(inv),
         "ir" => cmd_ir(inv),
         "classify" => cmd_classify(inv),
         "trace" => cmd_trace(inv),
+        "check" => cmd_check(inv),
+        "faults" => cmd_faults(inv),
         _ => unreachable!("parse_args validated the command"),
     }
 }
 
-fn cmd_run(inv: &Invocation) -> Result<String, CliError> {
+fn cmd_run(inv: &Invocation) -> Result<CmdOutput, CliError> {
     let compiled = compile(&inv.source, &inv.options)?;
-    let m = run_with_cache(&compiled, inv.cache, &VmConfig::default())?;
+    let m = run_with_cache(&compiled, inv.cache, &inv.vm)?;
     let mut out = String::new();
     for v in &m.outcome.output {
         let _ = writeln!(out, "{v}");
@@ -167,22 +249,28 @@ fn cmd_run(inv: &Invocation) -> Result<String, CliError> {
         100.0 * m.cache.miss_rate(),
         m.cache.bus_words()
     );
-    Ok(out)
+    Ok(CmdOutput::ok(out))
 }
 
-fn cmd_compare(inv: &Invocation) -> Result<String, CliError> {
-    let cmp = compare(
-        "program",
-        &inv.source,
-        &inv.options,
-        inv.cache,
-        &VmConfig::default(),
-    )?;
+fn cmd_compare(inv: &Invocation) -> Result<CmdOutput, CliError> {
+    let cmp = compare("program", &inv.source, &inv.options, inv.cache, &inv.vm)?;
     let mut out = String::new();
     let _ = writeln!(out, "output: {:?}", cmp.unified.outcome.output);
-    let _ = writeln!(out, "static unambiguous : {:>6.1}%", cmp.static_unambiguous_pct());
-    let _ = writeln!(out, "dynamic unambiguous: {:>6.1}%", cmp.dynamic_unambiguous_pct());
-    let _ = writeln!(out, "cache-ref reduction: {:>6.1}%", cmp.cache_ref_reduction_pct());
+    let _ = writeln!(
+        out,
+        "static unambiguous : {:>6.1}%",
+        cmp.static_unambiguous_pct()
+    );
+    let _ = writeln!(
+        out,
+        "dynamic unambiguous: {:>6.1}%",
+        cmp.dynamic_unambiguous_pct()
+    );
+    let _ = writeln!(
+        out,
+        "cache-ref reduction: {:>6.1}%",
+        cmp.cache_ref_reduction_pct()
+    );
     let _ = writeln!(
         out,
         "bus words          : {} -> {}",
@@ -194,10 +282,10 @@ fn cmd_compare(inv: &Invocation) -> Result<String, CliError> {
         "write-backs        : {} -> {}",
         cmp.conventional.cache.writebacks, cmp.unified.cache.writebacks
     );
-    Ok(out)
+    Ok(CmdOutput::ok(out))
 }
 
-fn cmd_ir(inv: &Invocation) -> Result<String, CliError> {
+fn cmd_ir(inv: &Invocation) -> Result<CmdOutput, CliError> {
     let checked = ucm_lang::parse_and_check(&inv.source)?;
     let module = ucm_ir::lower_with(
         &checked,
@@ -205,10 +293,10 @@ fn cmd_ir(inv: &Invocation) -> Result<String, CliError> {
             promote_scalars: inv.options.promote_scalars,
         },
     )?;
-    Ok(ucm_ir::print::module_to_string(&module))
+    Ok(CmdOutput::ok(ucm_ir::print::module_to_string(&module)))
 }
 
-fn cmd_classify(inv: &Invocation) -> Result<String, CliError> {
+fn cmd_classify(inv: &Invocation) -> Result<CmdOutput, CliError> {
     let checked = ucm_lang::parse_and_check(&inv.source)?;
     let module = ucm_ir::lower_with(
         &checked,
@@ -238,13 +326,13 @@ fn cmd_classify(inv: &Invocation) -> Result<String, CliError> {
         c.ambiguous,
         100.0 * c.unambiguous_fraction()
     );
-    Ok(out)
+    Ok(CmdOutput::ok(out))
 }
 
-fn cmd_trace(inv: &Invocation) -> Result<String, CliError> {
+fn cmd_trace(inv: &Invocation) -> Result<CmdOutput, CliError> {
     let compiled = compile(&inv.source, &inv.options)?;
     let mut sink = VecSink::default();
-    run(&compiled.program, &mut sink, &VmConfig::default())?;
+    run(&compiled.program, &mut sink, &inv.vm)?;
     let mut out = String::new();
     for ev in sink.events.iter().take(inv.limit) {
         let _ = writeln!(
@@ -259,7 +347,103 @@ fn cmd_trace(inv: &Invocation) -> Result<String, CliError> {
     if sink.events.len() > inv.limit {
         let _ = writeln!(out, "... {} more references", sink.events.len() - inv.limit);
     }
-    Ok(out)
+    Ok(CmdOutput::ok(out))
+}
+
+/// One JSON line describing a coherence violation.
+fn violation_json(v: &CoherenceViolation) -> String {
+    format!(
+        r#"{{"event":"violation","ref_index":{},"addr":{},"pc":{},"flavour":"{}","last_ref":{},"served_from":"{}","stale":{},"fresh":{}}}"#,
+        v.ref_index, v.addr, v.pc, v.flavour, v.last_ref, v.served_from, v.stale, v.fresh
+    )
+}
+
+fn cmd_check(inv: &Invocation) -> Result<CmdOutput, CliError> {
+    let compiled = compile(&inv.source, &inv.options)?;
+    let r = run_with_oracle(&compiled, inv.cache, &inv.vm)?;
+    let mut out = String::new();
+    if let Some(v) = &r.first {
+        let _ = writeln!(out, "{}", violation_json(v));
+    }
+    let _ = writeln!(
+        out,
+        r#"{{"event":"check","mode":"{}","coherent":{},"refs":{},"violations":{},"bus_words":{},"steps":{}}}"#,
+        inv.options.mode,
+        r.is_coherent(),
+        r.refs,
+        r.violations,
+        r.cache.bus_words(),
+        r.outcome.steps,
+    );
+    Ok(CmdOutput {
+        text: out,
+        code: if r.is_coherent() {
+            EXIT_OK
+        } else {
+            EXIT_INCOHERENT
+        },
+    })
+}
+
+fn cmd_faults(inv: &Invocation) -> Result<CmdOutput, CliError> {
+    let compiled = compile(&inv.source, &inv.options)?;
+    let cfg = CampaignConfig {
+        kinds: if inv.kinds.is_empty() {
+            CampaignConfig::default().kinds
+        } else {
+            inv.kinds.clone()
+        },
+        seed: inv.seed,
+        cache: inv.cache,
+        vm: inv.vm,
+    };
+    let campaign = run_campaign(&compiled, &cfg)?;
+    if !campaign.baseline.is_coherent() {
+        let mut text = String::new();
+        if let Some(v) = &campaign.baseline.first {
+            let _ = writeln!(text, "{}", violation_json(v));
+        }
+        let _ = writeln!(
+            text,
+            r#"{{"event":"campaign","error":"baseline incoherent","violations":{}}}"#,
+            campaign.baseline.violations
+        );
+        return Ok(CmdOutput {
+            text,
+            code: EXIT_INCOHERENT,
+        });
+    }
+    let mut out = String::new();
+    for r in &campaign.reports {
+        let site = match &r.site {
+            Some(s) => format!(
+                r#","func":"{}","instr":{},"original":"{}{}","mutated":"{}{}""#,
+                s.func_name,
+                s.instr,
+                s.original.flavour,
+                if s.original.last_ref { "+last" } else { "" },
+                s.mutated.flavour,
+                if s.mutated.last_ref { "+last" } else { "" },
+            ),
+            None => format!(r#","mutated_sites":{}"#, r.mutated_sites),
+        };
+        let _ = writeln!(
+            out,
+            r#"{{"event":"mutant","kind":"{}","class":"{}","violations":{},"bus_words":{}{}}}"#,
+            r.kind, r.class, r.violations, r.bus_words, site
+        );
+    }
+    let _ = writeln!(
+        out,
+        r#"{{"event":"campaign","seed":{},"mutants":{},"benign":{},"traffic_regressing":{},"coherence_breaking":{},"baseline_bus_words":{}}}"#,
+        inv.seed,
+        campaign.reports.len(),
+        campaign.count(FaultClass::Benign),
+        campaign.count(FaultClass::TrafficRegressing),
+        campaign.count(FaultClass::CoherenceBreaking),
+        campaign.baseline.cache.bus_words(),
+    );
+    Ok(CmdOutput::ok(out))
 }
 
 #[cfg(test)]
@@ -278,14 +462,20 @@ mod tests {
 
     const HELLO: &str = "global g: int; fn main() { g = 6; print(g * 7); }";
 
+    const KERNEL: &str = "global a: [int; 16]; global s: int; \
+        fn main() { let i: int = 0; \
+          while i < 16 { a[i] = i; i = i + 1; } \
+          i = 0; while i < 16 { s = s + a[i]; i = i + 1; } print(s); }";
+
     #[test]
     fn run_command_prints_output_and_stats() {
         let path = write_temp("run", HELLO);
         let inv = parse_args(&args(&["run", &path])).unwrap();
         let out = execute(&inv).unwrap();
-        assert!(out.starts_with("42\n"));
-        assert!(out.contains("data refs"));
-        assert!(out.contains("cache:"));
+        assert_eq!(out.code, EXIT_OK);
+        assert!(out.text.starts_with("42\n"));
+        assert!(out.text.contains("data refs"));
+        assert!(out.text.contains("cache:"));
     }
 
     #[test]
@@ -299,8 +489,8 @@ mod tests {
         );
         let inv = parse_args(&args(&["compare", &path, "--paper"])).unwrap();
         let out = execute(&inv).unwrap();
-        assert!(out.contains("output: [496]"));
-        assert!(out.contains("cache-ref reduction"));
+        assert!(out.text.contains("output: [496]"));
+        assert!(out.text.contains("cache-ref reduction"));
     }
 
     #[test]
@@ -308,8 +498,8 @@ mod tests {
         let path = write_temp("ir", HELLO);
         let inv = parse_args(&args(&["ir", &path])).unwrap();
         let out = execute(&inv).unwrap();
-        assert!(out.contains("fn main()"));
-        assert!(out.contains("global g0: g"));
+        assert!(out.text.contains("fn main()"));
+        assert!(out.text.contains("global g0: g"));
     }
 
     #[test]
@@ -317,8 +507,8 @@ mod tests {
         let path = write_temp("classify", HELLO);
         let inv = parse_args(&args(&["classify", &path])).unwrap();
         let out = execute(&inv).unwrap();
-        assert!(out.contains("Unambiguous"));
-        assert!(out.contains("-- 2 unambiguous / 0 ambiguous"));
+        assert!(out.text.contains("Unambiguous"));
+        assert!(out.text.contains("-- 2 unambiguous / 0 ambiguous"));
     }
 
     #[test]
@@ -330,27 +520,65 @@ mod tests {
         );
         let inv = parse_args(&args(&["trace", &path, "--limit", "3", "--paper"])).unwrap();
         let out = execute(&inv).unwrap();
-        let shown = out.lines().filter(|l| l.starts_with(&"load"[..4]) || l.starts_with("store")).count();
+        let shown = out
+            .text
+            .lines()
+            .filter(|l| l.starts_with(&"load"[..4]) || l.starts_with("store"))
+            .count();
         assert_eq!(shown, 3);
-        assert!(out.contains("more references"));
+        assert!(out.text.contains("more references"));
     }
 
     #[test]
     fn flag_parsing_and_errors() {
         let path = write_temp("flags", HELLO);
         let inv = parse_args(&args(&[
-            "run", &path, "--regs", "8", "--cache-words", "64", "--ways", "2",
+            "run",
+            &path,
+            "--regs",
+            "8",
+            "--cache-words",
+            "64",
+            "--ways",
+            "2",
         ]))
         .unwrap();
         assert_eq!(inv.options.num_regs, 8);
         assert_eq!(inv.cache.size_words, 64);
         assert_eq!(inv.cache.associativity, 2);
 
-        assert!(parse_args(&args(&["bogus", &path])).is_err());
-        assert!(parse_args(&args(&["run"])).is_err());
-        assert!(parse_args(&args(&["run", "/no/such/file.mini"])).is_err());
-        assert!(parse_args(&args(&["run", &path, "--regs", "x"])).is_err());
-        assert!(parse_args(&args(&["run", &path, "--cache-words", "100"])).is_err());
+        for bad in [
+            args(&["bogus", &path]),
+            args(&["run"]),
+            args(&["run", "/no/such/file.mini"]),
+            args(&["run", &path, "--regs", "x"]),
+            args(&["run", &path, "--cache-words", "100"]),
+            args(&["faults", &path, "--misclassify", "150"]),
+        ] {
+            let e = parse_args(&bad).unwrap_err();
+            assert_eq!(e.code, EXIT_USAGE, "{}", e.message);
+        }
+    }
+
+    #[test]
+    fn vm_limit_flags_are_plumbed() {
+        let path = write_temp("vmflags", HELLO);
+        let inv = parse_args(&args(&[
+            "run",
+            &path,
+            "--max-steps",
+            "1000",
+            "--mem-words",
+            "4096",
+        ]))
+        .unwrap();
+        assert_eq!(inv.vm.max_steps, 1000);
+        assert_eq!(inv.vm.mem_words, 4096);
+        // Tight step budgets surface as runtime errors, not panics.
+        let inv = parse_args(&args(&["run", &path, "--max-steps", "3"])).unwrap();
+        let err = execute(&inv).unwrap_err();
+        assert_eq!(err.code, EXIT_ERROR);
+        assert!(err.message.contains("step"), "{}", err.message);
     }
 
     #[test]
@@ -359,7 +587,56 @@ mod tests {
         let inv = parse_args(&args(&["run", &path, "--conventional"])).unwrap();
         assert_eq!(inv.options.mode, ManagementMode::Conventional);
         let out = execute(&inv).unwrap();
-        assert!(out.contains("0.0% bypassed"));
+        assert!(out.text.contains("0.0% bypassed"));
+    }
+
+    #[test]
+    fn safe_flag_switches_mode() {
+        let path = write_temp("safe", HELLO);
+        for flag in ["--safe", "--degrade-ambiguous"] {
+            let inv = parse_args(&args(&["check", &path, flag])).unwrap();
+            assert_eq!(inv.options.mode, ManagementMode::Safe);
+            let out = execute(&inv).unwrap();
+            assert_eq!(out.code, EXIT_OK);
+            assert!(out.text.contains(r#""mode":"safe""#));
+            assert!(out.text.contains(r#""coherent":true"#));
+        }
+    }
+
+    #[test]
+    fn check_command_reports_coherence() {
+        let path = write_temp("check", KERNEL);
+        for mode_flags in [&[][..], &["--conventional"][..], &["--safe"][..]] {
+            let mut a = vec!["check", path.as_str()];
+            a.extend_from_slice(mode_flags);
+            let inv = parse_args(&args(&a)).unwrap();
+            let out = execute(&inv).unwrap();
+            assert_eq!(out.code, EXIT_OK, "{mode_flags:?}: {}", out.text);
+            assert!(out.text.contains(r#""event":"check""#));
+            assert!(out.text.contains(r#""violations":0"#));
+        }
+    }
+
+    #[test]
+    fn faults_command_runs_a_campaign() {
+        let path = write_temp("faults", KERNEL);
+        let inv = parse_args(&args(&[
+            "faults",
+            &path,
+            "--paper",
+            "--seed",
+            "1",
+            "--flip-bypass",
+        ]))
+        .unwrap();
+        let out = execute(&inv).unwrap();
+        assert_eq!(out.code, EXIT_OK);
+        assert!(out.text.contains(r#""event":"mutant""#));
+        assert!(out.text.contains(r#""event":"campaign""#));
+        assert!(out.text.contains(r#""kind":"flip-bypass""#));
+        // The summary line reports all three classes.
+        let summary = out.text.lines().last().unwrap();
+        assert!(summary.contains(r#""coherence_breaking""#));
     }
 
     #[test]
@@ -367,6 +644,7 @@ mod tests {
         let path = write_temp("bad", "fn main() { print(undefined_var); }");
         let inv = parse_args(&args(&["run", &path])).unwrap();
         let err = execute(&inv).unwrap_err();
+        assert_eq!(err.code, EXIT_ERROR);
         assert!(err.message.contains("unknown variable"));
     }
 }

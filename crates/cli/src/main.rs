@@ -1,4 +1,4 @@
-//! `ucmc` — see [`ucm_cli`] for the command reference.
+//! `ucmc` — see [`ucm_cli`] for the command reference and exit codes.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -6,14 +6,17 @@ fn main() {
         Ok(inv) => inv,
         Err(e) => {
             eprintln!("ucmc: {e}");
-            std::process::exit(2);
+            std::process::exit(e.code);
         }
     };
     match ucm_cli::execute(&inv) {
-        Ok(out) => print!("{out}"),
+        Ok(out) => {
+            print!("{}", out.text);
+            std::process::exit(out.code);
+        }
         Err(e) => {
             eprintln!("ucmc: {e}");
-            std::process::exit(1);
+            std::process::exit(e.code);
         }
     }
 }

@@ -4,7 +4,8 @@
 //!
 //! | reference                        | flavour      |
 //! |----------------------------------|--------------|
-//! | spill reload                     | `UmAm_LOAD`  |
+//! | spill reload (final use)         | `UmAm_LOAD`  |
+//! | spill reload (value used again)  | `Am_LOAD`    |
 //! | spill store                      | `AmSp_STORE` |
 //! | unambiguous load                 | `UmAm_LOAD`  |
 //! | unambiguous store (not a spill)  | `UmAm_STORE` |
@@ -14,10 +15,22 @@
 //! Ambiguous references additionally carry the liveness-derived
 //! *last-reference* bit (§3.1–3.2); unambiguous loads invalidate on hit by
 //! their own semantics, so their bit is set unconditionally.
+//!
+//! Spill reloads need their own liveness refinement
+//! ([`ucm_analysis::SpillLastRefs`]): the spiller reloads once per *use*,
+//! and a take-and-invalidate at a non-final reload would consume the cached
+//! copy that a later reload still needs — the discarded dirty line never
+//! reaches memory, so trusting bypass hardware would serve the later reload
+//! a stale word. Only the final reload of each spilled value takes.
+//!
+//! [`ManagementMode::Safe`] keeps every reference on the through-cache
+//! ambiguous path (`Am_LOAD`/`AmSp_STORE`, never a last-reference bit):
+//! coherent by construction, used as the graceful-degradation fallback when
+//! the annotations themselves are suspect.
 
 use crate::mode::ManagementMode;
 use std::collections::HashMap;
-use ucm_analysis::{Classification, MemLastRefs, RefClass};
+use ucm_analysis::{Classification, MemLastRefs, RefClass, SpillLastRefs};
 use ucm_ir::{FuncId, Instr, InstrRef, Module, RefName};
 use ucm_machine::{Flavour, MemTag, MemTagger};
 
@@ -35,6 +48,7 @@ impl Annotations {
     pub fn compute(module: &Module, mode: ManagementMode) -> Self {
         let classification = Classification::compute(module);
         let last_refs = MemLastRefs::compute(module, &classification);
+        let spill_last = SpillLastRefs::compute(module);
         let mut tags = HashMap::new();
         for fid in module.func_ids() {
             for (iref, instr) in module.func(fid).instrs() {
@@ -45,9 +59,27 @@ impl Annotations {
                 let unambiguous = class == RefClass::Unambiguous;
                 let tag = match mode {
                     ManagementMode::Conventional => MemTag::plain(unambiguous),
+                    ManagementMode::Safe => MemTag {
+                        flavour: if is_load {
+                            Flavour::AmLoad
+                        } else {
+                            Flavour::AmSpStore
+                        },
+                        last_ref: false,
+                        unambiguous,
+                    },
                     ManagementMode::Unified => {
                         let (flavour, last_ref) = match (is_load, is_spill, unambiguous) {
-                            (true, true, _) | (true, false, true) => (Flavour::UmAmLoad, true),
+                            // A spill reload takes only if no later reload
+                            // still needs the slot's value.
+                            (true, true, _) => {
+                                if spill_last.is_last_ref(fid, iref) {
+                                    (Flavour::UmAmLoad, true)
+                                } else {
+                                    (Flavour::AmLoad, false)
+                                }
+                            }
+                            (true, false, true) => (Flavour::UmAmLoad, true),
                             (false, true, _) => (Flavour::AmSpStore, false),
                             (false, false, true) => (Flavour::UmAmStore, false),
                             (true, false, false) => {
@@ -161,14 +193,91 @@ mod tests {
             .filter(|(s, _, _)| s.contains("spill"))
             .collect();
         assert!(!spill_tags.is_empty(), "expected spill code");
+        let mut saw_take = false;
         for (s, fl, last) in spill_tags {
             if s.contains("load") {
-                assert_eq!(fl, Flavour::UmAmLoad, "{s}");
-                assert!(last, "spill reloads kill the cached copy: {s}");
+                // The final reload of a value takes-and-invalidates; a
+                // reload whose slot is read again stays on the ambiguous
+                // path so the cached copy survives.
+                match fl {
+                    Flavour::UmAmLoad => {
+                        assert!(last, "take reloads carry the last-ref bit: {s}");
+                        saw_take = true;
+                    }
+                    Flavour::AmLoad => {
+                        assert!(!last, "non-final reloads must not take: {s}");
+                    }
+                    other => panic!("unexpected spill reload flavour {other:?}: {s}"),
+                }
             } else {
                 assert_eq!(fl, Flavour::AmSpStore, "{s}");
             }
         }
+        assert!(saw_take, "every spilled value has a final reload");
+    }
+
+    #[test]
+    fn only_final_reload_of_a_twice_used_spill_takes() {
+        // a and b stay live across both prints under k=2, so at least one
+        // value is spilled once and reloaded at several distinct uses.
+        let (m, ann) = annotated(
+            "fn main() { let a: int = 1; let b: int = 2; let c: int = 3; \
+             print(a + b + c); print(c + b + a); print(a); }",
+            2,
+        );
+        // Group reload tags by the slot they reference.
+        let mut by_slot: std::collections::HashMap<String, Vec<bool>> =
+            std::collections::HashMap::new();
+        for fid in m.func_ids() {
+            for (iref, instr) in m.func(fid).instrs() {
+                if let ucm_ir::Instr::Load { mem, .. } = instr {
+                    if matches!(mem.name, ucm_ir::RefName::Spill(_)) {
+                        let t = ann.tag_of(fid, iref);
+                        by_slot
+                            .entry(mem.name.to_string())
+                            .or_default()
+                            .push(t.flavour == Flavour::UmAmLoad);
+                    }
+                }
+            }
+        }
+        let multi: Vec<_> = by_slot.values().filter(|v| v.len() > 1).collect();
+        assert!(!multi.is_empty(), "expected a slot reloaded more than once");
+        for takes in multi {
+            assert_eq!(
+                takes.iter().filter(|&&t| t).count(),
+                1,
+                "exactly one take per multi-reload slot (straight-line code)"
+            );
+        }
+    }
+
+    #[test]
+    fn safe_mode_keeps_everything_ambiguous() {
+        let module = lower(
+            &parse_and_check(
+                "global g: int; global a: [int; 4]; \
+                 fn main() { g = 1; a[0] = g; print(a[0]); }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let ann = Annotations::compute(&module, ManagementMode::Safe);
+        for fid in module.func_ids() {
+            for (iref, instr) in module.func(fid).instrs() {
+                if instr.is_memory() {
+                    let t = ann.tag_of(fid, iref);
+                    assert!(
+                        matches!(t.flavour, Flavour::AmLoad | Flavour::AmSpStore),
+                        "no bypass flavours in safe mode"
+                    );
+                    assert!(!t.flavour.bypass_bit());
+                    assert!(!t.last_ref, "no discards in safe mode");
+                }
+            }
+        }
+        // Classification is still recorded, for reporting what was given up.
+        assert!(ann.classification.static_counts().unambiguous > 0);
     }
 
     #[test]
@@ -198,9 +307,11 @@ mod tests {
     #[test]
     fn conventional_mode_is_all_plain() {
         let module = lower(
-            &parse_and_check("global g: int; global a: [int; 4]; \
-                              fn main() { g = 1; a[0] = g; print(a[0]); }")
-                .unwrap(),
+            &parse_and_check(
+                "global g: int; global a: [int; 4]; \
+                              fn main() { g = 1; a[0] = g; print(a[0]); }",
+            )
+            .unwrap(),
         )
         .unwrap();
         let ann = Annotations::compute(&module, ManagementMode::Conventional);
@@ -227,12 +338,7 @@ mod tests {
         );
         let mem_count: usize = m
             .func_ids()
-            .map(|f| {
-                m.func(f)
-                    .instrs()
-                    .filter(|(_, i)| i.is_memory())
-                    .count()
-            })
+            .map(|f| m.func(f).instrs().filter(|(_, i)| i.is_memory()).count())
             .sum();
         assert_eq!(ann.len(), mem_count);
         assert!(!ann.is_empty());

@@ -1,0 +1,134 @@
+//! Coherence checking: execute a compiled program with every data reference
+//! streamed into a *data-carrying* functional cache whose served values are
+//! cross-validated against the VM's architectural memory by a
+//! [`CoherenceOracle`].
+//!
+//! This is the repo's answer to "how do we know the annotations are not
+//! just fast, but *correct*?" — the statistics-only [`ucm_cache::CacheSim`]
+//! measures traffic, while the functional cache here actually holds data
+//! and trusts the compiler's bypass / last-reference bits the way the
+//! paper's hardware would. A wrong bit therefore produces a *wrong value*,
+//! which the oracle reports as a structured [`CoherenceViolation`] instead
+//! of a silently-different program output.
+
+use crate::pipeline::Compiled;
+use ucm_cache::{CacheConfig, CacheStats, CoherenceOracle, CoherenceViolation};
+use ucm_machine::{run, MachineProgram, VmConfig, VmError, VmOutcome};
+
+/// The result of one oracle-checked execution.
+#[derive(Debug, Clone)]
+pub struct CoherenceReport {
+    /// VM outcome (program output, step count) — ground truth.
+    pub outcome: VmOutcome,
+    /// Total data references observed.
+    pub refs: u64,
+    /// Number of cache-served loads whose value diverged from memory truth.
+    pub violations: u64,
+    /// The first divergence, if any (flavour, address, PC, stale vs fresh).
+    pub first: Option<CoherenceViolation>,
+    /// Statistics of the functional cache that served the run.
+    pub cache: CacheStats,
+}
+
+impl CoherenceReport {
+    /// Whether every cache-served load agreed with architectural memory.
+    pub fn is_coherent(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Runs `compiled` with its data references checked by a coherence oracle.
+///
+/// # Errors
+///
+/// Propagates VM traps (divide by zero, bounds, step limit). A coherence
+/// violation is *not* an error — it is the measurement, reported in the
+/// returned [`CoherenceReport`].
+pub fn run_with_oracle(
+    compiled: &Compiled,
+    cache_cfg: CacheConfig,
+    vm_cfg: &VmConfig,
+) -> Result<CoherenceReport, VmError> {
+    run_program_with_oracle(&compiled.program, cache_cfg, vm_cfg)
+}
+
+/// [`run_with_oracle`] for a bare [`MachineProgram`] — used by the fault
+/// campaign, whose mutants exist only at the machine-code level.
+///
+/// # Errors
+///
+/// Propagates VM traps.
+pub fn run_program_with_oracle(
+    program: &MachineProgram,
+    cache_cfg: CacheConfig,
+    vm_cfg: &VmConfig,
+) -> Result<CoherenceReport, VmError> {
+    let mut oracle = CoherenceOracle::new(cache_cfg);
+    let outcome = run(program, &mut oracle, vm_cfg)?;
+    Ok(CoherenceReport {
+        outcome,
+        refs: oracle.refs(),
+        violations: oracle.violations(),
+        first: oracle.first_violation().cloned(),
+        cache: *oracle.cache().stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::ManagementMode;
+    use crate::pipeline::{compile, CompilerOptions};
+
+    fn check(src: &str, mode: ManagementMode) -> CoherenceReport {
+        let c = compile(
+            src,
+            &CompilerOptions {
+                mode,
+                ..CompilerOptions::default()
+            },
+        )
+        .unwrap();
+        run_with_oracle(&c, CacheConfig::default(), &VmConfig::default()).unwrap()
+    }
+
+    const KERNEL: &str = "global a: [int; 32]; global sum: int; \
+        fn main() { let i: int = 0; \
+          while i < 32 { a[i] = i * 5; i = i + 1; } \
+          i = 0; while i < 32 { sum = sum + a[i]; i = i + 1; } \
+          print(sum); }";
+
+    #[test]
+    fn unified_build_is_coherent() {
+        let r = check(KERNEL, ManagementMode::Unified);
+        assert!(r.is_coherent(), "first violation: {:?}", r.first);
+        assert_eq!(r.outcome.output, vec![(0..32).map(|i| i * 5).sum::<i64>()]);
+        assert!(r.refs > 0);
+    }
+
+    #[test]
+    fn conventional_and_safe_builds_are_coherent() {
+        for mode in [ManagementMode::Conventional, ManagementMode::Safe] {
+            let r = check(KERNEL, mode);
+            assert!(r.is_coherent(), "{mode}: first violation: {:?}", r.first);
+        }
+    }
+
+    #[test]
+    fn recursion_with_spills_is_coherent() {
+        // Deep frames + caller saves + spill reloads: the traffic most
+        // sensitive to last-reference and frame-exit handling.
+        let src = "fn fib(n: int) -> int { if n < 2 { return n; } \
+                     return fib(n - 1) + fib(n - 2); } \
+                   fn main() { print(fib(15)); }";
+        for mode in [
+            ManagementMode::Unified,
+            ManagementMode::Conventional,
+            ManagementMode::Safe,
+        ] {
+            let r = check(src, mode);
+            assert!(r.is_coherent(), "{mode}: first violation: {:?}", r.first);
+            assert_eq!(r.outcome.output, vec![610]);
+        }
+    }
+}

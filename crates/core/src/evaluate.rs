@@ -2,7 +2,7 @@
 //! and compare unified vs conventional management (the paper's §5 setup).
 
 use crate::mode::ManagementMode;
-use crate::pipeline::{compile, Compiled, CompileError, CompilerOptions};
+use crate::pipeline::{compile, CompileError, Compiled, CompilerOptions};
 use crate::stats::{static_ref_stats, StaticRefStats};
 use std::error::Error;
 use std::fmt;
@@ -178,11 +178,7 @@ pub fn compare(
         },
     )?;
     let unified = run_with_cache(&unified_build, cache_cfg, vm_cfg)?;
-    let conventional = run_with_cache(
-        &conventional_build,
-        cache_cfg.conventional(),
-        vm_cfg,
-    )?;
+    let conventional = run_with_cache(&conventional_build, cache_cfg.conventional(), vm_cfg)?;
     if unified.outcome.output != conventional.outcome.output {
         return Err(EvalError::OutputMismatch { name: name.into() });
     }

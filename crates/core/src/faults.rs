@@ -1,0 +1,473 @@
+//! Deterministic annotation fault injection.
+//!
+//! The unified model's safety rests entirely on the compiler's annotations:
+//! a wrong bypass bit lets a store slip past a cached copy, a forged
+//! last-reference bit discards a live dirty line. This module perturbs the
+//! *compiled* tags — after classification, liveness, and codegen have all
+//! run — and measures what a trusting memory system does with the lie.
+//!
+//! Each single-site mutant flips exactly one [`MemTag`]; the whole-program
+//! [`FaultKind::Misclassify`] mutant flips a seeded percentage of sites at
+//! once. Every mutant executes under the [`crate::check`] coherence oracle
+//! and is classified:
+//!
+//! * [`FaultClass::CoherenceBreaking`] — the oracle saw at least one
+//!   cache-served load diverge from architectural memory;
+//! * [`FaultClass::TrafficRegressing`] — values stayed correct but the
+//!   mutant moved more memory-bus words than the unmutated baseline;
+//! * [`FaultClass::Benign`] — indistinguishable from the baseline on both
+//!   counts.
+//!
+//! Because the VM executes against flat architectural memory (tags only
+//! steer the modelled cache), a tag fault can never change program output
+//! or trap the VM — divergence is visible *only* through the oracle, which
+//! is exactly why the oracle exists.
+
+use crate::check::{run_program_with_oracle, CoherenceReport};
+use crate::pipeline::Compiled;
+use std::fmt;
+use ucm_cache::{CacheConfig, CoherenceViolation};
+use ucm_machine::{Flavour, MInstr, MachineProgram, MemTag, VmConfig, VmError};
+
+/// Which perturbation a mutant applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip the §4.4 bypass bit: `Am_LOAD ↔ UmAm_LOAD`,
+    /// `AmSp_STORE ↔ UmAm_STORE`. `Plain` sites are skipped (they carry no
+    /// compiler intent to corrupt).
+    FlipBypass,
+    /// Clear a set last-reference bit. Losing a discard hint costs traffic
+    /// at most — it must never cost correctness.
+    DropLastRef,
+    /// Set the last-reference bit on a reference the compiler did not prove
+    /// last. The cache will discard the line — dirty data and all.
+    ForgeLastRef,
+    /// Swap the direction half of the flavour while keeping the bypass
+    /// category: `Am_LOAD ↔ AmSp_STORE`, `UmAm_LOAD ↔ UmAm_STORE`. Models a
+    /// compiler emitting the wrong opcode variant.
+    SwapFlavour,
+    /// One whole-program mutant: misclassify the given percentage of tagged
+    /// sites (seeded selection), toggling each between ambiguous and
+    /// unambiguous.
+    Misclassify(u8),
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::FlipBypass => write!(f, "flip-bypass"),
+            FaultKind::DropLastRef => write!(f, "drop-last-ref"),
+            FaultKind::ForgeLastRef => write!(f, "forge-last-ref"),
+            FaultKind::SwapFlavour => write!(f, "swap-flavour"),
+            FaultKind::Misclassify(pct) => write!(f, "misclassify-{pct}pct"),
+        }
+    }
+}
+
+/// How a mutant behaved under the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Indistinguishable from the baseline (values and bus words).
+    Benign,
+    /// Correct values, but more memory-bus words than the baseline.
+    TrafficRegressing,
+    /// At least one cache-served load returned a stale value.
+    CoherenceBreaking,
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultClass::Benign => write!(f, "benign"),
+            FaultClass::TrafficRegressing => write!(f, "traffic-regressing"),
+            FaultClass::CoherenceBreaking => write!(f, "coherence-breaking"),
+        }
+    }
+}
+
+/// One tagged instruction that a mutant perturbed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSite {
+    /// Function index in the program.
+    pub func: usize,
+    /// Function name.
+    pub func_name: String,
+    /// Instruction index within the function.
+    pub instr: usize,
+    /// The compiler's tag.
+    pub original: MemTag,
+    /// The perturbed tag the mutant ran with.
+    pub mutated: MemTag,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}{} -> {}{}",
+            self.func_name,
+            self.instr,
+            self.original.flavour,
+            if self.original.last_ref { "+last" } else { "" },
+            self.mutated.flavour,
+            if self.mutated.last_ref { "+last" } else { "" },
+        )
+    }
+}
+
+/// The verdict on one mutant.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Which perturbation ran.
+    pub kind: FaultKind,
+    /// The single perturbed site, or `None` for whole-program mutants.
+    pub site: Option<FaultSite>,
+    /// Number of tags the mutant changed (1 for single-site mutants).
+    pub mutated_sites: usize,
+    /// Classification against the baseline.
+    pub class: FaultClass,
+    /// Oracle violation count.
+    pub violations: u64,
+    /// First divergence, if any.
+    pub first: Option<CoherenceViolation>,
+    /// Memory-bus words the mutant moved.
+    pub bus_words: u64,
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Which fault kinds to inject.
+    pub kinds: Vec<FaultKind>,
+    /// Seed for the `Misclassify` site selection.
+    pub seed: u64,
+    /// Cache geometry for baseline and mutants.
+    pub cache: CacheConfig,
+    /// VM limits for baseline and mutants.
+    pub vm: VmConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            kinds: vec![
+                FaultKind::FlipBypass,
+                FaultKind::DropLastRef,
+                FaultKind::ForgeLastRef,
+                FaultKind::SwapFlavour,
+                FaultKind::Misclassify(25),
+            ],
+            seed: 1,
+            cache: CacheConfig::default(),
+            vm: VmConfig::default(),
+        }
+    }
+}
+
+/// Results of a full campaign over one program.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The unmutated program's oracle run (must itself be coherent for the
+    /// mutant classification to mean anything).
+    pub baseline: CoherenceReport,
+    /// One report per mutant, in deterministic enumeration order.
+    pub reports: Vec<FaultReport>,
+}
+
+impl Campaign {
+    /// Mutants classified as the given class.
+    pub fn count(&self, class: FaultClass) -> usize {
+        self.reports.iter().filter(|r| r.class == class).count()
+    }
+
+    /// Whether any mutant broke coherence.
+    pub fn any_coherence_breaking(&self) -> bool {
+        self.count(FaultClass::CoherenceBreaking) > 0
+    }
+}
+
+/// `splitmix64` — the deterministic site-selection generator for
+/// [`FaultKind::Misclassify`]. Self-contained so campaign results are
+/// reproducible from the seed alone.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-enough percentage draw in `0..100`.
+    fn percent(&mut self) -> u8 {
+        (self.next() % 100) as u8
+    }
+}
+
+/// The tag carried by an instruction, if any. `Enter` tags its frame-save
+/// stores; `Leave` tags its reload loads — both are real annotated traffic
+/// and fair game for perturbation.
+fn tag_of(instr: &MInstr) -> Option<MemTag> {
+    match instr {
+        MInstr::Load { tag, .. }
+        | MInstr::Store { tag, .. }
+        | MInstr::Enter { tag, .. }
+        | MInstr::Leave { tag, .. } => Some(*tag),
+        _ => None,
+    }
+}
+
+fn tag_mut(instr: &mut MInstr) -> Option<&mut MemTag> {
+    match instr {
+        MInstr::Load { tag, .. }
+        | MInstr::Store { tag, .. }
+        | MInstr::Enter { tag, .. }
+        | MInstr::Leave { tag, .. } => Some(tag),
+        _ => None,
+    }
+}
+
+/// Flip the bypass category, preserving direction.
+fn flip_bypass(flavour: Flavour) -> Option<Flavour> {
+    match flavour {
+        Flavour::AmLoad => Some(Flavour::UmAmLoad),
+        Flavour::UmAmLoad => Some(Flavour::AmLoad),
+        Flavour::AmSpStore => Some(Flavour::UmAmStore),
+        Flavour::UmAmStore => Some(Flavour::AmSpStore),
+        Flavour::Plain => None,
+    }
+}
+
+/// Swap the direction, preserving the bypass category.
+fn swap_direction(flavour: Flavour) -> Option<Flavour> {
+    match flavour {
+        Flavour::AmLoad => Some(Flavour::AmSpStore),
+        Flavour::AmSpStore => Some(Flavour::AmLoad),
+        Flavour::UmAmLoad => Some(Flavour::UmAmStore),
+        Flavour::UmAmStore => Some(Flavour::UmAmLoad),
+        Flavour::Plain => None,
+    }
+}
+
+/// The single-site mutation for `kind`, or `None` when the site is not
+/// applicable (e.g. dropping a last-ref bit that is not set).
+fn mutate(kind: FaultKind, tag: MemTag) -> Option<MemTag> {
+    match kind {
+        FaultKind::FlipBypass => flip_bypass(tag.flavour).map(|flavour| MemTag { flavour, ..tag }),
+        FaultKind::DropLastRef => tag.last_ref.then_some(MemTag {
+            last_ref: false,
+            ..tag
+        }),
+        FaultKind::ForgeLastRef => {
+            (!tag.last_ref && tag.flavour != Flavour::Plain).then_some(MemTag {
+                last_ref: true,
+                ..tag
+            })
+        }
+        FaultKind::SwapFlavour => {
+            swap_direction(tag.flavour).map(|flavour| MemTag { flavour, ..tag })
+        }
+        // Whole-program; handled by `misclassify_program`.
+        FaultKind::Misclassify(_) => None,
+    }
+}
+
+/// Every tagged instruction in the program, in deterministic order.
+fn sites(program: &MachineProgram) -> Vec<(usize, usize, MemTag)> {
+    let mut out = Vec::new();
+    for (fi, func) in program.funcs.iter().enumerate() {
+        for (ii, instr) in func.code.iter().enumerate() {
+            if let Some(tag) = tag_of(instr) {
+                out.push((fi, ii, tag));
+            }
+        }
+    }
+    out
+}
+
+/// Builds the whole-program misclassification mutant: each tagged site is
+/// toggled between ambiguous and unambiguous with probability `pct`%.
+/// Returns the mutant and how many sites changed.
+fn misclassify_program(program: &MachineProgram, pct: u8, seed: u64) -> (MachineProgram, usize) {
+    let mut mutant = program.clone();
+    let mut rng = SplitMix64(seed);
+    let mut changed = 0;
+    for func in &mut mutant.funcs {
+        for instr in &mut func.code {
+            let Some(tag) = tag_mut(instr) else { continue };
+            if tag.flavour == Flavour::Plain {
+                continue;
+            }
+            if rng.percent() < pct {
+                if let Some(flavour) = flip_bypass(tag.flavour) {
+                    tag.flavour = flavour;
+                    tag.unambiguous = !tag.unambiguous;
+                    changed += 1;
+                }
+            }
+        }
+    }
+    (mutant, changed)
+}
+
+/// Runs the full fault campaign on a compiled program.
+///
+/// # Errors
+///
+/// Propagates VM traps from the baseline or any mutant (tag faults cannot
+/// trap the VM themselves, so a trap means the limits in
+/// [`CampaignConfig::vm`] are too tight for the program).
+pub fn run_campaign(compiled: &Compiled, cfg: &CampaignConfig) -> Result<Campaign, VmError> {
+    let baseline = run_program_with_oracle(&compiled.program, cfg.cache, &cfg.vm)?;
+    let baseline_bus = baseline.cache.bus_words();
+    let classify = |report: &CoherenceReport| {
+        if report.violations > 0 {
+            FaultClass::CoherenceBreaking
+        } else if report.cache.bus_words() > baseline_bus {
+            FaultClass::TrafficRegressing
+        } else {
+            FaultClass::Benign
+        }
+    };
+    let all_sites = sites(&compiled.program);
+    let mut reports = Vec::new();
+    for &kind in &cfg.kinds {
+        if let FaultKind::Misclassify(pct) = kind {
+            let (mutant, changed) = misclassify_program(&compiled.program, pct, cfg.seed);
+            if changed == 0 {
+                continue;
+            }
+            let r = run_program_with_oracle(&mutant, cfg.cache, &cfg.vm)?;
+            reports.push(FaultReport {
+                kind,
+                site: None,
+                mutated_sites: changed,
+                class: classify(&r),
+                violations: r.violations,
+                first: r.first,
+                bus_words: r.cache.bus_words(),
+            });
+            continue;
+        }
+        for &(fi, ii, original) in &all_sites {
+            let Some(mutated) = mutate(kind, original) else {
+                continue;
+            };
+            let mut mutant = compiled.program.clone();
+            *tag_mut(&mut mutant.funcs[fi].code[ii]).expect("site carries a tag") = mutated;
+            let r = run_program_with_oracle(&mutant, cfg.cache, &cfg.vm)?;
+            reports.push(FaultReport {
+                kind,
+                site: Some(FaultSite {
+                    func: fi,
+                    func_name: compiled.program.funcs[fi].name.clone(),
+                    instr: ii,
+                    original,
+                    mutated,
+                }),
+                mutated_sites: 1,
+                class: classify(&r),
+                violations: r.violations,
+                first: r.first,
+                bus_words: r.cache.bus_words(),
+            });
+        }
+    }
+    Ok(Campaign { baseline, reports })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::ManagementMode;
+    use crate::pipeline::{compile, CompilerOptions};
+
+    fn compiled(src: &str) -> Compiled {
+        compile(
+            src,
+            &CompilerOptions {
+                mode: ManagementMode::Unified,
+                ..CompilerOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    const KERNEL: &str = "global a: [int; 16]; global sum: int; \
+        fn main() { let i: int = 0; \
+          while i < 16 { a[i] = i * 3; i = i + 1; } \
+          i = 0; while i < 16 { sum = sum + a[i]; i = i + 1; } \
+          print(sum); }";
+
+    #[test]
+    fn mutations_are_involutive_or_skipped() {
+        for flavour in [
+            Flavour::AmLoad,
+            Flavour::AmSpStore,
+            Flavour::UmAmLoad,
+            Flavour::UmAmStore,
+        ] {
+            assert_eq!(flip_bypass(flip_bypass(flavour).unwrap()), Some(flavour));
+            assert_eq!(
+                swap_direction(swap_direction(flavour).unwrap()),
+                Some(flavour)
+            );
+        }
+        assert_eq!(flip_bypass(Flavour::Plain), None);
+        assert_eq!(swap_direction(Flavour::Plain), None);
+        let set = MemTag {
+            flavour: Flavour::UmAmLoad,
+            last_ref: true,
+            unambiguous: true,
+        };
+        assert!(!mutate(FaultKind::DropLastRef, set).unwrap().last_ref);
+        assert_eq!(mutate(FaultKind::ForgeLastRef, set), None);
+    }
+
+    #[test]
+    fn misclassify_is_seed_deterministic() {
+        let c = compiled(KERNEL);
+        let (a, na) = misclassify_program(&c.program, 50, 7);
+        let (b, nb) = misclassify_program(&c.program, 50, 7);
+        assert_eq!(na, nb);
+        assert_eq!(a, b);
+        let (d, _) = misclassify_program(&c.program, 50, 8);
+        assert_ne!(a, d, "different seeds should pick different sites");
+    }
+
+    #[test]
+    fn campaign_baseline_is_coherent_and_classifies_every_mutant() {
+        let c = compiled(KERNEL);
+        let campaign = run_campaign(&c, &CampaignConfig::default()).unwrap();
+        assert!(campaign.baseline.is_coherent());
+        assert!(!campaign.reports.is_empty());
+        let total = campaign.count(FaultClass::Benign)
+            + campaign.count(FaultClass::TrafficRegressing)
+            + campaign.count(FaultClass::CoherenceBreaking);
+        assert_eq!(total, campaign.reports.len());
+    }
+
+    #[test]
+    fn dropping_last_ref_bits_never_breaks_coherence() {
+        let c = compiled(KERNEL);
+        let campaign = run_campaign(
+            &c,
+            &CampaignConfig {
+                kinds: vec![FaultKind::DropLastRef],
+                ..CampaignConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!campaign.reports.is_empty(), "kernel has last-ref sites");
+        for r in &campaign.reports {
+            assert_ne!(
+                r.class,
+                FaultClass::CoherenceBreaking,
+                "dropping a discard hint must be safe: {}",
+                r.site.as_ref().unwrap()
+            );
+        }
+    }
+}

@@ -12,6 +12,12 @@
 //! * [`stats`] — static reference statistics (Figure 5's static series)
 //! * [`evaluate`] — runs unified vs conventional builds against the cache
 //!   simulator and reports traffic reductions (Figure 5's dynamic series)
+//! * [`check`] — oracle-checked execution: a data-carrying functional cache
+//!   trusts the annotations, and every cache-served load is cross-validated
+//!   against the VM's architectural memory
+//! * [`faults`] — deterministic annotation fault injection and a campaign
+//!   runner classifying each mutant as benign, traffic-regressing, or
+//!   coherence-breaking
 //!
 //! ## Example: reproduce one Figure-5 style measurement
 //!
@@ -38,15 +44,21 @@
 //! ```
 
 pub mod annotate;
+pub mod check;
 pub mod evaluate;
+pub mod faults;
 pub mod mode;
 pub mod pipeline;
 pub mod promote;
 pub mod stats;
 
 pub use annotate::Annotations;
+pub use check::{run_with_oracle, CoherenceReport};
 pub use evaluate::{compare, run_with_cache, Comparison, EvalError, RunMeasurement};
+pub use faults::{
+    run_campaign, Campaign, CampaignConfig, FaultClass, FaultKind, FaultReport, FaultSite,
+};
 pub use mode::ManagementMode;
-pub use pipeline::{compile, compile_module, Compiled, CompileError, CompilerOptions};
+pub use pipeline::{compile, compile_module, CompileError, Compiled, CompilerOptions};
 pub use promote::{promote_locals, PromotionStats};
 pub use stats::{static_ref_stats, StaticRefStats};

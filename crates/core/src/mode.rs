@@ -12,6 +12,12 @@ pub enum ManagementMode {
     /// The 1980s baseline: cache managed purely by hardware; every data
     /// reference goes through the cache.
     Conventional,
+    /// Graceful degradation: every reference is treated as ambiguous — no
+    /// bypass, no take-and-invalidate, no last-reference discards. The
+    /// traffic optimisations are forfeited, but coherence holds regardless
+    /// of what the classifier or liveness analyses concluded (the cache
+    /// degenerates to a plain write-back cache with flavour labels).
+    Safe,
 }
 
 impl fmt::Display for ManagementMode {
@@ -19,6 +25,7 @@ impl fmt::Display for ManagementMode {
         match self {
             ManagementMode::Unified => write!(f, "unified"),
             ManagementMode::Conventional => write!(f, "conventional"),
+            ManagementMode::Safe => write!(f, "safe"),
         }
     }
 }
@@ -32,5 +39,6 @@ mod tests {
         assert_eq!(ManagementMode::default(), ManagementMode::Unified);
         assert_eq!(ManagementMode::Unified.to_string(), "unified");
         assert_eq!(ManagementMode::Conventional.to_string(), "conventional");
+        assert_eq!(ManagementMode::Safe.to_string(), "safe");
     }
 }

@@ -7,7 +7,7 @@ use std::fmt;
 use ucm_ir::lower::{lower_with, LowerOptions};
 use ucm_ir::{verify_module, LowerError, Module, VerifyError};
 use ucm_lang::{parse_and_check, LangError};
-use ucm_machine::codegen::{codegen, CodegenConfig};
+use ucm_machine::codegen::{codegen, CodegenConfig, CodegenError, SynthTags};
 use ucm_machine::MachineProgram;
 use ucm_regalloc::{allocate, AllocError, Strategy};
 
@@ -79,6 +79,9 @@ pub enum CompileError {
     Verify(VerifyError),
     /// Register allocation could not converge.
     Alloc(AllocError),
+    /// Machine-code generation rejected the allocated module (a compiler
+    /// bug surfaced by codegen's pre-generation validation).
+    Codegen(CodegenError),
 }
 
 impl fmt::Display for CompileError {
@@ -88,6 +91,7 @@ impl fmt::Display for CompileError {
             CompileError::Lower(e) => write!(f, "{e}"),
             CompileError::Verify(e) => write!(f, "{e}"),
             CompileError::Alloc(e) => write!(f, "{e}"),
+            CompileError::Codegen(e) => write!(f, "{e}"),
         }
     }
 }
@@ -99,6 +103,7 @@ impl Error for CompileError {
             CompileError::Lower(e) => Some(e),
             CompileError::Verify(e) => Some(e),
             CompileError::Alloc(e) => Some(e),
+            CompileError::Codegen(e) => Some(e),
         }
     }
 }
@@ -124,6 +129,12 @@ impl From<VerifyError> for CompileError {
 impl From<AllocError> for CompileError {
     fn from(e: AllocError) -> Self {
         CompileError::Alloc(e)
+    }
+}
+
+impl From<CodegenError> for CompileError {
+    fn from(e: CodegenError) -> Self {
+        CompileError::Codegen(e)
     }
 }
 
@@ -194,10 +205,14 @@ pub fn compile_module(
         &annotations,
         &CodegenConfig {
             num_regs: options.num_regs,
-            unified: options.mode == ManagementMode::Unified,
+            synth: match options.mode {
+                ManagementMode::Unified => SynthTags::Unified,
+                ManagementMode::Conventional => SynthTags::Plain,
+                ManagementMode::Safe => SynthTags::Safe,
+            },
             globals_base: options.globals_base,
         },
-    );
+    )?;
     Ok(Compiled {
         program,
         annotations,
@@ -220,7 +235,10 @@ mod tests {
 
     #[test]
     fn compiles_and_runs_hello() {
-        assert_eq!(exec("fn main() { print(42); }", &CompilerOptions::default()), vec![42]);
+        assert_eq!(
+            exec("fn main() { print(42); }", &CompilerOptions::default()),
+            vec![42]
+        );
     }
 
     #[test]

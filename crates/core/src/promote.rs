@@ -234,7 +234,9 @@ pub fn promote_loops(module: &mut Module) -> usize {
                 .filter(|l| !done.contains(&l.header))
                 .collect();
             candidates.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
-            let Some(target) = candidates.first() else { break };
+            let Some(target) = candidates.first() else {
+                break;
+            };
             let header = target.header;
             let blocks: std::collections::HashSet<ucm_ir::BlockId> =
                 target.blocks.iter().copied().collect();
@@ -303,12 +305,10 @@ fn promote_one_loop(
         let f = module.func_mut(fid);
         for &obj in &candidates {
             let dst = regs[&obj];
-            f.block_mut(preheader)
-                .instrs
-                .push(Instr::Load {
-                    dst,
-                    mem: MemRef::scalar(obj),
-                });
+            f.block_mut(preheader).instrs.push(Instr::Load {
+                dst,
+                mem: MemRef::scalar(obj),
+            });
         }
         f.block_mut(preheader).term = Terminator::Jump(header);
         for pred in cfg.preds(header).to_vec() {
@@ -418,9 +418,11 @@ mod tests {
     }
 
     fn run_module(m: &Module) -> Vec<i64> {
-        let compiled =
-            crate::pipeline::compile_module(m.clone(), &crate::pipeline::CompilerOptions::default())
-                .unwrap();
+        let compiled = crate::pipeline::compile_module(
+            m.clone(),
+            &crate::pipeline::CompilerOptions::default(),
+        )
+        .unwrap();
         ucm_machine::run(
             &compiled.program,
             &mut ucm_machine::NullSink,
@@ -432,18 +434,14 @@ mod tests {
 
     #[test]
     fn eliminates_redundant_scalar_loads() {
-        let (m, stats) = promote_src(
-            "fn main() { let x: int = 3; print(x + x * x); }",
-        );
+        let (m, stats) = promote_src("fn main() { let x: int = 3; print(x + x * x); }");
         assert!(stats.loads_eliminated >= 2, "x loaded once, reused");
         assert_eq!(run_module(&m), vec![12]);
     }
 
     #[test]
     fn coalesces_repeated_stores() {
-        let (m, stats) = promote_src(
-            "fn main() { let x: int = 1; x = 2; x = 3; print(x); }",
-        );
+        let (m, stats) = promote_src("fn main() { let x: int = 1; x = 2; x = 3; print(x); }");
         assert!(stats.stores_eliminated >= 2);
         assert_eq!(run_module(&m), vec![3]);
     }
@@ -478,9 +476,7 @@ mod tests {
 
     #[test]
     fn arrays_are_untouched() {
-        let (m, stats) = promote_src(
-            "global a: [int; 4]; fn main() { a[0] = 7; print(a[0]); }",
-        );
+        let (m, stats) = promote_src("global a: [int; 4]; fn main() { a[0] = 7; print(a[0]); }");
         let _ = stats;
         assert_eq!(run_module(&m), vec![7]);
         // The array store and load both remain.

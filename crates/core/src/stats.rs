@@ -66,18 +66,20 @@ pub fn static_ref_stats(program: &MachineProgram) -> StaticRefStats {
     for f in &program.funcs {
         for i in &f.code {
             match i {
-                MInstr::Load { tag, .. } => {
-                    s.record(tag.flavour, tag.unambiguous, false, 1)
-                }
-                MInstr::Store { tag, .. } => {
-                    s.record(tag.flavour, tag.unambiguous, true, 1)
-                }
-                MInstr::Enter { save_ra, tag, .. } => {
-                    s.record(tag.flavour, tag.unambiguous, true, 1 + usize::from(*save_ra))
-                }
-                MInstr::Leave { save_ra, tag, .. } => {
-                    s.record(tag.flavour, tag.unambiguous, false, 1 + usize::from(*save_ra))
-                }
+                MInstr::Load { tag, .. } => s.record(tag.flavour, tag.unambiguous, false, 1),
+                MInstr::Store { tag, .. } => s.record(tag.flavour, tag.unambiguous, true, 1),
+                MInstr::Enter { save_ra, tag, .. } => s.record(
+                    tag.flavour,
+                    tag.unambiguous,
+                    true,
+                    1 + usize::from(*save_ra),
+                ),
+                MInstr::Leave { save_ra, tag, .. } => s.record(
+                    tag.flavour,
+                    tag.unambiguous,
+                    false,
+                    1 + usize::from(*save_ra),
+                ),
                 _ => {}
             }
         }

@@ -77,10 +77,7 @@ pub fn lower(checked: &CheckedProgram) -> Result<Module, LowerError> {
 ///
 /// Returns an error if the program has no `main` function or `main` has
 /// parameters / returns a value.
-pub fn lower_with(
-    checked: &CheckedProgram,
-    options: &LowerOptions,
-) -> Result<Module, LowerError> {
+pub fn lower_with(checked: &CheckedProgram, options: &LowerOptions) -> Result<Module, LowerError> {
     let Some(main_idx) = checked.ast.funcs.iter().position(|f| f.name == "main") else {
         return Err(LowerError {
             message: "program has no `main` function".into(),
@@ -240,9 +237,7 @@ impl<'a> FuncLowerer<'a> {
                 }
                 self.scan_addr_taken(body);
             }
-            StmtKind::Return(Some(e)) | StmtKind::Print(e) | StmtKind::Expr(e) => {
-                self.scan_expr(e)
-            }
+            StmtKind::Return(Some(e)) | StmtKind::Print(e) | StmtKind::Expr(e) => self.scan_expr(e),
             StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
         }
     }
@@ -319,18 +314,15 @@ impl<'a> FuncLowerer<'a> {
                 // locals in declaration order; find the next unassigned one
                 // with this name. Because lowering walks in the same order,
                 // the first unbound matching index is correct.
-                let idx = self
-                    .checked
-                    .info
-                    .fn_locals[self.fn_index]
+                let idx = self.checked.info.fn_locals[self.fn_index]
                     .iter()
                     .enumerate()
                     .position(|(i, li)| li.name == *name && !self.locals.contains_key(&i))
                     .expect("checker recorded every local");
                 if !sem_ty.is_scalar() {
-                    let slot =
-                        self.b
-                            .slot(name.clone(), sem_ty.size_in_words(), SlotKind::Array);
+                    let slot = self
+                        .b
+                        .slot(name.clone(), sem_ty.size_in_words(), SlotKind::Array);
                     self.locals.insert(idx, VarPlace::Slot(slot));
                 } else if !self.promote || self.addr_taken_locals.contains(&idx) {
                     let slot = self.b.slot(name.clone(), 1, SlotKind::Scalar);
@@ -363,7 +355,11 @@ impl<'a> FuncLowerer<'a> {
                 let c = self.eval(cond);
                 let then_bb = self.b.block();
                 let join = self.b.block();
-                let else_bb = if else_blk.is_some() { self.b.block() } else { join };
+                let else_bb = if else_blk.is_some() {
+                    self.b.block()
+                } else {
+                    join
+                };
                 self.b.branch(c, then_bb, else_bb);
                 self.b.switch_to(then_bb);
                 self.lower_block(then_blk);
@@ -462,21 +458,19 @@ impl<'a> FuncLowerer<'a> {
 
     fn lower_assign(&mut self, target: &Expr, value: &Expr) {
         match &target.kind {
-            ExprKind::Var(_) => {
-                match self.var_place(target) {
-                    PlaceResolved::Reg(dst) => {
-                        let v = self.eval(value);
-                        self.b.copy_to(dst, v);
-                    }
-                    PlaceResolved::Mem(mem) => {
-                        let v = self.eval(value);
-                        self.b.store(v, mem);
-                    }
-                    PlaceResolved::ArrayBase(..) => {
-                        unreachable!("checker rejects assignment to arrays")
-                    }
+            ExprKind::Var(_) => match self.var_place(target) {
+                PlaceResolved::Reg(dst) => {
+                    let v = self.eval(value);
+                    self.b.copy_to(dst, v);
                 }
-            }
+                PlaceResolved::Mem(mem) => {
+                    let v = self.eval(value);
+                    self.b.store(v, mem);
+                }
+                PlaceResolved::ArrayBase(..) => {
+                    unreachable!("checker rejects assignment to arrays")
+                }
+            },
             ExprKind::Index(..) | ExprKind::Deref(_) => {
                 let addr = self.lower_addr(target);
                 let v = self.eval(value);
@@ -667,9 +661,7 @@ impl<'a> FuncLowerer<'a> {
             }
             VarTarget::Param(i) => match self.params[&i] {
                 VarPlace::Reg(v) => PlaceResolved::Reg(v),
-                VarPlace::Slot(s) => {
-                    PlaceResolved::Mem(MemRef::scalar(MemObject::Frame(s)))
-                }
+                VarPlace::Slot(s) => PlaceResolved::Mem(MemRef::scalar(MemObject::Frame(s))),
             },
             VarTarget::Local(i) => match self.locals[&i] {
                 VarPlace::Reg(v) => PlaceResolved::Reg(v),
@@ -743,10 +735,7 @@ mod tests {
     fn array_access_carries_elem_name() {
         let m = lower_src("global a: [int; 8]; fn main() { a[3] = 7; print(a[3]); }");
         let f = m.func(m.main);
-        let mems: Vec<_> = f
-            .instrs()
-            .filter_map(|(_, i)| i.mem().copied())
-            .collect();
+        let mems: Vec<_> = f.instrs().filter_map(|(_, i)| i.mem().copied()).collect();
         assert_eq!(mems.len(), 2);
         for mem in mems {
             assert!(matches!(
@@ -789,9 +778,7 @@ mod tests {
 
     #[test]
     fn addr_taken_local_moves_to_frame() {
-        let m = lower_src(
-            "fn main() { let x: int = 5; let p: *int = &x; *p = 6; print(x); }",
-        );
+        let m = lower_src("fn main() { let x: int = 5; let p: *int = &x; *p = 6; print(x); }");
         let f = m.func(m.main);
         assert_eq!(f.frame.len(), 1);
         assert_eq!(f.frame[0].kind, SlotKind::Scalar);
@@ -876,9 +863,7 @@ mod tests {
 
     #[test]
     fn call_result_discard_in_statement_position() {
-        let m = lower_src(
-            "fn f() -> int { return 1; } fn main() { f(); }",
-        );
+        let m = lower_src("fn f() -> int { return 1; } fn main() { f(); }");
         let f = m.func(m.main);
         let call = f
             .instrs()

@@ -22,7 +22,11 @@ pub struct VerifyError {
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ir verification failed in `{}`: {}", self.func, self.message)
+        write!(
+            f,
+            "ir verification failed in `{}`: {}",
+            self.func, self.message
+        )
     }
 }
 
@@ -152,9 +156,7 @@ pub fn verify_function(module: &Module, func: FuncId) -> Result<(), VerifyError>
                 if let Some(v) = v {
                     check_vreg(*v, &format!("{bid} terminator"))?;
                     if !f.returns_value {
-                        return Err(err(format!(
-                            "{bid}: value returned from void function"
-                        )));
+                        return Err(err(format!("{bid}: value returned from void function")));
                     }
                 } else if f.returns_value {
                     return Err(err(format!(
@@ -193,7 +195,9 @@ mod tests {
     #[test]
     fn rejects_unallocated_register() {
         let mut f = crate::func::Function::new("f", false);
-        f.block_mut(BlockId(0)).instrs.push(Instr::Print { src: VReg(99) });
+        f.block_mut(BlockId(0))
+            .instrs
+            .push(Instr::Print { src: VReg(99) });
         let e = verify_module(&module_with(f)).unwrap_err();
         assert!(e.message.contains("unallocated register"));
     }
@@ -249,7 +253,9 @@ mod tests {
 
         let mut f = crate::func::Function::new("f", false);
         let v = f.new_vreg();
-        f.block_mut(BlockId(0)).instrs.push(Instr::Const { dst: v, value: 0 });
+        f.block_mut(BlockId(0))
+            .instrs
+            .push(Instr::Const { dst: v, value: 0 });
         f.block_mut(BlockId(0)).term = Terminator::Return(Some(v));
         let e = verify_module(&module_with(f)).unwrap_err();
         assert!(e.message.contains("void function"));

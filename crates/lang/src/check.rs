@@ -403,7 +403,10 @@ impl Checker {
             ExprKind::IntLit(_) => Type::Int,
             ExprKind::Var(name) => {
                 let Some((target, ty)) = self.lookup(name) else {
-                    return Err(LangError::check(format!("unknown variable `{name}`"), e.span));
+                    return Err(LangError::check(
+                        format!("unknown variable `{name}`"),
+                        e.span,
+                    ));
                 };
                 self.info.var_refs.insert(e.id, target);
                 ty
@@ -515,7 +518,10 @@ impl Checker {
             unreachable!("check_call on non-call");
         };
         let Some(&callee) = self.funcs.get(name) else {
-            return Err(LangError::check(format!("unknown function `{name}`"), e.span));
+            return Err(LangError::check(
+                format!("unknown function `{name}`"),
+                e.span,
+            ));
         };
         let arity = self.sigs[callee].params.len();
         if args.len() != arity {
@@ -533,7 +539,10 @@ impl Checker {
             let pt = self.sigs[callee].params[i].clone();
             if !at.coerces_to(&pt) {
                 return Err(LangError::check(
-                    format!("argument {} of `{name}` has type {at}, expected {pt}", i + 1),
+                    format!(
+                        "argument {} of `{name}` has type {at}, expected {pt}",
+                        i + 1
+                    ),
                     arg.span,
                 ));
             }
@@ -592,10 +601,9 @@ mod tests {
 
     #[test]
     fn shadowing_allocates_fresh_slots() {
-        let p = check_src(
-            "fn main() { let x: int = 1; if x { let x: int = 2; print(x); } print(x); }",
-        )
-        .unwrap();
+        let p =
+            check_src("fn main() { let x: int = 1; if x { let x: int = 2; print(x); } print(x); }")
+                .unwrap();
         assert_eq!(p.info.fn_locals[0].len(), 2);
         assert_eq!(p.info.fn_locals[0][0].name, "x");
         assert_eq!(p.info.fn_locals[0][1].name, "x");
@@ -666,10 +674,7 @@ mod tests {
 
     #[test]
     fn indexing_rules() {
-        check_src(
-            "global m: [[int; 3]; 2]; fn main() { m[1][2] = 5; print(m[1][2]); }",
-        )
-        .unwrap();
+        check_src("global m: [[int; 3]; 2]; fn main() { m[1][2] = 5; print(m[1][2]); }").unwrap();
         // Indexing a scalar is an error.
         assert_check_err("fn main() { let x: int = 1; print(x[0]); }", "indexed");
         // Partial indexing yields an array, which is not assignable.

@@ -94,7 +94,10 @@ mod tests {
     fn render_reports_line_and_column() {
         let src = "fn main() {\n  ???\n}";
         let err = LangError::lex("unexpected character `?`", Span::new(14, 15));
-        assert_eq!(err.render(src), "lex error at 2:3: unexpected character `?`");
+        assert_eq!(
+            err.render(src),
+            "lex error at 2:3: unexpected character `?`"
+        );
     }
 
     #[test]

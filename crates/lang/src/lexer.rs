@@ -146,7 +146,8 @@ impl<'a> Lexer<'a> {
                     ));
                 }
             };
-            self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
+            self.tokens
+                .push(Token::new(kind, Span::new(start, self.pos)));
         }
     }
 
@@ -203,14 +204,12 @@ impl<'a> Lexer<'a> {
             }
         }
         let text = &self.src[start..self.pos];
-        text.parse::<i64>()
-            .map(TokenKind::Int)
-            .map_err(|_| {
-                LangError::lex(
-                    format!("integer literal `{text}` overflows i64"),
-                    Span::new(start, self.pos),
-                )
-            })
+        text.parse::<i64>().map(TokenKind::Int).map_err(|_| {
+            LangError::lex(
+                format!("integer literal `{text}` overflows i64"),
+                Span::new(start, self.pos),
+            )
+        })
     }
 
     fn lex_ident(&mut self, start: usize) -> TokenKind {

@@ -631,7 +631,10 @@ mod tests {
         assert_eq!(p.globals.len(), 3);
         assert_eq!(p.globals[0].init, Some(3));
         assert_eq!(p.globals[1].init, Some(-7));
-        assert_eq!(p.globals[2].ty, TypeExpr::Array(Box::new(TypeExpr::Int), 10));
+        assert_eq!(
+            p.globals[2].ty,
+            TypeExpr::Array(Box::new(TypeExpr::Int), 10)
+        );
     }
 
     #[test]
@@ -717,10 +720,7 @@ mod tests {
 
     #[test]
     fn parses_if_else_chain() {
-        let p = parse(
-            "fn main() { if a { } else if b { } else { } }",
-        )
-        .unwrap();
+        let p = parse("fn main() { if a { } else if b { } else { } }").unwrap();
         let StmtKind::If { else_blk, .. } = &p.funcs[0].body.stmts[0].kind else {
             panic!("expected if");
         };
@@ -779,9 +779,7 @@ mod tests {
         fn collect(e: &Expr, ids: &mut Vec<ExprId>) {
             ids.push(e.id);
             match &e.kind {
-                ExprKind::Unary(_, a) | ExprKind::Deref(a) | ExprKind::AddrOf(a) => {
-                    collect(a, ids)
-                }
+                ExprKind::Unary(_, a) | ExprKind::Deref(a) | ExprKind::AddrOf(a) => collect(a, ids),
                 ExprKind::Binary(_, a, b) | ExprKind::Index(a, b) => {
                     collect(a, ids);
                     collect(b, ids);

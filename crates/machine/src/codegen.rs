@@ -2,21 +2,65 @@
 //!
 //! Besides translating instructions 1:1, codegen synthesizes the memory
 //! traffic that real compiled code has and the paper's measurement depends
-//! on — all of it *unambiguous* by construction and routed per the unified
-//! model when `unified` is set:
+//! on — all of it *unambiguous* by construction and routed per [`SynthTags`]
+//! (`Unified` shown):
 //!
 //! * prologue/epilogue FP (and RA) saves — `AmSp_STORE` / `UmAm_LOAD`
 //! * caller-save spills of live registers around calls — same
 //! * argument passing through the stack — store `AmSp_STORE`, the callee's
 //!   parameter load `UmAm_LOAD` (the argument slot dies on first read, so
 //!   the unified cache drops it immediately)
+//!
+//! Every synthesized slot is written once and reloaded exactly once on any
+//! path before the frame dies, which is what makes the unconditional
+//! last-reference bit on [`CodegenConfig::spill_load_tag`] sound.
 
 use crate::isa::{Flavour, MAddr, MFunc, MInstr, MOperand, MachineProgram, MemTag, PReg};
 use std::collections::{BTreeSet, HashMap};
+use std::error::Error;
+use std::fmt;
 use ucm_analysis::Liveness;
 use ucm_ir::{
     Cfg, FuncId, Function, Instr, InstrRef, MemAddr, MemObject, Module, Operand, Terminator,
 };
+
+/// A malformed codegen input (an allocator or driver bug surfaced as a
+/// value instead of a panic, so batch tools can report and continue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// `assignments` does not have one vector per module function.
+    AssignmentCount {
+        /// Number of functions in the module.
+        funcs: usize,
+        /// Number of assignment vectors supplied.
+        assignments: usize,
+    },
+    /// A virtual register occurs in the code but has no physical register
+    /// (the function was not spill-rewritten for this assignment).
+    UnassignedRegister {
+        /// The register's display form (`v12`).
+        vreg: String,
+        /// The function it occurs in.
+        func: String,
+    },
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::AssignmentCount { funcs, assignments } => write!(
+                f,
+                "expected one assignment vector per function: {funcs} functions, \
+                 {assignments} assignments"
+            ),
+            CodegenError::UnassignedRegister { vreg, func } => {
+                write!(f, "{vreg} in `{func}` has no register")
+            }
+        }
+    }
+}
+
+impl Error for CodegenError {}
 
 /// Supplies the [`MemTag`] for each IR memory instruction (the unified pass
 /// in `ucm-core` implements this; tests can use [`PlainTagger`]).
@@ -36,14 +80,29 @@ impl MemTagger for PlainTagger {
     }
 }
 
+/// How synthesized references (saves, caller-save spills, argument
+/// passing) are tagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SynthTags {
+    /// Conventional baseline: everything `Plain`.
+    Plain,
+    /// The unified flavours: stores `AmSp_STORE`, reloads `UmAm_LOAD` with
+    /// the last-reference bit (each slot dies on its single reload).
+    #[default]
+    Unified,
+    /// Graceful degradation: through-cache ambiguous flavours, no bypass,
+    /// no last-reference bits — coherent no matter what the compiler's
+    /// analyses concluded.
+    Safe,
+}
+
 /// Code-generation options.
 #[derive(Debug, Clone, Copy)]
 pub struct CodegenConfig {
     /// Number of general-purpose registers (must match the allocation).
     pub num_regs: usize,
-    /// Whether synthesized references (saves, spills, argument passing) use
-    /// the unified flavours or stay `Plain`.
-    pub unified: bool,
+    /// Tagging regime for synthesized references.
+    pub synth: SynthTags,
     /// Base address of the global segment.
     pub globals_base: i64,
 }
@@ -52,7 +111,7 @@ impl Default for CodegenConfig {
     fn default() -> Self {
         CodegenConfig {
             num_regs: 16,
-            unified: true,
+            synth: SynthTags::Unified,
             globals_base: 0x1000,
         }
     }
@@ -61,10 +120,9 @@ impl Default for CodegenConfig {
 impl CodegenConfig {
     fn spill_store_tag(&self) -> MemTag {
         MemTag {
-            flavour: if self.unified {
-                Flavour::AmSpStore
-            } else {
-                Flavour::Plain
+            flavour: match self.synth {
+                SynthTags::Plain => Flavour::Plain,
+                SynthTags::Unified | SynthTags::Safe => Flavour::AmSpStore,
             },
             last_ref: false,
             unambiguous: true,
@@ -73,16 +131,51 @@ impl CodegenConfig {
 
     fn spill_load_tag(&self) -> MemTag {
         MemTag {
-            flavour: if self.unified {
-                Flavour::UmAmLoad
-            } else {
-                Flavour::Plain
+            flavour: match self.synth {
+                SynthTags::Plain => Flavour::Plain,
+                SynthTags::Unified => Flavour::UmAmLoad,
+                SynthTags::Safe => Flavour::AmLoad,
             },
-            // A spill/save/argument slot dies on reload (§4.2[3]).
-            last_ref: self.unified,
+            // A spill/save/argument slot dies on reload (§4.2[3]); safe
+            // mode forfeits the discard and lets the copy age out.
+            last_ref: self.synth == SynthTags::Unified,
             unambiguous: true,
         }
     }
+}
+
+/// Checks that every virtual register occurring in `func` has a physical
+/// register, so the generator can index assignments infallibly.
+fn validate_assignment(func: &Function, assignment: &[Option<u8>]) -> Result<(), CodegenError> {
+    let check = |v: ucm_ir::VReg| -> Result<(), CodegenError> {
+        if assignment.get(v.index()).copied().flatten().is_none() {
+            return Err(CodegenError::UnassignedRegister {
+                vreg: v.to_string(),
+                func: func.name.clone(),
+            });
+        }
+        Ok(())
+    };
+    for &p in &func.params {
+        check(p)?;
+    }
+    let mut uses = Vec::new();
+    for bid in func.block_ids() {
+        for instr in &func.block(bid).instrs {
+            if let Some(d) = instr.def() {
+                check(d)?;
+            }
+            uses.clear();
+            instr.uses_into(&mut uses);
+            for &u in &uses {
+                check(u)?;
+            }
+        }
+        for u in func.block(bid).term.uses() {
+            check(u)?;
+        }
+    }
+    Ok(())
 }
 
 /// Compiles `module` with the given per-function register assignments.
@@ -91,21 +184,26 @@ impl CodegenConfig {
 /// function `f` (functions must already be spill-rewritten so every
 /// occurring register is assigned).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if an occurring virtual register has no assignment — that is an
-/// allocator bug, not user input.
+/// Returns a [`CodegenError`] when the assignments don't line up with the
+/// module — one vector per function, one physical register per occurring
+/// virtual register.
 pub fn codegen(
     module: &Module,
     assignments: &[Vec<Option<u8>>],
     tagger: &dyn MemTagger,
     config: &CodegenConfig,
-) -> MachineProgram {
-    assert_eq!(
-        module.funcs.len(),
-        assignments.len(),
-        "one assignment vector per function"
-    );
+) -> Result<MachineProgram, CodegenError> {
+    if module.funcs.len() != assignments.len() {
+        return Err(CodegenError::AssignmentCount {
+            funcs: module.funcs.len(),
+            assignments: assignments.len(),
+        });
+    }
+    for fid in module.func_ids() {
+        validate_assignment(module.func(fid), &assignments[fid.index()])?;
+    }
     // Global addresses by prefix sum.
     let mut global_addr = Vec::with_capacity(module.globals.len());
     let mut next = config.globals_base;
@@ -135,13 +233,13 @@ pub fn codegen(
         code_base += mfunc.code.len() as i64;
         funcs.push(mfunc);
     }
-    MachineProgram {
+    Ok(MachineProgram {
         funcs,
         main: module.main.index(),
         num_regs: config.num_regs,
         globals_base: config.globals_base,
         globals_init,
-    }
+    })
 }
 
 struct FuncGen<'a> {
@@ -157,8 +255,8 @@ struct FuncGen<'a> {
 
 impl FuncGen<'_> {
     fn reg(&self, v: ucm_ir::VReg) -> PReg {
-        self.assignment[v.index()]
-            .unwrap_or_else(|| panic!("{} in `{}` has no register", v, self.func.name))
+        // Infallible: `validate_assignment` ran before generation started.
+        self.assignment[v.index()].expect("validated assignment")
     }
 
     /// FP-relative offset of the first word of frame slot `s`.
@@ -180,9 +278,7 @@ impl FuncGen<'_> {
 
     fn run(self) -> MFunc {
         let func = self.func;
-        let is_leaf = !func
-            .instrs()
-            .any(|(_, i)| matches!(i, Instr::Call { .. }));
+        let is_leaf = !func.instrs().any(|(_, i)| matches!(i, Instr::Call { .. }));
 
         // Caller-save planning: which physical registers are live across
         // each call, and one extra frame slot per such register.
@@ -350,10 +446,7 @@ impl FuncGen<'_> {
                 tag: self.tagger.tag_of(self.fid, iref),
             }),
             Instr::Call { dst, callee, args } => {
-                let saves = call_saves
-                    .get(&iref)
-                    .map(Vec::as_slice)
-                    .unwrap_or(&[]);
+                let saves = call_saves.get(&iref).map(Vec::as_slice).unwrap_or(&[]);
                 for &r in saves {
                     code.push(MInstr::Store {
                         src: r,
@@ -400,7 +493,7 @@ mod tests {
     use ucm_lang::parse_and_check;
     use ucm_regalloc::{allocate, Strategy};
 
-    fn compile(src: &str, k: usize, unified: bool) -> MachineProgram {
+    fn compile(src: &str, k: usize, synth: SynthTags) -> MachineProgram {
         let module = lower(&parse_and_check(src).unwrap()).unwrap();
         let mut allocated = Module {
             globals: module.globals.clone(),
@@ -419,10 +512,11 @@ mod tests {
             &PlainTagger,
             &CodegenConfig {
                 num_regs: k,
-                unified,
+                synth,
                 globals_base: 0x1000,
             },
         )
+        .unwrap()
     }
 
     use ucm_ir::Module;
@@ -432,7 +526,7 @@ mod tests {
         let p = compile(
             "global x: int = 5; global a: [int; 3]; global y: int = -1; fn main() { }",
             8,
-            true,
+            SynthTags::Unified,
         );
         assert_eq!(p.globals_init, vec![5, 0, 0, 0, -1]);
     }
@@ -442,16 +536,13 @@ mod tests {
         let p = compile(
             "fn leaf(x: int) -> int { return x + 1; } fn main() { print(leaf(1)); }",
             8,
-            true,
+            SynthTags::Unified,
         );
         let leaf = p.funcs.iter().find(|f| f.name == "leaf").unwrap();
         let main = p.funcs.iter().find(|f| f.name == "main").unwrap();
         assert!(leaf.is_leaf);
         assert!(!main.is_leaf);
-        assert!(matches!(
-            leaf.code[0],
-            MInstr::Enter { save_ra: false, .. }
-        ));
+        assert!(matches!(leaf.code[0], MInstr::Enter { save_ra: false, .. }));
         assert!(matches!(main.code[0], MInstr::Enter { save_ra: true, .. }));
     }
 
@@ -460,22 +551,36 @@ mod tests {
         let p = compile(
             "fn f(a: int, b: int) { print(a + b); } fn main() { f(1, 2); }",
             8,
-            true,
+            SynthTags::Unified,
         );
         let main = p.funcs.iter().find(|f| f.name == "main").unwrap();
         let arg_stores: Vec<&MInstr> = main
             .code
             .iter()
-            .filter(|i| matches!(i, MInstr::Store { addr: MAddr::SpOff(_), .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    MInstr::Store {
+                        addr: MAddr::SpOff(_),
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(arg_stores.len(), 2);
         assert!(matches!(
             arg_stores[0],
-            MInstr::Store { addr: MAddr::SpOff(-2), .. }
+            MInstr::Store {
+                addr: MAddr::SpOff(-2),
+                ..
+            }
         ));
         assert!(matches!(
             arg_stores[1],
-            MInstr::Store { addr: MAddr::SpOff(-1), .. }
+            MInstr::Store {
+                addr: MAddr::SpOff(-1),
+                ..
+            }
         ));
     }
 
@@ -484,16 +589,22 @@ mod tests {
         let p = compile(
             "fn f(a: int, b: int) { print(a + b); } fn main() { f(1, 2); }",
             8,
-            true,
+            SynthTags::Unified,
         );
         let f = p.funcs.iter().find(|f| f.name == "f").unwrap();
         assert!(matches!(
             f.code[1],
-            MInstr::Load { addr: MAddr::FpOff(0), .. }
+            MInstr::Load {
+                addr: MAddr::FpOff(0),
+                ..
+            }
         ));
         assert!(matches!(
             f.code[2],
-            MInstr::Load { addr: MAddr::FpOff(1), .. }
+            MInstr::Load {
+                addr: MAddr::FpOff(1),
+                ..
+            }
         ));
     }
 
@@ -502,7 +613,7 @@ mod tests {
         let p = compile(
             "fn f(a: int) -> int { return a; } fn main() { print(f(1)); }",
             8,
-            true,
+            SynthTags::Unified,
         );
         let f = p.funcs.iter().find(|f| f.name == "f").unwrap();
         let MInstr::Load { tag, .. } = &f.code[1] else {
@@ -515,7 +626,15 @@ mod tests {
         let arg_store = main
             .code
             .iter()
-            .find(|i| matches!(i, MInstr::Store { addr: MAddr::SpOff(_), .. }))
+            .find(|i| {
+                matches!(
+                    i,
+                    MInstr::Store {
+                        addr: MAddr::SpOff(_),
+                        ..
+                    }
+                )
+            })
             .unwrap();
         let MInstr::Store { tag, .. } = arg_store else {
             unreachable!()
@@ -528,7 +647,7 @@ mod tests {
         let p = compile(
             "fn f(a: int) -> int { return a; } fn main() { print(f(1)); }",
             8,
-            false,
+            SynthTags::Plain,
         );
         for f in &p.funcs {
             for i in &f.code {
@@ -546,7 +665,7 @@ mod tests {
             "fn f() -> int { return 1; } \
              fn main() { let x: int = 10; let y: int = f(); print(x + y); }",
             8,
-            true,
+            SynthTags::Unified,
         );
         let main = p.funcs.iter().find(|f| f.name == "main").unwrap();
         // x is live across the call: expect a caller-save store at a
@@ -556,12 +675,12 @@ mod tests {
             .iter()
             .position(|i| matches!(i, MInstr::Call { .. }))
             .unwrap();
-        let has_save_before = main.code[..call_at].iter().any(|i| {
-            matches!(i, MInstr::Store { addr: MAddr::FpOff(o), .. } if *o < 0)
-        });
-        let has_reload_after = main.code[call_at..].iter().any(|i| {
-            matches!(i, MInstr::Load { addr: MAddr::FpOff(o), .. } if *o < 0)
-        });
+        let has_save_before = main.code[..call_at]
+            .iter()
+            .any(|i| matches!(i, MInstr::Store { addr: MAddr::FpOff(o), .. } if *o < 0));
+        let has_reload_after = main.code[call_at..]
+            .iter()
+            .any(|i| matches!(i, MInstr::Load { addr: MAddr::FpOff(o), .. } if *o < 0));
         assert!(has_save_before);
         assert!(has_reload_after);
     }
@@ -571,7 +690,7 @@ mod tests {
         let p = compile(
             "fn main() { let i: int = 0; while i < 3 { i = i + 1; } print(i); }",
             8,
-            true,
+            SynthTags::Unified,
         );
         let main = p.funcs.iter().find(|f| f.name == "main").unwrap();
         for instr in &main.code {
@@ -586,7 +705,11 @@ mod tests {
 
     #[test]
     fn code_bases_are_disjoint() {
-        let p = compile("fn f() {} fn g() {} fn main() { f(); g(); }", 8, true);
+        let p = compile(
+            "fn f() {} fn g() {} fn main() { f(); g(); }",
+            8,
+            SynthTags::Unified,
+        );
         let mut spans: Vec<(i64, i64)> = p
             .funcs
             .iter()
@@ -595,6 +718,112 @@ mod tests {
         spans.sort();
         for w in spans.windows(2) {
             assert!(w[0].1 <= w[1].0, "code regions overlap: {spans:?}");
+        }
+    }
+
+    /// Every tag a function's synthesized traffic carries, in order.
+    fn synth_tags(p: &MachineProgram) -> Vec<MemTag> {
+        p.funcs
+            .iter()
+            .flat_map(|f| &f.code)
+            .filter_map(|i| match i {
+                MInstr::Enter { tag, .. } | MInstr::Leave { tag, .. } => Some(*tag),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn safe_synth_never_bypasses_or_discards() {
+        let p = compile(
+            "fn add(a: int, b: int) -> int { return a + b; } \
+             fn main() { print(add(add(1, 2), 3)); }",
+            8,
+            SynthTags::Safe,
+        );
+        let tags = synth_tags(&p);
+        assert!(!tags.is_empty());
+        for t in tags {
+            assert!(!t.flavour.bypass_bit(), "Safe must not bypass: {t:?}");
+            assert!(!t.last_ref, "Safe must not discard: {t:?}");
+            assert!(t.unambiguous, "frame saves stay classified unambiguous");
+        }
+        // Spill/argument traffic follows the same rule.
+        for f in &p.funcs {
+            for i in &f.code {
+                if let MInstr::Load { tag, .. } | MInstr::Store { tag, .. } = i {
+                    assert!(!tag.flavour.bypass_bit(), "Safe must not bypass: {tag:?}");
+                    assert!(!tag.last_ref, "Safe must not discard: {tag:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unified_synth_reloads_take_and_invalidate() {
+        let p = compile(
+            "fn add(a: int, b: int) -> int { return a + b; } \
+             fn main() { print(add(1, 2)); }",
+            8,
+            SynthTags::Unified,
+        );
+        let leaves: Vec<MemTag> = p
+            .funcs
+            .iter()
+            .flat_map(|f| &f.code)
+            .filter_map(|i| match i {
+                MInstr::Leave { tag, .. } => Some(*tag),
+                _ => None,
+            })
+            .collect();
+        assert!(!leaves.is_empty());
+        for t in leaves {
+            assert_eq!(t.flavour, Flavour::UmAmLoad);
+            assert!(t.last_ref);
+        }
+    }
+
+    #[test]
+    fn mismatched_assignment_count_is_an_error() {
+        let module = lower(&parse_and_check("fn main() { print(1); }").unwrap()).unwrap();
+        let err = codegen(&module, &[], &PlainTagger, &CodegenConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            CodegenError::AssignmentCount {
+                funcs: 1,
+                assignments: 0
+            }
+        ));
+        assert!(err.to_string().contains("1 function"));
+    }
+
+    #[test]
+    fn unassigned_register_is_an_error() {
+        let src = "fn main() { let a: int = 2; print(a * 3); }";
+        let module = lower(&parse_and_check(src).unwrap()).unwrap();
+        let mut allocated = Module {
+            globals: module.globals.clone(),
+            funcs: Vec::new(),
+            main: module.main,
+        };
+        let mut assignments = Vec::new();
+        for f in &module.funcs {
+            let a = allocate(f.clone(), 8, Strategy::Coloring).unwrap();
+            allocated.funcs.push(a.func);
+            // Erase every assignment: the first occurring vreg must be
+            // reported instead of panicking mid-generation.
+            assignments.push(vec![None; a.assignment.len()]);
+        }
+        let err = codegen(
+            &allocated,
+            &assignments,
+            &PlainTagger,
+            &CodegenConfig::default(),
+        )
+        .unwrap_err();
+        match err {
+            CodegenError::UnassignedRegister { ref func, .. } => assert_eq!(func, "main"),
+            other => panic!("expected UnassignedRegister, got {other:?}"),
         }
     }
 }

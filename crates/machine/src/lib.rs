@@ -30,7 +30,7 @@
 //!     &[alloc.assignment],
 //!     &PlainTagger,
 //!     &CodegenConfig { num_regs: 8, ..CodegenConfig::default() },
-//! );
+//! )?;
 //! let outcome = run(&program, &mut NullSink, &VmConfig::default())?;
 //! assert_eq!(outcome.output, vec![42]);
 //! # Ok(())
@@ -43,7 +43,7 @@ pub mod isa;
 pub mod trace;
 pub mod vm;
 
-pub use codegen::{codegen, CodegenConfig, MemTagger, PlainTagger};
+pub use codegen::{codegen, CodegenConfig, CodegenError, MemTagger, PlainTagger, SynthTags};
 pub use isa::{Flavour, MAddr, MFunc, MInstr, MOperand, MachineProgram, MemTag, PReg};
 pub use trace::{CountSink, MemEvent, NullSink, TeeSink, TraceSink, VecSink};
 pub use vm::{run, VmConfig, VmError, VmOutcome};

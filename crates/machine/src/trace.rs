@@ -22,6 +22,30 @@ pub trait TraceSink {
     /// Called for every data load/store, in execution order.
     fn data_ref(&mut self, ev: MemEvent);
 
+    /// Called for every data load/store, carrying the VM's ground truth:
+    /// the value moved (the loaded word for reads, the stored word for
+    /// writes) and the machine-code address of the referencing instruction.
+    ///
+    /// The VM calls only this method; the default forwards to [`data_ref`],
+    /// so plain statistics sinks need not care. Coherence-checking sinks
+    /// override it to cross-validate a modelled memory system against the
+    /// flat-memory truth.
+    ///
+    /// [`data_ref`]: TraceSink::data_ref
+    fn data_ref_checked(&mut self, ev: MemEvent, value: i64, pc: i64) {
+        let _ = (value, pc);
+        self.data_ref(ev);
+    }
+
+    /// Called when a stack frame dies (`Leave`), with the word-address
+    /// range `[lo, hi)` the frame occupied: its slots, the saved FP/RA
+    /// words, and the incoming argument slots. Everything in the range is
+    /// provably dead — a modelling sink may discard cached copies without
+    /// writing them back. The default ignores it.
+    fn frame_exit(&mut self, lo: i64, hi: i64) {
+        let _ = (lo, hi);
+    }
+
     /// Called for every instruction fetch when fetch tracing is enabled.
     fn instr_fetch(&mut self, addr: i64) {
         let _ = addr;
@@ -149,6 +173,16 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<'_, A, B> {
         self.b.data_ref(ev);
     }
 
+    fn data_ref_checked(&mut self, ev: MemEvent, value: i64, pc: i64) {
+        self.a.data_ref_checked(ev, value, pc);
+        self.b.data_ref_checked(ev, value, pc);
+    }
+
+    fn frame_exit(&mut self, lo: i64, hi: i64) {
+        self.a.frame_exit(lo, hi);
+        self.b.frame_exit(lo, hi);
+    }
+
     fn instr_fetch(&mut self, addr: i64) {
         self.a.instr_fetch(addr);
         self.b.instr_fetch(addr);
@@ -192,6 +226,37 @@ mod tests {
         let s = CountSink::default();
         assert_eq!(s.unambiguous_fraction(), 0.0);
         assert_eq!(s.bypass_fraction(), 0.0);
+    }
+
+    #[test]
+    fn checked_refs_default_to_plain_data_refs() {
+        let mut s = CountSink::default();
+        s.data_ref_checked(ev(false, Flavour::Plain, false), 42, 0x100);
+        s.frame_exit(10, 20); // default: ignored
+        assert_eq!(s.reads, 1);
+    }
+
+    #[test]
+    fn tee_forwards_checked_refs_and_frame_exits() {
+        struct Recorder(Vec<(i64, i64)>);
+        impl TraceSink for Recorder {
+            fn data_ref(&mut self, _ev: MemEvent) {}
+            fn frame_exit(&mut self, lo: i64, hi: i64) {
+                self.0.push((lo, hi));
+            }
+        }
+        let mut a = CountSink::default();
+        let mut b = Recorder(Vec::new());
+        {
+            let mut tee = TeeSink {
+                a: &mut a,
+                b: &mut b,
+            };
+            tee.data_ref_checked(ev(true, Flavour::UmAmStore, true), 5, 0x200);
+            tee.frame_exit(96, 104);
+        }
+        assert_eq!(a.writes, 1);
+        assert_eq!(b.0, vec![(96, 104)]);
     }
 
     #[test]

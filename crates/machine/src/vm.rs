@@ -99,6 +99,7 @@ pub fn run(
         steps: 0,
         data_refs: 0,
         globals_end: program.globals_base + program.globals_init.len() as i64,
+        cur_pc: 0,
     }
     .run()
 }
@@ -116,6 +117,9 @@ struct Vm<'a> {
     steps: u64,
     data_refs: u64,
     globals_end: i64,
+    /// Machine-code address of the instruction being executed, passed to
+    /// the sink so coherence reports can name the offending site.
+    cur_pc: i64,
 }
 
 impl Vm<'_> {
@@ -133,12 +137,17 @@ impl Vm<'_> {
             return Err(VmError::OutOfBounds { addr });
         }
         self.data_refs += 1;
-        self.sink.data_ref(MemEvent {
-            addr,
-            is_write: false,
-            tag,
-        });
-        Ok(self.mem[addr as usize])
+        let value = self.mem[addr as usize];
+        self.sink.data_ref_checked(
+            MemEvent {
+                addr,
+                is_write: false,
+                tag,
+            },
+            value,
+            self.cur_pc,
+        );
+        Ok(value)
     }
 
     fn write(&mut self, addr: i64, value: i64, tag: crate::isa::MemTag) -> Result<(), VmError> {
@@ -146,20 +155,28 @@ impl Vm<'_> {
             return Err(VmError::OutOfBounds { addr });
         }
         self.data_refs += 1;
-        self.sink.data_ref(MemEvent {
-            addr,
-            is_write: true,
-            tag,
-        });
+        self.sink.data_ref_checked(
+            MemEvent {
+                addr,
+                is_write: true,
+                tag,
+            },
+            value,
+            self.cur_pc,
+        );
         self.mem[addr as usize] = value;
         Ok(())
     }
 
     fn run(mut self) -> Result<VmOutcome, VmError> {
-        // Global image.
+        // Global image. The segment must fit inside configured memory
+        // (`--mem-words` can be arbitrarily small).
         let base = self.program.globals_base as usize;
-        self.mem[base..base + self.program.globals_init.len()]
-            .copy_from_slice(&self.program.globals_init);
+        let end = base + self.program.globals_init.len();
+        if end > self.mem.len() {
+            return Err(VmError::OutOfBounds { addr: end as i64 });
+        }
+        self.mem[base..end].copy_from_slice(&self.program.globals_init);
         // Initial stack.
         self.sp = self.config.mem_words as i64 - 8;
         self.fp = self.sp;
@@ -175,16 +192,15 @@ impl Vm<'_> {
                 return Err(VmError::StepLimit);
             }
             let mf = &self.program.funcs[func];
+            self.cur_pc = mf.code_base + pc as i64;
             if self.config.trace_fetches {
-                self.sink.instr_fetch(mf.code_base + pc as i64);
+                self.sink.instr_fetch(self.cur_pc);
             }
             let instr = &mf.code[pc];
             pc += 1;
             match instr {
                 MInstr::LoadImm { dst, value } => self.regs[*dst as usize] = *value,
-                MInstr::Move { dst, src } => {
-                    self.regs[*dst as usize] = self.regs[*src as usize]
-                }
+                MInstr::Move { dst, src } => self.regs[*dst as usize] = self.regs[*src as usize],
                 MInstr::Op { op, dst, lhs, rhs } => {
                     let a = self.regs[*lhs as usize];
                     let b = match rhs {
@@ -244,6 +260,11 @@ impl Vm<'_> {
                         let _ra = self.read(self.fp - 2, *tag)?;
                     }
                     let old_fp = self.read(self.fp - 1, *tag)?;
+                    // The dying frame — slots, saved FP/RA, argument
+                    // words — can never be read again; let modelling
+                    // sinks discard cached copies without write-back.
+                    self.sink
+                        .frame_exit(self.fp - 2 - mf.frame_words as i64, self.fp + *nargs as i64);
                     self.sp = self.fp + *nargs as i64;
                     self.fp = old_fp;
                 }
@@ -282,7 +303,7 @@ impl Vm<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codegen::{codegen, CodegenConfig, PlainTagger};
+    use crate::codegen::{codegen, CodegenConfig, PlainTagger, SynthTags};
     use crate::trace::{CountSink, NullSink, VecSink};
     use ucm_ir::{lower, Module};
     use ucm_lang::parse_and_check;
@@ -307,25 +328,26 @@ mod tests {
             &PlainTagger,
             &CodegenConfig {
                 num_regs: k,
-                unified: true,
+                synth: SynthTags::Unified,
                 globals_base: 0x1000,
             },
         )
+        .unwrap()
     }
 
     fn exec(src: &str, k: usize) -> Vec<i64> {
         let p = compile(src, k);
-        run(&p, &mut NullSink, &VmConfig::default())
-            .unwrap()
-            .output
+        run(&p, &mut NullSink, &VmConfig::default()).unwrap().output
     }
 
     #[test]
     fn arithmetic_and_print() {
         assert_eq!(exec("fn main() { print(2 + 3 * 4); }", 8), vec![14]);
         assert_eq!(exec("fn main() { print(-(7 / 2)); }", 8), vec![-3]);
-        assert_eq!(exec("fn main() { print(7 % 3); print(!5); print(!0); }", 8),
-                   vec![1, 0, 1]);
+        assert_eq!(
+            exec("fn main() { print(7 % 3); print(!5); print(!0); }", 8),
+            vec![1, 0, 1]
+        );
     }
 
     #[test]
@@ -482,6 +504,23 @@ mod tests {
     }
 
     #[test]
+    fn undersized_memory_traps_instead_of_panicking() {
+        // `--mem-words` can shrink memory below the global segment; the
+        // image copy must become a trap, not a slice panic.
+        let p = compile("global a: [int; 4]; fn main() { print(a[0]); }", 8);
+        let err = run(
+            &p,
+            &mut NullSink,
+            &VmConfig {
+                mem_words: 10,
+                ..VmConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, VmError::OutOfBounds { .. }));
+    }
+
+    #[test]
     fn out_of_bounds_access_traps() {
         let p = compile(
             "global a: [int; 4]; fn main() { let p: *int = a; p[-90000] = 1; }",
@@ -521,7 +560,10 @@ mod tests {
         // At minimum: main FP+RA saves/loads, arg store, param load,
         // f's FP save/load.
         assert!(sink.total() >= 8, "saw only {} refs", sink.total());
-        assert!(sink.unambiguous == sink.total(), "all synthesized traffic is unambiguous");
+        assert!(
+            sink.unambiguous == sink.total(),
+            "all synthesized traffic is unambiguous"
+        );
     }
 
     #[test]

@@ -239,8 +239,7 @@ mod tests {
 
     #[test]
     fn too_few_registers_is_an_error() {
-        let (_, f) =
-            lower_main("fn main() { let a: int = 1; let b: int = 2; print(a + b); }");
+        let (_, f) = lower_main("fn main() { let a: int = 1; let b: int = 2; print(a + b); }");
         let err = allocate(f, 1, Strategy::Coloring).unwrap_err();
         assert!(err.to_string().contains("1 registers"));
     }

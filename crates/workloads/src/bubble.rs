@@ -79,11 +79,7 @@ pub fn expected(n: usize) -> Vec<i64> {
     let mut seed = SEED;
     let mut a: Vec<i64> = (0..n).map(|_| lcg_next(&mut seed)).collect();
     a.sort_unstable();
-    let sum: i64 = a
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| v * (i as i64 + 1))
-        .sum();
+    let sum: i64 = a.iter().enumerate().map(|(i, &v)| v * (i as i64 + 1)).sum();
     vec![a[0], a[n - 1], sum, 1]
 }
 

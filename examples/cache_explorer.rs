@@ -49,9 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     cfg,
                     &VmConfig::default(),
                 )?;
-                let hit = |m: &ucm::core::evaluate::RunMeasurement| {
-                    100.0 * (1.0 - m.cache.miss_rate())
-                };
+                let hit =
+                    |m: &ucm::core::evaluate::RunMeasurement| 100.0 * (1.0 - m.cache.miss_rate());
                 println!(
                     "{size:>6} {ways:>5} {policy:>9} | {:>9.1} {:>12} | {:>9.1} {:>12}",
                     hit(&cmp.conventional),

@@ -44,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("program output        : {:?}", cmp.unified.outcome.output);
-    println!(
-        "data references       : {}",
-        cmp.unified.counts.total()
-    );
+    println!("data references       : {}", cmp.unified.counts.total());
     println!(
         "static unambiguous    : {:.1}%",
         cmp.static_unambiguous_pct()
@@ -60,10 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "cache refs, conv      : {}",
         cmp.conventional.cache.cache_refs()
     );
-    println!(
-        "cache refs, unified   : {}",
-        cmp.unified.cache.cache_refs()
-    );
+    println!("cache refs, unified   : {}", cmp.unified.cache.cache_refs());
     println!(
         "cache-ref reduction   : {:.1}%  (the paper's Figure-5 quantity)",
         cmp.cache_ref_reduction_pct()

@@ -1,41 +1,39 @@
 //! Property-based tests of the cache simulator's invariants, driven by
-//! random reference streams.
+//! random reference streams — and of the data-carrying functional cache
+//! against the coherence oracle.
 
 use proptest::prelude::*;
-use ucm::cache::{simulate_min, CacheConfig, CacheSim, PolicyKind, WritePolicy};
-use ucm::machine::{Flavour, MemEvent, MemTag};
+use std::collections::HashMap;
+use ucm::cache::{
+    simulate_min, CacheConfig, CacheSim, CoherenceOracle, FunctionalCache, PolicyKind, WritePolicy,
+};
+use ucm::machine::{Flavour, MemEvent, MemTag, TraceSink};
 
 fn arb_event() -> impl Strategy<Value = MemEvent> {
-    (
-        0i64..96,
-        any::<bool>(),
-        0u8..5,
-        any::<bool>(),
-    )
-        .prop_map(|(addr, want_write, f, last_ref)| {
-            let flavour = match f {
-                0 => Flavour::Plain,
-                1 => Flavour::AmLoad,
-                2 => Flavour::AmSpStore,
-                3 => Flavour::UmAmLoad,
-                _ => Flavour::UmAmStore,
-            };
-            // Flavours imply a direction; Plain keeps the random one.
-            let is_write = match flavour {
-                Flavour::AmLoad | Flavour::UmAmLoad => false,
-                Flavour::AmSpStore | Flavour::UmAmStore => true,
-                Flavour::Plain => want_write,
-            };
-            MemEvent {
-                addr,
-                is_write,
-                tag: MemTag {
-                    flavour,
-                    last_ref,
-                    unambiguous: flavour.bypass_bit(),
-                },
-            }
-        })
+    (0i64..96, any::<bool>(), 0u8..5, any::<bool>()).prop_map(|(addr, want_write, f, last_ref)| {
+        let flavour = match f {
+            0 => Flavour::Plain,
+            1 => Flavour::AmLoad,
+            2 => Flavour::AmSpStore,
+            3 => Flavour::UmAmLoad,
+            _ => Flavour::UmAmStore,
+        };
+        // Flavours imply a direction; Plain keeps the random one.
+        let is_write = match flavour {
+            Flavour::AmLoad | Flavour::UmAmLoad => false,
+            Flavour::AmSpStore | Flavour::UmAmStore => true,
+            Flavour::Plain => want_write,
+        };
+        MemEvent {
+            addr,
+            is_write,
+            tag: MemTag {
+                flavour,
+                last_ref,
+                unambiguous: flavour.bypass_bit(),
+            },
+        }
+    })
 }
 
 fn arb_config() -> impl Strategy<Value = CacheConfig> {
@@ -51,16 +49,43 @@ fn arb_config() -> impl Strategy<Value = CacheConfig> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(size, ways, policy, honor_tags, honor_last_ref)| CacheConfig {
-            size_words: size,
-            line_words: 1,
-            associativity: ways,
-            policy,
-            write_policy: WritePolicy::WriteBackAllocate,
-            honor_tags,
-            honor_last_ref,
-            seed: 12345,
-        })
+        .prop_map(
+            |(size, ways, policy, honor_tags, honor_last_ref)| CacheConfig {
+                size_words: size,
+                line_words: 1,
+                associativity: ways,
+                policy,
+                write_policy: WritePolicy::WriteBackAllocate,
+                honor_tags,
+                honor_last_ref,
+                seed: 12345,
+            },
+        )
+}
+
+/// Reference shapes a Safe-mode compiler emits: every reference ambiguous
+/// (`Am_LOAD`/`AmSp_STORE`), never a bypass, never a last-reference bit.
+/// Paired with the value a store would write.
+fn arb_safe_event() -> impl Strategy<Value = (MemEvent, i64)> {
+    (0i64..96, any::<bool>(), -1000i64..1000).prop_map(|(addr, is_write, value)| {
+        let flavour = if is_write {
+            Flavour::AmSpStore
+        } else {
+            Flavour::AmLoad
+        };
+        (
+            MemEvent {
+                addr,
+                is_write,
+                tag: MemTag {
+                    flavour,
+                    last_ref: false,
+                    unambiguous: false,
+                },
+            },
+            value,
+        )
+    })
 }
 
 proptest! {
@@ -179,6 +204,111 @@ proptest! {
                 sim.access(*ev);
             }
             prop_assert_eq!(sim.stats().bypass_writes, expected);
+        }
+    }
+
+    /// The data-carrying functional cache never holds more valid lines than
+    /// its capacity, on arbitrary (even adversarially tagged) streams.
+    #[test]
+    fn functional_occupancy_bounded_by_capacity(
+        events in prop::collection::vec(arb_event(), 1..400),
+        config in arb_config(),
+    ) {
+        let mut fc = FunctionalCache::new(config);
+        for (i, ev) in events.iter().enumerate() {
+            fc.access(*ev, i as i64);
+        }
+        prop_assert!(fc.occupancy() <= config.num_lines());
+    }
+
+    /// Safe-mode-shaped traces are coherent under the oracle for every
+    /// cache geometry and policy: with no bypasses and no discards the
+    /// functional cache degenerates to a plain write-back cache, which
+    /// cannot serve a stale word.
+    #[test]
+    fn safe_mode_traces_are_coherent(
+        events in prop::collection::vec(arb_safe_event(), 1..400),
+        config in arb_config(),
+    ) {
+        let config = CacheConfig { honor_tags: true, honor_last_ref: true, ..config };
+        let mut oracle = CoherenceOracle::new(config);
+        // Architectural ground truth, mirroring what the VM's flat memory
+        // would hold (absent words read as zero).
+        let mut mem: HashMap<i64, i64> = HashMap::new();
+        for (i, (ev, value)) in events.iter().enumerate() {
+            let truth = if ev.is_write {
+                mem.insert(ev.addr, *value);
+                *value
+            } else {
+                *mem.get(&ev.addr).unwrap_or(&0)
+            };
+            oracle.data_ref_checked(*ev, truth, i as i64);
+        }
+        prop_assert!(
+            oracle.is_coherent(),
+            "first violation: {:?}",
+            oracle.first_violation()
+        );
+    }
+
+    /// On streams without bypass writes, the data-carrying cache and the
+    /// statistics-only simulator account identically — the only behavioural
+    /// difference between the two models is `UmAm_STORE` (the simulator
+    /// probes defensively; the functional cache trusts the compiler).
+    #[test]
+    fn functional_stats_match_simulator_without_bypass_stores(
+        events in prop::collection::vec(arb_event(), 1..300),
+        config in arb_config(),
+    ) {
+        let events: Vec<MemEvent> = events
+            .into_iter()
+            .map(|ev| {
+                if ev.tag.flavour == Flavour::UmAmStore {
+                    MemEvent {
+                        tag: MemTag { flavour: Flavour::AmSpStore, ..ev.tag },
+                        ..ev
+                    }
+                } else {
+                    ev
+                }
+            })
+            .collect();
+        let mut sim = CacheSim::new(config);
+        let mut fc = FunctionalCache::new(config);
+        for (i, ev) in events.iter().enumerate() {
+            sim.access(*ev);
+            fc.access(*ev, i as i64);
+        }
+        prop_assert_eq!(*sim.stats(), *fc.stats());
+    }
+
+    /// Values round-trip: a cached (non-bypass, non-last-ref) store followed
+    /// by probes must find the stored word via `peek`.
+    #[test]
+    fn stored_values_are_readable_back(
+        stores in prop::collection::vec((0i64..64, -1000i64..1000), 1..100),
+    ) {
+        let mut fc = FunctionalCache::new(CacheConfig::default());
+        let mut shadow: HashMap<i64, i64> = HashMap::new();
+        for (addr, value) in &stores {
+            fc.access(
+                MemEvent {
+                    addr: *addr,
+                    is_write: true,
+                    tag: MemTag {
+                        flavour: Flavour::AmSpStore,
+                        last_ref: false,
+                        unambiguous: false,
+                    },
+                },
+                *value,
+            );
+            shadow.insert(*addr, *value);
+        }
+        for (addr, value) in &shadow {
+            if fc.contains(*addr) {
+                prop_assert_eq!(fc.peek(*addr), *value);
+            }
         }
     }
 }

@@ -1,0 +1,88 @@
+//! The tentpole acceptance check at test speed: every workload, in every
+//! management mode, executes coherently under the oracle-checked functional
+//! cache — and the program output still matches the native reference.
+//!
+//! Runs the reduced-size suite so debug builds stay fast; the CI smoke run
+//! (`ucmc check` on the paper-size inputs, release build) covers the full
+//! sizes.
+
+use ucm::cache::CacheConfig;
+use ucm::core::check::run_with_oracle;
+use ucm::core::pipeline::{compile, CompilerOptions};
+use ucm::core::ManagementMode;
+use ucm::machine::VmConfig;
+use ucm::workloads::quick_suite;
+
+const MODES: [ManagementMode; 3] = [
+    ManagementMode::Unified,
+    ManagementMode::Conventional,
+    ManagementMode::Safe,
+];
+
+fn assert_suite_coherent(base: CompilerOptions) {
+    for mode in MODES {
+        for w in quick_suite() {
+            let compiled = compile(&w.source, &CompilerOptions { mode, ..base })
+                .unwrap_or_else(|e| panic!("{} ({mode}): {e}", w.name));
+            let r = run_with_oracle(&compiled, CacheConfig::default(), &VmConfig::default())
+                .unwrap_or_else(|e| panic!("{} ({mode}): {e}", w.name));
+            assert!(
+                r.is_coherent(),
+                "{} ({mode}): {} violations, first: {:?}",
+                w.name,
+                r.violations,
+                r.first
+            );
+            assert_eq!(
+                r.outcome.output, w.expected,
+                "{} ({mode}): output diverged from the native reference",
+                w.name
+            );
+            assert!(
+                r.refs > 0,
+                "{} ({mode}): the oracle saw no references",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn quick_suite_is_coherent_with_paper_codegen() {
+    assert_suite_coherent(CompilerOptions::paper());
+}
+
+#[test]
+fn quick_suite_is_coherent_with_modern_codegen() {
+    assert_suite_coherent(CompilerOptions::default());
+}
+
+#[test]
+fn tight_cache_geometries_stay_coherent() {
+    // Small, low-associativity caches maximize evictions, write-backs, and
+    // line reuse — the paths where a stale word would most likely surface.
+    for cache in [
+        CacheConfig {
+            size_words: 16,
+            associativity: 1,
+            ..CacheConfig::default()
+        },
+        CacheConfig {
+            size_words: 32,
+            associativity: 4,
+            ..CacheConfig::default()
+        },
+    ] {
+        for w in quick_suite() {
+            let compiled = compile(&w.source, &CompilerOptions::paper()).unwrap();
+            let r = run_with_oracle(&compiled, cache, &VmConfig::default()).unwrap();
+            assert!(
+                r.is_coherent(),
+                "{} ({} words): first violation: {:?}",
+                w.name,
+                cache.size_words,
+                r.first
+            );
+        }
+    }
+}

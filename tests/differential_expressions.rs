@@ -55,11 +55,19 @@ impl E {
             E::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
             E::Div(a, b) => {
                 let d = b.eval().wrapping_mul(b.eval()).wrapping_add(7);
-                if d == 0 { 0 } else { a.eval().wrapping_div(d) }
+                if d == 0 {
+                    0
+                } else {
+                    a.eval().wrapping_div(d)
+                }
             }
             E::Rem(a, b) => {
                 let d = b.eval().wrapping_mul(b.eval()).wrapping_add(7);
-                if d == 0 { 0 } else { a.eval().wrapping_rem(d) }
+                if d == 0 {
+                    0
+                } else {
+                    a.eval().wrapping_rem(d)
+                }
             }
             E::Neg(a) => a.eval().wrapping_neg(),
             E::Not(a) => i64::from(a.eval() == 0),

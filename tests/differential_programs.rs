@@ -155,7 +155,9 @@ fn native_run(stmts: &[S]) -> Vec<i64> {
         s.exec(&mut st);
     }
     let mut out = st.out.clone();
-    out.extend([st.vars[0], st.vars[1], st.vars[2], st.vars[3], st.arr[0], st.arr[7]]);
+    out.extend([
+        st.vars[0], st.vars[1], st.vars[2], st.vars[3], st.arr[0], st.arr[7],
+    ]);
     out
 }
 

@@ -1,0 +1,144 @@
+//! Regression tests for the annotation fault-injection campaign: the
+//! classification must stay sharp enough to catch the faults the unified
+//! model is actually vulnerable to, and must not cry wolf on the ones it
+//! is provably immune to.
+
+use ucm::cache::CacheConfig;
+use ucm::core::faults::{run_campaign, CampaignConfig, FaultClass, FaultKind};
+use ucm::core::pipeline::{compile, CompilerOptions};
+use ucm::core::ManagementMode;
+use ucm::machine::{Flavour, VmConfig};
+
+/// A kernel with a clear stale-copy window: array words are loaded (and so
+/// cached), stored again, then re-read. An ambiguous store whose bypass bit
+/// is flipped writes around the live cached copy, and the re-read serves
+/// the stale word.
+const STALE_WINDOW: &str = "global a: [int; 16]; global s: int; \
+    fn main() { let i: int = 0; \
+      while i < 16 { a[i] = i; i = i + 1; } \
+      i = 0; while i < 16 { s = s + a[i]; i = i + 1; } \
+      i = 0; while i < 16 { a[i] = a[i] * 2; i = i + 1; } \
+      i = 0; while i < 16 { s = s + a[i]; i = i + 1; } \
+      print(s); }";
+
+fn campaign(kinds: Vec<FaultKind>) -> ucm::core::faults::Campaign {
+    let c = compile(
+        STALE_WINDOW,
+        &CompilerOptions {
+            mode: ManagementMode::Unified,
+            ..CompilerOptions::paper()
+        },
+    )
+    .unwrap();
+    run_campaign(
+        &c,
+        &CampaignConfig {
+            kinds,
+            seed: 1,
+            cache: CacheConfig::default(),
+            vm: VmConfig::default(),
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn flipping_bypass_on_an_ambiguous_store_with_a_live_copy_breaks_coherence() {
+    let camp = campaign(vec![FaultKind::FlipBypass]);
+    assert!(camp.baseline.is_coherent(), "{:?}", camp.baseline.first);
+    let breaking_am_store: Vec<_> = camp
+        .reports
+        .iter()
+        .filter(|r| {
+            r.class == FaultClass::CoherenceBreaking
+                && r.site.as_ref().map(|s| s.original.flavour) == Some(Flavour::AmSpStore)
+        })
+        .collect();
+    assert!(
+        !breaking_am_store.is_empty(),
+        "an AmSp_STORE turned UmAm_STORE over a live cached copy must serve \
+         a stale load; campaign found none in {} mutants",
+        camp.reports.len()
+    );
+    for r in &breaking_am_store {
+        assert!(r.violations > 0);
+        let first = r.first.as_ref().expect("breaking mutants record a witness");
+        assert_ne!(
+            first.stale, first.fresh,
+            "the witness must show real divergence"
+        );
+    }
+}
+
+#[test]
+fn dropping_last_ref_bits_is_always_benign() {
+    let camp = campaign(vec![FaultKind::DropLastRef]);
+    assert!(
+        !camp.reports.is_empty(),
+        "unified codegen must emit last-ref bits for this kernel"
+    );
+    for r in &camp.reports {
+        // Losing a discard hint forfeits traffic at most — never values.
+        assert_ne!(
+            r.class,
+            FaultClass::CoherenceBreaking,
+            "drop-last-ref broke coherence at {}",
+            r.site.as_ref().unwrap()
+        );
+    }
+    assert_eq!(
+        camp.count(FaultClass::Benign) + camp.count(FaultClass::TrafficRegressing),
+        camp.reports.len()
+    );
+}
+
+#[test]
+fn forging_last_ref_on_a_live_value_is_detected() {
+    let camp = campaign(vec![FaultKind::ForgeLastRef]);
+    assert!(
+        camp.any_coherence_breaking(),
+        "a forged last-ref discards a live line; the oracle must see it"
+    );
+}
+
+#[test]
+fn misclassification_campaign_is_deterministic() {
+    let a = campaign(vec![FaultKind::Misclassify(40)]);
+    let b = campaign(vec![FaultKind::Misclassify(40)]);
+    assert_eq!(a.reports.len(), b.reports.len());
+    for (x, y) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(x.class, y.class);
+        assert_eq!(x.violations, y.violations);
+        assert_eq!(x.bus_words, y.bus_words);
+        assert_eq!(x.mutated_sites, y.mutated_sites);
+    }
+}
+
+#[test]
+fn safe_mode_neutralizes_bypass_faults() {
+    // In Safe mode nothing bypasses and nothing is discarded, so the
+    // *annotation-independent* fault surface shrinks to nothing: flipping
+    // bits that were never set cannot exist, and the campaign's site
+    // enumeration proves it.
+    let c = compile(
+        STALE_WINDOW,
+        &CompilerOptions {
+            mode: ManagementMode::Safe,
+            ..CompilerOptions::paper()
+        },
+    )
+    .unwrap();
+    let camp = run_campaign(
+        &c,
+        &CampaignConfig {
+            kinds: vec![FaultKind::DropLastRef],
+            ..CampaignConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(camp.baseline.is_coherent());
+    assert!(
+        camp.reports.is_empty(),
+        "Safe mode sets no last-ref bits, so there is nothing to drop"
+    );
+}

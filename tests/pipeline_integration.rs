@@ -192,8 +192,5 @@ fn deep_recursion_needs_memory() {
             ..VmConfig::default()
         },
     );
-    assert!(matches!(
-        small,
-        Err(ucm::machine::VmError::StackOverflow)
-    ));
+    assert!(matches!(small, Err(ucm::machine::VmError::StackOverflow)));
 }

@@ -1,0 +1,599 @@
+//! An offline, API-compatible subset of [proptest](https://crates.io/crates/proptest).
+//!
+//! This workspace builds in containers with no network access and an empty
+//! cargo registry cache, so the real proptest cannot be downloaded. This stub
+//! implements the slice of the API the repository's tests use — `proptest!`,
+//! `prop_assert*!`, `prop_oneof!`, `Just`, `any`, ranges, tuples,
+//! `prop::collection::vec`, `prop_map`, `prop_recursive`, `BoxedStrategy`,
+//! simple `".{a,b}"` string patterns — with deterministic generation and
+//! **no shrinking**. Cases are seeded per test from a fixed constant, so runs
+//! are reproducible.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Per-test configuration (subset: case count only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property within one generated case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Constructs a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+
+    /// Deterministic xorshift64* RNG driving all generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The fixed-seed RNG used by `proptest!` expansions.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x9e3779b97f4a7c15,
+            }
+        }
+
+        /// A RNG from an explicit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed | 1 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.state = x;
+            x.wrapping_mul(0x2545f4914f6cdd1d)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategies: applies `expand` up to `depth` times over the
+    /// leaf strategy. `desired_size` and `expected_branch` are accepted for
+    /// API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut s = self.boxed();
+        for _ in 0..depth {
+            s = expand(s.clone()).boxed();
+        }
+        s
+    }
+
+    /// Keeps only values satisfying `pred` (bounded retries, then last draw).
+    fn prop_filter<F>(self, _whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..64 {
+            let v = self.inner.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        self.inner.new_value(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union over same-valued strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    choices: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a union; weights must sum to a non-zero total.
+    pub fn new(choices: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = choices.iter().map(|(w, _)| *w).sum::<u32>().max(1);
+        OneOf { choices, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total as u64) as u32;
+        for (w, s) in &self.choices {
+            if pick < *w {
+                return s.new_value(rng);
+            }
+            pick -= w;
+        }
+        self.choices[0].1.new_value(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty range strategy");
+                let off = (rng.next_u64() as u128 % span as u128) as i128;
+                ((self.start as i128) + off) as $t
+            }
+        })+
+    };
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident $i:tt),+);)+) => {
+        $(impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.new_value(rng),)+)
+            }
+        })+
+    };
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// String-pattern strategies: `".{a,b}"` draws `a..=b` chars from a mixed
+/// alphabet (printable ASCII, punctuation, a few control and non-ASCII
+/// characters). Any other pattern is generated literally.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        fn parse_dot_range(p: &str) -> Option<(usize, usize)> {
+            let body = p.strip_prefix(".{")?.strip_suffix('}')?;
+            let (lo, hi) = body.split_once(',')?;
+            Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+        }
+        match parse_dot_range(self) {
+            Some((lo, hi)) => {
+                let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                (0..len)
+                    .map(|_| {
+                        match rng.below(10) {
+                            // Mostly printable ASCII.
+                            0..=6 => (0x20 + rng.below(0x5f) as u8) as char,
+                            7 => char::from_u32(rng.below(0x20) as u32).unwrap_or('\u{1}'),
+                            8 => '\u{3b1}', // α — a multi-byte char
+                            _ => char::from_u32(0x2190 + rng.below(0x40) as u32)
+                                .unwrap_or('\u{2190}'),
+                        }
+                    })
+                    .collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy (subset of proptest's `Arbitrary`).
+    pub trait Arbitrary: Sized {
+        /// Draws one canonical value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),+) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            })+
+        };
+    }
+
+    arb_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    /// The canonical strategy for `T` (see [`any`]).
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vector strategy: `size` elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.end > size.start, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, …).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($args:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_args!{ ($cfg) $body [] $($args)* }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_args {
+    // All arguments munched: run the cases.
+    ( ($cfg:expr) $body:block [ $(($n:ident, $s:expr))* ] ) => {{
+        let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+        let mut __rng = $crate::test_runner::TestRng::deterministic();
+        for __case in 0..__cfg.cases {
+            $(let $n = $crate::Strategy::new_value(&{ $s }, &mut __rng);)*
+            let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+            if let ::core::result::Result::Err(e) = __result {
+                panic!("proptest case {} failed: {}", __case, e);
+            }
+        }
+    }};
+    ( ($cfg:expr) $body:block [ $($acc:tt)* ] $n:ident in $s:expr, $($rest:tt)* ) => {
+        $crate::__proptest_args!{ ($cfg) $body [ $($acc)* ($n, $s) ] $($rest)* }
+    };
+    ( ($cfg:expr) $body:block [ $($acc:tt)* ] $n:ident in $s:expr ) => {
+        $crate::__proptest_args!{ ($cfg) $body [ $($acc)* ($n, $s) ] }
+    };
+    ( ($cfg:expr) $body:block [ $($acc:tt)* ] $n:ident : $t:ty, $($rest:tt)* ) => {
+        $crate::__proptest_args!{ ($cfg) $body [ $($acc)* ($n, $crate::arbitrary::any::<$t>()) ] $($rest)* }
+    };
+    ( ($cfg:expr) $body:block [ $($acc:tt)* ] $n:ident : $t:ty ) => {
+        $crate::__proptest_args!{ ($cfg) $body [ $($acc)* ($n, $crate::arbitrary::any::<$t>()) ] }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}: {}", __l, __r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:expr => $s:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![ $( (($w) as u32, $crate::Strategy::boxed($s)) ),+ ])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![ $( (1u32, $crate::Strategy::boxed($s)) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..1000 {
+            let v = (-50i64..50).new_value(&mut rng);
+            assert!((-50..50).contains(&v));
+            let u = (3usize..9).new_value(&mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn oneof_and_vec_compose() {
+        let s = prop::collection::vec(
+            prop_oneof![1 => Just(1u8), 1 => Just(2), 3 => Just(7)],
+            1..5,
+        );
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!(!v.is_empty() && v.len() < 5);
+            assert!(v.iter().all(|x| [1, 2, 7].contains(x)));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum T {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0i64..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(a.into(), b.into()))
+            });
+        let mut rng = TestRng::deterministic();
+        for _ in 0..100 {
+            assert!(depth(&s.new_value(&mut rng)) <= 4);
+        }
+    }
+
+    #[test]
+    fn string_pattern_lengths() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let s = ".{0,20}".new_value(&mut rng);
+            assert!(s.chars().count() <= 20);
+        }
+        assert_eq!("literal".new_value(&mut rng), "literal");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(a in 0i64..100, b: bool, v in prop::collection::vec(0u8..4, 0..6)) {
+            prop_assert!(a >= 0, "a was {}", a);
+            prop_assert_eq!(b, b);
+            prop_assert!(v.len() < 6);
+        }
+    }
+}
