@@ -3,10 +3,39 @@
 //! throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
 use std::hint::black_box;
-use ucm_cache::{CacheConfig, CacheSim};
+use ucm_cache::{CacheConfig, CacheSim, FunctionalCache, PagedMem};
 use ucm_core::pipeline::{compile, CompilerOptions};
 use ucm_machine::{run, Flavour, MemEvent, MemTag, NullSink, VmConfig};
+
+/// 1M-reference synthetic mixed trace over a 4096-word footprint.
+fn synthetic_trace() -> Vec<MemEvent> {
+    let mut x = 0x1234_5678_9abc_def0u64;
+    (0..1_000_000)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let flavour = match x % 5 {
+                0 => Flavour::Plain,
+                1 => Flavour::AmLoad,
+                2 => Flavour::AmSpStore,
+                3 => Flavour::UmAmLoad,
+                _ => Flavour::UmAmStore,
+            };
+            MemEvent {
+                addr: (x % 4096) as i64,
+                is_write: matches!(flavour, Flavour::AmSpStore | Flavour::UmAmStore),
+                tag: MemTag {
+                    flavour,
+                    last_ref: i % 13 == 0,
+                    unambiguous: flavour.bypass_bit(),
+                },
+            }
+        })
+        .collect()
+}
 
 fn bench_compile(c: &mut Criterion) {
     let src = ucm_workloads::puzzle::source();
@@ -31,31 +60,7 @@ fn bench_vm(c: &mut Criterion) {
 }
 
 fn bench_cache(c: &mut Criterion) {
-    // 1M-reference synthetic mixed trace.
-    let mut x = 0x1234_5678_9abc_def0u64;
-    let trace: Vec<MemEvent> = (0..1_000_000)
-        .map(|i| {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            let flavour = match x % 5 {
-                0 => Flavour::Plain,
-                1 => Flavour::AmLoad,
-                2 => Flavour::AmSpStore,
-                3 => Flavour::UmAmLoad,
-                _ => Flavour::UmAmStore,
-            };
-            MemEvent {
-                addr: (x % 4096) as i64,
-                is_write: matches!(flavour, Flavour::AmSpStore | Flavour::UmAmStore),
-                tag: MemTag {
-                    flavour,
-                    last_ref: i % 13 == 0,
-                    unambiguous: flavour.bypass_bit(),
-                },
-            }
-        })
-        .collect();
+    let trace = synthetic_trace();
     c.bench_function("cache_sim_1m_refs", |b| {
         b.iter(|| {
             let mut sim = CacheSim::new(CacheConfig {
@@ -70,9 +75,59 @@ fn bench_cache(c: &mut Criterion) {
     });
 }
 
+/// The mirror-memory experiment behind `FunctionalCache`'s backing store:
+/// the flat paged `PagedMem` versus the `HashMap<i64, i64>` it replaced.
+/// Same access pattern — write the referenced word, read it back — over
+/// the synthetic trace's address stream.
+fn bench_mirror_memory(c: &mut Criterion) {
+    let addrs: Vec<i64> = synthetic_trace().iter().map(|ev| ev.addr).collect();
+    c.bench_function("mirror_paged_mem_1m", |b| {
+        b.iter(|| {
+            let mut mem = PagedMem::new();
+            let mut acc = 0i64;
+            for &a in &addrs {
+                mem.write(black_box(a), a);
+                acc ^= mem.read(black_box(a));
+            }
+            acc
+        })
+    });
+    c.bench_function("mirror_hashmap_1m", |b| {
+        b.iter(|| {
+            let mut mem: HashMap<i64, i64> = HashMap::new();
+            let mut acc = 0i64;
+            for &a in &addrs {
+                mem.insert(black_box(a), a);
+                acc ^= mem.get(&black_box(a)).copied().unwrap_or(0);
+            }
+            acc
+        })
+    });
+}
+
+/// End-to-end throughput of the value-carrying functional cache (flat line
+/// storage + paged mirror memory) on the same trace `cache_sim_1m_refs`
+/// replays.
+fn bench_functional_cache(c: &mut Criterion) {
+    let trace = synthetic_trace();
+    c.bench_function("functional_cache_1m_refs", |b| {
+        b.iter(|| {
+            let mut cache = FunctionalCache::new(CacheConfig {
+                associativity: 4,
+                ..CacheConfig::default()
+            });
+            let mut acc = 0i64;
+            for ev in &trace {
+                acc ^= cache.access(black_box(*ev), ev.addr).value;
+            }
+            acc
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_compile, bench_vm, bench_cache
+    targets = bench_compile, bench_vm, bench_cache, bench_mirror_memory, bench_functional_cache
 }
 criterion_main!(benches);

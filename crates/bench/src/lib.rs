@@ -13,6 +13,9 @@
 //! * `regpressure` — register count × allocator ablation (E6)
 //! * `micro` — Criterion micro-benchmarks of the infrastructure itself
 
+pub mod json;
+pub mod sweep;
+
 use ucm_cache::CacheConfig;
 use ucm_core::evaluate::Comparison;
 use ucm_core::pipeline::CompilerOptions;
@@ -66,8 +69,9 @@ pub fn times(x: f64) -> String {
     format!("{x:.2}x")
 }
 
-/// Prints a fixed-width text table: a header row, a rule, then rows.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+/// Formats a fixed-width text table — a header row, a rule, then rows —
+/// as a string (one trailing newline).
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -80,13 +84,20 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             .zip(&widths)
             .map(|(c, w)| format!("{c:>w$}", w = w))
             .collect();
-        println!("  {}", padded.join("  "));
+        format!("  {}\n", padded.join("  "))
     };
-    line(headers.iter().map(|s| s.to_string()).collect());
-    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    let mut out = String::new();
+    out.push_str(&line(headers.iter().map(|s| s.to_string()).collect()));
+    out.push_str(&line(widths.iter().map(|w| "-".repeat(*w)).collect()));
     for row in rows {
-        line(row.clone());
+        out.push_str(&line(row.clone()));
     }
+    out
+}
+
+/// Prints a fixed-width text table: a header row, a rule, then rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", format_table(headers, rows));
 }
 
 #[cfg(test)]

@@ -1,0 +1,1006 @@
+//! The parallel sweep engine behind `ucmc sweep`.
+//!
+//! One sweep compiles every workload once per (codegen, mode), records its
+//! data-reference trace once, and then replays that trace against every
+//! cache point of the grid
+//!
+//! ```text
+//! workload × codegen × mode × geometry × write policy × replacement policy
+//! ```
+//!
+//! fanned across threads with `rayon`. Recording is separated from replay
+//! because the trace depends only on the compiled binary, not on the cache:
+//! a 432-cell grid costs 18 compiles and 18 VM runs, not 432.
+//!
+//! The result serialises to a deterministic, schema-versioned
+//! `BENCH_sweep.json` ([`SweepReport::to_json`]): cells appear in grid
+//! order, floats are fixed to six decimals, and nothing (timestamps, host
+//! names, thread counts) depends on the machine, so re-running the same
+//! grid yields a byte-identical artifact.
+
+use rayon::prelude::*;
+use std::error::Error;
+use std::fmt;
+use ucm_cache::{CacheConfig, CacheSim, CacheStats, ConfigError, Latency, PolicyKind, WritePolicy};
+use ucm_core::pipeline::{compile, CompileError, CompilerOptions};
+use ucm_core::ManagementMode;
+use ucm_machine::{run, CountSink, MemEvent, TeeSink, VecSink, VmConfig, VmError};
+use ucm_workloads::Workload;
+
+use crate::json::{self, Json};
+
+/// Artifact schema version; bump when the JSON layout changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Codegen style axis: which compiler the trace models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codegen {
+    /// [`CompilerOptions::paper`]: scalars in the frame, the 1989 binaries.
+    Paper,
+    /// [`CompilerOptions::default`]: scalar promotion on, modern codegen.
+    Modern,
+}
+
+impl Codegen {
+    /// Compiler options for this style (mode still to be filled in).
+    pub fn options(self) -> CompilerOptions {
+        match self {
+            Codegen::Paper => CompilerOptions::paper(),
+            Codegen::Modern => CompilerOptions::default(),
+        }
+    }
+}
+
+impl fmt::Display for Codegen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Codegen::Paper => write!(f, "paper"),
+            Codegen::Modern => write!(f, "modern"),
+        }
+    }
+}
+
+/// One cache geometry point of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Total capacity in words.
+    pub size_words: usize,
+    /// Line size in words.
+    pub line_words: usize,
+    /// Set associativity.
+    pub ways: usize,
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}w/l{}/a{}",
+            self.size_words, self.line_words, self.ways
+        )
+    }
+}
+
+/// The full specification of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Suite label recorded in the artifact ("sweep", "quick", "paper").
+    pub suite: String,
+    /// Workloads (one trace set each).
+    pub workloads: Vec<Workload>,
+    /// Codegen styles.
+    pub codegens: Vec<Codegen>,
+    /// Management modes.
+    pub modes: Vec<ManagementMode>,
+    /// Cache geometries.
+    pub geometries: Vec<Geometry>,
+    /// Write policies.
+    pub write_policies: Vec<WritePolicy>,
+    /// Replacement policies.
+    pub policies: Vec<PolicyKind>,
+    /// Latency model for AMAT.
+    pub latency: Latency,
+    /// Seed for the random replacement policy.
+    pub seed: u64,
+    /// VM configuration for trace recording.
+    pub vm: VmConfig,
+}
+
+impl SweepConfig {
+    /// The full default grid: all six benchmarks at sweep sizes, both
+    /// codegen styles, all three modes, three geometries (the paper's
+    /// direct-mapped line-1 cache, a 4-way variant, and a 4-word-line
+    /// 4-way cache), both write policies, all four online replacement
+    /// policies.
+    pub fn full() -> Self {
+        SweepConfig {
+            suite: "sweep".into(),
+            workloads: ucm_workloads::sweep_suite(),
+            codegens: vec![Codegen::Paper, Codegen::Modern],
+            modes: vec![
+                ManagementMode::Unified,
+                ManagementMode::Conventional,
+                ManagementMode::Safe,
+            ],
+            geometries: vec![
+                Geometry {
+                    size_words: 256,
+                    line_words: 1,
+                    ways: 1,
+                },
+                Geometry {
+                    size_words: 256,
+                    line_words: 1,
+                    ways: 4,
+                },
+                Geometry {
+                    size_words: 1024,
+                    line_words: 4,
+                    ways: 4,
+                },
+            ],
+            write_policies: vec![
+                WritePolicy::WriteBackAllocate,
+                WritePolicy::WriteThroughNoAllocate,
+            ],
+            policies: vec![
+                PolicyKind::Lru,
+                PolicyKind::OneBitLru,
+                PolicyKind::Fifo,
+                PolicyKind::Random,
+            ],
+            latency: Latency::default(),
+            seed: CacheConfig::default().seed,
+            vm: VmConfig::default(),
+        }
+    }
+
+    /// A reduced grid for CI smoke runs and tests: quick-suite workloads,
+    /// paper codegen, unified vs conventional, one geometry per axis value
+    /// worth checking.
+    pub fn quick() -> Self {
+        SweepConfig {
+            suite: "quick".into(),
+            workloads: ucm_workloads::quick_suite(),
+            codegens: vec![Codegen::Paper],
+            modes: vec![ManagementMode::Unified, ManagementMode::Conventional],
+            geometries: vec![
+                Geometry {
+                    size_words: 256,
+                    line_words: 1,
+                    ways: 1,
+                },
+                Geometry {
+                    size_words: 256,
+                    line_words: 4,
+                    ways: 2,
+                },
+            ],
+            write_policies: vec![WritePolicy::WriteBackAllocate],
+            policies: vec![PolicyKind::Lru],
+            ..SweepConfig::full()
+        }
+    }
+
+    /// Number of grid cells this configuration produces.
+    pub fn cell_count(&self) -> usize {
+        self.workloads.len()
+            * self.codegens.len()
+            * self.modes.len()
+            * self.geometries.len()
+            * self.write_policies.len()
+            * self.policies.len()
+    }
+
+    /// The cache configuration of one grid cell.
+    fn cell_cache(
+        &self,
+        mode: ManagementMode,
+        geom: Geometry,
+        wp: WritePolicy,
+        policy: PolicyKind,
+    ) -> CacheConfig {
+        let cfg = CacheConfig {
+            size_words: geom.size_words,
+            line_words: geom.line_words,
+            associativity: geom.ways,
+            policy,
+            write_policy: wp,
+            seed: self.seed,
+            ..CacheConfig::default()
+        };
+        if mode == ManagementMode::Conventional {
+            cfg.conventional()
+        } else {
+            cfg
+        }
+    }
+}
+
+/// A sweep failure.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A workload failed to compile.
+    Compile {
+        /// Workload name.
+        workload: String,
+        /// Underlying compiler error.
+        error: CompileError,
+    },
+    /// A workload trapped in the VM.
+    Vm {
+        /// Workload name.
+        workload: String,
+        /// Underlying VM error.
+        error: VmError,
+    },
+    /// A workload's output disagreed with its native reference.
+    OutputMismatch {
+        /// Workload name.
+        workload: String,
+    },
+    /// A grid geometry is inconsistent.
+    Config(ConfigError),
+    /// The grid is degenerate (an empty axis).
+    EmptyGrid,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Compile { workload, error } => {
+                write!(f, "compiling `{workload}`: {error}")
+            }
+            SweepError::Vm { workload, error } => write!(f, "running `{workload}`: {error}"),
+            SweepError::OutputMismatch { workload } => {
+                write!(f, "`{workload}` output disagrees with its native reference")
+            }
+            SweepError::Config(e) => write!(f, "invalid sweep geometry: {e}"),
+            SweepError::EmptyGrid => write!(f, "sweep grid has an empty axis"),
+        }
+    }
+}
+
+impl Error for SweepError {}
+
+impl From<ConfigError> for SweepError {
+    fn from(e: ConfigError) -> Self {
+        SweepError::Config(e)
+    }
+}
+
+/// One recorded (workload, codegen, mode) trace.
+struct RecordedTrace {
+    workload: String,
+    codegen: Codegen,
+    mode: ManagementMode,
+    events: Vec<MemEvent>,
+    steps: u64,
+    counts: CountSink,
+}
+
+/// Summary of one recorded trace, as it appears in the artifact.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// Workload name.
+    pub workload: String,
+    /// Codegen style.
+    pub codegen: Codegen,
+    /// Management mode.
+    pub mode: ManagementMode,
+    /// Number of data references recorded.
+    pub events: usize,
+    /// VM steps executed.
+    pub steps: u64,
+    /// Dynamic % of references classified unambiguous.
+    pub dynamic_unambiguous_pct: f64,
+}
+
+/// Figure-5-style ratios of a cell against its conventional twin — the
+/// conventional-mode cell of the same workload, codegen, geometry, and
+/// policies.
+#[derive(Debug, Clone, Copy)]
+pub struct CellRatios {
+    /// Reduction in references entering the cache, percent.
+    pub cache_ref_reduction_pct: f64,
+    /// Reduction in memory-bus words moved, percent.
+    pub bus_words_reduction_pct: f64,
+    /// Speedup of total memory access time.
+    pub access_time_speedup: f64,
+}
+
+/// One grid cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Workload name.
+    pub workload: String,
+    /// Codegen style.
+    pub codegen: Codegen,
+    /// Management mode.
+    pub mode: ManagementMode,
+    /// Cache geometry.
+    pub geometry: Geometry,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Raw cache counters from replaying the trace.
+    pub stats: CacheStats,
+    /// Average memory access time under the sweep's latency model.
+    pub amat: f64,
+    /// Ratios against the conventional twin cell; `None` for conventional
+    /// cells, or when the grid has no conventional mode.
+    pub vs_conventional: Option<CellRatios>,
+}
+
+/// The complete result of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Suite label.
+    pub suite: String,
+    /// Random-policy seed used by every cell.
+    pub seed: u64,
+    /// Latency model used for access time and AMAT.
+    pub latency: Latency,
+    /// The grid axes, for the artifact header.
+    pub grid: SweepConfig,
+    /// Per-trace summaries, in (workload, codegen, mode) order.
+    pub traces: Vec<TraceSummary>,
+    /// Per-cell reports, in grid order.
+    pub cells: Vec<CellReport>,
+}
+
+/// Records the trace of one (workload, codegen, mode) point.
+fn record_trace(
+    w: &Workload,
+    codegen: Codegen,
+    mode: ManagementMode,
+    vm: &VmConfig,
+) -> Result<RecordedTrace, SweepError> {
+    let options = CompilerOptions {
+        mode,
+        ..codegen.options()
+    };
+    let compiled = compile(&w.source, &options).map_err(|error| SweepError::Compile {
+        workload: w.name.clone(),
+        error,
+    })?;
+    let mut sink = VecSink::default();
+    let mut counts = CountSink::default();
+    let outcome = {
+        let mut tee = TeeSink {
+            a: &mut sink,
+            b: &mut counts,
+        };
+        run(&compiled.program, &mut tee, vm).map_err(|error| SweepError::Vm {
+            workload: w.name.clone(),
+            error,
+        })?
+    };
+    if outcome.output != w.expected {
+        return Err(SweepError::OutputMismatch {
+            workload: w.name.clone(),
+        });
+    }
+    Ok(RecordedTrace {
+        workload: w.name.clone(),
+        codegen,
+        mode,
+        events: sink.events,
+        steps: outcome.steps,
+        counts,
+    })
+}
+
+/// Replays a recorded trace against one cache configuration.
+fn replay(events: &[MemEvent], cfg: CacheConfig) -> CacheStats {
+    let mut sim = CacheSim::try_new(cfg).expect("grid geometries validated before replay");
+    for ev in events {
+        sim.access(*ev);
+    }
+    *sim.stats()
+}
+
+/// Runs the sweep: records every trace, replays every grid cell in
+/// parallel, and derives per-cell ratios against the conventional twin.
+///
+/// # Errors
+///
+/// Fails fast on an empty grid axis, an invalid geometry, or any
+/// compile/VM/output failure while recording traces. Cell replay itself
+/// cannot fail once the traces exist.
+pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
+    if cfg.cell_count() == 0 {
+        return Err(SweepError::EmptyGrid);
+    }
+    // Validate every cache point up-front so replay can't panic.
+    for &geom in &cfg.geometries {
+        for &wp in &cfg.write_policies {
+            for &policy in &cfg.policies {
+                cfg.cell_cache(ManagementMode::Unified, geom, wp, policy)
+                    .validate()?;
+            }
+        }
+    }
+
+    // Fan one job per (workload, codegen, mode) across threads. Each job
+    // compiles once, records its trace once, replays the trace against
+    // every cache point of its grid block, and then drops the trace — so
+    // peak memory holds one trace per worker, not the whole suite, and a
+    // grid block costs one compile and one VM run no matter how many
+    // cache points it spans. Jobs collect in input order and a block's
+    // cells are contiguous, so flattening yields exact grid order.
+    let mut trace_jobs = Vec::new();
+    for w in &cfg.workloads {
+        for &codegen in &cfg.codegens {
+            for &mode in &cfg.modes {
+                trace_jobs.push((w, codegen, mode));
+            }
+        }
+    }
+    let blocks: Vec<Result<(TraceSummary, Vec<CacheStats>), SweepError>> = trace_jobs
+        .par_iter()
+        .map(|&(w, codegen, mode)| {
+            let t = record_trace(w, codegen, mode, &cfg.vm)?;
+            let mut stats = Vec::with_capacity(
+                cfg.geometries.len() * cfg.write_policies.len() * cfg.policies.len(),
+            );
+            for &geom in &cfg.geometries {
+                for &wp in &cfg.write_policies {
+                    for &policy in &cfg.policies {
+                        stats.push(replay(&t.events, cfg.cell_cache(mode, geom, wp, policy)));
+                    }
+                }
+            }
+            let summary = TraceSummary {
+                workload: t.workload.clone(),
+                codegen: t.codegen,
+                mode: t.mode,
+                events: t.events.len(),
+                steps: t.steps,
+                dynamic_unambiguous_pct: 100.0 * t.counts.unambiguous_fraction(),
+            };
+            Ok((summary, stats))
+        })
+        .collect();
+    let mut traces = Vec::with_capacity(blocks.len());
+    let mut stats = Vec::with_capacity(cfg.cell_count());
+    for b in blocks {
+        let (summary, block_stats) = b?;
+        traces.push(summary);
+        stats.extend(block_stats);
+    }
+
+    // Assemble cells and derive ratios against conventional twins.
+    let cells_per_trace = cfg.geometries.len() * cfg.write_policies.len() * cfg.policies.len();
+    let conv_mode_idx = cfg
+        .modes
+        .iter()
+        .position(|&m| m == ManagementMode::Conventional);
+    let mut cell_keys = Vec::with_capacity(cfg.cell_count());
+    for (ti, &(_, _, mode)) in trace_jobs.iter().enumerate() {
+        for &geom in &cfg.geometries {
+            for &wp in &cfg.write_policies {
+                for &policy in &cfg.policies {
+                    cell_keys.push((ti, mode, geom, wp, policy));
+                }
+            }
+        }
+    }
+    let mut cells = Vec::with_capacity(cell_keys.len());
+    for (i, &(ti, mode, geom, wp, policy)) in cell_keys.iter().enumerate() {
+        let s = stats[i];
+        let vs_conventional = match conv_mode_idx {
+            Some(ci) if mode != ManagementMode::Conventional => {
+                // The twin shares the block's (workload, codegen) and this
+                // cell's offset within the block; only the mode index
+                // differs.
+                let mode_pos = cfg
+                    .modes
+                    .iter()
+                    .position(|&m| m == mode)
+                    .expect("cell mode comes from cfg.modes");
+                let twin = i + (ci as isize - mode_pos as isize) as usize * cells_per_trace;
+                Some(ratios(&stats[twin], &s, cfg.latency))
+            }
+            _ => None,
+        };
+        cells.push(CellReport {
+            workload: traces[ti].workload.clone(),
+            codegen: traces[ti].codegen,
+            mode,
+            geometry: geom,
+            write_policy: wp,
+            policy,
+            stats: s,
+            amat: s.amat(cfg.latency),
+            vs_conventional,
+        });
+    }
+
+    Ok(SweepReport {
+        suite: cfg.suite.clone(),
+        seed: cfg.seed,
+        latency: cfg.latency,
+        grid: cfg.clone(),
+        traces,
+        cells,
+    })
+}
+
+/// Figure-5 ratios of `cell` against its conventional twin `conv`.
+fn ratios(conv: &CacheStats, cell: &CacheStats, lat: Latency) -> CellRatios {
+    let reduction = |c: u64, u: u64| {
+        if c == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - u as f64 / c as f64)
+        }
+    };
+    let (ct, ut) = (conv.access_time(lat), cell.access_time(lat));
+    CellRatios {
+        cache_ref_reduction_pct: reduction(conv.cache_refs(), cell.cache_refs()),
+        bus_words_reduction_pct: reduction(conv.bus_words(), cell.bus_words()),
+        access_time_speedup: if ut == 0 { 1.0 } else { ct as f64 / ut as f64 },
+    }
+}
+
+/// Formats a float exactly as the artifact stores it.
+fn f(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+impl SweepReport {
+    /// Serialises the report to the deterministic `BENCH_sweep.json` text.
+    ///
+    /// Integers print as integers; every float is fixed to six decimals;
+    /// arrays follow grid order. No timestamps, hosts, or thread counts —
+    /// the same grid always produces byte-identical output.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(256 * (self.cells.len() + 8));
+        o.push_str("{\n");
+        o.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        o.push_str("  \"generator\": \"ucmc sweep\",\n");
+        o.push_str(&format!(
+            "  \"suite\": \"{}\",\n",
+            json::escape(&self.suite)
+        ));
+        o.push_str(&format!("  \"seed\": {},\n", self.seed));
+        o.push_str(&format!(
+            "  \"latency\": {{\"cache\": {}, \"memory\": {}}},\n",
+            self.latency.cache, self.latency.memory
+        ));
+
+        let strings = |items: Vec<String>| {
+            items
+                .into_iter()
+                .map(|s| format!("\"{}\"", json::escape(&s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        o.push_str("  \"grid\": {\n");
+        o.push_str(&format!(
+            "    \"workloads\": [{}],\n",
+            strings(self.grid.workloads.iter().map(|w| w.name.clone()).collect())
+        ));
+        o.push_str(&format!(
+            "    \"codegens\": [{}],\n",
+            strings(self.grid.codegens.iter().map(|c| c.to_string()).collect())
+        ));
+        o.push_str(&format!(
+            "    \"modes\": [{}],\n",
+            strings(self.grid.modes.iter().map(|m| m.to_string()).collect())
+        ));
+        o.push_str(&format!(
+            "    \"geometries\": [{}],\n",
+            self.grid
+                .geometries
+                .iter()
+                .map(|g| format!(
+                    "{{\"size_words\": {}, \"line_words\": {}, \"ways\": {}}}",
+                    g.size_words, g.line_words, g.ways
+                ))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        o.push_str(&format!(
+            "    \"write_policies\": [{}],\n",
+            strings(
+                self.grid
+                    .write_policies
+                    .iter()
+                    .map(|w| w.to_string())
+                    .collect()
+            )
+        ));
+        o.push_str(&format!(
+            "    \"policies\": [{}]\n",
+            strings(self.grid.policies.iter().map(|p| p.to_string()).collect())
+        ));
+        o.push_str("  },\n");
+
+        o.push_str("  \"traces\": [\n");
+        for (i, t) in self.traces.iter().enumerate() {
+            o.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"codegen\": \"{}\", \"mode\": \"{}\", \
+                 \"events\": {}, \"steps\": {}, \"dynamic_unambiguous_pct\": {}}}{}\n",
+                json::escape(&t.workload),
+                t.codegen,
+                t.mode,
+                t.events,
+                t.steps,
+                f(t.dynamic_unambiguous_pct),
+                if i + 1 < self.traces.len() { "," } else { "" }
+            ));
+        }
+        o.push_str("  ],\n");
+
+        o.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            o.push_str("    {");
+            o.push_str(&format!(
+                "\"workload\": \"{}\", \"codegen\": \"{}\", \"mode\": \"{}\", ",
+                json::escape(&c.workload),
+                c.codegen,
+                c.mode
+            ));
+            o.push_str(&format!(
+                "\"size_words\": {}, \"line_words\": {}, \"ways\": {}, ",
+                c.geometry.size_words, c.geometry.line_words, c.geometry.ways
+            ));
+            o.push_str(&format!(
+                "\"write_policy\": \"{}\", \"policy\": \"{}\", ",
+                c.write_policy, c.policy
+            ));
+            let s = &c.stats;
+            for (k, v) in [
+                ("reads", s.reads),
+                ("writes", s.writes),
+                ("read_hits", s.read_hits),
+                ("write_hits", s.write_hits),
+                ("read_misses", s.read_misses),
+                ("write_misses", s.write_misses),
+                ("bypass_reads", s.bypass_reads),
+                ("bypass_writes", s.bypass_writes),
+                ("invalidates", s.invalidates),
+                ("dead_line_discards", s.dead_line_discards),
+                ("dead_store_drops", s.dead_store_drops),
+                ("fills", s.fills),
+                ("writebacks", s.writebacks),
+                ("words_from_memory", s.words_from_memory),
+                ("words_to_memory", s.words_to_memory),
+                ("bypass_words_from_memory", s.bypass_words_from_memory),
+                ("bypass_words_to_memory", s.bypass_words_to_memory),
+                ("cache_refs", s.cache_refs()),
+                ("bus_words", s.bus_words()),
+                ("cache_bus_words", s.cache_bus_words()),
+            ] {
+                o.push_str(&format!("\"{k}\": {v}, "));
+            }
+            o.push_str(&format!(
+                "\"miss_rate\": {}, \"amat\": {}, ",
+                f(s.miss_rate()),
+                f(c.amat)
+            ));
+            match &c.vs_conventional {
+                Some(r) => o.push_str(&format!(
+                    "\"vs_conventional\": {{\"cache_ref_reduction_pct\": {}, \
+                     \"bus_words_reduction_pct\": {}, \"access_time_speedup\": {}}}",
+                    f(r.cache_ref_reduction_pct),
+                    f(r.bus_words_reduction_pct),
+                    f(r.access_time_speedup)
+                )),
+                None => o.push_str("\"vs_conventional\": null"),
+            }
+            o.push('}');
+            if i + 1 < self.cells.len() {
+                o.push(',');
+            }
+            o.push('\n');
+        }
+        o.push_str("  ]\n}\n");
+        o
+    }
+
+    /// A human-readable summary table: every (workload, codegen, mode) at
+    /// the grid's first geometry / write policy / replacement policy.
+    pub fn table(&self) -> String {
+        let headers = [
+            "workload",
+            "codegen",
+            "mode",
+            "cache refs",
+            "bus words",
+            "miss rate",
+            "amat",
+            "refs -%",
+            "bus -%",
+            "time x",
+        ];
+        let per_trace =
+            self.grid.geometries.len() * self.grid.write_policies.len() * self.grid.policies.len();
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .step_by(per_trace.max(1))
+            .map(|c| {
+                let (refs, bus, time) = match &c.vs_conventional {
+                    Some(r) => (
+                        crate::pct(r.cache_ref_reduction_pct),
+                        crate::pct(r.bus_words_reduction_pct),
+                        crate::times(r.access_time_speedup),
+                    ),
+                    None => ("-".into(), "-".into(), "-".into()),
+                };
+                vec![
+                    c.workload.clone(),
+                    c.codegen.to_string(),
+                    c.mode.to_string(),
+                    c.stats.cache_refs().to_string(),
+                    c.stats.bus_words().to_string(),
+                    f(c.stats.miss_rate()),
+                    f(c.amat),
+                    refs,
+                    bus,
+                    time,
+                ]
+            })
+            .collect();
+        crate::format_table(&headers, &rows)
+    }
+}
+
+/// Summary returned by [`validate_sweep_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepJsonSummary {
+    /// Schema version found in the artifact.
+    pub schema_version: u64,
+    /// Number of recorded traces.
+    pub traces: usize,
+    /// Number of grid cells.
+    pub cells: usize,
+}
+
+/// Validates a `BENCH_sweep.json` document against the schema this module
+/// writes: required header fields, grid axes, the expected trace and cell
+/// counts, every per-cell counter, and the counter identities
+/// (`cache_refs`, `bus_words`, `cache_bus_words` must match their
+/// definitions).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first problem found.
+pub fn validate_sweep_json(text: &str) -> Result<SweepJsonSummary, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let num = |v: &Json, what: &str| v.as_num().ok_or_else(|| format!("{what} is not a number"));
+    let field = |obj: &Json, key: &str, what: &str| {
+        obj.get(key)
+            .cloned()
+            .ok_or_else(|| format!("{what} is missing `{key}`"))
+    };
+
+    let version = num(
+        &field(&doc, "schema_version", "document")?,
+        "schema_version",
+    )? as u64;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != supported {SCHEMA_VERSION}"
+        ));
+    }
+    for key in ["generator", "suite"] {
+        field(&doc, key, "document")?
+            .as_str()
+            .ok_or_else(|| format!("`{key}` is not a string"))?;
+    }
+    num(&field(&doc, "seed", "document")?, "seed")?;
+    let lat = field(&doc, "latency", "document")?;
+    num(&field(&lat, "cache", "latency")?, "latency.cache")?;
+    num(&field(&lat, "memory", "latency")?, "latency.memory")?;
+
+    let grid = field(&doc, "grid", "document")?;
+    let mut axis_product = 1usize;
+    let mut trace_product = 1usize;
+    for key in [
+        "workloads",
+        "codegens",
+        "modes",
+        "geometries",
+        "write_policies",
+        "policies",
+    ] {
+        let axis = field(&grid, key, "grid")?;
+        let len = axis
+            .as_arr()
+            .ok_or_else(|| format!("grid.{key} is not an array"))?
+            .len();
+        if len == 0 {
+            return Err(format!("grid.{key} is empty"));
+        }
+        axis_product *= len;
+        if matches!(key, "workloads" | "codegens" | "modes") {
+            trace_product *= len;
+        }
+    }
+
+    let traces = field(&doc, "traces", "document")?;
+    let traces = traces
+        .as_arr()
+        .ok_or_else(|| "`traces` is not an array".to_string())?;
+    if traces.len() != trace_product {
+        return Err(format!(
+            "expected {trace_product} traces (workloads × codegens × modes), found {}",
+            traces.len()
+        ));
+    }
+
+    let cells = field(&doc, "cells", "document")?;
+    let cells = cells
+        .as_arr()
+        .ok_or_else(|| "`cells` is not an array".to_string())?;
+    if cells.len() != axis_product {
+        return Err(format!(
+            "expected {axis_product} cells (product of grid axes), found {}",
+            cells.len()
+        ));
+    }
+
+    const CELL_STRINGS: [&str; 5] = ["workload", "codegen", "mode", "write_policy", "policy"];
+    const CELL_NUMBERS: [&str; 25] = [
+        "size_words",
+        "line_words",
+        "ways",
+        "reads",
+        "writes",
+        "read_hits",
+        "write_hits",
+        "read_misses",
+        "write_misses",
+        "bypass_reads",
+        "bypass_writes",
+        "invalidates",
+        "dead_line_discards",
+        "dead_store_drops",
+        "fills",
+        "writebacks",
+        "words_from_memory",
+        "words_to_memory",
+        "bypass_words_from_memory",
+        "bypass_words_to_memory",
+        "cache_refs",
+        "bus_words",
+        "cache_bus_words",
+        "miss_rate",
+        "amat",
+    ];
+    for (i, cell) in cells.iter().enumerate() {
+        let what = format!("cell {i}");
+        for key in CELL_STRINGS {
+            field(cell, key, &what)?
+                .as_str()
+                .ok_or_else(|| format!("{what}: `{key}` is not a string"))?;
+        }
+        let get = |key: &str| -> Result<f64, String> {
+            num(&field(cell, key, &what)?, &format!("{what}: `{key}`"))
+        };
+        let mut values = std::collections::HashMap::new();
+        for key in CELL_NUMBERS {
+            values.insert(key, get(key)?);
+        }
+        let v = |k: &str| values[k];
+        if v("cache_refs") != v("reads") + v("writes") - v("bypass_reads") - v("bypass_writes") {
+            return Err(format!("{what}: cache_refs breaks its identity"));
+        }
+        if v("bus_words") != v("words_from_memory") + v("words_to_memory") {
+            return Err(format!("{what}: bus_words breaks its identity"));
+        }
+        if v("cache_bus_words")
+            != v("bus_words") - v("bypass_words_from_memory") - v("bypass_words_to_memory")
+        {
+            return Err(format!("{what}: cache_bus_words breaks its identity"));
+        }
+        if cell.get("vs_conventional").is_none() {
+            return Err(format!("{what}: missing `vs_conventional`"));
+        }
+    }
+
+    Ok(SweepJsonSummary {
+        schema_version: version,
+        traces: traces.len(),
+        cells: cells.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SweepConfig {
+        SweepConfig {
+            suite: "test".into(),
+            workloads: vec![ucm_workloads::sieve::workload(100, 1)],
+            codegens: vec![Codegen::Paper],
+            modes: vec![ManagementMode::Unified, ManagementMode::Conventional],
+            geometries: vec![Geometry {
+                size_words: 64,
+                line_words: 1,
+                ways: 1,
+            }],
+            write_policies: vec![WritePolicy::WriteBackAllocate],
+            policies: vec![PolicyKind::Lru, PolicyKind::Fifo],
+            ..SweepConfig::full()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_grid_ordered_cells_with_ratios() {
+        let cfg = tiny_config();
+        let report = run_sweep(&cfg).unwrap();
+        assert_eq!(report.cells.len(), cfg.cell_count());
+        assert_eq!(report.traces.len(), 2);
+        // Unified cells come first (mode order) and carry ratios.
+        let first = &report.cells[0];
+        assert_eq!(first.mode, ManagementMode::Unified);
+        let r = first.vs_conventional.expect("unified cell has a twin");
+        assert!(
+            r.cache_ref_reduction_pct > 0.0,
+            "bypass must reduce cache refs (got {:.1}%)",
+            r.cache_ref_reduction_pct
+        );
+        // Conventional cells never carry ratios.
+        for c in &report.cells {
+            assert_eq!(
+                c.vs_conventional.is_none(),
+                c.mode == ManagementMode::Conventional
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_json_is_deterministic_and_validates() {
+        let cfg = tiny_config();
+        let a = run_sweep(&cfg).unwrap().to_json();
+        let b = run_sweep(&cfg).unwrap().to_json();
+        assert_eq!(a, b, "same grid must serialise byte-identically");
+        let summary = validate_sweep_json(&a).unwrap();
+        assert_eq!(summary.schema_version, SCHEMA_VERSION);
+        assert_eq!(summary.cells, cfg.cell_count());
+        assert_eq!(summary.traces, 2);
+    }
+
+    #[test]
+    fn validator_rejects_tampered_artifacts() {
+        let good = run_sweep(&tiny_config()).unwrap().to_json();
+        // Breaking a counter identity must be caught.
+        let tampered = good.replacen("\"cache_refs\": ", "\"cache_refs\": 9", 1);
+        assert!(validate_sweep_json(&tampered)
+            .unwrap_err()
+            .contains("identity"));
+        // A wrong schema version must be caught.
+        let wrong = good.replacen("\"schema_version\": 1", "\"schema_version\": 2", 1);
+        assert!(validate_sweep_json(&wrong).unwrap_err().contains("schema"));
+        // Losing a cell must be caught (cell count is pinned to the grid).
+        assert!(validate_sweep_json("{}").is_err());
+    }
+
+    #[test]
+    fn invalid_geometry_is_a_typed_error() {
+        let mut cfg = tiny_config();
+        cfg.geometries = vec![Geometry {
+            size_words: 100,
+            line_words: 1,
+            ways: 1,
+        }];
+        match run_sweep(&cfg) {
+            Err(SweepError::Config(ConfigError::BadSizeWords(100))) => {}
+            other => panic!("expected BadSizeWords, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_axis_is_rejected() {
+        let mut cfg = tiny_config();
+        cfg.modes.clear();
+        assert!(matches!(run_sweep(&cfg), Err(SweepError::EmptyGrid)));
+    }
+}

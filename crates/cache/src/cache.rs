@@ -5,7 +5,7 @@
 //! last-reference discard) is evaluated purely as a traffic question, as in
 //! any trace-driven cache study.
 
-use crate::config::{CacheConfig, WritePolicy};
+use crate::config::{CacheConfig, ConfigError, WritePolicy};
 use crate::policy::PolicyState;
 use crate::stats::CacheStats;
 use ucm_machine::{Flavour, MemEvent, TraceSink};
@@ -33,21 +33,28 @@ impl CacheSim {
     ///
     /// # Panics
     ///
-    /// Panics if `config` fails validation (construct configs via
-    /// [`CacheConfig::validate`] when they come from user input).
+    /// Panics if `config` fails validation — use [`CacheSim::try_new`] for
+    /// configs that come from user input.
     pub fn new(config: CacheConfig) -> Self {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid cache config: {e}"));
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid cache config: {e}"))
+    }
+
+    /// Creates a simulator for `config`, rejecting invalid geometries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`CacheConfig::validate`].
+    pub fn try_new(config: CacheConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let sets = config.num_sets();
-        CacheSim {
+        Ok(CacheSim {
             lines: vec![Line::default(); sets * config.associativity],
             policies: vec![PolicyState::new(config.policy, config.associativity); sets],
             stats: CacheStats::default(),
             now: 0,
             rng: config.seed | 1,
             config,
-        }
+        })
     }
 
     /// The accumulated statistics.
@@ -159,12 +166,14 @@ impl CacheSim {
                 None => {
                     self.stats.bypass_reads += 1;
                     self.stats.words_from_memory += 1;
+                    self.stats.bypass_words_from_memory += 1;
                 }
             },
             // ---- unambiguous stores: straight to memory ----
             (Flavour::UmAmStore, true) => {
                 self.stats.bypass_writes += 1;
                 self.stats.words_to_memory += 1;
+                self.stats.bypass_words_to_memory += 1;
                 // Defensive coherence: discard any (unexpected) cached copy.
                 if let Some(way) = self.find(set, tag) {
                     self.invalidate(set, way);
@@ -185,6 +194,7 @@ impl CacheSim {
                     // memory via the bypass path.
                     self.stats.bypass_reads += 1;
                     self.stats.words_from_memory += 1;
+                    self.stats.bypass_words_from_memory += 1;
                 }
                 None => {
                     self.stats.read_misses += 1;
@@ -198,6 +208,15 @@ impl CacheSim {
                     Some(way) => {
                         self.stats.write_hits += 1;
                         if last_ref {
+                            // §3.2: a last-reference store asserts the value
+                            // dies here, so the stored word goes nowhere —
+                            // it is dropped with the line, not written back
+                            // and not sent to memory. The prior dirty
+                            // contents (if any) show up in
+                            // `dead_line_discards` via `invalidate`; the
+                            // incoming word is accounted separately so no
+                            // traffic silently vanishes.
+                            self.stats.dead_store_drops += 1;
                             self.invalidate(set, way);
                         } else {
                             self.line_mut(set, way).dirty = true;
@@ -207,6 +226,7 @@ impl CacheSim {
                     None if last_ref => {
                         self.stats.bypass_writes += 1;
                         self.stats.words_to_memory += 1;
+                        self.stats.bypass_words_to_memory += 1;
                     }
                     None => {
                         self.stats.write_misses += 1;
@@ -360,6 +380,53 @@ mod tests {
         c.access(ev(13, false, Flavour::AmLoad, false));
         assert_eq!(c.stats().writebacks, 0);
         assert!(c.contains(13));
+    }
+
+    #[test]
+    fn last_ref_write_hit_drops_the_dead_store_accountably() {
+        // A dirty line, then a last-ref store hit: both the line's prior
+        // contents and the incoming word are dead. Neither may silently
+        // vanish from the books.
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(6, true, Flavour::AmSpStore, false)); // dirty line
+        c.access(ev(6, true, Flavour::AmSpStore, true)); // last-ref store hit
+        let s = c.stats();
+        assert_eq!(s.write_hits, 1);
+        assert_eq!(s.invalidates, 1);
+        assert_eq!(s.dead_line_discards, 1, "prior dirty word discarded");
+        assert_eq!(s.dead_store_drops, 1, "incoming word accounted as dropped");
+        assert_eq!(s.words_to_memory, 0, "nothing reached memory");
+        assert_eq!(s.writebacks, 0);
+        assert!(!c.contains(6));
+    }
+
+    #[test]
+    fn last_ref_write_hit_on_clean_line_counts_only_the_drop() {
+        let mut c = small(PolicyKind::Lru);
+        c.access(ev(8, false, Flavour::AmLoad, false)); // clean fill
+        c.access(ev(8, true, Flavour::AmSpStore, true)); // last-ref store hit
+        let s = c.stats();
+        assert_eq!(s.dead_store_drops, 1);
+        assert_eq!(s.dead_line_discards, 0, "line held no dirty data");
+        assert_eq!(s.writebacks, 0);
+    }
+
+    #[test]
+    fn bypass_word_counters_split_the_bus_traffic() {
+        let mut c = CacheSim::new(CacheConfig {
+            size_words: 16,
+            line_words: 4,
+            associativity: 1,
+            ..CacheConfig::default()
+        });
+        c.access(ev(0, false, Flavour::AmLoad, false)); // fill: 4 words
+        c.access(ev(20, false, Flavour::UmAmLoad, false)); // bypass read: 1
+        c.access(ev(21, true, Flavour::UmAmStore, false)); // bypass write: 1
+        let s = c.stats();
+        assert_eq!(s.bypass_words_from_memory, 1);
+        assert_eq!(s.bypass_words_to_memory, 1);
+        assert_eq!(s.bypass_bus_words(), 2);
+        assert_eq!(s.cache_bus_words(), 4, "only the fill is cache traffic");
     }
 
     #[test]

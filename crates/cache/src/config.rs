@@ -1,6 +1,74 @@
 //! Cache configuration.
 
+use std::error::Error;
 use std::fmt;
+
+/// A cache geometry inconsistency, reported by [`CacheConfig::validate`].
+///
+/// User-supplied geometries (CLI flags, sweep grids) should be validated
+/// and the error surfaced as a usage failure; the panicking simulator
+/// constructors are reserved for geometries the program itself computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `line_words` is zero or not a power of two.
+    BadLineWords(usize),
+    /// `size_words` is zero or not a power of two.
+    BadSizeWords(usize),
+    /// `size_words` is not a multiple of `line_words`.
+    SizeNotLineMultiple {
+        /// Offending total size.
+        size_words: usize,
+        /// Offending line size.
+        line_words: usize,
+    },
+    /// `associativity` is zero or exceeds the number of lines.
+    BadAssociativity {
+        /// Offending way count.
+        associativity: usize,
+        /// Total lines the geometry provides.
+        lines: usize,
+    },
+    /// Lines do not divide evenly into ways.
+    WaysDontDivideLines {
+        /// Offending way count.
+        associativity: usize,
+        /// Total lines the geometry provides.
+        lines: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadLineWords(n) => {
+                write!(f, "line_words {n} must be a power of two")
+            }
+            ConfigError::BadSizeWords(n) => {
+                write!(f, "size_words {n} must be a power of two")
+            }
+            ConfigError::SizeNotLineMultiple {
+                size_words,
+                line_words,
+            } => write!(
+                f,
+                "size {size_words} must be a multiple of the line size {line_words}"
+            ),
+            ConfigError::BadAssociativity {
+                associativity,
+                lines,
+            } => write!(f, "associativity {associativity} must be in 1..={lines}"),
+            ConfigError::WaysDontDivideLines {
+                associativity,
+                lines,
+            } => write!(
+                f,
+                "{lines} lines must divide evenly into {associativity} ways"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// Replacement policy selection.
 ///
@@ -40,6 +108,16 @@ pub enum WritePolicy {
     WriteBackAllocate,
     /// Write-through without allocation (ablation).
     WriteThroughNoAllocate,
+}
+
+impl fmt::Display for WritePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WritePolicy::WriteBackAllocate => "write-back",
+            WritePolicy::WriteThroughNoAllocate => "write-through",
+        };
+        write!(f, "{s}")
+    }
 }
 
 /// Geometry and policies of a simulated cache.
@@ -101,32 +179,32 @@ impl CacheConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first inconsistency.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first inconsistency as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.line_words == 0 || !self.line_words.is_power_of_two() {
-            return Err(format!(
-                "line_words {} must be a power of two",
-                self.line_words
-            ));
+            return Err(ConfigError::BadLineWords(self.line_words));
         }
         if self.size_words == 0 || !self.size_words.is_power_of_two() {
-            return Err(format!(
-                "size_words {} must be a power of two",
-                self.size_words
-            ));
+            return Err(ConfigError::BadSizeWords(self.size_words));
         }
         if !self.size_words.is_multiple_of(self.line_words) {
-            return Err("size must be a multiple of the line size".into());
+            return Err(ConfigError::SizeNotLineMultiple {
+                size_words: self.size_words,
+                line_words: self.line_words,
+            });
         }
         let lines = self.num_lines();
         if self.associativity == 0 || self.associativity > lines {
-            return Err(format!(
-                "associativity {} must be in 1..={lines}",
-                self.associativity
-            ));
+            return Err(ConfigError::BadAssociativity {
+                associativity: self.associativity,
+                lines,
+            });
         }
         if !lines.is_multiple_of(self.associativity) {
-            return Err("lines must divide evenly into ways".into());
+            return Err(ConfigError::WaysDontDivideLines {
+                associativity: self.associativity,
+                lines,
+            });
         }
         Ok(())
     }
@@ -171,10 +249,35 @@ mod tests {
             f(&mut c);
             c.validate().unwrap_err()
         };
-        bad(|c| c.line_words = 3);
-        bad(|c| c.size_words = 100);
-        bad(|c| c.associativity = 0);
-        bad(|c| c.associativity = 999);
+        assert_eq!(bad(|c| c.line_words = 3), ConfigError::BadLineWords(3));
+        assert_eq!(bad(|c| c.size_words = 100), ConfigError::BadSizeWords(100));
+        assert_eq!(
+            bad(|c| c.associativity = 0),
+            ConfigError::BadAssociativity {
+                associativity: 0,
+                lines: 256
+            }
+        );
+        assert_eq!(
+            bad(|c| c.associativity = 999),
+            ConfigError::BadAssociativity {
+                associativity: 999,
+                lines: 256
+            }
+        );
+        // Errors render as actionable messages.
+        assert!(bad(|c| c.line_words = 3)
+            .to_string()
+            .contains("power of two"));
+    }
+
+    #[test]
+    fn write_policy_display() {
+        assert_eq!(WritePolicy::WriteBackAllocate.to_string(), "write-back");
+        assert_eq!(
+            WritePolicy::WriteThroughNoAllocate.to_string(),
+            "write-through"
+        );
     }
 
     #[test]

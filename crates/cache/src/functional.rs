@@ -14,20 +14,88 @@
 //! unambiguous addresses are never cached is *believed*, not defended —
 //! which is what makes a wrong annotation detectable at all.
 
-use crate::config::{CacheConfig, WritePolicy};
+use crate::config::{CacheConfig, ConfigError, WritePolicy};
 use crate::policy::PolicyState;
 use crate::stats::CacheStats;
-use std::collections::HashMap;
 use std::fmt;
 use ucm_machine::{Flavour, MemEvent, TraceSink};
 
-/// A data-carrying cache line.
-#[derive(Debug, Clone, Default)]
+/// A data-carrying cache line. Line *words* live in the cache's flat
+/// `data` array (indexed by line slot), not per-line, so lines stay `Copy`
+/// and a simulation run allocates nothing after construction.
+#[derive(Debug, Clone, Copy, Default)]
 struct FLine {
     valid: bool,
     dirty: bool,
     tag: u64,
-    data: Vec<i64>,
+}
+
+/// Words per [`PagedMem`] page (power of two).
+const PAGE_WORDS: usize = 4096;
+
+/// A flat, paged word store standing in for main memory.
+///
+/// Replaces the original `HashMap<i64, i64>` mirror: reads and writes
+/// resolve to an index into a lazily-allocated 4096-word page, so the
+/// per-reference cost is a shift, a mask, and two array indexings — no
+/// hashing, no probe sequence. Absent words read as 0, matching the VM's
+/// zero-initialised memory.
+#[derive(Debug, Clone, Default)]
+pub struct PagedMem {
+    /// Pages for addresses `>= 0`, indexed by `addr / PAGE_WORDS`.
+    pos: Vec<Option<Box<[i64]>>>,
+    /// Pages for addresses `< 0`, indexed by `(-addr - 1) / PAGE_WORDS`.
+    neg: Vec<Option<Box<[i64]>>>,
+}
+
+impl PagedMem {
+    /// An empty store (all words read 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn slot(addr: i64) -> (bool, usize, usize) {
+        let (negative, magnitude) = if addr < 0 {
+            (true, (-(addr + 1)) as usize)
+        } else {
+            (false, addr as usize)
+        };
+        (negative, magnitude / PAGE_WORDS, magnitude % PAGE_WORDS)
+    }
+
+    /// The word at `addr` (0 when never written).
+    #[inline]
+    pub fn read(&self, addr: i64) -> i64 {
+        let (negative, page, off) = Self::slot(addr);
+        let table = if negative { &self.neg } else { &self.pos };
+        match table.get(page) {
+            Some(Some(p)) => p[off],
+            _ => 0,
+        }
+    }
+
+    /// Stores `value` at `addr`, allocating its page on first touch.
+    #[inline]
+    pub fn write(&mut self, addr: i64, value: i64) {
+        let (negative, page, off) = Self::slot(addr);
+        let table = if negative {
+            &mut self.neg
+        } else {
+            &mut self.pos
+        };
+        if table.len() <= page {
+            table.resize_with(page + 1, || None);
+        }
+        let p = table[page].get_or_insert_with(|| vec![0i64; PAGE_WORDS].into_boxed_slice());
+        p[off] = value;
+    }
+
+    /// Number of pages currently allocated (diagnostics).
+    pub fn allocated_pages(&self) -> usize {
+        let live = |t: &[Option<Box<[i64]>>]| t.iter().filter(|p| p.is_some()).count();
+        live(&self.pos) + live(&self.neg)
+    }
 }
 
 /// Where a load's value came from.
@@ -67,13 +135,14 @@ pub struct Served {
 pub struct FunctionalCache {
     config: CacheConfig,
     lines: Vec<FLine>, // num_sets * ways, way-major within set
+    /// Line words, `line_words` per line slot, same slot order as `lines`.
+    data: Vec<i64>,
     policies: Vec<PolicyState>,
     stats: CacheStats,
     now: u64,
     rng: u64,
-    /// Mirror of main memory as the cache believes it; absent words are 0,
-    /// matching the VM's zero-initialised memory.
-    mem: HashMap<i64, i64>,
+    /// Mirror of main memory as the cache believes it.
+    mem: PagedMem,
 }
 
 impl FunctionalCache {
@@ -81,28 +150,32 @@ impl FunctionalCache {
     ///
     /// # Panics
     ///
-    /// Panics if `config` fails validation (construct configs via
-    /// [`CacheConfig::validate`] when they come from user input).
+    /// Panics if `config` fails validation — use
+    /// [`FunctionalCache::try_new`] for configs that come from user input.
     pub fn new(config: CacheConfig) -> Self {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid cache config: {e}"));
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid cache config: {e}"))
+    }
+
+    /// Creates a functional cache for `config`, rejecting invalid
+    /// geometries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`CacheConfig::validate`].
+    pub fn try_new(config: CacheConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let sets = config.num_sets();
-        FunctionalCache {
-            lines: vec![
-                FLine {
-                    data: vec![0; config.line_words],
-                    ..FLine::default()
-                };
-                sets * config.associativity
-            ],
+        let slots = sets * config.associativity;
+        Ok(FunctionalCache {
+            lines: vec![FLine::default(); slots],
+            data: vec![0; slots * config.line_words],
             policies: vec![PolicyState::new(config.policy, config.associativity); sets],
             stats: CacheStats::default(),
             now: 0,
             rng: config.seed | 1,
             config,
-            mem: HashMap::new(),
-        }
+            mem: PagedMem::new(),
+        })
     }
 
     /// The accumulated statistics.
@@ -119,7 +192,7 @@ impl FunctionalCache {
     /// global segment into memory before execution, without trace events).
     pub fn preload(&mut self, base: i64, words: &[i64]) {
         for (i, &w) in words.iter().enumerate() {
-            self.mem.insert(base + i as i64, w);
+            self.mem.write(base + i as i64, w);
         }
     }
 
@@ -134,10 +207,7 @@ impl FunctionalCache {
     pub fn peek(&self, addr: i64) -> i64 {
         let (set, tag) = self.locate(addr);
         match self.find(set, tag) {
-            Some(way) => {
-                let l = &self.lines[set * self.config.associativity + way];
-                l.data[self.word_of(addr)]
-            }
+            Some(way) => self.data[self.word_index(set, way, self.word_of(addr))],
             None => self.mem_read(addr),
         }
     }
@@ -148,11 +218,11 @@ impl FunctionalCache {
     }
 
     fn mem_read(&self, addr: i64) -> i64 {
-        self.mem.get(&addr).copied().unwrap_or(0)
+        self.mem.read(addr)
     }
 
     fn mem_write(&mut self, addr: i64, value: i64) {
-        self.mem.insert(addr, value);
+        self.mem.write(addr, value);
     }
 
     fn locate(&self, addr: i64) -> (usize, u64) {
@@ -170,6 +240,12 @@ impl FunctionalCache {
     /// Offset of `addr` within its line.
     fn word_of(&self, addr: i64) -> usize {
         (addr as u64 % self.config.line_words as u64) as usize
+    }
+
+    /// Index into the flat `data` array for word `word` of `(set, way)`.
+    #[inline]
+    fn word_index(&self, set: usize, way: usize, word: usize) -> usize {
+        (set * self.config.associativity + way) * self.config.line_words + word
     }
 
     fn find(&self, set: usize, tag: u64) -> Option<usize> {
@@ -201,15 +277,15 @@ impl FunctionalCache {
         self.policies[set].on_invalidate(way);
     }
 
-    /// Writes the line's words back to the mirror memory.
+    /// Writes the line's words back to the mirror memory (no allocation:
+    /// words are copied straight out of the flat data array).
     fn write_back(&mut self, set: usize, way: usize) {
-        let (base, data) = {
-            let ways = self.config.associativity;
-            let line = &self.lines[set * ways + way];
-            (self.base_of(set, line.tag), line.data.clone())
-        };
-        for (i, w) in data.into_iter().enumerate() {
-            self.mem_write(base + i as i64, w);
+        let tag = self.lines[set * self.config.associativity + way].tag;
+        let base = self.base_of(set, tag);
+        let start = self.word_index(set, way, 0);
+        for i in 0..self.config.line_words {
+            let w = self.data[start + i];
+            self.mem.write(base + i as i64, w);
         }
         self.stats.writebacks += 1;
         self.stats.words_to_memory += self.config.line_words as u64;
@@ -240,13 +316,14 @@ impl FunctionalCache {
         way
     }
 
-    /// Copies the line's words from the mirror memory.
+    /// Copies the line's words from the mirror memory into the flat data
+    /// array (no allocation).
     fn fill(&mut self, set: usize, way: usize, tag: u64) {
         let base = self.base_of(set, tag);
-        let words: Vec<i64> = (0..self.config.line_words as i64)
-            .map(|i| self.mem_read(base + i))
-            .collect();
-        self.line_mut(set, way).data = words;
+        let start = self.word_index(set, way, 0);
+        for i in 0..self.config.line_words {
+            self.data[start + i] = self.mem.read(base + i as i64);
+        }
     }
 
     /// Presents one reference. `value` is the word being stored (ignored
@@ -272,7 +349,7 @@ impl FunctionalCache {
             (Flavour::UmAmLoad, false) => match self.find(set, tag) {
                 Some(way) => {
                     self.stats.read_hits += 1;
-                    let v = self.lines[set * self.config.associativity + way].data[word];
+                    let v = self.data[self.word_index(set, way, word)];
                     if self.config.honor_last_ref {
                         self.invalidate(set, way);
                     } else {
@@ -286,6 +363,7 @@ impl FunctionalCache {
                 None => {
                     self.stats.bypass_reads += 1;
                     self.stats.words_from_memory += 1;
+                    self.stats.bypass_words_from_memory += 1;
                     Served {
                         value: self.mem_read(ev.addr),
                         from: ServedFrom::Memory,
@@ -297,6 +375,7 @@ impl FunctionalCache {
             (Flavour::UmAmStore, true) => {
                 self.stats.bypass_writes += 1;
                 self.stats.words_to_memory += 1;
+                self.stats.bypass_words_to_memory += 1;
                 self.mem_write(ev.addr, value);
                 Served {
                     value,
@@ -307,7 +386,7 @@ impl FunctionalCache {
             (_, false) => match self.find(set, tag) {
                 Some(way) => {
                     self.stats.read_hits += 1;
-                    let v = self.lines[set * self.config.associativity + way].data[word];
+                    let v = self.data[self.word_index(set, way, word)];
                     if last_ref {
                         self.invalidate(set, way);
                     } else {
@@ -321,6 +400,7 @@ impl FunctionalCache {
                 None if last_ref => {
                     self.stats.bypass_reads += 1;
                     self.stats.words_from_memory += 1;
+                    self.stats.bypass_words_from_memory += 1;
                     Served {
                         value: self.mem_read(ev.addr),
                         from: ServedFrom::Memory,
@@ -332,7 +412,7 @@ impl FunctionalCache {
                     self.stats.words_from_memory += self.config.line_words as u64;
                     let way = self.allocate(set, tag);
                     self.fill(set, way, tag);
-                    let v = self.lines[set * self.config.associativity + way].data[word];
+                    let v = self.data[self.word_index(set, way, word)];
                     Served {
                         value: v,
                         from: ServedFrom::Memory,
@@ -345,19 +425,23 @@ impl FunctionalCache {
                         Some(way) => {
                             self.stats.write_hits += 1;
                             if last_ref {
-                                // The stored value is (claimed) dead: drop
-                                // the write with the line.
+                                // §3.2: the stored value is (claimed) dead —
+                                // drop the write with the line, and account
+                                // the dropped word so it does not silently
+                                // vanish from the traffic books.
+                                self.stats.dead_store_drops += 1;
                                 self.invalidate(set, way);
                             } else {
-                                let line = self.line_mut(set, way);
-                                line.data[word] = value;
-                                line.dirty = true;
+                                let i = self.word_index(set, way, word);
+                                self.data[i] = value;
+                                self.line_mut(set, way).dirty = true;
                                 self.policies[set].on_access(way, self.now);
                             }
                         }
                         None if last_ref => {
                             self.stats.bypass_writes += 1;
                             self.stats.words_to_memory += 1;
+                            self.stats.bypass_words_to_memory += 1;
                             self.mem_write(ev.addr, value);
                         }
                         None => {
@@ -370,9 +454,9 @@ impl FunctionalCache {
                                 self.stats.words_from_memory += self.config.line_words as u64;
                                 self.fill(set, way, tag);
                             }
-                            let line = self.line_mut(set, way);
-                            line.data[word] = value;
-                            line.dirty = true;
+                            let i = self.word_index(set, way, word);
+                            self.data[i] = value;
+                            self.line_mut(set, way).dirty = true;
                         }
                     },
                     WritePolicy::WriteThroughNoAllocate => {
@@ -384,8 +468,8 @@ impl FunctionalCache {
                                 if last_ref {
                                     self.invalidate(set, way);
                                 } else {
-                                    let line = self.line_mut(set, way);
-                                    line.data[word] = value;
+                                    let i = self.word_index(set, way, word);
+                                    self.data[i] = value;
                                     self.policies[set].on_access(way, self.now);
                                 }
                             }
@@ -514,14 +598,24 @@ impl CoherenceOracle {
     ///
     /// # Panics
     ///
-    /// Panics if `config` fails validation.
+    /// Panics if `config` fails validation — use
+    /// [`CoherenceOracle::try_new`] for configs from user input.
     pub fn new(config: CacheConfig) -> Self {
-        CoherenceOracle {
-            cache: FunctionalCache::new(config),
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid cache config: {e}"))
+    }
+
+    /// Creates an oracle, rejecting invalid geometries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`CacheConfig::validate`].
+    pub fn try_new(config: CacheConfig) -> Result<Self, ConfigError> {
+        Ok(CoherenceOracle {
+            cache: FunctionalCache::try_new(config)?,
             refs: 0,
             violations: 0,
             first: None,
-        }
+        })
     }
 
     /// Seeds the model's memory image (see [`FunctionalCache::preload`]).
@@ -688,8 +782,67 @@ mod tests {
             0,
             "both values gone: line discarded, mem never written"
         );
+        assert_eq!(c.stats().dead_store_drops, 1, "the drop is on the books");
+        assert_eq!(c.stats().dead_line_discards, 1);
         let s = c.access(ev(9, false, Flavour::AmLoad, false), 0);
         assert_ne!(s.value, 2, "the second store's value is unobservable");
+    }
+
+    #[test]
+    fn oracle_confirms_dead_store_drop_is_coherent_when_value_truly_dies() {
+        // The §3.2 semantics the accounting fix documents: a last-ref store
+        // hit drops the word with the line. When the annotation is *true*
+        // (the address is never read again), the oracle stays quiet — the
+        // drop is a pure traffic win, now visible as `dead_store_drops`.
+        let mut o = CoherenceOracle::new(CacheConfig {
+            size_words: 4,
+            line_words: 1,
+            associativity: 4,
+            ..CacheConfig::default()
+        });
+        o.data_ref_checked(ev(30, true, Flavour::AmSpStore, false), 1, 0x20);
+        o.data_ref_checked(ev(30, true, Flavour::AmSpStore, true), 2, 0x21);
+        // Unrelated traffic only; address 30 is dead.
+        o.data_ref_checked(ev(31, true, Flavour::AmSpStore, false), 9, 0x22);
+        o.data_ref_checked(ev(31, false, Flavour::AmLoad, false), 9, 0x23);
+        assert!(o.is_coherent());
+        assert_eq!(o.cache().stats().dead_store_drops, 1);
+        assert_eq!(o.cache().stats().words_to_memory, 0);
+    }
+
+    #[test]
+    fn oracle_flags_dead_store_drop_when_annotation_is_forged() {
+        // Same drop, wrong annotation: the VM's ground truth still reads 2
+        // at the next load, but the model lost both stores.
+        let mut o = CoherenceOracle::new(CacheConfig {
+            size_words: 4,
+            line_words: 1,
+            associativity: 4,
+            ..CacheConfig::default()
+        });
+        o.data_ref_checked(ev(30, true, Flavour::AmSpStore, false), 1, 0x20);
+        o.data_ref_checked(ev(30, true, Flavour::AmSpStore, true), 2, 0x21);
+        o.data_ref_checked(ev(30, false, Flavour::AmLoad, false), 2, 0x22);
+        assert_eq!(o.violations(), 1);
+        assert_eq!(o.cache().stats().dead_store_drops, 1);
+        let v = o.first_violation().unwrap();
+        assert_eq!((v.stale, v.fresh), (0, 2));
+    }
+
+    #[test]
+    fn paged_mem_roundtrips_across_pages_and_signs() {
+        let mut m = PagedMem::new();
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.read(-1), 0);
+        assert_eq!(m.allocated_pages(), 0);
+        for &a in &[0i64, 1, 4095, 4096, 123_456, -1, -4096, -10_000] {
+            m.write(a, a * 3 + 1);
+        }
+        for &a in &[0i64, 1, 4095, 4096, 123_456, -1, -4096, -10_000] {
+            assert_eq!(m.read(a), a * 3 + 1, "addr {a}");
+        }
+        assert_eq!(m.read(7), 0, "untouched word on an allocated page");
+        assert!(m.allocated_pages() >= 4);
     }
 
     #[test]

@@ -50,8 +50,10 @@ pub mod stats;
 pub mod system;
 
 pub use cache::CacheSim;
-pub use config::{CacheConfig, PolicyKind, WritePolicy};
-pub use functional::{CoherenceOracle, CoherenceViolation, FunctionalCache, Served, ServedFrom};
-pub use min::simulate_min;
+pub use config::{CacheConfig, ConfigError, PolicyKind, WritePolicy};
+pub use functional::{
+    CoherenceOracle, CoherenceViolation, FunctionalCache, PagedMem, Served, ServedFrom,
+};
+pub use min::{simulate_min, try_simulate_min};
 pub use stats::{CacheStats, Latency};
 pub use system::MemorySystem;

@@ -5,7 +5,7 @@
 //! MIN needs the future, so it runs over a recorded trace: the victim is the
 //! resident line whose next use lies farthest in the future.
 
-use crate::config::{CacheConfig, WritePolicy};
+use crate::config::{CacheConfig, ConfigError, WritePolicy};
 use crate::stats::CacheStats;
 use std::collections::HashMap;
 use ucm_machine::{Flavour, MemEvent};
@@ -21,10 +21,25 @@ struct MinLine {
 
 /// Simulates `events` under Belady MIN replacement with the same flavour and
 /// last-reference semantics as [`crate::CacheSim`].
+///
+/// # Panics
+///
+/// Panics if `config` fails validation — use [`try_simulate_min`] for
+/// configs that come from user input.
 pub fn simulate_min(events: &[MemEvent], config: &CacheConfig) -> CacheStats {
-    config
-        .validate()
-        .unwrap_or_else(|e| panic!("invalid cache config: {e}"));
+    try_simulate_min(events, config).unwrap_or_else(|e| panic!("invalid cache config: {e}"))
+}
+
+/// [`simulate_min`], rejecting invalid geometries instead of panicking.
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`] from [`CacheConfig::validate`].
+pub fn try_simulate_min(
+    events: &[MemEvent],
+    config: &CacheConfig,
+) -> Result<CacheStats, ConfigError> {
+    config.validate()?;
     // next_use[i] = index of the next event touching the same line.
     let line_of = |addr: i64| (addr as u64) / config.line_words as u64;
     let mut next_use = vec![u64::MAX; events.len()];
@@ -83,11 +98,13 @@ pub fn simulate_min(events: &[MemEvent], config: &CacheConfig) -> CacheStats {
                 None => {
                     stats.bypass_reads += 1;
                     stats.words_from_memory += 1;
+                    stats.bypass_words_from_memory += 1;
                 }
             },
             (Flavour::UmAmStore, true) => {
                 stats.bypass_writes += 1;
                 stats.words_to_memory += 1;
+                stats.bypass_words_to_memory += 1;
                 if let Some(w) = hit {
                     invalidate(&mut slice[w], &mut stats);
                 }
@@ -104,6 +121,7 @@ pub fn simulate_min(events: &[MemEvent], config: &CacheConfig) -> CacheStats {
                 None if last_ref => {
                     stats.bypass_reads += 1;
                     stats.words_from_memory += 1;
+                    stats.bypass_words_from_memory += 1;
                 }
                 None => {
                     stats.read_misses += 1;
@@ -117,6 +135,9 @@ pub fn simulate_min(events: &[MemEvent], config: &CacheConfig) -> CacheStats {
                     Some(w) => {
                         stats.write_hits += 1;
                         if last_ref {
+                            // §3.2 semantics as in `CacheSim::access`: the
+                            // dying store's word is dropped with the line.
+                            stats.dead_store_drops += 1;
                             invalidate(&mut slice[w], &mut stats);
                         } else {
                             slice[w].dirty = true;
@@ -126,6 +147,7 @@ pub fn simulate_min(events: &[MemEvent], config: &CacheConfig) -> CacheStats {
                     None if last_ref => {
                         stats.bypass_writes += 1;
                         stats.words_to_memory += 1;
+                        stats.bypass_words_to_memory += 1;
                     }
                     None => {
                         stats.write_misses += 1;
@@ -154,7 +176,7 @@ pub fn simulate_min(events: &[MemEvent], config: &CacheConfig) -> CacheStats {
             },
         }
     }
-    stats
+    Ok(stats)
 }
 
 /// Fills `tag` into a free way, or evicts the way with the farthest next use.

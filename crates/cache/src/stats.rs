@@ -24,6 +24,12 @@ pub struct CacheStats {
     /// Dirty lines discarded without write-back because their value was
     /// provably dead (the paper's "empty line" benefit).
     pub dead_line_discards: u64,
+    /// Stored words dropped on a write-back write hit whose last-reference
+    /// bit was set (§3.2): the compiler asserts the value dies with this
+    /// store, so the word is neither cached nor sent to memory. Counted
+    /// separately from [`dead_line_discards`](Self::dead_line_discards),
+    /// which only sees the line's *prior* dirty contents.
+    pub dead_store_drops: u64,
     /// Lines fetched from memory into the cache.
     pub fills: u64,
     /// Dirty lines written back to memory on eviction.
@@ -32,6 +38,13 @@ pub struct CacheStats {
     pub words_from_memory: u64,
     /// Words moved processor/cache → memory.
     pub words_to_memory: u64,
+    /// Of [`words_from_memory`](Self::words_from_memory), the words moved
+    /// by bypass reads (no line fill). Kept explicit so derived metrics
+    /// never assume a bypass transfer is exactly one word.
+    pub bypass_words_from_memory: u64,
+    /// Of [`words_to_memory`](Self::words_to_memory), the words moved by
+    /// bypass writes.
+    pub bypass_words_to_memory: u64,
 }
 
 /// Latency parameters for the access-time model (cycles).
@@ -84,10 +97,19 @@ impl CacheStats {
         self.words_from_memory + self.words_to_memory
     }
 
+    /// Bus words moved directly between processor and memory by bypass
+    /// transfers, in both directions.
+    pub fn bypass_bus_words(&self) -> u64 {
+        self.bypass_words_from_memory + self.bypass_words_to_memory
+    }
+
     /// Bus words moved by the *cache* (fills and write-backs), excluding
     /// direct bypass transfers — the policy-sensitive part of the traffic.
+    /// Derived from the explicit bypass word counters, not from bypass
+    /// reference counts, so it stays correct if a bypass transfer ever
+    /// moves more than one word.
     pub fn cache_bus_words(&self) -> u64 {
-        self.bus_words() - self.bypass_reads - self.bypass_writes
+        self.bus_words() - self.bypass_bus_words()
     }
 
     /// Total memory access time under a simple latency model: every
@@ -127,6 +149,8 @@ mod tests {
             writebacks: 3,
             words_from_memory: 25, // 15 fills + 10 bypass reads (line = 1)
             words_to_memory: 8,    // 3 writebacks + 5 bypass writes
+            bypass_words_from_memory: 10,
+            bypass_words_to_memory: 5,
             ..CacheStats::default()
         };
         assert_eq!(s.total_refs(), 100);
@@ -134,9 +158,29 @@ mod tests {
         assert_eq!(s.misses(), 15);
         assert!((s.miss_rate() - 15.0 / 85.0).abs() < 1e-12);
         assert_eq!(s.bus_words(), 33);
+        assert_eq!(s.bypass_bus_words(), 15);
+        assert_eq!(s.cache_bus_words(), 18);
         let lat = Latency::default();
         assert_eq!(s.access_time(lat), 85 + 330);
         assert!((s.amat(lat) - 4.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_bus_words_uses_explicit_bypass_word_counters() {
+        // A hypothetical multi-word bypass transfer: 4 bypass reads moving
+        // 2 words each. Deriving from reference counts would misreport the
+        // cache's share of the bus by 4 words.
+        let s = CacheStats {
+            reads: 10,
+            read_misses: 6,
+            fills: 6,
+            bypass_reads: 4,
+            words_from_memory: 6 * 4 + 4 * 2, // 6 line fills of 4 + bypasses
+            bypass_words_from_memory: 4 * 2,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.cache_bus_words(), 24);
+        assert_eq!(s.bypass_bus_words(), 8);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! ucmc trace <file.mini>     first memory references with their tags
 //! ucmc check <file.mini>     oracle-checked run: coherence report (JSON lines)
 //! ucmc faults <file.mini>    annotation fault-injection campaign (JSON lines)
+//! ucmc sweep                 parallel grid sweep -> BENCH_sweep.json + table
 //! ```
 //!
 //! Common flags: `--regs N`, `--paper` (frame-resident scalars, the paper's
@@ -21,6 +22,12 @@
 //! Fault-campaign flags: `--seed N` plus any of `--flip-bypass`,
 //! `--drop-last-ref`, `--forge-last-ref`, `--swap-flavour`,
 //! `--misclassify PCT` (no selection = all kinds).
+//!
+//! `sweep` takes no source file; its flags are `--out PATH` (default
+//! `BENCH_sweep.json`), `--quick` (the reduced CI grid), `--paper-sizes`
+//! (full paper-size workloads — slow and memory-hungry), `--seed N`
+//! (random-policy seed), and `--validate FILE` (schema-check an existing
+//! artifact instead of sweeping).
 //!
 //! ## Exit codes
 //!
@@ -106,6 +113,16 @@ impl CmdOutput {
     }
 }
 
+/// Options of the file-less `sweep` command.
+#[derive(Debug, Clone, Default)]
+struct SweepOpts {
+    quick: bool,
+    paper_sizes: bool,
+    out: String,
+    validate: Option<String>,
+    seed: Option<u64>,
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone)]
 pub struct Invocation {
@@ -117,6 +134,7 @@ pub struct Invocation {
     limit: usize,
     seed: u64,
     kinds: Vec<FaultKind>,
+    sweep: SweepOpts,
 }
 
 /// Usage text.
@@ -124,7 +142,9 @@ pub const USAGE: &str = "usage: ucmc <run|compare|ir|classify|trace|check|faults
 [--regs N] [--paper] [--conventional] [--safe|--degrade-ambiguous] \
 [--cache-words N] [--ways N] [--limit N] [--max-steps N] [--mem-words N] \
 [--seed N] [--flip-bypass] [--drop-last-ref] [--forge-last-ref] \
-[--swap-flavour] [--misclassify PCT]";
+[--swap-flavour] [--misclassify PCT]\n\
+\x20      ucmc sweep [--out PATH] [--quick] [--paper-sizes] [--seed N] \
+[--validate FILE]";
 
 /// Parses arguments (excluding `argv0`) and reads the source file.
 ///
@@ -140,11 +160,14 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
     let mut it = args.iter();
     let command = it.next().ok_or_else(|| err("missing command"))?.clone();
     if ![
-        "run", "compare", "ir", "classify", "trace", "check", "faults",
+        "run", "compare", "ir", "classify", "trace", "check", "faults", "sweep",
     ]
     .contains(&command.as_str())
     {
         return Err(err(&format!("unknown command `{command}`")));
+    }
+    if command == "sweep" {
+        return parse_sweep_args(command, it, err);
     }
     let path = it.next().ok_or_else(|| err("missing source file"))?;
     let source =
@@ -206,6 +229,58 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
         limit,
         seed,
         kinds,
+        sweep: SweepOpts::default(),
+    })
+}
+
+/// Parses the tail of a `sweep` invocation (which takes no source file).
+fn parse_sweep_args(
+    command: String,
+    mut it: std::slice::Iter<'_, String>,
+    err: impl Fn(&str) -> CliError,
+) -> Result<Invocation, CliError> {
+    let mut sweep = SweepOpts {
+        out: "BENCH_sweep.json".into(),
+        ..SweepOpts::default()
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => sweep.quick = true,
+            "--paper-sizes" => sweep.paper_sizes = true,
+            "--out" => {
+                sweep.out = it.next().ok_or_else(|| err("--out needs a path"))?.clone();
+            }
+            "--validate" => {
+                sweep.validate = Some(
+                    it.next()
+                        .ok_or_else(|| err("--validate needs a path"))?
+                        .clone(),
+                );
+            }
+            "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--seed needs a value"))?
+                    .parse::<u64>()
+                    .map_err(|_| err("--seed needs a number"))?;
+                sweep.seed = Some(v);
+            }
+            other => return Err(err(&format!("unknown sweep flag `{other}`"))),
+        }
+    }
+    if sweep.quick && sweep.paper_sizes {
+        return Err(err("--quick and --paper-sizes are mutually exclusive"));
+    }
+    Ok(Invocation {
+        command,
+        source: String::new(),
+        options: CompilerOptions::default(),
+        cache: CacheConfig::default(),
+        vm: VmConfig::default(),
+        limit: 20,
+        seed: 1,
+        kinds: Vec::new(),
+        sweep,
     })
 }
 
@@ -223,8 +298,67 @@ pub fn execute(inv: &Invocation) -> Result<CmdOutput, CliError> {
         "trace" => cmd_trace(inv),
         "check" => cmd_check(inv),
         "faults" => cmd_faults(inv),
+        "sweep" => cmd_sweep(inv),
         _ => unreachable!("parse_args validated the command"),
     }
+}
+
+fn cmd_sweep(inv: &Invocation) -> Result<CmdOutput, CliError> {
+    use ucm_bench::sweep::{run_sweep, validate_sweep_json, SweepConfig, SweepError};
+
+    // Validation-only mode: schema-check an existing artifact.
+    if let Some(path) = &inv.sweep.validate {
+        let text = std::fs::read_to_string(path).map_err(|e| CliError {
+            message: format!("cannot read `{path}`: {e}"),
+            code: EXIT_USAGE,
+        })?;
+        let summary = validate_sweep_json(&text).map_err(|e| CliError {
+            message: format!("`{path}` is not a valid sweep artifact: {e}"),
+            code: EXIT_ERROR,
+        })?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"{{"event":"sweep-validate","file":"{path}","schema_version":{},"traces":{},"cells":{}}}"#,
+            summary.schema_version, summary.traces, summary.cells,
+        );
+        return Ok(CmdOutput::ok(out));
+    }
+
+    let mut cfg = if inv.sweep.quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::full()
+    };
+    if inv.sweep.paper_sizes {
+        cfg.workloads = ucm_workloads::paper_suite();
+        cfg.suite = "paper".into();
+    }
+    if let Some(seed) = inv.sweep.seed {
+        cfg.seed = seed;
+    }
+    let report = run_sweep(&cfg).map_err(|e| CliError {
+        message: e.to_string(),
+        code: match e {
+            SweepError::Config(_) | SweepError::EmptyGrid => EXIT_USAGE,
+            _ => EXIT_ERROR,
+        },
+    })?;
+    let artifact = report.to_json();
+    std::fs::write(&inv.sweep.out, &artifact).map_err(|e| CliError {
+        message: format!("cannot write `{}`: {e}", inv.sweep.out),
+        code: EXIT_ERROR,
+    })?;
+    let mut out = report.table();
+    let _ = writeln!(
+        out,
+        r#"{{"event":"sweep","suite":"{}","traces":{},"cells":{},"out":"{}"}}"#,
+        report.suite,
+        report.traces.len(),
+        report.cells.len(),
+        inv.sweep.out,
+    );
+    Ok(CmdOutput::ok(out))
 }
 
 fn cmd_run(inv: &Invocation) -> Result<CmdOutput, CliError> {
@@ -637,6 +771,52 @@ mod tests {
         // The summary line reports all three classes.
         let summary = out.text.lines().last().unwrap();
         assert!(summary.contains(r#""coherence_breaking""#));
+    }
+
+    #[test]
+    fn sweep_flag_parsing_and_errors() {
+        let inv = parse_args(&args(&["sweep", "--quick", "--out", "/tmp/x.json"])).unwrap();
+        assert!(inv.sweep.quick);
+        assert_eq!(inv.sweep.out, "/tmp/x.json");
+        let inv = parse_args(&args(&["sweep", "--seed", "42"])).unwrap();
+        assert_eq!(inv.sweep.seed, Some(42));
+        assert_eq!(inv.sweep.out, "BENCH_sweep.json");
+
+        for bad in [
+            args(&["sweep", "--bogus"]),
+            args(&["sweep", "--out"]),
+            args(&["sweep", "--seed", "x"]),
+            args(&["sweep", "--quick", "--paper-sizes"]),
+        ] {
+            let e = parse_args(&bad).unwrap_err();
+            assert_eq!(e.code, EXIT_USAGE, "{}", e.message);
+        }
+    }
+
+    #[test]
+    fn sweep_writes_a_validating_artifact() {
+        let out = std::env::temp_dir().join("ucmc_test_sweep.json");
+        let out = out.to_string_lossy().into_owned();
+        let inv = parse_args(&args(&["sweep", "--quick", "--out", &out])).unwrap();
+        let result = execute(&inv).unwrap();
+        assert_eq!(result.code, EXIT_OK);
+        assert!(result.text.contains(r#""event":"sweep""#));
+        assert!(result.text.contains("workload")); // the table header
+
+        // The artifact it wrote passes its own validator.
+        let inv = parse_args(&args(&["sweep", "--validate", &out])).unwrap();
+        let result = execute(&inv).unwrap();
+        assert_eq!(result.code, EXIT_OK);
+        assert!(result.text.contains(r#""event":"sweep-validate""#));
+
+        // A corrupted artifact is rejected with a runtime (not usage) error.
+        std::fs::write(&out, "{\"schema_version\": 1}").unwrap();
+        let err = execute(&inv).unwrap_err();
+        assert_eq!(err.code, EXIT_ERROR);
+
+        // A missing artifact is a usage error.
+        let inv = parse_args(&args(&["sweep", "--validate", "/no/such.json"])).unwrap();
+        assert_eq!(execute(&inv).unwrap_err().code, EXIT_USAGE);
     }
 
     #[test]

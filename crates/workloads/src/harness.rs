@@ -55,6 +55,22 @@ pub fn paper_suite() -> Vec<Workload> {
     ]
 }
 
+/// All six benchmarks at *sweep* sizes: large enough to exercise real
+/// cache behaviour (footprints well beyond the default 256-word cache),
+/// small enough that the full grid of `ucmc sweep` — which replays each
+/// recorded trace once per grid cell — completes in seconds. Paper sizes
+/// remain available behind `ucmc sweep --paper-sizes`.
+pub fn sweep_suite() -> Vec<Workload> {
+    vec![
+        crate::bubble::workload(150),
+        crate::intmm::workload(16),
+        crate::puzzle::workload(),
+        crate::queen::workload(7),
+        crate::sieve::workload(2048, 2),
+        crate::towers::workload(12),
+    ]
+}
+
 /// Scaled-down versions for fast (debug-build) test runs.
 pub fn quick_suite() -> Vec<Workload> {
     vec![
@@ -80,6 +96,13 @@ mod tests {
             vec!["bubble", "intmm", "puzzle", "queen", "sieve", "towers"]
         );
         assert_eq!(quick_suite().len(), 5);
+        let sweep = sweep_suite();
+        assert_eq!(sweep.len(), 6, "sweep covers all six benchmarks");
+        let sweep_names: Vec<&str> = sweep.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(
+            sweep_names,
+            vec!["bubble", "intmm", "puzzle", "queen", "sieve", "towers"]
+        );
     }
 
     #[test]

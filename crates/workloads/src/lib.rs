@@ -40,4 +40,4 @@ pub mod queen;
 pub mod sieve;
 pub mod towers;
 
-pub use harness::{paper_suite, quick_suite, Workload};
+pub use harness::{paper_suite, quick_suite, sweep_suite, Workload};

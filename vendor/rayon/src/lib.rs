@@ -1,0 +1,197 @@
+//! An offline, API-compatible subset of [rayon](https://crates.io/crates/rayon).
+//!
+//! The workspace builds in containers without network access, so the real
+//! rayon cannot be downloaded. This stub supports the one shape the sweep
+//! engine uses — `slice.par_iter().map(f).collect::<Vec<_>>()` — with the
+//! same ordering guarantee as real rayon: the collected vector is indexed
+//! like the input regardless of which worker ran which item.
+//!
+//! Scheduling is a shared atomic cursor over the input (self-balancing for
+//! uneven item costs, like rayon's work stealing at this granularity) on
+//! `std::thread::scope` workers, one per available core. A panic in any
+//! closure propagates to the caller, as with real rayon.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Re-exports for `use rayon::prelude::*` compatibility.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel iterator will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Types that offer a borrowing parallel iterator (subset: slices, `Vec`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed item type.
+    type Item: 'data;
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrowing counterpart of rayon's `par_iter`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The parallel-iterator operations the subset supports.
+pub trait ParallelIterator: Sized {
+    /// Item type flowing through the iterator.
+    type Item;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Runs the pipeline, preserving input order in the output.
+    fn collect_vec(self) -> Vec<Self::Item>;
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for ParIter<'data, T> {
+    type Item = &'data T;
+
+    fn collect_vec(self) -> Vec<&'data T> {
+        self.items.iter().collect()
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<'data, T, R, F> Map<ParIter<'data, T>, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Drives the map in parallel and collects results in input order
+    /// (subset: the only collection target is `Vec`).
+    pub fn collect<C: FromOrderedVec<R>>(self) -> C {
+        C::from_ordered_vec(par_map_ordered(self.base.items, &self.f))
+    }
+}
+
+/// Collection targets for [`Map::collect`] (subset: `Vec`).
+pub trait FromOrderedVec<R> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromOrderedVec<R> for Vec<R> {
+    fn from_ordered_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// Maps `items` through `f` on a pool of scoped workers, returning results
+/// in input order. Items are claimed one at a time from a shared cursor so
+/// expensive items do not serialize behind a static partition.
+fn par_map_ordered<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_and_ordered() {
+        let input: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> = input
+            .par_iter()
+            .map(|&x| {
+                // Make early items much more expensive than late ones.
+                let spin = if x < 4 { 200_000 } else { 10 };
+                let mut acc = x;
+                for i in 0..spin {
+                    acc = acc.wrapping_mul(31).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+                x
+            })
+            .collect();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = vec![7];
+        let out: Vec<i32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}
