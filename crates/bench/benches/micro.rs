@@ -5,9 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashMap;
 use std::hint::black_box;
-use ucm_cache::{CacheConfig, CacheSim, FunctionalCache, PagedMem};
+use ucm_cache::{CacheConfig, CacheSim, FunctionalCache, PagedMem, TimedCache, TimingConfig};
 use ucm_core::pipeline::{compile, CompilerOptions};
-use ucm_machine::{run, Flavour, MemEvent, MemTag, NullSink, VmConfig};
+use ucm_machine::{run, Flavour, MemEvent, MemTag, NullSink, TraceSink, VmConfig};
 
 /// 1M-reference synthetic mixed trace over a 4096-word footprint.
 fn synthetic_trace() -> Vec<MemEvent> {
@@ -125,9 +125,45 @@ fn bench_functional_cache(c: &mut Criterion) {
     });
 }
 
+/// The timing hot loop: classify + price every reference of the synthetic
+/// trace through the event-driven simulator. `timed_cache_1m_refs` is the
+/// sweep's per-cell cost with `--timing`; comparing against
+/// `cache_sim_1m_refs` isolates what the cycle model adds.
+fn bench_timing(c: &mut Criterion) {
+    let trace = synthetic_trace();
+    for (name, timing) in [
+        ("timed_cache_1m_refs_wb4", TimingConfig::default()),
+        (
+            "timed_cache_1m_refs_wb0",
+            TimingConfig {
+                write_buffer_entries: 0,
+                ..TimingConfig::default()
+            },
+        ),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sink = TimedCache::new(
+                    CacheConfig {
+                        associativity: 4,
+                        ..CacheConfig::default()
+                    },
+                    timing,
+                );
+                for ev in &trace {
+                    sink.data_ref(black_box(*ev));
+                }
+                let (_, report) = sink.finish(trace.len() as u64 * 2);
+                report.total_cycles
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_compile, bench_vm, bench_cache, bench_mirror_memory, bench_functional_cache
+    targets = bench_compile, bench_vm, bench_cache, bench_mirror_memory, bench_functional_cache,
+        bench_timing
 }
 criterion_main!(benches);

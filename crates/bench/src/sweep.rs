@@ -21,16 +21,23 @@
 use rayon::prelude::*;
 use std::error::Error;
 use std::fmt;
-use ucm_cache::{CacheConfig, CacheSim, CacheStats, ConfigError, Latency, PolicyKind, WritePolicy};
+use ucm_cache::{
+    CacheConfig, CacheSim, CacheStats, ConfigError, Latency, PolicyKind, TimedCache, TimingConfig,
+    TimingReport, WritePolicy,
+};
 use ucm_core::pipeline::{compile, CompileError, CompilerOptions};
 use ucm_core::ManagementMode;
-use ucm_machine::{run, CountSink, MemEvent, TeeSink, VecSink, VmConfig, VmError};
+use ucm_machine::{run, CountSink, MemEvent, TeeSink, TraceSink, VecSink, VmConfig, VmError};
 use ucm_workloads::Workload;
 
-use crate::json::{self, Json};
+use crate::json::{self, Json, JsonError};
 
 /// Artifact schema version; bump when the JSON layout changes.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 had no timing columns; v2 adds the per-cell `timing`
+/// object (cycles, CPI, stall breakdown), the `timing_config` header, and
+/// `cycle_reduction_pct` inside `vs_conventional`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Codegen style axis: which compiler the trace models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +107,9 @@ pub struct SweepConfig {
     pub policies: Vec<PolicyKind>,
     /// Latency model for AMAT.
     pub latency: Latency,
+    /// Cycle-level timing model; `Some` replays every cell through the
+    /// `ucm-timing` simulator and adds per-cell cycles/CPI columns.
+    pub timing: Option<TimingConfig>,
     /// Seed for the random replacement policy.
     pub seed: u64,
     /// VM configuration for trace recording.
@@ -108,10 +118,12 @@ pub struct SweepConfig {
 
 impl SweepConfig {
     /// The full default grid: all six benchmarks at sweep sizes, both
-    /// codegen styles, all three modes, three geometries (the paper's
-    /// direct-mapped line-1 cache, a 4-way variant, and a 4-word-line
-    /// 4-way cache), both write policies, all four online replacement
-    /// policies.
+    /// codegen styles, all three modes, four geometries (a 16-word
+    /// 8-word-line pressure cache where contention dominates and bypass
+    /// pays off — the regime the paper's tiny on-chip caches lived in —
+    /// plus the paper's direct-mapped line-1 cache, a 4-way variant, and
+    /// a 4-word-line 4-way cache), both write policies, all four online
+    /// replacement policies.
     pub fn full() -> Self {
         SweepConfig {
             suite: "sweep".into(),
@@ -123,6 +135,11 @@ impl SweepConfig {
                 ManagementMode::Safe,
             ],
             geometries: vec![
+                Geometry {
+                    size_words: 16,
+                    line_words: 8,
+                    ways: 1,
+                },
                 Geometry {
                     size_words: 256,
                     line_words: 1,
@@ -150,9 +167,18 @@ impl SweepConfig {
                 PolicyKind::Random,
             ],
             latency: Latency::default(),
+            timing: None,
             seed: CacheConfig::default().seed,
             vm: VmConfig::default(),
         }
+    }
+
+    /// Turns on the cycle-level timing model with its default parameters
+    /// (what `ucmc sweep --timing` runs).
+    #[must_use]
+    pub fn with_timing(mut self) -> Self {
+        self.timing = Some(TimingConfig::default());
+        self
     }
 
     /// A reduced grid for CI smoke runs and tests: quick-suite workloads,
@@ -307,6 +333,45 @@ pub struct CellRatios {
     pub bus_words_reduction_pct: f64,
     /// Speedup of total memory access time.
     pub access_time_speedup: f64,
+    /// Reduction in total cycles under the timing model, percent;
+    /// `None` when the sweep ran without timing.
+    pub cycle_reduction_pct: Option<f64>,
+}
+
+/// Cycle-level columns of one grid cell, from replaying its trace through
+/// the `ucm-timing` simulator (write buffer, bus contention, CPI).
+#[derive(Debug, Clone, Copy)]
+pub struct CellTiming {
+    /// Total cycles to run the trace, including the final write-buffer
+    /// drain.
+    pub total_cycles: u64,
+    /// Cycles per VM step.
+    pub cpi: f64,
+    /// Cycles the memory bus spent transferring words.
+    pub bus_busy_cycles: u64,
+    /// Core cycles stalled behind demand reads (misses and bypass reads).
+    pub read_stall_cycles: u64,
+    /// Core cycles stalled pushing writes into a full (or absent) buffer.
+    pub write_stall_cycles: u64,
+    /// Core cycles stalled force-draining same-address write-buffer
+    /// entries ahead of a conflicting read.
+    pub hazard_stall_cycles: u64,
+    /// Peak write-buffer occupancy (entries).
+    pub wb_peak: u64,
+}
+
+impl CellTiming {
+    fn from_report(r: &TimingReport) -> Self {
+        CellTiming {
+            total_cycles: r.total_cycles,
+            cpi: r.cpi(),
+            bus_busy_cycles: r.bus_busy_cycles,
+            read_stall_cycles: r.read_stall_cycles,
+            write_stall_cycles: r.write_stall_cycles,
+            hazard_stall_cycles: r.hazard_stall_cycles,
+            wb_peak: r.wb_peak as u64,
+        }
+    }
 }
 
 /// One grid cell of the sweep.
@@ -328,6 +393,9 @@ pub struct CellReport {
     pub stats: CacheStats,
     /// Average memory access time under the sweep's latency model.
     pub amat: f64,
+    /// Cycle-level columns; `None` when the sweep ran without a timing
+    /// model.
+    pub timing: Option<CellTiming>,
     /// Ratios against the conventional twin cell; `None` for conventional
     /// cells, or when the grid has no conventional mode.
     pub vs_conventional: Option<CellRatios>,
@@ -392,13 +460,33 @@ fn record_trace(
     })
 }
 
-/// Replays a recorded trace against one cache configuration.
-fn replay(events: &[MemEvent], cfg: CacheConfig) -> CacheStats {
-    let mut sim = CacheSim::try_new(cfg).expect("grid geometries validated before replay");
-    for ev in events {
-        sim.access(*ev);
+/// Replays a recorded trace against one cache configuration, optionally
+/// pricing it in cycles (`steps` is the trace's VM step count, needed for
+/// the CPI denominator).
+fn replay(
+    events: &[MemEvent],
+    cfg: CacheConfig,
+    timing: Option<TimingConfig>,
+    steps: u64,
+) -> (CacheStats, Option<CellTiming>) {
+    match timing {
+        None => {
+            let mut sim = CacheSim::try_new(cfg).expect("grid geometries validated before replay");
+            for ev in events {
+                sim.access(*ev);
+            }
+            (*sim.stats(), None)
+        }
+        Some(t) => {
+            let mut sink =
+                TimedCache::try_new(cfg, t).expect("grid geometries validated before replay");
+            for ev in events {
+                sink.data_ref(*ev);
+            }
+            let (stats, report) = sink.finish(steps);
+            (stats, Some(CellTiming::from_report(&report)))
+        }
     }
-    *sim.stats()
 }
 
 /// Runs the sweep: records every trace, replays every grid cell in
@@ -438,7 +526,8 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
             }
         }
     }
-    let blocks: Vec<Result<(TraceSummary, Vec<CacheStats>), SweepError>> = trace_jobs
+    type Block = (TraceSummary, Vec<(CacheStats, Option<CellTiming>)>);
+    let blocks: Vec<Result<Block, SweepError>> = trace_jobs
         .par_iter()
         .map(|&(w, codegen, mode)| {
             let t = record_trace(w, codegen, mode, &cfg.vm)?;
@@ -448,7 +537,12 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
             for &geom in &cfg.geometries {
                 for &wp in &cfg.write_policies {
                     for &policy in &cfg.policies {
-                        stats.push(replay(&t.events, cfg.cell_cache(mode, geom, wp, policy)));
+                        stats.push(replay(
+                            &t.events,
+                            cfg.cell_cache(mode, geom, wp, policy),
+                            cfg.timing,
+                            t.steps,
+                        ));
                     }
                 }
             }
@@ -489,7 +583,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
     }
     let mut cells = Vec::with_capacity(cell_keys.len());
     for (i, &(ti, mode, geom, wp, policy)) in cell_keys.iter().enumerate() {
-        let s = stats[i];
+        let (s, timing) = stats[i];
         let vs_conventional = match conv_mode_idx {
             Some(ci) if mode != ManagementMode::Conventional => {
                 // The twin shares the block's (workload, codegen) and this
@@ -501,7 +595,8 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
                     .position(|&m| m == mode)
                     .expect("cell mode comes from cfg.modes");
                 let twin = i + (ci as isize - mode_pos as isize) as usize * cells_per_trace;
-                Some(ratios(&stats[twin], &s, cfg.latency))
+                let (conv_s, conv_timing) = &stats[twin];
+                Some(ratios(conv_s, &s, cfg.latency, conv_timing, &timing))
             }
             _ => None,
         };
@@ -514,6 +609,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
             policy,
             stats: s,
             amat: s.amat(cfg.latency),
+            timing,
             vs_conventional,
         });
     }
@@ -529,7 +625,13 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
 }
 
 /// Figure-5 ratios of `cell` against its conventional twin `conv`.
-fn ratios(conv: &CacheStats, cell: &CacheStats, lat: Latency) -> CellRatios {
+fn ratios(
+    conv: &CacheStats,
+    cell: &CacheStats,
+    lat: Latency,
+    conv_timing: &Option<CellTiming>,
+    cell_timing: &Option<CellTiming>,
+) -> CellRatios {
     let reduction = |c: u64, u: u64| {
         if c == 0 {
             0.0
@@ -542,6 +644,10 @@ fn ratios(conv: &CacheStats, cell: &CacheStats, lat: Latency) -> CellRatios {
         cache_ref_reduction_pct: reduction(conv.cache_refs(), cell.cache_refs()),
         bus_words_reduction_pct: reduction(conv.bus_words(), cell.bus_words()),
         access_time_speedup: if ut == 0 { 1.0 } else { ct as f64 / ut as f64 },
+        cycle_reduction_pct: match (conv_timing, cell_timing) {
+            (Some(c), Some(u)) => Some(reduction(c.total_cycles, u.total_cycles)),
+            _ => None,
+        },
     }
 }
 
@@ -570,6 +676,14 @@ impl SweepReport {
             "  \"latency\": {{\"cache\": {}, \"memory\": {}}},\n",
             self.latency.cache, self.latency.memory
         ));
+        match &self.grid.timing {
+            Some(t) => o.push_str(&format!(
+                "  \"timing_config\": {{\"hit_cycles\": {}, \"mem_word_cycles\": {}, \
+                 \"write_buffer_entries\": {}, \"issue_cycles\": {}}},\n",
+                t.hit_cycles, t.mem_word_cycles, t.write_buffer_entries, t.issue_cycles
+            )),
+            None => o.push_str("  \"timing_config\": null,\n"),
+        }
 
         let strings = |items: Vec<String>| {
             items
@@ -682,14 +796,37 @@ impl SweepReport {
                 f(s.miss_rate()),
                 f(c.amat)
             ));
-            match &c.vs_conventional {
-                Some(r) => o.push_str(&format!(
-                    "\"vs_conventional\": {{\"cache_ref_reduction_pct\": {}, \
-                     \"bus_words_reduction_pct\": {}, \"access_time_speedup\": {}}}",
-                    f(r.cache_ref_reduction_pct),
-                    f(r.bus_words_reduction_pct),
-                    f(r.access_time_speedup)
+            match &c.timing {
+                Some(t) => o.push_str(&format!(
+                    "\"timing\": {{\"total_cycles\": {}, \"cpi\": {}, \
+                     \"bus_busy_cycles\": {}, \"read_stall_cycles\": {}, \
+                     \"write_stall_cycles\": {}, \"hazard_stall_cycles\": {}, \
+                     \"wb_peak\": {}}}, ",
+                    t.total_cycles,
+                    f(t.cpi),
+                    t.bus_busy_cycles,
+                    t.read_stall_cycles,
+                    t.write_stall_cycles,
+                    t.hazard_stall_cycles,
+                    t.wb_peak
                 )),
+                None => o.push_str("\"timing\": null, "),
+            }
+            match &c.vs_conventional {
+                Some(r) => {
+                    let cycles = match r.cycle_reduction_pct {
+                        Some(x) => format!(", \"cycle_reduction_pct\": {}", f(x)),
+                        None => String::new(),
+                    };
+                    o.push_str(&format!(
+                        "\"vs_conventional\": {{\"cache_ref_reduction_pct\": {}, \
+                         \"bus_words_reduction_pct\": {}, \"access_time_speedup\": {}{}}}",
+                        f(r.cache_ref_reduction_pct),
+                        f(r.bus_words_reduction_pct),
+                        f(r.access_time_speedup),
+                        cycles
+                    ));
+                }
                 None => o.push_str("\"vs_conventional\": null"),
             }
             o.push('}');
@@ -704,8 +841,11 @@ impl SweepReport {
 
     /// A human-readable summary table: every (workload, codegen, mode) at
     /// the grid's first geometry / write policy / replacement policy.
+    /// Timed sweeps get three extra columns (cycles, CPI, cycle
+    /// reduction).
     pub fn table(&self) -> String {
-        let headers = [
+        let timed = self.grid.timing.is_some();
+        let mut headers = vec![
             "workload",
             "codegen",
             "mode",
@@ -713,10 +853,14 @@ impl SweepReport {
             "bus words",
             "miss rate",
             "amat",
-            "refs -%",
-            "bus -%",
-            "time x",
         ];
+        if timed {
+            headers.extend(["cycles", "cpi"]);
+        }
+        headers.extend(["refs -%", "bus -%", "time x"]);
+        if timed {
+            headers.push("cyc -%");
+        }
         let per_trace =
             self.grid.geometries.len() * self.grid.write_policies.len() * self.grid.policies.len();
         let rows: Vec<Vec<String>> = self
@@ -724,15 +868,16 @@ impl SweepReport {
             .iter()
             .step_by(per_trace.max(1))
             .map(|c| {
-                let (refs, bus, time) = match &c.vs_conventional {
+                let (refs, bus, time, cyc) = match &c.vs_conventional {
                     Some(r) => (
                         crate::pct(r.cache_ref_reduction_pct),
                         crate::pct(r.bus_words_reduction_pct),
                         crate::times(r.access_time_speedup),
+                        r.cycle_reduction_pct.map_or("-".into(), crate::pct),
                     ),
-                    None => ("-".into(), "-".into(), "-".into()),
+                    None => ("-".into(), "-".into(), "-".into(), "-".into()),
                 };
-                vec![
+                let mut row = vec![
                     c.workload.clone(),
                     c.codegen.to_string(),
                     c.mode.to_string(),
@@ -740,10 +885,16 @@ impl SweepReport {
                     c.stats.bus_words().to_string(),
                     f(c.stats.miss_rate()),
                     f(c.amat),
-                    refs,
-                    bus,
-                    time,
-                ]
+                ];
+                if let Some(t) = &c.timing {
+                    row.push(t.total_cycles.to_string());
+                    row.push(f(t.cpi));
+                }
+                row.extend([refs, bus, time]);
+                if timed {
+                    row.push(cyc);
+                }
+                row
             })
             .collect();
         crate::format_table(&headers, &rows)
@@ -759,19 +910,90 @@ pub struct SweepJsonSummary {
     pub traces: usize,
     /// Number of grid cells.
     pub cells: usize,
+    /// Whether the artifact carries cycle-level timing columns.
+    pub timed: bool,
+}
+
+/// A sweep-artifact validation failure.
+#[derive(Debug)]
+pub enum ValidateError {
+    /// The document is not syntactically valid JSON.
+    Parse(JsonError),
+    /// The artifact was written under a different schema version; re-run
+    /// `ucmc sweep` to regenerate it.
+    UnsupportedSchema {
+        /// Version declared by the artifact.
+        found: u64,
+        /// The only version this validator accepts.
+        supported: u64,
+    },
+    /// The document parses but breaks the schema: a missing or mistyped
+    /// field, a wrong trace/cell count, or a violated counter identity.
+    Invalid(String),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Parse(e) => write!(f, "not valid JSON: {e}"),
+            ValidateError::UnsupportedSchema { found, supported } => write!(
+                f,
+                "unsupported schema_version {found} (this build reads only \
+                 {supported}; regenerate with `ucmc sweep`)"
+            ),
+            ValidateError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for ValidateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ValidateError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JsonError> for ValidateError {
+    fn from(e: JsonError) -> Self {
+        ValidateError::Parse(e)
+    }
 }
 
 /// Validates a `BENCH_sweep.json` document against the schema this module
 /// writes: required header fields, grid axes, the expected trace and cell
-/// counts, every per-cell counter, and the counter identities
-/// (`cache_refs`, `bus_words`, `cache_bus_words` must match their
-/// definitions).
+/// counts, every per-cell counter, the counter identities (`cache_refs`,
+/// `bus_words`, `cache_bus_words` must match their definitions), and —
+/// for timed artifacts — the timing identities (`bus_busy_cycles` and the
+/// stall breakdown bounded by `total_cycles`, `cpi` consistent with the
+/// trace's step count).
 ///
 /// # Errors
 ///
-/// Returns a human-readable description of the first problem found.
-pub fn validate_sweep_json(text: &str) -> Result<SweepJsonSummary, String> {
-    let doc = json::parse(text).map_err(|e| e.to_string())?;
+/// Returns a typed [`ValidateError`] describing the first problem found;
+/// old-schema artifacts are rejected with
+/// [`ValidateError::UnsupportedSchema`].
+pub fn validate_sweep_json(text: &str) -> Result<SweepJsonSummary, ValidateError> {
+    let doc = json::parse(text)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_num)
+        .ok_or_else(|| {
+            ValidateError::Invalid("document is missing a numeric `schema_version`".into())
+        })? as u64;
+    if version != SCHEMA_VERSION {
+        return Err(ValidateError::UnsupportedSchema {
+            found: version,
+            supported: SCHEMA_VERSION,
+        });
+    }
+    validate_body(&doc, version).map_err(ValidateError::Invalid)
+}
+
+/// Schema checks past the version gate; errors are wrapped into
+/// [`ValidateError::Invalid`] by the caller.
+fn validate_body(doc: &Json, version: u64) -> Result<SweepJsonSummary, String> {
     let num = |v: &Json, what: &str| v.as_num().ok_or_else(|| format!("{what} is not a number"));
     let field = |obj: &Json, key: &str, what: &str| {
         obj.get(key)
@@ -779,26 +1001,40 @@ pub fn validate_sweep_json(text: &str) -> Result<SweepJsonSummary, String> {
             .ok_or_else(|| format!("{what} is missing `{key}`"))
     };
 
-    let version = num(
-        &field(&doc, "schema_version", "document")?,
-        "schema_version",
-    )? as u64;
-    if version != SCHEMA_VERSION {
-        return Err(format!(
-            "schema_version {version} != supported {SCHEMA_VERSION}"
-        ));
-    }
     for key in ["generator", "suite"] {
-        field(&doc, key, "document")?
+        field(doc, key, "document")?
             .as_str()
             .ok_or_else(|| format!("`{key}` is not a string"))?;
     }
-    num(&field(&doc, "seed", "document")?, "seed")?;
-    let lat = field(&doc, "latency", "document")?;
+    num(&field(doc, "seed", "document")?, "seed")?;
+    let lat = field(doc, "latency", "document")?;
     num(&field(&lat, "cache", "latency")?, "latency.cache")?;
     num(&field(&lat, "memory", "latency")?, "latency.memory")?;
 
-    let grid = field(&doc, "grid", "document")?;
+    // `timing_config` gates the per-cell `timing` objects: both must be
+    // present together (a timed artifact) or both null (a traffic-only
+    // artifact).
+    let timing_cfg = field(doc, "timing_config", "document")?;
+    let timed = match &timing_cfg {
+        Json::Null => false,
+        obj @ Json::Obj(_) => {
+            for key in [
+                "hit_cycles",
+                "mem_word_cycles",
+                "write_buffer_entries",
+                "issue_cycles",
+            ] {
+                num(
+                    &field(obj, key, "timing_config")?,
+                    &format!("timing_config.{key}"),
+                )?;
+            }
+            true
+        }
+        _ => return Err("`timing_config` is neither null nor an object".into()),
+    };
+
+    let grid = field(doc, "grid", "document")?;
     let mut axis_product = 1usize;
     let mut trace_product = 1usize;
     for key in [
@@ -823,7 +1059,7 @@ pub fn validate_sweep_json(text: &str) -> Result<SweepJsonSummary, String> {
         }
     }
 
-    let traces = field(&doc, "traces", "document")?;
+    let traces = field(doc, "traces", "document")?;
     let traces = traces
         .as_arr()
         .ok_or_else(|| "`traces` is not an array".to_string())?;
@@ -833,8 +1069,16 @@ pub fn validate_sweep_json(text: &str) -> Result<SweepJsonSummary, String> {
             traces.len()
         ));
     }
+    // Step counts feed the per-cell CPI cross-check below.
+    let mut trace_steps = Vec::with_capacity(traces.len());
+    for (i, t) in traces.iter().enumerate() {
+        trace_steps.push(num(
+            &field(t, "steps", &format!("trace {i}"))?,
+            &format!("trace {i}: `steps`"),
+        )?);
+    }
 
-    let cells = field(&doc, "cells", "document")?;
+    let cells = field(doc, "cells", "document")?;
     let cells = cells
         .as_arr()
         .ok_or_else(|| "`cells` is not an array".to_string())?;
@@ -899,8 +1143,59 @@ pub fn validate_sweep_json(text: &str) -> Result<SweepJsonSummary, String> {
         {
             return Err(format!("{what}: cache_bus_words breaks its identity"));
         }
-        if cell.get("vs_conventional").is_none() {
-            return Err(format!("{what}: missing `vs_conventional`"));
+        let timing = field(cell, "timing", &what)?;
+        match (&timing, timed) {
+            (Json::Null, false) => {}
+            (Json::Null, true) => {
+                return Err(format!(
+                    "{what}: `timing` is null in an artifact with a timing_config"
+                ));
+            }
+            (Json::Obj(_), false) => {
+                return Err(format!(
+                    "{what}: `timing` is present but timing_config is null"
+                ));
+            }
+            (t @ Json::Obj(_), true) => {
+                let tget = |key: &str| -> Result<f64, String> {
+                    num(&field(t, key, &what)?, &format!("{what}: `timing.{key}`"))
+                };
+                let total = tget("total_cycles")?;
+                let cpi = tget("cpi")?;
+                let bus_busy = tget("bus_busy_cycles")?;
+                let stalls = tget("read_stall_cycles")?
+                    + tget("write_stall_cycles")?
+                    + tget("hazard_stall_cycles")?;
+                tget("wb_peak")?;
+                if bus_busy > total {
+                    return Err(format!("{what}: bus_busy_cycles exceeds total_cycles"));
+                }
+                if stalls > total {
+                    return Err(format!("{what}: stall cycles exceed total_cycles"));
+                }
+                // The cell's trace is fixed by grid order: blocks of
+                // `cells_per_trace` cells share one trace, so the stored
+                // CPI must match total_cycles over that trace's steps
+                // (up to the artifact's six-decimal rounding).
+                let cells_per_trace = axis_product / trace_product;
+                let steps = trace_steps[i / cells_per_trace.max(1)];
+                if steps > 0.0 && (cpi - total / steps).abs() > 1e-5 {
+                    return Err(format!(
+                        "{what}: cpi {cpi} disagrees with total_cycles/steps {}",
+                        total / steps
+                    ));
+                }
+            }
+            _ => return Err(format!("{what}: `timing` is neither null nor an object")),
+        }
+        let vs = field(cell, "vs_conventional", &what)?;
+        if timed {
+            if let Json::Obj(_) = &vs {
+                num(
+                    &field(&vs, "cycle_reduction_pct", &what)?,
+                    &format!("{what}: `vs_conventional.cycle_reduction_pct`"),
+                )?;
+            }
         }
     }
 
@@ -908,6 +1203,7 @@ pub fn validate_sweep_json(text: &str) -> Result<SweepJsonSummary, String> {
         schema_version: version,
         traces: traces.len(),
         cells: cells.len(),
+        timed,
     })
 }
 
@@ -966,6 +1262,44 @@ mod tests {
         assert_eq!(summary.schema_version, SCHEMA_VERSION);
         assert_eq!(summary.cells, cfg.cell_count());
         assert_eq!(summary.traces, 2);
+        assert!(!summary.timed);
+    }
+
+    #[test]
+    fn timed_sweep_adds_cycle_columns_and_validates() {
+        let cfg = tiny_config().with_timing();
+        let report = run_sweep(&cfg).unwrap();
+        for c in &report.cells {
+            let t = c.timing.expect("every cell of a timed sweep is priced");
+            assert!(t.total_cycles > 0);
+            assert!(t.bus_busy_cycles <= t.total_cycles);
+            if let Some(r) = &c.vs_conventional {
+                assert!(r.cycle_reduction_pct.is_some());
+            }
+        }
+        // The summary table grows the cycle columns.
+        let table = report.table();
+        assert!(table.contains("cycles"));
+        assert!(table.contains("cyc -%"));
+        // Timed artifacts are just as deterministic, and validate.
+        let a = report.to_json();
+        let b = run_sweep(&cfg).unwrap().to_json();
+        assert_eq!(a, b, "timed sweep must serialise byte-identically");
+        let summary = validate_sweep_json(&a).unwrap();
+        assert!(summary.timed);
+        assert_eq!(summary.cells, cfg.cell_count());
+    }
+
+    #[test]
+    fn untimed_sweep_has_no_cycle_columns() {
+        let report = run_sweep(&tiny_config()).unwrap();
+        assert!(report.cells.iter().all(|c| c.timing.is_none()));
+        assert!(report
+            .cells
+            .iter()
+            .filter_map(|c| c.vs_conventional)
+            .all(|r| r.cycle_reduction_pct.is_none()));
+        assert!(!report.table().contains("cyc -%"));
     }
 
     #[test]
@@ -975,12 +1309,44 @@ mod tests {
         let tampered = good.replacen("\"cache_refs\": ", "\"cache_refs\": 9", 1);
         assert!(validate_sweep_json(&tampered)
             .unwrap_err()
+            .to_string()
             .contains("identity"));
-        // A wrong schema version must be caught.
-        let wrong = good.replacen("\"schema_version\": 1", "\"schema_version\": 2", 1);
-        assert!(validate_sweep_json(&wrong).unwrap_err().contains("schema"));
         // Losing a cell must be caught (cell count is pinned to the grid).
         assert!(validate_sweep_json("{}").is_err());
+
+        // Timing tampering: a broken CPI, an out-of-range bus figure, and
+        // a timing object stripped from a timed artifact are all caught.
+        let timed = run_sweep(&tiny_config().with_timing()).unwrap().to_json();
+        let bad_cpi = timed.replacen("\"cpi\": ", "\"cpi\": 9", 1);
+        assert!(validate_sweep_json(&bad_cpi)
+            .unwrap_err()
+            .to_string()
+            .contains("cpi"));
+        let stripped = timed.replacen("\"timing\": {", "\"timing\": null, \"was\": {", 1);
+        assert!(validate_sweep_json(&stripped)
+            .unwrap_err()
+            .to_string()
+            .contains("timing"));
+    }
+
+    #[test]
+    fn old_schema_artifacts_get_a_typed_rejection() {
+        let good = run_sweep(&tiny_config()).unwrap().to_json();
+        let old = good.replacen("\"schema_version\": 2", "\"schema_version\": 1", 1);
+        match validate_sweep_json(&old) {
+            Err(ValidateError::UnsupportedSchema {
+                found: 1,
+                supported: 2,
+            }) => {}
+            other => panic!("expected UnsupportedSchema, got {other:?}"),
+        }
+        match validate_sweep_json("not json at all") {
+            Err(ValidateError::Parse(_)) => {}
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+        // The Display form tells the operator how to recover.
+        let msg = validate_sweep_json(&old).unwrap_err().to_string();
+        assert!(msg.contains("regenerate"), "{msg}");
     }
 
     #[test]

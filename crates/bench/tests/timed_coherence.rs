@@ -1,0 +1,118 @@
+//! The timing layer must be a pure observer. Two pins, across real
+//! workloads in all three management modes:
+//!
+//! 1. The coherence oracle still passes — attaching a cycle model changes
+//!    nothing about which values the cache serves.
+//! 2. Replaying a trace through [`TimedCache`] produces byte-for-byte the
+//!    same traffic counters as the plain [`CacheSim`], plus a
+//!    self-consistent cycle report.
+//!
+//! Debug builds run the quick suite; release builds (CI's tier-1 pass and
+//! the perf job) run the full six-workload sweep suite.
+
+use ucm_cache::{CacheConfig, CacheSim, TimedCache, TimingConfig};
+use ucm_core::check::run_with_oracle;
+use ucm_core::pipeline::{compile, CompilerOptions};
+use ucm_core::ManagementMode;
+use ucm_machine::{run, TraceSink, VecSink, VmConfig};
+use ucm_workloads::Workload;
+
+const MODES: [ManagementMode; 3] = [
+    ManagementMode::Unified,
+    ManagementMode::Conventional,
+    ManagementMode::Safe,
+];
+
+fn suite() -> Vec<Workload> {
+    if cfg!(debug_assertions) {
+        ucm_workloads::quick_suite()
+    } else {
+        ucm_workloads::sweep_suite()
+    }
+}
+
+fn options(mode: ManagementMode) -> CompilerOptions {
+    CompilerOptions {
+        mode,
+        ..CompilerOptions::paper()
+    }
+}
+
+#[test]
+fn oracle_stays_coherent_in_every_mode() {
+    for w in suite() {
+        for mode in MODES {
+            let compiled = compile(&w.source, &options(mode)).unwrap();
+            let r = run_with_oracle(&compiled, CacheConfig::default(), &VmConfig::default())
+                .unwrap_or_else(|e| panic!("{} ({mode}): {e}", w.name));
+            assert!(
+                r.is_coherent(),
+                "{} ({mode}): {} coherence violations",
+                w.name,
+                r.violations
+            );
+            assert_eq!(r.outcome.output, w.expected, "{} ({mode}) output", w.name);
+        }
+    }
+}
+
+#[test]
+fn timed_cache_replays_identically_to_the_plain_cache() {
+    let timings = [
+        TimingConfig::default(),
+        TimingConfig {
+            write_buffer_entries: 0,
+            ..TimingConfig::default()
+        },
+        TimingConfig {
+            write_buffer_entries: 1,
+            mem_word_cycles: 25,
+            ..TimingConfig::default()
+        },
+    ];
+    for w in suite() {
+        for mode in MODES {
+            let compiled = compile(&w.source, &options(mode)).unwrap();
+            let mut sink = VecSink::default();
+            let outcome = run(&compiled.program, &mut sink, &VmConfig::default()).unwrap();
+            assert_eq!(outcome.output, w.expected, "{} ({mode}) output", w.name);
+
+            let cfg = if mode == ManagementMode::Conventional {
+                CacheConfig::default().conventional()
+            } else {
+                CacheConfig::default()
+            };
+            let mut plain = CacheSim::try_new(cfg).unwrap();
+            for ev in &sink.events {
+                plain.access(*ev);
+            }
+
+            for timing in timings {
+                let mut timed = TimedCache::try_new(cfg, timing).unwrap();
+                for ev in &sink.events {
+                    timed.data_ref(*ev);
+                }
+                let (stats, report) = timed.finish(outcome.steps);
+                assert_eq!(
+                    stats,
+                    *plain.stats(),
+                    "{} ({mode}, wb={}): timing changed the traffic",
+                    w.name,
+                    timing.write_buffer_entries
+                );
+                assert_eq!(report.refs, stats.total_refs(), "{} ({mode})", w.name);
+                assert_eq!(report.pending_writes, 0, "{} ({mode})", w.name);
+                assert!(
+                    report.total_cycles >= report.base_cycles,
+                    "{} ({mode})",
+                    w.name
+                );
+                assert!(
+                    report.bus_busy_cycles <= report.total_cycles,
+                    "{} ({mode})",
+                    w.name
+                );
+            }
+        }
+    }
+}

@@ -9,6 +9,7 @@ use crate::config::{CacheConfig, ConfigError, WritePolicy};
 use crate::policy::PolicyState;
 use crate::stats::CacheStats;
 use ucm_machine::{Flavour, MemEvent, TraceSink};
+use ucm_timing::{Eviction, MemXact};
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
@@ -110,9 +111,11 @@ impl CacheSim {
     }
 
     /// Allocates a way in `set` for `tag`, evicting (with write-back) if
-    /// every way is valid. Returns the chosen way.
-    fn allocate(&mut self, set: usize, tag: u64) -> usize {
+    /// every way is valid. Returns the chosen way and the dirty victim's
+    /// write-back, if the allocation produced one.
+    fn allocate(&mut self, set: usize, tag: u64) -> (usize, Option<Eviction>) {
         let ways = self.config.associativity;
+        let mut writeback = None;
         let way = (0..ways)
             .find(|&w| !self.lines[set * ways + w].valid)
             .unwrap_or_else(|| {
@@ -121,6 +124,11 @@ impl CacheSim {
                 if line.dirty {
                     self.stats.writebacks += 1;
                     self.stats.words_to_memory += self.config.line_words as u64;
+                    let line_addr = line.tag * self.config.num_sets() as u64 + set as u64;
+                    writeback = Some(Eviction {
+                        lo: (line_addr * self.config.line_words as u64) as i64,
+                        words: self.config.line_words as u64,
+                    });
                 }
                 line.valid = false;
                 line.dirty = false;
@@ -131,11 +139,13 @@ impl CacheSim {
         line.dirty = false;
         line.tag = tag;
         self.policies[set].on_fill(way, self.now);
-        way
+        (way, writeback)
     }
 
-    /// Presents one reference to the cache.
-    pub fn access(&mut self, ev: MemEvent) {
+    /// Presents one reference to the cache. Returns the classified memory
+    /// transaction, which a timing model may turn into cycles; callers that
+    /// only want the traffic counters can ignore it.
+    pub fn access(&mut self, ev: MemEvent) -> MemXact {
         self.now += 1;
         let flavour = if self.config.honor_tags {
             ev.tag.flavour
@@ -162,11 +172,13 @@ impl CacheSim {
                     } else {
                         self.policies[set].on_access(way, self.now);
                     }
+                    MemXact::Hit { is_write: false }
                 }
                 None => {
                     self.stats.bypass_reads += 1;
                     self.stats.words_from_memory += 1;
                     self.stats.bypass_words_from_memory += 1;
+                    MemXact::BypassRead { words: 1 }
                 }
             },
             // ---- unambiguous stores: straight to memory ----
@@ -178,6 +190,7 @@ impl CacheSim {
                 if let Some(way) = self.find(set, tag) {
                     self.invalidate(set, way);
                 }
+                MemXact::BypassWrite { words: 1 }
             }
             // ---- everything else goes through the cache ----
             (_, false) => match self.find(set, tag) {
@@ -188,6 +201,7 @@ impl CacheSim {
                     } else {
                         self.policies[set].on_access(way, self.now);
                     }
+                    MemXact::Hit { is_write: false }
                 }
                 None if last_ref => {
                     // A dying value is not worth a fill (§3.2): reference
@@ -195,12 +209,18 @@ impl CacheSim {
                     self.stats.bypass_reads += 1;
                     self.stats.words_from_memory += 1;
                     self.stats.bypass_words_from_memory += 1;
+                    MemXact::BypassRead { words: 1 }
                 }
                 None => {
                     self.stats.read_misses += 1;
                     self.stats.fills += 1;
                     self.stats.words_from_memory += self.config.line_words as u64;
-                    self.allocate(set, tag);
+                    let (_, writeback) = self.allocate(set, tag);
+                    MemXact::Miss {
+                        is_write: false,
+                        fill_words: self.config.line_words as u64,
+                        writeback,
+                    }
                 }
             },
             (_, true) => match self.config.write_policy {
@@ -222,27 +242,37 @@ impl CacheSim {
                             self.line_mut(set, way).dirty = true;
                             self.policies[set].on_access(way, self.now);
                         }
+                        MemXact::Hit { is_write: true }
                     }
                     None if last_ref => {
                         self.stats.bypass_writes += 1;
                         self.stats.words_to_memory += 1;
                         self.stats.bypass_words_to_memory += 1;
+                        MemXact::BypassWrite { words: 1 }
                     }
                     None => {
                         self.stats.write_misses += 1;
                         self.stats.fills += 1;
                         // A full-line write needs no fetch; partial-line
                         // writes fetch the rest of the line.
-                        if self.config.line_words > 1 {
+                        let fill_words = if self.config.line_words > 1 {
                             self.stats.words_from_memory += self.config.line_words as u64;
-                        }
-                        let way = self.allocate(set, tag);
+                            self.config.line_words as u64
+                        } else {
+                            0
+                        };
+                        let (way, writeback) = self.allocate(set, tag);
                         self.line_mut(set, way).dirty = true;
+                        MemXact::Miss {
+                            is_write: true,
+                            fill_words,
+                            writeback,
+                        }
                     }
                 },
                 WritePolicy::WriteThroughNoAllocate => {
                     self.stats.words_to_memory += 1;
-                    match self.find(set, tag) {
+                    let hit = match self.find(set, tag) {
                         Some(way) => {
                             self.stats.write_hits += 1;
                             if last_ref {
@@ -250,11 +280,14 @@ impl CacheSim {
                             } else {
                                 self.policies[set].on_access(way, self.now);
                             }
+                            true
                         }
                         None => {
                             self.stats.write_misses += 1;
+                            false
                         }
-                    }
+                    };
+                    MemXact::ThroughWrite { hit, words: 1 }
                 }
             },
         }

@@ -48,6 +48,7 @@ pub mod min;
 pub mod policy;
 pub mod stats;
 pub mod system;
+pub mod timed;
 
 pub use cache::CacheSim;
 pub use config::{CacheConfig, ConfigError, PolicyKind, WritePolicy};
@@ -57,3 +58,5 @@ pub use functional::{
 pub use min::{simulate_min, try_simulate_min};
 pub use stats::{CacheStats, Latency};
 pub use system::MemorySystem;
+pub use timed::TimedCache;
+pub use ucm_timing::{MemXact, TimingConfig, TimingReport, TimingSim};

@@ -115,8 +115,14 @@ impl CacheStats {
     /// Total memory access time under a simple latency model: every
     /// reference pays the hit time; misses, bypasses, fills, and write-backs
     /// pay the memory time per word moved.
+    ///
+    /// This is the *degenerate* case of the `ucm-timing` event-driven model
+    /// (no write buffer, no overlap) and delegates to its closed form so the
+    /// two can never drift apart; the full model lives in
+    /// [`ucm_timing::TimingSim`].
     pub fn access_time(&self, lat: Latency) -> u64 {
-        self.cache_refs() * lat.cache + self.bus_words() * lat.memory
+        ucm_timing::TimingConfig::degenerate(lat.cache, lat.memory)
+            .serial_access_time(self.cache_refs(), self.bus_words())
     }
 
     /// Average memory access time per reference.
@@ -181,6 +187,36 @@ mod tests {
         };
         assert_eq!(s.cache_bus_words(), 24);
         assert_eq!(s.bypass_bus_words(), 8);
+    }
+
+    #[test]
+    fn access_time_pins_the_historical_numbers() {
+        // Regression for the delegation to ucm-timing: the same sample that
+        // `derived_metrics` uses has always priced at 85 × cache +
+        // 33 × memory. The degenerate timing config must reproduce it for
+        // several latency pairs, including the defaults.
+        let s = CacheStats {
+            reads: 80,
+            writes: 20,
+            read_hits: 60,
+            write_hits: 10,
+            read_misses: 10,
+            write_misses: 5,
+            bypass_reads: 10,
+            bypass_writes: 5,
+            fills: 15,
+            writebacks: 3,
+            words_from_memory: 25,
+            words_to_memory: 8,
+            bypass_words_from_memory: 10,
+            bypass_words_to_memory: 5,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.access_time(Latency::default()), 85 + 330);
+        for (cache, memory, expect) in [(1, 10, 415), (2, 20, 830), (1, 1, 118), (0, 10, 330)] {
+            assert_eq!(s.access_time(Latency { cache, memory }), expect);
+        }
+        assert!((s.amat(Latency::default()) - 4.15).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! A cache with a cycle clock: [`CacheSim`] feeding [`TimingSim`].
+//!
+//! [`TimedCache`] is a [`TraceSink`] that classifies every data reference
+//! through the cache model and immediately prices it in the event-driven
+//! timing model, so one replay of a trace yields both the traffic counters
+//! ([`CacheStats`]) and the cycle accounting ([`TimingReport`]).
+
+use crate::cache::CacheSim;
+use crate::config::{CacheConfig, ConfigError};
+use crate::stats::CacheStats;
+use ucm_machine::{MemEvent, TraceSink};
+use ucm_timing::{TimingConfig, TimingReport, TimingSim};
+
+/// A data cache wired to the memory-timing simulator.
+#[derive(Debug, Clone)]
+pub struct TimedCache {
+    cache: CacheSim,
+    sim: TimingSim,
+}
+
+impl TimedCache {
+    /// A timed cache for the given geometries and latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid cache config — use
+    /// [`try_new`](TimedCache::try_new) for user input.
+    pub fn new(cache: CacheConfig, timing: TimingConfig) -> Self {
+        TimedCache {
+            cache: CacheSim::new(cache),
+            sim: TimingSim::new(timing),
+        }
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`CacheConfig::validate`].
+    pub fn try_new(cache: CacheConfig, timing: TimingConfig) -> Result<Self, ConfigError> {
+        Ok(TimedCache {
+            cache: CacheSim::try_new(cache)?,
+            sim: TimingSim::new(timing),
+        })
+    }
+
+    /// Like [`new`](TimedCache::new), but the timing simulator records its
+    /// bus transfers (see [`TimingSim::with_bus_log`]) — for tests that
+    /// check ordering properties.
+    pub fn with_bus_log(cache: CacheConfig, timing: TimingConfig) -> Self {
+        TimedCache {
+            cache: CacheSim::new(cache),
+            sim: TimingSim::with_bus_log(timing),
+        }
+    }
+
+    /// The underlying cache simulator.
+    pub fn cache(&self) -> &CacheSim {
+        &self.cache
+    }
+
+    /// The underlying timing simulator.
+    pub fn timing(&self) -> &TimingSim {
+        &self.sim
+    }
+
+    /// The traffic counters accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// Ends the run: drains the write buffer and returns the traffic
+    /// counters together with the cycle report. `steps` is the VM's
+    /// executed instruction count (the CPI denominator).
+    pub fn finish(mut self, steps: u64) -> (CacheStats, TimingReport) {
+        (*self.cache.stats(), self.sim.finish(steps))
+    }
+}
+
+impl TraceSink for TimedCache {
+    fn data_ref(&mut self, ev: MemEvent) {
+        let xact = self.cache.access(ev);
+        self.sim.xact(ev.addr, xact);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Latency;
+    use ucm_machine::{Flavour, MemTag};
+
+    fn ev(addr: i64, is_write: bool, flavour: Flavour, last_ref: bool) -> MemEvent {
+        MemEvent {
+            addr,
+            is_write,
+            tag: MemTag {
+                flavour,
+                last_ref,
+                unambiguous: flavour.bypass_bit(),
+            },
+        }
+    }
+
+    /// A small mixed reference stream exercising hits, misses, evictions,
+    /// bypasses, and last-references.
+    fn mixed_stream() -> Vec<MemEvent> {
+        let mut out = Vec::new();
+        let mut x = 99991u64;
+        for i in 0..2000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = (x % 512) as i64;
+            let flavour = match x % 5 {
+                0 => Flavour::Plain,
+                1 => Flavour::AmLoad,
+                2 => Flavour::AmSpStore,
+                3 => Flavour::UmAmLoad,
+                _ => Flavour::UmAmStore,
+            };
+            let is_write = matches!(flavour, Flavour::AmSpStore | Flavour::UmAmStore)
+                || (flavour == Flavour::Plain && i.is_multiple_of(3));
+            out.push(ev(addr, is_write, flavour, x.is_multiple_of(11)));
+        }
+        out
+    }
+
+    #[test]
+    fn cache_absorbed_cycles_have_no_bus_time() {
+        let mut tc = TimedCache::new(CacheConfig::default(), TimingConfig::default());
+        // Spill then take-and-invalidate reload: the cache absorbs both.
+        for _ in 0..10 {
+            tc.data_ref(ev(42, true, Flavour::AmSpStore, false));
+            tc.data_ref(ev(42, false, Flavour::UmAmLoad, false));
+        }
+        let (stats, report) = tc.finish(20);
+        assert_eq!(stats.bus_words(), 0);
+        assert_eq!(report.bus_busy_cycles, 0);
+        // 20 refs × (1 issue + 1 hit).
+        assert_eq!(report.total_cycles, 40);
+    }
+
+    #[test]
+    fn degenerate_timing_equals_the_stats_access_time() {
+        // The bridge between the old closed-form model and the event-driven
+        // one: with no write buffer and no issue cost, cycling the same
+        // trace through both gives identical totals.
+        let lat = Latency::default();
+        let mut tc = TimedCache::new(
+            CacheConfig::default(),
+            TimingConfig::degenerate(lat.cache, lat.memory),
+        );
+        for e in mixed_stream() {
+            tc.data_ref(e);
+        }
+        let (stats, report) = tc.finish(0);
+        assert!(stats.bus_words() > 0, "stream must exercise the bus");
+        assert_eq!(report.total_cycles, stats.access_time(lat));
+    }
+
+    #[test]
+    fn write_buffer_beats_the_serial_model() {
+        // Same trace, same latencies; the buffered configuration must not
+        // be slower than the fully serial one once issue cost is equal.
+        let run = |wb: usize| {
+            let mut tc = TimedCache::new(
+                CacheConfig::default(),
+                TimingConfig {
+                    write_buffer_entries: wb,
+                    ..TimingConfig::default()
+                },
+            );
+            let stream = mixed_stream();
+            let n = stream.len() as u64;
+            for e in stream {
+                tc.data_ref(e);
+            }
+            tc.finish(n).1
+        };
+        let serial = run(0);
+        let buffered = run(4);
+        assert!(
+            buffered.total_cycles <= serial.total_cycles,
+            "buffered {} > serial {}",
+            buffered.total_cycles,
+            serial.total_cycles
+        );
+        assert!(buffered.write_stall_cycles < serial.write_stall_cycles);
+    }
+
+    #[test]
+    fn timed_and_plain_cache_agree_on_traffic() {
+        let mut plain = CacheSim::new(CacheConfig::default());
+        let mut timed = TimedCache::new(CacheConfig::default(), TimingConfig::default());
+        for e in mixed_stream() {
+            plain.access(e);
+            timed.data_ref(e);
+        }
+        assert_eq!(*plain.stats(), *timed.stats());
+    }
+}

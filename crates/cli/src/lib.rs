@@ -10,23 +10,29 @@
 //! ucmc trace <file.mini>     first memory references with their tags
 //! ucmc check <file.mini>     oracle-checked run: coherence report (JSON lines)
 //! ucmc faults <file.mini>    annotation fault-injection campaign (JSON lines)
+//! ucmc timing <file.mini>    cycle-level report: all three modes priced
 //! ucmc sweep                 parallel grid sweep -> BENCH_sweep.json + table
 //! ```
 //!
 //! Common flags: `--regs N`, `--paper` (frame-resident scalars, the paper's
 //! measured codegen), `--conventional` (baseline management), `--safe` /
 //! `--degrade-ambiguous` (treat every reference as ambiguous — provably
-//! coherent degradation), `--cache-words N`, `--ways N`, `--limit N` (trace
+//! coherent degradation), `--cache-words N`, `--line-words N`, `--ways N`, `--limit N` (trace
 //! length), `--max-steps N`, `--mem-words N` (VM limits).
 //!
 //! Fault-campaign flags: `--seed N` plus any of `--flip-bypass`,
 //! `--drop-last-ref`, `--forge-last-ref`, `--swap-flavour`,
 //! `--misclassify PCT` (no selection = all kinds).
 //!
+//! Timing-model flags (for `timing` and `sweep --timing`): `--wb-entries N`
+//! (write-buffer depth, 0 = no buffer), `--hit-cycles N`, `--mem-cycles N`
+//! (per-word memory time).
+//!
 //! `sweep` takes no source file; its flags are `--out PATH` (default
 //! `BENCH_sweep.json`), `--quick` (the reduced CI grid), `--paper-sizes`
 //! (full paper-size workloads — slow and memory-hungry), `--seed N`
-//! (random-policy seed), and `--validate FILE` (schema-check an existing
+//! (random-policy seed), `--timing` (price every cell in cycles with the
+//! `ucm-timing` model), and `--validate FILE` (schema-check an existing
 //! artifact instead of sweeping).
 //!
 //! ## Exit codes
@@ -43,7 +49,7 @@
 
 use std::fmt::Write as _;
 use ucm_analysis::alias::Classification;
-use ucm_cache::{CacheConfig, CoherenceViolation};
+use ucm_cache::{CacheConfig, CoherenceViolation, TimingConfig};
 use ucm_core::check::run_with_oracle;
 use ucm_core::evaluate::{compare, run_with_cache};
 use ucm_core::faults::{run_campaign, CampaignConfig, FaultClass, FaultKind};
@@ -118,6 +124,7 @@ impl CmdOutput {
 struct SweepOpts {
     quick: bool,
     paper_sizes: bool,
+    timing: bool,
     out: String,
     validate: Option<String>,
     seed: Option<u64>,
@@ -134,17 +141,20 @@ pub struct Invocation {
     limit: usize,
     seed: u64,
     kinds: Vec<FaultKind>,
+    timing: TimingConfig,
     sweep: SweepOpts,
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: ucmc <run|compare|ir|classify|trace|check|faults> <file.mini> \
+pub const USAGE: &str = "usage: ucmc <run|compare|ir|classify|trace|check|faults|timing> \
+<file.mini> \
 [--regs N] [--paper] [--conventional] [--safe|--degrade-ambiguous] \
-[--cache-words N] [--ways N] [--limit N] [--max-steps N] [--mem-words N] \
+[--cache-words N] [--line-words N] [--ways N] [--limit N] [--max-steps N] [--mem-words N] \
 [--seed N] [--flip-bypass] [--drop-last-ref] [--forge-last-ref] \
-[--swap-flavour] [--misclassify PCT]\n\
+[--swap-flavour] [--misclassify PCT] \
+[--wb-entries N] [--hit-cycles N] [--mem-cycles N]\n\
 \x20      ucmc sweep [--out PATH] [--quick] [--paper-sizes] [--seed N] \
-[--validate FILE]";
+[--timing] [--validate FILE]";
 
 /// Parses arguments (excluding `argv0`) and reads the source file.
 ///
@@ -160,7 +170,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
     let mut it = args.iter();
     let command = it.next().ok_or_else(|| err("missing command"))?.clone();
     if ![
-        "run", "compare", "ir", "classify", "trace", "check", "faults", "sweep",
+        "run", "compare", "ir", "classify", "trace", "check", "faults", "timing", "sweep",
     ]
     .contains(&command.as_str())
     {
@@ -178,6 +188,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
     let mut limit = 20usize;
     let mut seed = 1u64;
     let mut kinds: Vec<FaultKind> = Vec::new();
+    let mut timing = TimingConfig::default();
     while let Some(flag) = it.next() {
         let mut number = |what: &str| -> Result<usize, CliError> {
             it.next()
@@ -198,11 +209,15 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
             "--conventional" => options.mode = ManagementMode::Conventional,
             "--safe" | "--degrade-ambiguous" => options.mode = ManagementMode::Safe,
             "--cache-words" => cache.size_words = number("--cache-words")?,
+            "--line-words" => cache.line_words = number("--line-words")?,
             "--ways" => cache.associativity = number("--ways")?,
             "--limit" => limit = number("--limit")?,
             "--max-steps" => vm.max_steps = number("--max-steps")? as u64,
             "--mem-words" => vm.mem_words = number("--mem-words")?,
             "--seed" => seed = number("--seed")? as u64,
+            "--wb-entries" => timing.write_buffer_entries = number("--wb-entries")?,
+            "--hit-cycles" => timing.hit_cycles = number("--hit-cycles")? as u64,
+            "--mem-cycles" => timing.mem_word_cycles = number("--mem-cycles")? as u64,
             "--flip-bypass" => kinds.push(FaultKind::FlipBypass),
             "--drop-last-ref" => kinds.push(FaultKind::DropLastRef),
             "--forge-last-ref" => kinds.push(FaultKind::ForgeLastRef),
@@ -229,6 +244,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
         limit,
         seed,
         kinds,
+        timing,
         sweep: SweepOpts::default(),
     })
 }
@@ -247,6 +263,7 @@ fn parse_sweep_args(
         match flag.as_str() {
             "--quick" => sweep.quick = true,
             "--paper-sizes" => sweep.paper_sizes = true,
+            "--timing" => sweep.timing = true,
             "--out" => {
                 sweep.out = it.next().ok_or_else(|| err("--out needs a path"))?.clone();
             }
@@ -280,6 +297,7 @@ fn parse_sweep_args(
         limit: 20,
         seed: 1,
         kinds: Vec::new(),
+        timing: TimingConfig::default(),
         sweep,
     })
 }
@@ -298,6 +316,7 @@ pub fn execute(inv: &Invocation) -> Result<CmdOutput, CliError> {
         "trace" => cmd_trace(inv),
         "check" => cmd_check(inv),
         "faults" => cmd_faults(inv),
+        "timing" => cmd_timing(inv),
         "sweep" => cmd_sweep(inv),
         _ => unreachable!("parse_args validated the command"),
     }
@@ -319,8 +338,8 @@ fn cmd_sweep(inv: &Invocation) -> Result<CmdOutput, CliError> {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            r#"{{"event":"sweep-validate","file":"{path}","schema_version":{},"traces":{},"cells":{}}}"#,
-            summary.schema_version, summary.traces, summary.cells,
+            r#"{{"event":"sweep-validate","file":"{path}","schema_version":{},"traces":{},"cells":{},"timed":{}}}"#,
+            summary.schema_version, summary.traces, summary.cells, summary.timed,
         );
         return Ok(CmdOutput::ok(out));
     }
@@ -333,6 +352,9 @@ fn cmd_sweep(inv: &Invocation) -> Result<CmdOutput, CliError> {
     if inv.sweep.paper_sizes {
         cfg.workloads = ucm_workloads::paper_suite();
         cfg.suite = "paper".into();
+    }
+    if inv.sweep.timing {
+        cfg.timing = Some(inv.timing);
     }
     if let Some(seed) = inv.sweep.seed {
         cfg.seed = seed;
@@ -358,6 +380,57 @@ fn cmd_sweep(inv: &Invocation) -> Result<CmdOutput, CliError> {
         report.cells.len(),
         inv.sweep.out,
     );
+    Ok(CmdOutput::ok(out))
+}
+
+fn cmd_timing(inv: &Invocation) -> Result<CmdOutput, CliError> {
+    use ucm_core::compare_timing;
+
+    let cmp = compare_timing(
+        "program",
+        &inv.source,
+        &inv.options,
+        inv.cache,
+        inv.timing,
+        &inv.vm,
+    )?;
+    let mut out = String::new();
+    let _ = writeln!(out, "output: {:?}", cmp.unified.outcome.output);
+    let _ = writeln!(
+        out,
+        "model: hit {}c, mem {}c/word, write buffer {} entries",
+        inv.timing.hit_cycles, inv.timing.mem_word_cycles, inv.timing.write_buffer_entries
+    );
+    for mode in [
+        ManagementMode::Unified,
+        ManagementMode::Conventional,
+        ManagementMode::Safe,
+    ] {
+        let r = cmp.run(mode);
+        let t = &r.report;
+        let _ = writeln!(
+            out,
+            "{:<12} {:>9} cycles  cpi {:>6.3}  bus busy {:>7}  stalls r/w/h {}/{}/{}",
+            mode.to_string(),
+            t.total_cycles,
+            t.cpi(),
+            t.bus_busy_cycles,
+            t.read_stall_cycles,
+            t.write_stall_cycles,
+            t.hazard_stall_cycles,
+        );
+    }
+    for (label, mode) in [
+        ("unified", ManagementMode::Unified),
+        ("safe", ManagementMode::Safe),
+    ] {
+        let _ = writeln!(
+            out,
+            "cycle reduction ({label}): {:.1}%  (speedup {:.3}x)",
+            cmp.cycle_reduction_pct(mode),
+            cmp.speedup(mode)
+        );
+    }
     Ok(CmdOutput::ok(out))
 }
 
@@ -774,10 +847,46 @@ mod tests {
     }
 
     #[test]
+    fn timing_command_prices_all_three_modes() {
+        let path = write_temp("timing", KERNEL);
+        let inv = parse_args(&args(&[
+            "timing",
+            &path,
+            "--paper",
+            "--wb-entries",
+            "2",
+            "--hit-cycles",
+            "1",
+            "--mem-cycles",
+            "20",
+        ]))
+        .unwrap();
+        assert_eq!(inv.timing.write_buffer_entries, 2);
+        assert_eq!(inv.timing.mem_word_cycles, 20);
+        let out = execute(&inv).unwrap();
+        assert_eq!(out.code, EXIT_OK);
+        assert!(out.text.contains("unified"), "{}", out.text);
+        assert!(out.text.contains("conventional"));
+        assert!(out.text.contains("safe"));
+        assert!(out.text.contains("cycle reduction (unified)"));
+        assert!(out.text.contains("mem 20c/word"));
+    }
+
+    #[test]
+    fn timing_flags_reject_bad_values() {
+        let path = write_temp("timing_bad", HELLO);
+        let e = parse_args(&args(&["timing", &path, "--wb-entries", "x"])).unwrap_err();
+        assert_eq!(e.code, EXIT_USAGE);
+    }
+
+    #[test]
     fn sweep_flag_parsing_and_errors() {
         let inv = parse_args(&args(&["sweep", "--quick", "--out", "/tmp/x.json"])).unwrap();
         assert!(inv.sweep.quick);
         assert_eq!(inv.sweep.out, "/tmp/x.json");
+        assert!(!inv.sweep.timing);
+        let inv = parse_args(&args(&["sweep", "--quick", "--timing"])).unwrap();
+        assert!(inv.sweep.timing);
         let inv = parse_args(&args(&["sweep", "--seed", "42"])).unwrap();
         assert_eq!(inv.sweep.seed, Some(42));
         assert_eq!(inv.sweep.out, "BENCH_sweep.json");
@@ -808,15 +917,41 @@ mod tests {
         let result = execute(&inv).unwrap();
         assert_eq!(result.code, EXIT_OK);
         assert!(result.text.contains(r#""event":"sweep-validate""#));
+        assert!(result.text.contains(r#""timed":false"#));
 
-        // A corrupted artifact is rejected with a runtime (not usage) error.
+        // An old-schema artifact is rejected with a runtime (not usage)
+        // error that names the recovery path.
         std::fs::write(&out, "{\"schema_version\": 1}").unwrap();
         let err = execute(&inv).unwrap_err();
         assert_eq!(err.code, EXIT_ERROR);
+        assert!(
+            err.message.contains("unsupported schema_version 1"),
+            "{}",
+            err.message
+        );
 
         // A missing artifact is a usage error.
         let inv = parse_args(&args(&["sweep", "--validate", "/no/such.json"])).unwrap();
         assert_eq!(execute(&inv).unwrap_err().code, EXIT_USAGE);
+    }
+
+    #[test]
+    fn timed_sweep_writes_cycle_columns() {
+        let out = std::env::temp_dir().join("ucmc_test_sweep_timed.json");
+        let out = out.to_string_lossy().into_owned();
+        let inv = parse_args(&args(&["sweep", "--quick", "--timing", "--out", &out])).unwrap();
+        let result = execute(&inv).unwrap();
+        assert_eq!(result.code, EXIT_OK);
+        assert!(result.text.contains("cyc -%"), "{}", result.text);
+
+        let artifact = std::fs::read_to_string(&out).unwrap();
+        assert!(artifact.contains("\"timing_config\": {"));
+        assert!(artifact.contains("\"total_cycles\":"));
+
+        let inv = parse_args(&args(&["sweep", "--validate", &out])).unwrap();
+        let result = execute(&inv).unwrap();
+        assert_eq!(result.code, EXIT_OK);
+        assert!(result.text.contains(r#""timed":true"#));
     }
 
     #[test]

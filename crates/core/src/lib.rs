@@ -12,6 +12,8 @@
 //! * [`stats`] — static reference statistics (Figure 5's static series)
 //! * [`evaluate`] — runs unified vs conventional builds against the cache
 //!   simulator and reports traffic reductions (Figure 5's dynamic series)
+//! * [`timing`] — prices the same executions in cycles via `ucm-timing`
+//!   (write buffer, bus contention, CPI) and compares all three modes
 //! * [`check`] — oracle-checked execution: a data-carrying functional cache
 //!   trusts the annotations, and every cache-served load is cross-validated
 //!   against the VM's architectural memory
@@ -51,6 +53,7 @@ pub mod mode;
 pub mod pipeline;
 pub mod promote;
 pub mod stats;
+pub mod timing;
 
 pub use annotate::Annotations;
 pub use check::{run_with_oracle, CoherenceReport};
@@ -62,3 +65,4 @@ pub use mode::ManagementMode;
 pub use pipeline::{compile, compile_module, CompileError, Compiled, CompilerOptions};
 pub use promote::{promote_locals, PromotionStats};
 pub use stats::{static_ref_stats, StaticRefStats};
+pub use timing::{compare_timing, run_with_timing, TimedRun, TimingComparison};

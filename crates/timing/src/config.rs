@@ -1,0 +1,79 @@
+//! Timing-model parameters.
+
+/// Latency and resource parameters of the memory-timing model (cycles).
+///
+/// The defaults match the repo's historical access-time model (hit = 1,
+/// memory word = 10) plus a 4-entry write buffer and a single-issue core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingConfig {
+    /// Cache lookup/hit latency, charged to every reference that touches
+    /// the cache (hits, and misses before they go to the bus).
+    pub hit_cycles: u64,
+    /// Main-memory access time per word moved over the bus; also the bus
+    /// occupancy of a one-word transfer.
+    pub mem_word_cycles: u64,
+    /// Write-buffer depth in entries (one buffered store or write-back
+    /// per entry). `0` makes every write synchronous: the core stalls for
+    /// the full memory time — the degenerate, no-overlap model.
+    pub write_buffer_entries: usize,
+    /// Base cost of issuing one data reference on the in-order core.
+    /// `0` models memory time in isolation (no pipeline accounting).
+    pub issue_cycles: u64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            hit_cycles: 1,
+            mem_word_cycles: 10,
+            write_buffer_entries: 4,
+            issue_cycles: 1,
+        }
+    }
+}
+
+impl TimingConfig {
+    /// The degenerate configuration: no write buffer, no overlap, no issue
+    /// accounting. Under it the event-driven simulator serialises every
+    /// transfer and its total time equals [`serial_access_time`]
+    /// (`cache_refs × hit + bus_words × mem`) — the flat access-time model
+    /// `CacheStats::access_time` has always reported.
+    ///
+    /// [`serial_access_time`]: TimingConfig::serial_access_time
+    pub fn degenerate(hit_cycles: u64, mem_word_cycles: u64) -> Self {
+        TimingConfig {
+            hit_cycles,
+            mem_word_cycles,
+            write_buffer_entries: 0,
+            issue_cycles: 0,
+        }
+    }
+
+    /// Closed form of the degenerate model: every cache reference pays the
+    /// hit time, every bus word pays the memory time, nothing overlaps.
+    pub fn serial_access_time(&self, cache_refs: u64, bus_words: u64) -> u64 {
+        cache_refs * self.hit_cycles + bus_words * self.mem_word_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_historical_latency_model() {
+        let t = TimingConfig::default();
+        assert_eq!(t.hit_cycles, 1);
+        assert_eq!(t.mem_word_cycles, 10);
+        assert_eq!(t.write_buffer_entries, 4);
+        assert_eq!(t.issue_cycles, 1);
+    }
+
+    #[test]
+    fn degenerate_disables_buffer_and_issue() {
+        let t = TimingConfig::degenerate(2, 20);
+        assert_eq!(t.write_buffer_entries, 0);
+        assert_eq!(t.issue_cycles, 0);
+        assert_eq!(t.serial_access_time(85, 33), 85 * 2 + 33 * 20);
+    }
+}

@@ -1,0 +1,53 @@
+//! # ucm-timing — cycle-level memory-timing simulator
+//!
+//! The cache simulators in `ucm-cache` answer *how many* words move between
+//! the processor, the cache, and main memory; this crate answers *how long
+//! that traffic takes*. It consumes a stream of classified memory
+//! transactions ([`MemXact`], one per data reference) and models:
+//!
+//! * **latencies** — a cache lookup/hit time and a per-word main-memory
+//!   time ([`TimingConfig`]);
+//! * **a finite write buffer** — stores retire into a FIFO of
+//!   [`TimingConfig::write_buffer_entries`] slots and drain over the bus in
+//!   the background; a full buffer stalls the core, and a load to an
+//!   address held by a pending buffered write waits for that write to reach
+//!   memory (same-address ordering — the buffer never reorders conflicting
+//!   accesses);
+//! * **a shared memory bus** — cache fills, write-backs, and bypass
+//!   transfers contend for a single bus; a transfer occupies it for
+//!   `words × mem_word_cycles`;
+//! * **an in-order core** — one instruction issues per cycle; loads block
+//!   until their data arrives, stores only block on a full buffer, and
+//!   compute overlaps buffered drains.
+//!
+//! The result is a [`TimingReport`] with total cycles, CPI, and a stall
+//! breakdown. Everything is integer arithmetic over the event stream: the
+//! same trace and configuration always produce the same report, bit for
+//! bit.
+//!
+//! The degenerate configuration — no write buffer, no overlap
+//! ([`TimingConfig::degenerate`]) — collapses to the closed-form
+//! `cache_refs × hit + bus_words × mem` access-time model
+//! ([`TimingConfig::serial_access_time`]) that `ucm-cache`'s `CacheStats`
+//! historically used; a property test pins the equivalence.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use ucm_timing::{MemXact, TimingConfig, TimingSim};
+//!
+//! let mut sim = TimingSim::new(TimingConfig::default());
+//! sim.xact(100, MemXact::Hit { is_write: false }); // 1 issue + 1 hit
+//! sim.xact(200, MemXact::BypassWrite { words: 1 }); // buffered, no stall
+//! let report = sim.finish(10); // the run executed 10 VM steps
+//! assert_eq!(report.total_cycles, 13); // the drain (3→13) outlasts compute (11)
+//! assert_eq!(report.pending_writes, 0); // the buffer fully drained
+//! ```
+
+pub mod config;
+pub mod sim;
+pub mod xact;
+
+pub use config::TimingConfig;
+pub use sim::{TimingReport, TimingSim};
+pub use xact::{Eviction, MemXact};

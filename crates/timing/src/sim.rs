@@ -1,0 +1,734 @@
+//! The event-driven timing engine.
+//!
+//! One [`TimingSim`] models an in-order, single-issue core in front of a
+//! cache, a finite write buffer, and a single shared memory bus:
+//!
+//! * Every data reference costs [`issue_cycles`] of base pipeline time.
+//!   Cache activity (hits and the lookup half of misses) adds
+//!   [`hit_cycles`].
+//! * **Reads block.** A fill or bypass read occupies the bus for
+//!   `words × mem_word_cycles` and the core waits for the data.
+//! * **Writes are buffered.** Write-backs, bypass stores, and
+//!   write-through words enter a FIFO write buffer and drain over the bus
+//!   in the background, overlapping compute. An entry occupies its slot
+//!   until its drain completes; the core stalls on a write only when the
+//!   buffer is full (it waits for the head entry to finish draining).
+//! * **The bus is a single resource.** Transfers never overlap: the head
+//!   buffered write starts draining the moment the bus goes idle; a read
+//!   that arrives mid-transfer waits the transfer out, but may start
+//!   ahead of buffered writes that have *not* begun draining — unless one
+//!   of them overlaps the read's addresses, in which case the buffer is
+//!   drained through the conflicting entry first (same-address ordering:
+//!   memory always sees program order per address).
+//!
+//! The model is pure integer arithmetic over the transaction stream; the
+//! same stream and configuration produce bit-identical reports.
+//!
+//! [`issue_cycles`]: crate::TimingConfig::issue_cycles
+//! [`hit_cycles`]: crate::TimingConfig::hit_cycles
+
+use crate::config::TimingConfig;
+use crate::xact::MemXact;
+use std::collections::VecDeque;
+
+/// A write sitting in the write buffer. The drain schedule is committed
+/// lazily: `done` stays `None` until the bus actually picks the entry up,
+/// so later reads to other addresses can overtake it.
+#[derive(Debug, Clone, Copy)]
+struct WbEntry {
+    /// First word address the entry writes.
+    lo: i64,
+    /// Words it writes.
+    words: u64,
+    /// Core cycle at which it entered the buffer.
+    enqueued_at: u64,
+    /// Transaction sequence number of the enqueuing reference.
+    seq: u64,
+    /// Committed drain completion cycle, once the bus picked the entry up.
+    done: Option<u64>,
+}
+
+/// What a logged bus transfer moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferKind {
+    /// A cache-line fill (read miss).
+    Fill,
+    /// A bypass load served straight from memory.
+    BypassRead,
+    /// A write-buffer drain (write-back, bypass store, or write-through
+    /// word).
+    Drain,
+}
+
+/// One bus transfer, recorded when the simulator is built with
+/// [`TimingSim::with_bus_log`]. Tests use the log to check bus
+/// exclusivity and same-address ordering.
+#[derive(Debug, Clone, Copy)]
+pub struct BusTransfer {
+    /// Transaction sequence number of the reference that caused the
+    /// transfer (for drains: the reference that *enqueued* the write).
+    pub seq: u64,
+    /// First word address moved.
+    pub lo: i64,
+    /// Words moved.
+    pub words: u64,
+    /// Cycle the transfer started.
+    pub start: u64,
+    /// Cycle the transfer completed.
+    pub done: u64,
+    /// Transfer class.
+    pub kind: TransferKind,
+}
+
+/// The cycle accounting of one finished run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Total cycles: compute completion or the last write-buffer drain,
+    /// whichever is later.
+    pub total_cycles: u64,
+    /// VM steps the run executed (the CPI denominator).
+    pub steps: u64,
+    /// Data references timed.
+    pub refs: u64,
+    /// Base pipeline cycles: one issue per reference plus one cycle per
+    /// non-memory instruction.
+    pub base_cycles: u64,
+    /// Cycles spent in cache lookups (hits, and misses before the bus).
+    pub hit_stall_cycles: u64,
+    /// Cycles the core waited on fills and bypass reads (bus wait plus
+    /// transfer).
+    pub read_stall_cycles: u64,
+    /// Cycles the core waited on a full write buffer.
+    pub write_stall_cycles: u64,
+    /// Cycles the core waited draining buffered writes that conflicted
+    /// with a read address (same-address ordering).
+    pub hazard_stall_cycles: u64,
+    /// Cycles the memory bus was occupied (fills + bypasses + drains).
+    pub bus_busy_cycles: u64,
+    /// Words drained from the write buffer to memory.
+    pub drained_words: u64,
+    /// Highest write-buffer occupancy observed, in entries.
+    pub wb_peak: usize,
+    /// Entries still buffered after the final drain — always `0`; reported
+    /// so tests can pin the buffer-fully-drains contract.
+    pub pending_writes: usize,
+}
+
+impl TimingReport {
+    /// Cycles per instruction (`0` when the run executed no steps).
+    pub fn cpi(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.steps as f64
+        }
+    }
+
+    /// Fraction of total cycles the memory bus was busy.
+    pub fn bus_utilisation(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.bus_busy_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// All cycles the core lost to the memory system.
+    pub fn mem_stall_cycles(&self) -> u64 {
+        self.hit_stall_cycles
+            + self.read_stall_cycles
+            + self.write_stall_cycles
+            + self.hazard_stall_cycles
+    }
+}
+
+/// The event-driven memory-timing simulator. Feed it one [`MemXact`] per
+/// data reference via [`xact`](TimingSim::xact), then call
+/// [`finish`](TimingSim::finish) with the run's VM step count.
+#[derive(Debug, Clone)]
+pub struct TimingSim {
+    cfg: TimingConfig,
+    /// Current core cycle.
+    now: u64,
+    /// Cycle at which the bus finishes its last committed transfer.
+    bus_free: u64,
+    wb: VecDeque<WbEntry>,
+    refs: u64,
+    issue_cycles_total: u64,
+    hit_stall: u64,
+    read_stall: u64,
+    write_stall: u64,
+    hazard_stall: u64,
+    bus_busy: u64,
+    drained_words: u64,
+    wb_peak: usize,
+    log: Option<Vec<BusTransfer>>,
+}
+
+/// Whether `[lo1, lo1+w1)` and `[lo2, lo2+w2)` share a word.
+fn overlaps(lo1: i64, w1: u64, lo2: i64, w2: u64) -> bool {
+    lo1 < lo2 + w2 as i64 && lo2 < lo1 + w1 as i64
+}
+
+impl TimingSim {
+    /// A simulator for `cfg`.
+    pub fn new(cfg: TimingConfig) -> Self {
+        TimingSim {
+            cfg,
+            now: 0,
+            bus_free: 0,
+            wb: VecDeque::new(),
+            refs: 0,
+            issue_cycles_total: 0,
+            hit_stall: 0,
+            read_stall: 0,
+            write_stall: 0,
+            hazard_stall: 0,
+            bus_busy: 0,
+            drained_words: 0,
+            wb_peak: 0,
+            log: None,
+        }
+    }
+
+    /// Like [`new`](TimingSim::new), but records every bus transfer for
+    /// inspection via [`bus_log`](TimingSim::bus_log). Test-only in
+    /// spirit: the log grows by one entry per transfer.
+    pub fn with_bus_log(cfg: TimingConfig) -> Self {
+        let mut sim = TimingSim::new(cfg);
+        sim.log = Some(Vec::new());
+        sim
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TimingConfig {
+        &self.cfg
+    }
+
+    /// The current core cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Buffered writes whose drain has not completed by the current core
+    /// cycle.
+    pub fn pending_writes(&self) -> usize {
+        self.wb
+            .iter()
+            .filter(|e| e.done.is_none_or(|d| d > self.now))
+            .count()
+    }
+
+    /// The recorded bus transfers (empty unless built with
+    /// [`with_bus_log`](TimingSim::with_bus_log)).
+    pub fn bus_log(&self) -> &[BusTransfer] {
+        self.log.as_deref().unwrap_or(&[])
+    }
+
+    fn record(&mut self, seq: u64, lo: i64, words: u64, start: u64, done: u64, kind: TransferKind) {
+        if let Some(log) = &mut self.log {
+            log.push(BusTransfer {
+                seq,
+                lo,
+                words,
+                start,
+                done,
+                kind,
+            });
+        }
+    }
+
+    /// Commits the drain schedule of the head entry, starting no earlier
+    /// than `floor`. Returns its completion cycle.
+    fn commit_head_drain(&mut self, floor: u64) -> u64 {
+        let e = self.wb[0];
+        debug_assert!(e.done.is_none());
+        let start = self.bus_free.max(floor).max(e.enqueued_at);
+        let done = start + e.words * self.cfg.mem_word_cycles;
+        self.wb[0].done = Some(done);
+        self.bus_free = done;
+        self.bus_busy += done - start;
+        self.record(e.seq, e.lo, e.words, start, done, TransferKind::Drain);
+        done
+    }
+
+    fn pop_drained(&mut self) {
+        let e = self.wb.pop_front().expect("pop_drained needs an entry");
+        debug_assert!(e.done.is_some());
+        self.drained_words += e.words;
+    }
+
+    /// Background draining up to core cycle `t`: the head entry starts
+    /// draining whenever the bus goes idle (the bus works while the core
+    /// computes), and entries leave the buffer when their drain completes.
+    /// Afterwards at most the head can still be in flight, its completion
+    /// captured in `bus_free`.
+    fn drain_until(&mut self, t: u64) {
+        while let Some(front) = self.wb.front() {
+            match front.done {
+                Some(done) if done <= t => self.pop_drained(),
+                Some(_) => break, // in flight past t
+                None => {
+                    let start = self.bus_free.max(front.enqueued_at);
+                    if start >= t {
+                        break; // would not have started yet
+                    }
+                    self.commit_head_drain(0);
+                }
+            }
+        }
+    }
+
+    /// Same-address ordering: if any buffered write overlaps
+    /// `[lo, lo+words)`, drain the buffer through the *last* such entry
+    /// before the read may touch memory. The wait is accounted as hazard
+    /// stall.
+    fn drain_conflicts(&mut self, lo: i64, words: u64) {
+        let conflict = self
+            .wb
+            .iter()
+            .rposition(|e| overlaps(e.lo, e.words, lo, words));
+        if let Some(idx) = conflict {
+            let t = self.now;
+            for _ in 0..=idx {
+                if self.wb[0].done.is_none() {
+                    self.commit_head_drain(t);
+                }
+                self.pop_drained();
+            }
+            if self.bus_free > t {
+                self.hazard_stall += self.bus_free - t;
+                self.now = self.bus_free;
+            }
+        }
+    }
+
+    /// A blocking read of `words` from `lo`: waits out any in-flight or
+    /// conflicting drain, takes the bus, and advances the core to data
+    /// arrival. Buffered writes to other addresses that have not started
+    /// draining are overtaken.
+    fn read_bus(&mut self, lo: i64, words: u64, kind: TransferKind) -> u64 {
+        if words == 0 {
+            return self.now;
+        }
+        self.drain_until(self.now);
+        self.drain_conflicts(lo, words);
+        let start = self.now.max(self.bus_free);
+        let done = start + words * self.cfg.mem_word_cycles;
+        self.bus_free = done;
+        self.bus_busy += done - start;
+        self.record(self.refs, lo, words, start, done, kind);
+        self.read_stall += done - self.now;
+        self.now = done;
+        done
+    }
+
+    /// A buffered write of `words` to `lo`. With a zero-entry buffer the
+    /// write is synchronous; otherwise the core stalls only when the
+    /// buffer is full. Returns the core cycle after the write retires
+    /// (not its drain time — draining is background work).
+    fn enqueue_write(&mut self, lo: i64, words: u64) -> u64 {
+        if words == 0 {
+            return self.now;
+        }
+        if self.cfg.write_buffer_entries == 0 {
+            // Synchronous: the core escorts the words to memory itself.
+            let start = self.now.max(self.bus_free);
+            let done = start + words * self.cfg.mem_word_cycles;
+            self.bus_free = done;
+            self.bus_busy += done - start;
+            self.drained_words += words;
+            self.record(self.refs, lo, words, start, done, TransferKind::Drain);
+            self.write_stall += done - self.now;
+            self.now = done;
+            return self.now;
+        }
+        self.drain_until(self.now);
+        if self.wb.len() == self.cfg.write_buffer_entries {
+            // Full: wait for the head to finish draining.
+            let done = match self.wb[0].done {
+                Some(done) => done,
+                None => self.commit_head_drain(self.now),
+            };
+            self.pop_drained();
+            if done > self.now {
+                self.write_stall += done - self.now;
+                self.now = done;
+            }
+        }
+        self.wb.push_back(WbEntry {
+            lo,
+            words,
+            enqueued_at: self.now,
+            seq: self.refs,
+            done: None,
+        });
+        self.wb_peak = self.wb_peak.max(self.wb.len());
+        self.now
+    }
+
+    fn charge_hit(&mut self) {
+        self.hit_stall += self.cfg.hit_cycles;
+        self.now += self.cfg.hit_cycles;
+    }
+
+    /// Presents one classified reference to `addr`. Returns the core cycle
+    /// at which the reference retires (for blocking reads: when the data
+    /// arrived).
+    pub fn xact(&mut self, addr: i64, x: MemXact) -> u64 {
+        self.refs += 1;
+        self.now += self.cfg.issue_cycles;
+        self.issue_cycles_total += self.cfg.issue_cycles;
+        match x {
+            MemXact::Hit { .. } => {
+                self.charge_hit();
+                self.now
+            }
+            MemXact::Miss {
+                fill_words,
+                writeback,
+                ..
+            } => {
+                self.charge_hit();
+                if fill_words > 0 {
+                    // Fills fetch the whole aligned line containing `addr`.
+                    let lo = addr - addr.rem_euclid(fill_words as i64);
+                    self.read_bus(lo, fill_words, TransferKind::Fill);
+                }
+                if let Some(e) = writeback {
+                    self.enqueue_write(e.lo, e.words);
+                }
+                self.now
+            }
+            MemXact::BypassRead { words } => self.read_bus(addr, words, TransferKind::BypassRead),
+            MemXact::BypassWrite { words } => self.enqueue_write(addr, words),
+            MemXact::ThroughWrite { words, .. } => {
+                self.charge_hit();
+                self.enqueue_write(addr, words)
+            }
+        }
+    }
+
+    /// Ends the run: accounts the `steps - refs` non-memory instructions
+    /// (they overlap any remaining drains), drains the write buffer to
+    /// empty, and returns the report. `steps` is the VM's executed
+    /// instruction count — the CPI denominator.
+    pub fn finish(&mut self, steps: u64) -> TimingReport {
+        let tail = steps.saturating_sub(self.refs) * self.cfg.issue_cycles;
+        let compute_done = self.now + tail;
+        while !self.wb.is_empty() {
+            if self.wb[0].done.is_none() {
+                self.commit_head_drain(0);
+            }
+            self.pop_drained();
+        }
+        TimingReport {
+            total_cycles: compute_done.max(self.bus_free),
+            steps,
+            refs: self.refs,
+            base_cycles: self.issue_cycles_total + tail,
+            hit_stall_cycles: self.hit_stall,
+            read_stall_cycles: self.read_stall,
+            write_stall_cycles: self.write_stall,
+            hazard_stall_cycles: self.hazard_stall,
+            bus_busy_cycles: self.bus_busy,
+            drained_words: self.drained_words,
+            wb_peak: self.wb_peak,
+            pending_writes: self.wb.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xact::Eviction;
+
+    fn cfg(wb: usize) -> TimingConfig {
+        TimingConfig {
+            hit_cycles: 1,
+            mem_word_cycles: 10,
+            write_buffer_entries: wb,
+            issue_cycles: 1,
+        }
+    }
+
+    #[test]
+    fn hits_cost_issue_plus_hit() {
+        let mut sim = TimingSim::new(cfg(4));
+        sim.xact(0, MemXact::Hit { is_write: false });
+        sim.xact(1, MemXact::Hit { is_write: true });
+        let r = sim.finish(2);
+        assert_eq!(r.total_cycles, 4);
+        assert_eq!(r.base_cycles, 2);
+        assert_eq!(r.hit_stall_cycles, 2);
+        assert_eq!(r.bus_busy_cycles, 0);
+        assert!((r.cpi() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffered_write_does_not_stall_the_core() {
+        let mut sim = TimingSim::new(cfg(4));
+        let retired = sim.xact(100, MemXact::BypassWrite { words: 1 });
+        assert_eq!(retired, 1, "issue only; the store sits in the buffer");
+        assert_eq!(sim.pending_writes(), 1);
+        let r = sim.finish(1);
+        assert_eq!(r.write_stall_cycles, 0);
+        assert_eq!(r.pending_writes, 0, "finish drains the buffer");
+        assert_eq!(r.drained_words, 1);
+        // The drain (1→11) outlasts compute (1 issue cycle).
+        assert_eq!(r.total_cycles, 11);
+    }
+
+    #[test]
+    fn zero_entry_buffer_makes_writes_synchronous() {
+        let mut sim = TimingSim::new(cfg(0));
+        sim.xact(100, MemXact::BypassWrite { words: 1 });
+        let r = sim.finish(1);
+        assert_eq!(r.write_stall_cycles, 10);
+        assert_eq!(r.total_cycles, 11);
+        assert_eq!(r.drained_words, 1);
+    }
+
+    #[test]
+    fn full_buffer_stalls_until_the_head_drains() {
+        let mut sim = TimingSim::new(cfg(1));
+        sim.xact(0, MemXact::BypassWrite { words: 1 }); // t=1, drains 1→11
+                                                        // Second write at t=2: buffer full, head drain completes at 11.
+        sim.xact(8, MemXact::BypassWrite { words: 1 });
+        let r = sim.finish(2);
+        assert_eq!(r.write_stall_cycles, 9, "waited 2→11 for the head");
+        assert_eq!(r.wb_peak, 1);
+        // Second drain occupies the bus 11→21.
+        assert_eq!(r.total_cycles, 21);
+        assert_eq!(r.bus_busy_cycles, 20);
+    }
+
+    #[test]
+    fn read_overtakes_unrelated_buffered_writes() {
+        let mut sim = TimingSim::new(cfg(4));
+        sim.xact(0, MemXact::Hit { is_write: false }); // t=2
+        sim.xact(1, MemXact::BypassWrite { words: 1 }); // enqueued t=3
+        sim.xact(2, MemXact::BypassWrite { words: 1 }); // enqueued t=4
+                                                        // At t=5 the first drain is in flight (3→13); the second has not
+                                                        // started. A read of an unrelated address waits only the in-flight
+                                                        // transfer, then overtakes the second drain.
+        let done = sim.xact(500, MemXact::BypassRead { words: 1 });
+        assert_eq!(done, 23, "13 (in-flight drain) + 10 (the read)");
+        assert_eq!(sim.pending_writes(), 1, "the overtaken write still pends");
+    }
+
+    #[test]
+    fn read_waits_for_conflicting_buffered_write() {
+        let mut sim = TimingSim::new(cfg(4));
+        sim.xact(0, MemXact::Hit { is_write: false }); // t=2
+        sim.xact(1, MemXact::BypassWrite { words: 1 }); // drain 3→13
+        sim.xact(700, MemXact::BypassWrite { words: 1 }); // not started
+                                                          // Read of 700 at t=5: in-flight drain of 1 ends at 13, then the
+                                                          // conflicting write to 700 drains 13→23, then the read runs 23→33.
+        let done = sim.xact(700, MemXact::BypassRead { words: 1 });
+        assert_eq!(done, 33);
+        let r = sim.finish(4);
+        assert_eq!(r.hazard_stall_cycles, 18, "waited 5→23 on the hazard");
+        assert_eq!(r.pending_writes, 0);
+    }
+
+    #[test]
+    fn miss_fills_block_and_victims_are_buffered() {
+        let mut sim = TimingSim::new(cfg(4));
+        let done = sim.xact(
+            5,
+            MemXact::Miss {
+                is_write: false,
+                fill_words: 4,
+                writeback: Some(Eviction { lo: 64, words: 4 }),
+            },
+        );
+        // issue 1 + hit 1 = t=2; fill of line [4,8) runs 2→42.
+        assert_eq!(done, 42);
+        assert_eq!(sim.pending_writes(), 1, "victim write-back buffered");
+        let r = sim.finish(1);
+        // Victim drains 42→82 in the background.
+        assert_eq!(r.total_cycles, 82);
+        assert_eq!(r.read_stall_cycles, 40);
+        assert_eq!(r.drained_words, 4);
+    }
+
+    #[test]
+    fn fill_conflicting_with_buffered_victim_waits() {
+        // Evict a dirty line, then miss on it again while the write-back
+        // still pends: the refill must wait for the write-back to reach
+        // memory (no stale read).
+        let mut sim = TimingSim::with_bus_log(cfg(4));
+        sim.xact(0, MemXact::Hit { is_write: false });
+        sim.xact(
+            64,
+            MemXact::Miss {
+                is_write: false,
+                fill_words: 1,
+                writeback: None,
+            },
+        );
+        sim.xact(100, MemXact::BypassWrite { words: 1 }); // unrelated
+        sim.xact(64, MemXact::BypassWrite { words: 1 }); // conflict source
+        let before = sim.now();
+        sim.xact(
+            64,
+            MemXact::Miss {
+                is_write: false,
+                fill_words: 1,
+                writeback: None,
+            },
+        );
+        let log = sim.bus_log();
+        let drain = log
+            .iter()
+            .rfind(|t| t.kind == TransferKind::Drain && t.lo == 64)
+            .expect("the conflicting write drained");
+        let fill = log
+            .iter()
+            .rfind(|t| t.kind == TransferKind::Fill && t.lo == 64)
+            .expect("the refill ran");
+        assert!(
+            fill.start >= drain.done,
+            "refill at {} must follow the write-back ending at {}",
+            fill.start,
+            drain.done
+        );
+        assert!(fill.start >= before);
+    }
+
+    #[test]
+    fn bus_transfers_never_overlap() {
+        let mut sim = TimingSim::with_bus_log(cfg(2));
+        let xs = [
+            MemXact::BypassWrite { words: 2 },
+            MemXact::Miss {
+                is_write: false,
+                fill_words: 4,
+                writeback: Some(Eviction { lo: 32, words: 4 }),
+            },
+            MemXact::BypassRead { words: 1 },
+            MemXact::BypassWrite { words: 1 },
+            MemXact::ThroughWrite {
+                hit: true,
+                words: 1,
+            },
+            MemXact::BypassRead { words: 2 },
+        ];
+        for (i, x) in xs.iter().enumerate() {
+            sim.xact((i as i64) * 8, *x);
+        }
+        sim.finish(xs.len() as u64);
+        let log = sim.bus_log();
+        assert!(log.len() >= 6);
+        for w in log.windows(2) {
+            assert!(
+                w[1].start >= w[0].done,
+                "bus transfers overlap: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_config_matches_the_serial_closed_form() {
+        // A mixed stream; with no buffer and no issue cost, total time is
+        // exactly cache_refs × hit + bus_words × mem.
+        let t = TimingConfig::degenerate(1, 10);
+        let mut sim = TimingSim::new(t);
+        let xs = [
+            MemXact::Hit { is_write: false },
+            MemXact::Miss {
+                is_write: false,
+                fill_words: 1,
+                writeback: None,
+            },
+            MemXact::Miss {
+                is_write: true,
+                fill_words: 0,
+                writeback: Some(Eviction { lo: 9, words: 1 }),
+            },
+            MemXact::BypassRead { words: 1 },
+            MemXact::BypassWrite { words: 1 },
+            MemXact::ThroughWrite {
+                hit: false,
+                words: 1,
+            },
+        ];
+        let mut cache_refs = 0;
+        let mut bus_words = 0;
+        for (i, x) in xs.iter().enumerate() {
+            if x.is_cache_ref() {
+                cache_refs += 1;
+            }
+            bus_words += x.bus_words();
+            sim.xact(i as i64 * 16, *x);
+        }
+        let r = sim.finish(0);
+        assert_eq!(r.total_cycles, t.serial_access_time(cache_refs, bus_words));
+        assert_eq!(r.base_cycles, 0);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let run = || {
+            let mut sim = TimingSim::new(cfg(3));
+            let mut x = 0x2545_f491_4f6c_dd1du64;
+            for _ in 0..10_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let addr = (x % 512) as i64;
+                let xact = match x % 5 {
+                    0 => MemXact::Hit { is_write: false },
+                    1 => MemXact::Miss {
+                        is_write: false,
+                        fill_words: 1,
+                        writeback: if x.is_multiple_of(7) {
+                            Some(Eviction {
+                                lo: ((x >> 9) % 512) as i64,
+                                words: 1,
+                            })
+                        } else {
+                            None
+                        },
+                    },
+                    2 => MemXact::BypassRead { words: 1 },
+                    3 => MemXact::BypassWrite { words: 1 },
+                    _ => MemXact::Hit { is_write: true },
+                };
+                sim.xact(addr, xact);
+            }
+            sim.finish(25_000)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn totals_decompose_into_base_plus_stalls() {
+        let mut sim = TimingSim::new(cfg(2));
+        let xs = [
+            MemXact::BypassWrite { words: 1 },
+            MemXact::Miss {
+                is_write: false,
+                fill_words: 1,
+                writeback: None,
+            },
+            MemXact::BypassWrite { words: 1 },
+            MemXact::BypassWrite { words: 1 },
+            MemXact::Hit { is_write: false },
+        ];
+        for (i, x) in xs.iter().enumerate() {
+            sim.xact(i as i64, *x);
+        }
+        let r = sim.finish(12);
+        let compute = r.base_cycles + r.mem_stall_cycles();
+        assert!(r.total_cycles >= compute);
+        assert!(
+            r.total_cycles <= compute + r.bus_busy_cycles,
+            "only trailing drains may extend past compute"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Classified memory transactions — the interface between a cache model
+//! and the timing simulator.
+//!
+//! A cache simulator (e.g. `ucm_cache::CacheSim`) classifies each data
+//! reference into one [`MemXact`]: what the memory system had to do to
+//! serve it. The timing simulator turns that into cycles. Keeping the
+//! classification a plain value decouples the two crates: `ucm-timing`
+//! depends on nothing, so cache models of any flavour can feed it.
+
+/// A dirty line pushed out of the cache, destined for the write buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// First word address of the evicted line.
+    pub lo: i64,
+    /// Words written back.
+    pub words: u64,
+}
+
+/// What the memory system did for one data reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemXact {
+    /// Served by the cache; no bus traffic. Covers read hits, write-back
+    /// write hits, and tag-directed invalidations that drop data dead.
+    Hit {
+        /// `true` for stores.
+        is_write: bool,
+    },
+    /// A miss that allocated a line: the fill occupies the bus (reads
+    /// block on it) and any dirty victim goes to the write buffer.
+    Miss {
+        /// `true` for stores (write-allocate).
+        is_write: bool,
+        /// Words fetched from memory. `0` for a full-line write-allocate
+        /// (nothing to fetch).
+        fill_words: u64,
+        /// Dirty victim pushed to the write buffer, if the allocation
+        /// evicted one.
+        writeback: Option<Eviction>,
+    },
+    /// A load served straight from memory (bypass bit, or a last-reference
+    /// miss not worth a fill). Blocks the core for the transfer.
+    BypassRead {
+        /// Words moved.
+        words: u64,
+    },
+    /// A store sent straight to memory through the write buffer.
+    BypassWrite {
+        /// Words moved.
+        words: u64,
+    },
+    /// A write-through store: the cache is updated on a hit, and the
+    /// written word always goes to memory through the write buffer.
+    ThroughWrite {
+        /// Whether the cache also held the line.
+        hit: bool,
+        /// Words moved.
+        words: u64,
+    },
+}
+
+impl MemXact {
+    /// Words this transaction moves over the memory bus, in either
+    /// direction.
+    pub fn bus_words(&self) -> u64 {
+        match *self {
+            MemXact::Hit { .. } => 0,
+            MemXact::Miss {
+                fill_words,
+                writeback,
+                ..
+            } => fill_words + writeback.map_or(0, |e| e.words),
+            MemXact::BypassRead { words }
+            | MemXact::BypassWrite { words }
+            | MemXact::ThroughWrite { words, .. } => words,
+        }
+    }
+
+    /// Whether this transaction enters the cache (the `cache_refs`
+    /// population of `CacheStats`).
+    pub fn is_cache_ref(&self) -> bool {
+        !matches!(
+            self,
+            MemXact::BypassRead { .. } | MemXact::BypassWrite { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_words_counts_both_directions() {
+        assert_eq!(MemXact::Hit { is_write: true }.bus_words(), 0);
+        assert_eq!(
+            MemXact::Miss {
+                is_write: false,
+                fill_words: 4,
+                writeback: Some(Eviction { lo: 64, words: 4 }),
+            }
+            .bus_words(),
+            8
+        );
+        assert_eq!(MemXact::BypassRead { words: 1 }.bus_words(), 1);
+        assert_eq!(
+            MemXact::ThroughWrite {
+                hit: true,
+                words: 1
+            }
+            .bus_words(),
+            1
+        );
+    }
+
+    #[test]
+    fn cache_ref_classification_excludes_bypasses() {
+        assert!(MemXact::Hit { is_write: false }.is_cache_ref());
+        assert!(MemXact::ThroughWrite {
+            hit: false,
+            words: 1
+        }
+        .is_cache_ref());
+        assert!(!MemXact::BypassRead { words: 1 }.is_cache_ref());
+        assert!(!MemXact::BypassWrite { words: 1 }.is_cache_ref());
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests of the timing engine's core contracts, over random
+//! transaction streams:
+//!
+//! * the memory bus is exclusive — logged transfers never overlap in time;
+//! * same-address ordering — when two transfers touch a common word, the
+//!   earlier reference's transfer finishes before the later one starts
+//!   (the write buffer never reorders conflicting traffic);
+//! * the write buffer fully drains at run end, and every written word
+//!   reaches memory exactly once;
+//! * the degenerate configuration collapses to the closed-form serial
+//!   access time for *any* stream;
+//! * the report is deterministic and self-consistent.
+
+use proptest::prelude::*;
+use ucm_timing::{Eviction, MemXact, TimingConfig, TimingSim};
+
+/// One generated reference: an address plus its classified transaction.
+#[derive(Debug, Clone, Copy)]
+struct Ref {
+    addr: i64,
+    xact: MemXact,
+}
+
+/// Strategy for one transaction. Addresses live in a small window so
+/// conflicts actually happen; the eviction tuple's `0` word count means
+/// "no write-back".
+fn any_ref() -> impl Strategy<Value = Ref> {
+    (0i64..64, 1u64..5, 0u8..6, (0i64..64, 0u64..5)).prop_map(
+        |(addr, words, kind, (ev_lo, ev_words))| {
+            let xact = match kind {
+                0 => MemXact::Hit { is_write: false },
+                1 => MemXact::Hit { is_write: true },
+                2 => MemXact::Miss {
+                    is_write: false,
+                    fill_words: words,
+                    writeback: (ev_words > 0).then_some(Eviction {
+                        lo: ev_lo,
+                        words: ev_words,
+                    }),
+                },
+                3 => MemXact::BypassRead { words },
+                4 => MemXact::BypassWrite { words },
+                _ => MemXact::ThroughWrite { hit: false, words },
+            };
+            // Align miss addresses to their fill size, mirroring how the
+            // cache derives line addresses.
+            let addr = match xact {
+                MemXact::Miss { fill_words, .. } if fill_words > 0 => {
+                    addr - addr.rem_euclid(fill_words as i64)
+                }
+                _ => addr,
+            };
+            Ref { addr, xact }
+        },
+    )
+}
+
+fn any_config() -> impl Strategy<Value = TimingConfig> {
+    (1u64..4, 1u64..13, 0usize..5, 0u64..3).prop_map(|(hit, mem, wb, issue)| TimingConfig {
+        hit_cycles: hit,
+        mem_word_cycles: mem,
+        write_buffer_entries: wb,
+        issue_cycles: issue,
+    })
+}
+
+/// Words a transaction writes toward memory (buffered or synchronous).
+fn written_words(x: &MemXact) -> u64 {
+    match x {
+        MemXact::Miss { writeback, .. } => writeback.map_or(0, |e| e.words),
+        MemXact::BypassWrite { words } => *words,
+        MemXact::ThroughWrite { words, .. } => *words,
+        _ => 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn bus_is_exclusive_and_conflicts_stay_ordered(
+        cfg in any_config(),
+        refs in prop::collection::vec(any_ref(), 0..120),
+    ) {
+        let mut sim = TimingSim::with_bus_log(cfg);
+        for r in &refs {
+            sim.xact(r.addr, r.xact);
+        }
+        sim.finish(refs.len() as u64);
+        let log = sim.bus_log();
+        // Exclusivity: the log is in commit order and transfers may not
+        // overlap in time.
+        for w in log.windows(2) {
+            prop_assert!(
+                w[1].start >= w[0].done,
+                "bus transfers overlap: {:?} then {:?}", w[0], w[1]
+            );
+        }
+        // Same-address ordering: for any two transfers sharing a word,
+        // the one caused by the earlier reference transfers first.
+        for (i, a) in log.iter().enumerate() {
+            for b in &log[i + 1..] {
+                if a.seq == b.seq {
+                    continue; // one miss may emit fill + write-back
+                }
+                let overlap = a.lo < b.lo + b.words as i64 && b.lo < a.lo + a.words as i64;
+                if overlap {
+                    let (first, second) = if a.seq < b.seq { (a, b) } else { (b, a) };
+                    prop_assert!(
+                        second.start >= first.done,
+                        "reference {} reordered past reference {}: {:?} vs {:?}",
+                        second.seq, first.seq, first, second
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_buffer_fully_drains_and_conserves_words(
+        cfg in any_config(),
+        refs in prop::collection::vec(any_ref(), 0..120),
+    ) {
+        let mut sim = TimingSim::new(cfg);
+        let mut written = 0u64;
+        for r in &refs {
+            written += written_words(&r.xact);
+            sim.xact(r.addr, r.xact);
+        }
+        let report = sim.finish(refs.len() as u64 * 3);
+        prop_assert_eq!(report.pending_writes, 0, "finish must drain the buffer");
+        prop_assert_eq!(report.drained_words, written, "every written word reaches memory once");
+        prop_assert!(report.wb_peak <= cfg.write_buffer_entries);
+    }
+
+    #[test]
+    fn degenerate_config_is_the_serial_closed_form(
+        hit in 0u64..4,
+        mem in 1u64..13,
+        refs in prop::collection::vec(any_ref(), 0..120),
+    ) {
+        let cfg = TimingConfig::degenerate(hit, mem);
+        let mut sim = TimingSim::new(cfg);
+        let mut cache_refs = 0u64;
+        let mut bus_words = 0u64;
+        for r in &refs {
+            if r.xact.is_cache_ref() {
+                cache_refs += 1;
+            }
+            bus_words += r.xact.bus_words();
+            sim.xact(r.addr, r.xact);
+        }
+        let report = sim.finish(0);
+        prop_assert_eq!(
+            report.total_cycles,
+            cfg.serial_access_time(cache_refs, bus_words)
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic_and_self_consistent(
+        cfg in any_config(),
+        refs in prop::collection::vec(any_ref(), 0..120),
+        steps_slack in 0u64..100,
+    ) {
+        let run = || {
+            let mut sim = TimingSim::new(cfg);
+            for r in &refs {
+                sim.xact(r.addr, r.xact);
+            }
+            sim.finish(refs.len() as u64 + steps_slack)
+        };
+        let a = run();
+        prop_assert_eq!(a, run(), "same stream must report identically");
+        let compute = a.base_cycles + a.mem_stall_cycles();
+        prop_assert!(a.total_cycles >= compute);
+        prop_assert!(
+            a.total_cycles <= compute + a.bus_busy_cycles,
+            "only trailing drains extend past compute"
+        );
+        prop_assert!(a.bus_busy_cycles <= a.total_cycles);
+    }
+}

@@ -11,6 +11,7 @@
 //! * [`core`] — the unified register/cache management model (the paper)
 //! * [`machine`] — MIPS-like target ISA, code generator, tracing VM
 //! * [`cache`] — data-cache simulator with bypass and last-ref invalidation
+//! * [`timing`] — cycle-level memory-timing model (write buffer, bus, CPI)
 //! * [`workloads`] — the six DARPA/Stanford benchmarks of the evaluation
 
 pub use ucm_analysis as analysis;
@@ -20,4 +21,5 @@ pub use ucm_ir as ir;
 pub use ucm_lang as lang;
 pub use ucm_machine as machine;
 pub use ucm_regalloc as regalloc;
+pub use ucm_timing as timing;
 pub use ucm_workloads as workloads;
