@@ -1,0 +1,140 @@
+//! Criterion benchmarks of the trace pipeline itself — the three levers
+//! behind the sweep overhaul:
+//!
+//! * VM run throughput with a monomorphized sink vs the dyn-boxed
+//!   wrapper (`run` vs `run_boxed`),
+//! * replaying a [`PackedTrace`] (8 bytes/event, decoded on the fly) vs
+//!   an unpacked `Vec<MemEvent>` (16 bytes/event),
+//! * fused multi-cell replay (one trace pass drives a whole
+//!   write-policy × replacement block) vs replaying the block one cell
+//!   at a time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ucm_bench::sweep::{record_trace, replay, replay_fused, Codegen};
+use ucm_cache::{CacheConfig, CacheSim, PolicyKind, WritePolicy};
+use ucm_core::pipeline::{compile, CompilerOptions};
+use ucm_core::ManagementMode;
+use ucm_machine::{run, run_boxed, MemEvent, NullSink, PackedTrace, TraceRecord, VmConfig};
+
+fn recorded() -> (std::sync::Arc<PackedTrace>, u64) {
+    let t = record_trace(
+        &ucm_workloads::sieve::workload(8190, 1),
+        Codegen::Paper,
+        ManagementMode::Unified,
+        &VmConfig::default(),
+    )
+    .expect("sieve records");
+    (t.trace, t.steps)
+}
+
+fn unpack(trace: &PackedTrace) -> Vec<MemEvent> {
+    trace
+        .records()
+        .filter_map(|r| match r {
+            TraceRecord::Event(ev) => Some(ev),
+            TraceRecord::FrameExit { .. } => None,
+        })
+        .collect()
+}
+
+fn block_configs() -> Vec<CacheConfig> {
+    let mut cfgs = Vec::new();
+    for wp in [
+        WritePolicy::WriteBackAllocate,
+        WritePolicy::WriteThroughNoAllocate,
+    ] {
+        for policy in [
+            PolicyKind::Lru,
+            PolicyKind::OneBitLru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+        ] {
+            cfgs.push(CacheConfig {
+                size_words: 256,
+                line_words: 4,
+                associativity: 2,
+                policy,
+                write_policy: wp,
+                ..CacheConfig::default()
+            });
+        }
+    }
+    cfgs
+}
+
+fn bench_vm_dispatch(c: &mut Criterion) {
+    let w = ucm_workloads::sieve::workload(8190, 1);
+    let compiled = compile(&w.source, &CompilerOptions::paper()).unwrap();
+    c.bench_function("vm_run_generic_sink", |b| {
+        b.iter(|| {
+            run(
+                black_box(&compiled.program),
+                &mut NullSink,
+                &VmConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("vm_run_boxed_sink", |b| {
+        b.iter(|| {
+            let mut sink = NullSink;
+            run_boxed(
+                black_box(&compiled.program),
+                &mut sink,
+                &VmConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_replay_format(c: &mut Criterion) {
+    let (trace, _steps) = recorded();
+    let unpacked = unpack(&trace);
+    let cfg = CacheConfig {
+        size_words: 256,
+        line_words: 4,
+        associativity: 2,
+        ..CacheConfig::default()
+    };
+    c.bench_function("replay_packed_trace", |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::try_new(cfg).unwrap();
+            black_box(&trace).replay(&mut sim);
+            *sim.stats()
+        })
+    });
+    c.bench_function("replay_unpacked_events", |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::try_new(cfg).unwrap();
+            for ev in black_box(&unpacked) {
+                sim.access(*ev);
+            }
+            *sim.stats()
+        })
+    });
+}
+
+fn bench_fused_replay(c: &mut Criterion) {
+    let (trace, steps) = recorded();
+    let cfgs = block_configs();
+    c.bench_function("replay_fused_8_cells", |b| {
+        b.iter(|| replay_fused(black_box(&trace), &cfgs, None, steps))
+    });
+    c.bench_function("replay_sequential_8_cells", |b| {
+        b.iter(|| {
+            cfgs.iter()
+                .map(|&cfg| replay(black_box(&trace), cfg, None, steps))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_vm_dispatch,
+    bench_replay_format,
+    bench_fused_replay
+);
+criterion_main!(benches);

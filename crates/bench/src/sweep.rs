@@ -1,33 +1,53 @@
 //! The parallel sweep engine behind `ucmc sweep`.
 //!
 //! One sweep compiles every workload once per (codegen, mode), records its
-//! data-reference trace once, and then replays that trace against every
-//! cache point of the grid
+//! data-reference trace once as a [`PackedTrace`] (8 bytes per reference,
+//! frame exits inline), and then replays that trace against every cache
+//! point of the grid
 //!
 //! ```text
 //! workload × codegen × mode × geometry × write policy × replacement policy
 //! ```
 //!
-//! fanned across threads with `rayon`. Recording is separated from replay
-//! because the trace depends only on the compiled binary, not on the cache:
-//! a 432-cell grid costs 18 compiles and 18 VM runs, not 432.
+//! in two phases fanned across threads with `rayon`:
+//!
+//! 1. **Record** — one job per (workload, codegen, mode) compiles the
+//!    binary, runs the VM once with a monomorphized packed sink, and
+//!    keeps the trace behind an `Arc`. A 432-cell grid costs 18 compiles
+//!    and 18 VM runs, not 432.
+//! 2. **Replay** — one job per (trace, geometry) drives all of that
+//!    geometry's (write policy × replacement) simulators through a single
+//!    *fused* pass over the shared trace ([`replay_fused`]), so each
+//!    trace is decoded `geometries` times instead of once per cell.
+//!
+//! Every recorded trace stays resident (shared, never copied) until the
+//! replay phase finishes; the whole suite's packed traces are the peak
+//! memory of a sweep.
 //!
 //! The result serialises to a deterministic, schema-versioned
 //! `BENCH_sweep.json` ([`SweepReport::to_json`]): cells appear in grid
 //! order, floats are fixed to six decimals, and nothing (timestamps, host
 //! names, thread counts) depends on the machine, so re-running the same
-//! grid yields a byte-identical artifact.
+//! grid yields a byte-identical artifact. Fusion preserves this: each
+//! cell still owns its simulator (and its seeded replacement rng), so a
+//! fused pass produces counter-for-counter the same stats as replaying
+//! cells one at a time.
 
 use rayon::prelude::*;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 use ucm_cache::{
     CacheConfig, CacheSim, CacheStats, ConfigError, Latency, PolicyKind, TimedCache, TimingConfig,
     TimingReport, WritePolicy,
 };
 use ucm_core::pipeline::{compile, CompileError, CompilerOptions};
 use ucm_core::ManagementMode;
-use ucm_machine::{run, CountSink, MemEvent, TeeSink, TraceSink, VecSink, VmConfig, VmError};
+use ucm_machine::{
+    run, CountSink, Flavour, MInstr, MachineProgram, MemEvent, MemTag, PackedTrace, TeeSink,
+    TraceRecord, TraceSink, VmConfig, VmError,
+};
 use ucm_workloads::Workload;
 
 use crate::json::{self, Json, JsonError};
@@ -296,13 +316,24 @@ impl From<ConfigError> for SweepError {
 }
 
 /// One recorded (workload, codegen, mode) trace.
-struct RecordedTrace {
-    workload: String,
-    codegen: Codegen,
-    mode: ManagementMode,
-    events: Vec<MemEvent>,
-    steps: u64,
-    counts: CountSink,
+///
+/// The trace lives behind an `Arc` so the replay phase can share it across
+/// per-geometry jobs without copying; it is public (with [`record_trace`],
+/// [`replay`], and [`replay_fused`]) so parity tests and benchmarks can
+/// drive the exact pipeline the sweep uses.
+pub struct RecordedTrace {
+    /// Workload name.
+    pub workload: String,
+    /// Codegen style the binary was compiled with.
+    pub codegen: Codegen,
+    /// Management mode the binary was compiled for.
+    pub mode: ManagementMode,
+    /// The packed reference trace, including frame-exit records.
+    pub trace: Arc<PackedTrace>,
+    /// VM steps executed (the CPI denominator).
+    pub steps: u64,
+    /// Reference-class counts gathered while recording.
+    pub counts: CountSink,
 }
 
 /// Summary of one recorded trace, as it appears in the artifact.
@@ -340,7 +371,7 @@ pub struct CellRatios {
 
 /// Cycle-level columns of one grid cell, from replaying its trace through
 /// the `ucm-timing` simulator (write buffer, bus contention, CPI).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellTiming {
     /// Total cycles to run the trace, including the final write-buffer
     /// drain.
@@ -401,6 +432,18 @@ pub struct CellReport {
     pub vs_conventional: Option<CellRatios>,
 }
 
+/// Wall-clock phase timings of one sweep run. Surfaced in operator logs
+/// (`ucmc sweep` prints them to stderr; CI echoes them in the workflow
+/// log) but never serialised into the artifact, which stays
+/// machine-independent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepTimings {
+    /// Time spent compiling workloads and recording traces.
+    pub record: Duration,
+    /// Time spent replaying traces against the grid.
+    pub replay: Duration,
+}
+
 /// The complete result of a sweep.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
@@ -416,31 +459,58 @@ pub struct SweepReport {
     pub traces: Vec<TraceSummary>,
     /// Per-cell reports, in grid order.
     pub cells: Vec<CellReport>,
+    /// Wall-clock phase timings (not part of the artifact).
+    pub timings: SweepTimings,
 }
 
 /// Records the trace of one (workload, codegen, mode) point.
-fn record_trace(
+///
+/// # Errors
+///
+/// Fails if the workload does not compile, traps in the VM, or prints
+/// something other than its native reference output.
+pub fn record_trace(
     w: &Workload,
     codegen: Codegen,
     mode: ManagementMode,
     vm: &VmConfig,
 ) -> Result<RecordedTrace, SweepError> {
+    let compiled = compile_point(w, codegen, mode)?;
+    record_run(w, codegen, mode, vm, &compiled.program)
+}
+
+/// Compiles one (workload, codegen, mode) point.
+fn compile_point(
+    w: &Workload,
+    codegen: Codegen,
+    mode: ManagementMode,
+) -> Result<ucm_core::pipeline::Compiled, SweepError> {
     let options = CompilerOptions {
         mode,
         ..codegen.options()
     };
-    let compiled = compile(&w.source, &options).map_err(|error| SweepError::Compile {
+    compile(&w.source, &options).map_err(|error| SweepError::Compile {
         workload: w.name.clone(),
         error,
-    })?;
-    let mut sink = VecSink::default();
+    })
+}
+
+/// Executes a compiled point in the VM and packages the recording.
+fn record_run(
+    w: &Workload,
+    codegen: Codegen,
+    mode: ManagementMode,
+    vm: &VmConfig,
+    program: &MachineProgram,
+) -> Result<RecordedTrace, SweepError> {
+    let mut sink = PackedTrace::new();
     let mut counts = CountSink::default();
     let outcome = {
         let mut tee = TeeSink {
             a: &mut sink,
             b: &mut counts,
         };
-        run(&compiled.program, &mut tee, vm).map_err(|error| SweepError::Vm {
+        run(program, &mut tee, vm).map_err(|error| SweepError::Vm {
             workload: w.name.clone(),
             error,
         })?
@@ -454,17 +524,217 @@ fn record_trace(
         workload: w.name.clone(),
         codegen,
         mode,
-        events: sink.events,
+        trace: Arc::new(sink),
         steps: outcome.steps,
         counts,
     })
 }
 
+/// A per-event tag substitution: `(source tag, direction) → target tag`,
+/// indexed as a dense 40-slot table (5 flavours × last-ref ×
+/// unambiguous × direction).
+struct TagRewrite {
+    slots: [Option<MemTag>; 40],
+}
+
+impl TagRewrite {
+    fn slot(tag: MemTag, is_write: bool) -> usize {
+        let f = match tag.flavour {
+            Flavour::Plain => 0,
+            Flavour::AmLoad => 1,
+            Flavour::AmSpStore => 2,
+            Flavour::UmAmLoad => 3,
+            Flavour::UmAmStore => 4,
+        };
+        f * 8
+            + usize::from(tag.last_ref) * 4
+            + usize::from(tag.unambiguous) * 2
+            + usize::from(is_write)
+    }
+
+    /// Binds `(from, is_write) → to`, failing on a conflicting binding.
+    fn bind(&mut self, from: MemTag, is_write: bool, to: MemTag) -> bool {
+        let s = &mut self.slots[Self::slot(from, is_write)];
+        match *s {
+            Some(prev) => prev == to,
+            None => {
+                *s = Some(to);
+                true
+            }
+        }
+    }
+
+    fn get(&self, from: MemTag, is_write: bool) -> Option<MemTag> {
+        self.slots[Self::slot(from, is_write)]
+    }
+}
+
+/// Proves `other` is `base` with different memory tags, and builds the
+/// per-event tag substitution that turns `base`'s trace into `other`'s.
+///
+/// Tags are inert to the VM — they flow from the instruction into the
+/// trace event untouched and never influence control flow, addresses,
+/// or values — so if every instruction pair matches modulo its `tag`
+/// field and the tag substitution is consistent, `other`'s VM run is
+/// `base`'s run with each event's tag substituted. Returns `None` (and
+/// the caller falls back to a real VM run) on any mismatch: different
+/// code, or one source tag mapping to two different target tags.
+///
+/// The substitution is keyed on the event's direction as well as its
+/// tag because `Enter` emits only stores and `Leave` only loads, so one
+/// instruction tag never feeds both directions ambiguously.
+fn derive_tag_rewrite(base: &MachineProgram, other: &MachineProgram) -> Option<TagRewrite> {
+    if base.funcs.len() != other.funcs.len()
+        || base.main != other.main
+        || base.num_regs != other.num_regs
+        || base.globals_base != other.globals_base
+        || base.globals_init != other.globals_init
+    {
+        return None;
+    }
+    let mut map = TagRewrite { slots: [None; 40] };
+    for (bf, of) in base.funcs.iter().zip(&other.funcs) {
+        if bf.name != of.name
+            || bf.nargs != of.nargs
+            || bf.frame_words != of.frame_words
+            || bf.is_leaf != of.is_leaf
+            || bf.code_base != of.code_base
+            || bf.code.len() != of.code.len()
+        {
+            return None;
+        }
+        for (bi, oi) in bf.code.iter().zip(&of.code) {
+            let ok = match (bi, oi) {
+                (
+                    MInstr::Load {
+                        dst: d1,
+                        addr: a1,
+                        tag: t1,
+                    },
+                    MInstr::Load {
+                        dst: d2,
+                        addr: a2,
+                        tag: t2,
+                    },
+                ) => d1 == d2 && a1 == a2 && map.bind(*t1, false, *t2),
+                (
+                    MInstr::Store {
+                        src: s1,
+                        addr: a1,
+                        tag: t1,
+                    },
+                    MInstr::Store {
+                        src: s2,
+                        addr: a2,
+                        tag: t2,
+                    },
+                ) => s1 == s2 && a1 == a2 && map.bind(*t1, true, *t2),
+                (
+                    MInstr::Enter {
+                        nargs: n1,
+                        frame_words: w1,
+                        save_ra: r1,
+                        tag: t1,
+                    },
+                    MInstr::Enter {
+                        nargs: n2,
+                        frame_words: w2,
+                        save_ra: r2,
+                        tag: t2,
+                    },
+                ) => n1 == n2 && w1 == w2 && r1 == r2 && map.bind(*t1, true, *t2),
+                (
+                    MInstr::Leave {
+                        nargs: n1,
+                        save_ra: r1,
+                        tag: t1,
+                    },
+                    MInstr::Leave {
+                        nargs: n2,
+                        save_ra: r2,
+                        tag: t2,
+                    },
+                ) => n1 == n2 && r1 == r2 && map.bind(*t1, false, *t2),
+                _ => bi == oi,
+            };
+            if !ok {
+                return None;
+            }
+        }
+    }
+    Some(map)
+}
+
+/// Records every mode's trace for one (workload, codegen) point.
+///
+/// Only the first mode actually executes in the VM. Each further mode
+/// compiles and, when [`derive_tag_rewrite`] proves its program is the
+/// base program with different tags, derives its trace as an exact tag
+/// rewrite of the base recording — the counts are recomputed from the
+/// derived stream, and steps/output carry over because tags cannot
+/// change them. Any workload/mode pair the proof does not cover records
+/// the slow way, so this is purely an execution strategy, never a
+/// semantic shortcut (the derivation-parity test pins derived against
+/// really-recorded traces record-for-record).
+///
+/// # Errors
+///
+/// Same failure modes as [`record_trace`], for whichever point fails
+/// first.
+pub fn record_group(
+    w: &Workload,
+    codegen: Codegen,
+    modes: &[ManagementMode],
+    vm: &VmConfig,
+) -> Result<Vec<RecordedTrace>, SweepError> {
+    let mut out: Vec<RecordedTrace> = Vec::with_capacity(modes.len());
+    let mut base: Option<(MachineProgram, usize)> = None;
+    for &mode in modes {
+        let compiled = compile_point(w, codegen, mode)?;
+        if let Some((base_prog, base_idx)) = &base {
+            if let Some(map) = derive_tag_rewrite(base_prog, &compiled.program) {
+                let b = &out[*base_idx];
+                let mut unmapped = false;
+                let trace = b.trace.map_tags(|ev| match map.get(ev.tag, ev.is_write) {
+                    Some(t) => t,
+                    None => {
+                        unmapped = true;
+                        ev.tag
+                    }
+                });
+                if !unmapped {
+                    let mut counts = CountSink::default();
+                    trace.replay(&mut counts);
+                    out.push(RecordedTrace {
+                        workload: w.name.clone(),
+                        codegen,
+                        mode,
+                        trace: Arc::new(trace),
+                        steps: b.steps,
+                        counts,
+                    });
+                    continue;
+                }
+            }
+        }
+        let recorded = record_run(w, codegen, mode, vm, &compiled.program)?;
+        if base.is_none() {
+            base = Some((compiled.program, out.len()));
+        }
+        out.push(recorded);
+    }
+    Ok(out)
+}
+
 /// Replays a recorded trace against one cache configuration, optionally
 /// pricing it in cycles (`steps` is the trace's VM step count, needed for
 /// the CPI denominator).
-fn replay(
-    events: &[MemEvent],
+///
+/// This is the reference single-cell path; the sweep itself uses
+/// [`replay_fused`], which must stay counter-for-counter identical to
+/// this (the parity test pins it).
+pub fn replay(
+    trace: &PackedTrace,
     cfg: CacheConfig,
     timing: Option<TimingConfig>,
     steps: u64,
@@ -472,21 +742,203 @@ fn replay(
     match timing {
         None => {
             let mut sim = CacheSim::try_new(cfg).expect("grid geometries validated before replay");
-            for ev in events {
-                sim.access(*ev);
-            }
+            trace.replay(&mut sim);
             (*sim.stats(), None)
         }
         Some(t) => {
             let mut sink =
                 TimedCache::try_new(cfg, t).expect("grid geometries validated before replay");
-            for ev in events {
-                sink.data_ref(*ev);
-            }
+            trace.replay(&mut sink);
             let (stats, report) = sink.finish(steps);
             (stats, Some(CellTiming::from_report(&report)))
         }
     }
+}
+
+/// Replays one trace against many cache configurations in a single fused
+/// pass: each packed record is decoded once and fed to every simulator,
+/// so the per-event decode and memory traffic are paid once per
+/// (trace, geometry) block instead of once per cell.
+///
+/// Results come back in `cfgs` order. Fusion cannot change any counter:
+/// each configuration still owns its simulator and its seeded replacement
+/// rng, and simulators never observe each other. The timed/untimed branch
+/// is hoisted out of the event loop.
+pub fn replay_fused(
+    trace: &PackedTrace,
+    cfgs: &[CacheConfig],
+    timing: Option<TimingConfig>,
+    steps: u64,
+) -> Vec<(CacheStats, Option<CellTiming>)> {
+    // Collapse cells that provably share a result before simulating
+    // anything: a direct-mapped set has no victim choice, so every
+    // replacement policy drives a ways=1 cell identically — the policy
+    // only ever acts through `on_access`/`on_fill` metadata (never read
+    // when `victim` has one way to return) and `victim` itself, which
+    // returns way 0 for all four kinds. One simulator stands in for the
+    // whole class; the parity test pins this against per-cell replay.
+    let mut class_of = Vec::with_capacity(cfgs.len());
+    let mut unique: Vec<CacheConfig> = Vec::new();
+    for &c in cfgs {
+        let key = canonical_cell(c);
+        match unique.iter().position(|&u| u == key) {
+            Some(p) => class_of.push(p),
+            None => {
+                unique.push(key);
+                class_of.push(unique.len() - 1);
+            }
+        }
+    }
+    let results: Vec<(CacheStats, Option<CellTiming>)> = match timing {
+        None => {
+            let mut sims: Vec<CacheSim> = unique
+                .iter()
+                .map(|&c| CacheSim::try_new(c).expect("grid geometries validated before replay"))
+                .collect();
+            fused_pass(trace, &mut sims);
+            sims.iter().map(|s| (*s.stats(), None)).collect()
+        }
+        Some(t) => {
+            let mut sinks: Vec<TimedCache> = unique
+                .iter()
+                .map(|&c| {
+                    TimedCache::try_new(c, t).expect("grid geometries validated before replay")
+                })
+                .collect();
+            fused_pass(trace, &mut sinks);
+            sinks
+                .into_iter()
+                .map(|s| {
+                    let (stats, report) = s.finish(steps);
+                    (stats, Some(CellTiming::from_report(&report)))
+                })
+                .collect()
+        }
+    };
+    class_of.into_iter().map(|p| results[p]).collect()
+}
+
+/// Maps a cell configuration to its behaviour class: configurations that
+/// canonicalise equally produce identical [`CacheStats`] (and timing) on
+/// every trace, so [`replay_fused`] simulates one representative per
+/// class.
+fn canonical_cell(mut c: CacheConfig) -> CacheConfig {
+    if c.associativity == 1 {
+        // No victim choice ⇒ replacement policy (and the seed, which
+        // only the random policy's victim draw consumes) are inert.
+        c.policy = PolicyKind::Lru;
+        c.seed = 0;
+    }
+    c
+}
+
+/// Events per fused-replay chunk: 4096 decoded events (64 KiB) sit
+/// comfortably in L2 next to the simulators' line arrays.
+const FUSE_CHUNK_EVENTS: usize = 4096;
+
+/// The fused event loop: decodes the packed trace once per chunk into a
+/// cache-resident buffer, then runs every sink over the whole chunk in
+/// its own tight loop.
+///
+/// Chunking matters more than it looks: interleaving N simulators on a
+/// per-event basis funnels N different hit/miss/policy histories through
+/// the same branch sites, which wrecks prediction; per-sink chunk loops
+/// keep each simulator's branch history coherent while the chunk stays
+/// hot in cache. Per-sink event *order* is unchanged, so counters are
+/// identical either way.
+///
+/// Frame-exit records are elided here rather than dispatched: both
+/// statistical sinks ([`CacheSim`], [`TimedCache`]) inherit the no-op
+/// `frame_exit` (only the data-carrying functional cache consumes frame
+/// exits — see DESIGN.md, "Replay fidelity"). The reference single-cell
+/// path, [`PackedTrace::replay`], still forwards them to any sink.
+fn fused_pass<S: TraceSink>(trace: &PackedTrace, sinks: &mut [S]) {
+    let mut records = trace.records();
+    let mut chunk: Vec<MemEvent> = Vec::with_capacity(FUSE_CHUNK_EVENTS);
+    loop {
+        chunk.clear();
+        for rec in records.by_ref() {
+            if let TraceRecord::Event(ev) = rec {
+                chunk.push(ev);
+                if chunk.len() == FUSE_CHUNK_EVENTS {
+                    break;
+                }
+            }
+        }
+        if chunk.is_empty() {
+            break;
+        }
+        for sink in sinks.iter_mut() {
+            for &ev in &chunk {
+                sink.data_ref(ev);
+            }
+        }
+    }
+}
+
+/// The honor flags a mode's replay cells run with (what
+/// [`SweepConfig::cell_cache`] sets, independent of geometry).
+fn mode_honors(mode: ManagementMode) -> (bool, bool) {
+    let base = CacheConfig::default();
+    let c = if mode == ManagementMode::Conventional {
+        base.conventional()
+    } else {
+        base
+    };
+    (c.honor_tags, c.honor_last_ref)
+}
+
+/// Collapses one event to exactly what [`CacheSim::access`] can observe
+/// under the given honor flags: address, direction, which of the two
+/// bypass paths (if any) the flavour selects, and the effective
+/// last-reference bit. Every flavour other than `UmAm_LOAD` on a read
+/// and `UmAm_STORE` on a write takes the plain through-the-cache path,
+/// so they all collapse to one class.
+#[inline]
+fn effective_event(ev: MemEvent, honor_tags: bool, honor_last_ref: bool) -> (i64, bool, u8, bool) {
+    if !honor_tags {
+        return (ev.addr, ev.is_write, 0, false);
+    }
+    let class = match (ev.tag.flavour, ev.is_write) {
+        (Flavour::UmAmLoad, false) => 1,
+        (Flavour::UmAmStore, true) => 2,
+        _ => 0,
+    };
+    (
+        ev.addr,
+        ev.is_write,
+        class,
+        honor_last_ref && ev.tag.last_ref,
+    )
+}
+
+/// True when two recorded traces drive every statistical cell
+/// identically under their modes' honor flags — i.e. their effective
+/// event streams match element-for-element. Frame exits are skipped:
+/// [`CacheSim`] and [`TimedCache`] never observe them.
+///
+/// Safe mode compiles every reference as ambiguous and marks no last
+/// references, so its effective stream is normally indistinguishable
+/// from Conventional's tag-blind one; proving that per pair lets the
+/// sweep replay the pair's grid blocks once.
+fn behaviour_equivalent(
+    a: &PackedTrace,
+    (a_tags, a_last): (bool, bool),
+    b: &PackedTrace,
+    (b_tags, b_last): (bool, bool),
+) -> bool {
+    if a.events() != b.events() {
+        return false;
+    }
+    fn events(t: &PackedTrace) -> impl Iterator<Item = MemEvent> + '_ {
+        t.records().filter_map(|r| match r {
+            TraceRecord::Event(ev) => Some(ev),
+            TraceRecord::FrameExit { .. } => None,
+        })
+    }
+    events(a)
+        .zip(events(b))
+        .all(|(ea, eb)| effective_event(ea, a_tags, a_last) == effective_event(eb, b_tags, b_last))
 }
 
 /// Runs the sweep: records every trace, replays every grid cell in
@@ -511,59 +963,114 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
         }
     }
 
-    // Fan one job per (workload, codegen, mode) across threads. Each job
-    // compiles once, records its trace once, replays the trace against
-    // every cache point of its grid block, and then drops the trace — so
-    // peak memory holds one trace per worker, not the whole suite, and a
-    // grid block costs one compile and one VM run no matter how many
-    // cache points it spans. Jobs collect in input order and a block's
-    // cells are contiguous, so flattening yields exact grid order.
+    // Phase 1 — record: one job per (workload, codegen) compiles every
+    // mode, executes the first mode in the VM, and derives the other
+    // modes' traces as exact tag rewrites whenever the compiled programs
+    // differ only in their memory tags (see [`record_group`]). Traces
+    // land behind `Arc`s so the replay phase shares them without
+    // copying; `trace_jobs` keeps the per-mode order the grid expects.
     let mut trace_jobs = Vec::new();
+    let mut group_jobs = Vec::new();
     for w in &cfg.workloads {
         for &codegen in &cfg.codegens {
+            group_jobs.push((w, codegen));
             for &mode in &cfg.modes {
                 trace_jobs.push((w, codegen, mode));
             }
         }
     }
-    type Block = (TraceSummary, Vec<(CacheStats, Option<CellTiming>)>);
-    let blocks: Vec<Result<Block, SweepError>> = trace_jobs
+    let record_start = std::time::Instant::now();
+    let recorded: Vec<Result<Vec<RecordedTrace>, SweepError>> = group_jobs
         .par_iter()
-        .map(|&(w, codegen, mode)| {
-            let t = record_trace(w, codegen, mode, &cfg.vm)?;
-            let mut stats = Vec::with_capacity(
-                cfg.geometries.len() * cfg.write_policies.len() * cfg.policies.len(),
-            );
-            for &geom in &cfg.geometries {
-                for &wp in &cfg.write_policies {
-                    for &policy in &cfg.policies {
-                        stats.push(replay(
-                            &t.events,
-                            cfg.cell_cache(mode, geom, wp, policy),
-                            cfg.timing,
-                            t.steps,
-                        ));
-                    }
+        .map(|&(w, codegen)| record_group(w, codegen, &cfg.modes, &cfg.vm))
+        .collect();
+    let mut recorded_traces = Vec::with_capacity(trace_jobs.len());
+    for r in recorded {
+        recorded_traces.extend(r?);
+    }
+    let record_took = record_start.elapsed();
+
+    // Phase 2 — replay: one job per (trace, geometry), each driving all
+    // of the geometry's (write policy × replacement) cells through one
+    // fused pass over the shared trace.
+    //
+    // Before queueing jobs, collapse traces that are behaviourally
+    // indistinguishable to the simulators ([`behaviour_equivalent`]):
+    // a duplicate trace's grid blocks are the representative's blocks
+    // verbatim, so only representatives replay. In the default grid this
+    // merges Safe onto Conventional and removes a third of all replay
+    // work without touching a single output byte.
+    let replay_start = std::time::Instant::now();
+    let n_traces = recorded_traces.len();
+    let mut rep: Vec<usize> = (0..n_traces).collect();
+    for i in 0..n_traces {
+        let ti = &recorded_traces[i];
+        for j in 0..i {
+            let tj = &recorded_traces[j];
+            if rep[j] == j
+                && ti.workload == tj.workload
+                && ti.codegen == tj.codegen
+                && ti.steps == tj.steps
+                && behaviour_equivalent(
+                    &ti.trace,
+                    mode_honors(ti.mode),
+                    &tj.trace,
+                    mode_honors(tj.mode),
+                )
+            {
+                rep[i] = j;
+                break;
+            }
+        }
+    }
+    let unique: Vec<usize> = (0..n_traces).filter(|&i| rep[i] == i).collect();
+    let mut unique_pos = vec![usize::MAX; n_traces];
+    for (p, &i) in unique.iter().enumerate() {
+        unique_pos[i] = p;
+    }
+    let mut replay_jobs = Vec::with_capacity(unique.len() * cfg.geometries.len());
+    for &i in &unique {
+        let t = &recorded_traces[i];
+        for &geom in &cfg.geometries {
+            replay_jobs.push((Arc::clone(&t.trace), t.mode, t.steps, geom));
+        }
+    }
+    let blocks: Vec<Vec<(CacheStats, Option<CellTiming>)>> = replay_jobs
+        .par_iter()
+        .map(|(trace, mode, steps, geom)| {
+            let mut cell_cfgs = Vec::with_capacity(cfg.write_policies.len() * cfg.policies.len());
+            for &wp in &cfg.write_policies {
+                for &policy in &cfg.policies {
+                    cell_cfgs.push(cfg.cell_cache(*mode, *geom, wp, policy));
                 }
             }
-            let summary = TraceSummary {
-                workload: t.workload.clone(),
-                codegen: t.codegen,
-                mode: t.mode,
-                events: t.events.len(),
-                steps: t.steps,
-                dynamic_unambiguous_pct: 100.0 * t.counts.unambiguous_fraction(),
-            };
-            Ok((summary, stats))
+            replay_fused(trace, &cell_cfgs, cfg.timing, *steps)
         })
         .collect();
-    let mut traces = Vec::with_capacity(blocks.len());
-    let mut stats = Vec::with_capacity(cfg.cell_count());
-    for b in blocks {
-        let (summary, block_stats) = b?;
-        traces.push(summary);
-        stats.extend(block_stats);
+    // Expand back to one block per (trace, geometry) in input order, so
+    // flattening yields exact grid order.
+    let n_geoms = cfg.geometries.len();
+    let mut stats: Vec<(CacheStats, Option<CellTiming>)> = Vec::with_capacity(cfg.cell_count());
+    for i in 0..n_traces {
+        let base = unique_pos[rep[i]] * n_geoms;
+        for g in 0..n_geoms {
+            stats.extend(blocks[base + g].iter().copied());
+        }
     }
+    let replay_took = replay_start.elapsed();
+
+    let traces: Vec<TraceSummary> = recorded_traces
+        .iter()
+        .map(|t| TraceSummary {
+            workload: t.workload.clone(),
+            codegen: t.codegen,
+            mode: t.mode,
+            events: t.trace.events() as usize,
+            steps: t.steps,
+            dynamic_unambiguous_pct: 100.0 * t.counts.unambiguous_fraction(),
+        })
+        .collect();
+    drop(recorded_traces);
 
     // Assemble cells and derive ratios against conventional twins.
     let cells_per_trace = cfg.geometries.len() * cfg.write_policies.len() * cfg.policies.len();
@@ -621,6 +1128,10 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
         grid: cfg.clone(),
         traces,
         cells,
+        timings: SweepTimings {
+            record: record_took,
+            replay: replay_took,
+        },
     })
 }
 

@@ -1,0 +1,185 @@
+//! Pins the two invariants the trace pipeline's performance work relies
+//! on:
+//!
+//! 1. **Fusion parity** — [`replay_fused`] (one pass over the trace
+//!    driving every cell of a block) produces counter-for-counter the
+//!    same stats as [`replay`] (one pass per cell), for every write
+//!    policy, replacement policy (including seeded Random), geometry,
+//!    and both with and without the timing model.
+//! 2. **Replay fidelity** — replaying a recorded [`PackedTrace`] through
+//!    a simulator yields exactly the stats of wiring that simulator into
+//!    the live VM run, for every management mode. The packed format
+//!    (8-byte events, inline frame exits) loses nothing a simulator can
+//!    observe.
+
+use ucm_bench::sweep::{record_group, record_trace, replay, replay_fused, Codegen};
+use ucm_cache::{CacheConfig, CacheSim, PolicyKind, TimedCache, TimingConfig, WritePolicy};
+use ucm_core::pipeline::{compile, CompilerOptions};
+use ucm_core::ManagementMode;
+use ucm_machine::{run, VmConfig};
+use ucm_workloads::Workload;
+
+fn small_workload() -> Workload {
+    ucm_workloads::sieve::workload(400, 1)
+}
+
+/// Every (write policy × replacement policy) cell at one geometry.
+fn block_configs(size_words: usize, line_words: usize, ways: usize) -> Vec<CacheConfig> {
+    let mut cfgs = Vec::new();
+    for wp in [
+        WritePolicy::WriteBackAllocate,
+        WritePolicy::WriteThroughNoAllocate,
+    ] {
+        for policy in [
+            PolicyKind::Lru,
+            PolicyKind::OneBitLru,
+            PolicyKind::Fifo,
+            PolicyKind::Random,
+        ] {
+            cfgs.push(CacheConfig {
+                size_words,
+                line_words,
+                associativity: ways,
+                policy,
+                write_policy: wp,
+                ..CacheConfig::default()
+            });
+        }
+    }
+    cfgs
+}
+
+#[test]
+fn fused_replay_matches_per_cell_replay() {
+    let w = small_workload();
+    let vm = VmConfig::default();
+    for mode in [
+        ManagementMode::Unified,
+        ManagementMode::Conventional,
+        ManagementMode::Safe,
+    ] {
+        let t = record_trace(&w, Codegen::Paper, mode, &vm).expect("workload records");
+        for (size, line, ways) in [(16, 8, 1), (256, 1, 1), (256, 4, 2), (1024, 4, 4)] {
+            let cfgs = block_configs(size, line, ways);
+            for timing in [None, Some(TimingConfig::default())] {
+                let fused = replay_fused(&t.trace, &cfgs, timing, t.steps);
+                for (i, &cfg) in cfgs.iter().enumerate() {
+                    let single = replay(&t.trace, cfg, timing, t.steps);
+                    assert_eq!(
+                        fused[i],
+                        single,
+                        "fused cell diverges from sequential replay \
+                         (mode {mode}, geometry {size}w/l{line}/a{ways}, \
+                         cell {i}, timed: {})",
+                        timing.is_some()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn replayed_stats_match_live_vm_stats() {
+    let w = small_workload();
+    let vm = VmConfig::default();
+    // A geometry with multi-word lines and the seeded Random policy —
+    // the cases where a lossy trace would be most likely to slip.
+    let cfg = CacheConfig {
+        size_words: 64,
+        line_words: 4,
+        associativity: 2,
+        policy: PolicyKind::Random,
+        ..CacheConfig::default()
+    };
+    for mode in [
+        ManagementMode::Unified,
+        ManagementMode::Conventional,
+        ManagementMode::Safe,
+    ] {
+        let options = CompilerOptions {
+            mode,
+            ..CompilerOptions::paper()
+        };
+        let compiled = compile(&w.source, &options).expect("workload compiles");
+
+        // Live: the simulator rides directly on the VM.
+        let mut live = CacheSim::try_new(cfg).unwrap();
+        let outcome = run(&compiled.program, &mut live, &vm).expect("VM run");
+
+        // Recorded: the sweep's record-then-replay pipeline.
+        let t = record_trace(&w, Codegen::Paper, mode, &vm).expect("workload records");
+        let (replayed, _) = replay(&t.trace, cfg, None, t.steps);
+        assert_eq!(
+            replayed,
+            *live.stats(),
+            "replayed stats diverge from live-sink stats (mode {mode})"
+        );
+
+        // Same check through the timed pipeline.
+        let timing = TimingConfig::default();
+        let mut live_timed = TimedCache::try_new(cfg, timing).unwrap();
+        run(&compiled.program, &mut live_timed, &vm).expect("timed VM run");
+        let (live_stats, live_report) = live_timed.finish(outcome.steps);
+        let (replayed_stats, replayed_timing) = replay(&t.trace, cfg, Some(timing), t.steps);
+        assert_eq!(replayed_stats, live_stats, "timed stats diverge ({mode})");
+        let rt = replayed_timing.expect("timed replay prices the cell");
+        assert_eq!(
+            rt.total_cycles, live_report.total_cycles,
+            "timed cycles diverge ({mode})"
+        );
+    }
+}
+
+#[test]
+fn derived_mode_traces_match_real_vm_recordings() {
+    // The record phase executes only one mode per (workload, codegen)
+    // in the VM and derives the other modes' traces as tag rewrites of
+    // that run. This pins the derivation against the slow path: every
+    // mode's group trace must match a dedicated VM recording
+    // record-for-record, counts and steps included.
+    let w = small_workload();
+    let vm = VmConfig::default();
+    let modes = [
+        ManagementMode::Unified,
+        ManagementMode::Conventional,
+        ManagementMode::Safe,
+    ];
+    for codegen in [Codegen::Paper, Codegen::Modern] {
+        let group = record_group(&w, codegen, &modes, &vm).expect("group records");
+        assert_eq!(group.len(), modes.len());
+        for (g, &mode) in group.iter().zip(&modes) {
+            let real = record_trace(&w, codegen, mode, &vm).expect("workload records");
+            assert_eq!(g.mode, mode);
+            assert_eq!(g.steps, real.steps, "steps diverge ({codegen:?} {mode})");
+            assert_eq!(g.counts, real.counts, "counts diverge ({codegen:?} {mode})");
+            assert_eq!(g.trace.events(), real.trace.events());
+            assert_eq!(g.trace.frame_exits(), real.trace.frame_exits());
+            assert!(
+                g.trace.records().eq(real.trace.records()),
+                "derived trace diverges from a real VM recording \
+                 ({codegen:?} {mode})"
+            );
+        }
+    }
+}
+
+#[test]
+fn recorded_traces_carry_frame_exits() {
+    // The fidelity contract: recording keeps frame-exit records inline,
+    // so sinks that model frame death (the coherence oracle's functional
+    // cache) can replay faithfully. Any workload that calls a function
+    // must produce at least one.
+    let t = record_trace(
+        &small_workload(),
+        Codegen::Paper,
+        ManagementMode::Unified,
+        &VmConfig::default(),
+    )
+    .expect("workload records");
+    assert!(
+        t.trace.frame_exits() > 0,
+        "a workload with calls must record frame exits"
+    );
+    assert_eq!(t.trace.encoded_bytes() % 8, 0);
+}

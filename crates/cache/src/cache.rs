@@ -27,6 +27,13 @@ pub struct CacheSim {
     stats: CacheStats,
     now: u64,
     rng: u64,
+    // Geometry as shifts/masks. Validation guarantees line_words and
+    // num_sets are powers of two, so these reproduce the divide/modulo
+    // address split bit-exactly while keeping divisions out of the
+    // per-reference path.
+    line_shift: u32,
+    set_shift: u32,
+    set_mask: u64,
 }
 
 impl CacheSim {
@@ -54,6 +61,9 @@ impl CacheSim {
             stats: CacheStats::default(),
             now: 0,
             rng: config.seed | 1,
+            line_shift: config.line_words.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
+            set_mask: sets as u64 - 1,
             config,
         })
     }
@@ -74,19 +84,20 @@ impl CacheSim {
         self.find(set, tag).is_some()
     }
 
+    #[inline]
     fn locate(&self, addr: i64) -> (usize, u64) {
-        let line_addr = (addr as u64) / self.config.line_words as u64;
-        let set = (line_addr % self.config.num_sets() as u64) as usize;
-        let tag = line_addr / self.config.num_sets() as u64;
+        let line_addr = (addr as u64) >> self.line_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_shift;
         (set, tag)
     }
 
+    #[inline]
     fn find(&self, set: usize, tag: u64) -> Option<usize> {
-        let ways = self.config.associativity;
-        (0..ways).find(|&w| {
-            let l = &self.lines[set * ways + w];
-            l.valid && l.tag == tag
-        })
+        let base = set * self.config.associativity;
+        self.lines[base..base + self.config.associativity]
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
     }
 
     fn line_mut(&mut self, set: usize, way: usize) -> &mut Line {
@@ -124,9 +135,9 @@ impl CacheSim {
                 if line.dirty {
                     self.stats.writebacks += 1;
                     self.stats.words_to_memory += self.config.line_words as u64;
-                    let line_addr = line.tag * self.config.num_sets() as u64 + set as u64;
+                    let line_addr = (line.tag << self.set_shift) | set as u64;
                     writeback = Some(Eviction {
-                        lo: (line_addr * self.config.line_words as u64) as i64,
+                        lo: (line_addr << self.line_shift) as i64,
                         words: self.config.line_words as u64,
                     });
                 }
@@ -145,6 +156,7 @@ impl CacheSim {
     /// Presents one reference to the cache. Returns the classified memory
     /// transaction, which a timing model may turn into cycles; callers that
     /// only want the traffic counters can ignore it.
+    #[inline]
     pub fn access(&mut self, ev: MemEvent) -> MemXact {
         self.now += 1;
         let flavour = if self.config.honor_tags {
@@ -295,6 +307,7 @@ impl CacheSim {
 }
 
 impl TraceSink for CacheSim {
+    #[inline]
     fn data_ref(&mut self, ev: MemEvent) {
         self.access(ev);
     }

@@ -32,8 +32,10 @@
 //! `BENCH_sweep.json`), `--quick` (the reduced CI grid), `--paper-sizes`
 //! (full paper-size workloads — slow and memory-hungry), `--seed N`
 //! (random-policy seed), `--timing` (price every cell in cycles with the
-//! `ucm-timing` model), and `--validate FILE` (schema-check an existing
-//! artifact instead of sweeping).
+//! `ucm-timing` model), `--jobs N` (pin the worker-thread count, for
+//! reproducible perf measurements on any core count; default = all
+//! cores), and `--validate FILE` (schema-check an existing artifact
+//! instead of sweeping).
 //!
 //! ## Exit codes
 //!
@@ -55,7 +57,7 @@ use ucm_core::evaluate::{compare, run_with_cache};
 use ucm_core::faults::{run_campaign, CampaignConfig, FaultClass, FaultKind};
 use ucm_core::pipeline::{compile, CompilerOptions};
 use ucm_core::ManagementMode;
-use ucm_machine::{run, VecSink, VmConfig};
+use ucm_machine::{run, PackedTrace, TraceRecord, VmConfig};
 
 /// Exit code: success.
 pub const EXIT_OK: i32 = 0;
@@ -128,6 +130,7 @@ struct SweepOpts {
     out: String,
     validate: Option<String>,
     seed: Option<u64>,
+    jobs: Option<usize>,
 }
 
 /// Parsed command line.
@@ -154,7 +157,7 @@ pub const USAGE: &str = "usage: ucmc <run|compare|ir|classify|trace|check|faults
 [--swap-flavour] [--misclassify PCT] \
 [--wb-entries N] [--hit-cycles N] [--mem-cycles N]\n\
 \x20      ucmc sweep [--out PATH] [--quick] [--paper-sizes] [--seed N] \
-[--timing] [--validate FILE]";
+[--timing] [--jobs N] [--validate FILE]";
 
 /// Parses arguments (excluding `argv0`) and reads the source file.
 ///
@@ -282,6 +285,17 @@ fn parse_sweep_args(
                     .map_err(|_| err("--seed needs a number"))?;
                 sweep.seed = Some(v);
             }
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--jobs needs a value"))?
+                    .parse::<usize>()
+                    .map_err(|_| err("--jobs needs a number"))?;
+                if v == 0 {
+                    return Err(err("--jobs needs at least one thread"));
+                }
+                sweep.jobs = Some(v);
+            }
             other => return Err(err(&format!("unknown sweep flag `{other}`"))),
         }
     }
@@ -359,7 +373,23 @@ fn cmd_sweep(inv: &Invocation) -> Result<CmdOutput, CliError> {
     if let Some(seed) = inv.sweep.seed {
         cfg.seed = seed;
     }
-    let report = run_sweep(&cfg).map_err(|e| CliError {
+    let result = match inv.sweep.jobs {
+        // A pinned pool makes perf measurements and CI smoke runs
+        // reproducible on any core count. The grid result is identical
+        // either way; only the fan-out width changes.
+        Some(n) => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .map_err(|e| CliError {
+                    message: format!("cannot build a {n}-thread pool: {e}"),
+                    code: EXIT_ERROR,
+                })?;
+            pool.install(|| run_sweep(&cfg))
+        }
+        None => run_sweep(&cfg),
+    };
+    let report = result.map_err(|e| CliError {
         message: e.to_string(),
         code: match e {
             SweepError::Config(_) | SweepError::EmptyGrid => EXIT_USAGE,
@@ -379,6 +409,14 @@ fn cmd_sweep(inv: &Invocation) -> Result<CmdOutput, CliError> {
         report.traces.len(),
         report.cells.len(),
         inv.sweep.out,
+    );
+    // Phase timings for operator logs (CI echoes stdout); never part of
+    // the artifact, which stays machine-independent.
+    let _ = writeln!(
+        out,
+        r#"{{"event":"sweep-timing","record_s":{:.3},"replay_s":{:.3}}}"#,
+        report.timings.record.as_secs_f64(),
+        report.timings.replay.as_secs_f64(),
     );
     Ok(CmdOutput::ok(out))
 }
@@ -538,21 +576,29 @@ fn cmd_classify(inv: &Invocation) -> Result<CmdOutput, CliError> {
 
 fn cmd_trace(inv: &Invocation) -> Result<CmdOutput, CliError> {
     let compiled = compile(&inv.source, &inv.options)?;
-    let mut sink = VecSink::default();
+    let mut sink = PackedTrace::new();
     run(&compiled.program, &mut sink, &inv.vm)?;
     let mut out = String::new();
-    for ev in sink.events.iter().take(inv.limit) {
-        let _ = writeln!(
-            out,
-            "{} {:#8x}  {}{}",
-            if ev.is_write { "store" } else { "load " },
-            ev.addr,
-            ev.tag.flavour,
-            if ev.tag.last_ref { " [last-ref]" } else { "" },
-        );
+    let mut shown = 0usize;
+    for rec in sink.records() {
+        if shown == inv.limit {
+            break;
+        }
+        if let TraceRecord::Event(ev) = rec {
+            let _ = writeln!(
+                out,
+                "{} {:#8x}  {}{}",
+                if ev.is_write { "store" } else { "load " },
+                ev.addr,
+                ev.tag.flavour,
+                if ev.tag.last_ref { " [last-ref]" } else { "" },
+            );
+            shown += 1;
+        }
     }
-    if sink.events.len() > inv.limit {
-        let _ = writeln!(out, "... {} more references", sink.events.len() - inv.limit);
+    let events = sink.events() as usize;
+    if events > inv.limit {
+        let _ = writeln!(out, "... {} more references", events - inv.limit);
     }
     Ok(CmdOutput::ok(out))
 }
@@ -890,11 +936,17 @@ mod tests {
         let inv = parse_args(&args(&["sweep", "--seed", "42"])).unwrap();
         assert_eq!(inv.sweep.seed, Some(42));
         assert_eq!(inv.sweep.out, "BENCH_sweep.json");
+        assert_eq!(inv.sweep.jobs, None);
+        let inv = parse_args(&args(&["sweep", "--quick", "--jobs", "2"])).unwrap();
+        assert_eq!(inv.sweep.jobs, Some(2));
 
         for bad in [
             args(&["sweep", "--bogus"]),
             args(&["sweep", "--out"]),
             args(&["sweep", "--seed", "x"]),
+            args(&["sweep", "--jobs"]),
+            args(&["sweep", "--jobs", "x"]),
+            args(&["sweep", "--jobs", "0"]),
             args(&["sweep", "--quick", "--paper-sizes"]),
         ] {
             let e = parse_args(&bad).unwrap_err();
@@ -910,6 +962,7 @@ mod tests {
         let result = execute(&inv).unwrap();
         assert_eq!(result.code, EXIT_OK);
         assert!(result.text.contains(r#""event":"sweep""#));
+        assert!(result.text.contains(r#""event":"sweep-timing""#));
         assert!(result.text.contains("workload")); // the table header
 
         // The artifact it wrote passes its own validator.

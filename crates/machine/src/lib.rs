@@ -40,10 +40,12 @@
 pub mod codegen;
 pub mod encode;
 pub mod isa;
+pub mod packed;
 pub mod trace;
 pub mod vm;
 
 pub use codegen::{codegen, CodegenConfig, CodegenError, MemTagger, PlainTagger, SynthTags};
 pub use isa::{Flavour, MAddr, MFunc, MInstr, MOperand, MachineProgram, MemTag, PReg};
+pub use packed::{PackedTrace, TraceRecord};
 pub use trace::{CountSink, MemEvent, NullSink, TeeSink, TraceSink, VecSink};
-pub use vm::{run, VmConfig, VmError, VmOutcome};
+pub use vm::{run, run_boxed, VmConfig, VmError, VmOutcome};

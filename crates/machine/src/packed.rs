@@ -1,0 +1,416 @@
+//! Packed memory-reference traces.
+//!
+//! [`PackedTrace`] is the recording format behind the sweep engine: one
+//! `u64` per data reference instead of the 16-byte [`MemEvent`] that
+//! [`VecSink`](crate::trace::VecSink) stores, which halves both the memory
+//! a resident trace occupies and the bandwidth every replay pass streams.
+//! Frame-exit notifications — which `VecSink` recording silently dropped —
+//! are encoded inline as sentinel records, so a replayed sink observes
+//! exactly the stream a live [`TraceSink`] saw.
+//!
+//! # Encoding
+//!
+//! Each record starts with one `u64` whose low bit selects the kind:
+//!
+//! ```text
+//! data reference (1 word):
+//!   bit 0      0 (kind = event)
+//!   bit 1      is_write
+//!   bits 2-4   flavour (0 = plain, 1 = Am_LOAD, 2 = AmSp_STORE,
+//!              3 = UmAm_LOAD, 4 = UmAm_STORE)
+//!   bit 5      last_ref
+//!   bit 6      unambiguous
+//!   bits 7-63  word address (57 bits, unsigned)
+//!
+//! frame exit (2 words):
+//!   word 0: bit 0 = 1 (kind = sentinel), bits 7-63 = lo
+//!   word 1: hi, as a raw u64
+//! ```
+//!
+//! The VM validates every address against its (word-addressed) memory
+//! before the sink sees it, so addresses are non-negative and far below
+//! 2^57; [`PackedTrace::push_event`] debug-asserts the invariant.
+
+use crate::isa::{Flavour, MemTag};
+use crate::trace::{MemEvent, TraceSink};
+
+/// Number of low bits reserved for record metadata; the address occupies
+/// the rest.
+const ADDR_SHIFT: u32 = 7;
+/// Kind bit: `0` = data reference, `1` = frame-exit sentinel.
+const KIND_SENTINEL: u64 = 1;
+
+fn flavour_code(f: Flavour) -> u64 {
+    match f {
+        Flavour::Plain => 0,
+        Flavour::AmLoad => 1,
+        Flavour::AmSpStore => 2,
+        Flavour::UmAmLoad => 3,
+        Flavour::UmAmStore => 4,
+    }
+}
+
+fn flavour_from_code(code: u64) -> Flavour {
+    match code {
+        0 => Flavour::Plain,
+        1 => Flavour::AmLoad,
+        2 => Flavour::AmSpStore,
+        3 => Flavour::UmAmLoad,
+        4 => Flavour::UmAmStore,
+        _ => unreachable!("corrupt packed trace: flavour code {code}"),
+    }
+}
+
+#[inline]
+fn decode_event(word: u64) -> MemEvent {
+    MemEvent {
+        addr: (word >> ADDR_SHIFT) as i64,
+        is_write: word & (1 << 1) != 0,
+        tag: MemTag {
+            flavour: flavour_from_code((word >> 2) & 0b111),
+            last_ref: word & (1 << 5) != 0,
+            unambiguous: word & (1 << 6) != 0,
+        },
+    }
+}
+
+/// One decoded record of a packed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// A data load or store.
+    Event(MemEvent),
+    /// A stack frame died; the word range `[lo, hi)` is provably dead.
+    FrameExit {
+        /// First dead word address.
+        lo: i64,
+        /// One past the last dead word address.
+        hi: i64,
+    },
+}
+
+/// A compact recorded reference stream: 8 bytes per data reference,
+/// 16 per frame exit, in execution order.
+///
+/// Records with [`TraceSink`] semantics (use it as the VM's sink), then
+/// [`replay`](PackedTrace::replay) the stream into any number of other
+/// sinks. Replay reproduces the live stream exactly: same events, same
+/// order, frame exits included.
+#[derive(Debug, Clone, Default)]
+pub struct PackedTrace {
+    words: Vec<u64>,
+    events: u64,
+    frame_exits: u64,
+}
+
+impl PackedTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty trace with room for `events` data references.
+    pub fn with_capacity(events: usize) -> Self {
+        PackedTrace {
+            words: Vec::with_capacity(events),
+            events: 0,
+            frame_exits: 0,
+        }
+    }
+
+    /// Number of data references recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Number of frame-exit records.
+    pub fn frame_exits(&self) -> u64 {
+        self.frame_exits
+    }
+
+    /// Bytes the encoded stream occupies.
+    pub fn encoded_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Whether the trace holds no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Appends one data reference.
+    #[inline]
+    pub fn push_event(&mut self, ev: MemEvent) {
+        debug_assert!(
+            (0..1 << (64 - ADDR_SHIFT)).contains(&ev.addr),
+            "address {} does not fit the packed encoding",
+            ev.addr
+        );
+        let word = ((ev.addr as u64) << ADDR_SHIFT)
+            | (u64::from(ev.is_write) << 1)
+            | (flavour_code(ev.tag.flavour) << 2)
+            | (u64::from(ev.tag.last_ref) << 5)
+            | (u64::from(ev.tag.unambiguous) << 6);
+        self.words.push(word);
+        self.events += 1;
+    }
+
+    /// Appends one frame-exit range.
+    #[inline]
+    pub fn push_frame_exit(&mut self, lo: i64, hi: i64) {
+        debug_assert!(
+            (0..1 << (64 - ADDR_SHIFT)).contains(&lo) && hi >= 0,
+            "frame range [{lo}, {hi}) does not fit the packed encoding"
+        );
+        self.words.push(((lo as u64) << ADDR_SHIFT) | KIND_SENTINEL);
+        self.words.push(hi as u64);
+        self.frame_exits += 1;
+    }
+
+    /// Iterates the decoded records in execution order.
+    pub fn records(&self) -> Records<'_> {
+        Records {
+            words: &self.words,
+            i: 0,
+        }
+    }
+
+    /// Returns a copy of the trace with every event's tag replaced by
+    /// `f(&event)`. Addresses, directions, record order, and frame
+    /// exits are preserved verbatim.
+    ///
+    /// This is how the sweep derives one mode's trace from another's
+    /// single VM run: tags never influence execution, so two programs
+    /// that differ only in their memory tags produce traces that differ
+    /// only in these bits.
+    pub fn map_tags(&self, mut f: impl FnMut(&MemEvent) -> MemTag) -> PackedTrace {
+        const TAG_BITS: u64 = 0b11111 << 2; // flavour + last_ref + unambiguous
+        let mut words = Vec::with_capacity(self.words.len());
+        let mut i = 0;
+        while i < self.words.len() {
+            let word = self.words[i];
+            if word & KIND_SENTINEL == 0 {
+                let tag = f(&decode_event(word));
+                words.push(
+                    (word & !TAG_BITS)
+                        | (flavour_code(tag.flavour) << 2)
+                        | (u64::from(tag.last_ref) << 5)
+                        | (u64::from(tag.unambiguous) << 6),
+                );
+                i += 1;
+            } else {
+                words.push(word);
+                words.push(self.words[i + 1]);
+                i += 2;
+            }
+        }
+        PackedTrace {
+            words,
+            events: self.events,
+            frame_exits: self.frame_exits,
+        }
+    }
+
+    /// Streams the recorded references (and frame exits) into `sink`,
+    /// reproducing the live trace exactly.
+    pub fn replay<S: TraceSink + ?Sized>(&self, sink: &mut S) {
+        for rec in self.records() {
+            match rec {
+                TraceRecord::Event(ev) => sink.data_ref(ev),
+                TraceRecord::FrameExit { lo, hi } => sink.frame_exit(lo, hi),
+            }
+        }
+    }
+}
+
+impl TraceSink for PackedTrace {
+    fn data_ref(&mut self, ev: MemEvent) {
+        self.push_event(ev);
+    }
+
+    fn frame_exit(&mut self, lo: i64, hi: i64) {
+        self.push_frame_exit(lo, hi);
+    }
+}
+
+/// Decoding iterator over a [`PackedTrace`].
+#[derive(Debug, Clone)]
+pub struct Records<'a> {
+    words: &'a [u64],
+    i: usize,
+}
+
+impl Iterator for Records<'_> {
+    type Item = TraceRecord;
+
+    #[inline]
+    fn next(&mut self) -> Option<TraceRecord> {
+        let &word = self.words.get(self.i)?;
+        if word & KIND_SENTINEL == 0 {
+            self.i += 1;
+            Some(TraceRecord::Event(decode_event(word)))
+        } else {
+            let hi = self.words[self.i + 1];
+            self.i += 2;
+            Some(TraceRecord::FrameExit {
+                lo: (word >> ADDR_SHIFT) as i64,
+                hi: hi as i64,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::VecSink;
+
+    fn ev(addr: i64, is_write: bool, flavour: Flavour, last_ref: bool, unamb: bool) -> MemEvent {
+        MemEvent {
+            addr,
+            is_write,
+            tag: MemTag {
+                flavour,
+                last_ref,
+                unambiguous: unamb,
+            },
+        }
+    }
+
+    #[test]
+    fn events_round_trip_exactly() {
+        let flavours = [
+            Flavour::Plain,
+            Flavour::AmLoad,
+            Flavour::AmSpStore,
+            Flavour::UmAmLoad,
+            Flavour::UmAmStore,
+        ];
+        let mut t = PackedTrace::new();
+        let mut expect = Vec::new();
+        let mut i = 0u64;
+        for &f in &flavours {
+            for is_write in [false, true] {
+                for last_ref in [false, true] {
+                    for unamb in [false, true] {
+                        // Addresses spanning the full supported range.
+                        let addr = [0, 1, 0x1000, (1 << 57) - 1][(i % 4) as usize];
+                        let e = ev(addr, is_write, f, last_ref, unamb);
+                        t.push_event(e);
+                        expect.push(TraceRecord::Event(e));
+                        i += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(t.events(), i);
+        assert_eq!(t.encoded_bytes(), 8 * i as usize);
+        let got: Vec<_> = t.records().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn frame_exits_interleave_in_order() {
+        let mut t = PackedTrace::new();
+        t.push_event(ev(10, false, Flavour::AmLoad, false, false));
+        t.push_frame_exit(96, 104);
+        t.push_event(ev(11, true, Flavour::UmAmStore, true, true));
+        t.push_frame_exit(0, 1);
+        assert_eq!(t.events(), 2);
+        assert_eq!(t.frame_exits(), 2);
+        let got: Vec<_> = t.records().collect();
+        assert_eq!(
+            got,
+            vec![
+                TraceRecord::Event(ev(10, false, Flavour::AmLoad, false, false)),
+                TraceRecord::FrameExit { lo: 96, hi: 104 },
+                TraceRecord::Event(ev(11, true, Flavour::UmAmStore, true, true)),
+                TraceRecord::FrameExit { lo: 0, hi: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn replay_reproduces_the_sink_stream() {
+        struct Recorder {
+            events: Vec<MemEvent>,
+            frames: Vec<(i64, i64)>,
+        }
+        impl TraceSink for Recorder {
+            fn data_ref(&mut self, ev: MemEvent) {
+                self.events.push(ev);
+            }
+            fn frame_exit(&mut self, lo: i64, hi: i64) {
+                self.frames.push((lo, hi));
+            }
+        }
+
+        let mut t = PackedTrace::new();
+        let mut x = 0xfeedu64;
+        for i in 0..500i64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = [
+                Flavour::Plain,
+                Flavour::AmLoad,
+                Flavour::AmSpStore,
+                Flavour::UmAmLoad,
+                Flavour::UmAmStore,
+            ][(x % 5) as usize];
+            t.data_ref(ev(
+                (x % 0xffff) as i64,
+                x & 8 != 0,
+                f,
+                x & 16 != 0,
+                x & 32 != 0,
+            ));
+            if i % 7 == 0 {
+                t.frame_exit(i, i + 10);
+            }
+        }
+        let mut r = Recorder {
+            events: Vec::new(),
+            frames: Vec::new(),
+        };
+        t.replay(&mut r);
+        assert_eq!(r.events.len() as u64, t.events());
+        assert_eq!(r.frames.len() as u64, t.frame_exits());
+
+        // Replaying into a VecSink matches replaying into the recorder.
+        let mut v = VecSink::default();
+        t.replay(&mut v);
+        assert_eq!(v.events, r.events);
+    }
+
+    #[test]
+    fn map_tags_rewrites_only_tag_bits() {
+        let mut t = PackedTrace::new();
+        t.push_event(ev(10, false, Flavour::UmAmLoad, true, true));
+        t.push_frame_exit(96, 104);
+        t.push_event(ev(11, true, Flavour::AmSpStore, false, true));
+        let mapped = t.map_tags(|e| MemTag {
+            flavour: Flavour::Plain,
+            last_ref: false,
+            unambiguous: e.tag.unambiguous,
+        });
+        assert_eq!(mapped.events(), 2);
+        assert_eq!(mapped.frame_exits(), 1);
+        let got: Vec<_> = mapped.records().collect();
+        assert_eq!(
+            got,
+            vec![
+                TraceRecord::Event(ev(10, false, Flavour::Plain, false, true)),
+                TraceRecord::FrameExit { lo: 96, hi: 104 },
+                TraceRecord::Event(ev(11, true, Flavour::Plain, false, true)),
+            ]
+        );
+    }
+
+    #[test]
+    fn capacity_constructor_counts_nothing() {
+        let t = PackedTrace::with_capacity(128);
+        assert!(t.is_empty());
+        assert_eq!(t.events(), 0);
+        assert_eq!(t.frame_exits(), 0);
+    }
+}

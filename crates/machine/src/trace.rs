@@ -60,7 +60,14 @@ impl TraceSink for NullSink {
     fn data_ref(&mut self, _ev: MemEvent) {}
 }
 
-/// Records all events (tests / small runs only).
+/// Records all events as full [`MemEvent`]s — **tests and diagnostics
+/// only**.
+///
+/// Each stored event costs 16 bytes and frame-exit notifications are
+/// dropped, so a `VecSink` recording is neither compact nor faithful
+/// enough to replay. Production recording (the sweep engine, `ucmc
+/// trace`) uses [`PackedTrace`](crate::packed::PackedTrace), which packs
+/// each reference into 8 bytes and keeps frame exits inline.
 #[derive(Debug, Clone, Default)]
 pub struct VecSink {
     /// The recorded data references.

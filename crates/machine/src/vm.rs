@@ -77,13 +77,20 @@ impl Error for VmError {}
 
 /// Runs `program` to completion.
 ///
+/// Generic over the sink so the per-reference trace calls monomorphize:
+/// with a concrete `S` the compiler devirtualizes and inlines
+/// [`TraceSink::data_ref_checked`] into the interpreter loop, which is
+/// where multi-million-event recording runs spend their time. `S: ?Sized`
+/// keeps `&mut dyn TraceSink` callers working unchanged (see
+/// [`run_boxed`] for the explicit type-erased entry point).
+///
 /// # Errors
 ///
 /// Returns a [`VmError`] on divide-by-zero, out-of-bounds access, stack
 /// overflow, or step-budget exhaustion.
-pub fn run(
+pub fn run<S: TraceSink + ?Sized>(
     program: &MachineProgram,
-    sink: &mut dyn TraceSink,
+    sink: &mut S,
     config: &VmConfig,
 ) -> Result<VmOutcome, VmError> {
     Vm {
@@ -104,9 +111,27 @@ pub fn run(
     .run()
 }
 
-struct Vm<'a> {
+/// Runs `program` with a type-erased sink.
+///
+/// A thin wrapper over [`run`] for callers that hold a `Box<dyn
+/// TraceSink>` or otherwise cannot name the sink type (the CLI's dynamic
+/// command plumbing). Every call pays one virtual dispatch per data
+/// reference; hot paths should call [`run`] with a concrete sink instead.
+///
+/// # Errors
+///
+/// Exactly those of [`run`].
+pub fn run_boxed(
+    program: &MachineProgram,
+    sink: &mut dyn TraceSink,
+    config: &VmConfig,
+) -> Result<VmOutcome, VmError> {
+    run(program, sink, config)
+}
+
+struct Vm<'a, S: TraceSink + ?Sized> {
     program: &'a MachineProgram,
-    sink: &'a mut dyn TraceSink,
+    sink: &'a mut S,
     config: &'a VmConfig,
     regs: Vec<i64>,
     rv: i64,
@@ -122,7 +147,7 @@ struct Vm<'a> {
     cur_pc: i64,
 }
 
-impl Vm<'_> {
+impl<S: TraceSink + ?Sized> Vm<'_, S> {
     fn effective(&self, addr: &MAddr) -> i64 {
         match addr {
             MAddr::Reg(r) => self.regs[*r as usize],
@@ -304,7 +329,7 @@ impl Vm<'_> {
 mod tests {
     use super::*;
     use crate::codegen::{codegen, CodegenConfig, PlainTagger, SynthTags};
-    use crate::trace::{CountSink, NullSink, VecSink};
+    use crate::trace::{CountSink, NullSink, TraceSink, VecSink};
     use ucm_ir::{lower, Module};
     use ucm_lang::parse_and_check;
     use ucm_regalloc::{allocate, Strategy};
@@ -564,6 +589,20 @@ mod tests {
             sink.unambiguous == sink.total(),
             "all synthesized traffic is unambiguous"
         );
+    }
+
+    #[test]
+    fn boxed_and_generic_runs_agree() {
+        let p = compile(
+            "global a: [int; 8]; fn main() { let i: int = 0; \
+             while i < 8 { a[i] = i * 3; i = i + 1; } print(a[5]); }",
+            8,
+        );
+        let mut generic = CountSink::default();
+        let out_g = run(&p, &mut generic, &VmConfig::default()).unwrap();
+        let mut boxed: Box<dyn TraceSink> = Box::<CountSink>::default();
+        let out_b = run_boxed(&p, boxed.as_mut(), &VmConfig::default()).unwrap();
+        assert_eq!(out_g, out_b);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! `std::thread::scope` workers, one per available core. A panic in any
 //! closure propagates to the caller, as with real rayon.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -19,11 +20,95 @@ pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParallelIterator};
 }
 
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`];
+    /// `0` means "no override, use every available core".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
 /// Number of worker threads a parallel iterator will use.
 pub fn current_num_threads() -> usize {
+    let pinned = POOL_THREADS.with(Cell::get);
+    if pinned > 0 {
+        return pinned;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (subset: never produced; kept
+/// for signature compatibility with real rayon).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] — the subset real callers use:
+/// `ThreadPoolBuilder::new().num_threads(n).build()`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (as many workers as cores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the number of worker threads; `0` restores the default.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this subset; the `Result` mirrors real rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped worker-count pin. Real rayon keeps a persistent worker pool;
+/// this subset spawns scoped workers per parallel call, so the "pool" is
+/// just the pinned width that [`install`](ThreadPool::install) applies to
+/// every parallel iterator run inside it.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's worker count governing every parallel
+    /// iterator `f` executes (on this thread).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        let result = f();
+        POOL_THREADS.with(|c| c.set(prev));
+        result
+    }
+
+    /// The pinned worker count (`0` = one per core).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
 }
 
 /// Types that offer a borrowing parallel iterator (subset: slices, `Vec`).
