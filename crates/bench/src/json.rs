@@ -16,8 +16,14 @@ pub enum Json {
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any number (stored as `f64`; the artifact's counters fit exactly).
+    /// A number stored exactly: floats, and integer literals within
+    /// f64's exact-integer range (±2^53).
     Num(f64),
+    /// An integer literal beyond ±2^53, kept as the *approximate* f64.
+    /// Opaque 64-bit identifiers (the sweep seed) are allowed to live
+    /// here; counters are not — [`Json::as_exact_num`] refuses them so
+    /// validators can reject silently-rounded counts.
+    BigNum(f64),
     /// A string.
     Str(String),
     /// An array.
@@ -35,8 +41,20 @@ impl Json {
         }
     }
 
-    /// The number, if this is one.
+    /// The number, if this is one (including approximate [`Json::BigNum`]s).
     pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) | Json::BigNum(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number, refusing integer literals f64 cannot hold exactly.
+    ///
+    /// Counters must round-trip bit-for-bit; an integer beyond ±2^53 has
+    /// already been rounded by the time it is an `f64`, so this returns
+    /// `None` for [`Json::BigNum`] and validators turn that into an error.
+    pub fn as_exact_num(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
@@ -286,6 +304,25 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Integer-form literals that overflow f64's exact range (±2^53)
+        // are tagged [`Json::BigNum`] instead of silently rounding into a
+        // plain number: `as_num` still sees the approximate value (the
+        // sweep seed is such an opaque u64), while `as_exact_num` refuses
+        // it so counter validation can reject corruption.
+        if !text.contains(['.', 'e', 'E']) {
+            if !text.bytes().any(|b| b.is_ascii_digit()) {
+                return Err(self.err("bad number"));
+            }
+            let approx: f64 = text.parse().map_err(|_| self.err("bad number"))?;
+            let exact = text
+                .parse::<i128>()
+                .is_ok_and(|v| v.unsigned_abs() <= 1 << 53);
+            return Ok(if exact {
+                Json::Num(approx)
+            } else {
+                Json::BigNum(approx)
+            });
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("bad number"))
@@ -345,5 +382,35 @@ mod tests {
         // u64 counters in the artifact stay within f64's exact-integer range.
         let v = parse("9007199254740992").unwrap();
         assert_eq!(v.as_num(), Some(9_007_199_254_740_992.0));
+    }
+
+    #[test]
+    fn integer_counters_beyond_exact_f64_range_are_tagged_bignum() {
+        // 2^53 + 1 is the first integer f64 cannot represent; parsing it
+        // as a float silently returns 2^53. Such literals become BigNum:
+        // visible through `as_num` (opaque ids like the sweep seed) but
+        // refused by `as_exact_num` (counters).
+        for bad in [
+            "9007199254740993",
+            "-9007199254740993",
+            "11400714819323198485",
+            "123456789012345678901234567890123456789012",
+        ] {
+            let v = parse(bad).unwrap();
+            assert!(matches!(v, Json::BigNum(_)), "{bad}: {v:?}");
+            assert!(v.as_num().is_some(), "{bad}");
+            assert_eq!(v.as_exact_num(), None, "{bad}");
+        }
+        let v = parse("{\"steps\": 9007199254740993}").unwrap();
+        assert_eq!(v.get("steps").unwrap().as_exact_num(), None);
+        // The boundary itself and float forms stay exact.
+        for good in [
+            "-9007199254740992",
+            "9007199254740992",
+            "9.007199254740993e15",
+        ] {
+            let v = parse(good).unwrap();
+            assert!(v.as_exact_num().is_some(), "{good}: {v:?}");
+        }
     }
 }

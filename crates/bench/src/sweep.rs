@@ -982,13 +982,29 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
     let record_start = std::time::Instant::now();
     let recorded: Vec<Result<Vec<RecordedTrace>, SweepError>> = group_jobs
         .par_iter()
-        .map(|&(w, codegen)| record_group(w, codegen, &cfg.modes, &cfg.vm))
+        .map(|&(w, codegen)| {
+            // Per-job spans carry the worker id, so `ucmc report` can
+            // derive per-worker utilisation of the record phase.
+            let _s = ucm_obs::span("sweep.record.job")
+                .with("workload", w.name.as_str())
+                .with(
+                    "codegen",
+                    match codegen {
+                        Codegen::Paper => "paper",
+                        Codegen::Modern => "modern",
+                    },
+                );
+            record_group(w, codegen, &cfg.modes, &cfg.vm)
+        })
         .collect();
     let mut recorded_traces = Vec::with_capacity(trace_jobs.len());
     for r in recorded {
         recorded_traces.extend(r?);
     }
     let record_took = record_start.elapsed();
+    // The stream's phase span is the *same* measurement the report's
+    // `timings.record` (and the CLI's phase-timing line) exposes.
+    ucm_obs::span_measured("sweep.record", record_start, record_took);
 
     // Phase 2 — replay: one job per (trace, geometry), each driving all
     // of the geometry's (write policy × replacement) cells through one
@@ -1038,6 +1054,11 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
     let blocks: Vec<Vec<(CacheStats, Option<CellTiming>)>> = replay_jobs
         .par_iter()
         .map(|(trace, mode, steps, geom)| {
+            let _s = ucm_obs::span("sweep.replay.job")
+                .with("size_words", geom.size_words)
+                .with("line_words", geom.line_words)
+                .with("ways", geom.ways)
+                .with("events", trace.events());
             let mut cell_cfgs = Vec::with_capacity(cfg.write_policies.len() * cfg.policies.len());
             for &wp in &cfg.write_policies {
                 for &policy in &cfg.policies {
@@ -1058,6 +1079,12 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
         }
     }
     let replay_took = replay_start.elapsed();
+    ucm_obs::span_measured("sweep.replay", replay_start, replay_took);
+    if ucm_obs::enabled() {
+        ucm_obs::counter("sweep.traces", n_traces as u64);
+        ucm_obs::counter("sweep.unique_traces", unique.len() as u64);
+        ucm_obs::counter("sweep.cells", cfg.cell_count() as u64);
+    }
 
     let traces: Vec<TraceSummary> = recorded_traces
         .iter()
@@ -1505,7 +1532,14 @@ pub fn validate_sweep_json(text: &str) -> Result<SweepJsonSummary, ValidateError
 /// Schema checks past the version gate; errors are wrapped into
 /// [`ValidateError::Invalid`] by the caller.
 fn validate_body(doc: &Json, version: u64) -> Result<SweepJsonSummary, String> {
-    let num = |v: &Json, what: &str| v.as_num().ok_or_else(|| format!("{what} is not a number"));
+    // Counters must be exact: an integer literal beyond ±2^53 has already
+    // been rounded by the f64 parse, so the artifact is corrupt.
+    let num = |v: &Json, what: &str| {
+        v.as_exact_num().ok_or_else(|| match v.as_num() {
+            Some(_) => format!("{what} exceeds the exact integer range of f64 (2^53)"),
+            None => format!("{what} is not a number"),
+        })
+    };
     let field = |obj: &Json, key: &str, what: &str| {
         obj.get(key)
             .cloned()
@@ -1517,7 +1551,12 @@ fn validate_body(doc: &Json, version: u64) -> Result<SweepJsonSummary, String> {
             .as_str()
             .ok_or_else(|| format!("`{key}` is not a string"))?;
     }
-    num(&field(doc, "seed", "document")?, "seed")?;
+    // The seed is an opaque u64 identifier, not a counter: the default
+    // (a 64-bit golden-ratio constant) exceeds 2^53, so it is the one
+    // number allowed to live beyond f64's exact-integer range.
+    field(doc, "seed", "document")?
+        .as_num()
+        .ok_or_else(|| "`seed` is not a number".to_string())?;
     let lat = field(doc, "latency", "document")?;
     num(&field(&lat, "cache", "latency")?, "latency.cache")?;
     num(&field(&lat, "memory", "latency")?, "latency.memory")?;
@@ -1838,6 +1877,31 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("timing"));
+    }
+
+    #[test]
+    fn validator_rejects_counters_beyond_exact_f64_range() {
+        // The artifact stores counters as JSON integers and the parser
+        // holds them in f64, which is exact only up to 2^53. A counter
+        // past that would round silently, so validation must error.
+        let good = run_sweep(&tiny_config()).unwrap().to_json();
+        let start = good.find("\"steps\": ").expect("artifact reports steps") + "\"steps\": ".len();
+        let end = start
+            + good[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .expect("number is delimited");
+        let bad = format!("{}9007199254740993{}", &good[..start], &good[end..]);
+        match validate_sweep_json(&bad) {
+            Err(ValidateError::Invalid(msg)) => {
+                assert!(msg.contains("2^53"), "{msg}");
+                assert!(msg.contains("steps"), "{msg}");
+            }
+            other => panic!("expected an Invalid error naming 2^53, got {other:?}"),
+        }
+        // The seed is an opaque u64, not a counter: the default already
+        // exceeds 2^53 and the artifact must keep validating.
+        assert!(good.contains("\"seed\": 11400714819323198485"), "{good}");
+        validate_sweep_json(&good).unwrap();
     }
 
     #[test]

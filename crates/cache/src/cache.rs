@@ -6,7 +6,7 @@
 //! any trace-driven cache study.
 
 use crate::config::{CacheConfig, ConfigError, WritePolicy};
-use crate::policy::PolicyState;
+use crate::policy::{PolicyState, VictimRng};
 use crate::stats::CacheStats;
 use ucm_machine::{Flavour, MemEvent, TraceSink};
 use ucm_timing::{Eviction, MemXact};
@@ -26,7 +26,7 @@ pub struct CacheSim {
     policies: Vec<PolicyState>,
     stats: CacheStats,
     now: u64,
-    rng: u64,
+    rng: VictimRng,
     // Geometry as shifts/masks. Validation guarantees line_words and
     // num_sets are powers of two, so these reproduce the divide/modulo
     // address split bit-exactly while keeping divisions out of the
@@ -60,7 +60,7 @@ impl CacheSim {
             policies: vec![PolicyState::new(config.policy, config.associativity); sets],
             stats: CacheStats::default(),
             now: 0,
-            rng: config.seed | 1,
+            rng: VictimRng::new(config.seed),
             line_shift: config.line_words.trailing_zeros(),
             set_shift: sets.trailing_zeros(),
             set_mask: sets as u64 - 1,
@@ -654,6 +654,47 @@ mod tests {
                 + s.write_misses
                 + s.bypass_reads
                 + s.bypass_writes
+        );
+    }
+
+    // Regression test for the seed-0 Random lockup: with the raw xorshift
+    // state a zero seed pinned every victim to way 0, so the line evicted
+    // was always the one installed immediately before. VictimRng
+    // normalises the seed, so victims must spread across ways.
+    #[test]
+    fn random_policy_with_seed_zero_spreads_victims() {
+        let mut c = CacheSim::new(CacheConfig {
+            size_words: 4,
+            line_words: 1,
+            associativity: 4,
+            policy: PolicyKind::Random,
+            seed: 0,
+            ..CacheConfig::default()
+        });
+        // Fill the single set, then force evictions with fresh addresses.
+        for a in 0..4 {
+            c.access(ev(a, false, Flavour::AmLoad, false));
+        }
+        // With the lockup, every eviction after the first lands on way 0 —
+        // which from the second eviction on always holds the line installed
+        // by the immediately preceding miss (`a - 1`).
+        let mut evicted_non_newest = false;
+        let mut resident: Vec<i64> = (0..4).collect();
+        for a in 4..64 {
+            c.access(ev(a, false, Flavour::AmLoad, false));
+            let gone = *resident
+                .iter()
+                .find(|&&r| !c.contains(r))
+                .expect("one resident line must have been evicted");
+            if a > 4 && gone != a - 1 {
+                evicted_non_newest = true;
+            }
+            resident.retain(|&r| r != gone);
+            resident.push(a);
+        }
+        assert!(
+            evicted_non_newest,
+            "seed 0 evicted only the most recently installed line (way-0 lockup)"
         );
     }
 }

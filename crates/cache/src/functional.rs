@@ -15,7 +15,7 @@
 //! which is what makes a wrong annotation detectable at all.
 
 use crate::config::{CacheConfig, ConfigError, WritePolicy};
-use crate::policy::PolicyState;
+use crate::policy::{PolicyState, VictimRng};
 use crate::stats::CacheStats;
 use std::fmt;
 use ucm_machine::{Flavour, MemEvent, TraceSink};
@@ -140,7 +140,7 @@ pub struct FunctionalCache {
     policies: Vec<PolicyState>,
     stats: CacheStats,
     now: u64,
-    rng: u64,
+    rng: VictimRng,
     /// Mirror of main memory as the cache believes it.
     mem: PagedMem,
 }
@@ -172,7 +172,7 @@ impl FunctionalCache {
             policies: vec![PolicyState::new(config.policy, config.associativity); sets],
             stats: CacheStats::default(),
             now: 0,
-            rng: config.seed | 1,
+            rng: VictimRng::new(config.seed),
             config,
             mem: PagedMem::new(),
         })

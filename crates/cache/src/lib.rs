@@ -56,6 +56,7 @@ pub use functional::{
     CoherenceOracle, CoherenceViolation, FunctionalCache, PagedMem, Served, ServedFrom,
 };
 pub use min::{simulate_min, try_simulate_min};
+pub use policy::{PolicyState, VictimRng};
 pub use stats::{CacheStats, Latency};
 pub use system::MemorySystem;
 pub use timed::TimedCache;

@@ -7,6 +7,34 @@
 
 use crate::config::PolicyKind;
 
+/// Xorshift64 state for the random replacement policy.
+///
+/// The all-zero state is xorshift64's fixed point: every step maps 0 to
+/// 0, so a raw zero seed would degenerate `Random` replacement to
+/// always-way-0 with no warning. Construction normalises the seed with
+/// `seed | 1`, making the zero state unrepresentable (xorshift never
+/// maps a non-zero state to zero). The normalisation is the identity
+/// for every odd seed — including the default — so existing victim
+/// streams (and the committed sweep artifact) are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VictimRng(u64);
+
+impl VictimRng {
+    /// State seeded from `seed | 1`; seed 0 behaves like seed 1.
+    pub fn new(seed: u64) -> Self {
+        VictimRng(seed | 1)
+    }
+
+    /// Advances the state and returns the next raw value (never zero).
+    #[inline]
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
 /// Replacement metadata for one cache set.
 #[derive(Debug, Clone)]
 pub struct PolicyState {
@@ -48,8 +76,8 @@ impl PolicyState {
     }
 
     /// Chooses a victim among fully-valid ways. `rng` is the cache's
-    /// xorshift state (used by the random policy).
-    pub fn victim(&mut self, rng: &mut u64) -> usize {
+    /// [`VictimRng`] (used by the random policy).
+    pub fn victim(&mut self, rng: &mut VictimRng) -> usize {
         match self.kind {
             PolicyKind::Lru | PolicyKind::Fifo => {
                 let mut best = 0;
@@ -70,12 +98,7 @@ impl PolicyState {
                     0
                 }
             }
-            PolicyKind::Random => {
-                *rng ^= *rng << 13;
-                *rng ^= *rng >> 7;
-                *rng ^= *rng << 17;
-                (*rng % self.meta.len() as u64) as usize
-            }
+            PolicyKind::Random => (rng.next() % self.meta.len() as u64) as usize,
         }
     }
 }
@@ -91,7 +114,7 @@ mod tests {
             p.on_fill(w, t);
         }
         p.on_access(0, 5); // way 0 becomes most recent
-        let mut rng = 1;
+        let mut rng = VictimRng::new(1);
         assert_eq!(p.victim(&mut rng), 1);
     }
 
@@ -102,7 +125,7 @@ mod tests {
         p.on_fill(1, 2);
         p.on_fill(2, 3);
         p.on_access(0, 10); // FIFO does not care
-        let mut rng = 1;
+        let mut rng = VictimRng::new(1);
         assert_eq!(p.victim(&mut rng), 0);
     }
 
@@ -113,7 +136,7 @@ mod tests {
         p.on_fill(1, 2);
         p.on_fill(2, 3);
         p.on_invalidate(1);
-        let mut rng = 1;
+        let mut rng = VictimRng::new(1);
         assert_eq!(p.victim(&mut rng), 1);
         // All referenced → sweep resets and picks way 0.
         p.on_access(1, 4);
@@ -126,8 +149,8 @@ mod tests {
     fn random_is_deterministic_per_seed() {
         let mut p1 = PolicyState::new(PolicyKind::Random, 8);
         let mut p2 = PolicyState::new(PolicyKind::Random, 8);
-        let mut r1 = 42;
-        let mut r2 = 42;
+        let mut r1 = VictimRng::new(42);
+        let mut r2 = VictimRng::new(42);
         for _ in 0..32 {
             assert_eq!(p1.victim(&mut r1), p2.victim(&mut r2));
         }
@@ -136,9 +159,36 @@ mod tests {
     #[test]
     fn random_victims_are_in_range() {
         let mut p = PolicyState::new(PolicyKind::Random, 4);
-        let mut rng = 7;
+        let mut rng = VictimRng::new(7);
         for _ in 0..100 {
             assert!(p.victim(&mut rng) < 4);
+        }
+    }
+
+    // Regression test for the seed-0 lockup: raw xorshift64 state 0 is a
+    // fixed point, so before VictimRng every victim draw returned way 0.
+    #[test]
+    fn zero_seed_still_varies_victims() {
+        let mut p = PolicyState::new(PolicyKind::Random, 4);
+        let mut rng = VictimRng::new(0);
+        let victims: std::collections::HashSet<usize> =
+            (0..64).map(|_| p.victim(&mut rng)).collect();
+        assert!(
+            victims.len() > 1,
+            "seed 0 must not degenerate to a single victim way: {victims:?}"
+        );
+    }
+
+    #[test]
+    fn zero_seed_matches_seed_one_stream() {
+        // `seed | 1` makes 0 and 1 the same stream — pinned so the
+        // normalisation can never silently change the mapping.
+        let mut p0 = PolicyState::new(PolicyKind::Random, 8);
+        let mut p1 = PolicyState::new(PolicyKind::Random, 8);
+        let mut r0 = VictimRng::new(0);
+        let mut r1 = VictimRng::new(1);
+        for _ in 0..32 {
+            assert_eq!(p0.victim(&mut r0), p1.victim(&mut r1));
         }
     }
 }

@@ -12,7 +12,17 @@
 //! ucmc faults <file.mini>    annotation fault-injection campaign (JSON lines)
 //! ucmc timing <file.mini>    cycle-level report: all three modes priced
 //! ucmc sweep                 parallel grid sweep -> BENCH_sweep.json + table
+//! ucmc report <obs.jsonl>    summarise a captured observability stream
 //! ```
+//!
+//! Every command additionally accepts the global `--obs-out FILE` flag:
+//! it installs the `ucm-obs` collector for the duration of the command
+//! and writes the captured JSON-lines stream (compile-phase spans, sweep
+//! record/replay spans with per-worker jobs, VM and timing-sim counters)
+//! to `FILE`. `ucmc report FILE` then renders the stream as per-phase,
+//! per-counter, and per-worker tables. Without the flag nothing is
+//! collected and command output (including `BENCH_sweep.json`) is
+//! byte-identical to a build without the subsystem.
 //!
 //! Common flags: `--regs N`, `--paper` (frame-resident scalars, the paper's
 //! measured codegen), `--conventional` (baseline management), `--safe` /
@@ -146,6 +156,7 @@ pub struct Invocation {
     kinds: Vec<FaultKind>,
     timing: TimingConfig,
     sweep: SweepOpts,
+    obs_out: Option<String>,
 }
 
 /// Usage text.
@@ -157,7 +168,9 @@ pub const USAGE: &str = "usage: ucmc <run|compare|ir|classify|trace|check|faults
 [--swap-flavour] [--misclassify PCT] \
 [--wb-entries N] [--hit-cycles N] [--mem-cycles N]\n\
 \x20      ucmc sweep [--out PATH] [--quick] [--paper-sizes] [--seed N] \
-[--timing] [--jobs N] [--validate FILE]";
+[--timing] [--jobs N] [--validate FILE]\n\
+\x20      ucmc report <obs.jsonl>\n\
+\x20      any command also accepts the global --obs-out FILE flag";
 
 /// Parses arguments (excluding `argv0`) and reads the source file.
 ///
@@ -170,17 +183,53 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
         message: format!("{m}\n{USAGE}"),
         code: EXIT_USAGE,
     };
+    // `--obs-out` is global: it may appear anywhere on the line, for any
+    // command, so it is extracted before command dispatch.
+    let mut args = args.to_vec();
+    let mut obs_out = None;
+    if let Some(i) = args.iter().position(|a| a == "--obs-out") {
+        if i + 1 >= args.len() {
+            return Err(err("--obs-out needs a path"));
+        }
+        args.remove(i);
+        obs_out = Some(args.remove(i));
+    }
     let mut it = args.iter();
     let command = it.next().ok_or_else(|| err("missing command"))?.clone();
     if ![
-        "run", "compare", "ir", "classify", "trace", "check", "faults", "timing", "sweep",
+        "run", "compare", "ir", "classify", "trace", "check", "faults", "timing", "sweep", "report",
     ]
     .contains(&command.as_str())
     {
         return Err(err(&format!("unknown command `{command}`")));
     }
     if command == "sweep" {
-        return parse_sweep_args(command, it, err);
+        let mut inv = parse_sweep_args(command, it, err)?;
+        inv.obs_out = obs_out;
+        return Ok(inv);
+    }
+    if command == "report" {
+        let path = it
+            .next()
+            .ok_or_else(|| err("missing observability stream file"))?;
+        if let Some(extra) = it.next() {
+            return Err(err(&format!("unknown report argument `{extra}`")));
+        }
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| err(&format!("cannot read `{path}`: {e}")))?;
+        return Ok(Invocation {
+            command,
+            source,
+            options: CompilerOptions::default(),
+            cache: CacheConfig::default(),
+            vm: VmConfig::default(),
+            limit: 20,
+            seed: 1,
+            kinds: Vec::new(),
+            timing: TimingConfig::default(),
+            sweep: SweepOpts::default(),
+            obs_out,
+        });
     }
     let path = it.next().ok_or_else(|| err("missing source file"))?;
     let source =
@@ -249,6 +298,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
         kinds,
         timing,
         sweep: SweepOpts::default(),
+        obs_out,
     })
 }
 
@@ -313,15 +363,39 @@ fn parse_sweep_args(
         kinds: Vec::new(),
         timing: TimingConfig::default(),
         sweep,
+        obs_out: None,
     })
 }
 
 /// Executes an invocation, returning the text to print and the exit code.
 ///
+/// With `--obs-out FILE` the `ucm-obs` collector is installed for the
+/// duration of the command and the captured stream is written to `FILE`
+/// afterwards — even when the command itself fails, so a crashing run
+/// still leaves its phase timings behind.
+///
 /// # Errors
 ///
 /// Propagates compile and runtime errors as [`CliError`].
 pub fn execute(inv: &Invocation) -> Result<CmdOutput, CliError> {
+    let Some(path) = &inv.obs_out else {
+        return dispatch(inv);
+    };
+    ucm_obs::install(ucm_obs::DEFAULT_CAPACITY);
+    let result = dispatch(inv);
+    let stream = ucm_obs::uninstall().unwrap_or_default();
+    if let Err(e) = std::fs::write(path, stream.to_jsonl()) {
+        // A failed command keeps its own error; the write failure only
+        // surfaces when the command itself succeeded.
+        return result.and(Err(CliError {
+            message: format!("cannot write `{path}`: {e}"),
+            code: EXIT_ERROR,
+        }));
+    }
+    result
+}
+
+fn dispatch(inv: &Invocation) -> Result<CmdOutput, CliError> {
     match inv.command.as_str() {
         "run" => cmd_run(inv),
         "compare" => cmd_compare(inv),
@@ -332,6 +406,7 @@ pub fn execute(inv: &Invocation) -> Result<CmdOutput, CliError> {
         "faults" => cmd_faults(inv),
         "timing" => cmd_timing(inv),
         "sweep" => cmd_sweep(inv),
+        "report" => cmd_report(inv),
         _ => unreachable!("parse_args validated the command"),
     }
 }
@@ -417,6 +492,182 @@ fn cmd_sweep(inv: &Invocation) -> Result<CmdOutput, CliError> {
         r#"{{"event":"sweep-timing","record_s":{:.3},"replay_s":{:.3}}}"#,
         report.timings.record.as_secs_f64(),
         report.timings.replay.as_secs_f64(),
+    );
+    Ok(CmdOutput::ok(out))
+}
+
+/// Summarises a `--obs-out` JSON-lines stream: per-phase span table,
+/// counter totals, per-worker utilisation, and (when the stream came from
+/// a sweep) the same `sweep-timing` line the sweep itself prints.
+fn cmd_report(inv: &Invocation) -> Result<CmdOutput, CliError> {
+    use std::collections::BTreeMap;
+    use ucm_bench::json::{parse, Json};
+
+    let bad = |line: usize, msg: String| CliError {
+        message: format!("invalid observability stream (line {line}): {msg}"),
+        code: EXIT_ERROR,
+    };
+
+    #[derive(Default)]
+    struct Phase {
+        count: u64,
+        total_us: u64,
+        max_us: u64,
+    }
+    let mut meta: Option<(u64, u64)> = None;
+    let mut phases: BTreeMap<String, Phase> = BTreeMap::new();
+    // counter name -> (samples, sum)
+    let mut counters: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    // worker id -> (jobs, busy_us), from `*.job` spans
+    let mut workers: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    let mut events = 0u64;
+    let mut body = 0u64;
+    for (i, line) in inv.source.lines().enumerate() {
+        let n = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| bad(n, e.to_string()))?;
+        if v.get("schema_version").and_then(Json::as_num) != Some(ucm_obs::SCHEMA_VERSION as f64) {
+            return Err(bad(
+                n,
+                format!(
+                    "unsupported schema_version (want {})",
+                    ucm_obs::SCHEMA_VERSION
+                ),
+            ));
+        }
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad(n, "missing type".into()))?;
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| bad(n, format!("missing {key}")))
+        };
+        let name = || {
+            v.get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad(n, "missing name".into()))
+        };
+        match ty {
+            "meta" => {
+                if n != 1 {
+                    return Err(bad(n, "meta must be the first line".into()));
+                }
+                meta = Some((num("records")? as u64, num("dropped")? as u64));
+            }
+            "span" => {
+                if meta.is_none() {
+                    return Err(bad(n, "missing meta line".into()));
+                }
+                body += 1;
+                let name = name()?;
+                num("t_us")?;
+                num("worker")?;
+                let dur = num("dur_us")? as u64;
+                let p = phases.entry(name.to_string()).or_default();
+                p.count += 1;
+                p.total_us += dur;
+                p.max_us = p.max_us.max(dur);
+                if name.ends_with(".job") {
+                    let w = workers.entry(num("worker")? as u64).or_default();
+                    w.0 += 1;
+                    w.1 += dur;
+                }
+            }
+            "counter" => {
+                if meta.is_none() {
+                    return Err(bad(n, "missing meta line".into()));
+                }
+                body += 1;
+                let c = counters.entry(name()?.to_string()).or_default();
+                c.0 += 1;
+                c.1 += num("value")? as u64;
+            }
+            "event" => {
+                if meta.is_none() {
+                    return Err(bad(n, "missing meta line".into()));
+                }
+                body += 1;
+                name()?;
+                events += 1;
+            }
+            other => return Err(bad(n, format!("unknown record type `{other}`"))),
+        }
+    }
+    let (records, dropped) = meta.ok_or_else(|| bad(1, "missing meta line".into()))?;
+    if records != body {
+        return Err(bad(
+            1,
+            format!("meta claims {records} records but the stream holds {body}"),
+        ));
+    }
+
+    let mut out = String::new();
+    if !phases.is_empty() {
+        let rows: Vec<Vec<String>> = phases
+            .iter()
+            .map(|(name, p)| {
+                vec![
+                    name.clone(),
+                    p.count.to_string(),
+                    format!("{:.3}", p.total_us as f64 / 1e6),
+                    format!("{:.3}", p.total_us as f64 / p.count as f64 / 1e3),
+                    format!("{:.3}", p.max_us as f64 / 1e3),
+                ]
+            })
+            .collect();
+        out.push_str(&ucm_bench::format_table(
+            &["phase", "count", "total s", "mean ms", "max ms"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    if !counters.is_empty() {
+        let rows: Vec<Vec<String>> = counters
+            .iter()
+            .map(|(name, (samples, sum))| vec![name.clone(), samples.to_string(), sum.to_string()])
+            .collect();
+        out.push_str(&ucm_bench::format_table(
+            &["counter", "samples", "total"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    if !workers.is_empty() {
+        let busy_total: u64 = workers.values().map(|w| w.1).sum();
+        let rows: Vec<Vec<String>> = workers
+            .iter()
+            .map(|(id, (jobs, busy))| {
+                vec![
+                    id.to_string(),
+                    jobs.to_string(),
+                    format!("{:.3}", *busy as f64 / 1e6),
+                    format!("{:.1}", 100.0 * *busy as f64 / busy_total.max(1) as f64),
+                ]
+            })
+            .collect();
+        out.push_str(&ucm_bench::format_table(
+            &["worker", "jobs", "busy s", "share %"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    let secs = |name: &str| phases.get(name).map(|p| p.total_us as f64 / 1e6);
+    if let (Some(record), Some(replay)) = (secs("sweep.record"), secs("sweep.replay")) {
+        let _ = writeln!(
+            out,
+            r#"{{"event":"sweep-timing","record_s":{record:.3},"replay_s":{replay:.3}}}"#,
+        );
+    }
+    let _ = writeln!(
+        out,
+        r#"{{"event":"report","schema_version":{},"records":{records},"dropped":{dropped},"spans":{},"counters":{},"events":{events}}}"#,
+        ucm_obs::SCHEMA_VERSION,
+        phases.values().map(|p| p.count).sum::<u64>(),
+        counters.values().map(|c| c.0).sum::<u64>(),
     );
     Ok(CmdOutput::ok(out))
 }
@@ -1005,6 +1256,179 @@ mod tests {
         let result = execute(&inv).unwrap();
         assert_eq!(result.code, EXIT_OK);
         assert!(result.text.contains(r#""timed":true"#));
+    }
+
+    // The obs collector is process-global; tests that install it must not
+    // overlap each other (concurrent compiles from unrelated tests merely
+    // add records, which the "contains" assertions tolerate).
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn obs_out_captures_a_stream_and_report_summarises_it() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let src = write_temp("obs_run", KERNEL);
+        let obs = std::env::temp_dir().join("ucmc_test_obs_run.jsonl");
+        let obs = obs.to_string_lossy().into_owned();
+        // --obs-out is global: here it sits between the command's own flags.
+        let inv = parse_args(&args(&["run", &src, "--obs-out", &obs, "--paper"])).unwrap();
+        assert_eq!(inv.obs_out.as_deref(), Some(obs.as_str()));
+        assert!(!inv.options.promote_scalars);
+        let out = execute(&inv).unwrap();
+        assert_eq!(out.code, EXIT_OK);
+
+        let stream = std::fs::read_to_string(&obs).unwrap();
+        let first = stream.lines().next().unwrap();
+        assert!(first.contains(r#""type":"meta""#), "{first}");
+        assert!(first.contains(r#""schema_version":1"#));
+        for name in [
+            "compile.parse",
+            "compile.lower",
+            "compile.alias_liveness",
+            "compile.regalloc",
+            "compile.codegen",
+            "vm.steps",
+            "vm.data_refs",
+        ] {
+            assert!(
+                stream.contains(&format!(r#""name":"{name}""#)),
+                "missing {name} in stream"
+            );
+        }
+
+        let inv = parse_args(&args(&["report", &obs])).unwrap();
+        let out = execute(&inv).unwrap();
+        assert_eq!(out.code, EXIT_OK);
+        assert!(out.text.contains("compile.parse"), "{}", out.text);
+        assert!(out.text.contains("vm.steps"));
+        assert!(out.text.contains(r#""event":"report""#));
+        assert!(out.text.contains(r#""dropped":0"#));
+    }
+
+    #[test]
+    fn sweep_obs_stream_reproduces_phase_timings() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let out_json = std::env::temp_dir().join("ucmc_test_sweep_obs.json");
+        let out_json = out_json.to_string_lossy().into_owned();
+        let obs = std::env::temp_dir().join("ucmc_test_sweep_obs.jsonl");
+        let obs = obs.to_string_lossy().into_owned();
+        let inv = parse_args(&args(&[
+            "sweep",
+            "--quick",
+            "--out",
+            &out_json,
+            "--obs-out",
+            &obs,
+        ]))
+        .unwrap();
+        let result = execute(&inv).unwrap();
+        assert_eq!(result.code, EXIT_OK);
+        let timing = |text: &str| {
+            let line = text
+                .lines()
+                .find(|l| l.contains(r#""event":"sweep-timing""#))
+                .expect("no sweep-timing line");
+            let v = ucm_bench::json::parse(line).unwrap();
+            (
+                v.get("record_s").unwrap().as_num().unwrap(),
+                v.get("replay_s").unwrap().as_num().unwrap(),
+            )
+        };
+        let (record, replay) = timing(&result.text);
+
+        let inv = parse_args(&args(&["report", &obs])).unwrap();
+        let report = execute(&inv).unwrap();
+        assert_eq!(report.code, EXIT_OK);
+        assert!(report.text.contains("sweep.record"), "{}", report.text);
+        assert!(report.text.contains("sweep.replay"));
+        assert!(report.text.contains("sweep.record.job"));
+        assert!(report.text.contains("worker"));
+        assert!(report.text.contains(r#""event":"report""#));
+        // The report's sweep-timing line carries the same measured phase
+        // durations the sweep printed (span timestamps are truncated to
+        // microseconds, hence the 2 ms tolerance on a {:.3} rendering).
+        let (r2, p2) = timing(&report.text);
+        assert!((record - r2).abs() < 0.002, "record {record} vs {r2}");
+        assert!((replay - p2).abs() < 0.002, "replay {replay} vs {p2}");
+    }
+
+    #[test]
+    fn report_rejects_malformed_streams() {
+        let dir = std::env::temp_dir();
+        let meta =
+            r#"{"schema_version":1,"type":"meta","generator":"ucm-obs","records":0,"dropped":0}"#;
+        let cases: &[(&str, &str, &str)] = &[
+            ("empty", "", "missing meta line"),
+            (
+                "bad_version",
+                r#"{"schema_version":2,"type":"meta","records":0,"dropped":0}"#,
+                "unsupported schema_version",
+            ),
+            (
+                "span_first",
+                r#"{"schema_version":1,"type":"span","seq":0,"worker":0,"name":"x","t_us":0,"dur_us":1}"#,
+                "missing meta line",
+            ),
+            (
+                "unknown_type",
+                &format!(
+                    "{meta}\n{}",
+                    r#"{"schema_version":1,"type":"bogus","name":"x"}"#
+                ),
+                "unknown record type",
+            ),
+            (
+                "count_mismatch",
+                &format!(
+                    "{}\n{}",
+                    r#"{"schema_version":1,"type":"meta","records":2,"dropped":0}"#,
+                    r#"{"schema_version":1,"type":"counter","seq":0,"worker":0,"name":"x","value":1}"#
+                ),
+                "claims 2 records",
+            ),
+            (
+                "not_json",
+                "not json at all",
+                "invalid observability stream",
+            ),
+        ];
+        for (name, contents, want) in cases {
+            let path = dir.join(format!("ucmc_test_report_{name}.jsonl"));
+            std::fs::write(&path, contents).unwrap();
+            let path = path.to_string_lossy().into_owned();
+            let inv = parse_args(&args(&["report", &path])).unwrap();
+            let err = execute(&inv).unwrap_err();
+            assert_eq!(err.code, EXIT_ERROR, "{name}");
+            assert!(err.message.contains(want), "{name}: {}", err.message);
+        }
+
+        // A well-formed stream with every record type passes.
+        let good = format!(
+            "{}\n{}\n{}\n{}",
+            r#"{"schema_version":1,"type":"meta","records":3,"dropped":0}"#,
+            r#"{"schema_version":1,"type":"span","seq":0,"worker":0,"name":"a.job","t_us":5,"dur_us":1000}"#,
+            r#"{"schema_version":1,"type":"counter","seq":1,"worker":0,"name":"c","value":7}"#,
+            r#"{"schema_version":1,"type":"event","seq":2,"worker":0,"name":"e"}"#,
+        );
+        let path = dir.join("ucmc_test_report_good.jsonl");
+        std::fs::write(&path, good).unwrap();
+        let path = path.to_string_lossy().into_owned();
+        let inv = parse_args(&args(&["report", &path])).unwrap();
+        let out = execute(&inv).unwrap();
+        assert!(out.text.contains("a.job"), "{}", out.text);
+        assert!(out.text.contains(r#""spans":1,"counters":1,"events":1"#));
+    }
+
+    #[test]
+    fn obs_flag_parse_errors() {
+        for bad in [
+            args(&["run", "x.mini", "--obs-out"]),
+            args(&["report"]),
+            args(&["report", "/no/such/stream.jsonl"]),
+            args(&["report", "a.jsonl", "extra"]),
+        ] {
+            let e = parse_args(&bad).unwrap_err();
+            assert_eq!(e.code, EXIT_USAGE, "{}", e.message);
+        }
     }
 
     #[test]

@@ -158,14 +158,23 @@ pub struct Compiled {
 /// Returns the first error from any stage (front end, lowering, register
 /// allocation).
 pub fn compile(src: &str, options: &CompilerOptions) -> Result<Compiled, CompileError> {
-    let checked = parse_and_check(src)?;
-    let module = lower_with(
-        &checked,
-        &LowerOptions {
-            promote_scalars: options.promote_scalars,
-        },
-    )?;
-    verify_module(&module)?;
+    // Phase spans only wrap stage boundaries — when no collector is
+    // installed each is one relaxed atomic load (see `ucm_obs`).
+    let checked = {
+        let _s = ucm_obs::span("compile.parse");
+        parse_and_check(src)?
+    };
+    let module = {
+        let _s = ucm_obs::span("compile.lower");
+        let module = lower_with(
+            &checked,
+            &LowerOptions {
+                promote_scalars: options.promote_scalars,
+            },
+        )?;
+        verify_module(&module)?;
+        module
+    };
     compile_module(module, options)
 }
 
@@ -178,13 +187,16 @@ pub fn compile_module(
     mut module: Module,
     options: &CompilerOptions,
 ) -> Result<Compiled, CompileError> {
-    if options.loop_promotion {
-        crate::promote::promote_loops(&mut module);
-        verify_module(&module)?;
-    }
-    if options.local_promotion {
-        crate::promote::promote_locals(&mut module);
-        verify_module(&module)?;
+    {
+        let _s = ucm_obs::span("compile.promote");
+        if options.loop_promotion {
+            crate::promote::promote_loops(&mut module);
+            verify_module(&module)?;
+        }
+        if options.local_promotion {
+            crate::promote::promote_locals(&mut module);
+            verify_module(&module)?;
+        }
     }
     let mut allocated = Module {
         globals: module.globals.clone(),
@@ -192,27 +204,36 @@ pub fn compile_module(
         main: module.main,
     };
     let mut assignments = Vec::with_capacity(module.funcs.len());
-    for f in &module.funcs {
-        let a = allocate(f.clone(), options.num_regs, options.strategy)?;
-        allocated.funcs.push(a.func);
-        assignments.push(a.assignment);
+    {
+        let _s = ucm_obs::span("compile.regalloc");
+        for f in &module.funcs {
+            let a = allocate(f.clone(), options.num_regs, options.strategy)?;
+            allocated.funcs.push(a.func);
+            assignments.push(a.assignment);
+        }
+        verify_module(&allocated)?;
     }
-    verify_module(&allocated)?;
-    let annotations = Annotations::compute(&allocated, options.mode);
-    let program = codegen(
-        &allocated,
-        &assignments,
-        &annotations,
-        &CodegenConfig {
-            num_regs: options.num_regs,
-            synth: match options.mode {
-                ManagementMode::Unified => SynthTags::Unified,
-                ManagementMode::Conventional => SynthTags::Plain,
-                ManagementMode::Safe => SynthTags::Safe,
+    let annotations = {
+        let _s = ucm_obs::span("compile.alias_liveness");
+        Annotations::compute(&allocated, options.mode)
+    };
+    let program = {
+        let _s = ucm_obs::span("compile.codegen");
+        codegen(
+            &allocated,
+            &assignments,
+            &annotations,
+            &CodegenConfig {
+                num_regs: options.num_regs,
+                synth: match options.mode {
+                    ManagementMode::Unified => SynthTags::Unified,
+                    ManagementMode::Conventional => SynthTags::Plain,
+                    ManagementMode::Safe => SynthTags::Safe,
+                },
+                globals_base: options.globals_base,
             },
-            globals_base: options.globals_base,
-        },
-    )?;
+        )?
+    };
     Ok(Compiled {
         program,
         annotations,

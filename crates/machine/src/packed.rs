@@ -29,7 +29,11 @@
 //!
 //! The VM validates every address against its (word-addressed) memory
 //! before the sink sees it, so addresses are non-negative and far below
-//! 2^57; [`PackedTrace::push_event`] debug-asserts the invariant.
+//! 2^57. [`PackedTrace::push_event`] still enforces the invariant in
+//! every build profile: an out-of-range address shifted into the word
+//! would silently overwrite the tag bits, corrupting the trace (and
+//! everything replayed from it) with no error — so encoding panics
+//! instead, in release builds too.
 
 use crate::isa::{Flavour, MemTag};
 use crate::trace::{MemEvent, TraceSink};
@@ -39,6 +43,14 @@ use crate::trace::{MemEvent, TraceSink};
 const ADDR_SHIFT: u32 = 7;
 /// Kind bit: `0` = data reference, `1` = frame-exit sentinel.
 const KIND_SENTINEL: u64 = 1;
+
+/// Out-of-line panic for encoding-range violations, keeping the checked
+/// fast path to one compare-and-branch.
+#[cold]
+#[inline(never)]
+fn encoding_overflow(what: &str, value: i64) -> ! {
+    panic!("{what} {value} does not fit the packed encoding (57-bit unsigned)");
+}
 
 fn flavour_code(f: Flavour) -> u64 {
     match f {
@@ -138,13 +150,19 @@ impl PackedTrace {
     }
 
     /// Appends one data reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in every build profile — if the address is negative or
+    /// ≥ 2^57. Masking it instead would corrupt the tag bits of the
+    /// packed word and poison every replay of the trace.
     #[inline]
     pub fn push_event(&mut self, ev: MemEvent) {
-        debug_assert!(
-            (0..1 << (64 - ADDR_SHIFT)).contains(&ev.addr),
-            "address {} does not fit the packed encoding",
-            ev.addr
-        );
+        // A negative address casts to a u64 with high bits set, so one
+        // shift covers both out-of-range directions.
+        if (ev.addr as u64) >> (64 - ADDR_SHIFT) != 0 {
+            encoding_overflow("address", ev.addr);
+        }
         let word = ((ev.addr as u64) << ADDR_SHIFT)
             | (u64::from(ev.is_write) << 1)
             | (flavour_code(ev.tag.flavour) << 2)
@@ -155,12 +173,21 @@ impl PackedTrace {
     }
 
     /// Appends one frame-exit range.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in every build profile — if `lo` is negative or ≥ 2^57,
+    /// or `hi` is negative (same rationale as [`push_event`]).
+    ///
+    /// [`push_event`]: PackedTrace::push_event
     #[inline]
     pub fn push_frame_exit(&mut self, lo: i64, hi: i64) {
-        debug_assert!(
-            (0..1 << (64 - ADDR_SHIFT)).contains(&lo) && hi >= 0,
-            "frame range [{lo}, {hi}) does not fit the packed encoding"
-        );
+        if (lo as u64) >> (64 - ADDR_SHIFT) != 0 {
+            encoding_overflow("frame-exit lo", lo);
+        }
+        if hi < 0 {
+            encoding_overflow("frame-exit hi", hi);
+        }
         self.words.push(((lo as u64) << ADDR_SHIFT) | KIND_SENTINEL);
         self.words.push(hi as u64);
         self.frame_exits += 1;
@@ -404,6 +431,50 @@ mod tests {
                 TraceRecord::Event(ev(11, true, Flavour::Plain, false, true)),
             ]
         );
+    }
+
+    // Regression tests for the release-mode corruption bug: these checks
+    // used to be debug_assert!s, so `--release` builds silently folded
+    // out-of-range addresses into the tag bits. They must panic in every
+    // profile — the CI release-test job runs them with debug assertions
+    // off.
+    #[test]
+    #[should_panic(expected = "does not fit the packed encoding")]
+    fn negative_address_is_rejected_in_release_too() {
+        let mut t = PackedTrace::new();
+        t.push_event(ev(-1, false, Flavour::Plain, false, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit the packed encoding")]
+    fn oversized_address_is_rejected_in_release_too() {
+        let mut t = PackedTrace::new();
+        t.push_event(ev(1 << 57, true, Flavour::UmAmStore, true, true));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit the packed encoding")]
+    fn bad_frame_exit_is_rejected_in_release_too() {
+        let mut t = PackedTrace::new();
+        t.push_frame_exit(-8, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit the packed encoding")]
+    fn negative_frame_exit_hi_is_rejected_in_release_too() {
+        let mut t = PackedTrace::new();
+        t.push_frame_exit(8, -1);
+    }
+
+    #[test]
+    fn boundary_addresses_encode_without_panicking() {
+        let mut t = PackedTrace::new();
+        t.push_event(ev((1 << 57) - 1, false, Flavour::Plain, false, false));
+        t.push_event(ev(0, false, Flavour::Plain, false, false));
+        t.push_frame_exit((1 << 57) - 1, i64::MAX);
+        t.push_frame_exit(0, 0);
+        assert_eq!(t.events(), 2);
+        assert_eq!(t.frame_exits(), 2);
     }
 
     #[test]

@@ -304,6 +304,14 @@ impl<S: TraceSink + ?Sized> Vm<'_, S> {
                         pc = p;
                     }
                     None => {
+                        // Summary counters, not per-instruction events:
+                        // the interpreter loop itself stays untouched and
+                        // a disabled collector costs one atomic load per
+                        // completed run.
+                        if ucm_obs::enabled() {
+                            ucm_obs::counter("vm.steps", self.steps);
+                            ucm_obs::counter("vm.data_refs", self.data_refs);
+                        }
                         return Ok(VmOutcome {
                             output: self.output,
                             steps: self.steps,

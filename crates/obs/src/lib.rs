@@ -1,0 +1,566 @@
+//! # ucm-obs — structured observability
+//!
+//! One subsystem for every timing and counter stream in the workspace:
+//! phase **spans** (wall-clock intervals with key=value fields),
+//! monotonic **counters**, and free-form **events**, collected into a
+//! thread-safe bounded ring buffer and serialised as a schema-versioned
+//! JSON-lines stream (`ucmc --obs-out FILE`, summarised by `ucmc report`).
+//!
+//! ## Zero cost when disabled
+//!
+//! Nothing is collected unless [`install`] has been called. Every
+//! recording entry point first reads one relaxed [`AtomicBool`]; when it
+//! is `false` the call returns immediately — no allocation, no clock
+//! read, no lock. Instrumented hot paths therefore pay one predictable
+//! branch, which is why the committed `BENCH_sweep.json` stays
+//! byte-identical and the sweep wall clock is unchanged with the
+//! collector absent. (The artifact never contains observability data
+//! even when the collector is installed; the stream is a separate file.)
+//!
+//! ## Stream schema (version 1)
+//!
+//! One JSON object per line, every line carrying
+//! `"schema_version": 1` and a `"type"`:
+//!
+//! ```text
+//! meta     {"schema_version":1,"type":"meta","generator":"ucm-obs",
+//!           "records":N,"dropped":D}              (first line, exactly once)
+//! span     {...,"type":"span","seq":S,"worker":W,"name":"sweep.record",
+//!           "t_us":T,"dur_us":D,"fields":{...}}
+//! counter  {...,"type":"counter","seq":S,"worker":W,"name":"vm.steps",
+//!           "value":V,"fields":{...}}
+//! event    {...,"type":"event","seq":S,"worker":W,"name":"...","fields":{...}}
+//! ```
+//!
+//! `t_us` is microseconds since [`install`] (monotonic, per-process —
+//! never a wall-clock timestamp), `dur_us` the span's duration, `seq` a
+//! global record sequence number, and `worker` a small integer naming
+//! the recording thread (assigned on first use). When the bounded ring
+//! overflows, the *oldest* records are discarded and the meta line's
+//! `dropped` count says how many.
+//!
+//! ```rust
+//! ucm_obs::install(ucm_obs::DEFAULT_CAPACITY);
+//! {
+//!     let _s = ucm_obs::span("compile.parse").with("workload", "sieve");
+//!     // ... work ...
+//! }
+//! ucm_obs::counter("vm.steps", 1234);
+//! let stream = ucm_obs::uninstall().unwrap();
+//! assert_eq!(stream.records.len(), 2);
+//! assert!(stream.to_jsonl().starts_with("{\"schema_version\":1,\"type\":\"meta\""));
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Version stamped on every line of the JSON stream. Bump on any change
+/// to record layout or field meaning.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default ring-buffer capacity (records) for [`install`].
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// A field value attached to a record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+macro_rules! value_from {
+    ($($ty:ty => $variant:ident as $target:ty),+ $(,)?) => {
+        $(impl From<$ty> for Value {
+            fn from(v: $ty) -> Self {
+                Value::$variant(v as $target)
+            }
+        })+
+    };
+}
+
+value_from!(
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    usize => U64 as u64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    f64 => F64 as f64,
+);
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Key=value pairs attached to a record. Keys are static so call sites
+/// never allocate for them.
+pub type Fields = Vec<(&'static str, Value)>;
+
+/// What a record measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordKind {
+    /// A wall-clock interval: start (µs since install) and duration.
+    Span {
+        /// Microseconds from [`install`] to the span's start.
+        t_us: u64,
+        /// The span's duration in microseconds.
+        dur_us: u64,
+    },
+    /// A monotonic counter observation.
+    Counter {
+        /// The counter value.
+        value: u64,
+    },
+    /// A point event.
+    Event,
+}
+
+/// One collected record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Global sequence number (collection order).
+    pub seq: u64,
+    /// Small integer naming the recording thread.
+    pub worker: u64,
+    /// Record name (dotted, e.g. `sweep.record`).
+    pub name: &'static str,
+    /// Span / counter / event payload.
+    pub kind: RecordKind,
+    /// Attached key=value fields.
+    pub fields: Fields,
+}
+
+/// A drained stream: the surviving records plus how many the bounded
+/// ring discarded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stream {
+    /// Records in collection order.
+    pub records: Vec<Record>,
+    /// Oldest records discarded by the ring buffer.
+    pub dropped: u64,
+}
+
+struct Collector {
+    epoch: Instant,
+    buf: VecDeque<Record>,
+    capacity: usize,
+    dropped: u64,
+    seq: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static COLLECTOR: Mutex<Option<Collector>> = Mutex::new(None);
+static NEXT_WORKER: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static WORKER: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The calling thread's stable worker id (assigned on first use).
+pub fn worker_id() -> u64 {
+    WORKER.with(|w| {
+        let mut id = w.get();
+        if id == 0 {
+            id = NEXT_WORKER.fetch_add(1, Ordering::Relaxed);
+            w.set(id);
+        }
+        id
+    })
+}
+
+/// Whether a collector is installed. One relaxed atomic load — this is
+/// the fast path every instrumentation site checks first.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a fresh collector with room for `capacity` records,
+/// replacing (and discarding) any existing one. Record timestamps are
+/// relative to this call.
+pub fn install(capacity: usize) {
+    let mut g = COLLECTOR.lock().unwrap();
+    *g = Some(Collector {
+        epoch: Instant::now(),
+        buf: VecDeque::with_capacity(capacity.min(1024)),
+        capacity: capacity.max(1),
+        dropped: 0,
+        seq: 0,
+    });
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disables collection and returns everything collected since
+/// [`install`], or `None` if no collector was installed.
+pub fn uninstall() -> Option<Stream> {
+    let mut g = COLLECTOR.lock().unwrap();
+    ENABLED.store(false, Ordering::Relaxed);
+    g.take().map(|c| Stream {
+        records: c.buf.into(),
+        dropped: c.dropped,
+    })
+}
+
+fn push(name: &'static str, kind_of: impl FnOnce(Instant) -> RecordKind, fields: Fields) {
+    let worker = worker_id();
+    let mut g = COLLECTOR.lock().unwrap();
+    let Some(c) = g.as_mut() else { return };
+    let kind = kind_of(c.epoch);
+    if c.buf.len() == c.capacity {
+        c.buf.pop_front();
+        c.dropped += 1;
+    }
+    let seq = c.seq;
+    c.seq += 1;
+    c.buf.push_back(Record {
+        seq,
+        worker,
+        name,
+        kind,
+        fields,
+    });
+}
+
+fn rel_us(epoch: Instant, t: Instant) -> u64 {
+    t.saturating_duration_since(epoch).as_micros() as u64
+}
+
+/// Records a counter observation.
+#[inline]
+pub fn counter(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    push(name, |_| RecordKind::Counter { value }, Vec::new());
+}
+
+/// Records a counter observation with fields.
+#[inline]
+pub fn counter_with(name: &'static str, value: u64, fields: Fields) {
+    if !enabled() {
+        return;
+    }
+    push(name, |_| RecordKind::Counter { value }, fields);
+}
+
+/// Records a point event with fields.
+#[inline]
+pub fn event(name: &'static str, fields: Fields) {
+    if !enabled() {
+        return;
+    }
+    push(name, |_| RecordKind::Event, fields);
+}
+
+/// Records a span whose interval was measured by the caller — used when
+/// an existing measurement (e.g. the sweep's phase timings) must appear
+/// in the stream exactly as reported elsewhere.
+#[inline]
+pub fn span_measured(name: &'static str, start: Instant, took: Duration) {
+    if !enabled() {
+        return;
+    }
+    push(
+        name,
+        |epoch| RecordKind::Span {
+            t_us: rel_us(epoch, start),
+            dur_us: took.as_micros() as u64,
+        },
+        Vec::new(),
+    );
+}
+
+/// Starts a span; the record is collected when the guard drops. When
+/// collection is disabled the guard is inert and [`SpanGuard::with`]
+/// discards its arguments without converting them.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    SpanGuard {
+        active: Some(SpanData {
+            name,
+            start: Instant::now(),
+            fields: Vec::new(),
+        }),
+    }
+}
+
+struct SpanData {
+    name: &'static str,
+    start: Instant,
+    fields: Fields,
+}
+
+/// Live span handle returned by [`span`]; records on drop.
+pub struct SpanGuard {
+    active: Option<SpanData>,
+}
+
+impl SpanGuard {
+    /// Attaches a field. `value` is only converted when the span is
+    /// live, so disabled call sites pay nothing for it.
+    pub fn with<V: Into<Value>>(mut self, key: &'static str, value: V) -> Self {
+        if let Some(d) = &mut self.active {
+            d.fields.push((key, value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(d) = self.active.take() {
+            let took = d.start.elapsed();
+            let start = d.start;
+            push(
+                d.name,
+                |epoch| RecordKind::Span {
+                    t_us: rel_us(epoch, start),
+                    dur_us: took.as_micros() as u64,
+                },
+                d.fields,
+            );
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn value_into(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) if x.is_finite() => out.push_str(&format!("{x}")),
+        Value::F64(_) => out.push_str("null"),
+        Value::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+impl Stream {
+    /// Serialises the stream: a meta line, then one line per record in
+    /// collection order. Every line carries [`SCHEMA_VERSION`].
+    pub fn to_jsonl(&self) -> String {
+        let mut o = String::with_capacity(128 * (self.records.len() + 1));
+        o.push_str(&format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"type\":\"meta\",\
+             \"generator\":\"ucm-obs\",\"records\":{},\"dropped\":{}}}\n",
+            self.records.len(),
+            self.dropped
+        ));
+        for r in &self.records {
+            o.push_str(&format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"type\":\"{}\",\"seq\":{},\"worker\":{}",
+                match r.kind {
+                    RecordKind::Span { .. } => "span",
+                    RecordKind::Counter { .. } => "counter",
+                    RecordKind::Event => "event",
+                },
+                r.seq,
+                r.worker
+            ));
+            o.push_str(",\"name\":\"");
+            escape_into(&mut o, r.name);
+            o.push('"');
+            match r.kind {
+                RecordKind::Span { t_us, dur_us } => {
+                    o.push_str(&format!(",\"t_us\":{t_us},\"dur_us\":{dur_us}"));
+                }
+                RecordKind::Counter { value } => {
+                    o.push_str(&format!(",\"value\":{value}"));
+                }
+                RecordKind::Event => {}
+            }
+            o.push_str(",\"fields\":{");
+            for (i, (k, v)) in r.fields.iter().enumerate() {
+                if i > 0 {
+                    o.push(',');
+                }
+                o.push('"');
+                escape_into(&mut o, k);
+                o.push_str("\":");
+                value_into(&mut o, v);
+            }
+            o.push_str("}}\n");
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is process-global; tests that install it must not
+    // overlap.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_collection_records_nothing() {
+        let _g = locked();
+        assert!(uninstall().is_none());
+        counter("x", 1);
+        event("y", vec![("k", Value::U64(1))]);
+        {
+            let _s = span("z").with("k", "v");
+        }
+        assert!(!enabled());
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn spans_counters_and_events_collect_in_order() {
+        let _g = locked();
+        install(DEFAULT_CAPACITY);
+        {
+            let _s = span("phase.a").with("workload", "sieve").with("n", 3u64);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        counter("vm.steps", 42);
+        event("note", Vec::new());
+        let s = uninstall().unwrap();
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.records.len(), 3);
+        assert_eq!(s.records[0].name, "phase.a");
+        match s.records[0].kind {
+            RecordKind::Span { dur_us, .. } => assert!(dur_us >= 2_000, "{dur_us}"),
+            ref k => panic!("expected span, got {k:?}"),
+        }
+        assert_eq!(
+            s.records[0].fields,
+            vec![
+                ("workload", Value::Str("sieve".into())),
+                ("n", Value::U64(3)),
+            ]
+        );
+        assert_eq!(s.records[1].kind, RecordKind::Counter { value: 42 });
+        assert_eq!(s.records[2].kind, RecordKind::Event);
+        // Sequence numbers are collection order.
+        assert_eq!(
+            s.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let _g = locked();
+        install(4);
+        for i in 0..10 {
+            counter("c", i);
+        }
+        let s = uninstall().unwrap();
+        assert_eq!(s.records.len(), 4);
+        assert_eq!(s.dropped, 6);
+        // The survivors are the newest records.
+        assert_eq!(s.records[0].kind, RecordKind::Counter { value: 6 });
+        assert_eq!(s.records[3].kind, RecordKind::Counter { value: 9 });
+        assert_eq!(s.records[3].seq, 9);
+    }
+
+    #[test]
+    fn measured_spans_carry_the_given_duration() {
+        let _g = locked();
+        install(DEFAULT_CAPACITY);
+        let start = Instant::now();
+        span_measured("sweep.record", start, Duration::from_micros(1234));
+        let s = uninstall().unwrap();
+        match s.records[0].kind {
+            RecordKind::Span { dur_us, .. } => assert_eq!(dur_us, 1234),
+            ref k => panic!("expected span, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn jsonl_stream_is_line_structured_and_escaped() {
+        let _g = locked();
+        install(DEFAULT_CAPACITY);
+        counter_with(
+            "timing.total_cycles",
+            900,
+            vec![("label", Value::Str("a\"b\\c\nd".into()))],
+        );
+        {
+            let _s = span("phase").with("f", 1.5f64);
+        }
+        let s = uninstall().unwrap();
+        let text = s.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"type\":\"meta\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"records\":2"));
+        assert!(lines[0].contains("\"dropped\":0"));
+        assert!(
+            lines[1].contains("\"value\":900") && lines[1].contains("a\\\"b\\\\c\\nd"),
+            "{}",
+            lines[1]
+        );
+        assert!(
+            lines[2].contains("\"dur_us\":") && lines[2].contains("\"f\":1.5"),
+            "{}",
+            lines[2]
+        );
+        for l in &lines {
+            assert!(l.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},")));
+        }
+    }
+
+    #[test]
+    fn worker_ids_are_stable_per_thread_and_distinct() {
+        let a = worker_id();
+        assert_eq!(a, worker_id());
+        let b = std::thread::spawn(worker_id).join().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn install_replaces_and_resets() {
+        let _g = locked();
+        install(DEFAULT_CAPACITY);
+        counter("old", 1);
+        install(DEFAULT_CAPACITY);
+        counter("new", 2);
+        let s = uninstall().unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0].name, "new");
+        assert_eq!(s.records[0].seq, 0);
+    }
+}

@@ -422,7 +422,7 @@ impl TimingSim {
             }
             self.pop_drained();
         }
-        TimingReport {
+        let report = TimingReport {
             total_cycles: compute_done.max(self.bus_free),
             steps,
             refs: self.refs,
@@ -435,7 +435,18 @@ impl TimingSim {
             drained_words: self.drained_words,
             wb_peak: self.wb_peak,
             pending_writes: self.wb.len(),
+        };
+        // One summary emission per simulated run (never per event); a
+        // disabled collector costs a single atomic load here.
+        if ucm_obs::enabled() {
+            ucm_obs::counter("timing.total_cycles", report.total_cycles);
+            ucm_obs::counter("timing.bus_busy_cycles", report.bus_busy_cycles);
+            ucm_obs::counter("timing.read_stall_cycles", report.read_stall_cycles);
+            ucm_obs::counter("timing.write_stall_cycles", report.write_stall_cycles);
+            ucm_obs::counter("timing.hazard_stall_cycles", report.hazard_stall_cycles);
+            ucm_obs::counter("timing.drained_words", report.drained_words);
         }
+        report
     }
 }
 
