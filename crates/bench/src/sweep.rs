@@ -147,7 +147,15 @@ impl SweepConfig {
     pub fn full() -> Self {
         SweepConfig {
             suite: "sweep".into(),
-            workloads: ucm_workloads::sweep_suite(),
+            // The committed fuzz corpus rides along *after* the six
+            // benchmarks: the workload axis is the outermost grid loop,
+            // so appending keeps every pre-existing trace and cell of
+            // the artifact byte-identical when the corpus grows.
+            workloads: {
+                let mut w = ucm_workloads::sweep_suite();
+                w.extend(ucm_workloads::fuzz_corpus());
+                w
+            },
             codegens: vec![Codegen::Paper, Codegen::Modern],
             modes: vec![
                 ManagementMode::Unified,

@@ -13,6 +13,8 @@
 //! ucmc timing <file.mini>    cycle-level report: all three modes priced
 //! ucmc sweep                 parallel grid sweep -> BENCH_sweep.json + table
 //! ucmc report <obs.jsonl>    summarise a captured observability stream
+//! ucmc fuzz                  differential fuzzing batch (JSON lines)
+//! ucmc shrink <file.mini>    minimize a failing program, keep its failure
 //! ```
 //!
 //! Every command additionally accepts the global `--obs-out FILE` flag:
@@ -38,6 +40,20 @@
 //! (write-buffer depth, 0 = no buffer), `--hit-cycles N`, `--mem-cycles N`
 //! (per-word memory time).
 //!
+//! `fuzz` takes no source file; its flags are `--seed N` (batch seed),
+//! `--count N` (programs to generate and check, default 256), `--out DIR`
+//! (write each failure's reproducer `.mini` + `.json` report — and a
+//! minimized `.min.mini` for the first failure — into `DIR`), `--emit SEED`
+//! (print the generated program for `SEED` and exit; corpus promotion),
+//! plus the cache-geometry and VM-budget flags above. Budget exhaustion
+//! skips a program; any differential or coherence failure exits 3.
+//!
+//! `shrink` minimizes `<file.mini>` while preserving its oracle failure
+//! classification; `--inject` instead preserves "breaks coherence under
+//! the seeded [`ucm_core::faults::desync_stores`] fault" (for exercising
+//! the minimizer on a healthy compiler), and `--min-out PATH` writes the
+//! minimized program to `PATH`.
+//!
 //! `sweep` takes no source file; its flags are `--out PATH` (default
 //! `BENCH_sweep.json`), `--quick` (the reduced CI grid), `--paper-sizes`
 //! (full paper-size workloads — slow and memory-hungry), `--seed N`
@@ -54,7 +70,7 @@
 //! | 0    | success (for `check`: coherent; for `faults`: campaign ran) |
 //! | 1    | compile or runtime failure |
 //! | 2    | usage error (bad command, flag, or file) |
-//! | 3    | coherence violation (`check` found one, or a `faults` baseline was incoherent) |
+//! | 3    | coherence violation (`check` found one, a `faults` baseline was incoherent, or `fuzz` found a failure) |
 //!
 //! The command logic lives in this library (returning the rendered output
 //! and exit code) so it is unit-testable; `main.rs` is a thin wrapper.
@@ -131,6 +147,21 @@ impl CmdOutput {
     }
 }
 
+/// Options of the `fuzz` and `shrink` commands.
+#[derive(Debug, Clone, Default)]
+struct FuzzOpts {
+    /// Programs per `fuzz` batch.
+    count: usize,
+    /// `fuzz --emit SEED`: print one generated program and exit.
+    emit: Option<u64>,
+    /// `fuzz --out DIR`: reproducer directory for failures.
+    dir: Option<String>,
+    /// `shrink --inject`: minimize against the seeded store-desync fault.
+    inject: bool,
+    /// `shrink --min-out PATH`: write the minimized program here.
+    min_out: Option<String>,
+}
+
 /// Options of the file-less `sweep` command.
 #[derive(Debug, Clone, Default)]
 struct SweepOpts {
@@ -156,6 +187,7 @@ pub struct Invocation {
     kinds: Vec<FaultKind>,
     timing: TimingConfig,
     sweep: SweepOpts,
+    fuzz: FuzzOpts,
     obs_out: Option<String>,
 }
 
@@ -170,6 +202,9 @@ pub const USAGE: &str = "usage: ucmc <run|compare|ir|classify|trace|check|faults
 \x20      ucmc sweep [--out PATH] [--quick] [--paper-sizes] [--seed N] \
 [--timing] [--jobs N] [--validate FILE]\n\
 \x20      ucmc report <obs.jsonl>\n\
+\x20      ucmc fuzz [--seed N] [--count N] [--out DIR] [--emit SEED] \
+[--max-steps N] [--mem-words N] [--cache-words N] [--line-words N] [--ways N]\n\
+\x20      ucmc shrink <file.mini> [--inject] [--min-out PATH] [budget/cache flags]\n\
 \x20      any command also accepts the global --obs-out FILE flag";
 
 /// Parses arguments (excluding `argv0`) and reads the source file.
@@ -197,7 +232,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
     let mut it = args.iter();
     let command = it.next().ok_or_else(|| err("missing command"))?.clone();
     if ![
-        "run", "compare", "ir", "classify", "trace", "check", "faults", "timing", "sweep", "report",
+        "run", "compare", "ir", "classify", "trace", "check", "faults", "timing", "sweep",
+        "report", "fuzz", "shrink",
     ]
     .contains(&command.as_str())
     {
@@ -205,6 +241,11 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
     }
     if command == "sweep" {
         let mut inv = parse_sweep_args(command, it, err)?;
+        inv.obs_out = obs_out;
+        return Ok(inv);
+    }
+    if command == "fuzz" {
+        let mut inv = parse_fuzz_args(command, it, err)?;
         inv.obs_out = obs_out;
         return Ok(inv);
     }
@@ -228,19 +269,34 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
             kinds: Vec::new(),
             timing: TimingConfig::default(),
             sweep: SweepOpts::default(),
+            fuzz: FuzzOpts::default(),
             obs_out,
         });
     }
     let path = it.next().ok_or_else(|| err("missing source file"))?;
     let source =
         std::fs::read_to_string(path).map_err(|e| err(&format!("cannot read `{path}`: {e}")))?;
+    // An empty (or all-whitespace) file is a bad *input*, not a bad
+    // program: report it as a usage error with the offending path instead
+    // of letting the parser produce an opaque unexpected-EOF compile error.
+    if source.trim().is_empty() {
+        return Err(err(&format!("`{path}` is empty: expected a Mini program")));
+    }
     let mut options = CompilerOptions::default();
     let mut cache = CacheConfig::default();
     let mut vm = VmConfig::default();
+    if command == "shrink" {
+        // Shrink candidates can loop forever (deleting a loop's step
+        // statement is a legal mutation), so the default budgets are the
+        // fuzzer's, not the VM's; --max-steps / --mem-words still override.
+        vm.max_steps = 2_000_000;
+        vm.mem_words = 1 << 16;
+    }
     let mut limit = 20usize;
     let mut seed = 1u64;
     let mut kinds: Vec<FaultKind> = Vec::new();
     let mut timing = TimingConfig::default();
+    let mut fuzz = FuzzOpts::default();
     while let Some(flag) = it.next() {
         let mut number = |what: &str| -> Result<usize, CliError> {
             it.next()
@@ -270,6 +326,22 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
             "--wb-entries" => timing.write_buffer_entries = number("--wb-entries")?,
             "--hit-cycles" => timing.hit_cycles = number("--hit-cycles")? as u64,
             "--mem-cycles" => timing.mem_word_cycles = number("--mem-cycles")? as u64,
+            "--inject" => {
+                if command != "shrink" {
+                    return Err(err("--inject is a `shrink` flag"));
+                }
+                fuzz.inject = true;
+            }
+            "--min-out" => {
+                if command != "shrink" {
+                    return Err(err("--min-out is a `shrink` flag"));
+                }
+                fuzz.min_out = Some(
+                    it.next()
+                        .ok_or_else(|| err("--min-out needs a path"))?
+                        .clone(),
+                );
+            }
             "--flip-bypass" => kinds.push(FaultKind::FlipBypass),
             "--drop-last-ref" => kinds.push(FaultKind::DropLastRef),
             "--forge-last-ref" => kinds.push(FaultKind::ForgeLastRef),
@@ -298,7 +370,74 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
         kinds,
         timing,
         sweep: SweepOpts::default(),
+        fuzz,
         obs_out,
+    })
+}
+
+/// Parses the tail of a `fuzz` invocation (which takes no source file).
+fn parse_fuzz_args(
+    command: String,
+    mut it: std::slice::Iter<'_, String>,
+    err: impl Fn(&str) -> CliError,
+) -> Result<Invocation, CliError> {
+    let mut fuzz = FuzzOpts {
+        count: 256,
+        ..FuzzOpts::default()
+    };
+    let mut seed = 0u64;
+    let mut cache = CacheConfig::default();
+    // Fuzzing budgets, not interactive-run budgets: generated programs
+    // are bounded by construction, so exhaustion means "too big", which
+    // the oracle treats as a benign skip.
+    let mut vm = VmConfig {
+        max_steps: 2_000_000,
+        mem_words: 1 << 16,
+        ..VmConfig::default()
+    };
+    while let Some(flag) = it.next() {
+        let mut number = |what: &str| -> Result<usize, CliError> {
+            it.next()
+                .ok_or_else(|| err(&format!("{what} needs a value")))?
+                .parse::<usize>()
+                .map_err(|_| err(&format!("{what} needs a number")))
+        };
+        match flag.as_str() {
+            "--seed" => seed = number("--seed")? as u64,
+            "--count" => {
+                fuzz.count = number("--count")?;
+                if fuzz.count == 0 {
+                    return Err(err("--count needs at least one program"));
+                }
+            }
+            "--emit" => fuzz.emit = Some(number("--emit")? as u64),
+            "--out" => {
+                fuzz.dir = Some(it.next().ok_or_else(|| err("--out needs a path"))?.clone());
+            }
+            "--max-steps" => vm.max_steps = number("--max-steps")? as u64,
+            "--mem-words" => vm.mem_words = number("--mem-words")?,
+            "--cache-words" => cache.size_words = number("--cache-words")?,
+            "--line-words" => cache.line_words = number("--line-words")?,
+            "--ways" => cache.associativity = number("--ways")?,
+            other => return Err(err(&format!("unknown fuzz flag `{other}`"))),
+        }
+    }
+    cache
+        .validate()
+        .map_err(|e| err(&format!("bad cache geometry: {e}")))?;
+    Ok(Invocation {
+        command,
+        source: String::new(),
+        options: CompilerOptions::default(),
+        cache,
+        vm,
+        limit: 20,
+        seed,
+        kinds: Vec::new(),
+        timing: TimingConfig::default(),
+        sweep: SweepOpts::default(),
+        fuzz,
+        obs_out: None,
     })
 }
 
@@ -363,6 +502,7 @@ fn parse_sweep_args(
         kinds: Vec::new(),
         timing: TimingConfig::default(),
         sweep,
+        fuzz: FuzzOpts::default(),
         obs_out: None,
     })
 }
@@ -407,8 +547,178 @@ fn dispatch(inv: &Invocation) -> Result<CmdOutput, CliError> {
         "timing" => cmd_timing(inv),
         "sweep" => cmd_sweep(inv),
         "report" => cmd_report(inv),
+        "fuzz" => cmd_fuzz(inv),
+        "shrink" => cmd_shrink(inv),
         _ => unreachable!("parse_args validated the command"),
     }
+}
+
+/// Minimal JSON string escaping for the compact single-line events.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn cmd_fuzz(inv: &Invocation) -> Result<CmdOutput, CliError> {
+    use ucm_fuzz::{generate_source, run_batch, shrink, BatchConfig, CheckConfig};
+
+    // Corpus promotion: print one generated program and stop.
+    if let Some(seed) = inv.fuzz.emit {
+        return Ok(CmdOutput::ok(generate_source(seed)));
+    }
+
+    let check = CheckConfig {
+        max_steps: inv.vm.max_steps,
+        mem_words: inv.vm.mem_words,
+        cache: inv.cache,
+    };
+    let cfg = BatchConfig {
+        seed: inv.seed,
+        count: inv.fuzz.count,
+        check: check.clone(),
+    };
+    let report = run_batch(&cfg);
+
+    let mut out = String::new();
+    for (seed, _, failure) in &report.failures {
+        let _ = writeln!(
+            out,
+            r#"{{"event":"fuzz-failure","seed":{seed},"kind":"{}","detail":"{}"}}"#,
+            failure.kind,
+            json_escape(&failure.detail),
+        );
+    }
+
+    // Reproducer artifacts, for CI upload and offline triage: the failing
+    // source, the structured report, and (for the first failure) a
+    // minimized reproducer preserving the failure classification.
+    if let (Some(dir), false) = (&inv.fuzz.dir, report.failures.is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| CliError {
+            message: format!("cannot create `{dir}`: {e}"),
+            code: EXIT_ERROR,
+        })?;
+        let write = |path: &str, data: &str| -> Result<(), CliError> {
+            std::fs::write(path, data).map_err(|e| CliError {
+                message: format!("cannot write `{path}`: {e}"),
+                code: EXIT_ERROR,
+            })
+        };
+        for (i, (seed, source, failure)) in report.failures.iter().enumerate() {
+            write(&format!("{dir}/seed_{seed}.mini"), source)?;
+            write(
+                &format!("{dir}/seed_{seed}.json"),
+                &failure.to_json(Some(*seed), source),
+            )?;
+            if i == 0 {
+                let kind = failure.kind;
+                if let Ok(min) = shrink(source, |cand| {
+                    ucm_fuzz::check_source(cand, &check).failure_kind() == Some(kind)
+                }) {
+                    write(&format!("{dir}/seed_{seed}.min.mini"), &min.source)?;
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            r#"{{"event":"fuzz-artifacts","dir":"{}","failures":{}}}"#,
+            json_escape(dir),
+            report.failures.len(),
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        r#"{{"event":"fuzz","seed":{},"count":{},"passed":{},"skipped":{},"failures":{}}}"#,
+        report.seed,
+        report.total(),
+        report.passed,
+        report.skipped,
+        report.failures.len(),
+    );
+    Ok(CmdOutput {
+        text: out,
+        code: if report.failures.is_empty() {
+            EXIT_OK
+        } else {
+            EXIT_INCOHERENT
+        },
+    })
+}
+
+fn cmd_shrink(inv: &Invocation) -> Result<CmdOutput, CliError> {
+    use ucm_fuzz::{check_source, seeded_fault_fires, shrink, CheckConfig};
+
+    let check = CheckConfig {
+        max_steps: inv.vm.max_steps,
+        mem_words: inv.vm.mem_words,
+        cache: inv.cache,
+    };
+    let outcome = if inv.fuzz.inject {
+        if !seeded_fault_fires(&inv.source, &check) {
+            return Err(CliError {
+                message: "the program does not reproduce the injected store-desync fault \
+                          (no store→reload pair survives compilation)"
+                    .into(),
+                code: EXIT_ERROR,
+            });
+        }
+        shrink(&inv.source, |cand| seeded_fault_fires(cand, &check))
+    } else {
+        let Some(kind) = check_source(&inv.source, &check).failure_kind() else {
+            return Err(CliError {
+                message: "the program passes the differential oracle; nothing to shrink \
+                          (use --inject to minimize against the seeded store-desync fault)"
+                    .into(),
+                code: EXIT_ERROR,
+            });
+        };
+        shrink(&inv.source, |cand| {
+            check_source(cand, &check).failure_kind() == Some(kind)
+        })
+    }
+    .map_err(|e| CliError {
+        message: e,
+        code: EXIT_ERROR,
+    })?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"{{"event":"shrink","original_stmts":{},"final_stmts":{},"remaining_pct":{:.1},"rounds":{},"candidates":{}}}"#,
+        outcome.original_stmts,
+        outcome.final_stmts,
+        outcome.remaining_pct(),
+        outcome.rounds,
+        outcome.candidates_tried,
+    );
+    match &inv.fuzz.min_out {
+        Some(path) => {
+            std::fs::write(path, &outcome.source).map_err(|e| CliError {
+                message: format!("cannot write `{path}`: {e}"),
+                code: EXIT_ERROR,
+            })?;
+            let _ = writeln!(
+                out,
+                r#"{{"event":"shrink-out","file":"{}"}}"#,
+                json_escape(path)
+            );
+        }
+        None => out.push_str(&outcome.source),
+    }
+    Ok(CmdOutput::ok(out))
 }
 
 fn cmd_sweep(inv: &Invocation) -> Result<CmdOutput, CliError> {
@@ -1438,5 +1748,108 @@ mod tests {
         let err = execute(&inv).unwrap_err();
         assert_eq!(err.code, EXIT_ERROR);
         assert!(err.message.contains("unknown variable"));
+    }
+
+    // --- bad-input audit: every malformed-input shape is a usage error ---
+
+    #[test]
+    fn missing_file_is_a_usage_error() {
+        let e = parse_args(&args(&["run", "/no/such/program.mini"])).unwrap_err();
+        assert_eq!(e.code, EXIT_USAGE);
+        assert!(e.message.contains("cannot read"), "{}", e.message);
+    }
+
+    #[test]
+    fn non_utf8_source_is_a_usage_error() {
+        let path = std::env::temp_dir().join("ucmc_test_non_utf8.mini");
+        std::fs::write(&path, [0xff, 0xfe, 0x00, 0x80]).unwrap();
+        let path = path.to_string_lossy().into_owned();
+        for cmd in ["run", "check", "shrink"] {
+            let e = parse_args(&args(&[cmd, &path])).unwrap_err();
+            assert_eq!(e.code, EXIT_USAGE, "{cmd}: {}", e.message);
+            assert!(e.message.contains("cannot read"), "{cmd}: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn empty_program_is_a_usage_error() {
+        for (name, contents) in [("empty", ""), ("blank", " \n\t\n")] {
+            let path = write_temp(name, contents);
+            let e = parse_args(&args(&["run", &path])).unwrap_err();
+            assert_eq!(e.code, EXIT_USAGE, "{}", e.message);
+            assert!(e.message.contains("is empty"), "{}", e.message);
+        }
+    }
+
+    // --- fuzz / shrink ---
+
+    #[test]
+    fn fuzz_flag_parse_errors() {
+        for bad in [
+            args(&["fuzz", "--count", "0"]),
+            args(&["fuzz", "--count"]),
+            args(&["fuzz", "--emit", "x"]),
+            args(&["fuzz", "--quick"]),
+            args(&["fuzz", "--cache-words", "3"]),
+            // shrink-only flags are rejected elsewhere
+            args(&["run", "x.mini", "--inject"]),
+            args(&["check", "x.mini", "--min-out", "y"]),
+        ] {
+            let e = parse_args(&bad).unwrap_err();
+            assert_eq!(e.code, EXIT_USAGE, "{}", e.message);
+        }
+    }
+
+    #[test]
+    fn fuzz_emit_prints_a_deterministic_generated_program() {
+        let inv = parse_args(&args(&["fuzz", "--emit", "42"])).unwrap();
+        let a = execute(&inv).unwrap();
+        let b = execute(&inv).unwrap();
+        assert_eq!(a.code, EXIT_OK);
+        assert_eq!(a.text, b.text);
+        assert!(a.text.contains("fn main()"), "{}", a.text);
+        // The emitted program is a valid input for the file commands.
+        let path = write_temp("emit42", &a.text);
+        let run = execute(&parse_args(&args(&["run", &path])).unwrap()).unwrap();
+        assert_eq!(run.code, EXIT_OK);
+    }
+
+    #[test]
+    fn fuzz_batch_reports_zero_failures_on_healthy_compiler() {
+        let inv = parse_args(&args(&["fuzz", "--seed", "7", "--count", "10"])).unwrap();
+        let out = execute(&inv).unwrap();
+        assert_eq!(out.code, EXIT_OK, "{}", out.text);
+        let summary = out.text.lines().last().unwrap();
+        assert!(summary.contains(r#""event":"fuzz""#), "{summary}");
+        assert!(summary.contains(r#""seed":7"#), "{summary}");
+        assert!(summary.contains(r#""count":10"#), "{summary}");
+        assert!(summary.contains(r#""failures":0"#), "{summary}");
+    }
+
+    #[test]
+    fn shrink_refuses_a_passing_program_without_inject() {
+        let path = write_temp("shrink_pass", KERNEL);
+        let inv = parse_args(&args(&["shrink", &path])).unwrap();
+        let err = execute(&inv).unwrap_err();
+        assert_eq!(err.code, EXIT_ERROR);
+        assert!(err.message.contains("passes the differential oracle"));
+    }
+
+    #[test]
+    fn shrink_inject_minimizes_and_writes_min_out() {
+        let min = std::env::temp_dir().join("ucmc_test_shrink_min.mini");
+        let min = min.to_string_lossy().into_owned();
+        let path = write_temp("shrink_inject", KERNEL);
+        let inv = parse_args(&args(&["shrink", &path, "--inject", "--min-out", &min])).unwrap();
+        let out = execute(&inv).unwrap();
+        assert_eq!(out.code, EXIT_OK, "{}", out.text);
+        assert!(out.text.contains(r#""event":"shrink""#), "{}", out.text);
+        let minimized = std::fs::read_to_string(&min).unwrap();
+        assert!(minimized.contains("fn main()"), "{minimized}");
+        // The minimized reproducer is smaller and still a parseable program.
+        assert!(minimized.len() < KERNEL.len());
+        let reparsed = write_temp("shrink_min_roundtrip", &minimized);
+        let run = parse_args(&args(&["ir", &reparsed])).unwrap();
+        assert_eq!(execute(&run).unwrap().code, EXIT_OK);
     }
 }

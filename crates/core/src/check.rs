@@ -64,6 +64,11 @@ pub fn run_program_with_oracle(
     vm_cfg: &VmConfig,
 ) -> Result<CoherenceReport, VmError> {
     let mut oracle = CoherenceOracle::new(cache_cfg);
+    // Mirror the VM's startup state: without this, a global with a nonzero
+    // initializer that is read before it is written would be flagged as a
+    // (false) violation — the model would serve the zero its empty memory
+    // image holds while the VM reads the initializer.
+    oracle.preload(program.globals_base, &program.globals_init);
     let outcome = run(program, &mut oracle, vm_cfg)?;
     Ok(CoherenceReport {
         outcome,

@@ -312,6 +312,50 @@ fn misclassify_program(program: &MachineProgram, pct: u8, seed: u64) -> (Machine
     (mutant, changed)
 }
 
+/// Whole-program mutant for seeding *known-bad* reproducers: every load
+/// becomes an ambiguous cached load ([`Flavour::AmLoad`], fills a line
+/// on miss) and every store becomes an unambiguous bypass store
+/// ([`Flavour::UmAmStore`], straight to memory with no defensive probe
+/// of the cache), with all last-reference bits cleared. Returns how many
+/// sites changed.
+///
+/// The combination desynchronises cache and memory on the first
+/// load→store→reload of any word: the load caches the old value, the
+/// store updates only memory, and the reload is served the stale line.
+/// Under paper-style codegen even `i = i + 1; print(i);` hits this, so
+/// virtually any program breaks coherence. `ucm-fuzz` uses it as a
+/// deterministic failure source for exercising and testing the shrinking
+/// loop: the mutation is a pure function of the compiled program, so the
+/// failure predicate survives arbitrary source-level shrinking as long
+/// as a store→reload pair remains.
+pub fn desync_stores(program: &mut MachineProgram) -> usize {
+    let mut changed = 0;
+    for func in &mut program.funcs {
+        for instr in &mut func.code {
+            match instr {
+                MInstr::Load { tag, .. } => {
+                    *tag = MemTag {
+                        flavour: Flavour::AmLoad,
+                        unambiguous: false,
+                        last_ref: false,
+                    };
+                    changed += 1;
+                }
+                MInstr::Store { tag, .. } => {
+                    *tag = MemTag {
+                        flavour: Flavour::UmAmStore,
+                        unambiguous: true,
+                        last_ref: false,
+                    };
+                    changed += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    changed
+}
+
 /// Runs the full fault campaign on a compiled program.
 ///
 /// # Errors

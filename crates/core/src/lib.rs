@@ -59,7 +59,8 @@ pub use annotate::Annotations;
 pub use check::{run_with_oracle, CoherenceReport};
 pub use evaluate::{compare, run_with_cache, Comparison, EvalError, RunMeasurement};
 pub use faults::{
-    run_campaign, Campaign, CampaignConfig, FaultClass, FaultKind, FaultReport, FaultSite,
+    desync_stores, run_campaign, Campaign, CampaignConfig, FaultClass, FaultKind, FaultReport,
+    FaultSite,
 };
 pub use mode::ManagementMode;
 pub use pipeline::{compile, compile_module, CompileError, Compiled, CompilerOptions};

@@ -1,0 +1,884 @@
+//! Seeded random Mini program generator.
+//!
+//! Programs are built directly as [`ucm_lang::ast`] values and are
+//! *type-correct and panic-free by construction*:
+//!
+//! * every loop is counter-bounded, every recursion decrements a
+//!   read-only depth parameter behind a `<= 0` guard, so execution
+//!   terminates well inside the oracle's step budget;
+//! * every array index is a loop counter bounded by the array length, a
+//!   literal below it, or an `((e % n) + n) % n` normalisation, so no
+//!   access leaves its object;
+//! * divisors are non-zero literals, so no divide traps;
+//! * every value-returning function ends in an explicit `return`.
+//!
+//! The construct mix is deliberately weighted toward what stresses the
+//! paper's alias/liveness classifier: pointers into shared arrays,
+//! address-taken scalars, pointer parameters that alias global state,
+//! recursion with spill-heavy frames, and dense array traversals.
+//! Everything else (the differential oracle, the shrinker) treats a
+//! generated program as ordinary Mini source text.
+
+use crate::rng::Rng;
+use ucm_lang::ast::*;
+use ucm_lang::token::Span;
+
+/// Span of memory a generated pointer is guaranteed to address: every
+/// pointer parameter may be indexed with `0..PTR_SPAN`, so every call
+/// site must supply a pointer with at least this many valid words.
+const PTR_SPAN: i64 = 4;
+
+/// Tuning knobs for the generator. The defaults keep programs small
+/// enough that a debug-build differential run takes a few milliseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Maximum number of helper functions besides `main`.
+    pub max_helpers: usize,
+    /// Statement budget for `main`'s body.
+    pub main_budget: usize,
+    /// Maximum expression tree depth.
+    pub expr_depth: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_helpers: 3,
+            main_budget: 10,
+            expr_depth: 3,
+        }
+    }
+}
+
+/// Generates the program for `seed` with default tuning.
+pub fn generate(seed: u64) -> Program {
+    generate_with(seed, &GenConfig::default())
+}
+
+/// Generates the Mini source text for `seed` with default tuning.
+pub fn generate_source(seed: u64) -> String {
+    ucm_lang::pretty::print_program(&generate(seed))
+}
+
+/// Generates the program for `seed` under explicit tuning.
+pub fn generate_with(seed: u64, cfg: &GenConfig) -> Program {
+    Gen {
+        rng: Rng::new(seed),
+        cfg: *cfg,
+        fns: Vec::new(),
+        next_name: 0,
+    }
+    .program()
+}
+
+fn e(kind: ExprKind) -> Expr {
+    Expr {
+        id: ExprId(0),
+        kind,
+        span: Span::default(),
+    }
+}
+
+fn lit(v: i64) -> Expr {
+    e(ExprKind::IntLit(v))
+}
+
+fn var(name: &str) -> Expr {
+    e(ExprKind::Var(name.to_string()))
+}
+
+fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    e(ExprKind::Binary(op, Box::new(a), Box::new(b)))
+}
+
+fn idx(base: Expr, index: Expr) -> Expr {
+    e(ExprKind::Index(Box::new(base), Box::new(index)))
+}
+
+fn stmt(kind: StmtKind) -> Stmt {
+    Stmt {
+        kind,
+        span: Span::default(),
+    }
+}
+
+fn block(stmts: Vec<Stmt>) -> Block {
+    Block {
+        stmts,
+        span: Span::default(),
+    }
+}
+
+fn assign(target: Expr, value: Expr) -> Stmt {
+    stmt(StmtKind::Assign { target, value })
+}
+
+/// How a generated function may be called.
+#[derive(Debug, Clone)]
+struct FnSig {
+    name: String,
+    /// `true` per parameter slot that takes a pointer (span ≥ [`PTR_SPAN`]).
+    ptr_params: Vec<bool>,
+    returns_value: bool,
+    /// First parameter is a recursion depth that call sites must seed
+    /// with a small literal.
+    depth_first: bool,
+}
+
+/// Everything nameable at the current generation point. Cloned for inner
+/// blocks so block-scoped declarations never leak.
+#[derive(Debug, Clone, Default)]
+struct Ctx {
+    /// Assignable `int` variables (locals, writable params, scalar globals).
+    mut_scalars: Vec<String>,
+    /// Read-only `int` variables (loop counters, recursion depth params).
+    ro_scalars: Vec<String>,
+    /// 1-D arrays and their lengths.
+    arrays: Vec<(String, i64)>,
+    /// 2-D arrays: name, rows, cols.
+    matrices: Vec<(String, i64, i64)>,
+    /// Pointers and the number of words they are guaranteed to address.
+    ptrs: Vec<(String, i64)>,
+    /// Loop counters currently in `0..bound` (also listed in `ro_scalars`).
+    index_vars: Vec<(String, i64)>,
+    /// Generated functions with index below this are callable here.
+    callable: usize,
+    /// Whether `break` is legal here.
+    in_loop: bool,
+}
+
+struct Gen {
+    rng: Rng,
+    cfg: GenConfig,
+    fns: Vec<FnSig>,
+    next_name: u32,
+}
+
+impl Gen {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.next_name += 1;
+        format!("{prefix}{}", self.next_name)
+    }
+
+    fn program(mut self) -> Program {
+        let mut globals = Vec::new();
+        let mut ctx = Ctx::default();
+
+        // A guaranteed scalar and a guaranteed large array keep every
+        // generation rule satisfiable (pointer sources, traversals).
+        let g0 = self.fresh("g");
+        globals.push(GlobalDecl {
+            name: g0.clone(),
+            ty: TypeExpr::Int,
+            init: Some(self.rng.range(-9, 99)),
+            span: Span::default(),
+        });
+        ctx.mut_scalars.push(g0);
+        let a0 = self.fresh("a");
+        globals.push(GlobalDecl {
+            name: a0.clone(),
+            ty: TypeExpr::Array(Box::new(TypeExpr::Int), 16),
+            init: None,
+            span: Span::default(),
+        });
+        ctx.arrays.push((a0, 16));
+
+        for _ in 0..self.rng.below(4) {
+            match self.rng.weighted(&[3, 3, 1]) {
+                0 => {
+                    let name = self.fresh("g");
+                    globals.push(GlobalDecl {
+                        name: name.clone(),
+                        ty: TypeExpr::Int,
+                        init: self.rng.chance(70).then(|| self.rng.range(-9, 99)),
+                        span: Span::default(),
+                    });
+                    ctx.mut_scalars.push(name);
+                }
+                1 => {
+                    let name = self.fresh("a");
+                    let len = self.rng.range(4, 16);
+                    globals.push(GlobalDecl {
+                        name: name.clone(),
+                        ty: TypeExpr::Array(Box::new(TypeExpr::Int), len as usize),
+                        init: None,
+                        span: Span::default(),
+                    });
+                    ctx.arrays.push((name, len));
+                }
+                _ => {
+                    let name = self.fresh("m");
+                    let rows = self.rng.range(2, 4);
+                    let cols = self.rng.range(2, 6);
+                    globals.push(GlobalDecl {
+                        name: name.clone(),
+                        ty: TypeExpr::Array(
+                            Box::new(TypeExpr::Array(Box::new(TypeExpr::Int), cols as usize)),
+                            rows as usize,
+                        ),
+                        init: None,
+                        span: Span::default(),
+                    });
+                    ctx.matrices.push((name, rows, cols));
+                }
+            }
+        }
+
+        let mut funcs = Vec::new();
+        let n_helpers = 1 + self.rng.below(self.cfg.max_helpers);
+        for i in 0..n_helpers {
+            funcs.push(self.helper(i, &ctx));
+        }
+
+        funcs.push(self.main_fn(&ctx));
+        Program { globals, funcs }
+    }
+
+    // ---- functions ----
+
+    fn helper(&mut self, index: usize, global_ctx: &Ctx) -> FuncDecl {
+        let name = self.fresh("f");
+        let recursive = self.rng.chance(60);
+        let returns_value = self.rng.chance(60);
+
+        let mut ctx = global_ctx.clone();
+        ctx.callable = index;
+
+        let mut params = Vec::new();
+        let mut ptr_params = Vec::new();
+        if recursive {
+            // The depth parameter is read-only so the `d - 1` recursion
+            // always makes progress toward the `<= 0` guard.
+            let d = self.fresh("d");
+            params.push(Param {
+                name: d.clone(),
+                ty: TypeExpr::Int,
+                span: Span::default(),
+            });
+            ptr_params.push(false);
+            ctx.ro_scalars.push(d);
+        }
+        for _ in 0..self.rng.below(3) {
+            if self.rng.chance(40) {
+                let p = self.fresh("p");
+                params.push(Param {
+                    name: p.clone(),
+                    ty: TypeExpr::Ptr,
+                    span: Span::default(),
+                });
+                ptr_params.push(true);
+                ctx.ptrs.push((p, PTR_SPAN));
+            } else {
+                let x = self.fresh("x");
+                params.push(Param {
+                    name: x.clone(),
+                    ty: TypeExpr::Int,
+                    span: Span::default(),
+                });
+                ptr_params.push(false);
+                ctx.mut_scalars.push(x);
+            }
+        }
+
+        self.fns.push(FnSig {
+            name: name.clone(),
+            ptr_params,
+            returns_value,
+            depth_first: recursive,
+        });
+
+        let mut body = Vec::new();
+        if recursive {
+            let d = params[0].name.clone();
+            let guard_return = if returns_value {
+                StmtKind::Return(Some(lit(self.rng.range(0, 9))))
+            } else {
+                StmtKind::Return(None)
+            };
+            body.push(stmt(StmtKind::If {
+                cond: bin(BinOp::Le, var(&d), lit(0)),
+                then_blk: block(vec![stmt(guard_return)]),
+                else_blk: None,
+            }));
+        }
+
+        let budget = 2 + self.rng.below(4);
+        body.extend(self.stmts(&mut ctx, budget, 0));
+
+        // Close the function: recursive functions recurse on `d - 1`
+        // (inside the tail return when a value is produced), and every
+        // value-returning function ends in an explicit return.
+        if recursive {
+            let d = params[0].name.clone();
+            let self_idx = self.fns.len() - 1;
+            let rec_args = self.call_args(&ctx, self_idx, Some(bin(BinOp::Sub, var(&d), lit(1))));
+            let rec_call = e(ExprKind::Call(name.clone(), rec_args));
+            if returns_value {
+                let mixed = if self.rng.chance(60) {
+                    bin(BinOp::Add, self.expr(&ctx, 1), rec_call)
+                } else {
+                    rec_call
+                };
+                body.push(stmt(StmtKind::Return(Some(mixed))));
+            } else {
+                body.push(stmt(StmtKind::Expr(rec_call)));
+            }
+        } else if returns_value {
+            let value = self.expr(&ctx, self.cfg.expr_depth);
+            body.push(stmt(StmtKind::Return(Some(value))));
+        }
+
+        FuncDecl {
+            name,
+            params,
+            returns_value,
+            body: block(body),
+            span: Span::default(),
+        }
+    }
+
+    fn main_fn(&mut self, global_ctx: &Ctx) -> FuncDecl {
+        let mut ctx = global_ctx.clone();
+        ctx.callable = self.fns.len();
+
+        let budget = 4 + self.rng.below(self.cfg.main_budget.max(1));
+        let mut body = self.stmts(&mut ctx, budget, 0);
+
+        // Exercise every helper at least probabilistically, then print
+        // all observable global state so the differential oracle has a
+        // rich output vector even before comparing memory images.
+        for i in 0..self.fns.len() {
+            if self.rng.chance(75) {
+                let args = self.call_args(&ctx, i, None);
+                let call = e(ExprKind::Call(self.fns[i].name.clone(), args));
+                if self.fns[i].returns_value {
+                    body.push(stmt(StmtKind::Print(call)));
+                } else {
+                    body.push(stmt(StmtKind::Expr(call)));
+                }
+            }
+        }
+        for g in &global_ctx.mut_scalars {
+            body.push(stmt(StmtKind::Print(var(g))));
+        }
+        for (a, len) in &global_ctx.arrays {
+            body.push(stmt(StmtKind::Print(idx(var(a), lit(0)))));
+            body.push(stmt(StmtKind::Print(idx(var(a), lit(len - 1)))));
+        }
+        for (m, rows, cols) in &global_ctx.matrices {
+            body.push(stmt(StmtKind::Print(idx(
+                idx(var(m), lit(rows - 1)),
+                lit(cols - 1),
+            ))));
+        }
+
+        FuncDecl {
+            name: "main".into(),
+            params: vec![],
+            returns_value: false,
+            body: block(body),
+            span: Span::default(),
+        }
+    }
+
+    /// Arguments for a call to `fns[target]`. `depth_override` supplies
+    /// the first argument of a self-recursive call (`d - 1`); external
+    /// call sites seed fresh depth budgets with a small literal.
+    fn call_args(&mut self, ctx: &Ctx, target: usize, depth_override: Option<Expr>) -> Vec<Expr> {
+        let sig = self.fns[target].clone();
+        let mut args = Vec::new();
+        for (i, is_ptr) in sig.ptr_params.iter().enumerate() {
+            if i == 0 && sig.depth_first {
+                args.push(match depth_override {
+                    Some(ref d) => d.clone(),
+                    None => lit(self.rng.range(2, 6)),
+                });
+            } else if *is_ptr {
+                args.push(self.ptr_source(ctx, PTR_SPAN).0);
+            } else {
+                args.push(self.expr(ctx, 1));
+            }
+        }
+        args
+    }
+
+    // ---- statements ----
+
+    fn stmts(&mut self, ctx: &mut Ctx, budget: usize, depth: usize) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        for _ in 0..budget {
+            out.extend(self.stmt(ctx, depth));
+        }
+        out
+    }
+
+    /// One random statement (loop forms expand to a couple of statements:
+    /// counter declaration plus the loop).
+    fn stmt(&mut self, ctx: &mut Ctx, depth: usize) -> Vec<Stmt> {
+        let nested_ok = depth < 2;
+        let w = [
+            3,                                    // 0: let int
+            2,                                    // 1: let ptr
+            if depth == 0 { 1 } else { 0 },       // 2: let local array
+            4,                                    // 3: assign
+            if nested_ok { 2 } else { 0 },        // 4: if/else
+            if nested_ok { 2 } else { 0 },        // 5: bounded while
+            if nested_ok { 2 } else { 0 },        // 6: array-walk while
+            if nested_ok { 1 } else { 0 },        // 7: array-walk for
+            2,                                    // 8: print
+            if ctx.callable > 0 { 2 } else { 0 }, // 9: call
+            if ctx.in_loop { 1 } else { 0 },      // 10: guarded break
+        ];
+        match self.rng.weighted(&w) {
+            0 => {
+                let name = self.fresh("l");
+                let init = self.expr(ctx, self.cfg.expr_depth);
+                ctx.mut_scalars.push(name.clone());
+                vec![stmt(StmtKind::Let {
+                    name,
+                    ty: TypeExpr::Int,
+                    init: Some(init),
+                })]
+            }
+            1 => {
+                let name = self.fresh("p");
+                let (src, span) = self.ptr_source(ctx, 1);
+                ctx.ptrs.push((name.clone(), span));
+                vec![stmt(StmtKind::Let {
+                    name,
+                    ty: TypeExpr::Ptr,
+                    init: Some(src),
+                })]
+            }
+            2 => {
+                // Local arrays are stack garbage until written (the VM sees
+                // dead-frame leftovers; the cache model is entitled to have
+                // discarded them), so zero-fill immediately: every later
+                // read is then defined and the oracle comparison is sound.
+                let name = self.fresh("b");
+                let len = self.rng.range(4, 8);
+                let z = self.fresh("z");
+                let fill = vec![
+                    stmt(StmtKind::Let {
+                        name: name.clone(),
+                        ty: TypeExpr::Array(Box::new(TypeExpr::Int), len as usize),
+                        init: None,
+                    }),
+                    stmt(StmtKind::Let {
+                        name: z.clone(),
+                        ty: TypeExpr::Int,
+                        init: Some(lit(0)),
+                    }),
+                    stmt(StmtKind::While {
+                        cond: bin(BinOp::Lt, var(&z), lit(len)),
+                        body: block(vec![
+                            assign(idx(var(&name), var(&z)), lit(0)),
+                            assign(var(&z), bin(BinOp::Add, var(&z), lit(1))),
+                        ]),
+                    }),
+                ];
+                ctx.arrays.push((name, len));
+                fill
+            }
+            3 => {
+                let target = self.store_target(ctx);
+                let value = self.expr(ctx, self.cfg.expr_depth);
+                vec![assign(target, value)]
+            }
+            4 => {
+                let cond = self.cond(ctx);
+                let mut then_ctx = ctx.clone();
+                let then_budget = 1 + self.rng.below(3);
+                let then_blk = block(self.stmts(&mut then_ctx, then_budget, depth + 1));
+                let else_blk = if self.rng.chance(50) {
+                    let mut else_ctx = ctx.clone();
+                    let else_budget = 1 + self.rng.below(2);
+                    Some(block(self.stmts(&mut else_ctx, else_budget, depth + 1)))
+                } else {
+                    None
+                };
+                vec![stmt(StmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                })]
+            }
+            5 => {
+                // let t = K; while t > 0 { ...; t = t - 1; }
+                let t = self.fresh("t");
+                let count = self.rng.range(1, 5);
+                let mut body_ctx = ctx.clone();
+                body_ctx.ro_scalars.push(t.clone());
+                body_ctx.in_loop = true;
+                let body_budget = 1 + self.rng.below(3);
+                let mut body = self.stmts(&mut body_ctx, body_budget, depth + 1);
+                body.push(assign(var(&t), bin(BinOp::Sub, var(&t), lit(1))));
+                vec![
+                    stmt(StmtKind::Let {
+                        name: t.clone(),
+                        ty: TypeExpr::Int,
+                        init: Some(lit(count)),
+                    }),
+                    stmt(StmtKind::While {
+                        cond: bin(BinOp::Gt, var(&t), lit(0)),
+                        body: block(body),
+                    }),
+                ]
+            }
+            6 | 7 => {
+                // let i = 0; while i < len { a[i] = ...; ...; i = i + 1; }
+                // (or the equivalent `for`): the paper's bread-and-butter
+                // array traversal, with the counter usable as a proven
+                // in-bounds index inside the body.
+                let (a, len) = self.rng.pick(&ctx.arrays).clone();
+                let i = self.fresh("i");
+                let mut body_ctx = ctx.clone();
+                body_ctx.ro_scalars.push(i.clone());
+                body_ctx.index_vars.push((i.clone(), len));
+                body_ctx.in_loop = true;
+                let mut body = vec![assign(
+                    idx(var(&a), var(&i)),
+                    self.expr(&body_ctx, self.cfg.expr_depth),
+                )];
+                if self.rng.chance(50) {
+                    body.extend(self.stmts(&mut body_ctx, 1, depth + 1));
+                }
+                let decl = stmt(StmtKind::Let {
+                    name: i.clone(),
+                    ty: TypeExpr::Int,
+                    init: Some(lit(0)),
+                });
+                let cond = bin(BinOp::Lt, var(&i), lit(len));
+                let step = assign(var(&i), bin(BinOp::Add, var(&i), lit(1)));
+                if self.rng.chance(50) {
+                    let mut stmts = body;
+                    stmts.push(step);
+                    vec![
+                        decl,
+                        stmt(StmtKind::While {
+                            cond,
+                            body: block(stmts),
+                        }),
+                    ]
+                } else {
+                    vec![
+                        decl,
+                        stmt(StmtKind::For {
+                            init: Some(Box::new(assign(var(&i), lit(0)))),
+                            cond: Some(cond),
+                            step: Some(Box::new(step)),
+                            body: block(body),
+                        }),
+                    ]
+                }
+            }
+            8 => vec![stmt(StmtKind::Print(self.expr(ctx, self.cfg.expr_depth)))],
+            9 => {
+                let target = self.rng.below(ctx.callable);
+                let args = self.call_args(ctx, target, None);
+                let call = e(ExprKind::Call(self.fns[target].name.clone(), args));
+                if self.fns[target].returns_value {
+                    vec![stmt(StmtKind::Print(call))]
+                } else {
+                    vec![stmt(StmtKind::Expr(call))]
+                }
+            }
+            _ => {
+                let cond = self.cond(ctx);
+                vec![stmt(StmtKind::If {
+                    cond,
+                    then_blk: block(vec![stmt(StmtKind::Break)]),
+                    else_blk: None,
+                })]
+            }
+        }
+    }
+
+    /// A scalar lvalue to store into: variable, array element, matrix
+    /// element, or a write through a pointer.
+    fn store_target(&mut self, ctx: &Ctx) -> Expr {
+        let w = [
+            u32::try_from(ctx.mut_scalars.len())
+                .unwrap_or(u32::MAX)
+                .min(4),
+            if ctx.arrays.is_empty() { 0 } else { 3 },
+            if ctx.matrices.is_empty() { 0 } else { 2 },
+            if ctx.ptrs.is_empty() { 0 } else { 3 },
+        ];
+        match self.rng.weighted(&w) {
+            0 => {
+                let name = self.rng.pick(&ctx.mut_scalars).clone();
+                var(&name)
+            }
+            1 => {
+                let (a, len) = self.rng.pick(&ctx.arrays).clone();
+                let index = self.index_expr(ctx, len);
+                idx(var(&a), index)
+            }
+            2 => {
+                let (m, rows, cols) = self.rng.pick(&ctx.matrices).clone();
+                let (ri, ci) = (self.index_expr(ctx, rows), self.index_expr(ctx, cols));
+                idx(idx(var(&m), ri), ci)
+            }
+            _ => {
+                let (p, span) = self.rng.pick(&ctx.ptrs).clone();
+                if span > 1 && self.rng.chance(50) {
+                    idx(var(&p), self.index_expr(ctx, span))
+                } else {
+                    e(ExprKind::Deref(Box::new(var(&p))))
+                }
+            }
+        }
+    }
+
+    /// A pointer-typed expression guaranteed to address at least
+    /// `min_span` words, together with its actual guaranteed span.
+    fn ptr_source(&mut self, ctx: &Ctx, min_span: i64) -> (Expr, i64) {
+        let arrays: Vec<_> = ctx
+            .arrays
+            .iter()
+            .filter(|(_, len)| *len >= min_span)
+            .cloned()
+            .collect();
+        let ptrs: Vec<_> = ctx
+            .ptrs
+            .iter()
+            .filter(|(_, span)| *span >= min_span)
+            .cloned()
+            .collect();
+        let scalars_ok = min_span <= 1 && !ctx.mut_scalars.is_empty();
+        let w = [
+            u32::try_from(arrays.len().min(4)).unwrap_or(4) * 2,
+            u32::try_from(ptrs.len().min(4)).unwrap_or(4),
+            if scalars_ok { 1 } else { 0 },
+            if arrays.is_empty() { 0 } else { 2 },
+        ];
+        match self.rng.weighted(&w) {
+            0 => {
+                // Array decays to a pointer covering its whole length.
+                let (a, len) = self.rng.pick(&arrays).clone();
+                (var(&a), len)
+            }
+            1 => {
+                let (p, span) = self.rng.pick(&ptrs).clone();
+                // Optional pointer arithmetic that keeps `min_span` words.
+                let max_off = span - min_span;
+                if max_off > 0 && self.rng.chance(40) {
+                    let off = self.rng.range(1, max_off);
+                    (bin(BinOp::Add, var(&p), lit(off)), span - off)
+                } else {
+                    (var(&p), span)
+                }
+            }
+            2 => {
+                let s = self.rng.pick(&ctx.mut_scalars).clone();
+                (e(ExprKind::AddrOf(Box::new(var(&s)))), 1)
+            }
+            _ => {
+                // &a[k] with k chosen so min_span words remain.
+                let (a, len) = self.rng.pick(&arrays).clone();
+                let k = self.rng.range(0, len - min_span);
+                (e(ExprKind::AddrOf(Box::new(idx(var(&a), lit(k))))), len - k)
+            }
+        }
+    }
+
+    /// An `int` index expression guaranteed in `0..len`.
+    fn index_expr(&mut self, ctx: &Ctx, len: i64) -> Expr {
+        let usable: Vec<_> = ctx
+            .index_vars
+            .iter()
+            .filter(|(_, bound)| *bound <= len)
+            .cloned()
+            .collect();
+        let w = [
+            if usable.is_empty() { 0 } else { 4 },
+            3,
+            if len > 1 { 2 } else { 0 },
+        ];
+        match self.rng.weighted(&w) {
+            0 => var(&self.rng.pick(&usable).0),
+            1 => lit(self.rng.range(0, len - 1)),
+            _ => {
+                // ((e % len) + len) % len — always lands in 0..len, and
+                // gives the classifier a genuinely ambiguous index.
+                let inner = self.expr(ctx, 1);
+                bin(
+                    BinOp::Rem,
+                    bin(BinOp::Add, bin(BinOp::Rem, inner, lit(len)), lit(len)),
+                    lit(len),
+                )
+            }
+        }
+    }
+
+    /// A boolean-ish `int` condition.
+    fn cond(&mut self, ctx: &Ctx) -> Expr {
+        let op = *self.rng.pick(&[
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ]);
+        let cmp = bin(op, self.expr(ctx, 1), self.expr(ctx, 1));
+        if self.rng.chance(25) {
+            let logic = if self.rng.chance(50) {
+                BinOp::And
+            } else {
+                BinOp::Or
+            };
+            bin(logic, cmp, self.cond_simple(ctx))
+        } else {
+            cmp
+        }
+    }
+
+    fn cond_simple(&mut self, ctx: &Ctx) -> Expr {
+        let op = *self.rng.pick(&[BinOp::Lt, BinOp::Ne, BinOp::Ge]);
+        bin(op, self.expr(ctx, 0), self.expr(ctx, 0))
+    }
+
+    /// A random `int` expression of at most `depth` operator levels.
+    fn expr(&mut self, ctx: &Ctx, depth: usize) -> Expr {
+        if depth == 0 {
+            return self.leaf(ctx);
+        }
+        let value_fns: Vec<usize> = (0..ctx.callable)
+            .filter(|&i| self.fns[i].returns_value)
+            .collect();
+        let w = [
+            3,                                        // 0: leaf
+            4,                                        // 1: + - *
+            1,                                        // 2: / % by literal
+            1,                                        // 3: comparison
+            1,                                        // 4: unary
+            if value_fns.is_empty() { 0 } else { 1 }, // 5: call
+        ];
+        match self.rng.weighted(&w) {
+            0 => self.leaf(ctx),
+            1 => {
+                let op = *self.rng.pick(&[BinOp::Add, BinOp::Sub, BinOp::Mul]);
+                bin(op, self.expr(ctx, depth - 1), self.expr(ctx, depth - 1))
+            }
+            2 => {
+                let op = if self.rng.chance(50) {
+                    BinOp::Div
+                } else {
+                    BinOp::Rem
+                };
+                bin(op, self.expr(ctx, depth - 1), lit(self.rng.range(1, 9)))
+            }
+            3 => {
+                let op = *self.rng.pick(&[BinOp::Lt, BinOp::Le, BinOp::Eq, BinOp::Ne]);
+                bin(op, self.expr(ctx, depth - 1), self.expr(ctx, depth - 1))
+            }
+            4 => {
+                let op = if self.rng.chance(70) {
+                    UnOp::Neg
+                } else {
+                    UnOp::Not
+                };
+                e(ExprKind::Unary(op, Box::new(self.expr(ctx, depth - 1))))
+            }
+            _ => {
+                let target = *self.rng.pick(&value_fns);
+                let args = self.call_args(ctx, target, None);
+                e(ExprKind::Call(self.fns[target].name.clone(), args))
+            }
+        }
+    }
+
+    /// A depth-0 expression: literal, scalar read, array read, or a read
+    /// through a pointer.
+    fn leaf(&mut self, ctx: &Ctx) -> Expr {
+        let scalars: Vec<&String> = ctx
+            .mut_scalars
+            .iter()
+            .chain(ctx.ro_scalars.iter())
+            .collect();
+        let w = [
+            2,
+            if scalars.is_empty() { 0 } else { 4 },
+            if ctx.arrays.is_empty() { 0 } else { 3 },
+            if ctx.ptrs.is_empty() { 0 } else { 2 },
+            if ctx.matrices.is_empty() { 0 } else { 1 },
+        ];
+        match self.rng.weighted(&w) {
+            0 => lit(self.rng.range(-9, 99)),
+            1 => var(scalars[self.rng.below(scalars.len())]),
+            2 => {
+                let (a, len) = self.rng.pick(&ctx.arrays).clone();
+                let index = self.index_expr(ctx, len);
+                idx(var(&a), index)
+            }
+            3 => {
+                let (p, span) = self.rng.pick(&ctx.ptrs).clone();
+                if span > 1 && self.rng.chance(50) {
+                    idx(var(&p), lit(self.rng.range(0, span - 1)))
+                } else {
+                    e(ExprKind::Deref(Box::new(var(&p))))
+                }
+            }
+            _ => {
+                let (m, rows, cols) = self.rng.pick(&ctx.matrices).clone();
+                let (ri, ci) = (self.index_expr(ctx, rows), self.index_expr(ctx, cols));
+                idx(idx(var(&m), ri), ci)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_lang::pretty::print_program;
+    use ucm_lang::{parse, parse_and_check};
+
+    #[test]
+    fn generated_programs_typecheck_by_construction() {
+        for seed in 0..200 {
+            let src = generate_source(seed);
+            parse_and_check(&src).unwrap_or_else(|err| {
+                panic!("seed {seed} generated an invalid program: {err}\n{src}")
+            });
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        for seed in [0, 1, 7, 0xdead_beef] {
+            assert_eq!(generate_source(seed), generate_source(seed));
+        }
+        assert_ne!(generate_source(1), generate_source(2));
+    }
+
+    #[test]
+    fn generated_programs_are_print_parse_fixpoints() {
+        for seed in 100..200 {
+            let once = generate_source(seed);
+            let reparsed = parse(&once).expect("generated source parses");
+            assert_eq!(
+                print_program(&reparsed),
+                once,
+                "seed {seed}: print→parse→print is not a fixpoint"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_programs_always_print_something() {
+        for seed in 0..50 {
+            let p = generate(seed);
+            let main = p.funcs.iter().find(|f| f.name == "main").unwrap();
+            assert!(
+                main.body
+                    .stmts
+                    .iter()
+                    .any(|s| matches!(s.kind, StmtKind::Print(_))),
+                "seed {seed}: main has no print"
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! # ucm-fuzz — differential fuzzing for the unified pipeline
+//!
+//! Three pieces, used together by `ucmc fuzz` / `ucmc shrink`:
+//!
+//! * [`gen`] — a seeded random Mini program generator whose output is
+//!   type-correct and terminating by construction, weighted toward the
+//!   constructs that stress the paper's alias/liveness machinery
+//!   (pointers, aliasing, recursion, array traversals);
+//! * [`oracle`] — a differential oracle that compiles each program under
+//!   {paper, modern} codegen × {Unified, Conventional, Safe} management
+//!   modes, runs every build under a coherence-checking functional
+//!   cache, and cross-checks printed output and the final globals
+//!   segment across all six builds;
+//! * [`shrink`] — a delta-debugging minimizer that reduces a failing
+//!   program while preserving the oracle's failure classification.
+//!
+//! [`run_batch`] drives generate→check over a seed stream and is what
+//! both the CLI and CI smoke tests call.
+
+pub mod gen;
+pub mod oracle;
+pub mod rng;
+pub mod shrink;
+
+pub use gen::{generate, generate_source, generate_with, GenConfig};
+pub use oracle::{
+    check_source, seeded_fault_fires, CheckConfig, CheckOutcome, FailureKind, FailureReport,
+    VariantResult,
+};
+pub use shrink::{shrink, ShrinkOutcome};
+
+use rng::Rng;
+
+/// Configuration for a fuzzing batch.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Seed for the per-program seed stream.
+    pub seed: u64,
+    /// Number of programs to generate and check.
+    pub count: usize,
+    /// Differential-oracle configuration applied to every program.
+    pub check: CheckConfig,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            seed: 0,
+            count: 100,
+            check: CheckConfig::default(),
+        }
+    }
+}
+
+/// Result of one fuzzing batch.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Batch seed the per-program seeds were drawn from.
+    pub seed: u64,
+    /// Programs that passed the differential oracle.
+    pub passed: usize,
+    /// Programs skipped because a build exhausted its resource budget.
+    pub skipped: usize,
+    /// Failures, in discovery order: `(program_seed, source, report)`.
+    pub failures: Vec<(u64, String, FailureReport)>,
+}
+
+impl BatchReport {
+    /// Number of programs checked (passed + skipped + failed).
+    pub fn total(&self) -> usize {
+        self.passed + self.skipped + self.failures.len()
+    }
+}
+
+/// Generates and differentially checks `cfg.count` programs. Program
+/// seeds are drawn from a splitmix stream over `cfg.seed`, so a failure
+/// reported for seed `s` reproduces with `check_source(&generate_source(s))`
+/// independently of the batch that found it.
+pub fn run_batch(cfg: &BatchConfig) -> BatchReport {
+    run_batch_with(cfg, |_, _, _| {})
+}
+
+/// [`run_batch`] with a progress callback `(index, program_seed, outcome)`
+/// invoked after each program is checked.
+pub fn run_batch_with(
+    cfg: &BatchConfig,
+    mut progress: impl FnMut(usize, u64, &CheckOutcome),
+) -> BatchReport {
+    let mut seeds = Rng::new(cfg.seed);
+    let mut report = BatchReport {
+        seed: cfg.seed,
+        passed: 0,
+        skipped: 0,
+        failures: Vec::new(),
+    };
+    for i in 0..cfg.count {
+        let program_seed = seeds.next_u64();
+        let source = generate_source(program_seed);
+        let outcome = check_source(&source, &cfg.check);
+        progress(i, program_seed, &outcome);
+        match outcome {
+            CheckOutcome::Pass => report.passed += 1,
+            CheckOutcome::Skip { .. } => report.skipped += 1,
+            CheckOutcome::Fail(failure) => report.failures.push((program_seed, source, failure)),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_seeds_are_reproducible() {
+        let cfg = BatchConfig {
+            seed: 9,
+            count: 3,
+            check: CheckConfig::default(),
+        };
+        let a = run_batch(&cfg);
+        let b = run_batch(&cfg);
+        assert_eq!(a.passed, b.passed);
+        assert_eq!(a.skipped, b.skipped);
+        assert_eq!(a.failures.len(), b.failures.len());
+        assert_eq!(a.total(), 3);
+    }
+}

@@ -1,0 +1,561 @@
+//! Differential oracle: one Mini program, six builds, one verdict.
+//!
+//! Each program is compiled under {paper, modern} codegen × {Unified,
+//! Conventional, Safe} management modes and every build runs under a
+//! [`CoherenceOracle`] — the data-carrying functional cache that trusts
+//! the compiler's bypass/last-reference annotations and cross-validates
+//! every served load against the VM's architectural memory. The VM
+//! itself executes flat memory, so a wrong annotation can never change
+//! printed output directly; it surfaces as an oracle violation. The
+//! *differential* part catches the remaining class of bugs: codegen or
+//! allocation differences that change program semantics, visible as
+//! diverging printed output, diverging final globals segments, or
+//! diverging traps.
+//!
+//! Resource exhaustion (step budget, stack overflow) in any build makes
+//! the program [`CheckOutcome::Skip`] — budgets are environmental, not
+//! semantic. A *semantic* trap (divide by zero, out of bounds) is benign
+//! only if every build traps identically.
+
+use std::fmt;
+use ucm_cache::{CacheConfig, CoherenceOracle};
+use ucm_core::mode::ManagementMode;
+use ucm_core::pipeline::{compile, CompilerOptions};
+use ucm_machine::{run_with_globals, VmConfig, VmError};
+
+/// Code-generation style, mirroring the bench sweep's axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codegen {
+    /// `CompilerOptions::paper()` — no scalar promotion, stack-heavy.
+    Paper,
+    /// `CompilerOptions::default()` — promoted scalars, modern codegen.
+    Modern,
+}
+
+impl Codegen {
+    fn options(self, mode: ManagementMode) -> CompilerOptions {
+        let base = match self {
+            Codegen::Paper => CompilerOptions::paper(),
+            Codegen::Modern => CompilerOptions::default(),
+        };
+        CompilerOptions { mode, ..base }
+    }
+}
+
+impl fmt::Display for Codegen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Codegen::Paper => write!(f, "paper"),
+            Codegen::Modern => write!(f, "modern"),
+        }
+    }
+}
+
+/// The six compilation variants the oracle compares.
+pub const VARIANTS: [(Codegen, ManagementMode); 6] = [
+    (Codegen::Paper, ManagementMode::Unified),
+    (Codegen::Paper, ManagementMode::Conventional),
+    (Codegen::Paper, ManagementMode::Safe),
+    (Codegen::Modern, ManagementMode::Unified),
+    (Codegen::Modern, ManagementMode::Conventional),
+    (Codegen::Modern, ManagementMode::Safe),
+];
+
+/// Oracle configuration.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Step budget per build (exhaustion ⇒ [`CheckOutcome::Skip`]).
+    pub max_steps: u64,
+    /// VM memory in words.
+    pub mem_words: usize,
+    /// Cache geometry for the coherence oracle. Conventional-mode builds
+    /// run it with tag trust disabled ([`CacheConfig::conventional`]),
+    /// exactly as the bench sweep configures its cells.
+    pub cache: CacheConfig,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            // Generated programs are loop- and recursion-bounded by
+            // construction; a million steps is orders of magnitude above
+            // their worst case, so Skip stays rare.
+            max_steps: 2_000_000,
+            mem_words: 1 << 16,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// How one build of the program behaved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunResult {
+    /// Ran to completion.
+    Ok {
+        /// Printed values, in order.
+        output: Vec<i64>,
+        /// Final globals segment (the only memory region whose layout is
+        /// source-determined, hence comparable across variants).
+        globals: Vec<i64>,
+        /// Coherence-oracle violations (0 = every load served fresh data).
+        violations: u64,
+        /// Rendered first violation, if any.
+        first_violation: Option<String>,
+    },
+    /// VM trap.
+    Trap(VmError),
+    /// The compiler rejected the program.
+    CompileError(String),
+}
+
+/// One build's identity plus its behaviour.
+#[derive(Debug, Clone)]
+pub struct VariantResult {
+    /// Codegen axis.
+    pub codegen: Codegen,
+    /// Management-mode axis.
+    pub mode: ManagementMode,
+    /// What happened.
+    pub result: RunResult,
+}
+
+impl VariantResult {
+    /// `"paper/unified"`-style label.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.codegen, self.mode)
+    }
+}
+
+/// Failure classification, ordered by diagnostic priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A type-checked program failed to compile under some variant.
+    Compile,
+    /// Builds trapped differently (or some trapped and some finished).
+    TrapDivergence,
+    /// A cache-served load diverged from architectural memory.
+    Coherence,
+    /// Printed output differs between builds.
+    OutputDivergence,
+    /// Final globals segments differ between builds.
+    GlobalsDivergence,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Compile => write!(f, "compile"),
+            FailureKind::TrapDivergence => write!(f, "trap-divergence"),
+            FailureKind::Coherence => write!(f, "coherence"),
+            FailureKind::OutputDivergence => write!(f, "output-divergence"),
+            FailureKind::GlobalsDivergence => write!(f, "globals-divergence"),
+        }
+    }
+}
+
+/// A confirmed differential failure.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// What class of disagreement was found.
+    pub kind: FailureKind,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+    /// All six builds' behaviour.
+    pub variants: Vec<VariantResult>,
+}
+
+/// Verdict for one program.
+#[derive(Debug, Clone)]
+pub enum CheckOutcome {
+    /// All builds agreed and every load was coherent.
+    Pass,
+    /// A build exhausted a resource budget; no verdict.
+    Skip {
+        /// Which build, e.g. `"paper/unified"`.
+        variant: String,
+        /// The budget trap.
+        error: VmError,
+    },
+    /// A differential or coherence failure.
+    Fail(FailureReport),
+}
+
+impl CheckOutcome {
+    /// Whether this outcome is a failure.
+    pub fn is_fail(&self) -> bool {
+        matches!(self, CheckOutcome::Fail(_))
+    }
+
+    /// The failure classification, if failing.
+    pub fn failure_kind(&self) -> Option<FailureKind> {
+        match self {
+            CheckOutcome::Fail(r) => Some(r.kind),
+            _ => None,
+        }
+    }
+}
+
+fn run_variant(
+    source: &str,
+    codegen: Codegen,
+    mode: ManagementMode,
+    cfg: &CheckConfig,
+) -> RunResult {
+    let compiled = match compile(source, &codegen.options(mode)) {
+        Ok(c) => c,
+        Err(e) => return RunResult::CompileError(e.to_string()),
+    };
+    let cache = if mode == ManagementMode::Conventional {
+        cfg.cache.conventional()
+    } else {
+        cfg.cache
+    };
+    let vm = VmConfig {
+        mem_words: cfg.mem_words,
+        max_steps: cfg.max_steps,
+        trace_fetches: false,
+    };
+    let mut oracle = CoherenceOracle::new(cache);
+    // Seed the model's memory with the globals initializers so a
+    // read-before-write of an initialized global compares against the
+    // same startup image the VM executes from.
+    oracle.preload(
+        compiled.program.globals_base,
+        &compiled.program.globals_init,
+    );
+    match run_with_globals(&compiled.program, &mut oracle, &vm) {
+        Ok((outcome, globals)) => RunResult::Ok {
+            output: outcome.output,
+            globals,
+            violations: oracle.violations(),
+            first_violation: oracle.first_violation().map(|v| v.to_string()),
+        },
+        Err(e) => RunResult::Trap(e),
+    }
+}
+
+/// Compiles `source` under all six variants, runs each under the
+/// coherence oracle, and cross-checks the results.
+pub fn check_source(source: &str, cfg: &CheckConfig) -> CheckOutcome {
+    let variants: Vec<VariantResult> = VARIANTS
+        .iter()
+        .map(|&(codegen, mode)| VariantResult {
+            codegen,
+            mode,
+            result: run_variant(source, codegen, mode, cfg),
+        })
+        .collect();
+
+    // Resource exhaustion anywhere ⇒ no verdict for this program.
+    for v in &variants {
+        if let RunResult::Trap(e @ (VmError::StepLimit | VmError::StackOverflow)) = &v.result {
+            return CheckOutcome::Skip {
+                variant: v.label(),
+                error: e.clone(),
+            };
+        }
+    }
+
+    if let Some(v) = variants
+        .iter()
+        .find(|v| matches!(v.result, RunResult::CompileError(_)))
+    {
+        let RunResult::CompileError(ref msg) = v.result else {
+            unreachable!()
+        };
+        return CheckOutcome::Fail(FailureReport {
+            kind: FailureKind::Compile,
+            detail: format!("{} failed to compile: {msg}", v.label()),
+            variants,
+        });
+    }
+
+    // Traps must be unanimous to be benign.
+    let traps: Vec<Option<&VmError>> = variants
+        .iter()
+        .map(|v| match &v.result {
+            RunResult::Trap(e) => Some(e),
+            _ => None,
+        })
+        .collect();
+    if traps.iter().any(Option::is_some) {
+        if traps.iter().all(|t| t == &traps[0]) {
+            // Every build hit the same semantic trap: agreed behaviour.
+            return CheckOutcome::Pass;
+        }
+        let detail = variants
+            .iter()
+            .map(|v| match &v.result {
+                RunResult::Trap(e) => format!("{}: trap {e:?}", v.label()),
+                _ => format!("{}: completed", v.label()),
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        return CheckOutcome::Fail(FailureReport {
+            kind: FailureKind::TrapDivergence,
+            detail,
+            variants,
+        });
+    }
+
+    // Coherence first: a violation explains any downstream divergence.
+    if let Some(v) = variants
+        .iter()
+        .find(|v| matches!(&v.result, RunResult::Ok { violations, .. } if *violations > 0))
+    {
+        let RunResult::Ok {
+            violations,
+            first_violation,
+            ..
+        } = &v.result
+        else {
+            unreachable!()
+        };
+        return CheckOutcome::Fail(FailureReport {
+            kind: FailureKind::Coherence,
+            detail: format!(
+                "{}: {violations} violation(s); first: {}",
+                v.label(),
+                first_violation.as_deref().unwrap_or("<missing>")
+            ),
+            variants,
+        });
+    }
+
+    let baseline = &variants[0];
+    let RunResult::Ok {
+        output: base_out,
+        globals: base_globals,
+        ..
+    } = &baseline.result
+    else {
+        unreachable!()
+    };
+    for v in &variants[1..] {
+        let RunResult::Ok {
+            output, globals, ..
+        } = &v.result
+        else {
+            unreachable!()
+        };
+        if output != base_out {
+            return CheckOutcome::Fail(FailureReport {
+                kind: FailureKind::OutputDivergence,
+                detail: format!(
+                    "{} printed {:?} but {} printed {:?}",
+                    baseline.label(),
+                    truncate(base_out),
+                    v.label(),
+                    truncate(output)
+                ),
+                variants: variants.clone(),
+            });
+        }
+        if globals != base_globals {
+            let diff = globals
+                .iter()
+                .zip(base_globals)
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            return CheckOutcome::Fail(FailureReport {
+                kind: FailureKind::GlobalsDivergence,
+                detail: format!(
+                    "globals word {diff}: {} has {} but {} has {}",
+                    baseline.label(),
+                    base_globals.get(diff).copied().unwrap_or(0),
+                    v.label(),
+                    globals.get(diff).copied().unwrap_or(0)
+                ),
+                variants: variants.clone(),
+            });
+        }
+    }
+
+    CheckOutcome::Pass
+}
+
+/// The seeded-fault predicate behind `ucmc shrink --inject` and the CI
+/// convergence check: whether `source` still breaks coherence once its
+/// compiled store annotations are desynchronised with
+/// [`ucm_core::faults::desync_stores`]. The fault is a pure function of
+/// the compiled program, so this predicate survives source-level
+/// shrinking as long as any store→reload pair remains. Compile failures
+/// and VM traps are `false` — a shrink candidate that stops compiling
+/// has lost the failure.
+pub fn seeded_fault_fires(source: &str, cfg: &CheckConfig) -> bool {
+    let Ok(mut compiled) = compile(source, &CompilerOptions::paper()) else {
+        return false;
+    };
+    if ucm_core::faults::desync_stores(&mut compiled.program) == 0 {
+        return false;
+    }
+    let vm = VmConfig {
+        mem_words: cfg.mem_words,
+        max_steps: cfg.max_steps,
+        trace_fetches: false,
+    };
+    let mut oracle = CoherenceOracle::new(cfg.cache);
+    oracle.preload(
+        compiled.program.globals_base,
+        &compiled.program.globals_init,
+    );
+    match run_with_globals(&compiled.program, &mut oracle, &vm) {
+        Ok(_) => oracle.violations() > 0,
+        Err(_) => false,
+    }
+}
+
+fn truncate(values: &[i64]) -> Vec<i64> {
+    values.iter().copied().take(8).collect()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl FailureReport {
+    /// Renders the report as a self-contained JSON object (the repo
+    /// builds its JSON by hand — no serde in the dependency set).
+    pub fn to_json(&self, seed: Option<u64>, source: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        if let Some(seed) = seed {
+            out.push_str(&format!("  \"seed\": {seed},\n"));
+        }
+        out.push_str(&format!("  \"kind\": \"{}\",\n", self.kind));
+        out.push_str(&format!(
+            "  \"detail\": \"{}\",\n",
+            json_escape(&self.detail)
+        ));
+        out.push_str("  \"variants\": [\n");
+        for (i, v) in self.variants.iter().enumerate() {
+            let status = match &v.result {
+                RunResult::Ok {
+                    output, violations, ..
+                } => format!(
+                    "\"status\": \"ok\", \"violations\": {violations}, \"output\": {:?}",
+                    truncate(output)
+                ),
+                RunResult::Trap(e) => {
+                    format!(
+                        "\"status\": \"trap\", \"trap\": \"{}\"",
+                        json_escape(&format!("{e:?}"))
+                    )
+                }
+                RunResult::CompileError(msg) => format!(
+                    "\"status\": \"compile-error\", \"error\": \"{}\"",
+                    json_escape(msg)
+                ),
+            };
+            out.push_str(&format!(
+                "    {{\"codegen\": \"{}\", \"mode\": \"{}\", {status}}}{}\n",
+                v.codegen,
+                v.mode,
+                if i + 1 < self.variants.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"source\": \"{}\"\n", json_escape(source)));
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_program_passes() {
+        let src = "global a: [int; 8]; global sum: int;
+            fn main() {
+                let i: int = 0;
+                while i < 8 { a[i] = i * 3; i = i + 1; }
+                i = 0;
+                while i < 8 { sum = sum + a[i]; i = i + 1; }
+                print(sum);
+            }";
+        let outcome = check_source(src, &CheckConfig::default());
+        assert!(matches!(outcome, CheckOutcome::Pass), "{outcome:?}");
+    }
+
+    #[test]
+    fn uniform_semantic_trap_is_benign() {
+        let src = "global z: int;
+            fn main() { print(10 / z); }";
+        let outcome = check_source(src, &CheckConfig::default());
+        assert!(matches!(outcome, CheckOutcome::Pass), "{outcome:?}");
+    }
+
+    #[test]
+    fn step_budget_exhaustion_skips() {
+        let src = "fn main() { let i: int = 0; while 0 == 0 { i = i + 1; } }";
+        let outcome = check_source(
+            src,
+            &CheckConfig {
+                max_steps: 10_000,
+                ..CheckConfig::default()
+            },
+        );
+        assert!(matches!(outcome, CheckOutcome::Skip { .. }), "{outcome:?}");
+    }
+
+    #[test]
+    fn desynced_stores_fail_the_oracle() {
+        // Compile one variant, desynchronise its store annotations, and
+        // confirm the machinery the shrinker's injected-fault mode relies
+        // on: cached loads go stale once stores bypass to memory.
+        use ucm_core::faults::desync_stores;
+        use ucm_core::pipeline::{compile, CompilerOptions};
+
+        let src = "global a: [int; 16]; global sum: int;
+            fn main() {
+                let i: int = 0;
+                while i < 16 { a[i] = i + 1; i = i + 1; }
+                i = 0;
+                while i < 16 { sum = sum + a[i]; i = i + 1; }
+                print(sum);
+            }";
+        let mut compiled = compile(src, &CompilerOptions::paper()).unwrap();
+        let changed = desync_stores(&mut compiled.program);
+        assert!(changed > 0);
+        let mut oracle = CoherenceOracle::new(CacheConfig::default());
+        let (_, _) =
+            run_with_globals(&compiled.program, &mut oracle, &VmConfig::default()).unwrap();
+        assert!(oracle.violations() > 0, "desynced stores stayed coherent");
+    }
+
+    #[test]
+    fn failure_report_renders_json() {
+        let report = FailureReport {
+            kind: FailureKind::OutputDivergence,
+            detail: "paper/unified printed [1] but modern/safe printed [2]".into(),
+            variants: vec![VariantResult {
+                codegen: Codegen::Paper,
+                mode: ManagementMode::Unified,
+                result: RunResult::Ok {
+                    output: vec![1],
+                    globals: vec![],
+                    violations: 0,
+                    first_violation: None,
+                },
+            }],
+        };
+        let json = report.to_json(Some(7), "fn main() { }");
+        assert!(json.contains("\"seed\": 7"));
+        assert!(json.contains("\"kind\": \"output-divergence\""));
+        assert!(json.contains("\"source\": \"fn main() { }\""));
+    }
+}

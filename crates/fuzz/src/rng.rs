@@ -1,0 +1,98 @@
+//! Deterministic pseudo-random generator for the fuzzer.
+//!
+//! `splitmix64`, the same self-contained generator the fault campaign
+//! uses for site selection: every fuzzing artefact (generated program,
+//! batch schedule) is reproducible from a single `u64` seed with no
+//! external dependency.
+
+/// A `splitmix64` stream.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a stream from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform draw in `lo..=hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        lo + (self.next_u64() % (hi - lo + 1) as u64) as i64
+    }
+
+    /// True with probability `pct`%.
+    pub fn chance(&mut self, pct: u32) -> bool {
+        (self.next_u64() % 100) < u64::from(pct)
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Draws an index into a weight table: returns `i` with probability
+    /// `weights[i] / sum(weights)`.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u32 = weights.iter().sum();
+        debug_assert!(total > 0);
+        let mut draw = (self.next_u64() % u64::from(total)) as u32;
+        for (i, &w) in weights.iter().enumerate() {
+            if draw < w {
+                return i;
+            }
+            draw -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(5) < 5);
+            let v = r.range(-3, 9);
+            assert!((-3..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut r = Rng::new(1);
+        for _ in 0..200 {
+            let i = r.weighted(&[0, 1, 0, 3]);
+            assert!(i == 1 || i == 3);
+        }
+    }
+}

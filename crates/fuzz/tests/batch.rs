@@ -1,0 +1,34 @@
+//! The fixed-seed differential batch the CI smoke job and the issue's
+//! acceptance bar rely on: 500 generated programs, six builds each,
+//! zero differential or coherence failures.
+
+use ucm_fuzz::{run_batch, BatchConfig, CheckConfig};
+
+/// The batch seed CI pins (see `ucmc fuzz --seed`).
+const CI_SEED: u64 = 0xC0FFEE;
+
+#[test]
+fn fixed_seed_batch_of_500_has_zero_failures() {
+    let report = run_batch(&BatchConfig {
+        seed: CI_SEED,
+        count: 500,
+        check: CheckConfig::default(),
+    });
+    assert!(
+        report.failures.is_empty(),
+        "differential failures: {:?}",
+        report
+            .failures
+            .iter()
+            .map(|(seed, _, failure)| (seed, failure.kind, failure.detail.clone()))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(report.total(), 500);
+    // Generated programs are budget-bounded by construction, so resource
+    // skips should be the rare exception, not a silent escape hatch.
+    assert!(
+        report.skipped <= 25,
+        "{} of 500 programs exhausted their budgets",
+        report.skipped
+    );
+}

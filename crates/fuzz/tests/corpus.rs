@@ -1,0 +1,32 @@
+//! The committed corpus under `examples/fuzz/` must stay oracle-clean:
+//! every program passes the full differential check (six builds with
+//! output, globals, and coherence cross-validation). A failure here
+//! means a compiler/cache regression or a corpus edit broke a program.
+
+use std::fs;
+use ucm_fuzz::{check_source, CheckConfig, CheckOutcome};
+
+#[test]
+fn committed_corpus_passes_the_differential_oracle() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/fuzz");
+    let mut checked = 0;
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .expect("examples/fuzz is committed")
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("mini") {
+            continue;
+        }
+        let source = fs::read_to_string(&path).unwrap();
+        let outcome = check_source(&source, &CheckConfig::default());
+        assert!(
+            matches!(outcome, CheckOutcome::Pass),
+            "{}: {outcome:?}",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 8, "corpus shrank to {checked} programs");
+}

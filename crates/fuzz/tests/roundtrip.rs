@@ -1,0 +1,29 @@
+//! Property test: pretty-print → reparse is an AST round-trip for
+//! generated programs (string fixpoint, which subsumes AST equality
+//! modulo spans and expression IDs).
+
+use proptest::prelude::*;
+use ucm_fuzz::generate;
+use ucm_lang::pretty::print_program;
+use ucm_lang::{parse, parse_and_check};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    fn pretty_print_reparse_round_trips(seed: u64) {
+        let program = generate(seed);
+        let printed = print_program(&program);
+        let reparsed = match parse(&printed) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!(
+                "seed {seed}: generated source does not reparse: {e}"
+            ))),
+        };
+        prop_assert_eq!(
+            print_program(&reparsed),
+            printed,
+            "seed {} is not a print-parse fixpoint", seed
+        );
+        // The reparsed program must also still typecheck.
+        prop_assert!(parse_and_check(&printed).is_ok(), "seed {} fails check", seed);
+    }
+}

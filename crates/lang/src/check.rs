@@ -109,6 +109,12 @@ struct Checker {
     scopes: Vec<HashMap<String, VarTarget>>,
     cur_fn: usize,
     loop_depth: usize,
+    /// Current recursion depth over nested statements/expressions;
+    /// bounded by [`crate::MAX_NEST_DEPTH`]. The checker is reachable
+    /// with programmatically built ASTs (the fuzzer constructs
+    /// [`Program`] values directly), so it enforces the limit
+    /// independently of the parser.
+    nest_depth: usize,
 }
 
 impl Checker {
@@ -175,12 +181,29 @@ impl Checker {
             scopes: Vec::new(),
             cur_fn: 0,
             loop_depth: 0,
+            nest_depth: 0,
         })
+    }
+
+    /// Enters one level of recursive nesting, erroring out past the limit.
+    fn descend(&mut self, span: Span) -> LangResult<()> {
+        self.nest_depth += 1;
+        if self.nest_depth > crate::MAX_NEST_DEPTH {
+            return Err(LangError::check(
+                format!(
+                    "nesting exceeds the maximum depth of {}",
+                    crate::MAX_NEST_DEPTH
+                ),
+                span,
+            ));
+        }
+        Ok(())
     }
 
     fn check_func(&mut self, index: usize, f: &FuncDecl) -> LangResult<()> {
         self.cur_fn = index;
         self.loop_depth = 0;
+        self.nest_depth = 0;
         self.scopes.clear();
         let mut param_scope = HashMap::new();
         for (i, p) in f.params.iter().enumerate() {
@@ -231,6 +254,13 @@ impl Checker {
     }
 
     fn check_stmt(&mut self, stmt: &Stmt) -> LangResult<()> {
+        self.descend(stmt.span)?;
+        let r = self.check_stmt_inner(stmt);
+        self.nest_depth -= 1;
+        r
+    }
+
+    fn check_stmt_inner(&mut self, stmt: &Stmt) -> LangResult<()> {
         match &stmt.kind {
             StmtKind::Let { name, ty, init } => {
                 let ty = Type::from(ty);
@@ -399,6 +429,13 @@ impl Checker {
     /// Checks an expression in value context; records and returns its
     /// natural type.
     fn check_expr(&mut self, e: &Expr) -> LangResult<Type> {
+        self.descend(e.span)?;
+        let r = self.check_expr_inner(e);
+        self.nest_depth -= 1;
+        r
+    }
+
+    fn check_expr_inner(&mut self, e: &Expr) -> LangResult<Type> {
         let ty = match &e.kind {
             ExprKind::IntLit(_) => Type::Int,
             ExprKind::Var(name) => {

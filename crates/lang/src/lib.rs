@@ -33,11 +33,23 @@ pub mod check;
 pub mod error;
 pub mod lexer;
 pub mod parser;
+pub mod pretty;
 pub mod token;
 pub mod types;
+
+/// Maximum syntactic nesting depth (expressions, types, statements) the
+/// parser and checker accept before returning a typed error.
+///
+/// Both phases recurse on nested structure, so without a limit a
+/// pathological input like 100 000 nested parentheses overflows the stack
+/// and aborts the process. The limit is far above anything a real program
+/// needs (the deepest example kernel nests under 15 levels) while keeping
+/// worst-case recursion bounded at a few thousand stack frames.
+pub const MAX_NEST_DEPTH: usize = 128;
 
 pub use ast::Program;
 pub use check::{check, parse_and_check, CheckInfo, CheckedProgram, VarTarget};
 pub use error::{LangError, LangResult};
 pub use parser::parse;
+pub use pretty::{print_expr, print_program};
 pub use types::Type;

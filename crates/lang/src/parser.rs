@@ -35,6 +35,10 @@ struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     next_expr_id: u32,
+    /// Current nesting depth across recursive productions (expressions,
+    /// types, statements); bounded by [`crate::MAX_NEST_DEPTH`] so deeply
+    /// nested input yields a parse error instead of a stack overflow.
+    depth: usize,
 }
 
 impl Parser {
@@ -43,7 +47,23 @@ impl Parser {
             tokens,
             pos: 0,
             next_expr_id: 0,
+            depth: 0,
         }
+    }
+
+    /// Enters one level of recursive nesting, erroring out past the limit.
+    fn descend(&mut self) -> LangResult<()> {
+        self.depth += 1;
+        if self.depth > crate::MAX_NEST_DEPTH {
+            return Err(LangError::parse(
+                format!(
+                    "nesting exceeds the maximum depth of {}",
+                    crate::MAX_NEST_DEPTH
+                ),
+                self.peek().span,
+            ));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> &Token {
@@ -208,6 +228,13 @@ impl Parser {
     }
 
     fn type_expr(&mut self) -> LangResult<TypeExpr> {
+        self.descend()?;
+        let r = self.type_expr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn type_expr_inner(&mut self) -> LangResult<TypeExpr> {
         match self.peek_kind().clone() {
             TokenKind::KwInt => {
                 self.bump();
@@ -267,6 +294,13 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> LangResult<Stmt> {
+        self.descend()?;
+        let r = self.stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn stmt_inner(&mut self) -> LangResult<Stmt> {
         match self.peek_kind() {
             TokenKind::Let => self.let_stmt(),
             TokenKind::If => self.if_stmt(),
@@ -367,6 +401,15 @@ impl Parser {
     }
 
     fn if_stmt(&mut self) -> LangResult<Stmt> {
+        // `else if` chains recurse here without passing through `stmt`,
+        // so the depth guard must sit on this production as well.
+        self.descend()?;
+        let r = self.if_stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn if_stmt_inner(&mut self) -> LangResult<Stmt> {
         let start = self.expect(TokenKind::If)?.span;
         let cond = self.expr()?;
         let then_blk = self.block()?;
@@ -445,7 +488,10 @@ impl Parser {
     // ---- expressions ----
 
     fn expr(&mut self) -> LangResult<Expr> {
-        self.or_expr()
+        self.descend()?;
+        let r = self.or_expr();
+        self.depth -= 1;
+        r
     }
 
     fn or_expr(&mut self) -> LangResult<Expr> {
@@ -523,6 +569,13 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> LangResult<Expr> {
+        self.descend()?;
+        let r = self.unary_expr_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_expr_inner(&mut self) -> LangResult<Expr> {
         let start = self.peek().span;
         match self.peek_kind() {
             TokenKind::Minus => {

@@ -1,0 +1,384 @@
+//! Pretty-printer for Mini programs.
+//!
+//! Prints an [`ast::Program`] back to concrete Mini syntax such that
+//! reparsing the output reproduces the same program. The printer is the
+//! foundation of the fuzzer's shrinking loop (`ucm-fuzz` mutates ASTs and
+//! must serialise every candidate back to source) and is therefore held to
+//! a *fixpoint* round-trip invariant:
+//!
+//! ```text
+//! print(parse(print(p))) == print(p)
+//! ```
+//!
+//! String equality (rather than AST equality) sidesteps the two lossy
+//! spots of the concrete syntax: spans and expression ids are fresh after
+//! a reparse, and a negative [`ExprKind::IntLit`] prints as `-N`, which
+//! reparses as `Unary(Neg, IntLit(N))` — both print identically, so the
+//! fixpoint holds for every well-formed program.
+//!
+//! Parenthesisation is precedence-driven and minimal-ish: operands are
+//! wrapped exactly when the grammar would otherwise reassociate them
+//! (comparisons are non-associative in Mini, so comparison operands never
+//! admit bare comparisons).
+
+use crate::ast::*;
+
+/// Binding strength of an expression for parenthesisation, loosest to
+/// tightest. Mirrors the parser's precedence ladder.
+const PREC_OR: u8 = 1;
+const PREC_AND: u8 = 2;
+const PREC_CMP: u8 = 3;
+const PREC_ADD: u8 = 4;
+const PREC_MUL: u8 = 5;
+const PREC_UNARY: u8 = 6;
+const PREC_POSTFIX: u8 = 7;
+const PREC_ATOM: u8 = 8;
+
+fn op_prec(op: BinOp) -> u8 {
+    use BinOp::*;
+    match op {
+        Or => PREC_OR,
+        And => PREC_AND,
+        Eq | Ne | Lt | Le | Gt | Ge => PREC_CMP,
+        Add | Sub => PREC_ADD,
+        Mul | Div | Rem => PREC_MUL,
+    }
+}
+
+fn expr_prec(e: &Expr) -> u8 {
+    match &e.kind {
+        ExprKind::IntLit(v) if *v < 0 => PREC_UNARY,
+        ExprKind::IntLit(_) | ExprKind::Var(_) | ExprKind::Call(..) => PREC_ATOM,
+        ExprKind::Binary(op, ..) => op_prec(*op),
+        ExprKind::Unary(..) | ExprKind::Deref(_) | ExprKind::AddrOf(_) => PREC_UNARY,
+        ExprKind::Index(..) => PREC_POSTFIX,
+    }
+}
+
+/// Prints one expression as Mini source.
+pub fn print_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, 0);
+    s
+}
+
+fn write_expr(out: &mut String, e: &Expr, min_prec: u8) {
+    let prec = expr_prec(e);
+    let need_parens = prec < min_prec;
+    if need_parens {
+        out.push('(');
+    }
+    match &e.kind {
+        ExprKind::IntLit(v) => out.push_str(&v.to_string()),
+        ExprKind::Var(name) => out.push_str(name),
+        ExprKind::Unary(op, operand) => {
+            out.push_str(&op.to_string());
+            write_expr(out, operand, PREC_UNARY);
+        }
+        ExprKind::Binary(op, lhs, rhs) => {
+            // Left-associative operators reprint their own level on the
+            // left and one tighter on the right; non-associative
+            // comparisons demand one tighter on both sides.
+            let (lmin, rmin) = if op_prec(*op) == PREC_CMP {
+                (PREC_ADD, PREC_ADD)
+            } else {
+                (prec, prec + 1)
+            };
+            write_expr(out, lhs, lmin);
+            out.push(' ');
+            out.push_str(&op.to_string());
+            out.push(' ');
+            write_expr(out, rhs, rmin);
+        }
+        ExprKind::Call(name, args) => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        ExprKind::Index(base, index) => {
+            write_expr(out, base, PREC_POSTFIX);
+            out.push('[');
+            write_expr(out, index, 0);
+            out.push(']');
+        }
+        ExprKind::Deref(ptr) => {
+            out.push('*');
+            write_expr(out, ptr, PREC_UNARY);
+        }
+        ExprKind::AddrOf(lvalue) => {
+            out.push('&');
+            write_expr(out, lvalue, PREC_UNARY);
+        }
+    }
+    if need_parens {
+        out.push(')');
+    }
+}
+
+/// Prints a whole program as Mini source, formatted with four-space
+/// indentation and one blank line between top-level items.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for g in &p.globals {
+        out.push_str(&format!("global {}: {}", g.name, g.ty));
+        if let Some(v) = g.init {
+            out.push_str(&format!(" = {v}"));
+        }
+        out.push_str(";\n");
+    }
+    for (i, f) in p.funcs.iter().enumerate() {
+        if i > 0 || !p.globals.is_empty() {
+            out.push('\n');
+        }
+        write_func(&mut out, f);
+    }
+    out
+}
+
+fn write_func(out: &mut String, f: &FuncDecl) {
+    out.push_str(&format!("fn {}(", f.name));
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", p.name, p.ty));
+    }
+    out.push(')');
+    if f.returns_value {
+        out.push_str(" -> int");
+    }
+    out.push(' ');
+    write_block(out, &f.body, 0);
+    out.push('\n');
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn write_block(out: &mut String, b: &Block, level: usize) {
+    if b.stmts.is_empty() {
+        out.push_str("{ }");
+        return;
+    }
+    out.push_str("{\n");
+    for s in &b.stmts {
+        indent(out, level + 1);
+        write_stmt(out, s, level + 1);
+        out.push('\n');
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+/// Prints an assignment or expression statement without the trailing
+/// semicolon — the form shared by statement position and `for` headers.
+fn write_simple_stmt(out: &mut String, s: &Stmt) {
+    match &s.kind {
+        StmtKind::Assign { target, value } => {
+            write_expr(out, target, 0);
+            out.push_str(" = ");
+            write_expr(out, value, 0);
+        }
+        StmtKind::Expr(e) => write_expr(out, e, 0),
+        other => unreachable!("not a simple statement: {other:?}"),
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match &s.kind {
+        StmtKind::Let { name, ty, init } => {
+            out.push_str(&format!("let {name}: {ty}"));
+            if let Some(e) = init {
+                out.push_str(" = ");
+                write_expr(out, e, 0);
+            }
+            out.push(';');
+        }
+        StmtKind::Assign { .. } | StmtKind::Expr(_) => {
+            write_simple_stmt(out, s);
+            out.push(';');
+        }
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            out.push_str("if ");
+            write_expr(out, cond, 0);
+            out.push(' ');
+            write_block(out, then_blk, level);
+            if let Some(e) = else_blk {
+                out.push_str(" else ");
+                // An `else if` chain is stored as a one-statement block
+                // holding an `if`; print it back in chained form so the
+                // reparse reproduces the same synthetic nesting.
+                if e.stmts.len() == 1 {
+                    if let StmtKind::If { .. } = &e.stmts[0].kind {
+                        write_stmt(out, &e.stmts[0], level);
+                        return;
+                    }
+                }
+                write_block(out, e, level);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            out.push_str("while ");
+            write_expr(out, cond, 0);
+            out.push(' ');
+            write_block(out, body, level);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            out.push_str("for ");
+            if let Some(i) = init {
+                write_simple_stmt(out, i);
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                write_expr(out, c, 0);
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                write_simple_stmt(out, st);
+                out.push(' ');
+            }
+            write_block(out, body, level);
+        }
+        StmtKind::Return(value) => {
+            out.push_str("return");
+            if let Some(e) = value {
+                out.push(' ');
+                write_expr(out, e, 0);
+            }
+            out.push(';');
+        }
+        StmtKind::Break => out.push_str("break;"),
+        StmtKind::Continue => out.push_str("continue;"),
+        StmtKind::Print(e) => {
+            out.push_str("print(");
+            write_expr(out, e, 0);
+            out.push_str(");");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    fn fixpoint(src: &str) {
+        let once = print_program(&parse(src).expect("seed parses"));
+        let twice = print_program(&parse(&once).expect("printed source parses"));
+        assert_eq!(once, twice, "print is not a reparse fixpoint for {src:?}");
+    }
+
+    #[test]
+    fn prints_minimal_program() {
+        let p = parse("fn main() { print(42); }").unwrap();
+        assert_eq!(print_program(&p), "fn main() {\n    print(42);\n}\n");
+    }
+
+    #[test]
+    fn expr_precedence_round_trips() {
+        for src in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "1 - (2 - 3)",
+            "1 - 2 - 3",
+            "a < b && c || d",
+            "(a < b) == (c > d)",
+            "-!x",
+            "*p + 1",
+            "&a[i]",
+            "m[i][j]",
+            "f(a, b + 1)[2]",
+            "-(a + b)",
+            "a / (b * c) % d",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let printed = print_expr(&e);
+            let reparsed = parse_expr(&printed).unwrap();
+            assert_eq!(
+                print_expr(&reparsed),
+                printed,
+                "fixpoint failed for {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_literal_prints_as_unary() {
+        use crate::token::Span;
+        let e = Expr {
+            id: ExprId(0),
+            kind: ExprKind::IntLit(-5),
+            span: Span::default(),
+        };
+        assert_eq!(print_expr(&e), "-5");
+        // And inside a subtraction the unary form still reparses.
+        let sub = Expr {
+            id: ExprId(1),
+            kind: ExprKind::Binary(
+                BinOp::Sub,
+                Box::new(Expr {
+                    id: ExprId(2),
+                    kind: ExprKind::IntLit(1),
+                    span: Span::default(),
+                }),
+                Box::new(e),
+            ),
+            span: Span::default(),
+        };
+        let printed = print_expr(&sub);
+        assert_eq!(printed, "1 - -5");
+        let reparsed = parse_expr(&printed).unwrap();
+        assert_eq!(print_expr(&reparsed), printed);
+    }
+
+    #[test]
+    fn full_programs_round_trip() {
+        fixpoint(
+            "global a: [int; 10]; global s: int = -7;\n\
+             fn f(x: int, p: *int) -> int { return x + *p; }\n\
+             fn main() {\n\
+                 let i: int = 0;\n\
+                 for i = 0; i < 10; i = i + 1 { a[i] = f(i, &s); }\n\
+                 while i > 0 { i = i - 1; if a[i] > 3 { break; } else { continue; } }\n\
+                 if i == 0 { print(a[0]); } else if i == 1 { print(1); } else { print(2); }\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn empty_bodies_and_for_variants_round_trip() {
+        fixpoint("fn main() { for ; ; { break; } }");
+        fixpoint("fn e() { } fn main() { e(); for i = 0; ; { break; } }");
+        fixpoint("global i: int; fn main() { for ; i < 3; i = i + 1 { print(i); } }");
+    }
+
+    #[test]
+    fn example_kernels_round_trip() {
+        for src in [
+            include_str!("../../../examples/mini/towers.mini"),
+            include_str!("../../../examples/mini/bubble.mini"),
+            include_str!("../../../examples/mini/queen.mini"),
+            include_str!("../../../examples/mini/puzzle.mini"),
+        ] {
+            fixpoint(src);
+        }
+    }
+}

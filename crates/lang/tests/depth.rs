@@ -1,0 +1,106 @@
+//! Regression tests for the front end's nesting-depth limits.
+//!
+//! Generator-shaped inputs (and adversarial ones) can nest expressions,
+//! types, and statements arbitrarily deep; both the parser and the
+//! checker must reject them with a typed [`LangError`] instead of
+//! overflowing the stack and aborting the process.
+
+use ucm_lang::ast::*;
+use ucm_lang::error::Phase;
+use ucm_lang::token::Span;
+use ucm_lang::{check, parse, parse_and_check, LangError, MAX_NEST_DEPTH};
+
+fn assert_depth_error(r: Result<impl std::fmt::Debug, LangError>, phase: Phase) {
+    let err = r.expect_err("deeply nested input must be rejected");
+    assert_eq!(err.phase, phase);
+    assert!(
+        err.message.contains("maximum depth"),
+        "unexpected message: {}",
+        err.message
+    );
+}
+
+#[test]
+fn deeply_nested_parens_error_cleanly() {
+    let src = format!(
+        "fn main() {{ print({}1{}); }}",
+        "(".repeat(100_000),
+        ")".repeat(100_000)
+    );
+    assert_depth_error(parse(&src), Phase::Parse);
+}
+
+#[test]
+fn deeply_nested_unary_chain_errors_cleanly() {
+    let src = format!("fn main() {{ print({}1); }}", "-".repeat(100_000));
+    assert_depth_error(parse(&src), Phase::Parse);
+}
+
+#[test]
+fn deeply_nested_types_error_cleanly() {
+    let src = format!(
+        "global m: {}int{};",
+        "[".repeat(100_000),
+        "; 1]".repeat(100_000)
+    );
+    assert_depth_error(parse(&src), Phase::Parse);
+}
+
+#[test]
+fn deeply_nested_blocks_error_cleanly() {
+    let src = format!(
+        "fn main() {{ {} {} }}",
+        "if 1 {".repeat(100_000),
+        "}".repeat(100_000)
+    );
+    assert_depth_error(parse(&src), Phase::Parse);
+}
+
+#[test]
+fn shallow_nesting_still_parses() {
+    // Each parenthesis level passes both the `expr` and `unary_expr`
+    // guards, so the deepest accepted paren tower is about half the
+    // nominal limit; stay comfortably below that.
+    let depth = MAX_NEST_DEPTH / 4;
+    let src = format!(
+        "fn main() {{ print({}1{}); }}",
+        "(".repeat(depth),
+        ")".repeat(depth)
+    );
+    parse_and_check(&src).expect("nesting below the limit is accepted");
+}
+
+#[test]
+fn checker_bounds_depth_on_constructed_asts() {
+    // The fuzzer hands `check` programmatically built ASTs that never went
+    // through the parser, so the checker enforces the limit itself.
+    let mut e = Expr {
+        id: ExprId(0),
+        kind: ExprKind::IntLit(1),
+        span: Span::default(),
+    };
+    for i in 1..=2_000u32 {
+        e = Expr {
+            id: ExprId(i),
+            kind: ExprKind::Unary(UnOp::Neg, Box::new(e)),
+            span: Span::default(),
+        };
+    }
+    let program = Program {
+        globals: vec![],
+        funcs: vec![FuncDecl {
+            name: "main".into(),
+            params: vec![],
+            returns_value: false,
+            body: Block {
+                stmts: vec![Stmt {
+                    kind: StmtKind::Print(e),
+                    span: Span::default(),
+                }],
+                span: Span::default(),
+            },
+            span: Span::default(),
+        }],
+    };
+    assert_depth_error(check(program), Phase::Check);
+}

@@ -48,4 +48,4 @@ pub use codegen::{codegen, CodegenConfig, CodegenError, MemTagger, PlainTagger, 
 pub use isa::{Flavour, MAddr, MFunc, MInstr, MOperand, MachineProgram, MemTag, PReg};
 pub use packed::{PackedTrace, TraceRecord};
 pub use trace::{CountSink, MemEvent, NullSink, TeeSink, TraceSink, VecSink};
-pub use vm::{run, run_boxed, VmConfig, VmError, VmOutcome};
+pub use vm::{run, run_boxed, run_with_globals, VmConfig, VmError, VmOutcome};

@@ -93,6 +93,26 @@ pub fn run<S: TraceSink + ?Sized>(
     sink: &mut S,
     config: &VmConfig,
 ) -> Result<VmOutcome, VmError> {
+    run_with_globals(program, sink, config).map(|(outcome, _)| outcome)
+}
+
+/// Runs `program` and additionally returns the final contents of the
+/// global segment (`globals_init.len()` words starting at `globals_base`).
+///
+/// The global segment is the only memory region whose layout is fixed by
+/// the *source* program rather than by codegen decisions, so it is the
+/// region a differential oracle can meaningfully compare across compiler
+/// configurations: stack frames differ between register allocators, but
+/// every correct compilation must leave the same values in the globals.
+///
+/// # Errors
+///
+/// Exactly those of [`run`].
+pub fn run_with_globals<S: TraceSink + ?Sized>(
+    program: &MachineProgram,
+    sink: &mut S,
+    config: &VmConfig,
+) -> Result<(VmOutcome, Vec<i64>), VmError> {
     Vm {
         program,
         sink,
@@ -193,7 +213,7 @@ impl<S: TraceSink + ?Sized> Vm<'_, S> {
         Ok(())
     }
 
-    fn run(mut self) -> Result<VmOutcome, VmError> {
+    fn run(mut self) -> Result<(VmOutcome, Vec<i64>), VmError> {
         // Global image. The segment must fit inside configured memory
         // (`--mem-words` can be arbitrarily small).
         let base = self.program.globals_base as usize;
@@ -312,11 +332,17 @@ impl<S: TraceSink + ?Sized> Vm<'_, S> {
                             ucm_obs::counter("vm.steps", self.steps);
                             ucm_obs::counter("vm.data_refs", self.data_refs);
                         }
-                        return Ok(VmOutcome {
-                            output: self.output,
-                            steps: self.steps,
-                            data_refs: self.data_refs,
-                        });
+                        let gbase = self.program.globals_base as usize;
+                        let globals =
+                            self.mem[gbase..gbase + self.program.globals_init.len()].to_vec();
+                        return Ok((
+                            VmOutcome {
+                                output: self.output,
+                                steps: self.steps,
+                                data_refs: self.data_refs,
+                            },
+                            globals,
+                        ));
                     }
                 },
                 MInstr::SetRv { src } => self.rv = self.regs[*src as usize],
@@ -611,6 +637,18 @@ mod tests {
         let mut boxed: Box<dyn TraceSink> = Box::<CountSink>::default();
         let out_b = run_boxed(&p, boxed.as_mut(), &VmConfig::default()).unwrap();
         assert_eq!(out_g, out_b);
+    }
+
+    #[test]
+    fn globals_snapshot_reflects_final_state() {
+        let p = compile(
+            "global g: int = 7; global a: [int; 3]; \
+             fn main() { a[0] = g; a[2] = g * 2; g = 1; print(g); }",
+            8,
+        );
+        let (out, globals) = run_with_globals(&p, &mut NullSink, &VmConfig::default()).unwrap();
+        assert_eq!(out.output, vec![1]);
+        assert_eq!(globals, vec![1, 7, 0, 14]);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! The committed fuzzer corpus: generated Mini programs promoted into
+//! the benchmark set.
+//!
+//! Each program under `examples/fuzz/` was produced by the `ucm-fuzz`
+//! generator (`ucmc fuzz --emit SEED`, seed in the file name), survived
+//! the differential oracle, and is committed together with a golden
+//! `.expected` file pinning its printed output. Unlike the six paper
+//! benchmarks there is no native Rust reference — the golden files *are*
+//! the reference, auditable in review and stable against compiler or VM
+//! regressions.
+//!
+//! The corpus rides along in `ucmc sweep` as extra workloads: generator
+//! programs are pointer- and alias-heavy by construction, so their
+//! dynamic unambiguous-reference fractions probe the paper's 45–75%
+//! claim (§4) from a different direction than the hand-written suite.
+
+use crate::harness::Workload;
+
+/// `(name, source, golden expected output)` for the committed corpus.
+const CORPUS: [(&str, &str, &str); 8] = [
+    (
+        "fuzz_s001",
+        include_str!("../../../examples/fuzz/fuzz_s001.mini"),
+        include_str!("../../../examples/fuzz/fuzz_s001.expected"),
+    ),
+    (
+        "fuzz_s002",
+        include_str!("../../../examples/fuzz/fuzz_s002.mini"),
+        include_str!("../../../examples/fuzz/fuzz_s002.expected"),
+    ),
+    (
+        "fuzz_s005",
+        include_str!("../../../examples/fuzz/fuzz_s005.mini"),
+        include_str!("../../../examples/fuzz/fuzz_s005.expected"),
+    ),
+    (
+        "fuzz_s007",
+        include_str!("../../../examples/fuzz/fuzz_s007.mini"),
+        include_str!("../../../examples/fuzz/fuzz_s007.expected"),
+    ),
+    (
+        "fuzz_s009",
+        include_str!("../../../examples/fuzz/fuzz_s009.mini"),
+        include_str!("../../../examples/fuzz/fuzz_s009.expected"),
+    ),
+    (
+        "fuzz_s011",
+        include_str!("../../../examples/fuzz/fuzz_s011.mini"),
+        include_str!("../../../examples/fuzz/fuzz_s011.expected"),
+    ),
+    (
+        "fuzz_s012",
+        include_str!("../../../examples/fuzz/fuzz_s012.mini"),
+        include_str!("../../../examples/fuzz/fuzz_s012.expected"),
+    ),
+    (
+        "fuzz_s014",
+        include_str!("../../../examples/fuzz/fuzz_s014.mini"),
+        include_str!("../../../examples/fuzz/fuzz_s014.expected"),
+    ),
+];
+
+/// The committed fuzzer corpus as sweep-ready workloads.
+///
+/// # Panics
+///
+/// Panics if a committed `.expected` file is corrupt (non-integer line) —
+/// a build-time data error, not a runtime condition.
+pub fn fuzz_corpus() -> Vec<Workload> {
+    CORPUS
+        .iter()
+        .map(|(name, source, expected)| Workload {
+            name: (*name).into(),
+            source: (*source).into(),
+            expected: expected
+                .lines()
+                .map(|l| {
+                    l.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("{name}.expected: bad line `{l}`"))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_cache::CacheConfig;
+    use ucm_core::pipeline::CompilerOptions;
+    use ucm_machine::VmConfig;
+
+    #[test]
+    fn corpus_has_eight_named_entries_with_golden_outputs() {
+        let corpus = fuzz_corpus();
+        assert_eq!(corpus.len(), 8);
+        for w in &corpus {
+            assert!(w.name.starts_with("fuzz_s"), "{}", w.name);
+            assert!(!w.expected.is_empty(), "{} has no golden output", w.name);
+        }
+    }
+
+    #[test]
+    fn corpus_matches_golden_outputs_under_both_codegens() {
+        for w in fuzz_corpus() {
+            for options in [CompilerOptions::default(), CompilerOptions::paper()] {
+                let cmp = w
+                    .compare(&options, CacheConfig::default(), &VmConfig::default())
+                    .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+                assert_eq!(
+                    cmp.unified.outcome.output, w.expected,
+                    "{} diverged from its golden output",
+                    w.name
+                );
+            }
+        }
+    }
+}

@@ -15,6 +15,8 @@
 //!
 //! [`harness::paper_suite`] assembles them at paper sizes;
 //! [`harness::quick_suite`] provides scaled-down variants for fast tests.
+//! [`fuzz::fuzz_corpus`] adds the committed fuzzer-generated programs
+//! from `examples/fuzz/` (golden outputs, no native reference).
 //!
 //! ## Example
 //!
@@ -33,6 +35,7 @@
 //! ```
 
 pub mod bubble;
+pub mod fuzz;
 pub mod harness;
 pub mod intmm;
 pub mod puzzle;
@@ -40,4 +43,5 @@ pub mod queen;
 pub mod sieve;
 pub mod towers;
 
+pub use fuzz::fuzz_corpus;
 pub use harness::{paper_suite, quick_suite, sweep_suite, Workload};
