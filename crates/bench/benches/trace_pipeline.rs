@@ -7,11 +7,14 @@
 //!   an unpacked `Vec<MemEvent>` (16 bytes/event),
 //! * fused multi-cell replay (one trace pass drives a whole
 //!   write-policy × replacement block) vs replaying the block one cell
-//!   at a time.
+//!   at a time,
+//! * stack-distance replay (one recency-stack traversal serves the whole
+//!   ways×size LRU sub-grid) vs fused per-geometry simulators over the
+//!   same cells.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use ucm_bench::sweep::{record_trace, replay, replay_fused, Codegen};
+use ucm_bench::sweep::{record_trace, replay, replay_fused, replay_stack, Codegen};
 use ucm_cache::{CacheConfig, CacheSim, PolicyKind, WritePolicy};
 use ucm_core::pipeline::{compile, CompilerOptions};
 use ucm_core::ManagementMode;
@@ -131,10 +134,33 @@ fn bench_fused_replay(c: &mut Criterion) {
     });
 }
 
+fn bench_stack_replay(c: &mut Criterion) {
+    let (trace, steps) = recorded();
+    // The whole LRU ways×size sub-grid at one line size and write policy:
+    // one engine traversal vs one fused simulator per geometry.
+    let cfgs: Vec<CacheConfig> = [(64, 1), (256, 1), (1024, 1), (256, 4), (1024, 4)]
+        .iter()
+        .map(|&(size_words, ways)| CacheConfig {
+            size_words,
+            line_words: 4,
+            associativity: ways,
+            policy: PolicyKind::Lru,
+            ..CacheConfig::default()
+        })
+        .collect();
+    c.bench_function("replay_stack_lru_subgrid", |b| {
+        b.iter(|| replay_stack(black_box(&trace), &cfgs, None, steps))
+    });
+    c.bench_function("replay_fused_lru_subgrid", |b| {
+        b.iter(|| replay_fused(black_box(&trace), &cfgs, None, steps))
+    });
+}
+
 criterion_group!(
     benches,
     bench_vm_dispatch,
     bench_replay_format,
-    bench_fused_replay
+    bench_fused_replay,
+    bench_stack_replay
 );
 criterion_main!(benches);

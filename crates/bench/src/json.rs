@@ -86,6 +86,19 @@ impl Json {
     }
 }
 
+/// What class of parse failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// Malformed syntax: an unexpected byte, a bad escape, trailing
+    /// content, and so on.
+    Syntax,
+    /// A non-finite number: a `NaN`/`Infinity`/`-Infinity` token (never
+    /// valid JSON), or a numeric literal that overflows f64 to infinity
+    /// (`1e999`). Sweep counters and ratios must stay finite, so these
+    /// get their own kind for validators to match on.
+    NonFinite,
+}
+
 /// A parse failure with byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -93,6 +106,8 @@ pub struct JsonError {
     pub offset: usize,
     /// What went wrong.
     pub message: String,
+    /// The failure class.
+    pub kind: JsonErrorKind,
 }
 
 impl fmt::Display for JsonError {
@@ -130,6 +145,15 @@ impl Parser<'_> {
         JsonError {
             offset: self.pos,
             message: msg.into(),
+            kind: JsonErrorKind::Syntax,
+        }
+    }
+
+    fn err_non_finite(&self, msg: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: msg.into(),
+            kind: JsonErrorKind::NonFinite,
         }
     }
 
@@ -169,6 +193,12 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'n') => self.literal("null", Json::Null),
+            // IEEE-754 spellings some writers emit but JSON forbids:
+            // reject with a dedicated kind instead of a generic syntax
+            // error, so validators can name the real problem.
+            Some(b'N') | Some(b'I') => {
+                Err(self.err_non_finite("non-finite numbers (NaN/Infinity) are not valid JSON"))
+            }
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
@@ -284,6 +314,11 @@ impl Parser<'_> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
+            if self.peek() == Some(b'I') {
+                return Err(
+                    self.err_non_finite("non-finite numbers (NaN/Infinity) are not valid JSON")
+                );
+            }
         }
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             self.pos += 1;
@@ -314,6 +349,9 @@ impl Parser<'_> {
                 return Err(self.err("bad number"));
             }
             let approx: f64 = text.parse().map_err(|_| self.err("bad number"))?;
+            if !approx.is_finite() {
+                return Err(self.err_non_finite("number overflows f64 to a non-finite value"));
+            }
             let exact = text
                 .parse::<i128>()
                 .is_ok_and(|v| v.unsigned_abs() <= 1 << 53);
@@ -323,9 +361,13 @@ impl Parser<'_> {
                 Json::BigNum(approx)
             });
         }
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("bad number"))
+        let v: f64 = text.parse().map_err(|_| self.err("bad number"))?;
+        // `1e999` parses "successfully" to infinity: a silently saturated
+        // token is corruption, not a value, so it is rejected typed.
+        if !v.is_finite() {
+            return Err(self.err_non_finite("number overflows f64 to a non-finite value"));
+        }
+        Ok(Json::Num(v))
     }
 }
 
@@ -375,6 +417,30 @@ mod tests {
         let doc = format!("{{\"k\": \"{}\"}}", escape(original));
         let v = parse(&doc).unwrap();
         assert_eq!(v.get("k").unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn non_finite_tokens_are_rejected_with_a_typed_error() {
+        for bad in [
+            "NaN",
+            "Infinity",
+            "-Infinity",
+            "[1, NaN]",
+            "{\"a\": Infinity}",
+            "{\"a\": -Infinity}",
+            "1e999",
+            "-1e999",
+            "1e309",
+        ] {
+            match parse(bad) {
+                Err(e) => assert_eq!(e.kind, JsonErrorKind::NonFinite, "{bad}: {e}"),
+                Ok(v) => panic!("accepted {bad:?} as {v:?}"),
+            }
+        }
+        // The largest finite double still parses, and plain syntax errors
+        // keep their own kind.
+        assert_eq!(parse("1e308").unwrap().as_num(), Some(1e308));
+        assert_eq!(parse("[").unwrap_err().kind, JsonErrorKind::Syntax);
     }
 
     #[test]

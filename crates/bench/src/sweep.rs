@@ -39,8 +39,8 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 use ucm_cache::{
-    CacheConfig, CacheSim, CacheStats, ConfigError, Latency, PolicyKind, TimedCache, TimingConfig,
-    TimingReport, WritePolicy,
+    CacheConfig, CacheSim, CacheStats, ConfigError, Latency, PolicyKind, StackDistanceSink,
+    TimedCache, TimedStack, TimingConfig, TimingReport, WritePolicy,
 };
 use ucm_core::pipeline::{compile, CompileError, CompilerOptions};
 use ucm_core::ManagementMode;
@@ -134,6 +134,12 @@ pub struct SweepConfig {
     pub seed: u64,
     /// VM configuration for trace recording.
     pub vm: VmConfig,
+    /// Drive stack-orderable cells (true LRU, plus direct-mapped cells
+    /// of any policy) through the one-pass stack-distance engine instead
+    /// of per-geometry fused simulators. Counter-for-counter identical
+    /// to the fused path — pinned by the parity tests and the CI
+    /// byte-compare; `ucmc sweep --no-stack-distance` clears it.
+    pub use_stack_distance: bool,
 }
 
 impl SweepConfig {
@@ -198,6 +204,7 @@ impl SweepConfig {
             timing: None,
             seed: CacheConfig::default().seed,
             vm: VmConfig::default(),
+            use_stack_distance: true,
         }
     }
 
@@ -364,16 +371,22 @@ pub struct TraceSummary {
 /// Figure-5-style ratios of a cell against its conventional twin — the
 /// conventional-mode cell of the same workload, codegen, geometry, and
 /// policies.
+///
+/// Every ratio is `None` (serialised as `null`) when its baseline
+/// denominator is degenerate — a conventional twin with zero cache refs,
+/// zero bus words, or zero cycles, or a cell with zero access time —
+/// instead of a 0.0/1.0 sentinel that reads like a measurement.
 #[derive(Debug, Clone, Copy)]
 pub struct CellRatios {
     /// Reduction in references entering the cache, percent.
-    pub cache_ref_reduction_pct: f64,
+    pub cache_ref_reduction_pct: Option<f64>,
     /// Reduction in memory-bus words moved, percent.
-    pub bus_words_reduction_pct: f64,
+    pub bus_words_reduction_pct: Option<f64>,
     /// Speedup of total memory access time.
-    pub access_time_speedup: f64,
+    pub access_time_speedup: Option<f64>,
     /// Reduction in total cycles under the timing model, percent;
-    /// `None` when the sweep ran without timing.
+    /// `None` when the sweep ran without timing (field omitted from the
+    /// artifact) or the twin recorded zero cycles (explicit `null`).
     pub cycle_reduction_pct: Option<f64>,
 }
 
@@ -450,6 +463,12 @@ pub struct SweepTimings {
     pub record: Duration,
     /// Time spent replaying traces against the grid.
     pub replay: Duration,
+    /// Replayed cells served by the one-pass stack-distance engine
+    /// (cells of behaviour-duplicate traces are copied, not replayed,
+    /// and count toward neither figure).
+    pub stack_cells: usize,
+    /// Replayed cells served by per-geometry fused simulators.
+    pub fused_cells: usize,
 }
 
 /// The complete result of a sweep.
@@ -826,6 +845,100 @@ pub fn replay_fused(
     class_of.into_iter().map(|p| results[p]).collect()
 }
 
+/// Replays one trace against many *stack-orderable* cache configurations
+/// (true LRU, or direct-mapped under any policy — see [`stack_eligible`])
+/// in one pass per (line size, write policy, honor-flag) family: a single
+/// traversal maintains a global recency stack and serves every ways×size
+/// geometry of the family at once (Mattson's stack-distance property,
+/// extended with the paper's bypass and last-reference semantics — see
+/// [`StackDistanceSink`]).
+///
+/// Results come back in `cfgs` order, counter-for-counter (and for timed
+/// replays cycle-for-cycle) identical to [`replay_fused`]; the parity
+/// tests pin this.
+pub fn replay_stack(
+    trace: &PackedTrace,
+    cfgs: &[CacheConfig],
+    timing: Option<TimingConfig>,
+    steps: u64,
+) -> Vec<(CacheStats, Option<CellTiming>)> {
+    // Same behaviour-class collapse as `replay_fused`: direct-mapped
+    // cells of every policy share one representative.
+    let mut class_of = Vec::with_capacity(cfgs.len());
+    let mut unique: Vec<CacheConfig> = Vec::new();
+    for &c in cfgs {
+        let key = canonical_cell(c);
+        match unique.iter().position(|&u| u == key) {
+            Some(p) => class_of.push(p),
+            None => {
+                unique.push(key);
+                class_of.push(unique.len() - 1);
+            }
+        }
+    }
+    // One engine serves any mix of geometries that agrees on line size,
+    // write policy, and honor flags; group the representatives into those
+    // families.
+    type FamKey = (usize, WritePolicy, bool, bool);
+    let fam_key = |c: &CacheConfig| -> FamKey {
+        (c.line_words, c.write_policy, c.honor_tags, c.honor_last_ref)
+    };
+    let mut fams: Vec<(FamKey, Vec<usize>)> = Vec::new();
+    for (u, c) in unique.iter().enumerate() {
+        match fams.iter_mut().find(|(k, _)| *k == fam_key(c)) {
+            Some((_, members)) => members.push(u),
+            None => fams.push((fam_key(c), vec![u])),
+        }
+    }
+    let mut results: Vec<Option<(CacheStats, Option<CellTiming>)>> = vec![None; unique.len()];
+    match timing {
+        None => {
+            let mut sinks: Vec<StackDistanceSink> = fams
+                .iter()
+                .map(|(_, members)| {
+                    let cs: Vec<CacheConfig> = members.iter().map(|&u| unique[u]).collect();
+                    StackDistanceSink::try_new(&cs)
+                        .expect("grid geometries validated before replay")
+                })
+                .collect();
+            fused_pass(trace, &mut sinks);
+            for (sink, (_, members)) in sinks.into_iter().zip(&fams) {
+                for (stats, &u) in sink.into_stats().into_iter().zip(members) {
+                    results[u] = Some((stats, None));
+                }
+            }
+        }
+        Some(t) => {
+            let mut sinks: Vec<TimedStack> = fams
+                .iter()
+                .map(|(_, members)| {
+                    let cs: Vec<CacheConfig> = members.iter().map(|&u| unique[u]).collect();
+                    TimedStack::new(&cs, t)
+                })
+                .collect();
+            fused_pass(trace, &mut sinks);
+            for (sink, (_, members)) in sinks.into_iter().zip(&fams) {
+                for ((stats, report), &u) in sink.finish(steps).into_iter().zip(members) {
+                    results[u] = Some((stats, Some(CellTiming::from_report(&report))));
+                }
+            }
+        }
+    }
+    class_of
+        .into_iter()
+        .map(|p| results[p].expect("every family member is simulated"))
+        .collect()
+}
+
+/// Whether a cell can ride the stack-distance fast path: the global
+/// recency stack orders victims only for true LRU, and a direct-mapped
+/// set has no victim choice, so any policy canonicalises to LRU there.
+/// FIFO/Random/OneBitLru at ways > 1 are not stack algorithms and keep
+/// the fused path.
+fn stack_eligible(c: CacheConfig) -> bool {
+    canonical_cell(c).policy == PolicyKind::Lru
+}
+
 /// Maps a cell configuration to its behaviour class: configurations that
 /// canonicalise equally produce identical [`CacheStats`] (and timing) on
 /// every trace, so [`replay_fused`] simulates one representative per
@@ -1052,38 +1165,127 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
     for (p, &i) in unique.iter().enumerate() {
         unique_pos[i] = p;
     }
-    let mut replay_jobs = Vec::with_capacity(unique.len() * cfg.geometries.len());
-    for &i in &unique {
-        let t = &recorded_traces[i];
-        for &geom in &cfg.geometries {
-            replay_jobs.push((Arc::clone(&t.trace), t.mode, t.steps, geom));
-        }
+    // Partition each unique trace's cells between the two replay engines.
+    // Stack-orderable cells ([`stack_eligible`]: true LRU, plus every
+    // direct-mapped cell) collapse into ONE one-pass job per trace that
+    // serves all their geometries and write policies at once; the rest
+    // keep the per-(trace, geometry) fused pass. With `use_stack_distance`
+    // off everything takes the fused path. Results are scattered back by
+    // absolute slot, so the partition cannot perturb grid order.
+    enum ReplayJob {
+        Fused {
+            trace: Arc<PackedTrace>,
+            steps: u64,
+            geom: Geometry,
+            cfgs: Vec<CacheConfig>,
+            slots: Vec<usize>,
+        },
+        Stack {
+            trace: Arc<PackedTrace>,
+            steps: u64,
+            cfgs: Vec<CacheConfig>,
+            slots: Vec<usize>,
+        },
     }
-    let blocks: Vec<Vec<(CacheStats, Option<CellTiming>)>> = replay_jobs
-        .par_iter()
-        .map(|(trace, mode, steps, geom)| {
-            let _s = ucm_obs::span("sweep.replay.job")
-                .with("size_words", geom.size_words)
-                .with("line_words", geom.line_words)
-                .with("ways", geom.ways)
-                .with("events", trace.events());
-            let mut cell_cfgs = Vec::with_capacity(cfg.write_policies.len() * cfg.policies.len());
+    let n_geoms = cfg.geometries.len();
+    let cpg = cfg.write_policies.len() * cfg.policies.len();
+    let block_len = n_geoms * cpg;
+    let mut replay_jobs: Vec<ReplayJob> = Vec::new();
+    let mut stack_cells = 0usize;
+    let mut fused_cells = 0usize;
+    for (tp, &i) in unique.iter().enumerate() {
+        let t = &recorded_traces[i];
+        let mut stack_cfgs = Vec::new();
+        let mut stack_slots = Vec::new();
+        for (gi, &geom) in cfg.geometries.iter().enumerate() {
+            let mut cell_cfgs = Vec::with_capacity(cpg);
+            let mut slots = Vec::with_capacity(cpg);
+            let mut ci = 0;
             for &wp in &cfg.write_policies {
                 for &policy in &cfg.policies {
-                    cell_cfgs.push(cfg.cell_cache(*mode, *geom, wp, policy));
+                    let cell = cfg.cell_cache(t.mode, geom, wp, policy);
+                    let slot = tp * block_len + gi * cpg + ci;
+                    ci += 1;
+                    if cfg.use_stack_distance && stack_eligible(cell) {
+                        stack_cfgs.push(cell);
+                        stack_slots.push(slot);
+                    } else {
+                        cell_cfgs.push(cell);
+                        slots.push(slot);
+                    }
                 }
             }
-            replay_fused(trace, &cell_cfgs, cfg.timing, *steps)
+            if !cell_cfgs.is_empty() {
+                fused_cells += cell_cfgs.len();
+                replay_jobs.push(ReplayJob::Fused {
+                    trace: Arc::clone(&t.trace),
+                    steps: t.steps,
+                    geom,
+                    cfgs: cell_cfgs,
+                    slots,
+                });
+            }
+        }
+        if !stack_cfgs.is_empty() {
+            stack_cells += stack_cfgs.len();
+            replay_jobs.push(ReplayJob::Stack {
+                trace: Arc::clone(&t.trace),
+                steps: t.steps,
+                cfgs: stack_cfgs,
+                slots: stack_slots,
+            });
+        }
+    }
+    type SlotResult = (usize, (CacheStats, Option<CellTiming>));
+    let scattered: Vec<Vec<SlotResult>> = replay_jobs
+        .par_iter()
+        .map(|job| match job {
+            ReplayJob::Fused {
+                trace,
+                steps,
+                geom,
+                cfgs: cell_cfgs,
+                slots,
+            } => {
+                let _s = ucm_obs::span("sweep.replay.job")
+                    .with("size_words", geom.size_words)
+                    .with("line_words", geom.line_words)
+                    .with("ways", geom.ways)
+                    .with("events", trace.events());
+                let r = replay_fused(trace, cell_cfgs, cfg.timing, *steps);
+                slots.iter().copied().zip(r).collect()
+            }
+            ReplayJob::Stack {
+                trace,
+                steps,
+                cfgs: cell_cfgs,
+                slots,
+            } => {
+                // One traversal collapses `cells` grid cells across every
+                // stack-orderable geometry of this trace; the span makes
+                // the collapse visible to `ucmc report`.
+                let _s = ucm_obs::span("sweep.replay.stack.job")
+                    .with("cells", slots.len())
+                    .with("events", trace.events());
+                let r = replay_stack(trace, cell_cfgs, cfg.timing, *steps);
+                slots.iter().copied().zip(r).collect()
+            }
         })
         .collect();
-    // Expand back to one block per (trace, geometry) in input order, so
-    // flattening yields exact grid order.
-    let n_geoms = cfg.geometries.len();
+    let mut table: Vec<Option<(CacheStats, Option<CellTiming>)>> =
+        vec![None; unique.len() * block_len];
+    for pairs in scattered {
+        for (slot, r) in pairs {
+            table[slot] = Some(r);
+        }
+    }
+    // Expand back to one block per trace in input order, so flattening
+    // yields exact grid order.
     let mut stats: Vec<(CacheStats, Option<CellTiming>)> = Vec::with_capacity(cfg.cell_count());
     for i in 0..n_traces {
-        let base = unique_pos[rep[i]] * n_geoms;
-        for g in 0..n_geoms {
-            stats.extend(blocks[base + g].iter().copied());
+        let base = unique_pos[rep[i]] * block_len;
+        for s in &table[base..base + block_len] {
+            stats.push(s.expect("every replay slot is filled by exactly one job"));
         }
     }
     let replay_took = replay_start.elapsed();
@@ -1092,6 +1294,8 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
         ucm_obs::counter("sweep.traces", n_traces as u64);
         ucm_obs::counter("sweep.unique_traces", unique.len() as u64);
         ucm_obs::counter("sweep.cells", cfg.cell_count() as u64);
+        ucm_obs::counter("sweep.stack_cells", stack_cells as u64);
+        ucm_obs::counter("sweep.fused_cells", fused_cells as u64);
     }
 
     let traces: Vec<TraceSummary> = recorded_traces
@@ -1166,6 +1370,8 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
         timings: SweepTimings {
             record: record_took,
             replay: replay_took,
+            stack_cells,
+            fused_cells,
         },
     })
 }
@@ -1178,20 +1384,27 @@ fn ratios(
     conv_timing: &Option<CellTiming>,
     cell_timing: &Option<CellTiming>,
 ) -> CellRatios {
+    // A zero denominator makes the ratio undefined (0/0 or x/0): report
+    // `None` rather than a sentinel, so degenerate baselines are visible
+    // as `null` in the artifact instead of masquerading as "no change".
     let reduction = |c: u64, u: u64| {
         if c == 0 {
-            0.0
+            None
         } else {
-            100.0 * (1.0 - u as f64 / c as f64)
+            Some(100.0 * (1.0 - u as f64 / c as f64))
         }
     };
     let (ct, ut) = (conv.access_time(lat), cell.access_time(lat));
     CellRatios {
         cache_ref_reduction_pct: reduction(conv.cache_refs(), cell.cache_refs()),
         bus_words_reduction_pct: reduction(conv.bus_words(), cell.bus_words()),
-        access_time_speedup: if ut == 0 { 1.0 } else { ct as f64 / ut as f64 },
+        access_time_speedup: if ut == 0 {
+            None
+        } else {
+            Some(ct as f64 / ut as f64)
+        },
         cycle_reduction_pct: match (conv_timing, cell_timing) {
-            (Some(c), Some(u)) => Some(reduction(c.total_cycles, u.total_cycles)),
+            (Some(c), Some(u)) => reduction(c.total_cycles, u.total_cycles),
             _ => None,
         },
     }
@@ -1360,16 +1573,23 @@ impl SweepReport {
             }
             match &c.vs_conventional {
                 Some(r) => {
-                    let cycles = match r.cycle_reduction_pct {
-                        Some(x) => format!(", \"cycle_reduction_pct\": {}", f(x)),
-                        None => String::new(),
+                    // Degenerate-baseline ratios serialise as explicit
+                    // nulls. `cycle_reduction_pct` is a timed-artifact
+                    // column, so its presence is keyed on the cell's
+                    // timing — not on the ratio being defined — and a
+                    // degenerate timed baseline still shows the column.
+                    let fo = |x: Option<f64>| x.map_or_else(|| "null".to_string(), f);
+                    let cycles = if c.timing.is_some() {
+                        format!(", \"cycle_reduction_pct\": {}", fo(r.cycle_reduction_pct))
+                    } else {
+                        String::new()
                     };
                     o.push_str(&format!(
                         "\"vs_conventional\": {{\"cache_ref_reduction_pct\": {}, \
                          \"bus_words_reduction_pct\": {}, \"access_time_speedup\": {}{}}}",
-                        f(r.cache_ref_reduction_pct),
-                        f(r.bus_words_reduction_pct),
-                        f(r.access_time_speedup),
+                        fo(r.cache_ref_reduction_pct),
+                        fo(r.bus_words_reduction_pct),
+                        fo(r.access_time_speedup),
                         cycles
                     ));
                 }
@@ -1416,9 +1636,9 @@ impl SweepReport {
             .map(|c| {
                 let (refs, bus, time, cyc) = match &c.vs_conventional {
                     Some(r) => (
-                        crate::pct(r.cache_ref_reduction_pct),
-                        crate::pct(r.bus_words_reduction_pct),
-                        crate::times(r.access_time_speedup),
+                        r.cache_ref_reduction_pct.map_or("-".into(), crate::pct),
+                        r.bus_words_reduction_pct.map_or("-".into(), crate::pct),
+                        r.access_time_speedup.map_or("-".into(), crate::times),
                         r.cycle_reduction_pct.map_or("-".into(), crate::pct),
                     ),
                     None => ("-".into(), "-".into(), "-".into(), "-".into()),
@@ -1747,12 +1967,21 @@ fn validate_body(doc: &Json, version: u64) -> Result<SweepJsonSummary, String> {
             _ => return Err(format!("{what}: `timing` is neither null nor an object")),
         }
         let vs = field(cell, "vs_conventional", &what)?;
-        if timed {
-            if let Json::Obj(_) = &vs {
-                num(
-                    &field(&vs, "cycle_reduction_pct", &what)?,
-                    &format!("{what}: `vs_conventional.cycle_reduction_pct`"),
-                )?;
+        if let Json::Obj(_) = &vs {
+            // Ratio columns are number-or-null: a degenerate baseline
+            // (zero refs, bus words, or cycles in the conventional twin)
+            // serialises as an explicit null.
+            let ratio = |key: &str| -> Result<(), String> {
+                match field(&vs, key, &what)? {
+                    Json::Null => Ok(()),
+                    v => num(&v, &format!("{what}: `vs_conventional.{key}`")).map(|_| ()),
+                }
+            };
+            ratio("cache_ref_reduction_pct")?;
+            ratio("bus_words_reduction_pct")?;
+            ratio("access_time_speedup")?;
+            if timed {
+                ratio("cycle_reduction_pct")?;
             }
         }
     }
@@ -1796,11 +2025,10 @@ mod tests {
         let first = &report.cells[0];
         assert_eq!(first.mode, ManagementMode::Unified);
         let r = first.vs_conventional.expect("unified cell has a twin");
-        assert!(
-            r.cache_ref_reduction_pct > 0.0,
-            "bypass must reduce cache refs (got {:.1}%)",
-            r.cache_ref_reduction_pct
-        );
+        let refs = r
+            .cache_ref_reduction_pct
+            .expect("conventional baseline has cache refs");
+        assert!(refs > 0.0, "bypass must reduce cache refs (got {refs:.1}%)");
         // Conventional cells never carry ratios.
         for c in &report.cells {
             assert_eq!(
@@ -1858,6 +2086,113 @@ mod tests {
             .filter_map(|c| c.vs_conventional)
             .all(|r| r.cycle_reduction_pct.is_none()));
         assert!(!report.table().contains("cyc -%"));
+    }
+
+    #[test]
+    fn stack_and_fused_paths_serialise_byte_identically() {
+        // The tiny grid is entirely stack-orderable (ways = 1), so the
+        // stack path serves every cell; widen it with an associative
+        // geometry and non-LRU policies so the partition exercises both
+        // engines in one run, timed and untimed.
+        let mut cfg = tiny_config();
+        cfg.geometries.push(Geometry {
+            size_words: 64,
+            line_words: 4,
+            ways: 4,
+        });
+        cfg.policies.push(PolicyKind::Random);
+        for cfg in [cfg.clone(), cfg.with_timing()] {
+            let stack = run_sweep(&cfg).unwrap();
+            let fused = run_sweep(&SweepConfig {
+                use_stack_distance: false,
+                ..cfg.clone()
+            })
+            .unwrap();
+            assert!(stack.timings.stack_cells > 0, "stack path must engage");
+            assert!(
+                stack.timings.fused_cells > 0,
+                "non-LRU associative cells must stay fused"
+            );
+            assert_eq!(fused.timings.stack_cells, 0);
+            assert_eq!(
+                stack.to_json(),
+                fused.to_json(),
+                "stack-distance fast path must not change a single byte"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_baseline_ratios_are_null() {
+        // An all-zero conventional twin (no refs, no bus words, no
+        // cycles) defines none of the ratios: they must come back `None`,
+        // not 0%/1.0x sentinels.
+        let z = CacheStats::default();
+        let zt = Some(CellTiming {
+            total_cycles: 0,
+            cpi: 0.0,
+            bus_busy_cycles: 0,
+            read_stall_cycles: 0,
+            write_stall_cycles: 0,
+            hazard_stall_cycles: 0,
+            wb_peak: 0,
+        });
+        let r = ratios(&z, &z, Latency::default(), &zt, &zt);
+        assert_eq!(r.cache_ref_reduction_pct, None);
+        assert_eq!(r.bus_words_reduction_pct, None);
+        assert_eq!(r.access_time_speedup, None);
+        assert_eq!(r.cycle_reduction_pct, None);
+    }
+
+    #[test]
+    fn validator_accepts_null_ratio_columns() {
+        // Null ratios (degenerate baselines) are part of the schema; the
+        // validator must pass them for every ratio column.
+        let good = run_sweep(&tiny_config().with_timing()).unwrap().to_json();
+        for key in [
+            "cache_ref_reduction_pct",
+            "bus_words_reduction_pct",
+            "access_time_speedup",
+            "cycle_reduction_pct",
+        ] {
+            let nulled = good.replacen(
+                &format!("\"{key}\": "),
+                &format!("\"{key}\": null, \"degenerate_{key}\": "),
+                1,
+            );
+            validate_sweep_json(&nulled)
+                .unwrap_or_else(|e| panic!("null {key} must validate: {e}"));
+        }
+        // A non-numeric, non-null ratio is still rejected.
+        let bad = good.replacen(
+            "\"access_time_speedup\": ",
+            "\"access_time_speedup\": \"fast\", \"was\": ",
+            1,
+        );
+        assert!(validate_sweep_json(&bad)
+            .unwrap_err()
+            .to_string()
+            .contains("access_time_speedup"));
+    }
+
+    #[test]
+    fn validator_rejects_non_finite_tokens_with_a_typed_error() {
+        use crate::json::JsonErrorKind;
+        let good = run_sweep(&tiny_config()).unwrap().to_json();
+        for (needle, poison) in [
+            ("\"amat\": ", "\"amat\": NaN, \"was\": "),
+            ("\"miss_rate\": ", "\"miss_rate\": Infinity, \"was\": "),
+            ("\"miss_rate\": ", "\"miss_rate\": -Infinity, \"was\": "),
+            ("\"amat\": ", "\"amat\": 1e999, \"was\": "),
+        ] {
+            let bad = good.replacen(needle, poison, 1);
+            match validate_sweep_json(&bad) {
+                Err(ValidateError::Parse(e)) => {
+                    assert_eq!(e.kind, JsonErrorKind::NonFinite, "{poison}: {e}");
+                }
+                other => panic!("{poison}: expected a NonFinite parse error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Pins the stack-distance fast path against the reference simulator on
+//! *real* traces: [`replay_stack`] (one recency-stack traversal serving
+//! the whole ways×size LRU sub-grid) must produce counter-for-counter —
+//! and, timed, cycle-for-cycle — the same results as [`replay`] (one
+//! [`CacheSim`]/[`TimedCache`] pass per cell), across all four honor-flag
+//! flavour configurations, both write policies, multi-word lines, the
+//! classic workloads, and the committed fuzz corpus. The synthetic-stream
+//! pins live next to the engine in `ucm-cache`; these cover the sweep
+//! plumbing end to end.
+
+use ucm_bench::sweep::{record_trace, replay, replay_stack, Codegen};
+use ucm_cache::{CacheConfig, PolicyKind, TimingConfig, WritePolicy};
+use ucm_core::ManagementMode;
+use ucm_machine::VmConfig;
+
+/// The stack-orderable sub-grid at one (line size, honor-flag) point:
+/// every ways×size LRU geometry, both write policies, plus direct-mapped
+/// cells of the non-LRU policies (eligible because a one-way set leaves
+/// the policy no victim choice).
+fn stack_grid(line_words: usize, honor_tags: bool, honor_last_ref: bool) -> Vec<CacheConfig> {
+    let mut cfgs = Vec::new();
+    for wp in [
+        WritePolicy::WriteBackAllocate,
+        WritePolicy::WriteThroughNoAllocate,
+    ] {
+        for (size_mult, ways) in [(16, 1), (64, 1), (256, 1), (64, 2), (256, 4), (1024, 8)] {
+            cfgs.push(CacheConfig {
+                size_words: size_mult * line_words,
+                line_words,
+                associativity: ways,
+                policy: PolicyKind::Lru,
+                write_policy: wp,
+                honor_tags,
+                honor_last_ref,
+                ..CacheConfig::default()
+            });
+        }
+        for policy in [PolicyKind::OneBitLru, PolicyKind::Fifo, PolicyKind::Random] {
+            cfgs.push(CacheConfig {
+                size_words: 32 * line_words,
+                line_words,
+                associativity: 1,
+                policy,
+                write_policy: wp,
+                honor_tags,
+                honor_last_ref,
+                ..CacheConfig::default()
+            });
+        }
+    }
+    cfgs
+}
+
+/// All four flavour configurations: tags off entirely, tags without
+/// last-ref, and the two the sweep's modes exercise.
+const FLAVOURS: [(bool, bool); 4] = [(false, false), (true, false), (false, true), (true, true)];
+
+#[test]
+fn stack_replay_matches_per_cell_replay_on_classic_workloads() {
+    let vm = VmConfig::default();
+    for w in [
+        ucm_workloads::sieve::workload(400, 1),
+        ucm_workloads::bubble::workload(24),
+    ] {
+        for mode in [ManagementMode::Unified, ManagementMode::Conventional] {
+            let t = record_trace(&w, Codegen::Paper, mode, &vm).expect("workload records");
+            for line_words in [1, 4] {
+                for (ht, hlr) in FLAVOURS {
+                    let cfgs = stack_grid(line_words, ht, hlr);
+                    let stack = replay_stack(&t.trace, &cfgs, None, t.steps);
+                    for (i, &cfg) in cfgs.iter().enumerate() {
+                        let single = replay(&t.trace, cfg, None, t.steps);
+                        assert_eq!(
+                            stack[i], single,
+                            "stack cell diverges from CacheSim ({} {mode}, \
+                             l{line_words}, honor=({ht},{hlr}), cell {i}: {cfg:?})",
+                            w.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn timed_stack_replay_matches_per_cell_timed_replay() {
+    let vm = VmConfig::default();
+    let w = ucm_workloads::sieve::workload(400, 1);
+    let timing = Some(TimingConfig::default());
+    for mode in [
+        ManagementMode::Unified,
+        ManagementMode::Conventional,
+        ManagementMode::Safe,
+    ] {
+        let t = record_trace(&w, Codegen::Paper, mode, &vm).expect("workload records");
+        for line_words in [1, 4] {
+            for (ht, hlr) in FLAVOURS {
+                let cfgs = stack_grid(line_words, ht, hlr);
+                let stack = replay_stack(&t.trace, &cfgs, timing, t.steps);
+                for (i, &cfg) in cfgs.iter().enumerate() {
+                    let single = replay(&t.trace, cfg, timing, t.steps);
+                    assert_eq!(
+                        stack[i], single,
+                        "timed stack cell diverges ({mode}, l{line_words}, \
+                         honor=({ht},{hlr}), cell {i}: {cfg:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stack_replay_matches_on_the_fuzz_corpus() {
+    // The committed fuzzer programs exercise access patterns the classic
+    // benchmarks never produce (degenerate loops, aliasing storms); every
+    // one must agree cell-for-cell too.
+    let vm = VmConfig::default();
+    for w in ucm_workloads::fuzz_corpus() {
+        for mode in [ManagementMode::Unified, ManagementMode::Conventional] {
+            let t = record_trace(&w, Codegen::Modern, mode, &vm).expect("corpus records");
+            for line_words in [1, 4] {
+                let cfgs = stack_grid(line_words, true, true);
+                let stack = replay_stack(&t.trace, &cfgs, None, t.steps);
+                for (i, &cfg) in cfgs.iter().enumerate() {
+                    let single = replay(&t.trace, cfg, None, t.steps);
+                    assert_eq!(
+                        stack[i], single,
+                        "stack cell diverges on {} ({mode}, l{line_words}, cell {i}: {cfg:?})",
+                        w.name
+                    );
+                }
+            }
+        }
+    }
+}

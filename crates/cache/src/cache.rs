@@ -6,6 +6,7 @@
 //! any trace-driven cache study.
 
 use crate::config::{CacheConfig, ConfigError, WritePolicy};
+use crate::geom::LineGeometry;
 use crate::policy::{PolicyState, VictimRng};
 use crate::stats::CacheStats;
 use ucm_machine::{Flavour, MemEvent, TraceSink};
@@ -27,13 +28,7 @@ pub struct CacheSim {
     stats: CacheStats,
     now: u64,
     rng: VictimRng,
-    // Geometry as shifts/masks. Validation guarantees line_words and
-    // num_sets are powers of two, so these reproduce the divide/modulo
-    // address split bit-exactly while keeping divisions out of the
-    // per-reference path.
-    line_shift: u32,
-    set_shift: u32,
-    set_mask: u64,
+    geom: LineGeometry,
 }
 
 impl CacheSim {
@@ -61,9 +56,7 @@ impl CacheSim {
             stats: CacheStats::default(),
             now: 0,
             rng: VictimRng::new(config.seed),
-            line_shift: config.line_words.trailing_zeros(),
-            set_shift: sets.trailing_zeros(),
-            set_mask: sets as u64 - 1,
+            geom: LineGeometry::new(config.line_words, sets),
             config,
         })
     }
@@ -86,10 +79,7 @@ impl CacheSim {
 
     #[inline]
     fn locate(&self, addr: i64) -> (usize, u64) {
-        let line_addr = (addr as u64) >> self.line_shift;
-        let set = (line_addr & self.set_mask) as usize;
-        let tag = line_addr >> self.set_shift;
-        (set, tag)
+        self.geom.split(addr)
     }
 
     #[inline]
@@ -135,9 +125,8 @@ impl CacheSim {
                 if line.dirty {
                     self.stats.writebacks += 1;
                     self.stats.words_to_memory += self.config.line_words as u64;
-                    let line_addr = (line.tag << self.set_shift) | set as u64;
                     writeback = Some(Eviction {
-                        lo: (line_addr << self.line_shift) as i64,
+                        lo: self.geom.line_lo(set, line.tag),
                         words: self.config.line_words as u64,
                     });
                 }

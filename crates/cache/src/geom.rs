@@ -1,0 +1,127 @@
+//! Shared address-geometry math.
+//!
+//! Every component that splits an address into (line, set, tag) —
+//! [`CacheSim`](crate::CacheSim), the offline MIN simulator, and the
+//! stack-distance engine — goes through one [`LineGeometry`] so the
+//! differential pins between them can never diverge on geometry math
+//! alone. Validation guarantees `line_words` and `num_sets` are powers
+//! of two, so the shift/mask forms here reproduce the divide/modulo
+//! split bit-exactly while keeping divisions out of the per-reference
+//! path.
+
+/// Address-splitting geometry for a power-of-two cache: word address →
+/// line address → (set, tag), and back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineGeometry {
+    line_shift: u32,
+    set_shift: u32,
+    set_mask: u64,
+}
+
+impl LineGeometry {
+    /// Geometry for `line_words` words per line and `num_sets` sets.
+    /// Both must be powers of two (checked by `CacheConfig::validate`;
+    /// debug-asserted here).
+    pub fn new(line_words: usize, num_sets: usize) -> Self {
+        debug_assert!(line_words.is_power_of_two());
+        debug_assert!(num_sets.is_power_of_two());
+        LineGeometry {
+            line_shift: line_words.trailing_zeros(),
+            set_shift: num_sets.trailing_zeros(),
+            set_mask: num_sets as u64 - 1,
+        }
+    }
+
+    /// The line address containing word address `addr`.
+    #[inline]
+    pub fn line_addr(self, addr: i64) -> u64 {
+        (addr as u64) >> self.line_shift
+    }
+
+    /// Splits a word address into (set index, tag).
+    #[inline]
+    pub fn split(self, addr: i64) -> (usize, u64) {
+        self.split_line(self.line_addr(addr))
+    }
+
+    /// Splits a line address into (set index, tag).
+    #[inline]
+    pub fn split_line(self, line_addr: u64) -> (usize, u64) {
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_shift;
+        (set, tag)
+    }
+
+    /// Reassembles a line address from (set index, tag).
+    #[inline]
+    pub fn line_addr_of(self, set: usize, tag: u64) -> u64 {
+        (tag << self.set_shift) | set as u64
+    }
+
+    /// The first word address of the line `(set, tag)` — the `lo` of a
+    /// write-back transfer.
+    #[inline]
+    pub fn line_lo(self, set: usize, tag: u64) -> i64 {
+        (self.line_addr_of(set, tag) << self.line_shift) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reference formulation MIN used before PR 7: divide/modulo on
+    /// the `i64 as u64` cast. The shift/mask forms must agree with it on
+    /// every address, including line and set boundaries.
+    fn reference_split(addr: i64, line_words: usize, num_sets: usize) -> (u64, usize, u64) {
+        let line_addr = (addr as u64) / line_words as u64;
+        let set = (line_addr % num_sets as u64) as usize;
+        let tag = line_addr / num_sets as u64;
+        (line_addr, set, tag)
+    }
+
+    #[test]
+    fn shift_mask_matches_div_mod_at_boundaries() {
+        for &(lw, sets) in &[(1usize, 1usize), (1, 256), (4, 64), (8, 2), (4, 256)] {
+            let g = LineGeometry::new(lw, sets);
+            let line_span = (lw * sets) as i64;
+            // Addresses straddling every line and set boundary of the
+            // first few rotations, plus large addresses.
+            let mut addrs = Vec::new();
+            for k in 0..4 * line_span {
+                addrs.push(k);
+            }
+            for k in [line_span - 1, line_span, line_span + 1] {
+                addrs.push(1 << 40 | k);
+            }
+            for addr in addrs {
+                let (rl, rs, rt) = reference_split(addr, lw, sets);
+                assert_eq!(
+                    g.line_addr(addr),
+                    rl,
+                    "line at addr={addr} lw={lw} sets={sets}"
+                );
+                assert_eq!(
+                    g.split(addr),
+                    (rs, rt),
+                    "split at addr={addr} lw={lw} sets={sets}"
+                );
+                // Round trip back to the line's first word.
+                assert_eq!(
+                    g.line_lo(rs, rt),
+                    (rl * lw as u64) as i64,
+                    "line_lo at addr={addr} lw={lw} sets={sets}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_line_and_reassemble_are_inverse() {
+        let g = LineGeometry::new(4, 64);
+        for line in (0..1u64 << 20).step_by(977) {
+            let (s, t) = g.split_line(line);
+            assert_eq!(g.line_addr_of(s, t), line);
+        }
+    }
+}

@@ -44,8 +44,10 @@
 pub mod cache;
 pub mod config;
 pub mod functional;
+pub mod geom;
 pub mod min;
 pub mod policy;
+pub mod stackdist;
 pub mod stats;
 pub mod system;
 pub mod timed;
@@ -55,8 +57,10 @@ pub use config::{CacheConfig, ConfigError, PolicyKind, WritePolicy};
 pub use functional::{
     CoherenceOracle, CoherenceViolation, FunctionalCache, PagedMem, Served, ServedFrom,
 };
+pub use geom::LineGeometry;
 pub use min::{simulate_min, try_simulate_min};
 pub use policy::{PolicyState, VictimRng};
+pub use stackdist::{StackDistanceSink, TimedStack};
 pub use stats::{CacheStats, Latency};
 pub use system::MemorySystem;
 pub use timed::TimedCache;

@@ -36,10 +36,19 @@ impl VictimRng {
 }
 
 /// Replacement metadata for one cache set.
+///
+/// For LRU/FIFO the per-way stamp is stored as `now + 1`, reserving `0`
+/// to mean "empty/invalidated". That makes the empty-preferred ordering
+/// explicit: an invalidated way always sorts before every filled way,
+/// including one filled at logical time 0 — which the old encoding
+/// (stamps stored raw, invalidation resetting to 0) could not
+/// distinguish. The `+1` is order-preserving, so victim choices among
+/// occupied ways are unchanged.
 #[derive(Debug, Clone)]
 pub struct PolicyState {
     kind: PolicyKind,
-    /// Per-way metadata: LRU/FIFO stamp, or reference bit for 1-bit LRU.
+    /// Per-way metadata: LRU/FIFO stamp (`now + 1`, 0 = empty), or
+    /// reference bit for 1-bit LRU.
     meta: Vec<u64>,
 }
 
@@ -55,7 +64,7 @@ impl PolicyState {
     /// Records a hit on `way` at logical time `now`.
     pub fn on_access(&mut self, way: usize, now: u64) {
         match self.kind {
-            PolicyKind::Lru => self.meta[way] = now,
+            PolicyKind::Lru => self.meta[way] = now + 1,
             PolicyKind::OneBitLru => self.meta[way] = 1,
             PolicyKind::Fifo | PolicyKind::Random => {}
         }
@@ -64,13 +73,14 @@ impl PolicyState {
     /// Records a fill into `way` at logical time `now`.
     pub fn on_fill(&mut self, way: usize, now: u64) {
         match self.kind {
-            PolicyKind::Lru | PolicyKind::Fifo => self.meta[way] = now,
+            PolicyKind::Lru | PolicyKind::Fifo => self.meta[way] = now + 1,
             PolicyKind::OneBitLru => self.meta[way] = 1,
             PolicyKind::Random => {}
         }
     }
 
-    /// Clears metadata for an invalidated way so it is chosen first.
+    /// Clears metadata for an invalidated way so it is chosen first (the
+    /// stamp encoding reserves 0 for exactly this state).
     pub fn on_invalidate(&mut self, way: usize) {
         self.meta[way] = 0;
     }
@@ -143,6 +153,27 @@ mod tests {
         assert_eq!(p.victim(&mut rng), 0);
         // After the sweep everything is unreferenced again.
         assert_eq!(p.victim(&mut rng), 0);
+    }
+
+    // Regression test for the stamp-0 ambiguity: a way filled at logical
+    // time 0 used to carry the same stamp as an invalidated way, so the
+    // tie broke toward the *occupied* lower-index way instead of the
+    // empty one. Stamps are now stored as `now + 1` with 0 reserved for
+    // empty, so the invalidated way must win.
+    #[test]
+    fn invalidated_way_beats_a_time_zero_fill() {
+        for kind in [PolicyKind::Lru, PolicyKind::Fifo] {
+            let mut p = PolicyState::new(kind, 2);
+            p.on_fill(0, 0); // occupied since logical time 0
+            p.on_fill(1, 5);
+            p.on_invalidate(1); // way 1 is now empty
+            let mut rng = VictimRng::new(1);
+            assert_eq!(
+                p.victim(&mut rng),
+                1,
+                "{kind:?}: the empty way must be preferred over a time-0 fill"
+            );
+        }
     }
 
     #[test]

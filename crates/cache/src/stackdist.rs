@@ -1,0 +1,905 @@
+//! One-pass multi-geometry simulation of the whole LRU geometry axis.
+//!
+//! A [`StackDistanceSink`] replays a trace **once** and produces, for every
+//! LRU cache in a family of (sets × ways) geometries sharing one line size
+//! and write policy, exactly the counters [`CacheSim`](crate::CacheSim)
+//! would produce — extended with the paper's bypass and last-reference
+//! semantics, which classic Mattson stack processing does not cover:
+//!
+//! * a last-reference (or take-and-invalidate) hit removes the line from
+//!   every geometry it was resident in, and
+//! * bypassed references never enter any geometry.
+//!
+//! Mattson's inclusion property is what makes a shared traversal *sound*:
+//! under true LRU every geometry's content is a function of the one
+//! recency order, so all cells can consume the same decoded event and the
+//! same line-table lookup. The engine keeps a single node per distinct
+//! line (open-addressing line → node map), and each node carries one
+//! residency bit and one dirty bit per geometry. The per-event cost is
+//! then one map probe plus O(1) work per geometry:
+//!
+//! * the hit test is a bit probe on the node's residency mask,
+//! * direct-mapped geometries resolve victims through a per-set node
+//!   pointer, and
+//! * associative geometries keep their own per-set recency list threaded
+//!   through the node arena (head = MRU, tail = LRU), so the victim of a
+//!   full-set fill is a pointer read, not a stack walk. An earlier
+//!   version derived victims by walking a global recency stack from the
+//!   tail; that walk is O(resident lines) per miss and dominated replay
+//!   on assoc geometries, so the order each cell needs is now kept
+//!   explicitly.
+//!
+//! The engine can also drive one [`TimingSim`] per geometry (see
+//! [`TimedStack`]): [`access_with`](StackDistanceSink::access_with)
+//! emits the exact per-geometry [`MemXact`] stream `CacheSim::access`
+//! would return — including write-back addresses recovered from the
+//! victim's line — so the cycle reports are bit-identical too.
+//!
+//! Only true-LRU geometries are eligible: FIFO, Random, and 1-bit LRU
+//! are not stack algorithms (their victim is not a function of recency
+//! order alone). Single-way caches of any policy are eligible because
+//! every policy degenerates to the same direct-mapped behaviour.
+
+use crate::config::{CacheConfig, ConfigError, WritePolicy};
+use crate::stats::CacheStats;
+use ucm_machine::{Flavour, MemEvent, TraceSink};
+use ucm_timing::{Eviction, MemXact, TimingConfig, TimingReport, TimingSim};
+
+const NIL: u32 = u32::MAX;
+
+/// One distinct line, shared by every geometry in the family.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Line address (word address >> line shift).
+    line: u64,
+    /// Bit g set ⇔ the line is resident in geometry g.
+    mask: u32,
+    /// Bit g set ⇔ the resident copy in geometry g is dirty. Always a
+    /// subset of `mask`.
+    dirty: u32,
+}
+
+/// Open-addressing line → node index map. Slots are keyed by line and
+/// never deleted: removing a line parks `NIL` in its value slot, and a
+/// later reinsertion of the same line reuses the slot, so probe chains
+/// stay valid without tombstone bookkeeping. Grown copies drop the
+/// parked slots.
+#[derive(Debug, Clone)]
+struct LineMap {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    live: Vec<bool>,
+    /// Keyed slots (live), including parked ones.
+    used: usize,
+    shift: u32,
+}
+
+impl LineMap {
+    fn new() -> Self {
+        let cap = 1024usize;
+        LineMap {
+            keys: vec![0; cap],
+            vals: vec![NIL; cap],
+            live: vec![false; cap],
+            used: 0,
+            shift: 64 - cap.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, line: u64) -> usize {
+        let mut i = (line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize;
+        let mask = self.keys.len() - 1;
+        loop {
+            if !self.live[i] || self.keys[i] == line {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The node holding `line`, or `NIL`.
+    #[inline]
+    fn get(&self, line: u64) -> u32 {
+        let i = self.slot_of(line);
+        if self.live[i] {
+            self.vals[i]
+        } else {
+            NIL
+        }
+    }
+
+    fn set(&mut self, line: u64, idx: u32) {
+        if (self.used + 1) * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let i = self.slot_of(line);
+        if !self.live[i] {
+            self.live[i] = true;
+            self.keys[i] = line;
+            self.used += 1;
+        }
+        self.vals[i] = idx;
+    }
+
+    fn remove(&mut self, line: u64) {
+        let i = self.slot_of(line);
+        debug_assert!(self.live[i]);
+        self.vals[i] = NIL;
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_vals = std::mem::take(&mut self.vals);
+        let old_live = std::mem::take(&mut self.live);
+        let cap = old_keys.len() * 2;
+        self.keys = vec![0; cap];
+        self.vals = vec![NIL; cap];
+        self.live = vec![false; cap];
+        self.used = 0;
+        self.shift = 64 - cap.trailing_zeros();
+        for i in 0..old_keys.len() {
+            if old_live[i] && old_vals[i] != NIL {
+                self.set(old_keys[i], old_vals[i]);
+            }
+        }
+    }
+}
+
+/// Per-geometry state: the (sets, ways) shape, its per-set resident
+/// counts, its recency bookkeeping, and its accumulated counters.
+#[derive(Debug, Clone)]
+struct GeomCell {
+    /// `num_sets - 1`, applied to the *line* address.
+    set_mask: u64,
+    ways: u32,
+    /// Resident lines per set (≤ ways).
+    resident: Vec<u32>,
+    /// Direct-mapped fast path (`ways == 1`): the node holding each
+    /// set's resident line, `NIL` when the set is empty.
+    dm_node: Vec<u32>,
+    /// Associative recency lists (`ways > 1`): per-node links threaded
+    /// through the shared arena (grown alongside it) and per-set
+    /// head (MRU) / tail (LRU) anchors.
+    lru_prev: Vec<u32>,
+    lru_next: Vec<u32>,
+    set_head: Vec<u32>,
+    set_tail: Vec<u32>,
+    stats: CacheStats,
+}
+
+impl GeomCell {
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Grows the per-node link storage to cover `n` arena slots.
+    #[inline]
+    fn ensure_links(&mut self, n: usize) {
+        if self.ways > 1 && self.lru_prev.len() < n {
+            self.lru_prev.resize(n, NIL);
+            self.lru_next.resize(n, NIL);
+        }
+    }
+
+    #[inline]
+    fn unlink(&mut self, idx: u32, set: usize) {
+        let p = self.lru_prev[idx as usize];
+        let n = self.lru_next[idx as usize];
+        if p == NIL {
+            self.set_head[set] = n;
+        } else {
+            self.lru_next[p as usize] = n;
+        }
+        if n == NIL {
+            self.set_tail[set] = p;
+        } else {
+            self.lru_prev[n as usize] = p;
+        }
+    }
+
+    #[inline]
+    fn push_front(&mut self, idx: u32, set: usize) {
+        let old = self.set_head[set];
+        self.lru_prev[idx as usize] = NIL;
+        self.lru_next[idx as usize] = old;
+        if old == NIL {
+            self.set_tail[set] = idx;
+        } else {
+            self.lru_prev[old as usize] = idx;
+        }
+        self.set_head[set] = idx;
+    }
+
+    /// Stamps a resident line most-recently-used (no-op when the set has
+    /// no victim choice).
+    #[inline]
+    fn touch(&mut self, idx: u32, line: u64) {
+        if self.ways > 1 {
+            let set = self.set_of(line);
+            if self.set_head[set] != idx {
+                self.unlink(idx, set);
+                self.push_front(idx, set);
+            }
+        }
+    }
+}
+
+/// The one-pass multi-geometry LRU simulator. Construct with the family
+/// of [`CacheConfig`]s to collapse, feed it the trace (it is a
+/// [`TraceSink`]), then take per-geometry counters with
+/// [`into_stats`](StackDistanceSink::into_stats).
+#[derive(Debug, Clone)]
+pub struct StackDistanceSink {
+    line_shift: u32,
+    line_words: u64,
+    write_policy: WritePolicy,
+    honor_tags: bool,
+    honor_last_ref: bool,
+    cells: Vec<GeomCell>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    map: LineMap,
+}
+
+impl StackDistanceSink {
+    /// A sink collapsing `configs` into one traversal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configs or a family the stack model cannot
+    /// serve — use [`try_new`](StackDistanceSink::try_new) for inputs
+    /// that are not statically known to be eligible.
+    pub fn new(configs: &[CacheConfig]) -> Self {
+        Self::try_new(configs).unwrap_or_else(|e| panic!("invalid stack-distance family: {e}"))
+    }
+
+    /// Fallible constructor. All configs must validate, agree on
+    /// line size, write policy, and tag semantics, and be LRU-orderable
+    /// (`ways == 1` caches of any policy qualify); at most 32 geometries
+    /// per sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`CacheConfig::validate`].
+    pub fn try_new(configs: &[CacheConfig]) -> Result<Self, ConfigError> {
+        assert!(
+            !configs.is_empty() && configs.len() <= 32,
+            "a stack-distance family holds 1..=32 geometries, got {}",
+            configs.len()
+        );
+        let first = &configs[0];
+        let mut cells = Vec::with_capacity(configs.len());
+        for c in configs {
+            c.validate()?;
+            assert!(
+                c.line_words == first.line_words
+                    && c.write_policy == first.write_policy
+                    && c.honor_tags == first.honor_tags
+                    && c.honor_last_ref == first.honor_last_ref,
+                "stack-distance family must share line size, write policy, and tag semantics"
+            );
+            assert!(
+                c.associativity == 1 || c.policy == crate::config::PolicyKind::Lru,
+                "only LRU (or direct-mapped) geometries are stack-orderable"
+            );
+            let sets = c.num_sets();
+            let assoc = c.associativity;
+            cells.push(GeomCell {
+                set_mask: sets as u64 - 1,
+                ways: assoc as u32,
+                resident: vec![0; sets],
+                dm_node: if assoc == 1 {
+                    vec![NIL; sets]
+                } else {
+                    Vec::new()
+                },
+                lru_prev: Vec::new(),
+                lru_next: Vec::new(),
+                set_head: if assoc > 1 {
+                    vec![NIL; sets]
+                } else {
+                    Vec::new()
+                },
+                set_tail: if assoc > 1 {
+                    vec![NIL; sets]
+                } else {
+                    Vec::new()
+                },
+                stats: CacheStats::default(),
+            });
+        }
+        Ok(StackDistanceSink {
+            line_shift: first.line_words.trailing_zeros(),
+            line_words: first.line_words as u64,
+            write_policy: first.write_policy,
+            honor_tags: first.honor_tags,
+            honor_last_ref: first.honor_last_ref,
+            cells,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            map: LineMap::new(),
+        })
+    }
+
+    /// Geometries in this family.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the family is empty (never: construction requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The accumulated counters, in construction order.
+    pub fn into_stats(self) -> Vec<CacheStats> {
+        self.cells.into_iter().map(|c| c.stats).collect()
+    }
+
+    /// The counters of geometry `g` so far.
+    pub fn stats(&self, g: usize) -> &CacheStats {
+        &self.cells[g].stats
+    }
+
+    // ---- arena primitives -------------------------------------------------
+
+    /// Removes a mask-empty node from the map and recycles it.
+    fn release(&mut self, idx: u32) {
+        debug_assert_eq!(self.nodes[idx as usize].mask, 0);
+        self.map.remove(self.nodes[idx as usize].line);
+        self.free.push(idx);
+    }
+
+    /// A fresh node for `line`, registered in the map. Stale recency
+    /// links from a recycled slot are harmless: a geometry only follows
+    /// links it wrote at fill time.
+    fn alloc(&mut self, line: u64) -> u32 {
+        let idx = if let Some(idx) = self.free.pop() {
+            idx
+        } else {
+            self.nodes.push(Node {
+                line: 0,
+                mask: 0,
+                dirty: 0,
+            });
+            let n = self.nodes.len();
+            for cell in &mut self.cells {
+                cell.ensure_links(n);
+            }
+            (n - 1) as u32
+        };
+        self.nodes[idx as usize] = Node {
+            line,
+            mask: 0,
+            dirty: 0,
+        };
+        self.map.set(line, idx);
+        idx
+    }
+
+    // ---- per-geometry operations ------------------------------------------
+
+    /// Mirrors `CacheSim::invalidate` for geometry `g`: the dead value is
+    /// discarded (never written back) and the way becomes empty.
+    #[inline]
+    fn invalidate_g(&mut self, g: usize, idx: u32) {
+        let bit = 1u32 << g;
+        let node = &mut self.nodes[idx as usize];
+        debug_assert!(node.mask & bit != 0);
+        let line = node.line;
+        let cell = &mut self.cells[g];
+        if node.dirty & bit != 0 {
+            cell.stats.dead_line_discards += 1;
+            node.dirty &= !bit;
+        }
+        cell.stats.invalidates += 1;
+        node.mask &= !bit;
+        let set = cell.set_of(line);
+        cell.resident[set] -= 1;
+        if cell.ways == 1 {
+            cell.dm_node[set] = NIL;
+        } else {
+            cell.unlink(idx, set);
+        }
+    }
+
+    /// Mirrors `CacheSim::allocate` for geometry `g`: fills `idx`'s line
+    /// into the set, evicting (with write-back accounting) only when the
+    /// set is full. Returns the victim's write-back, if any.
+    fn fill_g(&mut self, g: usize, idx: u32, dirty: bool) -> Option<Eviction> {
+        let bit = 1u32 << g;
+        let line = self.nodes[idx as usize].line;
+        let set = self.cells[g].set_of(line);
+        let mut writeback = None;
+        if self.cells[g].resident[set] == self.cells[g].ways {
+            let cell = &self.cells[g];
+            let vidx = if cell.ways == 1 {
+                cell.dm_node[set]
+            } else {
+                // The set's LRU resident; victims share `set` by
+                // construction, so the list unlink below is in-set.
+                cell.set_tail[set]
+            };
+            debug_assert_ne!(vidx, NIL);
+            let vnode = &mut self.nodes[vidx as usize];
+            let vline = vnode.line;
+            vnode.mask &= !bit;
+            if vnode.dirty & bit != 0 {
+                vnode.dirty &= !bit;
+                let cell = &mut self.cells[g];
+                cell.stats.writebacks += 1;
+                cell.stats.words_to_memory += self.line_words;
+                writeback = Some(Eviction {
+                    lo: (vline << self.line_shift) as i64,
+                    words: self.line_words,
+                });
+            }
+            if self.cells[g].ways > 1 {
+                self.cells[g].unlink(vidx, set);
+            }
+            if self.nodes[vidx as usize].mask == 0 {
+                self.release(vidx);
+            }
+        } else {
+            self.cells[g].resident[set] += 1;
+        }
+        let node = &mut self.nodes[idx as usize];
+        node.mask |= bit;
+        if dirty {
+            node.dirty |= bit;
+        }
+        let cell = &mut self.cells[g];
+        if cell.ways == 1 {
+            cell.dm_node[set] = idx;
+        } else {
+            cell.push_front(idx, set);
+        }
+        writeback
+    }
+
+    // ---- the event handler ------------------------------------------------
+
+    /// Presents one reference, ignoring the per-geometry transactions.
+    #[inline]
+    pub fn access(&mut self, ev: MemEvent) {
+        self.access_with(ev, &mut |_, _| {});
+    }
+
+    /// Presents one reference and emits, for each geometry `g`, the exact
+    /// [`MemXact`] that `CacheSim::access` would have returned — in
+    /// geometry order, one per geometry.
+    pub fn access_with<F: FnMut(usize, MemXact)>(&mut self, ev: MemEvent, emit: &mut F) {
+        let flavour = if self.honor_tags {
+            ev.tag.flavour
+        } else {
+            Flavour::Plain
+        };
+        let last_ref = self.honor_tags && self.honor_last_ref && ev.tag.last_ref;
+        for cell in &mut self.cells {
+            if ev.is_write {
+                cell.stats.writes += 1;
+            } else {
+                cell.stats.reads += 1;
+            }
+        }
+        let line = (ev.addr as u64) >> self.line_shift;
+        let idx = self.map.get(line);
+        let mask = if idx == NIL {
+            0
+        } else {
+            self.nodes[idx as usize].mask
+        };
+
+        match (flavour, ev.is_write) {
+            // ---- unambiguous loads: take and invalidate / bypass ----
+            (Flavour::UmAmLoad, false) => {
+                for g in 0..self.cells.len() {
+                    if mask & (1 << g) != 0 {
+                        self.cells[g].stats.read_hits += 1;
+                        if self.honor_last_ref {
+                            self.invalidate_g(g, idx);
+                        } else {
+                            // The surviving copy was touched (stamped).
+                            self.cells[g].touch(idx, line);
+                        }
+                        emit(g, MemXact::Hit { is_write: false });
+                    } else {
+                        let s = &mut self.cells[g].stats;
+                        s.bypass_reads += 1;
+                        s.words_from_memory += 1;
+                        s.bypass_words_from_memory += 1;
+                        emit(g, MemXact::BypassRead { words: 1 });
+                    }
+                }
+                if idx != NIL && self.nodes[idx as usize].mask == 0 {
+                    self.release(idx);
+                }
+            }
+            // ---- unambiguous stores: straight to memory ----
+            (Flavour::UmAmStore, true) => {
+                for g in 0..self.cells.len() {
+                    let s = &mut self.cells[g].stats;
+                    s.bypass_writes += 1;
+                    s.words_to_memory += 1;
+                    s.bypass_words_to_memory += 1;
+                    if mask & (1 << g) != 0 {
+                        self.invalidate_g(g, idx);
+                    }
+                    emit(g, MemXact::BypassWrite { words: 1 });
+                }
+                if idx != NIL {
+                    debug_assert_eq!(self.nodes[idx as usize].mask, 0);
+                    self.release(idx);
+                }
+            }
+            // ---- everything else goes through the cache ----
+            (_, false) => {
+                if last_ref {
+                    for g in 0..self.cells.len() {
+                        if mask & (1 << g) != 0 {
+                            self.cells[g].stats.read_hits += 1;
+                            self.invalidate_g(g, idx);
+                            emit(g, MemXact::Hit { is_write: false });
+                        } else {
+                            let s = &mut self.cells[g].stats;
+                            s.bypass_reads += 1;
+                            s.words_from_memory += 1;
+                            s.bypass_words_from_memory += 1;
+                            emit(g, MemXact::BypassRead { words: 1 });
+                        }
+                    }
+                    if idx != NIL {
+                        debug_assert_eq!(self.nodes[idx as usize].mask, 0);
+                        self.release(idx);
+                    }
+                } else {
+                    let idx = if idx == NIL { self.alloc(line) } else { idx };
+                    for g in 0..self.cells.len() {
+                        if mask & (1 << g) != 0 {
+                            self.cells[g].stats.read_hits += 1;
+                            self.cells[g].touch(idx, line);
+                            emit(g, MemXact::Hit { is_write: false });
+                        } else {
+                            {
+                                let s = &mut self.cells[g].stats;
+                                s.read_misses += 1;
+                                s.fills += 1;
+                                s.words_from_memory += self.line_words;
+                            }
+                            let writeback = self.fill_g(g, idx, false);
+                            emit(
+                                g,
+                                MemXact::Miss {
+                                    is_write: false,
+                                    fill_words: self.line_words,
+                                    writeback,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            (_, true) => match self.write_policy {
+                WritePolicy::WriteBackAllocate => {
+                    if last_ref {
+                        for g in 0..self.cells.len() {
+                            if mask & (1 << g) != 0 {
+                                let s = &mut self.cells[g].stats;
+                                s.write_hits += 1;
+                                s.dead_store_drops += 1;
+                                self.invalidate_g(g, idx);
+                                emit(g, MemXact::Hit { is_write: true });
+                            } else {
+                                let s = &mut self.cells[g].stats;
+                                s.bypass_writes += 1;
+                                s.words_to_memory += 1;
+                                s.bypass_words_to_memory += 1;
+                                emit(g, MemXact::BypassWrite { words: 1 });
+                            }
+                        }
+                        if idx != NIL {
+                            debug_assert_eq!(self.nodes[idx as usize].mask, 0);
+                            self.release(idx);
+                        }
+                    } else {
+                        let idx = if idx == NIL { self.alloc(line) } else { idx };
+                        let fill_words = if self.line_words > 1 {
+                            self.line_words
+                        } else {
+                            0
+                        };
+                        for g in 0..self.cells.len() {
+                            if mask & (1 << g) != 0 {
+                                self.cells[g].stats.write_hits += 1;
+                                self.nodes[idx as usize].dirty |= 1 << g;
+                                self.cells[g].touch(idx, line);
+                                emit(g, MemXact::Hit { is_write: true });
+                            } else {
+                                {
+                                    let s = &mut self.cells[g].stats;
+                                    s.write_misses += 1;
+                                    s.fills += 1;
+                                    s.words_from_memory += fill_words;
+                                }
+                                let writeback = self.fill_g(g, idx, true);
+                                emit(
+                                    g,
+                                    MemXact::Miss {
+                                        is_write: true,
+                                        fill_words,
+                                        writeback,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                WritePolicy::WriteThroughNoAllocate => {
+                    for g in 0..self.cells.len() {
+                        self.cells[g].stats.words_to_memory += 1;
+                        let hit = mask & (1 << g) != 0;
+                        if hit {
+                            self.cells[g].stats.write_hits += 1;
+                            if last_ref {
+                                self.invalidate_g(g, idx);
+                            } else {
+                                self.cells[g].touch(idx, line);
+                            }
+                        } else {
+                            self.cells[g].stats.write_misses += 1;
+                        }
+                        emit(g, MemXact::ThroughWrite { hit, words: 1 });
+                    }
+                    if idx != NIL && self.nodes[idx as usize].mask == 0 {
+                        self.release(idx);
+                    }
+                }
+            },
+        }
+    }
+}
+
+impl TraceSink for StackDistanceSink {
+    #[inline]
+    fn data_ref(&mut self, ev: MemEvent) {
+        self.access(ev);
+    }
+}
+
+/// A [`StackDistanceSink`] driving one [`TimingSim`] per geometry: the
+/// one-pass equivalent of a row of [`TimedCache`](crate::TimedCache)s.
+#[derive(Debug, Clone)]
+pub struct TimedStack {
+    engine: StackDistanceSink,
+    sims: Vec<TimingSim>,
+}
+
+impl TimedStack {
+    /// A timed family over `configs` with shared timing parameters.
+    pub fn new(configs: &[CacheConfig], timing: TimingConfig) -> Self {
+        let engine = StackDistanceSink::new(configs);
+        let sims = vec![TimingSim::new(timing); engine.len()];
+        TimedStack { engine, sims }
+    }
+
+    /// Ends the run, returning per-geometry counters and cycle reports.
+    pub fn finish(self, steps: u64) -> Vec<(CacheStats, TimingReport)> {
+        let TimedStack { engine, mut sims } = self;
+        engine
+            .into_stats()
+            .into_iter()
+            .zip(sims.iter_mut())
+            .map(|(stats, sim)| (stats, sim.finish(steps)))
+            .collect()
+    }
+}
+
+impl TraceSink for TimedStack {
+    #[inline]
+    fn data_ref(&mut self, ev: MemEvent) {
+        let TimedStack { engine, sims } = self;
+        engine.access_with(ev, &mut |g, xact| {
+            sims[g].xact(ev.addr, xact);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheSim;
+    use crate::config::PolicyKind;
+    use crate::timed::TimedCache;
+    use ucm_machine::MemTag;
+
+    fn ev(addr: i64, is_write: bool, flavour: Flavour, last_ref: bool) -> MemEvent {
+        MemEvent {
+            addr,
+            is_write,
+            tag: MemTag {
+                flavour,
+                last_ref,
+                unambiguous: flavour.bypass_bit(),
+            },
+        }
+    }
+
+    /// A deterministic mixed stream over a configurable footprint.
+    fn stream(seed: u64, n: usize, span: u64) -> Vec<MemEvent> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let flavour = match x % 5 {
+                    0 => Flavour::Plain,
+                    1 => Flavour::AmLoad,
+                    2 => Flavour::AmSpStore,
+                    3 => Flavour::UmAmLoad,
+                    _ => Flavour::UmAmStore,
+                };
+                let is_write = matches!(flavour, Flavour::AmSpStore | Flavour::UmAmStore)
+                    || (flavour == Flavour::Plain && i % 3 == 0);
+                ev((x % span) as i64, is_write, flavour, x.is_multiple_of(11))
+            })
+            .collect()
+    }
+
+    /// The full sub-grid family for one (line_words, flags) combination.
+    fn family(
+        line_words: usize,
+        write_policy: WritePolicy,
+        honor_tags: bool,
+        honor_last_ref: bool,
+    ) -> Vec<CacheConfig> {
+        let mut out = Vec::new();
+        for ways_log in 0..4 {
+            for size_log in 0..5 {
+                let ways = 1 << ways_log;
+                let sets = 1 << size_log;
+                out.push(CacheConfig {
+                    size_words: sets * ways * line_words,
+                    line_words,
+                    associativity: ways,
+                    policy: PolicyKind::Lru,
+                    write_policy,
+                    honor_tags,
+                    honor_last_ref,
+                    ..CacheConfig::default()
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_cache_sim_across_the_grid_all_flavour_modes() {
+        for &(tags, last) in &[(true, true), (true, false), (false, true), (false, false)] {
+            for &wp in &[
+                WritePolicy::WriteBackAllocate,
+                WritePolicy::WriteThroughNoAllocate,
+            ] {
+                for &lw in &[1usize, 4] {
+                    let configs = family(lw, wp, tags, last);
+                    let mut sink = StackDistanceSink::new(&configs);
+                    let mut sims: Vec<CacheSim> =
+                        configs.iter().map(|c| CacheSim::new(*c)).collect();
+                    for e in stream(0xfeed_beef, 4000, 512) {
+                        sink.access(e);
+                        for s in &mut sims {
+                            s.access(e);
+                        }
+                    }
+                    for (g, (got, sim)) in sink.into_stats().iter().zip(sims.iter()).enumerate() {
+                        assert_eq!(
+                            got,
+                            sim.stats(),
+                            "tags={tags} last={last} wp={wp:?} lw={lw} geometry #{g} \
+                             ({:?})",
+                            configs[g]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn emits_the_exact_transaction_stream() {
+        let configs = family(4, WritePolicy::WriteBackAllocate, true, true);
+        let mut sink = StackDistanceSink::new(&configs);
+        let mut sims: Vec<CacheSim> = configs.iter().map(|c| CacheSim::new(*c)).collect();
+        for e in stream(0x0dd_ba11, 3000, 768) {
+            let mut got: Vec<Option<MemXact>> = vec![None; configs.len()];
+            sink.access_with(e, &mut |g, x| {
+                assert!(got[g].is_none(), "one xact per geometry per event");
+                got[g] = Some(x);
+            });
+            for (g, s) in sims.iter_mut().enumerate() {
+                let want = s.access(e);
+                assert_eq!(got[g], Some(want), "geometry #{g} at {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn timed_stack_matches_timed_cache_reports() {
+        let configs = family(1, WritePolicy::WriteBackAllocate, true, true);
+        let timing = TimingConfig::default();
+        let mut stack = TimedStack::new(&configs, timing);
+        let mut cells: Vec<TimedCache> = configs
+            .iter()
+            .map(|c| TimedCache::new(*c, timing))
+            .collect();
+        let events = stream(0xcafe_f00d, 5000, 640);
+        let steps = 2 * events.len() as u64;
+        for e in events {
+            stack.data_ref(e);
+            for c in &mut cells {
+                c.data_ref(e);
+            }
+        }
+        for (g, ((s_stats, s_rep), cell)) in stack.finish(steps).into_iter().zip(cells).enumerate()
+        {
+            let (c_stats, c_rep) = cell.finish(steps);
+            assert_eq!(s_stats, c_stats, "stats diverge at geometry #{g}");
+            assert_eq!(s_rep, c_rep, "cycle report diverges at geometry #{g}");
+        }
+    }
+
+    #[test]
+    fn direct_mapped_any_policy_is_eligible() {
+        // ways == 1 caches accept any policy kind: replacement is a
+        // no-choice placement, so FIFO/Random/1-bit behave identically.
+        for policy in [PolicyKind::Fifo, PolicyKind::Random, PolicyKind::OneBitLru] {
+            let c = CacheConfig {
+                size_words: 16,
+                line_words: 1,
+                associativity: 1,
+                policy,
+                ..CacheConfig::default()
+            };
+            let mut sink = StackDistanceSink::new(&[c]);
+            let mut sim = CacheSim::new(c);
+            for e in stream(42, 2000, 64) {
+                sink.access(e);
+                sim.access(e);
+            }
+            assert_eq!(sink.stats(0), sim.stats(), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stack-orderable")]
+    fn rejects_non_lru_associative_geometries() {
+        StackDistanceSink::new(&[CacheConfig {
+            size_words: 16,
+            line_words: 1,
+            associativity: 4,
+            policy: PolicyKind::Fifo,
+            ..CacheConfig::default()
+        }]);
+    }
+
+    #[test]
+    fn line_map_survives_growth_and_reuse() {
+        let mut m = LineMap::new();
+        for i in 0..10_000u64 {
+            m.set(i * 7, i as u32);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(i * 7), i as u32);
+        }
+        for i in 0..5_000u64 {
+            m.remove(i * 7);
+        }
+        for i in 0..5_000u64 {
+            assert_eq!(m.get(i * 7), NIL);
+            m.set(i * 7, 1);
+            assert_eq!(m.get(i * 7), 1);
+        }
+    }
+}

@@ -168,6 +168,9 @@ struct SweepOpts {
     quick: bool,
     paper_sizes: bool,
     timing: bool,
+    /// `--no-stack-distance`: force every cell through the fused
+    /// replayer (escape hatch; results are pinned byte-identical).
+    no_stack_distance: bool,
     out: String,
     validate: Option<String>,
     seed: Option<u64>,
@@ -200,7 +203,7 @@ pub const USAGE: &str = "usage: ucmc <run|compare|ir|classify|trace|check|faults
 [--swap-flavour] [--misclassify PCT] \
 [--wb-entries N] [--hit-cycles N] [--mem-cycles N]\n\
 \x20      ucmc sweep [--out PATH] [--quick] [--paper-sizes] [--seed N] \
-[--timing] [--jobs N] [--validate FILE]\n\
+[--timing] [--jobs N] [--no-stack-distance] [--validate FILE]\n\
 \x20      ucmc report <obs.jsonl>\n\
 \x20      ucmc fuzz [--seed N] [--count N] [--out DIR] [--emit SEED] \
 [--max-steps N] [--mem-words N] [--cache-words N] [--line-words N] [--ways N]\n\
@@ -456,6 +459,7 @@ fn parse_sweep_args(
             "--quick" => sweep.quick = true,
             "--paper-sizes" => sweep.paper_sizes = true,
             "--timing" => sweep.timing = true,
+            "--no-stack-distance" => sweep.no_stack_distance = true,
             "--out" => {
                 sweep.out = it.next().ok_or_else(|| err("--out needs a path"))?.clone();
             }
@@ -758,6 +762,9 @@ fn cmd_sweep(inv: &Invocation) -> Result<CmdOutput, CliError> {
     if let Some(seed) = inv.sweep.seed {
         cfg.seed = seed;
     }
+    if inv.sweep.no_stack_distance {
+        cfg.use_stack_distance = false;
+    }
     let result = match inv.sweep.jobs {
         // A pinned pool makes perf measurements and CI smoke runs
         // reproducible on any core count. The grid result is identical
@@ -799,9 +806,11 @@ fn cmd_sweep(inv: &Invocation) -> Result<CmdOutput, CliError> {
     // the artifact, which stays machine-independent.
     let _ = writeln!(
         out,
-        r#"{{"event":"sweep-timing","record_s":{:.3},"replay_s":{:.3}}}"#,
+        r#"{{"event":"sweep-timing","record_s":{:.3},"replay_s":{:.3},"stack_cells":{},"fused_cells":{}}}"#,
         report.timings.record.as_secs_f64(),
         report.timings.replay.as_secs_f64(),
+        report.timings.stack_cells,
+        report.timings.fused_cells,
     );
     Ok(CmdOutput::ok(out))
 }
@@ -1494,6 +1503,9 @@ mod tests {
         assert!(!inv.sweep.timing);
         let inv = parse_args(&args(&["sweep", "--quick", "--timing"])).unwrap();
         assert!(inv.sweep.timing);
+        assert!(!inv.sweep.no_stack_distance);
+        let inv = parse_args(&args(&["sweep", "--quick", "--no-stack-distance"])).unwrap();
+        assert!(inv.sweep.no_stack_distance);
         let inv = parse_args(&args(&["sweep", "--seed", "42"])).unwrap();
         assert_eq!(inv.sweep.seed, Some(42));
         assert_eq!(inv.sweep.out, "BENCH_sweep.json");
