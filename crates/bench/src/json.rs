@@ -97,7 +97,18 @@ pub enum JsonErrorKind {
     /// (`1e999`). Sweep counters and ratios must stay finite, so these
     /// get their own kind for validators to match on.
     NonFinite,
+    /// Nesting deeper than [`MAX_DEPTH`]. The parser is recursive
+    /// descent, so without this bound a hostile document of a few
+    /// hundred thousand `[` bytes overflows the thread stack and aborts
+    /// the process — fatal for a long-running server parsing untrusted
+    /// requests. No artifact or request this workspace writes nests past
+    /// double digits.
+    TooDeep,
 }
+
+/// Maximum container nesting [`parse`] accepts (see
+/// [`JsonErrorKind::TooDeep`]).
+pub const MAX_DEPTH: usize = 256;
 
 /// A parse failure with byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,7 +136,11 @@ impl std::error::Error for JsonError {}
 /// Returns a [`JsonError`] with the byte offset of the first problem.
 pub fn parse(text: &str) -> Result<Json, JsonError> {
     let bytes = text.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
+    let mut p = Parser {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -138,6 +153,7 @@ pub fn parse(text: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -204,12 +220,26 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(JsonError {
+                offset: self.pos,
+                message: format!("nesting deeper than {MAX_DEPTH}"),
+                kind: JsonErrorKind::TooDeep,
+            });
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -225,6 +255,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
@@ -234,10 +265,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -248,6 +281,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
@@ -441,6 +475,34 @@ mod tests {
         // keep their own kind.
         assert_eq!(parse("1e308").unwrap().as_num(), Some(1e308));
         assert_eq!(parse("[").unwrap_err().kind, JsonErrorKind::Syntax);
+    }
+
+    #[test]
+    fn hostile_nesting_gets_a_typed_rejection_not_a_stack_overflow() {
+        // A recursive-descent parser with no depth bound aborts the
+        // process on this input; the server feeds untrusted request
+        // bytes here, so the bound (and its typed kind) is load-bearing.
+        let bomb = "[".repeat(1_000_000);
+        let e = parse(&bomb).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooDeep);
+        let obj_bomb = "{\"k\":".repeat(1_000_000);
+        let e = parse(&obj_bomb).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooDeep);
+        // Depth is container nesting, not length: wide documents and
+        // documents at the bound still parse.
+        let wide = format!("[{}1]", "1,".repeat(100_000));
+        assert!(parse(&wide).is_ok());
+        let at_bound = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&at_bound).is_ok());
+        let past_bound = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert_eq!(parse(&past_bound).unwrap_err().kind, JsonErrorKind::TooDeep);
+        // Sibling containers do not accumulate depth.
+        let siblings = format!("[{}]", vec!["[[1]]"; 1000].join(","));
+        assert!(parse(&siblings).is_ok());
     }
 
     #[test]

@@ -144,11 +144,12 @@ pub struct SweepConfig {
 
 impl SweepConfig {
     /// The full default grid: all six benchmarks at sweep sizes, both
-    /// codegen styles, all three modes, four geometries (a 16-word
+    /// codegen styles, all three modes, seven geometries (a 16-word
     /// 8-word-line pressure cache where contention dominates and bypass
     /// pays off — the regime the paper's tiny on-chip caches lived in —
-    /// plus the paper's direct-mapped line-1 cache, a 4-way variant, and
-    /// a 4-word-line 4-way cache), both write policies, all four online
+    /// plus the paper's direct-mapped line-1 cache, a 4-way variant, a
+    /// 4-word-line 4-way cache, and a direct-mapped line-1 size ladder
+    /// {64, 1024, 4096}), both write policies, all four online
     /// replacement policies.
     pub fn full() -> Self {
         SweepConfig {
@@ -188,6 +189,31 @@ impl SweepConfig {
                     size_words: 1024,
                     line_words: 4,
                     ways: 4,
+                },
+                // The size ladder rides *after* the original four
+                // geometries: the geometry axis is an inner grid loop, so
+                // appending keeps every pre-existing cell of the artifact
+                // byte-identical (same reason the fuzz corpus appends to
+                // the workload axis above; a pin test holds both). The
+                // ladder is direct-mapped line-1 on purpose — every such
+                // cell is stack-orderable under every policy, so the
+                // stack-distance engine serves all three sizes from the
+                // per-family traversal it already pays for, making the
+                // densified axis nearly free (ROADMAP item 1 follow-on).
+                Geometry {
+                    size_words: 64,
+                    line_words: 1,
+                    ways: 1,
+                },
+                Geometry {
+                    size_words: 1024,
+                    line_words: 1,
+                    ways: 1,
+                },
+                Geometry {
+                    size_words: 4096,
+                    line_words: 1,
+                    ways: 1,
                 },
             ],
             write_policies: vec![
@@ -253,8 +279,11 @@ impl SweepConfig {
             * self.policies.len()
     }
 
-    /// The cache configuration of one grid cell.
-    fn cell_cache(
+    /// The cache configuration of one grid cell. Public because the
+    /// serve engine keys its per-cell result cache on exactly this
+    /// configuration — honor flags and all — so every result-affecting
+    /// knob lands in the content hash.
+    pub fn cell_cache(
         &self,
         mode: ManagementMode,
         geom: Geometry,
@@ -336,6 +365,10 @@ impl From<ConfigError> for SweepError {
 /// per-geometry jobs without copying; it is public (with [`record_trace`],
 /// [`replay`], and [`replay_fused`]) so parity tests and benchmarks can
 /// drive the exact pipeline the sweep uses.
+///
+/// `Clone` is cheap (the packed trace is shared, not copied) so the
+/// serve path can hand cached recordings to concurrent requests.
+#[derive(Clone)]
 pub struct RecordedTrace {
     /// Workload name.
     pub workload: String,
@@ -714,12 +747,39 @@ pub fn record_group(
     modes: &[ManagementMode],
     vm: &VmConfig,
 ) -> Result<Vec<RecordedTrace>, SweepError> {
+    record_group_with(w, codegen, modes, vm, |w, codegen, mode| {
+        compile_point(w, codegen, mode).map(|c| Arc::new(c.program))
+    })
+}
+
+/// [`record_group`] with the compile step supplied by the caller.
+///
+/// The serve path routes `compile` through its content-addressed program
+/// store, so a warm source skips the compiler entirely; everything
+/// downstream (the single VM run, the tag-rewrite derivation of the
+/// other modes) is shared with the one-shot sweep verbatim — which is
+/// what makes served cells byte-identical to `ucmc sweep`'s.
+///
+/// # Errors
+///
+/// Same failure modes as [`record_trace`], plus whatever `compile`
+/// returns.
+pub fn record_group_with<C>(
+    w: &Workload,
+    codegen: Codegen,
+    modes: &[ManagementMode],
+    vm: &VmConfig,
+    mut compile: C,
+) -> Result<Vec<RecordedTrace>, SweepError>
+where
+    C: FnMut(&Workload, Codegen, ManagementMode) -> Result<Arc<MachineProgram>, SweepError>,
+{
     let mut out: Vec<RecordedTrace> = Vec::with_capacity(modes.len());
-    let mut base: Option<(MachineProgram, usize)> = None;
+    let mut base: Option<(Arc<MachineProgram>, usize)> = None;
     for &mode in modes {
-        let compiled = compile_point(w, codegen, mode)?;
+        let program = compile(w, codegen, mode)?;
         if let Some((base_prog, base_idx)) = &base {
-            if let Some(map) = derive_tag_rewrite(base_prog, &compiled.program) {
+            if let Some(map) = derive_tag_rewrite(base_prog, &program) {
                 let b = &out[*base_idx];
                 let mut unmapped = false;
                 let trace = b.trace.map_tags(|ev| match map.get(ev.tag, ev.is_write) {
@@ -744,9 +804,9 @@ pub fn record_group(
                 }
             }
         }
-        let recorded = record_run(w, codegen, mode, vm, &compiled.program)?;
+        let recorded = record_run(w, codegen, mode, vm, &program)?;
         if base.is_none() {
-            base = Some((compiled.program, out.len()));
+            base = Some((program, out.len()));
         }
         out.push(recorded);
     }
@@ -930,12 +990,67 @@ pub fn replay_stack(
         .collect()
 }
 
+/// Replays one trace against an arbitrary mix of cache configurations,
+/// partitioning them between the stack-distance and fused engines the
+/// same way the sweep does: stack-orderable cells ([`stack_eligible`])
+/// share one multi-geometry traversal, the rest take the fused pass,
+/// and results scatter back in `cfgs` order.
+///
+/// This is the serve path's replay entry point — a warm request replays
+/// only the cells its result cache is missing, which is any subset of a
+/// grid block, so the partition cannot assume whole geometries. With
+/// `use_stack` false everything takes the fused path (the
+/// `--no-stack-distance` escape hatch). Counter-for-counter identical
+/// to [`replay`]; the parity test pins it.
+pub fn replay_cells(
+    trace: &PackedTrace,
+    cfgs: &[CacheConfig],
+    timing: Option<TimingConfig>,
+    steps: u64,
+    use_stack: bool,
+) -> Vec<(CacheStats, Option<CellTiming>)> {
+    let mut stack_cfgs = Vec::new();
+    let mut stack_idx = Vec::new();
+    let mut fused_cfgs = Vec::new();
+    let mut fused_idx = Vec::new();
+    for (i, &c) in cfgs.iter().enumerate() {
+        if use_stack && stack_eligible(c) {
+            stack_cfgs.push(c);
+            stack_idx.push(i);
+        } else {
+            fused_cfgs.push(c);
+            fused_idx.push(i);
+        }
+    }
+    let mut out: Vec<Option<(CacheStats, Option<CellTiming>)>> = vec![None; cfgs.len()];
+    if !stack_cfgs.is_empty() {
+        for (r, &i) in replay_stack(trace, &stack_cfgs, timing, steps)
+            .into_iter()
+            .zip(&stack_idx)
+        {
+            out[i] = Some(r);
+        }
+    }
+    if !fused_cfgs.is_empty() {
+        for (r, &i) in replay_fused(trace, &fused_cfgs, timing, steps)
+            .into_iter()
+            .zip(&fused_idx)
+        {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every cfg lands in exactly one partition"))
+        .collect()
+}
+
 /// Whether a cell can ride the stack-distance fast path: the global
 /// recency stack orders victims only for true LRU, and a direct-mapped
 /// set has no victim choice, so any policy canonicalises to LRU there.
 /// FIFO/Random/OneBitLru at ways > 1 are not stack algorithms and keep
-/// the fused path.
-fn stack_eligible(c: CacheConfig) -> bool {
+/// the fused path. Public so the serve engine can attribute its replayed
+/// cells to the same two engines in its phase counters.
+pub fn stack_eligible(c: CacheConfig) -> bool {
     canonical_cell(c).policy == PolicyKind::Lru
 }
 
@@ -1298,7 +1413,45 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
         ucm_obs::counter("sweep.fused_cells", fused_cells as u64);
     }
 
-    let traces: Vec<TraceSummary> = recorded_traces
+    Ok(assemble_report(
+        cfg,
+        &recorded_traces,
+        &stats,
+        SweepTimings {
+            record: record_took,
+            replay: replay_took,
+            stack_cells,
+            fused_cells,
+        },
+    ))
+}
+
+/// Builds the final [`SweepReport`] from recorded traces (in
+/// workload × codegen × mode order) and per-cell results (in full grid
+/// order): trace summaries, cell assembly, and the figure-5 ratios
+/// against each cell's conventional twin.
+///
+/// Shared by [`run_sweep`] and the serve engine — byte-identical served
+/// artifacts fall out of both paths funnelling through this one
+/// assembly (and one [`SweepReport::to_json`]).
+///
+/// # Panics
+///
+/// Panics if `stats` does not hold exactly [`SweepConfig::cell_count`]
+/// results or `recorded` one trace per (workload, codegen, mode).
+pub fn assemble_report(
+    cfg: &SweepConfig,
+    recorded: &[RecordedTrace],
+    stats: &[(CacheStats, Option<CellTiming>)],
+    timings: SweepTimings,
+) -> SweepReport {
+    assert_eq!(stats.len(), cfg.cell_count(), "one result per grid cell");
+    assert_eq!(
+        recorded.len(),
+        cfg.workloads.len() * cfg.codegens.len() * cfg.modes.len(),
+        "one trace per (workload, codegen, mode)"
+    );
+    let traces: Vec<TraceSummary> = recorded
         .iter()
         .map(|t| TraceSummary {
             workload: t.workload.clone(),
@@ -1309,7 +1462,6 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
             dynamic_unambiguous_pct: 100.0 * t.counts.unambiguous_fraction(),
         })
         .collect();
-    drop(recorded_traces);
 
     // Assemble cells and derive ratios against conventional twins.
     let cells_per_trace = cfg.geometries.len() * cfg.write_policies.len() * cfg.policies.len();
@@ -1318,11 +1470,11 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
         .iter()
         .position(|&m| m == ManagementMode::Conventional);
     let mut cell_keys = Vec::with_capacity(cfg.cell_count());
-    for (ti, &(_, _, mode)) in trace_jobs.iter().enumerate() {
+    for (ti, t) in traces.iter().enumerate() {
         for &geom in &cfg.geometries {
             for &wp in &cfg.write_policies {
                 for &policy in &cfg.policies {
-                    cell_keys.push((ti, mode, geom, wp, policy));
+                    cell_keys.push((ti, t.mode, geom, wp, policy));
                 }
             }
         }
@@ -1360,20 +1512,15 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
         });
     }
 
-    Ok(SweepReport {
+    SweepReport {
         suite: cfg.suite.clone(),
         seed: cfg.seed,
         latency: cfg.latency,
         grid: cfg.clone(),
         traces,
         cells,
-        timings: SweepTimings {
-            record: record_took,
-            replay: replay_took,
-            stack_cells,
-            fused_cells,
-        },
-    })
+        timings,
+    }
 }
 
 /// Figure-5 ratios of `cell` against its conventional twin `conv`.
@@ -1422,7 +1569,27 @@ impl SweepReport {
     /// arrays follow grid order. No timestamps, hosts, or thread counts —
     /// the same grid always produces byte-identical output.
     pub fn to_json(&self) -> String {
-        let mut o = String::with_capacity(256 * (self.cells.len() + 8));
+        let (header, cells, footer) = self.to_json_parts();
+        let mut o = String::with_capacity(
+            header.len() + cells.iter().map(String::len).sum::<usize>() + footer.len(),
+        );
+        o.push_str(&header);
+        for c in &cells {
+            o.push_str(c);
+        }
+        o.push_str(&footer);
+        o
+    }
+
+    /// The artifact split at its streaming seams: the header (everything
+    /// through `"cells": [`), one string per cell — leading indent,
+    /// separating comma, and newline included — and the footer.
+    /// Concatenating the pieces in order is byte-for-byte
+    /// [`SweepReport::to_json`] (a test pins this), which is what lets
+    /// the serve protocol stream cells individually while the client
+    /// reassembles an artifact `cmp`-identical to a one-shot sweep's.
+    pub fn to_json_parts(&self) -> (String, Vec<String>, String) {
+        let mut o = String::with_capacity(256 * (self.traces.len() + 8));
         o.push_str("{\n");
         o.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
         o.push_str("  \"generator\": \"ucmc sweep\",\n");
@@ -1509,7 +1676,11 @@ impl SweepReport {
         o.push_str("  ],\n");
 
         o.push_str("  \"cells\": [\n");
+        let header = o;
+
+        let mut cells = Vec::with_capacity(self.cells.len());
         for (i, c) in self.cells.iter().enumerate() {
+            let mut o = String::with_capacity(512);
             o.push_str("    {");
             o.push_str(&format!(
                 "\"workload\": \"{}\", \"codegen\": \"{}\", \"mode\": \"{}\", ",
@@ -1600,9 +1771,10 @@ impl SweepReport {
                 o.push(',');
             }
             o.push('\n');
+            cells.push(o);
         }
-        o.push_str("  ]\n}\n");
-        o
+
+        (header, cells, "  ]\n}\n".to_string())
     }
 
     /// A human-readable summary table: every (workload, codegen, mode) at
@@ -2286,5 +2458,105 @@ mod tests {
         let mut cfg = tiny_config();
         cfg.modes.clear();
         assert!(matches!(run_sweep(&cfg), Err(SweepError::EmptyGrid)));
+    }
+
+    #[test]
+    fn json_parts_are_whole_lines_that_concatenate_to_the_artifact() {
+        let report = run_sweep(&tiny_config()).unwrap();
+        let (header, cells, footer) = report.to_json_parts();
+        // The serve protocol ships each piece as-is; the client's only
+        // job is concatenation, so every seam must fall on a line
+        // boundary and the pieces must cover the artifact exactly.
+        assert!(header.ends_with("\"cells\": [\n"), "header seam moved");
+        assert_eq!(cells.len(), report.cells.len());
+        for (i, c) in cells.iter().enumerate() {
+            assert!(c.starts_with("    {"), "cell {i} lost its indent");
+            assert!(c.ends_with('\n'), "cell {i} is not a whole line");
+            let body = c.trim_end();
+            assert_eq!(
+                body.ends_with(','),
+                i + 1 < cells.len(),
+                "comma placement broke at cell {i}"
+            );
+        }
+        assert_eq!(footer, "  ]\n}\n");
+        let mut whole = header;
+        whole.extend(cells);
+        whole.push_str(&footer);
+        assert_eq!(whole, report.to_json());
+    }
+
+    #[test]
+    fn appending_a_geometry_keeps_existing_cells_byte_identical() {
+        // The satellite-1 regeneration appends a direct-mapped size
+        // ladder to the full grid's geometry axis; this pins the
+        // mechanism that keeps that safe: the geometry axis is an inner
+        // grid loop, so every pre-existing cell of every trace block
+        // keeps its exact bytes (only trailing commas may shift at the
+        // block seams, and the grid header grows).
+        let old_cfg = tiny_config();
+        let mut new_cfg = old_cfg.clone();
+        new_cfg.geometries.push(Geometry {
+            size_words: 256,
+            line_words: 1,
+            ways: 1,
+        });
+        let (_, old_cells, _) = run_sweep(&old_cfg).unwrap().to_json_parts();
+        let (_, new_cells, _) = run_sweep(&new_cfg).unwrap().to_json_parts();
+        let old_block =
+            old_cfg.geometries.len() * old_cfg.write_policies.len() * old_cfg.policies.len();
+        let new_block =
+            new_cfg.geometries.len() * new_cfg.write_policies.len() * new_cfg.policies.len();
+        assert_eq!(old_cells.len() % old_block, 0);
+        let strip = |s: &str| s.trim_end().trim_end_matches(',').to_string();
+        for (t, chunk) in old_cells.chunks(old_block).enumerate() {
+            for (i, old) in chunk.iter().enumerate() {
+                let new = &new_cells[t * new_block + i];
+                assert_eq!(strip(old), strip(new), "cell {i} of trace block {t} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_cells_matches_reference_replay_for_arbitrary_subsets() {
+        // The serve path replays whatever subset of a grid block its
+        // result cache is missing; the partition between the stack and
+        // fused engines must stay invisible for any mix.
+        let w = ucm_workloads::sieve::workload(100, 1);
+        let t = record_trace(
+            &w,
+            Codegen::Paper,
+            ManagementMode::Unified,
+            &VmConfig::default(),
+        )
+        .unwrap();
+        let mk = |size, ways, policy| CacheConfig {
+            size_words: size,
+            line_words: 1,
+            associativity: ways,
+            policy,
+            ..CacheConfig::default()
+        };
+        // Deliberately interleaved: stack-eligible (LRU, direct-mapped)
+        // and fused-only (associative non-LRU) cells.
+        let cfgs = vec![
+            mk(64, 1, PolicyKind::Fifo),
+            mk(256, 4, PolicyKind::Random),
+            mk(64, 2, PolicyKind::Lru),
+            mk(128, 4, PolicyKind::OneBitLru),
+            mk(1024, 1, PolicyKind::Lru),
+        ];
+        for timing in [None, Some(TimingConfig::default())] {
+            for use_stack in [true, false] {
+                let got = replay_cells(&t.trace, &cfgs, timing, t.steps, use_stack);
+                for (i, &cfg) in cfgs.iter().enumerate() {
+                    let want = replay(&t.trace, cfg, timing, t.steps);
+                    assert_eq!(
+                        got[i], want,
+                        "cfg {i}, timing {timing:?}, stack {use_stack}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -15,6 +15,9 @@
 //! ucmc report <obs.jsonl>    summarise a captured observability stream
 //! ucmc fuzz                  differential fuzzing batch (JSON lines)
 //! ucmc shrink <file.mini>    minimize a failing program, keep its failure
+//! ucmc serve                 long-running sweep service on a Unix socket
+//! ucmc submit                send one sweep to a server, reassemble artifact
+//! ucmc loadgen               drive a server, write BENCH_serve.json latencies
 //! ```
 //!
 //! Every command additionally accepts the global `--obs-out FILE` flag:
@@ -53,6 +56,21 @@
 //! the seeded [`ucm_core::faults::desync_stores`] fault" (for exercising
 //! the minimizer on a healthy compiler), and `--min-out PATH` writes the
 //! minimized program to `PATH`.
+//!
+//! `serve` binds a Unix socket and answers the JSON-lines protocol of
+//! [`ucm_serve`] until a client sends `{"op":"shutdown"}`; `--jobs N`
+//! pins its worker pool, `--cache-bytes N` budgets the content-addressed
+//! artifact cache, `--max-request-bytes N` caps a request line. `submit`
+//! sends one sweep (`--full`, `--timed`, `--seed N`,
+//! `--no-stack-distance`, `--source FILE [--name NAME]` for a custom
+//! workload) and reassembles the streamed artifact — byte-identical to
+//! `ucmc sweep`'s — to stdout or `--out PATH`; `--shutdown` instead asks
+//! the server to exit (CI uses it to reap the background process).
+//! `loadgen` drives a server
+//! (`--socket PATH`, or a private self-hosted one) with a seeded mix of
+//! repeated and fresh requests and writes throughput plus p50/p90/p99
+//! latencies to `--out PATH` (default `BENCH_serve.json`);
+//! `--min-warm-speedup X` turns the cold/warm ratio into a CI gate.
 //!
 //! `sweep` takes no source file; its flags are `--out PATH` (default
 //! `BENCH_sweep.json`), `--quick` (the reduced CI grid), `--paper-sizes`
@@ -177,6 +195,39 @@ struct SweepOpts {
     jobs: Option<usize>,
 }
 
+/// Options of the file-less `serve`, `submit`, and `loadgen` commands.
+#[derive(Debug, Clone, Default)]
+struct ServeOpts {
+    /// `--socket PATH`: where the server listens / a client dials.
+    socket: Option<String>,
+    /// `--jobs N`: worker threads for miss recompute (`0` = all cores).
+    jobs: usize,
+    /// `--cache-bytes N`: artifact-cache byte-budget override.
+    cache_bytes: Option<usize>,
+    /// `serve --max-request-bytes N`: request-line cap override.
+    max_request_bytes: Option<usize>,
+    /// `submit --full`: sweep the full grid instead of the quick one.
+    full: bool,
+    /// `submit --timed`: price every cell through the timing model.
+    timed: bool,
+    /// `submit --no-stack-distance`: engine escape hatch (deliberately
+    /// not part of any cache key; results are pinned byte-identical).
+    no_stack_distance: bool,
+    /// `submit`/`loadgen` `--seed N`.
+    seed: Option<u64>,
+    /// `submit --name NAME`: workload name for a custom source.
+    name: Option<String>,
+    /// `submit`/`loadgen` `--out PATH`.
+    out: Option<String>,
+    /// `loadgen --requests N`.
+    requests: usize,
+    /// `loadgen --min-warm-speedup X`: fail the run unless the warm
+    /// quick-grid repeat is at least `X` times faster than cold.
+    min_warm_speedup: Option<f64>,
+    /// `submit --shutdown`: ask the server to exit instead of sweeping.
+    shutdown: bool,
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone)]
 pub struct Invocation {
@@ -191,6 +242,7 @@ pub struct Invocation {
     timing: TimingConfig,
     sweep: SweepOpts,
     fuzz: FuzzOpts,
+    serve: ServeOpts,
     obs_out: Option<String>,
 }
 
@@ -208,6 +260,11 @@ pub const USAGE: &str = "usage: ucmc <run|compare|ir|classify|trace|check|faults
 \x20      ucmc fuzz [--seed N] [--count N] [--out DIR] [--emit SEED] \
 [--max-steps N] [--mem-words N] [--cache-words N] [--line-words N] [--ways N]\n\
 \x20      ucmc shrink <file.mini> [--inject] [--min-out PATH] [budget/cache flags]\n\
+\x20      ucmc serve --socket PATH [--jobs N] [--cache-bytes N] [--max-request-bytes N]\n\
+\x20      ucmc submit --socket PATH [--full] [--timed] [--seed N] [--no-stack-distance] \
+[--source FILE] [--name NAME] [--out PATH] [--shutdown]\n\
+\x20      ucmc loadgen [--socket PATH] [--requests N] [--seed N] [--jobs N] \
+[--cache-bytes N] [--out PATH] [--min-warm-speedup X]\n\
 \x20      any command also accepts the global --obs-out FILE flag";
 
 /// Parses arguments (excluding `argv0`) and reads the source file.
@@ -236,7 +293,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
     let command = it.next().ok_or_else(|| err("missing command"))?.clone();
     if ![
         "run", "compare", "ir", "classify", "trace", "check", "faults", "timing", "sweep",
-        "report", "fuzz", "shrink",
+        "report", "fuzz", "shrink", "serve", "submit", "loadgen",
     ]
     .contains(&command.as_str())
     {
@@ -249,6 +306,11 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
     }
     if command == "fuzz" {
         let mut inv = parse_fuzz_args(command, it, err)?;
+        inv.obs_out = obs_out;
+        return Ok(inv);
+    }
+    if command == "serve" || command == "submit" || command == "loadgen" {
+        let mut inv = parse_serve_args(command, it, err)?;
         inv.obs_out = obs_out;
         return Ok(inv);
     }
@@ -273,6 +335,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
             timing: TimingConfig::default(),
             sweep: SweepOpts::default(),
             fuzz: FuzzOpts::default(),
+            serve: ServeOpts::default(),
             obs_out,
         });
     }
@@ -374,6 +437,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
         timing,
         sweep: SweepOpts::default(),
         fuzz,
+        serve: ServeOpts::default(),
         obs_out,
     })
 }
@@ -440,6 +504,7 @@ fn parse_fuzz_args(
         timing: TimingConfig::default(),
         sweep: SweepOpts::default(),
         fuzz,
+        serve: ServeOpts::default(),
         obs_out: None,
     })
 }
@@ -507,6 +572,172 @@ fn parse_sweep_args(
         timing: TimingConfig::default(),
         sweep,
         fuzz: FuzzOpts::default(),
+        serve: ServeOpts::default(),
+        obs_out: None,
+    })
+}
+
+/// Parses the tail of a `serve`, `submit`, or `loadgen` invocation
+/// (none of which take a positional source file; `submit --source FILE`
+/// reads its Mini program here so execution never touches the
+/// filesystem for inputs).
+fn parse_serve_args(
+    command: String,
+    mut it: std::slice::Iter<'_, String>,
+    err: impl Fn(&str) -> CliError,
+) -> Result<Invocation, CliError> {
+    let mut serve = ServeOpts {
+        requests: 24,
+        ..ServeOpts::default()
+    };
+    let mut source = String::new();
+    let submit = command == "submit";
+    let loadgen = command == "loadgen";
+    while let Some(flag) = it.next() {
+        let mut number = |what: &str| -> Result<usize, CliError> {
+            it.next()
+                .ok_or_else(|| err(&format!("{what} needs a value")))?
+                .parse::<usize>()
+                .map_err(|_| err(&format!("{what} needs a number")))
+        };
+        let only = |cmd: &str, ok: bool| -> Result<(), CliError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(err(&format!("{flag} is a `{cmd}` flag")))
+            }
+        };
+        match flag.as_str() {
+            "--socket" => {
+                serve.socket = Some(
+                    it.next()
+                        .ok_or_else(|| err("--socket needs a path"))?
+                        .clone(),
+                );
+            }
+            "--jobs" => {
+                only("serve/loadgen", !submit)?;
+                let v = number("--jobs")?;
+                if v == 0 {
+                    return Err(err("--jobs needs at least one thread"));
+                }
+                serve.jobs = v;
+            }
+            "--cache-bytes" => {
+                only("serve/loadgen", !submit)?;
+                let v = number("--cache-bytes")?;
+                if v == 0 {
+                    return Err(err("--cache-bytes needs a non-zero budget"));
+                }
+                serve.cache_bytes = Some(v);
+            }
+            "--max-request-bytes" => {
+                only("serve", !submit && !loadgen)?;
+                let v = number("--max-request-bytes")?;
+                if v == 0 {
+                    return Err(err("--max-request-bytes needs a non-zero cap"));
+                }
+                serve.max_request_bytes = Some(v);
+            }
+            "--full" => {
+                only("submit", submit)?;
+                serve.full = true;
+            }
+            "--timed" => {
+                only("submit", submit)?;
+                serve.timed = true;
+            }
+            "--no-stack-distance" => {
+                only("submit", submit)?;
+                serve.no_stack_distance = true;
+            }
+            "--shutdown" => {
+                only("submit", submit)?;
+                serve.shutdown = true;
+            }
+            "--seed" => {
+                only("submit/loadgen", submit || loadgen)?;
+                serve.seed = Some(number("--seed")? as u64);
+            }
+            "--source" => {
+                only("submit", submit)?;
+                let path = it.next().ok_or_else(|| err("--source needs a path"))?;
+                source = std::fs::read_to_string(path)
+                    .map_err(|e| err(&format!("cannot read `{path}`: {e}")))?;
+                if source.trim().is_empty() {
+                    return Err(err(&format!("`{path}` is empty: expected a Mini program")));
+                }
+                // A readable default workload name; --name overrides.
+                if serve.name.is_none() {
+                    serve.name = std::path::Path::new(path)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned());
+                }
+            }
+            "--name" => {
+                only("submit", submit)?;
+                serve.name = Some(
+                    it.next()
+                        .ok_or_else(|| err("--name needs a value"))?
+                        .clone(),
+                );
+            }
+            "--out" => {
+                only("submit/loadgen", submit || loadgen)?;
+                serve.out = Some(it.next().ok_or_else(|| err("--out needs a path"))?.clone());
+            }
+            "--requests" => {
+                only("loadgen", loadgen)?;
+                let v = number("--requests")?;
+                if v == 0 {
+                    return Err(err("--requests needs at least one request"));
+                }
+                serve.requests = v;
+            }
+            "--min-warm-speedup" => {
+                only("loadgen", loadgen)?;
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--min-warm-speedup needs a value"))?
+                    .parse::<f64>()
+                    .map_err(|_| err("--min-warm-speedup needs a number"))?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(err("--min-warm-speedup needs a positive ratio"));
+                }
+                serve.min_warm_speedup = Some(v);
+            }
+            other => return Err(err(&format!("unknown {command} flag `{other}`"))),
+        }
+    }
+    if serve.socket.is_none() && !loadgen {
+        return Err(err(&format!("{command} needs --socket PATH")));
+    }
+    if serve.name.is_some() && source.is_empty() {
+        return Err(err("--name needs --source FILE"));
+    }
+    if serve.shutdown
+        && (serve.full
+            || serve.timed
+            || serve.no_stack_distance
+            || serve.seed.is_some()
+            || serve.out.is_some()
+            || !source.is_empty())
+    {
+        return Err(err("--shutdown takes no sweep flags"));
+    }
+    Ok(Invocation {
+        command,
+        source,
+        options: CompilerOptions::default(),
+        cache: CacheConfig::default(),
+        vm: VmConfig::default(),
+        limit: 20,
+        seed: 1,
+        kinds: Vec::new(),
+        timing: TimingConfig::default(),
+        sweep: SweepOpts::default(),
+        fuzz: FuzzOpts::default(),
+        serve,
         obs_out: None,
     })
 }
@@ -553,6 +784,9 @@ fn dispatch(inv: &Invocation) -> Result<CmdOutput, CliError> {
         "report" => cmd_report(inv),
         "fuzz" => cmd_fuzz(inv),
         "shrink" => cmd_shrink(inv),
+        "serve" => cmd_serve(inv),
+        "submit" => cmd_submit(inv),
+        "loadgen" => cmd_loadgen(inv),
         _ => unreachable!("parse_args validated the command"),
     }
 }
@@ -812,6 +1046,178 @@ fn cmd_sweep(inv: &Invocation) -> Result<CmdOutput, CliError> {
         report.timings.stack_cells,
         report.timings.fused_cells,
     );
+    Ok(CmdOutput::ok(out))
+}
+
+/// Runs the long-lived sweep/compile server on a Unix socket until a
+/// client sends `{"op":"shutdown"}`.
+///
+/// The ready line goes straight to stdout (not [`CmdOutput`]): the
+/// accept loop blocks until shutdown, and an operator or CI script needs
+/// the line *before* submitting requests.
+fn cmd_serve(inv: &Invocation) -> Result<CmdOutput, CliError> {
+    use std::io::Write as _;
+    use ucm_serve::server::{ServeConfig, Server};
+
+    let socket = inv.serve.socket.as_deref().expect("parse_args required it");
+    let mut cfg = ServeConfig::new(socket);
+    cfg.jobs = inv.serve.jobs;
+    if let Some(bytes) = inv.serve.cache_bytes {
+        cfg.cache_bytes = bytes;
+    }
+    if let Some(bytes) = inv.serve.max_request_bytes {
+        cfg.max_request_bytes = bytes;
+    }
+    let server = Server::bind(cfg).map_err(|e| CliError {
+        message: format!("cannot serve on `{socket}`: {e}"),
+        code: EXIT_ERROR,
+    })?;
+    println!(
+        r#"{{"event":"serve-ready","socket":"{}","jobs":{},"cache_bytes":{}}}"#,
+        json_escape(socket),
+        inv.serve.jobs,
+        inv.serve.cache_bytes.unwrap_or(256 << 20),
+    );
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| CliError {
+        message: format!("serve loop failed: {e}"),
+        code: EXIT_ERROR,
+    })?;
+    Ok(CmdOutput::ok(format!(
+        "{{\"event\":\"serve-done\",\"socket\":\"{}\"}}\n",
+        json_escape(socket)
+    )))
+}
+
+/// Submits one sweep to a running server and reassembles the streamed
+/// artifact — byte-identical to what `ucmc sweep` would have written.
+fn cmd_submit(inv: &Invocation) -> Result<CmdOutput, CliError> {
+    use ucm_serve::client::{Client, ClientError};
+    use ucm_serve::protocol::{SourceSpec, SweepRequest};
+
+    let socket = inv.serve.socket.as_deref().expect("parse_args required it");
+    let fail = |e: ClientError| CliError {
+        message: format!("submit to `{socket}` failed: {e}"),
+        code: EXIT_ERROR,
+    };
+    let mut client = Client::connect(std::path::Path::new(socket)).map_err(fail)?;
+    if inv.serve.shutdown {
+        client.shutdown().map_err(fail)?;
+        return Ok(CmdOutput::ok(format!(
+            "{{\"event\":\"submit-shutdown\",\"socket\":\"{}\"}}\n",
+            json_escape(socket)
+        )));
+    }
+    let request = SweepRequest {
+        full: inv.serve.full,
+        timing: inv.serve.timed,
+        seed: inv.serve.seed,
+        source: (!inv.source.is_empty()).then(|| SourceSpec {
+            name: inv.serve.name.clone().unwrap_or_else(|| "custom".into()),
+            text: inv.source.clone(),
+        }),
+        geometries: None,
+        stack_distance: !inv.serve.no_stack_distance,
+    };
+    let reply = client.sweep(&request).map_err(fail)?;
+    let mut out = String::new();
+    match &inv.serve.out {
+        Some(path) => {
+            std::fs::write(path, &reply.artifact).map_err(|e| CliError {
+                message: format!("cannot write `{path}`: {e}"),
+                code: EXIT_ERROR,
+            })?;
+            let _ = writeln!(
+                out,
+                r#"{{"event":"submit","cells":{},"cold":{},"hits":{},"misses":{},"elapsed_us":{},"out":"{}"}}"#,
+                reply.cells,
+                reply.cold,
+                reply.hits,
+                reply.misses,
+                reply.elapsed_us,
+                json_escape(path),
+            );
+        }
+        // Without --out the artifact itself is the output, so it can be
+        // piped; the summary would corrupt the JSON document.
+        None => out.push_str(&reply.artifact),
+    }
+    Ok(CmdOutput::ok(out))
+}
+
+/// Drives a server with a seeded mix of repeated and fresh requests and
+/// writes the schema-versioned `BENCH_serve.json` latency report.
+fn cmd_loadgen(inv: &Invocation) -> Result<CmdOutput, CliError> {
+    use ucm_serve::loadgen::{run_loadgen, validate_serve_json, LoadgenConfig};
+
+    let mut cfg = LoadgenConfig {
+        requests: inv.serve.requests,
+        socket: inv.serve.socket.as_deref().map(std::path::PathBuf::from),
+        jobs: inv.serve.jobs,
+        ..LoadgenConfig::default()
+    };
+    if let Some(seed) = inv.serve.seed {
+        cfg.seed = seed;
+    }
+    if let Some(bytes) = inv.serve.cache_bytes {
+        cfg.cache_bytes = bytes;
+    }
+    let report = run_loadgen(&cfg).map_err(|e| CliError {
+        message: format!("loadgen failed: {e}"),
+        code: EXIT_ERROR,
+    })?;
+    let text = report.to_json();
+    // The generated report must pass its own validator before it is
+    // allowed to land on disk — same contract as the sweep artifact.
+    validate_serve_json(&text).map_err(|e| CliError {
+        message: format!("generated report failed validation: {e}"),
+        code: EXIT_ERROR,
+    })?;
+    let out_path = inv.serve.out.as_deref().unwrap_or("BENCH_serve.json");
+    std::fs::write(out_path, &text).map_err(|e| CliError {
+        message: format!("cannot write `{out_path}`: {e}"),
+        code: EXIT_ERROR,
+    })?;
+    let mut out = String::new();
+    let speedup = report
+        .warm_speedup
+        .map_or("null".into(), |s| format!("{s:.2}"));
+    let _ = writeln!(
+        out,
+        r#"{{"event":"loadgen","requests":{},"cold":{},"warm":{},"throughput_rps":{:.2},"warm_speedup":{},"out":"{}"}}"#,
+        report.requests,
+        report.cold_requests,
+        report.warm_requests,
+        report.throughput_rps,
+        speedup,
+        json_escape(out_path),
+    );
+    let _ = writeln!(
+        out,
+        r#"{{"event":"loadgen-latency","overall_p50_us":{},"overall_p99_us":{},"warm_p50_us":{},"warm_p99_us":{}}}"#,
+        report.overall.p50_us, report.overall.p99_us, report.warm.p50_us, report.warm.p99_us,
+    );
+    if let Some(min) = inv.serve.min_warm_speedup {
+        match report.warm_speedup {
+            Some(got) if got >= min => {}
+            Some(got) => {
+                return Err(CliError {
+                    message: format!(
+                        "warm speedup {got:.2}x is below the required {min:.2}x\n{out}"
+                    ),
+                    code: EXIT_ERROR,
+                });
+            }
+            None => {
+                return Err(CliError {
+                    message: format!(
+                        "the mix produced no warm quick repeat to measure a speedup\n{out}"
+                    ),
+                    code: EXIT_ERROR,
+                });
+            }
+        }
+    }
     Ok(CmdOutput::ok(out))
 }
 
@@ -1578,6 +1984,197 @@ mod tests {
         let result = execute(&inv).unwrap();
         assert_eq!(result.code, EXIT_OK);
         assert!(result.text.contains(r#""timed":true"#));
+    }
+
+    #[test]
+    fn serve_family_flag_parsing_and_errors() {
+        let inv = parse_args(&args(&["serve", "--socket", "/tmp/s.sock", "--jobs", "2"])).unwrap();
+        assert_eq!(inv.serve.socket.as_deref(), Some("/tmp/s.sock"));
+        assert_eq!(inv.serve.jobs, 2);
+        assert_eq!(inv.serve.cache_bytes, None);
+
+        let src = write_temp("submit_parse", HELLO);
+        let inv = parse_args(&args(&[
+            "submit",
+            "--socket",
+            "/tmp/s.sock",
+            "--timed",
+            "--seed",
+            "9",
+            "--source",
+            &src,
+        ]))
+        .unwrap();
+        assert!(inv.serve.timed);
+        assert!(!inv.serve.full);
+        assert_eq!(inv.serve.seed, Some(9));
+        assert_eq!(inv.source, HELLO);
+        // The workload name defaults to the source file's stem.
+        assert_eq!(inv.serve.name.as_deref(), Some("ucmc_test_submit_parse"));
+        let inv = parse_args(&args(&[
+            "submit", "--socket", "/s", "--source", &src, "--name", "mine",
+        ]))
+        .unwrap();
+        assert_eq!(inv.serve.name.as_deref(), Some("mine"));
+
+        let inv = parse_args(&args(&[
+            "loadgen",
+            "--requests",
+            "6",
+            "--seed",
+            "7",
+            "--min-warm-speedup",
+            "2.5",
+        ]))
+        .unwrap();
+        assert_eq!(inv.serve.socket, None); // self-host
+        assert_eq!(inv.serve.requests, 6);
+        assert_eq!(inv.serve.min_warm_speedup, Some(2.5));
+
+        for bad in [
+            args(&["serve"]),                                             // missing --socket
+            args(&["submit"]),                                            // missing --socket
+            args(&["serve", "--socket"]),                                 // dangling value
+            args(&["serve", "--socket", "/s", "--jobs", "0"]),            // zero threads
+            args(&["serve", "--socket", "/s", "--full"]),                 // submit-only flag
+            args(&["serve", "--socket", "/s", "--requests", "3"]),        // loadgen-only flag
+            args(&["submit", "--socket", "/s", "--cache-bytes", "4096"]), // server-side flag
+            args(&["submit", "--socket", "/s", "--name", "x"]),           // --name without --source
+            args(&["loadgen", "--requests", "0"]),
+            args(&["loadgen", "--min-warm-speedup", "-1"]),
+            args(&["loadgen", "--min-warm-speedup", "x"]),
+            args(&["loadgen", "--max-request-bytes", "4096"]), // serve-only flag
+            args(&["serve", "--socket", "/s", "--bogus"]),
+            args(&["submit", "--socket", "/s", "--shutdown", "--full"]), // no sweep flags
+            args(&["loadgen", "--shutdown"]),                            // submit-only flag
+        ] {
+            let e = parse_args(&bad).unwrap_err();
+            assert_eq!(e.code, EXIT_USAGE, "{}", e.message);
+        }
+    }
+
+    /// Waits for a serving socket to come up (the server thread binds
+    /// before `execute` returns control, but the test races it).
+    fn wait_for_server(socket: &str) -> ucm_serve::client::Client {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            if let Ok(client) = ucm_serve::client::Client::connect(std::path::Path::new(socket)) {
+                return client;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server on `{socket}` never came up"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn serve_and_submit_round_trip_matches_one_shot_sweep() {
+        let socket =
+            std::env::temp_dir().join(format!("ucmc_test_serve_{}.sock", std::process::id()));
+        let socket = socket.to_string_lossy().into_owned();
+
+        // One-shot reference artifact.
+        let reference = std::env::temp_dir().join("ucmc_test_serve_ref.json");
+        let reference = reference.to_string_lossy().into_owned();
+        let inv = parse_args(&args(&["sweep", "--quick", "--out", &reference])).unwrap();
+        execute(&inv).unwrap();
+        let want = std::fs::read_to_string(&reference).unwrap();
+
+        let serve_inv = parse_args(&args(&["serve", "--socket", &socket, "--jobs", "2"])).unwrap();
+        let server = std::thread::spawn(move || execute(&serve_inv));
+        let mut probe = wait_for_server(&socket);
+
+        // Cold submit writes the byte-identical artifact to --out.
+        let out = std::env::temp_dir().join("ucmc_test_serve_submit.json");
+        let out = out.to_string_lossy().into_owned();
+        let inv = parse_args(&args(&["submit", "--socket", &socket, "--out", &out])).unwrap();
+        let result = execute(&inv).unwrap();
+        assert_eq!(result.code, EXIT_OK);
+        assert!(
+            result.text.contains(r#""event":"submit""#),
+            "{}",
+            result.text
+        );
+        assert!(result.text.contains(r#""cold":true"#), "{}", result.text);
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), want);
+
+        // Warm repeat without --out streams the artifact itself to stdout.
+        let inv = parse_args(&args(&["submit", "--socket", &socket])).unwrap();
+        let result = execute(&inv).unwrap();
+        assert_eq!(result.text, want);
+
+        // A custom source sweeps too (and reports via the event line).
+        let src = write_temp("submit_custom", KERNEL);
+        let inv = parse_args(&args(&[
+            "submit", "--socket", &socket, "--source", &src, "--name", "kern", "--out", &out,
+        ]))
+        .unwrap();
+        let result = execute(&inv).unwrap();
+        assert_eq!(result.code, EXIT_OK);
+        assert!(std::fs::read_to_string(&out).unwrap().contains("\"kern\""));
+
+        // `submit --shutdown` reaps the server; a submit against the now
+        // dead socket is a runtime error, not a panic.
+        probe.ping().unwrap();
+        drop(probe);
+        let inv = parse_args(&args(&["submit", "--socket", &socket, "--shutdown"])).unwrap();
+        let result = execute(&inv).unwrap();
+        assert!(result.text.contains("submit-shutdown"), "{}", result.text);
+        let served = server.join().unwrap().unwrap();
+        assert_eq!(served.code, EXIT_OK);
+        assert!(served.text.contains("serve-done"), "{}", served.text);
+        let inv = parse_args(&args(&["submit", "--socket", &socket])).unwrap();
+        assert_eq!(execute(&inv).unwrap_err().code, EXIT_ERROR);
+    }
+
+    #[test]
+    fn loadgen_self_hosts_and_gates_on_warm_speedup() {
+        let out = std::env::temp_dir().join("ucmc_test_loadgen.json");
+        let out = out.to_string_lossy().into_owned();
+        let inv = parse_args(&args(&[
+            "loadgen",
+            "--requests",
+            "6",
+            "--seed",
+            "7",
+            "--jobs",
+            "2",
+            "--out",
+            &out,
+            "--min-warm-speedup",
+            "2",
+        ]))
+        .unwrap();
+        let result = execute(&inv).unwrap();
+        assert_eq!(result.code, EXIT_OK);
+        assert!(
+            result.text.contains(r#""event":"loadgen""#),
+            "{}",
+            result.text
+        );
+        assert!(result.text.contains(r#""event":"loadgen-latency""#));
+        let report = std::fs::read_to_string(&out).unwrap();
+        ucm_serve::loadgen::validate_serve_json(&report).unwrap();
+
+        // An impossible gate turns into a runtime failure that still
+        // carries the measured numbers.
+        let inv = parse_args(&args(&[
+            "loadgen",
+            "--requests",
+            "4",
+            "--seed",
+            "7",
+            "--out",
+            &out,
+            "--min-warm-speedup",
+            "1000000",
+        ]))
+        .unwrap();
+        let e = execute(&inv).unwrap_err();
+        assert_eq!(e.code, EXIT_ERROR);
+        assert!(e.message.contains("warm speedup"), "{}", e.message);
     }
 
     // The obs collector is process-global; tests that install it must not

@@ -216,6 +216,22 @@ pub fn uninstall() -> Option<Stream> {
     })
 }
 
+/// Copies everything collected so far *without* disabling collection or
+/// draining the ring — the long-running path ([`ucmc serve`]'s `stats`
+/// op) reports mid-flight while spans keep landing. Returns `None` if no
+/// collector is installed. Records stay in the ring, so a later
+/// [`uninstall`] (or the next `snapshot`) still sees them until the
+/// bounded ring drops them as oldest.
+///
+/// [`ucmc serve`]: index.html
+pub fn snapshot() -> Option<Stream> {
+    let g = COLLECTOR.lock().unwrap();
+    g.as_ref().map(|c| Stream {
+        records: c.buf.iter().cloned().collect(),
+        dropped: c.dropped,
+    })
+}
+
 fn push(name: &'static str, kind_of: impl FnOnce(Instant) -> RecordKind, fields: Fields) {
     let worker = worker_id();
     let mut g = COLLECTOR.lock().unwrap();
@@ -549,6 +565,26 @@ mod tests {
         assert_eq!(a, worker_id());
         let b = std::thread::spawn(worker_id).join().unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn snapshot_copies_without_draining_or_disabling() {
+        let _g = locked();
+        assert!(snapshot().is_none());
+        install(DEFAULT_CAPACITY);
+        counter("a", 1);
+        let first = snapshot().unwrap();
+        assert_eq!(first.records.len(), 1);
+        assert!(enabled(), "snapshot must not disable collection");
+        // Collection continues after the snapshot, and uninstall still
+        // sees everything the snapshot saw.
+        counter("b", 2);
+        let second = snapshot().unwrap();
+        assert_eq!(second.records.len(), 2);
+        let s = uninstall().unwrap();
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.records[0].name, "a");
+        assert_eq!(s.records[1].name, "b");
     }
 
     #[test]

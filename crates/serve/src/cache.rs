@@ -1,0 +1,377 @@
+//! The content-addressed artifact cache: three byte-budgeted LRU stores,
+//! one per pipeline stage.
+//!
+//! | store      | key (see [`crate::engine`])                         | value                         |
+//! |------------|-----------------------------------------------------|-------------------------------|
+//! | `programs` | canonical source × codegen options × mode           | compiled [`MachineProgram`]   |
+//! | `traces`   | canonical source × codegen × modes × VM config      | recorded trace group          |
+//! | `cells`    | trace key × mode × full cell config × timing config | replayed counters (+ cycles)  |
+//!
+//! Each [`Store`] owns a byte budget and evicts **least-recently-used
+//! first** (a hit refreshes recency) until a new entry fits. Hits,
+//! misses, evictions, and resident bytes are counted per store;
+//! `hits + misses == lookups` is a conservation identity the tests pin.
+//! Entries larger than the whole budget are never admitted (counted as
+//! `rejected`) — caching them would just evict everything else for a
+//! value that cannot stay resident anyway.
+//!
+//! Sizes are *estimates* (packed-trace bytes, instruction counts), good
+//! enough to bound resident memory; the exactness that matters — that an
+//! evicted entry recomputes to byte-identical results — comes from every
+//! store key containing every result-affecting input, which the
+//! cache-key hygiene tests pin.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use ucm_bench::sweep::{CellTiming, RecordedTrace};
+use ucm_cache::CacheStats;
+use ucm_machine::MachineProgram;
+
+use crate::hash::Digest;
+
+/// Counter snapshot of one store (or, summed, of the whole cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found a resident entry.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Insertions refused because the value alone exceeds the budget.
+    pub rejected: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheCounters {
+    /// Merges another store's counters into this one.
+    pub fn add(&mut self, o: &CacheCounters) {
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.evictions += o.evictions;
+        self.rejected += o.rejected;
+        self.resident_bytes += o.resident_bytes;
+        self.entries += o.entries;
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    bytes: usize,
+    /// Monotonic recency stamp; refreshed on every hit, so the minimum
+    /// stamp is the least-recently-used entry.
+    stamp: u64,
+}
+
+/// One byte-budgeted LRU store.
+pub struct Store<V> {
+    map: HashMap<u128, Entry<V>>,
+    budget: usize,
+    bytes: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    rejected: u64,
+}
+
+impl<V: Clone> Store<V> {
+    /// An empty store with `budget` bytes of room.
+    pub fn new(budget: usize) -> Self {
+        Store {
+            map: HashMap::new(),
+            budget,
+            bytes: 0,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Looks up `key`, counting a hit or miss and refreshing recency.
+    pub fn get(&mut self, key: Digest) -> Option<V> {
+        self.clock += 1;
+        match self.map.get_mut(&key.0) {
+            Some(e) => {
+                e.stamp = self.clock;
+                self.hits += 1;
+                Some(e.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value`, evicting least-recently-used entries until
+    /// the store fits its budget. Values larger than the whole budget
+    /// are rejected (see module docs). Inserting an existing key
+    /// replaces the entry.
+    pub fn insert(&mut self, key: Digest, value: V, bytes: usize) {
+        if bytes > self.budget {
+            self.rejected += 1;
+            return;
+        }
+        if let Some(old) = self.map.remove(&key.0) {
+            self.bytes -= old.bytes;
+        }
+        // Evict oldest-first. The scan is O(entries), but eviction only
+        // runs when the budget overflows and the stores hold at most a
+        // few thousand entries — the replaced computation is milliseconds
+        // to minutes, so a microsecond scan is noise.
+        while self.bytes + bytes > self.budget {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(&k, _)| k)
+                .expect("bytes > 0 implies a resident entry");
+            let evicted = self.map.remove(&oldest).expect("key from live iteration");
+            self.bytes -= evicted.bytes;
+            self.evictions += 1;
+        }
+        self.clock += 1;
+        self.bytes += bytes;
+        self.map.insert(
+            key.0,
+            Entry {
+                value,
+                bytes,
+                stamp: self.clock,
+            },
+        );
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            rejected: self.rejected,
+            resident_bytes: self.bytes as u64,
+            entries: self.map.len() as u64,
+        }
+    }
+}
+
+/// A compiled program plus the expected outputs its recording must
+/// reproduce (for ad-hoc sources the first run's outputs, see
+/// [`crate::engine`]).
+pub type CachedProgram = Arc<MachineProgram>;
+
+/// A recorded (workload, codegen) trace group: one [`RecordedTrace`] per
+/// requested mode, behind an `Arc` so concurrent requests share it.
+pub type CachedTraceGroup = Arc<Vec<RecordedTrace>>;
+
+/// One replayed cell's counters (and cycles, for timed requests).
+pub type CachedCell = (CacheStats, Option<CellTiming>);
+
+/// Per-store counter snapshots.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArtifactCacheStats {
+    /// Compile-stage store.
+    pub programs: CacheCounters,
+    /// Record-stage store.
+    pub traces: CacheCounters,
+    /// Replay-stage store.
+    pub cells: CacheCounters,
+}
+
+impl ArtifactCacheStats {
+    /// All three stores summed.
+    pub fn total(&self) -> CacheCounters {
+        let mut t = CacheCounters::default();
+        t.add(&self.programs);
+        t.add(&self.traces);
+        t.add(&self.cells);
+        t
+    }
+}
+
+/// The process-lifetime artifact cache.
+///
+/// The byte budget splits 15% / 60% / 25% across programs / traces /
+/// cells: traces dominate resident bytes (8 bytes per dynamic
+/// reference), programs are comparatively tiny, and cell results are a
+/// couple hundred bytes each but numerous. Each store has its own lock;
+/// the engine probes sequentially and computes misses outside any lock,
+/// so a store lock is only ever held for a map operation.
+pub struct ArtifactCache {
+    programs: Mutex<Store<CachedProgram>>,
+    traces: Mutex<Store<CachedTraceGroup>>,
+    cells: Mutex<Store<CachedCell>>,
+}
+
+impl ArtifactCache {
+    /// A cache splitting `budget_bytes` across the three stores.
+    pub fn new(budget_bytes: usize) -> Self {
+        ArtifactCache {
+            programs: Mutex::new(Store::new(budget_bytes / 100 * 15)),
+            traces: Mutex::new(Store::new(budget_bytes / 100 * 60)),
+            cells: Mutex::new(Store::new(budget_bytes / 100 * 25)),
+        }
+    }
+
+    /// Compile-store lookup.
+    pub fn program_get(&self, key: Digest) -> Option<CachedProgram> {
+        self.programs.lock().unwrap().get(key)
+    }
+
+    /// Compile-store insert.
+    pub fn program_put(&self, key: Digest, p: CachedProgram) {
+        let bytes = program_bytes(&p);
+        self.programs.lock().unwrap().insert(key, p, bytes);
+    }
+
+    /// Trace-store lookup.
+    pub fn trace_get(&self, key: Digest) -> Option<CachedTraceGroup> {
+        self.traces.lock().unwrap().get(key)
+    }
+
+    /// Trace-store insert.
+    pub fn trace_put(&self, key: Digest, g: CachedTraceGroup) {
+        let bytes = trace_group_bytes(&g);
+        self.traces.lock().unwrap().insert(key, g, bytes);
+    }
+
+    /// Cell-store lookup.
+    pub fn cell_get(&self, key: Digest) -> Option<CachedCell> {
+        self.cells.lock().unwrap().get(key)
+    }
+
+    /// Cell-store insert.
+    pub fn cell_put(&self, key: Digest, c: CachedCell) {
+        // Key + entry bookkeeping dwarfs the value itself; charge both.
+        let bytes = std::mem::size_of::<CachedCell>() + 64;
+        self.cells.lock().unwrap().insert(key, c, bytes);
+    }
+
+    /// Counter snapshot across all stores.
+    pub fn stats(&self) -> ArtifactCacheStats {
+        ArtifactCacheStats {
+            programs: self.programs.lock().unwrap().counters(),
+            traces: self.traces.lock().unwrap().counters(),
+            cells: self.cells.lock().unwrap().counters(),
+        }
+    }
+}
+
+/// Estimated resident bytes of a compiled program.
+fn program_bytes(p: &MachineProgram) -> usize {
+    let instr = std::mem::size_of::<ucm_machine::MInstr>();
+    p.funcs
+        .iter()
+        .map(|f| f.code.len() * instr + 96)
+        .sum::<usize>()
+        + p.globals_init.len() * 8
+        + 128
+}
+
+/// Estimated resident bytes of a trace group: the packed traces
+/// dominate at 8 bytes per record.
+fn trace_group_bytes(g: &[RecordedTrace]) -> usize {
+    g.iter()
+        .map(|t| t.trace.events() as usize * 8 + t.workload.len() + 160)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> Digest {
+        Digest(u128::from(n))
+    }
+
+    #[test]
+    fn store_hits_misses_and_conservation() {
+        let mut s: Store<u64> = Store::new(1000);
+        let mut lookups = 0u64;
+        assert_eq!(s.get(key(1)), None);
+        lookups += 1;
+        s.insert(key(1), 10, 100);
+        assert_eq!(s.get(key(1)), Some(10));
+        lookups += 1;
+        assert_eq!(s.get(key(2)), None);
+        lookups += 1;
+        let c = s.counters();
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 2);
+        assert_eq!(
+            c.hits + c.misses,
+            lookups,
+            "conservation: hits+misses=lookups"
+        );
+        assert_eq!(c.resident_bytes, 100);
+        assert_eq!(c.entries, 1);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used_first() {
+        let mut s: Store<u64> = Store::new(300);
+        s.insert(key(1), 1, 100);
+        s.insert(key(2), 2, 100);
+        s.insert(key(3), 3, 100);
+        // Touch 1 so 2 becomes the oldest.
+        assert_eq!(s.get(key(1)), Some(1));
+        s.insert(key(4), 4, 100);
+        let c = s.counters();
+        assert_eq!(c.evictions, 1);
+        assert!(c.resident_bytes <= 300);
+        // 2 (least recently used) is gone; 1, 3, 4 survive.
+        assert_eq!(s.get(key(2)), None);
+        assert_eq!(s.get(key(1)), Some(1));
+        assert_eq!(s.get(key(3)), Some(3));
+        assert_eq!(s.get(key(4)), Some(4));
+    }
+
+    #[test]
+    fn filling_past_budget_drops_oldest_in_order() {
+        let mut s: Store<u64> = Store::new(250);
+        for n in 0..10 {
+            s.insert(key(n), n, 100);
+        }
+        let c = s.counters();
+        // Two entries fit; each further insert evicts exactly the oldest.
+        assert_eq!(c.entries, 2);
+        assert_eq!(c.evictions, 8);
+        assert!(c.resident_bytes <= 250);
+        for n in 0..8 {
+            assert_eq!(s.get(key(n)), None, "entry {n} should have aged out");
+        }
+        assert_eq!(s.get(key(8)), Some(8));
+        assert_eq!(s.get(key(9)), Some(9));
+    }
+
+    #[test]
+    fn oversized_values_are_rejected_not_thrashed() {
+        let mut s: Store<u64> = Store::new(100);
+        s.insert(key(1), 1, 50);
+        s.insert(key(2), 2, 101);
+        let c = s.counters();
+        assert_eq!(c.rejected, 1);
+        assert_eq!(c.evictions, 0, "a rejected value must not evict residents");
+        assert_eq!(s.get(key(1)), Some(1));
+        assert_eq!(s.get(key(2)), None);
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_without_double_counting() {
+        let mut s: Store<u64> = Store::new(100);
+        s.insert(key(1), 1, 60);
+        s.insert(key(1), 2, 80);
+        let c = s.counters();
+        assert_eq!(c.entries, 1);
+        assert_eq!(c.resident_bytes, 80);
+        assert_eq!(s.get(key(1)), Some(2));
+    }
+}

@@ -1,0 +1,276 @@
+//! A blocking client for the serve protocol.
+//!
+//! Reassembles a served sweep by concatenating the streamed fragments
+//! in arrival order, which yields the artifact byte-for-byte as
+//! `ucmc sweep` would have written it — the server sends the header
+//! `part`, every `cell` in grid order, and the footer `part`, and the
+//! client verifies the indices as it goes.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use ucm_bench::json::{self, Json};
+
+use crate::protocol::SweepRequest;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket I/O failed.
+    Io(io::Error),
+    /// The server broke the protocol (bad JSON, wrong op, bad order).
+    Protocol(String),
+    /// The server answered with a typed error.
+    Server {
+        /// Machine-readable kind (`schema`, `sweep`, ...).
+        kind: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::Server { kind, detail } => write!(f, "server error ({kind}): {detail}"),
+        }
+    }
+}
+
+impl Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+fn protocol(msg: impl Into<String>) -> ClientError {
+    ClientError::Protocol(msg.into())
+}
+
+/// One store's counters out of a `stats` reply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    /// Lookups that found a resident entry.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// A `stats` reply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsReply {
+    /// Operations the server has processed.
+    pub requests: u64,
+    /// Compile-stage store.
+    pub programs: StoreStats,
+    /// Record-stage store.
+    pub traces: StoreStats,
+    /// Replay-stage store.
+    pub cells: StoreStats,
+}
+
+/// A reassembled sweep reply.
+#[derive(Debug, Clone)]
+pub struct SweepReply {
+    /// The complete artifact text, byte-identical to `ucmc sweep`'s.
+    pub artifact: String,
+    /// Number of grid cells.
+    pub cells: usize,
+    /// Whether the server computed anything (any store miss).
+    pub cold: bool,
+    /// Store hits charged to the request.
+    pub hits: u64,
+    /// Store misses charged to the request.
+    pub misses: u64,
+    /// Server-side wall time in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// A connected client.
+pub struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    /// Connects to a serving socket.
+    ///
+    /// # Errors
+    ///
+    /// Socket I/O errors (no server, permission, ...).
+    pub fn connect(socket: &Path) -> Result<Client, ClientError> {
+        let writer = UnixStream::connect(socket)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Reads one response line, surfacing server-side `error` lines as
+    /// [`ClientError::Server`].
+    fn read_reply(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(protocol("server closed the connection"));
+        }
+        let doc = json::parse(line.trim_end())
+            .map_err(|e| protocol(format!("unparseable response: {e}")))?;
+        match doc.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(doc),
+            Some(false) => {
+                let err = doc.get("error");
+                let field = |k: &str| {
+                    err.and_then(|e| e.get(k))
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_string()
+                };
+                Err(ClientError::Server {
+                    kind: field("kind"),
+                    detail: field("detail"),
+                })
+            }
+            None => Err(protocol("response without an `ok` field")),
+        }
+    }
+
+    fn expect_op(doc: &Json, want: &str) -> Result<(), ClientError> {
+        match doc.get("op").and_then(Json::as_str) {
+            Some(op) if op == want => Ok(()),
+            Some(op) => Err(protocol(format!("expected `{want}`, got `{op}`"))),
+            None => Err(protocol("response without an `op` field")),
+        }
+    }
+
+    fn get_u64(doc: &Json, key: &str) -> Result<u64, ClientError> {
+        doc.get(key)
+            .and_then(Json::as_exact_num)
+            .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+            .map(|n| n as u64)
+            .ok_or_else(|| protocol(format!("missing or non-integral `{key}`")))
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failures.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send("{\"op\":\"ping\"}")?;
+        let doc = self.read_reply()?;
+        Self::expect_op(&doc, "pong")
+    }
+
+    /// Fetches server counters.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failures.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        self.send("{\"op\":\"stats\"}")?;
+        let doc = self.read_reply()?;
+        Self::expect_op(&doc, "stats")?;
+        let cache = doc
+            .get("cache")
+            .ok_or_else(|| protocol("stats without `cache`"))?;
+        let store = |name: &str| -> Result<StoreStats, ClientError> {
+            let s = cache
+                .get(name)
+                .ok_or_else(|| protocol(format!("stats without `cache.{name}`")))?;
+            Ok(StoreStats {
+                hits: Self::get_u64(s, "hits")?,
+                misses: Self::get_u64(s, "misses")?,
+                evictions: Self::get_u64(s, "evictions")?,
+                resident_bytes: Self::get_u64(s, "resident_bytes")?,
+                entries: Self::get_u64(s, "entries")?,
+            })
+        };
+        Ok(StatsReply {
+            requests: Self::get_u64(&doc, "requests")?,
+            programs: store("programs")?,
+            traces: store("traces")?,
+            cells: store("cells")?,
+        })
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send("{\"op\":\"shutdown\"}")?;
+        let doc = self.read_reply()?;
+        Self::expect_op(&doc, "bye")
+    }
+
+    /// Submits a sweep and reassembles the streamed artifact.
+    ///
+    /// # Errors
+    ///
+    /// I/O and protocol failures, plus typed server errors (bad
+    /// source, bad grid).
+    pub fn sweep(&mut self, req: &SweepRequest) -> Result<SweepReply, ClientError> {
+        self.send(&req.to_json_line())?;
+        let start = self.read_reply()?;
+        Self::expect_op(&start, "start")?;
+        let cells = Self::get_u64(&start, "cells")? as usize;
+
+        let text_of = |doc: &Json| -> Result<String, ClientError> {
+            doc.get("text")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| protocol("fragment without `text`"))
+        };
+
+        let mut artifact = String::new();
+        let header = self.read_reply()?;
+        Self::expect_op(&header, "part")?;
+        artifact.push_str(&text_of(&header)?);
+        for want in 0..cells {
+            let cell = self.read_reply()?;
+            Self::expect_op(&cell, "cell")?;
+            let index = Self::get_u64(&cell, "index")? as usize;
+            if index != want {
+                return Err(protocol(format!("cell {index} arrived in slot {want}")));
+            }
+            artifact.push_str(&text_of(&cell)?);
+        }
+        let footer = self.read_reply()?;
+        Self::expect_op(&footer, "part")?;
+        artifact.push_str(&text_of(&footer)?);
+
+        let done = self.read_reply()?;
+        Self::expect_op(&done, "done")?;
+        let cold = done
+            .get("cold")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| protocol("done without `cold`"))?;
+        Ok(SweepReply {
+            artifact,
+            cells,
+            cold,
+            hits: Self::get_u64(&done, "hits")?,
+            misses: Self::get_u64(&done, "misses")?,
+            elapsed_us: Self::get_u64(&done, "elapsed_us")?,
+        })
+    }
+}

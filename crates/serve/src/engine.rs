@@ -1,0 +1,626 @@
+//! The request engine: one sweep request in, one artifact out, every
+//! pipeline stage memoized in the [`ArtifactCache`].
+//!
+//! A request becomes a [`SweepConfig`] and runs the *same* phases as
+//! `run_sweep` — record, replay, assemble — but each phase first probes
+//! its content-addressed store and computes only what is missing:
+//!
+//! 1. **canon** — every workload source is canonicalised
+//!    ([`crate::hash::canonical_source`]) so formatting never reaches a
+//!    key;
+//! 2. **record** — one trace-group probe per (workload, codegen); a
+//!    missing group records through
+//!    [`ucm_bench::sweep::record_group_with`] with the compile step
+//!    routed through the program store;
+//! 3. **replay** — one cell probe per grid cell; missing cells replay
+//!    through [`ucm_bench::sweep::replay_cells`], any subset of a grid
+//!    block at a time;
+//! 4. **assemble** — [`ucm_bench::sweep::assemble_report`] +
+//!    [`SweepReport::to_json_parts`] produce the artifact fragments.
+//!
+//! Store probes are sequential (a warm request spawns no threads and
+//! takes no lock longer than a map operation); only miss recompute fans
+//! out across the worker pool. Because both the trace derivation and
+//! the assembly are shared with the one-shot sweep, a served artifact
+//! is byte-identical to `ucmc sweep`'s for the same grid — the
+//! integration tests compare the two outputs byte for byte, cold and
+//! warm.
+//!
+//! The one place the two paths differ internally: `run_sweep` collapses
+//! behaviourally-equivalent traces before replay and copies their cell
+//! blocks, while the engine keys every cell by its own trace and lets
+//! the cell store absorb the duplication. Outputs are identical either
+//! way; the byte-compare pins it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rayon::prelude::*;
+use ucm_bench::sweep::{
+    assemble_report, record_group_with, replay_cells, stack_eligible, Codegen, SweepConfig,
+    SweepError, SweepTimings,
+};
+use ucm_cache::{CacheConfig, TimingConfig};
+use ucm_core::pipeline::{compile, CompilerOptions};
+use ucm_lang::LangError;
+use ucm_machine::{run, MachineProgram, NullSink};
+use ucm_workloads::Workload;
+
+use crate::cache::{ArtifactCache, ArtifactCacheStats, CachedCell, CachedTraceGroup};
+use crate::hash::{canonical_source, Digest, KeyHasher};
+use crate::protocol::SweepRequest;
+use std::sync::Arc;
+
+/// A failed request.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A submitted source is not Mini.
+    Source {
+        /// Workload name.
+        workload: String,
+        /// The parse error.
+        error: Box<LangError>,
+    },
+    /// The sweep itself failed (compile, VM trap, output mismatch, bad
+    /// geometry, empty grid).
+    Sweep(SweepError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Source { workload, error } => {
+                write!(f, "parsing `{workload}`: {error}")
+            }
+            EngineError::Sweep(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl EngineError {
+    /// Stable machine-readable kind for `error` response lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineError::Source { .. } => "source",
+            EngineError::Sweep(_) => "sweep",
+        }
+    }
+}
+
+impl From<SweepError> for EngineError {
+    fn from(e: SweepError) -> Self {
+        EngineError::Sweep(e)
+    }
+}
+
+/// Wall-clock phase breakdown of one request, in microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestPhases {
+    /// Source canonicalisation and key derivation.
+    pub canon_us: u64,
+    /// Trace-store probes plus any recording.
+    pub record_us: u64,
+    /// Cell-store probes plus any replay.
+    pub replay_us: u64,
+    /// Report assembly and serialisation.
+    pub assemble_us: u64,
+}
+
+/// The result of one sweep request: the artifact in streamable
+/// fragments, plus everything the `done` line reports.
+pub struct SweepOutcome {
+    /// Artifact header (everything before the first cell).
+    pub header: String,
+    /// One artifact line per grid cell, in grid order.
+    pub cells: Vec<String>,
+    /// Artifact footer (everything after the last cell).
+    pub footer: String,
+    /// Number of recorded traces behind the artifact.
+    pub traces: usize,
+    /// Whether anything had to be computed (any store miss).
+    pub cold: bool,
+    /// Store hits charged to this request.
+    pub hits: u64,
+    /// Store misses charged to this request.
+    pub misses: u64,
+    /// Phase timings.
+    pub phases: RequestPhases,
+}
+
+/// Per-request hit/miss tally, shared with worker threads during miss
+/// recompute. The cache's own counters are global across requests;
+/// these are this request's alone.
+#[derive(Default)]
+struct Tally {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Tally {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The serve engine: the artifact cache plus the worker pool.
+///
+/// Shared across connections behind an `Arc`; all state is internally
+/// synchronised.
+pub struct Engine {
+    cache: ArtifactCache,
+    pool: Option<rayon::ThreadPool>,
+    requests: AtomicU64,
+    /// Lazily-built suite templates. Constructing a suite runs every
+    /// workload's native Rust reference to compute its expected
+    /// outputs — far too expensive to repeat per request (it would
+    /// dominate the warm path); built once, cloned per request.
+    quick_template: std::sync::OnceLock<SweepConfig>,
+    full_template: std::sync::OnceLock<SweepConfig>,
+}
+
+impl Engine {
+    /// An engine with `jobs` worker threads (`0` = all cores) and a
+    /// `cache_bytes` artifact-cache budget.
+    pub fn new(jobs: usize, cache_bytes: usize) -> Self {
+        let pool = if jobs == 0 {
+            None
+        } else {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(jobs)
+                    .build()
+                    .expect("vendored pool build is infallible"),
+            )
+        };
+        Engine {
+            cache: ArtifactCache::new(cache_bytes),
+            pool,
+            requests: AtomicU64::new(0),
+            quick_template: std::sync::OnceLock::new(),
+            full_template: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Runs `f` inside the worker pool (or inline when unconstrained).
+    fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        match &self.pool {
+            Some(p) => p.install(f),
+            None => f(),
+        }
+    }
+
+    /// Requests served so far (all operations).
+    pub fn requests(&self) -> u64 {
+        self.requests.fetch_add(0, Ordering::Relaxed)
+    }
+
+    /// Counts one served operation.
+    pub fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache counter snapshot.
+    pub fn cache_stats(&self) -> ArtifactCacheStats {
+        self.cache.stats()
+    }
+
+    /// Serves one sweep request.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Source`] for a custom source that is not Mini;
+    /// [`EngineError::Sweep`] for everything the one-shot sweep can
+    /// fail with.
+    pub fn sweep(&self, req: &SweepRequest) -> Result<SweepOutcome, EngineError> {
+        let tally = Tally::default();
+
+        // ---- build the sweep configuration --------------------------
+        let mut cfg = if req.full {
+            self.full_template.get_or_init(SweepConfig::full).clone()
+        } else {
+            self.quick_template.get_or_init(SweepConfig::quick).clone()
+        };
+        cfg.timing = req.timing.then(TimingConfig::default);
+        cfg.use_stack_distance = req.stack_distance;
+        if let Some(seed) = req.seed {
+            cfg.seed = seed;
+        }
+        if let Some(geoms) = &req.geometries {
+            cfg.geometries = geoms.clone();
+        }
+        if let Some(src) = &req.source {
+            cfg.suite = "custom".to_string();
+            // Expected outputs are unknown for ad-hoc source; the
+            // record phase derives them from a reference run, after
+            // which the recorded modes cross-check each other exactly
+            // like suite workloads do.
+            cfg.workloads = vec![Workload {
+                name: src.name.clone(),
+                source: src.text.clone(),
+                expected: Vec::new(),
+            }];
+        }
+        if cfg.cell_count() == 0 {
+            return Err(SweepError::EmptyGrid.into());
+        }
+        for &geom in &cfg.geometries {
+            for &wp in &cfg.write_policies {
+                for &policy in &cfg.policies {
+                    cfg.cell_cache(ucm_core::ManagementMode::Unified, geom, wp, policy)
+                        .validate()
+                        .map_err(SweepError::from)?;
+                }
+            }
+        }
+
+        // ---- canon: canonical sources and group keys ----------------
+        let canon_start = Instant::now();
+        let mut canon = Vec::with_capacity(cfg.workloads.len());
+        for w in &cfg.workloads {
+            canon.push(
+                canonical_source(&w.source).map_err(|error| EngineError::Source {
+                    workload: w.name.clone(),
+                    error,
+                })?,
+            );
+        }
+        let mut groups: Vec<(usize, Codegen, Digest)> = Vec::new();
+        for (wi, w) in cfg.workloads.iter().enumerate() {
+            for &cg in &cfg.codegens {
+                groups.push((wi, cg, trace_group_key(&canon[wi], w, cg, &cfg)));
+            }
+        }
+        let canon_took = canon_start.elapsed();
+        ucm_obs::span_measured("serve.canon", canon_start, canon_took);
+
+        // ---- record: probe trace groups, record the misses ----------
+        let record_start = Instant::now();
+        let mut group_traces: Vec<Option<CachedTraceGroup>> = groups
+            .iter()
+            .map(|&(_, _, key)| {
+                let g = self.cache.trace_get(key);
+                if g.is_some() {
+                    tally.hit();
+                } else {
+                    tally.miss();
+                }
+                g
+            })
+            .collect();
+        let missing: Vec<usize> = (0..groups.len())
+            .filter(|&gi| group_traces[gi].is_none())
+            .collect();
+        if !missing.is_empty() {
+            let recorded: Vec<(usize, Result<CachedTraceGroup, EngineError>)> =
+                self.install(|| {
+                    missing
+                        .par_iter()
+                        .map(|&gi| {
+                            let (wi, cg, _) = groups[gi];
+                            let _s = ucm_obs::span("serve.record.job")
+                                .with("workload", cfg.workloads[wi].name.as_str());
+                            (
+                                gi,
+                                self.record_group_cached(
+                                    &cfg,
+                                    &cfg.workloads[wi],
+                                    &canon[wi],
+                                    cg,
+                                    &tally,
+                                )
+                                .map(Arc::new),
+                            )
+                        })
+                        .collect()
+                });
+            for (gi, r) in recorded {
+                let g = r?;
+                self.cache.trace_put(groups[gi].2, Arc::clone(&g));
+                group_traces[gi] = Some(g);
+            }
+        }
+        // Flatten to (workload, codegen, mode) order — group order is
+        // already (workload outer, codegen inner), matching run_sweep.
+        let mut traces = Vec::with_capacity(groups.len() * cfg.modes.len());
+        for g in &group_traces {
+            let g = g.as_ref().expect("misses recorded above");
+            assert_eq!(g.len(), cfg.modes.len(), "one trace per mode");
+            traces.extend(g.iter().cloned());
+        }
+        let record_took = record_start.elapsed();
+        ucm_obs::span_measured("serve.record", record_start, record_took);
+
+        // ---- replay: probe cells, replay the misses -----------------
+        let replay_start = Instant::now();
+        struct MissCell {
+            slot: usize,
+            cell: CacheConfig,
+            key: Digest,
+        }
+        let n_modes = cfg.modes.len();
+        let mut stats: Vec<Option<CachedCell>> = vec![None; cfg.cell_count()];
+        let mut misses_by_trace: Vec<Vec<MissCell>> =
+            (0..traces.len()).map(|_| Vec::new()).collect();
+        let mut slot = 0;
+        let (mut stack_cells, mut fused_cells) = (0usize, 0usize);
+        for (ti, t) in traces.iter().enumerate() {
+            let gkey = groups[ti / n_modes].2;
+            for &geom in &cfg.geometries {
+                for &wp in &cfg.write_policies {
+                    for &policy in &cfg.policies {
+                        let cell = cfg.cell_cache(t.mode, geom, wp, policy);
+                        let key = cell_key(gkey, ti % n_modes, cell, cfg.timing);
+                        if let Some(v) = self.cache.cell_get(key) {
+                            tally.hit();
+                            stats[slot] = Some(v);
+                        } else {
+                            tally.miss();
+                            if cfg.use_stack_distance && stack_eligible(cell) {
+                                stack_cells += 1;
+                            } else {
+                                fused_cells += 1;
+                            }
+                            misses_by_trace[ti].push(MissCell { slot, cell, key });
+                        }
+                        slot += 1;
+                    }
+                }
+            }
+        }
+        let todo: Vec<(usize, Vec<MissCell>)> = misses_by_trace
+            .into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
+        if !todo.is_empty() {
+            let replayed: Vec<(usize, Vec<CachedCell>)> = self.install(|| {
+                todo.par_iter()
+                    .map(|(ti, cells)| {
+                        let t = &traces[*ti];
+                        let cfgs: Vec<CacheConfig> = cells.iter().map(|m| m.cell).collect();
+                        (
+                            *ti,
+                            replay_cells(
+                                &t.trace,
+                                &cfgs,
+                                cfg.timing,
+                                t.steps,
+                                cfg.use_stack_distance,
+                            ),
+                        )
+                    })
+                    .collect()
+            });
+            let mut results: std::collections::HashMap<usize, Vec<CachedCell>> =
+                replayed.into_iter().collect();
+            for (ti, cells) in &todo {
+                let rs = results.remove(ti).expect("one result batch per trace");
+                for (m, r) in cells.iter().zip(rs) {
+                    self.cache.cell_put(m.key, r);
+                    stats[m.slot] = Some(r);
+                }
+            }
+        }
+        let replay_took = replay_start.elapsed();
+        ucm_obs::span_measured("serve.replay", replay_start, replay_took);
+
+        // ---- assemble -----------------------------------------------
+        let assemble_start = Instant::now();
+        let stats: Vec<CachedCell> = stats
+            .into_iter()
+            .map(|s| s.expect("every cell probed or replayed"))
+            .collect();
+        let report = assemble_report(
+            &cfg,
+            &traces,
+            &stats,
+            SweepTimings {
+                record: record_took,
+                replay: replay_took,
+                stack_cells,
+                fused_cells,
+            },
+        );
+        let (header, cells, footer) = report.to_json_parts();
+        let assemble_took = assemble_start.elapsed();
+        ucm_obs::span_measured("serve.assemble", assemble_start, assemble_took);
+
+        let hits = tally.hits.load(Ordering::Relaxed);
+        let misses = tally.misses.load(Ordering::Relaxed);
+        ucm_obs::counter("serve.request.hits", hits);
+        ucm_obs::counter("serve.request.misses", misses);
+        Ok(SweepOutcome {
+            header,
+            cells,
+            footer,
+            traces: traces.len(),
+            cold: misses > 0,
+            hits,
+            misses,
+            phases: RequestPhases {
+                canon_us: canon_took.as_micros() as u64,
+                record_us: record_took.as_micros() as u64,
+                replay_us: replay_took.as_micros() as u64,
+                assemble_us: assemble_took.as_micros() as u64,
+            },
+        })
+    }
+
+    /// Records one (workload, codegen) group with compiles routed
+    /// through the program store. For ad-hoc sources (empty `expected`)
+    /// the first compiled mode runs once as the reference to fix the
+    /// expected outputs; the recorded modes then cross-check against
+    /// them exactly as suite workloads do.
+    fn record_group_cached(
+        &self,
+        cfg: &SweepConfig,
+        w: &Workload,
+        canon: &str,
+        cg: Codegen,
+        tally: &Tally,
+    ) -> Result<Vec<ucm_bench::sweep::RecordedTrace>, EngineError> {
+        let compile_cached =
+            |w: &Workload, cg: Codegen, mode| -> Result<Arc<MachineProgram>, SweepError> {
+                let options = CompilerOptions {
+                    mode,
+                    ..cg.options()
+                };
+                let key = program_key(canon, &options);
+                if let Some(p) = self.cache.program_get(key) {
+                    tally.hit();
+                    return Ok(p);
+                }
+                tally.miss();
+                let compiled =
+                    compile(&w.source, &options).map_err(|error| SweepError::Compile {
+                        workload: w.name.clone(),
+                        error,
+                    })?;
+                let p = Arc::new(compiled.program);
+                self.cache.program_put(key, Arc::clone(&p));
+                Ok(p)
+            };
+        let patched;
+        let w = if w.expected.is_empty() {
+            let program = compile_cached(w, cg, cfg.modes[0])?;
+            let outcome =
+                run(&program, &mut NullSink, &cfg.vm).map_err(|error| SweepError::Vm {
+                    workload: w.name.clone(),
+                    error,
+                })?;
+            patched = Workload {
+                expected: outcome.output,
+                ..w.clone()
+            };
+            &patched
+        } else {
+            w
+        };
+        Ok(record_group_with(
+            w,
+            cg,
+            &cfg.modes,
+            &cfg.vm,
+            compile_cached,
+        )?)
+    }
+}
+
+// ---- key derivation -------------------------------------------------
+//
+// Every input that can change the stage's result is framed into the
+// key; the hygiene tests pin both directions (formatting-only changes
+// collide, result-affecting changes do not).
+
+/// Compile-stage key: canonical source × every compiler option.
+pub fn program_key(canon_source: &str, o: &CompilerOptions) -> Digest {
+    KeyHasher::new("program")
+        .str("src", canon_source)
+        .usize("num_regs", o.num_regs)
+        .str("strategy", strategy_name(o.strategy))
+        .str("mode", mode_name(o.mode))
+        .i64("globals_base", o.globals_base)
+        .bool("loop_promotion", o.loop_promotion)
+        .bool("local_promotion", o.local_promotion)
+        .bool("promote_scalars", o.promote_scalars)
+        .finish()
+}
+
+/// Record-stage key: one (workload, codegen) trace group. The workload
+/// name and expected outputs are part of the artifact and the
+/// recording's cross-check respectively, so both are framed; modes and
+/// the VM configuration determine what gets recorded.
+pub fn trace_group_key(canon_source: &str, w: &Workload, cg: Codegen, cfg: &SweepConfig) -> Digest {
+    let mut h = KeyHasher::new("trace")
+        .str("src", canon_source)
+        .str("name", &w.name)
+        .usize("n_expected", w.expected.len());
+    for &x in &w.expected {
+        h = h.i64("expected", x);
+    }
+    h = h
+        .str("codegen", codegen_name(cg))
+        .usize("n_modes", cfg.modes.len());
+    for &m in &cfg.modes {
+        h = h.str("mode", mode_name(m));
+    }
+    h.usize("mem_words", cfg.vm.mem_words)
+        .u64("max_steps", cfg.vm.max_steps)
+        .bool("trace_fetches", cfg.vm.trace_fetches)
+        .finish()
+}
+
+/// Replay-stage key: the trace (via its group key and mode index) plus
+/// the complete cell configuration — geometry, policies, honor flags,
+/// seed — and the timing model when the request is timed. The latency
+/// model is *not* framed: AMAT and ratios are derived at assembly from
+/// the stored counters, so latency cannot change what this store holds.
+pub fn cell_key(
+    trace_key: Digest,
+    mode_index: usize,
+    cell: CacheConfig,
+    timing: Option<TimingConfig>,
+) -> Digest {
+    let mut h = KeyHasher::new("cell")
+        .digest("trace", trace_key)
+        .usize("mode_index", mode_index)
+        .usize("size_words", cell.size_words)
+        .usize("line_words", cell.line_words)
+        .usize("associativity", cell.associativity)
+        .str("policy", policy_name(cell.policy))
+        .str("write_policy", write_policy_name(cell.write_policy))
+        .bool("honor_tags", cell.honor_tags)
+        .bool("honor_last_ref", cell.honor_last_ref)
+        .u64("seed", cell.seed);
+    if let Some(t) = timing {
+        h = h
+            .u64("hit_cycles", t.hit_cycles)
+            .u64("mem_word_cycles", t.mem_word_cycles)
+            .usize("write_buffer_entries", t.write_buffer_entries)
+            .u64("issue_cycles", t.issue_cycles);
+    }
+    h.finish()
+}
+
+fn strategy_name(s: ucm_regalloc::Strategy) -> &'static str {
+    match s {
+        ucm_regalloc::Strategy::Coloring => "coloring",
+        ucm_regalloc::Strategy::UsageCount => "usage-count",
+    }
+}
+
+fn mode_name(m: ucm_core::ManagementMode) -> &'static str {
+    match m {
+        ucm_core::ManagementMode::Unified => "unified",
+        ucm_core::ManagementMode::Conventional => "conventional",
+        ucm_core::ManagementMode::Safe => "safe",
+    }
+}
+
+fn codegen_name(cg: Codegen) -> &'static str {
+    match cg {
+        Codegen::Paper => "paper",
+        Codegen::Modern => "modern",
+    }
+}
+
+fn policy_name(p: ucm_cache::PolicyKind) -> &'static str {
+    match p {
+        ucm_cache::PolicyKind::Lru => "lru",
+        ucm_cache::PolicyKind::OneBitLru => "1-bit-lru",
+        ucm_cache::PolicyKind::Fifo => "fifo",
+        ucm_cache::PolicyKind::Random => "random",
+    }
+}
+
+fn write_policy_name(w: ucm_cache::WritePolicy) -> &'static str {
+    match w {
+        ucm_cache::WritePolicy::WriteBackAllocate => "write-back",
+        ucm_cache::WritePolicy::WriteThroughNoAllocate => "write-through",
+    }
+}

@@ -1,0 +1,186 @@
+//! Content hashing for the artifact cache.
+//!
+//! Every store in [`crate::cache::ArtifactCache`] is keyed by a
+//! [`Digest`] built with a [`KeyHasher`]: fields are fed as
+//! `(tag, length, payload)` frames, so the encoding is *injective* —
+//! two different field sequences can never produce the same byte
+//! stream, and a collision would require the underlying hash itself to
+//! collide. The hash is a pair of independently-seeded FNV-1a-64
+//! streams concatenated into 128 bits: not cryptographic (a hostile
+//! client could manufacture collisions, and then would only poison its
+//! own results with another request's — the cache stores nothing
+//! secret), but far past accidental-collision range for a
+//! process-lifetime store.
+//!
+//! The compile-stage key starts from [`canonical_source`]: the source
+//! is parsed and pretty-printed back, so whitespace and comments never
+//! reach the hasher and formatting-only edits hit the same entry. The
+//! print → reparse round-trip is pinned by the fuzzer's property tests,
+//! which is what makes the canonical form safe to key on.
+
+use ucm_lang::LangError;
+
+/// A 128-bit content hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest(pub u128);
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+/// The standard FNV-1a offset basis.
+const BASIS_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, independent basis (the standard basis hashed with itself)
+/// so the two 64-bit streams never track each other.
+const BASIS_B: u64 = 0x8a62_4caf_8631_7eff;
+
+/// Builds a [`Digest`] from tagged, length-prefixed fields.
+///
+/// Each `field` call frames its payload as
+/// `tag bytes · 0xff · payload length (LE u64) · payload bytes`; tags
+/// are static strings that never contain `0xff`, so no two call
+/// sequences serialise identically. Convenience methods cover the
+/// scalar types the cache keys use.
+#[derive(Debug, Clone)]
+pub struct KeyHasher {
+    a: u64,
+    b: u64,
+}
+
+impl KeyHasher {
+    /// Starts a hasher for one cache stage; the stage name is the first
+    /// frame, so keys from different stores can never alias.
+    pub fn new(stage: &'static str) -> Self {
+        let mut h = KeyHasher {
+            a: BASIS_A,
+            b: BASIS_B,
+        };
+        h.frame(stage, &[]);
+        h
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &x in bs {
+            self.a = (self.a ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn frame(&mut self, tag: &'static str, payload: &[u8]) {
+        self.bytes(tag.as_bytes());
+        self.bytes(&[0xff]);
+        self.bytes(&(payload.len() as u64).to_le_bytes());
+        self.bytes(payload);
+    }
+
+    /// Feeds a string field.
+    #[must_use]
+    pub fn str(mut self, tag: &'static str, s: &str) -> Self {
+        self.frame(tag, s.as_bytes());
+        self
+    }
+
+    /// Feeds a `u64` field.
+    #[must_use]
+    pub fn u64(mut self, tag: &'static str, v: u64) -> Self {
+        self.frame(tag, &v.to_le_bytes());
+        self
+    }
+
+    /// Feeds an `i64` field.
+    #[must_use]
+    pub fn i64(mut self, tag: &'static str, v: i64) -> Self {
+        self.frame(tag, &v.to_le_bytes());
+        self
+    }
+
+    /// Feeds a `usize` field.
+    #[must_use]
+    pub fn usize(self, tag: &'static str, v: usize) -> Self {
+        self.u64(tag, v as u64)
+    }
+
+    /// Feeds a boolean field.
+    #[must_use]
+    pub fn bool(self, tag: &'static str, v: bool) -> Self {
+        self.u64(tag, u64::from(v))
+    }
+
+    /// Feeds a nested digest (e.g. the trace key inside a cell key).
+    #[must_use]
+    pub fn digest(mut self, tag: &'static str, d: Digest) -> Self {
+        self.frame(tag, &d.0.to_le_bytes());
+        self
+    }
+
+    /// Finishes the key.
+    pub fn finish(self) -> Digest {
+        Digest((u128::from(self.a) << 64) | u128::from(self.b))
+    }
+}
+
+/// The whitespace/comment-insensitive canonical form of a Mini source:
+/// parse, then pretty-print the AST back to text. Two sources that
+/// differ only in formatting or comments canonicalise — and therefore
+/// hash — identically; two sources that differ in any token the
+/// compiler can see do not.
+///
+/// # Errors
+///
+/// Returns the parse error for source that is not Mini; the engine
+/// surfaces it as a typed request failure.
+pub fn canonical_source(src: &str) -> Result<String, Box<LangError>> {
+    let program = ucm_lang::parse(src).map_err(Box::new)?;
+    Ok(ucm_lang::print_program(&program))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_framing_is_injective() {
+        // The classic concatenation ambiguity: ("ab","c") vs ("a","bc").
+        let h1 = KeyHasher::new("t").str("x", "ab").str("y", "c").finish();
+        let h2 = KeyHasher::new("t").str("x", "a").str("y", "bc").finish();
+        assert_ne!(h1, h2);
+        // Same payload bytes under a different tag differ.
+        let h3 = KeyHasher::new("t").str("y", "ab").str("y", "c").finish();
+        assert_ne!(h1, h3);
+        // Different stages never alias.
+        let h4 = KeyHasher::new("u").str("x", "ab").str("y", "c").finish();
+        assert_ne!(h1, h4);
+        // An empty string is distinct from an absent field.
+        let h5 = KeyHasher::new("t").str("x", "").finish();
+        let h6 = KeyHasher::new("t").finish();
+        assert_ne!(h5, h6);
+    }
+
+    #[test]
+    fn digests_are_stable() {
+        let a = KeyHasher::new("t").u64("v", 7).finish();
+        let b = KeyHasher::new("t").u64("v", 7).finish();
+        assert_eq!(a, b);
+        assert_ne!(a, KeyHasher::new("t").u64("v", 8).finish());
+        // The two 64-bit halves are independent streams, not copies.
+        let d = a.0;
+        assert_ne!((d >> 64) as u64, d as u64);
+    }
+
+    #[test]
+    fn canonical_source_ignores_whitespace_and_comments() {
+        let a = canonical_source("fn main() { print(1 + 2); }").unwrap();
+        let b =
+            canonical_source("// a comment\nfn main()   {\n\n    print(1 + 2);   // trailing\n}\n")
+                .unwrap();
+        assert_eq!(a, b);
+        // A token-level change is visible.
+        let c = canonical_source("fn main() { print(1 + 3); }").unwrap();
+        assert_ne!(a, c);
+        // Not-Mini is a typed error, not a panic.
+        assert!(canonical_source("fn main( {").is_err());
+    }
+}

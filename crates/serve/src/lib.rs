@@ -1,0 +1,40 @@
+//! A long-running sweep/compile service with a content-addressed
+//! artifact cache.
+//!
+//! `ucmc sweep` pays the whole pipeline — parse, compile, VM trace
+//! recording, grid replay — on every invocation, even when nothing
+//! changed. This crate keeps the pipeline warm in a server process:
+//! clients submit Mini source plus a grid over a Unix socket (JSON
+//! lines in both directions, [`protocol`]), the [`engine`] shards the
+//! grid across a persistent worker pool, and every stage's result is
+//! memoized in a content-addressed [`cache`]:
+//!
+//! * **programs** — canonical source × compiler options → compiled
+//!   machine program;
+//! * **traces** — (canonical source, codegen, modes, VM config) →
+//!   the recorded trace group;
+//! * **cells** — (trace, cache geometry, policies, timing config) →
+//!   replayed counters.
+//!
+//! Keys are built from the content that determines the result
+//! ([`hash`]), so a request that differs only in whitespace or comments
+//! hits the same entries, while any result-affecting knob — management
+//! mode, honor flags, timing config, replacement seed — lands in the
+//! key and misses. A warm request touches no compiler, no VM, and no
+//! simulator: it is three rounds of store probes plus artifact
+//! assembly, and returns cells byte-identical to a one-shot
+//! `ucmc sweep` (both paths funnel through
+//! [`ucm_bench::sweep::assemble_report`] and the same serializer).
+//!
+//! [`server`] hosts the engine behind a Unix socket; [`client`] is the
+//! matching blocking client; [`loadgen`] drives the server with a
+//! seeded request mix and records throughput/latency percentiles into
+//! a schema-versioned `BENCH_serve.json`.
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod hash;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;

@@ -1,0 +1,485 @@
+//! Seeded load generation against a serve socket, with a
+//! schema-versioned `BENCH_serve.json` artifact.
+//!
+//! The mix is deterministic in the seed: the first request is always
+//! the quick grid (the cold, cache-filling request), and each later
+//! request is either a repeat of that same grid (~2/3 — warm after the
+//! first) or a fresh generated Mini source (~1/3 — cold program, trace
+//! and cells). Latency is measured client-side around each request;
+//! cold/warm classification comes from the server's own `cold` flag on
+//! the `done` line, so the report never guesses.
+//!
+//! By default the generator self-hosts: it binds a private server on a
+//! temporary socket, drives it, shuts it down, and reports — one
+//! command, no daemon management. Pointing it at an existing socket
+//! measures that server instead.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ucm_bench::json::{self, escape, Json};
+
+use crate::client::{Client, ClientError, StatsReply, StoreStats};
+use crate::protocol::{SourceSpec, SweepRequest};
+use crate::server::{ServeConfig, Server};
+
+/// `BENCH_serve.json` schema version.
+pub const SERVE_SCHEMA_VERSION: u64 = 1;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Mix seed.
+    pub seed: u64,
+    /// Total requests to issue (including the first cold one).
+    pub requests: usize,
+    /// Existing socket to drive; `None` self-hosts a private server.
+    pub socket: Option<PathBuf>,
+    /// Worker threads for a self-hosted server (`0` = all cores).
+    pub jobs: usize,
+    /// Artifact-cache budget for a self-hosted server.
+    pub cache_bytes: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            seed: 0xC0FFEE,
+            requests: 24,
+            socket: None,
+            jobs: 0,
+            cache_bytes: 256 << 20,
+        }
+    }
+}
+
+/// A load-generation failure.
+#[derive(Debug)]
+pub enum LoadgenError {
+    /// Self-host server failed to bind or run.
+    Io(io::Error),
+    /// A request failed.
+    Client(ClientError),
+    /// The configuration is unusable (zero requests).
+    Config(String),
+}
+
+impl fmt::Display for LoadgenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadgenError::Io(e) => write!(f, "i/o: {e}"),
+            LoadgenError::Client(e) => write!(f, "request failed: {e}"),
+            LoadgenError::Config(m) => write!(f, "bad configuration: {m}"),
+        }
+    }
+}
+
+impl Error for LoadgenError {}
+
+impl From<io::Error> for LoadgenError {
+    fn from(e: io::Error) -> Self {
+        LoadgenError::Io(e)
+    }
+}
+
+impl From<ClientError> for LoadgenError {
+    fn from(e: ClientError) -> Self {
+        LoadgenError::Client(e)
+    }
+}
+
+/// Nearest-rank latency percentiles over one request class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyStats {
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+}
+
+/// The loadgen run's results.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Mix seed.
+    pub seed: u64,
+    /// Requests issued.
+    pub requests: usize,
+    /// Requests the server marked cold (computed something).
+    pub cold_requests: usize,
+    /// Requests served entirely from cache.
+    pub warm_requests: usize,
+    /// Wall time of the whole run, microseconds.
+    pub elapsed_us: u64,
+    /// Requests per second over the whole run.
+    pub throughput_rps: f64,
+    /// Percentiles over every request.
+    pub overall: LatencyStats,
+    /// Percentiles over cold requests only.
+    pub cold: LatencyStats,
+    /// Percentiles over warm requests only.
+    pub warm: LatencyStats,
+    /// Cold quick-grid latency ÷ median warm quick-grid latency;
+    /// `None` when the mix produced no warm repeat.
+    pub warm_speedup: Option<f64>,
+    /// Server cache counters at the end of the run.
+    pub cache: StatsReply,
+}
+
+/// splitmix64 — the tiny seeded generator the fuzzer also uses.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Nearest-rank percentile of a sorted sample.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn latency_stats(mut samples: Vec<u64>) -> LatencyStats {
+    samples.sort_unstable();
+    LatencyStats {
+        p50_us: percentile(&samples, 50.0),
+        p90_us: percentile(&samples, 90.0),
+        p99_us: percentile(&samples, 99.0),
+    }
+}
+
+/// A fresh tiny Mini workload, varied by `k` so its canonical source —
+/// and therefore every cache key — differs per generated request.
+fn generated_source(k: u64) -> SourceSpec {
+    let bound = 64 + (k % 128);
+    SourceSpec {
+        name: format!("gen-{k}"),
+        text: format!(
+            "fn main() {{\n    let i: int = 0;\n    let s: int = 0;\n    \
+             while i < {bound} {{\n        s = s + i;\n        i = i + 1;\n    }}\n    \
+             print(s);\n}}\n"
+        ),
+    }
+}
+
+/// Runs the load generator.
+///
+/// # Errors
+///
+/// Fails on a zero-request configuration, on self-host bind/serve
+/// errors, and on any failed request.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, LoadgenError> {
+    if cfg.requests == 0 {
+        return Err(LoadgenError::Config("requests must be > 0".into()));
+    }
+
+    // Self-host if no socket was given.
+    let (socket, hosted) = match &cfg.socket {
+        Some(s) => (s.clone(), None),
+        None => {
+            let path = std::env::temp_dir().join(format!(
+                "ucm-serve-loadgen-{}-{:x}.sock",
+                std::process::id(),
+                cfg.seed
+            ));
+            let mut sc = ServeConfig::new(&path);
+            sc.jobs = cfg.jobs;
+            sc.cache_bytes = cfg.cache_bytes;
+            let server = Server::bind(sc)?;
+            let handle = std::thread::spawn(move || server.run());
+            (path, Some(handle))
+        }
+    };
+
+    let run = || -> Result<LoadgenReport, LoadgenError> {
+        let mut client = Client::connect(&socket)?;
+        let quick = SweepRequest::default();
+        let mut rng = cfg.seed;
+        let mut all = Vec::with_capacity(cfg.requests);
+        let mut cold_lat = Vec::new();
+        let mut warm_lat = Vec::new();
+        let mut warm_quick_lat = Vec::new();
+        let mut cold_quick_us = None;
+        let started = Instant::now();
+        for i in 0..cfg.requests {
+            // First request is always the cache-filling quick grid;
+            // afterwards ~1/3 fresh sources keep the cold path honest.
+            let fresh = i > 0 && splitmix64(&mut rng).is_multiple_of(3);
+            let req = if fresh {
+                SweepRequest {
+                    source: Some(generated_source(splitmix64(&mut rng))),
+                    ..SweepRequest::default()
+                }
+            } else {
+                quick.clone()
+            };
+            let t = Instant::now();
+            let reply = client.sweep(&req)?;
+            let us = t.elapsed().as_micros() as u64;
+            all.push(us);
+            if reply.cold {
+                cold_lat.push(us);
+                if !fresh && cold_quick_us.is_none() {
+                    cold_quick_us = Some(us);
+                }
+            } else {
+                warm_lat.push(us);
+                if !fresh {
+                    warm_quick_lat.push(us);
+                }
+            }
+        }
+        let elapsed_us = started.elapsed().as_micros().max(1) as u64;
+        let cache = client.stats()?;
+        if hosted.is_some() {
+            client.shutdown()?;
+        }
+
+        let warm_speedup = match (cold_quick_us, warm_quick_lat.is_empty()) {
+            (Some(cold_us), false) => {
+                let p50 = latency_stats(warm_quick_lat.clone()).p50_us.max(1);
+                Some(cold_us as f64 / p50 as f64)
+            }
+            _ => None,
+        };
+        Ok(LoadgenReport {
+            seed: cfg.seed,
+            requests: cfg.requests,
+            cold_requests: cold_lat.len(),
+            warm_requests: warm_lat.len(),
+            elapsed_us,
+            throughput_rps: cfg.requests as f64 / (elapsed_us as f64 / 1e6),
+            overall: latency_stats(all),
+            cold: latency_stats(cold_lat),
+            warm: latency_stats(warm_lat),
+            warm_speedup,
+            cache,
+        })
+    };
+
+    let result = run();
+    if let Some(handle) = hosted {
+        // On the success path the shutdown above ends the server; on
+        // the error path nothing does, so dial a shutdown best-effort
+        // before joining to avoid hanging.
+        if result.is_err() {
+            if let Ok(mut c) = Client::connect(&socket) {
+                let _ = c.shutdown();
+            }
+        }
+        match handle.join() {
+            Ok(r) => r?,
+            Err(_) => return Err(LoadgenError::Io(io::Error::other("server thread panicked"))),
+        }
+    }
+    result
+}
+
+impl LoadgenReport {
+    /// Serialises the report as `BENCH_serve.json` (schema v1).
+    pub fn to_json(&self) -> String {
+        let lat = |l: &LatencyStats| {
+            format!(
+                "{{\"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}}}",
+                l.p50_us, l.p90_us, l.p99_us
+            )
+        };
+        let store = |s: &StoreStats| {
+            format!(
+                "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+                 \"resident_bytes\": {}, \"entries\": {}}}",
+                s.hits, s.misses, s.evictions, s.resident_bytes, s.entries
+            )
+        };
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {SERVE_SCHEMA_VERSION},\n"));
+        out.push_str(&format!(
+            "  \"generator\": \"{}\",\n",
+            escape("ucmc loadgen")
+        ));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"requests\": {},\n", self.requests));
+        out.push_str(&format!("  \"cold_requests\": {},\n", self.cold_requests));
+        out.push_str(&format!("  \"warm_requests\": {},\n", self.warm_requests));
+        out.push_str(&format!("  \"elapsed_us\": {},\n", self.elapsed_us));
+        out.push_str(&format!("  \"throughput_rps\": {},\n", self.throughput_rps));
+        out.push_str("  \"latency_us\": {\n");
+        out.push_str(&format!("    \"overall\": {},\n", lat(&self.overall)));
+        out.push_str(&format!("    \"cold\": {},\n", lat(&self.cold)));
+        out.push_str(&format!("    \"warm\": {}\n", lat(&self.warm)));
+        out.push_str("  },\n");
+        out.push_str(&format!(
+            "  \"warm_speedup\": {},\n",
+            match self.warm_speedup {
+                Some(x) => format!("{x}"),
+                None => "null".to_string(),
+            }
+        ));
+        out.push_str("  \"cache\": {\n");
+        out.push_str(&format!(
+            "    \"programs\": {},\n",
+            store(&self.cache.programs)
+        ));
+        out.push_str(&format!("    \"traces\": {},\n", store(&self.cache.traces)));
+        out.push_str(&format!("    \"cells\": {}\n", store(&self.cache.cells)));
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Validates a `BENCH_serve.json` document: schema version, required
+/// fields, and the conservation identities the generator guarantees.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_serve_json(text: &str) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let num = |key: &str| -> Result<f64, String> {
+        doc.get(key)
+            .and_then(Json::as_exact_num)
+            .ok_or_else(|| format!("missing or inexact `{key}`"))
+    };
+    let version = num("schema_version")?;
+    if version != SERVE_SCHEMA_VERSION as f64 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    if doc.get("generator").and_then(Json::as_str).is_none() {
+        return Err("missing `generator`".to_string());
+    }
+    num("seed")?;
+    let requests = num("requests")?;
+    let cold = num("cold_requests")?;
+    let warm = num("warm_requests")?;
+    if cold + warm != requests {
+        return Err(format!(
+            "cold_requests ({cold}) + warm_requests ({warm}) != requests ({requests})"
+        ));
+    }
+    if num("elapsed_us")? <= 0.0 {
+        return Err("elapsed_us must be positive".to_string());
+    }
+    let rps = doc
+        .get("throughput_rps")
+        .and_then(Json::as_num)
+        .ok_or("missing `throughput_rps`")?;
+    if !rps.is_finite() || rps <= 0.0 {
+        return Err("throughput_rps must be positive and finite".to_string());
+    }
+    let latency = doc.get("latency_us").ok_or("missing `latency_us`")?;
+    for class in ["overall", "cold", "warm"] {
+        let l = latency
+            .get(class)
+            .ok_or_else(|| format!("missing `latency_us.{class}`"))?;
+        let mut prev = 0.0;
+        for p in ["p50_us", "p90_us", "p99_us"] {
+            let v = l
+                .get(p)
+                .and_then(Json::as_exact_num)
+                .ok_or_else(|| format!("missing or inexact `latency_us.{class}.{p}`"))?;
+            if v < prev {
+                return Err(format!("`latency_us.{class}` percentiles must be monotone"));
+            }
+            prev = v;
+        }
+    }
+    match doc.get("warm_speedup") {
+        Some(Json::Null) => {}
+        Some(v) => {
+            let x = v
+                .as_num()
+                .ok_or("`warm_speedup` must be a number or null")?;
+            if !x.is_finite() || x <= 0.0 {
+                return Err("warm_speedup must be positive and finite".to_string());
+            }
+        }
+        None => return Err("missing `warm_speedup`".to_string()),
+    }
+    let cache = doc.get("cache").ok_or("missing `cache`")?;
+    for s in ["programs", "traces", "cells"] {
+        let store = cache.get(s).ok_or_else(|| format!("missing `cache.{s}`"))?;
+        for k in ["hits", "misses", "evictions", "resident_bytes", "entries"] {
+            store
+                .get(k)
+                .and_then(Json::as_exact_num)
+                .ok_or_else(|| format!("missing or inexact `cache.{s}.{k}`"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 50.0), 50);
+        assert_eq!(percentile(&s, 90.0), 90);
+        assert_eq!(percentile(&s, 99.0), 99);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn generated_sources_vary_and_parse() {
+        let a = generated_source(1);
+        let b = generated_source(2);
+        assert_ne!(a.text, b.text);
+        ucm_lang::parse(&a.text).expect("generated Mini must parse");
+        ucm_lang::parse(&b.text).expect("generated Mini must parse");
+    }
+
+    #[test]
+    fn report_json_round_trips_the_validator() {
+        let report = LoadgenReport {
+            seed: 7,
+            requests: 10,
+            cold_requests: 4,
+            warm_requests: 6,
+            elapsed_us: 123_456,
+            throughput_rps: 81.0,
+            overall: LatencyStats {
+                p50_us: 10,
+                p90_us: 20,
+                p99_us: 30,
+            },
+            cold: LatencyStats {
+                p50_us: 25,
+                p90_us: 28,
+                p99_us: 30,
+            },
+            warm: LatencyStats {
+                p50_us: 5,
+                p90_us: 6,
+                p99_us: 7,
+            },
+            warm_speedup: Some(5.2),
+            cache: StatsReply::default(),
+        };
+        validate_serve_json(&report.to_json()).expect("generated report must validate");
+
+        // The validator actually rejects things.
+        let broken = report
+            .to_json()
+            .replace("\"cold_requests\": 4", "\"cold_requests\": 5");
+        assert!(validate_serve_json(&broken).is_err());
+        let broken = report
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 9");
+        assert!(validate_serve_json(&broken).is_err());
+        assert!(validate_serve_json("{}").is_err());
+    }
+}

@@ -1,0 +1,461 @@
+//! The wire protocol: JSON lines in both directions over a Unix socket.
+//!
+//! Requests are single-line JSON objects with an `"op"` discriminator;
+//! responses are single-line JSON objects with `"ok"` plus an `"op"`
+//! echo. A sweep response is a *stream* of lines — `start`, then the
+//! artifact in order (`part` header, one `cell` per grid cell, `part`
+//! footer), then `done` — so a client reassembles the artifact by
+//! concatenating the text fields in arrival order and gets bytes
+//! identical to `ucmc sweep`'s.
+//!
+//! Parsing is strict: unknown operations and unknown fields are typed
+//! errors, not silently ignored — a client typo like `"seeed"` should
+//! fail loudly rather than quietly sweep with the default seed. All
+//! failures are [`RequestError`]s; the server never panics on hostile
+//! input (the JSON parser itself is depth-bounded for the same reason).
+
+use std::error::Error;
+use std::fmt;
+
+use ucm_bench::json::{self, escape, Json, JsonError};
+use ucm_bench::sweep::Geometry;
+
+/// Default cap on a single request line, in bytes. Far above any real
+/// request (the largest committed workload source is a few KiB) and far
+/// below anything that could pressure the server's memory.
+pub const DEFAULT_MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// A custom Mini source submitted with a sweep request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceSpec {
+    /// Workload name recorded in the artifact.
+    pub name: String,
+    /// Mini source text.
+    pub text: String,
+}
+
+/// A parsed sweep request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// `true` sweeps the full default grid, `false` the quick grid.
+    pub full: bool,
+    /// Replay every cell through the cycle-level timing model.
+    pub timing: bool,
+    /// Replacement-policy seed; `None` keeps the suite default.
+    pub seed: Option<u64>,
+    /// Replace the suite's workloads with one custom source.
+    pub source: Option<SourceSpec>,
+    /// Replace the suite's geometry axis.
+    pub geometries: Option<Vec<Geometry>>,
+    /// Drive stack-orderable cells through the stack-distance engine
+    /// (the default; counters are identical either way).
+    pub stack_distance: bool,
+}
+
+impl Default for SweepRequest {
+    fn default() -> Self {
+        SweepRequest {
+            full: false,
+            timing: false,
+            seed: None,
+            source: None,
+            geometries: None,
+            stack_distance: true,
+        }
+    }
+}
+
+/// A request line, parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Cache and request counters.
+    Stats,
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+    /// Run (or replay from cache) a sweep.
+    Sweep(SweepRequest),
+}
+
+/// A malformed request. Every variant maps to a typed `error` response
+/// line; none of them kill the connection except where the stream
+/// itself is unrecoverable (EOF mid-line).
+#[derive(Debug)]
+pub enum RequestError {
+    /// The line exceeded the server's request-size cap.
+    TooLarge {
+        /// The configured cap in bytes.
+        limit: usize,
+    },
+    /// The stream ended mid-line.
+    Truncated,
+    /// The line is not JSON.
+    Json(JsonError),
+    /// The line is JSON but not a valid request.
+    Schema(String),
+    /// The `op` field names no known operation.
+    UnknownOp(String),
+}
+
+impl RequestError {
+    /// Stable machine-readable kind, echoed in `error` responses.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RequestError::TooLarge { .. } => "too-large",
+            RequestError::Truncated => "truncated",
+            RequestError::Json(_) => "json",
+            RequestError::Schema(_) => "schema",
+            RequestError::UnknownOp(_) => "unknown-op",
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::TooLarge { limit } => {
+                write!(f, "request exceeds the {limit}-byte limit")
+            }
+            RequestError::Truncated => write!(f, "stream ended mid-request"),
+            RequestError::Json(e) => write!(f, "request is not JSON: {e}"),
+            RequestError::Schema(m) => write!(f, "invalid request: {m}"),
+            RequestError::UnknownOp(op) => write!(f, "unknown op `{op}`"),
+        }
+    }
+}
+
+impl Error for RequestError {}
+
+fn schema(msg: impl Into<String>) -> RequestError {
+    RequestError::Schema(msg.into())
+}
+
+/// Fields an object is allowed to carry; anything else is a schema
+/// error so typos fail loudly.
+fn check_fields(obj: &Json, allowed: &[&str], what: &str) -> Result<(), RequestError> {
+    if let Json::Obj(fields) = obj {
+        for (k, _) in fields {
+            if !allowed.contains(&k.as_str()) {
+                return Err(schema(format!("unknown {what} field `{k}`")));
+            }
+        }
+        Ok(())
+    } else {
+        Err(schema(format!("{what} must be an object")))
+    }
+}
+
+fn get_bool(obj: &Json, key: &str, default: bool) -> Result<bool, RequestError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| schema(format!("`{key}` must be a boolean"))),
+    }
+}
+
+fn get_str<'j>(obj: &'j Json, key: &str) -> Result<&'j str, RequestError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| schema(format!("`{key}` must be a string")))
+}
+
+/// A non-negative integer that fits f64's exact range. Geometry sizes
+/// and counts route through here.
+fn exact_usize(v: &Json, key: &str) -> Result<usize, RequestError> {
+    let n = v
+        .as_exact_num()
+        .ok_or_else(|| schema(format!("`{key}` must be an exact integer")))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(schema(format!("`{key}` must be a non-negative integer")));
+    }
+    Ok(n as usize)
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Every way the line can be wrong maps to a [`RequestError`]; this
+/// function never panics, whatever the bytes.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let doc = json::parse(line).map_err(RequestError::Json)?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(schema("request must be a JSON object"));
+    }
+    let op = get_str(&doc, "op")?;
+    match op {
+        "ping" => {
+            check_fields(&doc, &["op"], "ping")?;
+            Ok(Request::Ping)
+        }
+        "stats" => {
+            check_fields(&doc, &["op"], "stats")?;
+            Ok(Request::Stats)
+        }
+        "shutdown" => {
+            check_fields(&doc, &["op"], "shutdown")?;
+            Ok(Request::Shutdown)
+        }
+        "sweep" => parse_sweep(&doc).map(Request::Sweep),
+        other => Err(RequestError::UnknownOp(other.to_string())),
+    }
+}
+
+fn parse_sweep(doc: &Json) -> Result<SweepRequest, RequestError> {
+    check_fields(
+        doc,
+        &[
+            "op",
+            "suite",
+            "timing",
+            "seed",
+            "source",
+            "geometries",
+            "stack_distance",
+        ],
+        "sweep",
+    )?;
+    let full = match doc.get("suite") {
+        None => false,
+        Some(v) => match v.as_str() {
+            Some("quick") => false,
+            Some("full") => true,
+            _ => return Err(schema("`suite` must be \"quick\" or \"full\"")),
+        },
+    };
+    let timing = get_bool(doc, "timing", false)?;
+    let stack_distance = get_bool(doc, "stack_distance", true)?;
+    // The seed is an opaque u64, but JSON numbers live in f64: accept
+    // only what f64 represents exactly so no request silently sweeps
+    // with a rounded seed.
+    let seed = match doc.get("seed") {
+        None => None,
+        Some(v) => {
+            let n = v
+                .as_exact_num()
+                .ok_or_else(|| schema("`seed` must be an exact integer (within ±2^53)"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(schema("`seed` must be a non-negative integer"));
+            }
+            Some(n as u64)
+        }
+    };
+    let source = match doc.get("source") {
+        None => None,
+        Some(s) => {
+            check_fields(s, &["name", "text"], "source")?;
+            let name = get_str(s, "name")?;
+            if name.is_empty() {
+                return Err(schema("`source.name` must be non-empty"));
+            }
+            Some(SourceSpec {
+                name: name.to_string(),
+                text: get_str(s, "text")?.to_string(),
+            })
+        }
+    };
+    let geometries = match doc.get("geometries") {
+        None => None,
+        Some(v) => {
+            let arr = v
+                .as_arr()
+                .ok_or_else(|| schema("`geometries` must be an array"))?;
+            if arr.is_empty() {
+                return Err(schema("`geometries` must be non-empty"));
+            }
+            let mut out = Vec::with_capacity(arr.len());
+            for g in arr {
+                check_fields(g, &["size_words", "line_words", "ways"], "geometry")?;
+                out.push(Geometry {
+                    size_words: exact_usize(
+                        g.get("size_words").unwrap_or(&Json::Null),
+                        "size_words",
+                    )?,
+                    line_words: exact_usize(
+                        g.get("line_words").unwrap_or(&Json::Null),
+                        "line_words",
+                    )?,
+                    ways: exact_usize(g.get("ways").unwrap_or(&Json::Null), "ways")?,
+                });
+            }
+            Some(out)
+        }
+    };
+    Ok(SweepRequest {
+        full,
+        timing,
+        seed,
+        source,
+        geometries,
+        stack_distance,
+    })
+}
+
+impl SweepRequest {
+    /// Serialises the request as one wire line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::from("{\"op\":\"sweep\"");
+        s.push_str(&format!(
+            ",\"suite\":\"{}\"",
+            if self.full { "full" } else { "quick" }
+        ));
+        s.push_str(&format!(",\"timing\":{}", self.timing));
+        s.push_str(&format!(",\"stack_distance\":{}", self.stack_distance));
+        if let Some(seed) = self.seed {
+            s.push_str(&format!(",\"seed\":{seed}"));
+        }
+        if let Some(src) = &self.source {
+            s.push_str(&format!(
+                ",\"source\":{{\"name\":\"{}\",\"text\":\"{}\"}}",
+                escape(&src.name),
+                escape(&src.text)
+            ));
+        }
+        if let Some(geoms) = &self.geometries {
+            s.push_str(",\"geometries\":[");
+            for (i, g) in geoms.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"size_words\":{},\"line_words\":{},\"ways\":{}}}",
+                    g.size_words, g.line_words, g.ways
+                ));
+            }
+            s.push(']');
+        }
+        s.push('}');
+        s
+    }
+}
+
+// ---- response lines -------------------------------------------------
+
+/// `error` response line.
+pub fn error_line(kind: &str, detail: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":{{\"kind\":\"{}\",\"detail\":\"{}\"}}}}",
+        escape(kind),
+        escape(detail)
+    )
+}
+
+/// `pong` response line.
+pub fn pong_line() -> String {
+    "{\"ok\":true,\"op\":\"pong\"}".to_string()
+}
+
+/// `bye` response line (shutdown acknowledged).
+pub fn bye_line() -> String {
+    "{\"ok\":true,\"op\":\"bye\"}".to_string()
+}
+
+/// `start` response line opening a sweep stream.
+pub fn start_line(cells: usize, traces: usize) -> String {
+    format!("{{\"ok\":true,\"op\":\"start\",\"cells\":{cells},\"traces\":{traces}}}")
+}
+
+/// `part` response line carrying a non-cell artifact fragment.
+pub fn part_line(text: &str) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"part\",\"text\":\"{}\"}}",
+        escape(text)
+    )
+}
+
+/// `cell` response line carrying one artifact cell.
+pub fn cell_line(index: usize, text: &str) -> String {
+    format!(
+        "{{\"ok\":true,\"op\":\"cell\",\"index\":{index},\"text\":\"{}\"}}",
+        escape(text)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_round_trip() {
+        assert_eq!(parse_request("{\"op\":\"ping\"}").unwrap(), Request::Ping);
+        assert_eq!(parse_request("{\"op\":\"stats\"}").unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request("{\"op\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+        let req = SweepRequest {
+            full: true,
+            timing: true,
+            seed: Some(7),
+            source: Some(SourceSpec {
+                name: "g".into(),
+                text: "fn main() { print(1); }".into(),
+            }),
+            geometries: Some(vec![Geometry {
+                size_words: 64,
+                line_words: 1,
+                ways: 1,
+            }]),
+            stack_distance: false,
+        };
+        let parsed = parse_request(&req.to_json_line()).unwrap();
+        assert_eq!(parsed, Request::Sweep(req));
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let parsed = parse_request("{\"op\":\"sweep\"}").unwrap();
+        assert_eq!(parsed, Request::Sweep(SweepRequest::default()));
+    }
+
+    #[test]
+    fn hostile_lines_get_typed_errors_not_panics() {
+        let cases: &[(&str, &str)] = &[
+            ("", "json"),
+            ("{", "json"),
+            ("[1,2]", "schema"),
+            ("{\"op\":3}", "schema"),
+            ("{\"op\":\"launch-missiles\"}", "unknown-op"),
+            ("{\"op\":\"ping\",\"extra\":1}", "schema"),
+            ("{\"op\":\"sweep\",\"seeed\":1}", "schema"),
+            ("{\"op\":\"sweep\",\"suite\":\"exhaustive\"}", "schema"),
+            ("{\"op\":\"sweep\",\"seed\":-1}", "schema"),
+            ("{\"op\":\"sweep\",\"seed\":1.5}", "schema"),
+            // 2^60: representable as f64 only approximately.
+            ("{\"op\":\"sweep\",\"seed\":1152921504606846976}", "schema"),
+            ("{\"op\":\"sweep\",\"geometries\":[]}", "schema"),
+            ("{\"op\":\"sweep\",\"geometries\":[{}]}", "schema"),
+            (
+                "{\"op\":\"sweep\",\"geometries\":[{\"size_words\":64,\"line_words\":1,\"ways\":1,\"bogus\":2}]}",
+                "schema",
+            ),
+            ("{\"op\":\"sweep\",\"source\":{\"name\":\"\",\"text\":\"\"}}", "schema"),
+            ("{\"op\":\"sweep\",\"source\":{\"name\":\"x\"}}", "schema"),
+        ];
+        for (line, kind) in cases {
+            let err = parse_request(line).expect_err(line);
+            assert_eq!(err.kind(), *kind, "line: {line}");
+        }
+        // A deeply nested bomb is a typed JSON error (depth bound), not
+        // a stack overflow.
+        let bomb = format!("{}{}", "[".repeat(100_000), "]".repeat(100_000));
+        assert_eq!(parse_request(&bomb).unwrap_err().kind(), "json");
+    }
+
+    #[test]
+    fn response_lines_are_valid_single_line_json() {
+        for line in [
+            error_line("schema", "bad \"quote\"\nnewline"),
+            pong_line(),
+            bye_line(),
+            start_line(20, 10),
+            part_line("{\n  \"schema_version\": 2,\n"),
+            cell_line(3, "    {\"workload\": \"sieve\"},\n"),
+        ] {
+            assert!(!line.contains('\n'), "line breaks framing: {line}");
+            json::parse(&line).expect("response line must parse");
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! The Unix-socket server hosting an [`Engine`].
+//!
+//! One listener thread accepts; each connection gets a handler thread
+//! that reads newline-delimited requests with a bounded line reader (a
+//! line past the cap is a typed `too-large` error, not unbounded
+//! buffering) and writes response lines back. All connections share
+//! one engine — and therefore one artifact cache and one worker pool.
+//!
+//! Shutdown is cooperative: a `shutdown` request flips a flag and then
+//! dials the socket once so the blocking `accept` wakes up and observes
+//! it; `run` joins every handler before returning, so in-flight
+//! requests finish and the socket file is gone when it returns. Reads
+//! carry a short timeout so a handler parked on an idle connection
+//! notices the flag too — without it, one idle client would hold
+//! shutdown hostage.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::cache::ArtifactCacheStats;
+use crate::engine::{Engine, SweepOutcome};
+use crate::protocol::{
+    bye_line, cell_line, error_line, parse_request, part_line, pong_line, start_line, Request,
+    RequestError, DEFAULT_MAX_REQUEST_BYTES,
+};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix-socket path to listen on.
+    pub socket: PathBuf,
+    /// Worker threads for miss recompute (`0` = all cores).
+    pub jobs: usize,
+    /// Artifact-cache byte budget.
+    pub cache_bytes: usize,
+    /// Cap on one request line.
+    pub max_request_bytes: usize,
+}
+
+impl ServeConfig {
+    /// Defaults for `socket`: all cores, a 256 MiB cache, the 1 MiB
+    /// request cap.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            socket: socket.into(),
+            jobs: 0,
+            cache_bytes: 256 << 20,
+            max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+        }
+    }
+}
+
+/// A bound, not-yet-running server. Splitting bind from [`Server::run`]
+/// lets the CLI print its "listening" line (and tests learn the socket
+/// path) after the socket exists but before the accept loop blocks.
+pub struct Server {
+    listener: UnixListener,
+    engine: Arc<Engine>,
+    cfg: ServeConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the socket (replacing a stale socket file from a dead
+    /// server, the Unix convention) and builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the bind; notably `AddrInUse` when a live server
+    /// already owns the path.
+    pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
+        // A previous server that died without cleanup leaves the file
+        // behind and `bind` would fail; but only unlink if nothing
+        // answers, so two live servers can't fight over the path.
+        if cfg.socket.exists() && UnixStream::connect(&cfg.socket).is_err() {
+            std::fs::remove_file(&cfg.socket)?;
+        }
+        let listener = UnixListener::bind(&cfg.socket)?;
+        let engine = Arc::new(Engine::new(cfg.jobs, cfg.cache_bytes));
+        Ok(Server {
+            listener,
+            engine,
+            cfg,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound socket path.
+    pub fn socket(&self) -> &Path {
+        &self.cfg.socket
+    }
+
+    /// Serves until a `shutdown` request arrives. Joins every handler
+    /// and removes the socket file before returning.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from `accept`; per-connection errors are contained in
+    /// their handlers.
+    pub fn run(self) -> io::Result<()> {
+        let mut handlers = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let engine = Arc::clone(&self.engine);
+            let stop = Arc::clone(&self.stop);
+            let socket = self.cfg.socket.clone();
+            let max = self.cfg.max_request_bytes;
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(stream, &engine, &stop, &socket, max);
+            }));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.cfg.socket);
+        Ok(())
+    }
+}
+
+/// What the bounded reader got.
+enum Line {
+    /// A complete line (without the newline).
+    Full(Vec<u8>),
+    /// The line exceeded the cap; the rest up to the newline was
+    /// discarded, so the stream is resynchronised.
+    TooLarge,
+    /// Clean end of stream at a line boundary.
+    Eof,
+    /// End of stream mid-line.
+    Truncated,
+}
+
+/// A bounded line reader that survives read timeouts: partial-line
+/// state persists across [`BoundedLineReader::poll_line`] calls, so the
+/// handler can check the stop flag between timeouts without dropping
+/// bytes.
+struct BoundedLineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// The current line already blew the cap; discard until newline.
+    over: bool,
+    max: usize,
+}
+
+impl<R: BufRead> BoundedLineReader<R> {
+    fn new(inner: R, max: usize) -> Self {
+        BoundedLineReader {
+            inner,
+            buf: Vec::new(),
+            over: false,
+            max,
+        }
+    }
+
+    /// Reads until a newline, the cap, EOF, or a read timeout
+    /// (`Ok(None)`), never buffering more than `max` bytes of one line.
+    fn poll_line(&mut self) -> io::Result<Option<Line>> {
+        loop {
+            let chunk = match self.inner.fill_buf() {
+                Ok(c) => c,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                return Ok(Some(if self.over {
+                    Line::TooLarge
+                } else if self.buf.is_empty() {
+                    Line::Eof
+                } else {
+                    Line::Truncated
+                }));
+            }
+            if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+                if !self.over {
+                    self.buf.extend_from_slice(&chunk[..pos]);
+                }
+                self.inner.consume(pos + 1);
+                let over = self.over || self.buf.len() > self.max;
+                self.over = false;
+                let line = std::mem::take(&mut self.buf);
+                return Ok(Some(if over {
+                    Line::TooLarge
+                } else {
+                    Line::Full(line)
+                }));
+            }
+            if !self.over {
+                self.buf.extend_from_slice(chunk);
+                if self.buf.len() > self.max {
+                    // Stop accumulating; keep consuming to the newline
+                    // so the connection can continue afterwards.
+                    self.buf.clear();
+                    self.over = true;
+                }
+            }
+            let n = chunk.len();
+            self.inner.consume(n);
+        }
+    }
+}
+
+fn handle_connection(
+    stream: UnixStream,
+    engine: &Engine,
+    stop: &AtomicBool,
+    socket: &Path,
+    max_request_bytes: usize,
+) {
+    // The read timeout is what lets this handler observe the stop flag
+    // while parked on an idle connection.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+    let mut reader = BoundedLineReader::new(
+        BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        }),
+        max_request_bytes,
+    );
+    let mut writer = stream;
+    loop {
+        let line = match reader.poll_line() {
+            Ok(None) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Ok(Some(Line::Full(l))) => l,
+            Ok(Some(Line::TooLarge)) => {
+                let e = RequestError::TooLarge {
+                    limit: max_request_bytes,
+                };
+                if write_line(&mut writer, &error_line(e.kind(), &e.to_string())).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok(Some(Line::Eof)) => return,
+            Ok(Some(Line::Truncated)) => {
+                // The peer is gone; the error line is best-effort.
+                let e = RequestError::Truncated;
+                let _ = write_line(&mut writer, &error_line(e.kind(), &e.to_string()));
+                return;
+            }
+            Err(_) => return,
+        };
+        let line = String::from_utf8_lossy(&line);
+        if line.trim().is_empty() {
+            continue;
+        }
+        engine.count_request();
+        let req = match parse_request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                if write_line(&mut writer, &error_line(e.kind(), &e.to_string())).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let keep_going = match req {
+            Request::Ping => write_line(&mut writer, &pong_line()).is_ok(),
+            Request::Stats => {
+                let line = stats_line(&engine.cache_stats(), engine.requests());
+                write_line(&mut writer, &line).is_ok()
+            }
+            Request::Shutdown => {
+                let _ = write_line(&mut writer, &bye_line());
+                stop.store(true, Ordering::SeqCst);
+                // Wake the blocking accept so the serve loop observes
+                // the flag; the dialled connection is never spoken on.
+                let _ = UnixStream::connect(socket);
+                return;
+            }
+            Request::Sweep(sr) => {
+                let started = Instant::now();
+                match engine.sweep(&sr) {
+                    Err(e) => {
+                        write_line(&mut writer, &error_line(e.kind(), &e.to_string())).is_ok()
+                    }
+                    Ok(out) => stream_sweep(&mut writer, &out, started).is_ok(),
+                }
+            }
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+fn write_line(w: &mut impl Write, line: &str) -> io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")
+}
+
+/// Streams one sweep's response lines: `start`, the artifact in order,
+/// `done`.
+fn stream_sweep(w: &mut impl Write, out: &SweepOutcome, started: Instant) -> io::Result<()> {
+    write_line(w, &start_line(out.cells.len(), out.traces))?;
+    write_line(w, &part_line(&out.header))?;
+    for (i, cell) in out.cells.iter().enumerate() {
+        write_line(w, &cell_line(i, cell))?;
+    }
+    write_line(w, &part_line(&out.footer))?;
+    let p = out.phases;
+    write_line(
+        w,
+        &format!(
+            "{{\"ok\":true,\"op\":\"done\",\"cold\":{},\"hits\":{},\"misses\":{},\
+             \"elapsed_us\":{},\"phases\":{{\"canon_us\":{},\"record_us\":{},\
+             \"replay_us\":{},\"assemble_us\":{}}}}}",
+            out.cold,
+            out.hits,
+            out.misses,
+            started.elapsed().as_micros(),
+            p.canon_us,
+            p.record_us,
+            p.replay_us,
+            p.assemble_us
+        ),
+    )
+}
+
+/// `stats` response line: request count plus per-store cache counters.
+pub fn stats_line(stats: &ArtifactCacheStats, requests: u64) -> String {
+    let store = |c: &crate::cache::CacheCounters| {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"rejected\":{},\
+             \"resident_bytes\":{},\"entries\":{}}}",
+            c.hits, c.misses, c.evictions, c.rejected, c.resident_bytes, c.entries
+        )
+    };
+    format!(
+        "{{\"ok\":true,\"op\":\"stats\",\"requests\":{},\"cache\":{{\"programs\":{},\
+         \"traces\":{},\"cells\":{}}}}}",
+        requests,
+        store(&stats.programs),
+        store(&stats.traces),
+        store(&stats.cells)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn bounded_reader_enforces_the_cap_and_resynchronises() {
+        let mut r = BoundedLineReader::new(Cursor::new(b"short\n".to_vec()), 10);
+        match r.poll_line().unwrap() {
+            Some(Line::Full(l)) => assert_eq!(l, b"short"),
+            _ => panic!("expected a full line"),
+        }
+
+        // An oversized line is reported and fully consumed, so the next
+        // line still parses on the same reader.
+        let mut big = Vec::new();
+        big.extend_from_slice(&[b'x'; 100]);
+        big.push(b'\n');
+        big.extend_from_slice(b"next\n");
+        let mut r = BoundedLineReader::new(Cursor::new(big), 10);
+        assert!(matches!(r.poll_line().unwrap(), Some(Line::TooLarge)));
+        match r.poll_line().unwrap() {
+            Some(Line::Full(l)) => assert_eq!(l, b"next"),
+            _ => panic!("expected resynchronised line"),
+        }
+        assert!(matches!(r.poll_line().unwrap(), Some(Line::Eof)));
+
+        // EOF mid-line is truncation, not a silent success.
+        let mut r = BoundedLineReader::new(Cursor::new(b"no newline".to_vec()), 100);
+        assert!(matches!(r.poll_line().unwrap(), Some(Line::Truncated)));
+    }
+}

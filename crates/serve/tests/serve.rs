@@ -1,0 +1,484 @@
+//! End-to-end serve tests: byte parity with the one-shot sweep, cache
+//! warmth, key hygiene, eviction correctness, the socket protocol, and
+//! the load generator.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ucm_bench::json::{self, Json};
+use ucm_bench::sweep::{run_sweep, Geometry, SweepConfig};
+use ucm_cache::TimingConfig;
+use ucm_core::{CompilerOptions, ManagementMode};
+use ucm_serve::client::Client;
+use ucm_serve::engine::{cell_key, program_key, trace_group_key, Engine};
+use ucm_serve::hash::canonical_source;
+use ucm_serve::loadgen::{run_loadgen, validate_serve_json, LoadgenConfig};
+use ucm_serve::protocol::{SourceSpec, SweepRequest};
+use ucm_serve::server::{ServeConfig, Server};
+use ucm_workloads::Workload;
+
+fn concat(out: &ucm_serve::engine::SweepOutcome) -> String {
+    let mut s = out.header.clone();
+    for c in &out.cells {
+        s.push_str(c);
+    }
+    s.push_str(&out.footer);
+    s
+}
+
+/// A tiny Mini source for custom-source requests; `k` varies the loop
+/// bound so distinct `k` means distinct cache keys.
+fn tiny_source(k: u64) -> String {
+    format!(
+        "fn main() {{\n    let i: int = 0;\n    let s: int = 0;\n    \
+         while i < {k} {{\n        s = s + i;\n        i = i + 1;\n    }}\n    \
+         print(s);\n}}\n"
+    )
+}
+
+#[test]
+fn served_quick_artifact_is_byte_identical_to_one_shot_sweep() {
+    let engine = Engine::new(0, 64 << 20);
+    let req = SweepRequest::default();
+
+    let cold_started = Instant::now();
+    let cold = engine.sweep(&req).expect("cold quick sweep");
+    let cold_elapsed = cold_started.elapsed();
+    assert!(cold.cold, "first request must compute");
+    assert!(cold.misses > 0);
+
+    let reference = run_sweep(&SweepConfig::quick())
+        .expect("one-shot sweep")
+        .to_json();
+    assert_eq!(
+        concat(&cold),
+        reference,
+        "served artifact must be byte-identical to ucmc sweep's"
+    );
+
+    // The warm repeat touches no compiler, VM, or simulator.
+    let warm_started = Instant::now();
+    let warm = engine.sweep(&req).expect("warm quick sweep");
+    let warm_elapsed = warm_started.elapsed();
+    assert!(!warm.cold, "repeat must be served from cache");
+    assert_eq!(warm.misses, 0);
+    assert_eq!(concat(&warm), reference, "warm bytes must not drift");
+    assert!(
+        warm_elapsed * 5 <= cold_elapsed,
+        "warm repeat must be at least 5x faster (cold {cold_elapsed:?}, warm {warm_elapsed:?})"
+    );
+
+    // The stack-distance escape hatch changes the engine, never the
+    // bytes — and is deliberately NOT part of any cache key, so the
+    // request is warm.
+    let no_stack = engine
+        .sweep(&SweepRequest {
+            stack_distance: false,
+            ..SweepRequest::default()
+        })
+        .expect("no-stack sweep");
+    assert!(!no_stack.cold, "engine choice must not be in the key");
+    assert_eq!(concat(&no_stack), reference);
+}
+
+#[test]
+fn served_timed_artifact_matches_one_shot_timed_sweep() {
+    let engine = Engine::new(0, 64 << 20);
+    let req = SweepRequest {
+        timing: true,
+        ..SweepRequest::default()
+    };
+    let served = engine.sweep(&req).expect("timed quick sweep");
+    let mut cfg = SweepConfig::quick();
+    cfg.timing = Some(TimingConfig::default());
+    let reference = run_sweep(&cfg).expect("one-shot timed sweep").to_json();
+    assert_eq!(concat(&served), reference);
+
+    // Timed and untimed results live under different cell keys: the
+    // untimed request still computes its cells.
+    let untimed = engine.sweep(&SweepRequest::default()).expect("untimed");
+    assert!(untimed.cold, "timing config must be part of the cell key");
+}
+
+#[test]
+fn custom_source_requests_match_the_equivalent_one_shot_sweep() {
+    let engine = Engine::new(0, 64 << 20);
+    let text = tiny_source(37);
+    let req = SweepRequest {
+        source: Some(SourceSpec {
+            name: "tiny".into(),
+            text: text.clone(),
+        }),
+        geometries: Some(vec![Geometry {
+            size_words: 64,
+            line_words: 1,
+            ways: 1,
+        }]),
+        ..SweepRequest::default()
+    };
+    let served = engine.sweep(&req).expect("custom sweep");
+
+    // Reproduce the engine's configuration with the expected outputs
+    // computed the honest way (0 + 1 + ... + 36).
+    let mut cfg = SweepConfig::quick();
+    cfg.suite = "custom".to_string();
+    cfg.workloads = vec![Workload {
+        name: "tiny".into(),
+        source: text,
+        expected: vec![(0..37).sum()],
+    }];
+    cfg.geometries = vec![Geometry {
+        size_words: 64,
+        line_words: 1,
+        ways: 1,
+    }];
+    let reference = run_sweep(&cfg).expect("one-shot custom sweep").to_json();
+    assert_eq!(concat(&served), reference);
+}
+
+#[test]
+fn formatting_only_changes_are_warm_but_result_knobs_miss() {
+    let engine = Engine::new(0, 64 << 20);
+    let base = SweepRequest {
+        source: Some(SourceSpec {
+            name: "hyg".into(),
+            text: tiny_source(23),
+        }),
+        ..SweepRequest::default()
+    };
+    assert!(engine.sweep(&base).expect("cold").cold);
+
+    // Whitespace and comments never reach a key: same entries, warm.
+    let reformatted = SweepRequest {
+        source: Some(SourceSpec {
+            name: "hyg".into(),
+            text: "// a comment\nfn main()    { let i: int = 0;\n let s: int = 0;\n \
+                 while i < 23 { s = s + i; i = i + 1; } /* block */ print(s); }"
+                .to_string(),
+        }),
+        ..base.clone()
+    };
+    let warm = engine.sweep(&reformatted).expect("reformatted");
+    assert!(
+        !warm.cold,
+        "formatting-only differences must hit the same cache entries"
+    );
+
+    // Every result-affecting knob misses.
+    let knobs: Vec<(&str, SweepRequest)> = vec![
+        (
+            "token change",
+            SweepRequest {
+                source: Some(SourceSpec {
+                    name: "hyg".into(),
+                    text: tiny_source(24),
+                }),
+                ..base.clone()
+            },
+        ),
+        (
+            "seed",
+            SweepRequest {
+                seed: Some(99),
+                ..base.clone()
+            },
+        ),
+        (
+            "timing",
+            SweepRequest {
+                timing: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "geometries",
+            SweepRequest {
+                geometries: Some(vec![Geometry {
+                    size_words: 128,
+                    line_words: 1,
+                    ways: 1,
+                }]),
+                ..base.clone()
+            },
+        ),
+    ];
+    for (what, req) in knobs {
+        let out = engine.sweep(&req).expect(what);
+        assert!(out.cold, "{what} must change a cache key");
+    }
+}
+
+#[test]
+fn key_functions_frame_every_result_affecting_field() {
+    let canon = canonical_source(&tiny_source(5)).unwrap();
+    let base_opts = CompilerOptions::default();
+    let k0 = program_key(&canon, &base_opts);
+
+    // Formatting-insensitive on the source side.
+    let same = canonical_source(
+        "fn main() { let i: int = 0; let s: int = 0; while i < 5 { s = s + i; i = i + 1; } print(s); } // x",
+    )
+    .unwrap();
+    assert_eq!(k0, program_key(&same, &base_opts));
+
+    // Every compiler option lands in the program key.
+    let variants = [
+        CompilerOptions {
+            num_regs: base_opts.num_regs + 1,
+            ..base_opts
+        },
+        CompilerOptions {
+            strategy: ucm_regalloc::Strategy::UsageCount,
+            ..base_opts
+        },
+        CompilerOptions {
+            mode: ManagementMode::Conventional,
+            ..base_opts
+        },
+        CompilerOptions {
+            globals_base: base_opts.globals_base + 8,
+            ..base_opts
+        },
+        CompilerOptions {
+            loop_promotion: !base_opts.loop_promotion,
+            ..base_opts
+        },
+        CompilerOptions {
+            local_promotion: !base_opts.local_promotion,
+            ..base_opts
+        },
+        CompilerOptions {
+            promote_scalars: !base_opts.promote_scalars,
+            ..base_opts
+        },
+    ];
+    for (i, v) in variants.iter().enumerate() {
+        assert_ne!(k0, program_key(&canon, v), "option variant {i}");
+    }
+
+    // Trace keys see the workload identity, the mode list, and the VM.
+    let cfg = SweepConfig::quick();
+    let w = Workload {
+        name: "a".into(),
+        source: tiny_source(5),
+        expected: vec![10],
+    };
+    let cg = cfg.codegens[0];
+    let t0 = trace_group_key(&canon, &w, cg, &cfg);
+    let renamed = Workload {
+        name: "b".into(),
+        ..w.clone()
+    };
+    assert_ne!(t0, trace_group_key(&canon, &renamed, cg, &cfg));
+    let other_expected = Workload {
+        expected: vec![11],
+        ..w.clone()
+    };
+    assert_ne!(t0, trace_group_key(&canon, &other_expected, cg, &cfg));
+    let mut bigger_vm = cfg.clone();
+    bigger_vm.vm.max_steps += 1;
+    assert_ne!(t0, trace_group_key(&canon, &w, cg, &bigger_vm));
+    let mut fewer_modes = cfg.clone();
+    fewer_modes.modes.truncate(1);
+    assert_ne!(t0, trace_group_key(&canon, &w, cg, &fewer_modes));
+
+    // Cell keys see the full cell configuration — honor flags included —
+    // and the timing model.
+    let geom = cfg.geometries[0];
+    let cell = cfg.cell_cache(
+        ManagementMode::Unified,
+        geom,
+        cfg.write_policies[0],
+        cfg.policies[0],
+    );
+    let c0 = cell_key(t0, 0, cell, None);
+    assert_ne!(c0, cell_key(t0, 1, cell, None), "mode index");
+    // The conventional twin differs exactly in its honor flags.
+    let conv = cfg.cell_cache(
+        ManagementMode::Conventional,
+        geom,
+        cfg.write_policies[0],
+        cfg.policies[0],
+    );
+    assert_ne!(c0, cell_key(t0, 0, conv, None), "honor flags");
+    let mut reseeded = cell;
+    reseeded.seed += 1;
+    assert_ne!(c0, cell_key(t0, 0, reseeded, None), "cell seed");
+    assert_ne!(
+        c0,
+        cell_key(t0, 0, cell, Some(TimingConfig::default())),
+        "timing presence"
+    );
+    let slow = TimingConfig {
+        mem_word_cycles: TimingConfig::default().mem_word_cycles + 1,
+        ..TimingConfig::default()
+    };
+    assert_ne!(
+        cell_key(t0, 0, cell, Some(TimingConfig::default())),
+        cell_key(t0, 0, cell, Some(slow)),
+        "timing fields"
+    );
+}
+
+#[test]
+fn evicted_entries_recompute_byte_identical() {
+    // A budget small enough that cycling several workloads evicts, but
+    // large enough that each one's trace group is admitted.
+    let engine = Engine::new(0, 24_000);
+    let req_for = |k: u64| SweepRequest {
+        source: Some(SourceSpec {
+            name: format!("evict-{k}"),
+            text: tiny_source(k),
+        }),
+        geometries: Some(vec![Geometry {
+            size_words: 64,
+            line_words: 1,
+            ways: 1,
+        }]),
+        ..SweepRequest::default()
+    };
+    let first = engine.sweep(&req_for(10)).expect("first");
+    let first_bytes = concat(&first);
+    for k in 11..17 {
+        engine.sweep(&req_for(k)).expect("filler");
+    }
+    let stats = engine.cache_stats();
+    assert!(
+        stats.total().evictions > 0,
+        "cycling workloads past the budget must evict: {stats:?}"
+    );
+    let again = engine.sweep(&req_for(10)).expect("re-request");
+    assert_eq!(
+        concat(&again),
+        first_bytes,
+        "recomputed-after-eviction results must be byte-identical"
+    );
+    // Conservation across every store: each lookup is a hit or a miss.
+    let t = engine.cache_stats().total();
+    assert!(t.hits > 0 && t.misses > 0);
+}
+
+#[test]
+fn socket_roundtrip_parity_warmth_and_hostile_lines() {
+    let path = PathBuf::from(format!("/tmp/ucm-serve-test-{}.sock", std::process::id()));
+    let mut cfg = ServeConfig::new(&path);
+    cfg.max_request_bytes = 64 << 10;
+    let server = Server::bind(cfg).expect("bind");
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&path).expect("connect");
+    client.ping().expect("ping");
+
+    // Cold and warm through the whole protocol stack, byte-compared
+    // against the one-shot sweep.
+    let reference = run_sweep(&SweepConfig::quick())
+        .expect("one-shot")
+        .to_json();
+    let cold = client.sweep(&SweepRequest::default()).expect("cold");
+    assert!(cold.cold);
+    assert_eq!(cold.artifact, reference);
+    let warm = client.sweep(&SweepRequest::default()).expect("warm");
+    assert!(!warm.cold);
+    assert_eq!(warm.misses, 0);
+    assert_eq!(warm.artifact, reference);
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.requests >= 4, "ping + 2 sweeps + stats");
+    assert!(stats.traces.hits > 0, "warm sweep must hit the trace store");
+
+    // Hostile lines on a raw connection: typed errors, and the
+    // connection keeps serving.
+    let raw = UnixStream::connect(&path).expect("raw connect");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let mut w = raw;
+    let mut expect_error = |line: &[u8], kind: &str| {
+        w.write_all(line).expect("write");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        let doc = json::parse(reply.trim_end()).expect("error reply must be JSON");
+        assert_eq!(
+            doc.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{reply}"
+        );
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some(kind),
+            "{reply}"
+        );
+    };
+    expect_error(b"this is not json\n", "json");
+    expect_error(b"{\"op\":\"frobnicate\"}\n", "unknown-op");
+    expect_error(b"{\"op\":\"sweep\",\"seeed\":1}\n", "schema");
+    expect_error(
+        b"{\"op\":\"sweep\",\"suite\":\"full\",\"seed\":1.5}\n",
+        "schema",
+    );
+    // An un-parseable source is a typed sweep error, not a dead server.
+    expect_error(
+        b"{\"op\":\"sweep\",\"source\":{\"name\":\"bad\",\"text\":\"fn main( {\"}}\n",
+        "source",
+    );
+    // A bad geometry is rejected by validation, same as ucmc sweep.
+    expect_error(
+        b"{\"op\":\"sweep\",\"geometries\":[{\"size_words\":3,\"line_words\":2,\"ways\":1}]}\n",
+        "sweep",
+    );
+    // An oversized line is rejected and the stream resynchronises.
+    let mut big = vec![b'x'; 80 << 10];
+    big.push(b'\n');
+    expect_error(&big, "too-large");
+    // The same raw connection still serves valid requests.
+    w.write_all(b"{\"op\":\"ping\"}\n").expect("write ping");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read pong");
+    assert!(reply.contains("\"pong\""), "{reply}");
+    drop(w);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join").expect("serve loop");
+    assert!(!path.exists(), "socket file must be cleaned up");
+}
+
+#[test]
+fn loadgen_self_host_produces_a_valid_report_with_warm_speedup() {
+    let report = run_loadgen(&LoadgenConfig {
+        seed: 42,
+        requests: 8,
+        socket: None,
+        jobs: 2,
+        cache_bytes: 128 << 20,
+    })
+    .expect("loadgen");
+    assert_eq!(report.requests, 8);
+    assert_eq!(report.cold_requests + report.warm_requests, 8);
+    assert!(
+        report.warm_requests > 0,
+        "the mix must repeat the quick grid"
+    );
+    let speedup = report
+        .warm_speedup
+        .expect("quick repeats must yield a speedup figure");
+    assert!(
+        speedup >= 5.0,
+        "warm quick grid must be at least 5x faster than cold (got {speedup:.1}x)"
+    );
+    let text = report.to_json();
+    validate_serve_json(&text).expect("BENCH_serve.json must validate");
+
+    // Determinism of the mix: same seed, same request classes.
+    let again = run_loadgen(&LoadgenConfig {
+        seed: 42,
+        requests: 8,
+        socket: None,
+        jobs: 2,
+        cache_bytes: 128 << 20,
+    })
+    .expect("loadgen again");
+    assert_eq!(report.cold_requests, again.cold_requests);
+    assert_eq!(report.warm_requests, again.warm_requests);
+}

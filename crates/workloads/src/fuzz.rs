@@ -17,7 +17,7 @@
 use crate::harness::Workload;
 
 /// `(name, source, golden expected output)` for the committed corpus.
-const CORPUS: [(&str, &str, &str); 8] = [
+const CORPUS: [(&str, &str, &str); 10] = [
     (
         "fuzz_s001",
         include_str!("../../../examples/fuzz/fuzz_s001.mini"),
@@ -58,6 +58,16 @@ const CORPUS: [(&str, &str, &str); 8] = [
         include_str!("../../../examples/fuzz/fuzz_s014.mini"),
         include_str!("../../../examples/fuzz/fuzz_s014.expected"),
     ),
+    (
+        "fuzz_s018",
+        include_str!("../../../examples/fuzz/fuzz_s018.mini"),
+        include_str!("../../../examples/fuzz/fuzz_s018.expected"),
+    ),
+    (
+        "fuzz_s019",
+        include_str!("../../../examples/fuzz/fuzz_s019.mini"),
+        include_str!("../../../examples/fuzz/fuzz_s019.expected"),
+    ),
 ];
 
 /// The committed fuzzer corpus as sweep-ready workloads.
@@ -92,9 +102,9 @@ mod tests {
     use ucm_machine::VmConfig;
 
     #[test]
-    fn corpus_has_eight_named_entries_with_golden_outputs() {
+    fn corpus_has_ten_named_entries_with_golden_outputs() {
         let corpus = fuzz_corpus();
-        assert_eq!(corpus.len(), 8);
+        assert_eq!(corpus.len(), 10);
         for w in &corpus {
             assert!(w.name.starts_with("fuzz_s"), "{}", w.name);
             assert!(!w.expected.is_empty(), "{} has no golden output", w.name);
