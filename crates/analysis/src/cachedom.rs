@@ -1,0 +1,991 @@
+//! Must/may LRU abstract interpretation of a cache reference program.
+//!
+//! The domain of Ferdinand-style WCET cache analysis, extended with the
+//! paper's compiler-directed management: per-line *age bounds* under LRU
+//! replacement, with bypass-aware transfer functions for the four
+//! load/store flavours and the last-reference bit.
+//!
+//! * **Must** cache: upper bounds on a line's LRU age. `must = Some(u)`
+//!   means the line is *definitely* cached with at most `u` more-recently
+//!   used valid lines in its set; an access to it is an **always-hit**.
+//! * **May** cache: lower bounds. A line absent from may is *definitely
+//!   not* cached; an access to it is a **never-hit** (miss or bypass).
+//!
+//! Joins at control merges: must intersects lines and takes the maximum
+//! age (both claims must hold), may unions lines and takes the minimum
+//! age (either claim may hold). Dirty state is tracked the same way
+//! (must-dirty ∩ / may-dirty ∪) so invalidation sites can price
+//! dead-line discards and fill sites can prove write-back freedom.
+//!
+//! Invalidation (take-and-invalidate, last-reference discard) removes the
+//! line from both caches exactly. Because the simulator fills invalid
+//! ways before evicting, invalidation creates *holes*: concrete positions
+//! of surviving lines can shrink. Upper bounds survive shrinking, so must
+//! is untouched; lower bounds do not, so every invalidation decrements
+//! the may ages of the lines that could have aged past the hole.
+//!
+//! This module is deliberately machine-independent: callers lower their
+//! program into a [`CacheProgram`] of [`AbsRef`]s over numbered graph
+//! nodes (the machine front end lives in `ucm-cache`, which resolves
+//! addresses, call contexts, and honor flags). The solver is the same
+//! join/worklist scheme as [`dataflow`](crate::dataflow), generalised
+//! from gen/kill bitsets to the age-bound lattice: states accumulate by
+//! join at node entry, which bounds the fixpoint by the lattice height
+//! even though transfers (age decrements at invalidation holes) are not
+//! themselves monotone.
+
+use std::collections::BTreeMap;
+
+/// A line address (word address / line words).
+pub type LineId = u64;
+
+/// Three-valued verdict about a property of one static reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tri {
+    /// Holds on every execution of the reference.
+    Always,
+    /// Holds on no execution of the reference.
+    Never,
+    /// May or may not hold; the reference is not statically classified.
+    Sometimes,
+}
+
+/// LRU cache shape the abstraction runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheShape {
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Number of sets (power of two).
+    pub num_sets: u32,
+}
+
+impl CacheShape {
+    /// The set a line maps to.
+    #[inline]
+    pub fn set_of(&self, line: LineId) -> u32 {
+        (line % self.num_sets as u64) as u32
+    }
+}
+
+/// One abstract reference: the *effective* cache operation after honor
+/// flags are resolved, mirroring the simulator's `access` dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsKind {
+    /// Through-cache read (plain / `Am_LOAD`, or any read with tags
+    /// ignored). A miss fills unless `last_ref`, which bypasses.
+    Read {
+        /// Honored last-reference bit: hit invalidates, miss bypasses.
+        last_ref: bool,
+    },
+    /// Write under write-back-allocate.
+    WriteAllocate {
+        /// Honored last-reference bit: hit drops the store and
+        /// invalidates, miss bypasses.
+        last_ref: bool,
+    },
+    /// Write under write-through-no-allocate (never fills, never dirties).
+    WriteThrough {
+        /// Honored last-reference bit: hit invalidates.
+        last_ref: bool,
+    },
+    /// Honored `UmAm_LOAD` with take-and-invalidate: hit consumes the
+    /// line, miss bypasses without filling.
+    TakeInvalidate,
+    /// Honored `UmAm_LOAD` under the `honor_last_ref = false` ablation:
+    /// hit behaves like a plain hit, miss bypasses without filling.
+    TakeKeep,
+    /// Honored `UmAm_STORE`: straight to memory, defensively invalidating
+    /// any cached copy.
+    BypassWrite,
+}
+
+/// One reference in a node's straight-line body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsRef {
+    /// The referenced line, or `None` when the address is statically
+    /// unknown.
+    pub line: Option<LineId>,
+    /// Effective operation.
+    pub kind: AbsKind,
+}
+
+/// Per-line abstract facts. An entry with all fields absent/false is
+/// dropped from the state map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct LineFacts {
+    /// Upper bound on LRU age if definitely cached.
+    must: Option<u32>,
+    /// Lower bound on LRU age if possibly cached; `None` = definitely
+    /// not cached.
+    may: Option<u32>,
+    /// Definitely dirty (implies `must`).
+    must_dirty: bool,
+    /// Possibly dirty (implies `may`).
+    may_dirty: bool,
+}
+
+impl LineFacts {
+    fn is_bottom(&self) -> bool {
+        self.must.is_none() && self.may.is_none() && !self.must_dirty && !self.may_dirty
+    }
+}
+
+/// Abstract cache state at one program point.
+///
+/// Only *interesting* lines (those appearing in some resolved [`AbsRef`])
+/// are tracked individually. References to unknown addresses can cache
+/// arbitrary other lines; the sticky [`unknown_fill`] /
+/// [`unknown_dirty`] flags record that possibility for the write-back
+/// and eviction proofs, while the tracked lines are conservatively
+/// re-inserted into may.
+///
+/// [`unknown_fill`]: AbsState::unknown_fill
+/// [`unknown_dirty`]: AbsState::unknown_dirty
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AbsState {
+    lines: BTreeMap<LineId, LineFacts>,
+    /// Some reference with a statically unknown address may have filled a
+    /// line — untracked lines may now be cached, so occupancy counts are
+    /// unusable.
+    pub unknown_fill: bool,
+    /// Some unknown-address write-allocate may have dirtied a line —
+    /// clean-set proofs are unusable.
+    pub unknown_dirty: bool,
+}
+
+impl AbsState {
+    /// The empty-cache state (program entry): nothing cached, provably.
+    pub fn empty() -> Self {
+        AbsState::default()
+    }
+
+    fn facts(&self, line: LineId) -> LineFacts {
+        self.lines.get(&line).copied().unwrap_or_default()
+    }
+
+    fn set_facts(&mut self, line: LineId, f: LineFacts) {
+        if f.is_bottom() {
+            self.lines.remove(&line);
+        } else {
+            self.lines.insert(line, f);
+        }
+    }
+
+    /// Is an access to `line` a hit?
+    pub fn hit(&self, line: LineId) -> Tri {
+        let f = self.facts(line);
+        if f.must.is_some() {
+            Tri::Always
+        } else if f.may.is_none() && !self.unknown_fill {
+            Tri::Never
+        } else {
+            Tri::Sometimes
+        }
+    }
+
+    /// Is `line` dirty at this point?
+    pub fn dirty(&self, line: LineId) -> Tri {
+        let f = self.facts(line);
+        if f.must_dirty {
+            Tri::Always
+        } else if !(f.may_dirty || (self.unknown_fill && self.unknown_dirty)) {
+            Tri::Never
+        } else {
+            Tri::Sometimes
+        }
+    }
+
+    /// Can a fill into `line`'s set write back a dirty victim?
+    ///
+    /// Write-back freedom holds if either (a) no line possibly cached in
+    /// the set is possibly dirty, or (b) the set provably has a free way
+    /// (fewer than `ways` lines possibly cached), so the fill cannot
+    /// evict at all.
+    pub fn fill_writeback_free(&self, line: LineId, shape: &CacheShape) -> bool {
+        let set = shape.set_of(line);
+        let mut possibly_cached = 0u32;
+        let mut possibly_dirty = false;
+        for (&l, f) in &self.lines {
+            if shape.set_of(l) != set || f.may.is_none() {
+                continue;
+            }
+            possibly_cached += 1;
+            possibly_dirty |= f.may_dirty;
+        }
+        let clean_set = !(possibly_dirty || (self.unknown_fill && self.unknown_dirty));
+        let free_way = !self.unknown_fill && possibly_cached < shape.ways;
+        clean_set || free_way
+    }
+
+    /// Join with `other` (control-flow merge): must intersects with max
+    /// ages, may unions with min ages.
+    pub fn join(&mut self, other: &AbsState) -> bool {
+        let mut changed = false;
+        for (&l, of) in &other.lines {
+            let mut f = self.facts(l);
+            let nf = LineFacts {
+                must: match (f.must, of.must) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                },
+                may: match (f.may, of.may) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (x, None) | (None, x) => x,
+                },
+                must_dirty: f.must_dirty && of.must_dirty,
+                may_dirty: f.may_dirty || of.may_dirty,
+            };
+            if nf != f {
+                changed = true;
+                f = nf;
+                self.set_facts(l, f);
+            }
+        }
+        // Lines present here but absent there lose their must facts.
+        let absent: Vec<LineId> = self
+            .lines
+            .iter()
+            .filter(|(l, f)| (f.must.is_some() || f.must_dirty) && !other.lines.contains_key(l))
+            .map(|(&l, _)| l)
+            .collect();
+        for l in absent {
+            let mut f = self.facts(l);
+            f.must = None;
+            f.must_dirty = false;
+            changed = true;
+            self.set_facts(l, f);
+        }
+        if other.unknown_fill && !self.unknown_fill {
+            self.unknown_fill = true;
+            changed = true;
+        }
+        if other.unknown_dirty && !self.unknown_dirty {
+            self.unknown_dirty = true;
+            changed = true;
+        }
+        changed
+    }
+
+    /// LRU reordering for an access that leaves `line` cached at age 0
+    /// (hit without invalidation, or the post-state of a fill).
+    fn touch(&mut self, line: LineId, shape: &CacheShape, filled: bool) {
+        let set = shape.set_of(line);
+        let f = self.facts(line);
+        // A fill behaves like an access to a line of age `ways` (the
+        // incoming line is older than everything resident).
+        let must_h = if filled {
+            shape.ways
+        } else {
+            f.must.unwrap_or(shape.ways)
+        };
+        let may_h = if filled {
+            shape.ways
+        } else {
+            f.may.unwrap_or(shape.ways)
+        };
+        let updates: Vec<(LineId, LineFacts)> = self
+            .lines
+            .iter()
+            .filter(|(&l, _)| l != line && shape.set_of(l) == set)
+            .map(|(&l, &of)| {
+                let mut nf = of;
+                if let Some(a) = nf.must {
+                    if a < must_h {
+                        let a = a + 1;
+                        if a >= shape.ways {
+                            nf.must = None;
+                            nf.must_dirty = false;
+                        } else {
+                            nf.must = Some(a);
+                        }
+                    }
+                }
+                if let Some(a) = nf.may {
+                    if a <= may_h {
+                        let a = a + 1;
+                        if a >= shape.ways {
+                            // Aged past the last way: provably evicted.
+                            nf.may = None;
+                            nf.may_dirty = false;
+                        } else {
+                            nf.may = Some(a);
+                        }
+                    }
+                }
+                (l, nf)
+            })
+            .collect();
+        for (l, nf) in updates {
+            self.set_facts(l, nf);
+        }
+        let mut f = self.facts(line);
+        f.must = Some(0);
+        f.may = Some(0);
+        self.set_facts(line, f);
+    }
+
+    /// Exact invalidation of `line`: removed from both caches; may ages
+    /// in the set shrink by one for the hole the invalid way leaves.
+    fn invalidate(&mut self, line: LineId, shape: &CacheShape) {
+        let set = shape.set_of(line);
+        self.set_facts(line, LineFacts::default());
+        self.shrink_may_ages(Some(set), shape);
+    }
+
+    /// Decrement may ages (floor 0) — in `set`, or everywhere for an
+    /// unknown-address invalidation.
+    fn shrink_may_ages(&mut self, set: Option<u32>, shape: &CacheShape) {
+        let updates: Vec<(LineId, LineFacts)> = self
+            .lines
+            .iter()
+            .filter(|(&l, f)| {
+                f.may.map(|a| a > 0).unwrap_or(false)
+                    && set.map(|s| shape.set_of(l) == s).unwrap_or(true)
+            })
+            .map(|(&l, &of)| {
+                let mut nf = of;
+                nf.may = Some(nf.may.unwrap() - 1);
+                (l, nf)
+            })
+            .collect();
+        for (l, nf) in updates {
+            self.set_facts(l, nf);
+        }
+    }
+
+    /// Ages every tracked must line by one (a reference with an unknown
+    /// address may have been more recently used than any of them).
+    fn age_all_must(&mut self, shape: &CacheShape) {
+        let updates: Vec<(LineId, LineFacts)> = self
+            .lines
+            .iter()
+            .filter(|(_, f)| f.must.is_some())
+            .map(|(&l, &of)| {
+                let mut nf = of;
+                let a = nf.must.unwrap() + 1;
+                if a >= shape.ways {
+                    nf.must = None;
+                    nf.must_dirty = false;
+                } else {
+                    nf.must = Some(a);
+                }
+                (l, nf)
+            })
+            .collect();
+        for (l, nf) in updates {
+            self.set_facts(l, nf);
+        }
+    }
+
+    /// An unknown-address reference may have filled an arbitrary line:
+    /// every tracked line becomes possibly cached at any age, and the
+    /// sticky flag records that untracked lines may be resident too.
+    fn apply_unknown_fill(&mut self, dirty: bool) {
+        let updates: Vec<(LineId, LineFacts)> = self
+            .lines
+            .iter()
+            .map(|(&l, &of)| {
+                let mut nf = of;
+                nf.may = Some(0);
+                if dirty {
+                    nf.may_dirty = true;
+                }
+                (l, nf)
+            })
+            .collect();
+        for (l, nf) in updates {
+            self.set_facts(l, nf);
+        }
+        self.unknown_fill = true;
+        if dirty {
+            self.unknown_dirty = true;
+        }
+    }
+
+    /// Applies one reference's transfer function.
+    pub fn transfer(&mut self, r: &AbsRef, shape: &CacheShape) {
+        match r.line {
+            Some(line) => self.transfer_known(line, r.kind, shape),
+            None => self.transfer_unknown(r.kind, shape),
+        }
+        self.clamp_must_ages(shape);
+    }
+
+    /// Tightens must ages using set occupancy: while no unknown-address
+    /// fill has happened, every resident line is one of the tracked
+    /// may-lines, so a definitely-cached line's true LRU age is at most
+    /// *(possibly-cached lines in its set) − 1*. Without this, the
+    /// invalidation holes the paper's last-reference marking punches in a
+    /// set would still age surviving must lines on every fill, eventually
+    /// (and wrongly for classification purposes) pushing them past `ways`
+    /// even though the set never actually fills up.
+    fn clamp_must_ages(&mut self, shape: &CacheShape) {
+        if self.unknown_fill {
+            return;
+        }
+        let mut occupancy: BTreeMap<u32, u32> = BTreeMap::new();
+        for (&l, f) in &self.lines {
+            if f.may.is_some() {
+                *occupancy.entry(shape.set_of(l)).or_insert(0) += 1;
+            }
+        }
+        let updates: Vec<(LineId, LineFacts)> = self
+            .lines
+            .iter()
+            .filter_map(|(&l, &of)| {
+                let a = of.must?;
+                // `must` implies resident, which implies counted in may —
+                // occupancy is at least 1 here.
+                let cap = occupancy.get(&shape.set_of(l)).copied().unwrap_or(1) - 1;
+                if a > cap {
+                    let mut nf = of;
+                    nf.must = Some(cap);
+                    Some((l, nf))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (l, nf) in updates {
+            self.set_facts(l, nf);
+        }
+    }
+
+    fn transfer_known(&mut self, line: LineId, kind: AbsKind, shape: &CacheShape) {
+        let hit = self.hit(line);
+        // Branch outcomes are computed on refined copies (the hit branch
+        // knows the line was cached, the miss branch knows it was not)
+        // and joined when the verdict is `Sometimes` — exactly the
+        // concrete case split the simulator performs.
+        let hit_state = |s: &AbsState| {
+            let mut h = s.clone();
+            match kind {
+                AbsKind::Read { last_ref: true }
+                | AbsKind::WriteAllocate { last_ref: true }
+                | AbsKind::WriteThrough { last_ref: true }
+                | AbsKind::TakeInvalidate
+                | AbsKind::BypassWrite => h.invalidate(line, shape),
+                AbsKind::Read { last_ref: false }
+                | AbsKind::WriteThrough { last_ref: false }
+                | AbsKind::TakeKeep => h.touch(line, shape, false),
+                AbsKind::WriteAllocate { last_ref: false } => {
+                    h.touch(line, shape, false);
+                    let mut f = h.facts(line);
+                    f.must_dirty = true;
+                    f.may_dirty = true;
+                    h.set_facts(line, f);
+                }
+            }
+            h
+        };
+        let miss_state = |s: &AbsState| {
+            let mut m = s.clone();
+            // On the miss path the line was definitely not cached.
+            let mut f = m.facts(line);
+            f.must = None;
+            f.may = None;
+            f.must_dirty = false;
+            f.may_dirty = false;
+            m.set_facts(line, f);
+            match kind {
+                AbsKind::Read { last_ref: false } => {
+                    m.touch(line, shape, true);
+                    // Clean fill.
+                    let mut f = m.facts(line);
+                    f.must_dirty = false;
+                    f.may_dirty = false;
+                    m.set_facts(line, f);
+                }
+                AbsKind::WriteAllocate { last_ref: false } => {
+                    m.touch(line, shape, true);
+                    let mut f = m.facts(line);
+                    f.must_dirty = true;
+                    f.may_dirty = true;
+                    m.set_facts(line, f);
+                }
+                // Bypasses and write-through misses leave the cache alone.
+                AbsKind::Read { last_ref: true }
+                | AbsKind::WriteAllocate { last_ref: true }
+                | AbsKind::WriteThrough { .. }
+                | AbsKind::TakeInvalidate
+                | AbsKind::TakeKeep
+                | AbsKind::BypassWrite => {}
+            }
+            m
+        };
+        match hit {
+            Tri::Always => *self = hit_state(self),
+            Tri::Never => *self = miss_state(self),
+            Tri::Sometimes => {
+                let h = hit_state(self);
+                let mut m = miss_state(self);
+                m.join(&h);
+                *self = m;
+            }
+        }
+    }
+
+    fn transfer_unknown(&mut self, kind: AbsKind, shape: &CacheShape) {
+        match kind {
+            // A possible hit reorders (ages every must line); a possible
+            // fill caches an arbitrary line and can evict one per set.
+            AbsKind::Read { last_ref: false } => {
+                self.age_all_must(shape);
+                self.apply_unknown_fill(false);
+            }
+            AbsKind::WriteAllocate { last_ref: false } => {
+                self.age_all_must(shape);
+                self.apply_unknown_fill(true);
+            }
+            // Write-through never fills; a hit still reorders.
+            AbsKind::WriteThrough { last_ref: false } | AbsKind::TakeKeep => {
+                self.age_all_must(shape);
+            }
+            // A possible invalidation of an arbitrary line: no must fact
+            // survives, and every may age may have shrunk past a hole.
+            // Last-ref misses bypass, so no fill either way.
+            AbsKind::Read { last_ref: true }
+            | AbsKind::WriteAllocate { last_ref: true }
+            | AbsKind::WriteThrough { last_ref: true }
+            | AbsKind::TakeInvalidate
+            | AbsKind::BypassWrite => {
+                self.lines.iter_mut().for_each(|(_, f)| {
+                    f.must = None;
+                    f.must_dirty = false;
+                });
+                self.lines.retain(|_, f| !f.is_bottom());
+                self.shrink_may_ages(None, shape);
+            }
+        }
+    }
+}
+
+/// A program lowered to cache references: a graph of straight-line nodes.
+#[derive(Debug, Clone)]
+pub struct CacheProgram {
+    /// Cache shape the analysis runs against.
+    pub shape: CacheShape,
+    /// Per-node reference bodies.
+    pub nodes: Vec<Vec<AbsRef>>,
+    /// Per-node successor lists.
+    pub succs: Vec<Vec<usize>>,
+    /// Entry node (starts from the empty cache).
+    pub entry: usize,
+}
+
+/// Why the fixpoint was abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The worklist exceeded its visit budget (pathological graph).
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::BudgetExhausted => write!(f, "cache-analysis fixpoint budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Per-node entry states at the fixpoint. `None` = node unreachable.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Abstract state on entry to each node.
+    pub node_in: Vec<Option<AbsState>>,
+}
+
+/// Solves `prog` to a fixpoint by worklist, accumulating joins at node
+/// entries (monotone in the join order, so termination is bounded by the
+/// lattice height even though individual transfers are not monotone).
+///
+/// # Errors
+///
+/// [`SolveError::BudgetExhausted`] if the visit budget is exceeded —
+/// callers treat the program as unsupported and fall back to simulation.
+pub fn solve(prog: &CacheProgram) -> Result<Solution, SolveError> {
+    let n = prog.nodes.len();
+    let mut node_in: Vec<Option<AbsState>> = vec![None; n];
+    node_in[prog.entry] = Some(AbsState::empty());
+    let mut work: Vec<usize> = vec![prog.entry];
+    let mut queued = vec![false; n];
+    queued[prog.entry] = true;
+    // Generous budget: each node can be revisited once per lattice step.
+    let budget: u64 = 64 + (n as u64) * 4 * (prog.shape.ways as u64 + 2) * 64;
+    let mut visits: u64 = 0;
+    while let Some(node) = work.pop() {
+        queued[node] = false;
+        visits += 1;
+        if visits > budget {
+            return Err(SolveError::BudgetExhausted);
+        }
+        let mut out = node_in[node].clone().expect("queued node has a state");
+        for r in &prog.nodes[node] {
+            out.transfer(r, &prog.shape);
+        }
+        for &s in &prog.succs[node] {
+            let changed = match &mut node_in[s] {
+                Some(st) => st.join(&out),
+                slot @ None => {
+                    *slot = Some(out.clone());
+                    true
+                }
+            };
+            if changed && !queued[s] {
+                queued[s] = true;
+                work.push(s);
+            }
+        }
+    }
+    Ok(Solution { node_in })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: CacheShape = CacheShape {
+        ways: 4,
+        num_sets: 1,
+    };
+
+    fn read(line: LineId) -> AbsRef {
+        AbsRef {
+            line: Some(line),
+            kind: AbsKind::Read { last_ref: false },
+        }
+    }
+
+    #[test]
+    fn empty_state_proves_never_hit() {
+        let s = AbsState::empty();
+        assert_eq!(s.hit(7), Tri::Never);
+        assert_eq!(s.dirty(7), Tri::Never);
+    }
+
+    #[test]
+    fn fill_then_reaccess_is_always_hit() {
+        let mut s = AbsState::empty();
+        s.transfer(&read(1), &SHAPE);
+        assert_eq!(s.hit(1), Tri::Always);
+        // Three more distinct fills: line 1 ages to 3 but stays must.
+        for l in [2, 3, 4] {
+            s.transfer(&read(l), &SHAPE);
+        }
+        assert_eq!(s.hit(1), Tri::Always);
+        // One more distinct fill evicts it.
+        s.transfer(&read(5), &SHAPE);
+        assert_eq!(s.hit(1), Tri::Never);
+    }
+
+    #[test]
+    fn lru_reorder_protects_reaccessed_line() {
+        let mut s = AbsState::empty();
+        for l in [1, 2, 3, 4] {
+            s.transfer(&read(l), &SHAPE);
+        }
+        // Touch 1 again: it moves to age 0 and survives the next fill;
+        // line 2 (now LRU) does not.
+        s.transfer(&read(1), &SHAPE);
+        s.transfer(&read(5), &SHAPE);
+        assert_eq!(s.hit(1), Tri::Always);
+        assert_eq!(s.hit(2), Tri::Never);
+    }
+
+    #[test]
+    fn must_join_intersects_and_takes_max_age() {
+        let mut a = AbsState::empty();
+        a.transfer(&read(1), &SHAPE); // age 0 in a
+        a.transfer(&read(2), &SHAPE);
+        let mut b = AbsState::empty();
+        b.transfer(&read(1), &SHAPE); // line 1 in both, older in b
+        b.transfer(&read(3), &SHAPE);
+        b.transfer(&read(4), &SHAPE);
+        a.join(&b);
+        // Line 1 must-cached in both → survives the join.
+        assert_eq!(a.hit(1), Tri::Always);
+        // Lines 2, 3, 4 are cached on only one side → not must, but may.
+        assert_eq!(a.hit(2), Tri::Sometimes);
+        assert_eq!(a.hit(3), Tri::Sometimes);
+        // Max-age: joined age of line 1 is b's larger age (2), so two
+        // more fills push it out of must.
+        a.transfer(&read(5), &SHAPE);
+        assert_eq!(a.hit(1), Tri::Always);
+        a.transfer(&read(6), &SHAPE);
+        assert_eq!(a.hit(1), Tri::Sometimes);
+    }
+
+    #[test]
+    fn may_join_unions_and_takes_min_age() {
+        let mut a = AbsState::empty();
+        a.transfer(&read(1), &SHAPE);
+        for l in [2, 3, 4] {
+            a.transfer(&read(l), &SHAPE); // line 1 at age 3 in a
+        }
+        let b = AbsState::empty(); // line 1 absent in b
+        let mut j = a.clone();
+        j.join(&b);
+        // Union keeps 1 possibly cached; min age is a's (3): one more
+        // fill could evict it, but a hit is also possible.
+        assert_eq!(j.hit(1), Tri::Sometimes);
+        // In `a` alone a fifth fill proves eviction.
+        a.transfer(&read(5), &SHAPE);
+        assert_eq!(a.hit(1), Tri::Never);
+    }
+
+    #[test]
+    fn take_invalidate_consumes_the_line_exactly() {
+        let mut s = AbsState::empty();
+        s.transfer(
+            &AbsRef {
+                line: Some(1),
+                kind: AbsKind::WriteAllocate { last_ref: false },
+            },
+            &SHAPE,
+        );
+        assert_eq!(s.hit(1), Tri::Always);
+        assert_eq!(s.dirty(1), Tri::Always);
+        s.transfer(
+            &AbsRef {
+                line: Some(1),
+                kind: AbsKind::TakeInvalidate,
+            },
+            &SHAPE,
+        );
+        // Gone from both caches: the next reload provably misses.
+        assert_eq!(s.hit(1), Tri::Never);
+        assert_eq!(s.dirty(1), Tri::Never);
+    }
+
+    #[test]
+    fn invalidation_holes_cap_must_ages() {
+        // Fill 1, 2, 3 (line 1 now at age 2), then take-and-invalidate
+        // lines 2 and 3: the set provably holds only line 1, so its must
+        // age collapses to 0 and three further fills still cannot evict
+        // it. Without occupancy clamping the fills would age line 1 past
+        // `ways` even though the set never fills up.
+        let mut s = AbsState::empty();
+        for l in [1, 2, 3] {
+            s.transfer(&read(l), &SHAPE);
+        }
+        for l in [2, 3] {
+            s.transfer(
+                &AbsRef {
+                    line: Some(l),
+                    kind: AbsKind::TakeInvalidate,
+                },
+                &SHAPE,
+            );
+        }
+        for l in [4, 5, 6] {
+            s.transfer(&read(l), &SHAPE);
+        }
+        assert_eq!(s.hit(1), Tri::Always);
+    }
+
+    #[test]
+    fn spill_reload_cycle_is_fully_classified() {
+        // The unified model's signature pattern: AmSp_STORE then
+        // UmAm_LOAD of the same slot, repeated. After one warm-up the
+        // verdicts are constant: store never-hits (previous reload
+        // consumed the line), reload always-hits.
+        let mut s = AbsState::empty();
+        let store = AbsRef {
+            line: Some(9),
+            kind: AbsKind::WriteAllocate { last_ref: false },
+        };
+        let reload = AbsRef {
+            line: Some(9),
+            kind: AbsKind::TakeInvalidate,
+        };
+        for _ in 0..3 {
+            assert_eq!(s.hit(9), Tri::Never, "store misses and fills");
+            s.transfer(&store, &SHAPE);
+            assert_eq!(s.hit(9), Tri::Always, "reload hits the spilled value");
+            assert_eq!(s.dirty(9), Tri::Always);
+            s.transfer(&reload, &SHAPE);
+        }
+    }
+
+    #[test]
+    fn unknown_fill_destroys_never_but_not_always() {
+        let mut s = AbsState::empty();
+        s.transfer(&read(1), &SHAPE);
+        s.transfer(
+            &AbsRef {
+                line: None,
+                kind: AbsKind::Read { last_ref: false },
+            },
+            &SHAPE,
+        );
+        // Line 1 might have aged but is still resident (4 ways, one
+        // unknown fill): still an always-hit.
+        assert_eq!(s.hit(1), Tri::Always);
+        // An untouched line might now be cached.
+        assert_eq!(s.hit(42), Tri::Sometimes);
+        assert!(s.unknown_fill);
+        // Enough unknown fills age line 1 out of must.
+        for _ in 0..3 {
+            s.transfer(
+                &AbsRef {
+                    line: None,
+                    kind: AbsKind::Read { last_ref: false },
+                },
+                &SHAPE,
+            );
+        }
+        assert_eq!(s.hit(1), Tri::Sometimes);
+    }
+
+    #[test]
+    fn unknown_invalidate_clears_must_only() {
+        let mut s = AbsState::empty();
+        s.transfer(&read(1), &SHAPE);
+        s.transfer(
+            &AbsRef {
+                line: None,
+                kind: AbsKind::TakeInvalidate,
+            },
+            &SHAPE,
+        );
+        // The invalidated line could have been line 1.
+        assert_eq!(s.hit(1), Tri::Sometimes);
+        // But no fill happened: untouched lines stay provably absent.
+        assert_eq!(s.hit(42), Tri::Never);
+    }
+
+    #[test]
+    fn writeback_freedom_by_clean_set_and_by_free_way() {
+        let shape = CacheShape {
+            ways: 2,
+            num_sets: 1,
+        };
+        let mut s = AbsState::empty();
+        s.transfer(&read(1), &shape);
+        // One clean line, one free way: both proofs hold.
+        assert!(s.fill_writeback_free(9, &shape));
+        s.transfer(
+            &AbsRef {
+                line: Some(2),
+                kind: AbsKind::WriteAllocate { last_ref: false },
+            },
+            &shape,
+        );
+        // Set full and line 2 dirty: a fill may evict it.
+        assert!(!s.fill_writeback_free(9, &shape));
+        // Consuming the dirty line restores both prongs.
+        s.transfer(
+            &AbsRef {
+                line: Some(2),
+                kind: AbsKind::TakeInvalidate,
+            },
+            &shape,
+        );
+        assert!(s.fill_writeback_free(9, &shape));
+    }
+
+    #[test]
+    fn through_writes_never_dirty_or_fill() {
+        let mut s = AbsState::empty();
+        s.transfer(
+            &AbsRef {
+                line: Some(3),
+                kind: AbsKind::WriteThrough { last_ref: false },
+            },
+            &SHAPE,
+        );
+        assert_eq!(s.hit(3), Tri::Never, "no-allocate write leaves no line");
+        assert_eq!(s.dirty(3), Tri::Never);
+    }
+
+    #[test]
+    fn bypass_write_leaves_line_definitely_uncached() {
+        let mut s = AbsState::empty();
+        s.transfer(&read(5), &SHAPE);
+        s.transfer(
+            &AbsRef {
+                line: Some(5),
+                kind: AbsKind::BypassWrite,
+            },
+            &SHAPE,
+        );
+        assert_eq!(s.hit(5), Tri::Never, "defensive invalidation consumed it");
+    }
+
+    #[test]
+    fn loop_fixpoint_terminates_and_classifies_header() {
+        // entry -> header -> body -> header; header -> exit.
+        // Body re-reads line 1 each iteration: after the first trip the
+        // join at the header makes it Sometimes (cold miss, then hits).
+        let prog = CacheProgram {
+            shape: SHAPE,
+            nodes: vec![vec![], vec![], vec![read(1)], vec![read(1)]],
+            succs: vec![vec![1], vec![2, 3], vec![1], vec![]],
+            entry: 0,
+        };
+        let sol = solve(&prog).unwrap();
+        let header = sol.node_in[1].as_ref().unwrap();
+        assert_eq!(header.hit(1), Tri::Sometimes);
+        // Exit node: line 1 was read on every path reaching it... but the
+        // zero-trip path reaches the exit with a cold cache, so the exit
+        // read is also Sometimes.
+        let exit = sol.node_in[3].as_ref().unwrap();
+        assert_eq!(exit.hit(1), Tri::Sometimes);
+    }
+
+    #[test]
+    fn loop_with_spill_cycle_reaches_constant_verdicts() {
+        // A loop body holding a spill/reload pair: the reload's
+        // take-and-invalidate makes the header join constant — the store
+        // never-hits on every iteration including the first.
+        let store = AbsRef {
+            line: Some(9),
+            kind: AbsKind::WriteAllocate { last_ref: false },
+        };
+        let reload = AbsRef {
+            line: Some(9),
+            kind: AbsKind::TakeInvalidate,
+        };
+        let prog = CacheProgram {
+            shape: SHAPE,
+            nodes: vec![vec![], vec![], vec![store, reload], vec![]],
+            succs: vec![vec![1], vec![2, 3], vec![1], vec![]],
+            entry: 0,
+        };
+        let sol = solve(&prog).unwrap();
+        let body = sol.node_in[2].as_ref().unwrap();
+        assert_eq!(body.hit(9), Tri::Never, "reload consumed the prior spill");
+        let exit = sol.node_in[3].as_ref().unwrap();
+        assert_eq!(exit.hit(9), Tri::Never);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_state() {
+        let prog = CacheProgram {
+            shape: SHAPE,
+            nodes: vec![vec![], vec![]],
+            succs: vec![vec![], vec![]],
+            entry: 0,
+        };
+        let sol = solve(&prog).unwrap();
+        assert!(sol.node_in[0].is_some());
+        assert!(sol.node_in[1].is_none());
+    }
+
+    #[test]
+    fn direct_mapped_set_conflict_is_detected() {
+        let shape = CacheShape {
+            ways: 1,
+            num_sets: 2,
+        };
+        let mut s = AbsState::empty();
+        s.transfer(&read(0), &shape); // set 0
+        s.transfer(&read(2), &shape); // set 0: evicts line 0
+        s.transfer(&read(1), &shape); // set 1: different set, no effect
+        assert_eq!(s.hit(0), Tri::Never);
+        assert_eq!(s.hit(2), Tri::Always);
+        assert_eq!(s.hit(1), Tri::Always);
+    }
+}

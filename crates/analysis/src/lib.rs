@@ -36,6 +36,7 @@
 
 pub mod alias;
 pub mod bitset;
+pub mod cachedom;
 pub mod callgraph;
 pub mod dataflow;
 pub mod dominators;

@@ -1,0 +1,161 @@
+//! The simulation-free fast path: static must/may classification of a
+//! recorded trace's program, turned directly into per-cell counters.
+//!
+//! [`ucm_cache::classify`] solves a must/may LRU abstract interpretation
+//! over the compiled binary and, when every executed reference site is
+//! decisively always-hit or never-hit under a cell's configuration,
+//! reproduces [`ucm_cache::CacheStats`] *exactly* from verdict ×
+//! profiled execution count — no trace replay. [`derive_cells`] applies
+//! that per cell and returns `None` wherever the derivation declines
+//! (unsupported program shape, non-LRU policy at ways > 1, or any
+//! `Sometimes` verdict), so the caller falls back to replay for exactly
+//! those cells.
+//!
+//! Exactness is not statistical: a derived cell's counters are the
+//! counters replay would produce, or the derivation refuses. The parity
+//! test drives both paths over every eligible cell and compares
+//! counter-for-counter; CI additionally byte-compares whole artifacts
+//! produced with and without the fast path.
+
+use std::sync::Arc;
+use ucm_cache::classify::ClassifyBase;
+use ucm_cache::{CacheConfig, CacheStats};
+use ucm_machine::SiteProfile;
+
+use crate::sweep::RecordedTrace;
+
+/// Tries to derive each cell's counters from the static classification.
+///
+/// Returns one entry per configuration in `cfgs` order: `Some(stats)`
+/// when the must/may derivation is exact for that cell, `None` when it
+/// declines. Configurations that canonicalise identically (direct-mapped
+/// cells of any replacement policy) are classified once and share the
+/// result, mirroring the behaviour-class collapse of the replay engines.
+///
+/// Timed cells never take this path — the cycle model consumes the
+/// event *order*, which counts alone cannot reproduce — so callers gate
+/// on an untimed sweep before asking.
+pub fn derive_cells(t: &RecordedTrace, cfgs: &[CacheConfig]) -> Vec<Option<CacheStats>> {
+    derive_cells_with(&t.program, t.profile.as_ref(), t.mem_words, cfgs)
+}
+
+/// [`derive_cells`] from the raw parts (program, profile, VM memory
+/// size); the serve engine calls this form with its cached recordings.
+pub fn derive_cells_with(
+    program: &Arc<ucm_machine::MachineProgram>,
+    profile: Option<&Arc<SiteProfile>>,
+    mem_words: usize,
+    cfgs: &[CacheConfig],
+) -> Vec<Option<CacheStats>> {
+    let Some(profile) = profile else {
+        return vec![None; cfgs.len()];
+    };
+    let Ok(base) = ClassifyBase::new(program, mem_words) else {
+        return vec![None; cfgs.len()];
+    };
+    // Classify once per behaviour class (canonical configuration) and
+    // fan the result back out in `cfgs` order.
+    let mut unique: Vec<CacheConfig> = Vec::new();
+    let mut class_of = Vec::with_capacity(cfgs.len());
+    for &c in cfgs {
+        let key = canonical(c);
+        match unique.iter().position(|&u| u == key) {
+            Some(p) => class_of.push(p),
+            None => {
+                unique.push(key);
+                class_of.push(unique.len() - 1);
+            }
+        }
+    }
+    let derived: Vec<Option<CacheStats>> = unique
+        .iter()
+        .map(|c| {
+            let class = base.classify(c).ok()?;
+            base.derive_stats(&class, profile)
+        })
+        .collect();
+    class_of.into_iter().map(|p| derived[p]).collect()
+}
+
+/// The same behaviour-class collapse the replay engines use: a
+/// direct-mapped set has no victim choice, so replacement policy and
+/// seed are inert there.
+fn canonical(mut c: CacheConfig) -> CacheConfig {
+    if c.associativity == 1 {
+        c.policy = ucm_cache::PolicyKind::Lru;
+        c.seed = 0;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{record_trace, replay, Codegen};
+    use ucm_cache::{PolicyKind, WritePolicy};
+    use ucm_core::ManagementMode;
+    use ucm_machine::VmConfig;
+
+    /// Every cell the derivation accepts must match replay exactly, and
+    /// at least one workload/cell of this grid must actually derive (so
+    /// the fast path cannot silently rot into "always declines").
+    #[test]
+    fn derived_cells_match_replay_counter_for_counter() {
+        let vm = VmConfig::default();
+        let mut derived_somewhere = false;
+        // A straight-line scalar program is fully resolvable and runs
+        // each site exactly once, so its classification is decisive in
+        // every mode — it anchors the "fires at least once" assertion
+        // independent of how decisive the real benchmarks happen to be.
+        let mut workloads = vec![ucm_workloads::Workload {
+            name: "straightline".into(),
+            source: "global a: int; global b: int;
+                     fn main() { a = 6; b = 7; print(a * b); }"
+                .into(),
+            expected: vec![42],
+        }];
+        workloads.extend(ucm_workloads::quick_suite());
+        for w in workloads {
+            for mode in [ManagementMode::Unified, ManagementMode::Conventional] {
+                let t = record_trace(&w, Codegen::Paper, mode, &vm).unwrap();
+                let mut cfgs = Vec::new();
+                for (size, lw, ways) in [(256, 1, 1), (256, 1, 4), (64, 4, 2)] {
+                    for wp in [
+                        WritePolicy::WriteBackAllocate,
+                        WritePolicy::WriteThroughNoAllocate,
+                    ] {
+                        for policy in [PolicyKind::Lru, PolicyKind::Random] {
+                            let mut c = CacheConfig {
+                                size_words: size,
+                                line_words: lw,
+                                associativity: ways,
+                                policy,
+                                write_policy: wp,
+                                ..CacheConfig::default()
+                            };
+                            if mode == ManagementMode::Conventional {
+                                c = c.conventional();
+                            }
+                            cfgs.push(c);
+                        }
+                    }
+                }
+                for (c, d) in cfgs.iter().zip(derive_cells(&t, &cfgs)) {
+                    if let Some(stats) = d {
+                        derived_somewhere = true;
+                        let (replayed, _) = replay(&t.trace, *c, None, t.steps);
+                        assert_eq!(
+                            stats, replayed,
+                            "derivation diverged from replay for {} {:?}",
+                            w.name, c
+                        );
+                    }
+                }
+            }
+        }
+        assert!(
+            derived_somewhere,
+            "the fast path declined every cell of the quick grid"
+        );
+    }
+}

@@ -13,6 +13,7 @@
 //! * `regpressure` — register count × allocator ablation (E6)
 //! * `micro` — Criterion micro-benchmarks of the infrastructure itself
 
+pub mod analysis;
 pub mod json;
 pub mod sweep;
 

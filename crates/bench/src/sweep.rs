@@ -45,8 +45,8 @@ use ucm_cache::{
 use ucm_core::pipeline::{compile, CompileError, CompilerOptions};
 use ucm_core::ManagementMode;
 use ucm_machine::{
-    run, CountSink, Flavour, MInstr, MachineProgram, MemEvent, MemTag, PackedTrace, TeeSink,
-    TraceRecord, TraceSink, VmConfig, VmError,
+    run, CountSink, Flavour, MInstr, MachineProgram, MemEvent, MemTag, PackedTrace, SiteProfile,
+    TeeSink, TraceRecord, TraceSink, VmConfig, VmError,
 };
 use ucm_workloads::Workload;
 
@@ -140,6 +140,13 @@ pub struct SweepConfig {
     /// to the fused path — pinned by the parity tests and the CI
     /// byte-compare; `ucmc sweep --no-stack-distance` clears it.
     pub use_stack_distance: bool,
+    /// Serve untimed cells whose must/may classification is fully
+    /// decisive straight from the static analysis (verdict × profiled
+    /// count), skipping trace replay for those cells entirely. Exact by
+    /// construction — the derivation reproduces every simulator counter
+    /// or declines — and pinned by the parity tests and the CI
+    /// byte-compare; `ucmc sweep --no-static-analysis` clears it.
+    pub use_static_analysis: bool,
 }
 
 impl SweepConfig {
@@ -161,6 +168,14 @@ impl SweepConfig {
             workloads: {
                 let mut w = ucm_workloads::sweep_suite();
                 w.extend(ucm_workloads::fuzz_corpus());
+                // The straight-line scalars kernel appends last: it is
+                // the one workload whose must/may classification is
+                // fully decisive, so the static-analysis fast path
+                // serves its LRU-modelable cells without replay in the
+                // committed artifact (the loop-heavy benchmarks always
+                // carry at least one undecided site and take the
+                // replay engines instead).
+                w.push(ucm_workloads::scalars::workload(96));
                 w
             },
             codegens: vec![Codegen::Paper, Codegen::Modern],
@@ -231,6 +246,7 @@ impl SweepConfig {
             seed: CacheConfig::default().seed,
             vm: VmConfig::default(),
             use_stack_distance: true,
+            use_static_analysis: true,
         }
     }
 
@@ -248,7 +264,14 @@ impl SweepConfig {
     pub fn quick() -> Self {
         SweepConfig {
             suite: "quick".into(),
-            workloads: ucm_workloads::quick_suite(),
+            // The scalars kernel rides along so the quick grid (and the
+            // CI byte-compare against `--no-static-analysis`) exercises
+            // the static-analysis fast path on at least one workload.
+            workloads: {
+                let mut w = ucm_workloads::quick_suite();
+                w.push(ucm_workloads::scalars::workload(24));
+                w
+            },
             codegens: vec![Codegen::Paper],
             modes: vec![ManagementMode::Unified, ManagementMode::Conventional],
             geometries: vec![
@@ -382,6 +405,18 @@ pub struct RecordedTrace {
     pub steps: u64,
     /// Reference-class counts gathered while recording.
     pub counts: CountSink,
+    /// The compiled binary the trace came from — the static must/may
+    /// analysis classifies *this* program's reference sites.
+    pub program: Arc<MachineProgram>,
+    /// Per-(call context, instruction) reference counts from the
+    /// recording run; `None` when the run overflowed the context table
+    /// (deep recursion), in which case the fast path declines. Contexts
+    /// and counts are tag-independent, so tag-rewrite-derived modes
+    /// share the base recording's profile.
+    pub profile: Option<Arc<SiteProfile>>,
+    /// VM memory size the run used — pins `main`'s frame pointer, which
+    /// anchors every frame address the static analysis resolves.
+    pub mem_words: usize,
 }
 
 /// Summary of one recorded trace, as it appears in the artifact.
@@ -502,6 +537,9 @@ pub struct SweepTimings {
     pub stack_cells: usize,
     /// Replayed cells served by per-geometry fused simulators.
     pub fused_cells: usize,
+    /// Cells whose counters were derived from the static must/may
+    /// classification without touching the trace.
+    pub analysis_cells: usize,
 }
 
 /// The complete result of a sweep.
@@ -536,7 +574,7 @@ pub fn record_trace(
     vm: &VmConfig,
 ) -> Result<RecordedTrace, SweepError> {
     let compiled = compile_point(w, codegen, mode)?;
-    record_run(w, codegen, mode, vm, &compiled.program)
+    record_run(w, codegen, mode, vm, &Arc::new(compiled.program))
 }
 
 /// Compiles one (workload, codegen, mode) point.
@@ -561,14 +599,22 @@ fn record_run(
     codegen: Codegen,
     mode: ManagementMode,
     vm: &VmConfig,
-    program: &MachineProgram,
+    program: &Arc<MachineProgram>,
 ) -> Result<RecordedTrace, SweepError> {
     let mut sink = PackedTrace::new();
     let mut counts = CountSink::default();
+    // The site profile rides the same VM run as a third tee'd sink; it
+    // observes the checked event stream (with pcs) plus call/ret, and
+    // cannot perturb the packed trace next to it.
+    let mut profile = SiteProfile::new(program.main);
     let outcome = {
-        let mut tee = TeeSink {
+        let mut stats_tee = TeeSink {
             a: &mut sink,
             b: &mut counts,
+        };
+        let mut tee = TeeSink {
+            a: &mut stats_tee,
+            b: &mut profile,
         };
         run(program, &mut tee, vm).map_err(|error| SweepError::Vm {
             workload: w.name.clone(),
@@ -580,6 +626,7 @@ fn record_run(
             workload: w.name.clone(),
         });
     }
+    let profile = (!profile.overflowed()).then(|| Arc::new(profile));
     Ok(RecordedTrace {
         workload: w.name.clone(),
         codegen,
@@ -587,6 +634,9 @@ fn record_run(
         trace: Arc::new(sink),
         steps: outcome.steps,
         counts,
+        program: Arc::clone(program),
+        profile,
+        mem_words: vm.mem_words,
     })
 }
 
@@ -792,6 +842,10 @@ where
                 if !unmapped {
                     let mut counts = CountSink::default();
                     trace.replay(&mut counts);
+                    // The profile counts (context, pc) pairs — both
+                    // tag-blind — so the base run's profile holds for
+                    // this mode verbatim.
+                    let profile = b.profile.clone();
                     out.push(RecordedTrace {
                         workload: w.name.clone(),
                         codegen,
@@ -799,6 +853,9 @@ where
                         trace: Arc::new(trace),
                         steps: b.steps,
                         counts,
+                        program,
+                        profile,
+                        mem_words: b.mem_words,
                     });
                     continue;
                 }
@@ -1305,9 +1362,43 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
     let n_geoms = cfg.geometries.len();
     let cpg = cfg.write_policies.len() * cfg.policies.len();
     let block_len = n_geoms * cpg;
+
+    // Phase 2a — the static-analysis fast path. For untimed sweeps, one
+    // job per unique trace classifies the compiled binary (must/may
+    // abstract interpretation, once per behaviour class of the grid's
+    // cells) and derives counters for every cell where the verdicts are
+    // fully decisive. Those cells never touch the trace; the ones the
+    // derivation declines fall through to the replay partition below,
+    // so enabling the fast path cannot change a single output byte —
+    // only who computes it.
+    let derived: Vec<Vec<Option<CacheStats>>> = if cfg.use_static_analysis && cfg.timing.is_none() {
+        unique
+            .par_iter()
+            .map(|&i| {
+                let t = &recorded_traces[i];
+                let _s = ucm_obs::span("sweep.analyze.job")
+                    .with("workload", t.workload.as_str())
+                    .with("events", t.trace.events());
+                let mut cell_cfgs = Vec::with_capacity(block_len);
+                for &geom in &cfg.geometries {
+                    for &wp in &cfg.write_policies {
+                        for &policy in &cfg.policies {
+                            cell_cfgs.push(cfg.cell_cache(t.mode, geom, wp, policy));
+                        }
+                    }
+                }
+                crate::analysis::derive_cells(t, &cell_cfgs)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let mut replay_jobs: Vec<ReplayJob> = Vec::new();
     let mut stack_cells = 0usize;
     let mut fused_cells = 0usize;
+    let mut analysis_cells = 0usize;
+    let mut prefilled: Vec<(usize, CacheStats)> = Vec::new();
     for (tp, &i) in unique.iter().enumerate() {
         let t = &recorded_traces[i];
         let mut stack_cfgs = Vec::new();
@@ -1319,8 +1410,14 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
             for &wp in &cfg.write_policies {
                 for &policy in &cfg.policies {
                     let cell = cfg.cell_cache(t.mode, geom, wp, policy);
-                    let slot = tp * block_len + gi * cpg + ci;
+                    let off = gi * cpg + ci;
+                    let slot = tp * block_len + off;
                     ci += 1;
+                    if let Some(s) = derived.get(tp).and_then(|d| d[off]) {
+                        analysis_cells += 1;
+                        prefilled.push((slot, s));
+                        continue;
+                    }
                     if cfg.use_stack_distance && stack_eligible(cell) {
                         stack_cfgs.push(cell);
                         stack_slots.push(slot);
@@ -1389,6 +1486,9 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
         .collect();
     let mut table: Vec<Option<(CacheStats, Option<CellTiming>)>> =
         vec![None; unique.len() * block_len];
+    for (slot, s) in prefilled {
+        table[slot] = Some((s, None));
+    }
     for pairs in scattered {
         for (slot, r) in pairs {
             table[slot] = Some(r);
@@ -1411,6 +1511,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
         ucm_obs::counter("sweep.cells", cfg.cell_count() as u64);
         ucm_obs::counter("sweep.stack_cells", stack_cells as u64);
         ucm_obs::counter("sweep.fused_cells", fused_cells as u64);
+        ucm_obs::counter("sweep.analysis_cells", analysis_cells as u64);
     }
 
     Ok(assemble_report(
@@ -1422,6 +1523,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepReport, SweepError> {
             replay: replay_took,
             stack_cells,
             fused_cells,
+            analysis_cells,
         },
     ))
 }
@@ -2292,6 +2394,45 @@ mod tests {
                 "stack-distance fast path must not change a single byte"
             );
         }
+    }
+
+    #[test]
+    fn analysis_and_replay_paths_serialise_byte_identically() {
+        // Widen the tiny grid with a workload whose every reference
+        // resolves statically, so the must/may derivation demonstrably
+        // serves at least some cells; sieve stays in to exercise the
+        // decline-and-fall-back route in the same run.
+        let mut cfg = tiny_config();
+        cfg.workloads.insert(
+            0,
+            ucm_workloads::Workload {
+                name: "straightline".into(),
+                source: "global a: int; global b: int;
+                         fn main() { a = 6; b = 7; print(a * b); }"
+                    .into(),
+                expected: vec![42],
+            },
+        );
+        let analyzed = run_sweep(&cfg).unwrap();
+        let replayed = run_sweep(&SweepConfig {
+            use_static_analysis: false,
+            ..cfg.clone()
+        })
+        .unwrap();
+        assert!(
+            analyzed.timings.analysis_cells > 0,
+            "analysis fast path must serve at least one cell"
+        );
+        assert_eq!(replayed.timings.analysis_cells, 0);
+        assert_eq!(
+            analyzed.to_json(),
+            replayed.to_json(),
+            "analysis fast path must not change a single byte"
+        );
+        // Timed sweeps consume event order, which counters alone cannot
+        // reproduce: the fast path must stand down entirely.
+        let timed = run_sweep(&cfg.with_timing()).unwrap();
+        assert_eq!(timed.timings.analysis_cells, 0);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Soundness of the must/may cache analysis against the concrete
+//! simulator, across the benchmark suite and the committed fuzz corpus.
+//!
+//! [`ucm_cache::classify::cross_validate`] runs each program once per
+//! cache configuration and checks every analysis verdict as the run
+//! unfolds: a must-hit site that misses, a never-hit site that hits, or
+//! a broken dirty/write-back proof fails the run. Programs outside the
+//! analysis model (recursion) report `supported: false` and are counted
+//! but not failed — the point of this test is that *no supported
+//! program ever produces a wrong verdict*, which is exactly the
+//! property the sweep/serve fast path relies on when it derives cell
+//! counters without replaying.
+
+use ucm_cache::classify::cross_validate;
+use ucm_cache::{CacheConfig, WritePolicy};
+use ucm_core::pipeline::{compile, CompilerOptions};
+use ucm_core::ManagementMode;
+use ucm_machine::VmConfig;
+
+/// The full sweep grid's geometry axis (see `SweepConfig::full`).
+const GEOMETRIES: [(usize, usize, usize); 7] = [
+    (16, 8, 1),
+    (256, 1, 1),
+    (256, 1, 4),
+    (1024, 4, 4),
+    (64, 1, 1),
+    (1024, 1, 1),
+    (4096, 1, 1),
+];
+
+#[test]
+fn every_verdict_survives_simulation_across_the_grid() {
+    let vm = VmConfig::default();
+    // Quick-size versions of the six classic workloads keep the run in
+    // test budget; the committed corpus rides along in full.
+    let mut workloads = ucm_workloads::quick_suite();
+    workloads.push(ucm_workloads::puzzle::workload());
+    workloads.extend(ucm_workloads::fuzz_corpus());
+    // The fast-path anchor workload: fully decisive, so this is the one
+    // place where *every* verdict (not just the decided subset of a
+    // mostly-undecided program) faces the simulator.
+    workloads.push(ucm_workloads::scalars::workload(96));
+
+    let mut supported_runs = 0u64;
+    let mut checked_refs = 0u64;
+    for w in &workloads {
+        for mode in [ManagementMode::Unified, ManagementMode::Conventional] {
+            let options = CompilerOptions {
+                mode,
+                ..CompilerOptions::paper()
+            };
+            let compiled =
+                compile(&w.source, &options).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            for (size, lw, ways) in GEOMETRIES {
+                for wp in [
+                    WritePolicy::WriteBackAllocate,
+                    WritePolicy::WriteThroughNoAllocate,
+                ] {
+                    let mut config = CacheConfig {
+                        size_words: size,
+                        line_words: lw,
+                        associativity: ways,
+                        write_policy: wp,
+                        ..CacheConfig::default()
+                    };
+                    if mode == ManagementMode::Conventional {
+                        config = config.conventional();
+                    }
+                    let report =
+                        cross_validate(&compiled.program, &config, &vm).unwrap_or_else(|e| {
+                            panic!("{} {mode:?} {size}w/{lw}l/{ways}way {wp:?}: {e}", w.name)
+                        });
+                    if report.supported {
+                        supported_runs += 1;
+                        checked_refs += report.checked;
+                    }
+                }
+            }
+        }
+    }
+    // The sweep fast path rests on this machinery actually engaging: a
+    // silent "everything unsupported" regression must fail loudly.
+    assert!(
+        supported_runs > 0 && checked_refs > 0,
+        "cross-validation never engaged ({supported_runs} runs, {checked_refs} refs)"
+    );
+}

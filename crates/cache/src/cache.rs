@@ -77,6 +77,14 @@ impl CacheSim {
         self.find(set, tag).is_some()
     }
 
+    /// Whether `addr`'s line is cached *and* dirty (tests/diagnostics).
+    pub fn is_dirty(&self, addr: i64) -> bool {
+        let (set, tag) = self.locate(addr);
+        self.find(set, tag)
+            .map(|way| self.lines[set * self.config.associativity + way].dirty)
+            .unwrap_or(false)
+    }
+
     #[inline]
     fn locate(&self, addr: i64) -> (usize, u64) {
         self.geom.split(addr)

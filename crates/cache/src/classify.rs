@@ -1,0 +1,1785 @@
+//! Static must/may classification of a compiled program's references.
+//!
+//! The machine front end of [`ucm_analysis::cachedom`]: lowers a
+//! [`MachineProgram`] into an abstract cache-reference program, solves the
+//! must/may fixpoint, and turns the solution into per-site verdicts
+//! (always-hit / never-hit / dirty-on-invalidate / write-back-free fill).
+//!
+//! Combined with a [`SiteProfile`] — per *(call context, instruction)*
+//! reference counts from one VM run — a fully decisive classification
+//! reproduces [`CacheSim`]'s counters *exactly* without replaying the
+//! trace ([`ClassifyBase::derive_stats`]): each site's verdict holds on
+//! every execution of the site, so verdict × count = counter delta. That
+//! is the sweep's simulation-free fast path. The same verdicts drive the
+//! analysis-guided bypass mode in `ucm-core` (rewrite references proven
+//! never to hit) and the `ucmc analyze` report.
+//!
+//! ## Address and context model
+//!
+//! Codegen emits frame-relative (`FpOff`/`SpOff`), absolute (globals), and
+//! register-held addresses. Because the machine has no recursion-free
+//! `alloca`, a function's frame pointer is a *compile-time constant per
+//! call chain*: `main`'s FP is pinned by the VM (`mem_words - 8 - nargs`),
+//! and each callee's FP is the caller's body SP minus the argument count.
+//! So a *context* is a chain of functions (not call sites — two calls from
+//! the same function produce identical frame layouts), and per context
+//! every frame-relative address resolves to a concrete word. Register-held
+//! addresses go through a small constant/fp-relative value analysis;
+//! unresolved ones become unknown-address references, which the abstract
+//! domain handles soundly (they can only widen verdicts to `Sometimes`).
+//!
+//! Programs the model cannot express — recursion (unboundedly many
+//! frames), a context explosion, or irregular prologue/epilogue shapes —
+//! are rejected with [`Unsupported`]; callers fall back to simulation.
+
+use crate::cache::CacheSim;
+use crate::config::{CacheConfig, PolicyKind, WritePolicy};
+use crate::geom::LineGeometry;
+use crate::stats::CacheStats;
+use std::collections::HashMap;
+use ucm_analysis::cachedom::{solve, AbsRef, CacheProgram, CacheShape, SolveError};
+// Re-exported: `SiteVerdict` exposes both in its public fields, so users
+// of this module should not need a direct `ucm-analysis` dependency.
+pub use ucm_analysis::cachedom::{AbsKind, Tri};
+use ucm_machine::{
+    run, CtxId, Flavour, MAddr, MInstr, MOperand, MachineProgram, MemEvent, MemTag, SiteProfile,
+    TraceSink, VmConfig,
+};
+use ucm_timing::MemXact;
+
+/// Context cap for the static enumeration. Call *chains* in a DAG can
+/// multiply combinatorially even without recursion; past this point the
+/// supergraph is not worth solving and the caller should simulate.
+pub const MAX_ANALYSIS_CONTEXTS: usize = 1 << 14;
+
+/// Why a program (or a configuration) is outside the analysis' model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unsupported {
+    /// The call graph is recursive: frame addresses are not per-context
+    /// constants.
+    Recursion,
+    /// More than [`MAX_ANALYSIS_CONTEXTS`] distinct call chains.
+    TooManyContexts,
+    /// Code shape outside the codegen contract (`Enter` not exactly the
+    /// first instruction, `Leave` not immediately followed by `Ret`, a
+    /// trailing `Call`, or a branch back to the prologue).
+    IrregularShape,
+    /// The replacement policy has no exact age abstraction here (only LRU
+    /// does; direct-mapped caches are LRU regardless of the label).
+    Policy,
+    /// The cache configuration fails [`CacheConfig::validate`].
+    Config,
+    /// The must/may fixpoint exhausted its budget.
+    Budget,
+}
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Unsupported::Recursion => "recursive call graph",
+            Unsupported::TooManyContexts => "too many call contexts",
+            Unsupported::IrregularShape => "irregular function shape",
+            Unsupported::Policy => "non-LRU replacement policy",
+            Unsupported::Config => "invalid cache configuration",
+            Unsupported::Budget => "analysis budget exhausted",
+        };
+        write!(f, "static cache analysis unsupported: {s}")
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+impl From<SolveError> for Unsupported {
+    fn from(_: SolveError) -> Self {
+        Unsupported::Budget
+    }
+}
+
+/// Constant-propagation value for one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    NonConst,
+    Const(i64),
+    /// Frame-pointer-relative address within the current function.
+    FpRel(i64),
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal) -> AbsVal {
+        if self == other {
+            self
+        } else {
+            AbsVal::NonConst
+        }
+    }
+}
+
+/// A basic block: instruction range `[start, end)` within one function.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    start: usize,
+    end: usize,
+}
+
+#[derive(Debug, Clone)]
+struct FuncInfo {
+    blocks: Vec<Block>,
+    /// Instruction index → block index (valid at block starts).
+    block_at: HashMap<usize, usize>,
+    /// Per-block register state on entry (value-analysis fixpoint).
+    reg_in: Vec<Vec<AbsVal>>,
+    /// `sp - fp` inside the body (between `Enter` and `Leave`).
+    sp_minus_fp: i64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CtxInfo {
+    parent: CtxId,
+    func: usize,
+    /// Concrete frame-pointer value in this context.
+    fp: i64,
+}
+
+const NO_PARENT: CtxId = CtxId::MAX;
+
+/// One reference issued by one instruction (before context resolution).
+#[derive(Debug, Clone, Copy)]
+struct RawRef {
+    is_write: bool,
+    addr: AbsVal,
+    tag: MemTag,
+}
+
+/// The geometry-independent program model: CFGs, value analysis, and the
+/// context tree. Build once per `(program, mem_words)`, then call
+/// [`classify`](ClassifyBase::classify) per cache configuration.
+#[derive(Debug, Clone)]
+pub struct ClassifyBase {
+    program: MachineProgram,
+    funcs: Vec<FuncInfo>,
+    ctxs: Vec<CtxInfo>,
+    child: HashMap<(CtxId, usize), CtxId>,
+    /// Global pc → (function, local pc).
+    pc_index: HashMap<i64, (usize, usize)>,
+    /// Supergraph node base index per context.
+    ctx_base: Vec<usize>,
+}
+
+/// One static reference site's verdict under one cache configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteVerdict {
+    /// Resolved word address, or `None` when statically unknown.
+    pub resolved: Option<i64>,
+    /// Is the access a hit, on every / no / some execution of the site?
+    pub hit: Tri,
+    /// Is the line dirty just before the access?
+    pub dirty_before: Tri,
+    /// A fill at this point provably evicts no dirty line.
+    pub wb_free: bool,
+    /// Effective operation after honor flags.
+    pub kind: AbsKind,
+    /// Whether the reference is a store.
+    pub is_write: bool,
+    /// The instruction's raw tag (for reports and event checking).
+    pub tag: MemTag,
+}
+
+/// A solved classification for one cache configuration.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    config: CacheConfig,
+    /// Verdicts keyed by `(context, global pc, ref index within the
+    /// instruction)`. Sites in supergraph-unreachable nodes are absent.
+    verdicts: HashMap<(CtxId, i64, u8), SiteVerdict>,
+}
+
+impl Classification {
+    /// The configuration this classification was solved for.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// All site verdicts, keyed by `(context, global pc, sub-index)`.
+    pub fn verdicts(&self) -> &HashMap<(CtxId, i64, u8), SiteVerdict> {
+        &self.verdicts
+    }
+
+    /// The verdict for one site.
+    pub fn verdict(&self, ctx: CtxId, pc: i64, sub: u8) -> Option<&SiteVerdict> {
+        self.verdicts.get(&(ctx, pc, sub))
+    }
+}
+
+/// Dynamic coverage of a classification over one profiled run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Data references issued by the run.
+    pub total_refs: u64,
+    /// References at sites decisive enough to derive counters from.
+    pub classified_refs: u64,
+    /// Executed static sites.
+    pub total_sites: u64,
+    /// Executed static sites with decisive verdicts.
+    pub classified_sites: u64,
+}
+
+impl Coverage {
+    /// Fraction of dynamic references covered by decisive verdicts.
+    pub fn ref_fraction(&self) -> f64 {
+        if self.total_refs == 0 {
+            1.0
+        } else {
+            self.classified_refs as f64 / self.total_refs as f64
+        }
+    }
+}
+
+impl ClassifyBase {
+    /// Builds the program model. `mem_words` must match the VM
+    /// configuration the profile was (or will be) recorded with — the
+    /// stack grows down from `mem_words`, so frame addresses depend on it.
+    ///
+    /// # Errors
+    ///
+    /// [`Unsupported`] when the program is outside the model (recursion,
+    /// context explosion, irregular code shape).
+    pub fn new(program: &MachineProgram, mem_words: usize) -> Result<ClassifyBase, Unsupported> {
+        let mut funcs = Vec::with_capacity(program.funcs.len());
+        for f in &program.funcs {
+            funcs.push(build_func(f, program.num_regs)?);
+        }
+        // Context tree by BFS over call chains; recursion = a function
+        // already on its own chain.
+        let main = program.main;
+        let root_fp = mem_words as i64 - 8 - program.funcs[main].nargs as i64;
+        let mut ctxs = vec![CtxInfo {
+            parent: NO_PARENT,
+            func: main,
+            fp: root_fp,
+        }];
+        let mut child: HashMap<(CtxId, usize), CtxId> = HashMap::new();
+        let mut frontier = vec![0u32];
+        while let Some(ctx) = frontier.pop() {
+            let func = ctxs[ctx as usize].func;
+            for callee in callees_of(&program.funcs[func]) {
+                // Walk the chain to detect recursion.
+                let mut cur = ctx;
+                loop {
+                    if ctxs[cur as usize].func == callee {
+                        return Err(Unsupported::Recursion);
+                    }
+                    let p = ctxs[cur as usize].parent;
+                    if p == NO_PARENT {
+                        break;
+                    }
+                    cur = p;
+                }
+                if child.contains_key(&(ctx, callee)) {
+                    continue;
+                }
+                if ctxs.len() >= MAX_ANALYSIS_CONTEXTS {
+                    return Err(Unsupported::TooManyContexts);
+                }
+                let id = ctxs.len() as CtxId;
+                let caller = &ctxs[ctx as usize];
+                let body_sp = caller.fp + funcs[func].sp_minus_fp;
+                let fp = body_sp - program.funcs[callee].nargs as i64;
+                ctxs.push(CtxInfo {
+                    parent: ctx,
+                    func: callee,
+                    fp,
+                });
+                child.insert((ctx, callee), id);
+                frontier.push(id);
+            }
+        }
+        let mut pc_index = HashMap::new();
+        for (fi, f) in program.funcs.iter().enumerate() {
+            for pc in 0..f.code.len() {
+                pc_index.insert(f.code_base + pc as i64, (fi, pc));
+            }
+        }
+        let mut ctx_base = Vec::with_capacity(ctxs.len());
+        let mut next = 0usize;
+        for c in &ctxs {
+            ctx_base.push(next);
+            next += funcs[c.func].blocks.len();
+        }
+        Ok(ClassifyBase {
+            program: program.clone(),
+            funcs,
+            ctxs,
+            child,
+            pc_index,
+            ctx_base,
+        })
+    }
+
+    /// The program this model was built from.
+    pub fn program(&self) -> &MachineProgram {
+        &self.program
+    }
+
+    /// Number of call contexts (call chains) in the model.
+    pub fn num_contexts(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// The function executing in `ctx`.
+    pub fn ctx_func(&self, ctx: CtxId) -> usize {
+        self.ctxs[ctx as usize].func
+    }
+
+    /// The function chain of `ctx`, outermost (`main`) first.
+    pub fn ctx_chain(&self, ctx: CtxId) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = ctx;
+        loop {
+            let c = &self.ctxs[cur as usize];
+            out.push(c.func);
+            if c.parent == NO_PARENT {
+                break;
+            }
+            cur = c.parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Resolves a function chain (outermost first) to its context id.
+    pub fn ctx_of_chain(&self, chain: &[usize]) -> Option<CtxId> {
+        let (&first, rest) = chain.split_first()?;
+        if first != self.ctxs[0].func {
+            return None;
+        }
+        let mut cur = 0u32;
+        for &f in rest {
+            cur = *self.child.get(&(cur, f))?;
+        }
+        Some(cur)
+    }
+
+    /// How many data references the instruction at global `pc` issues per
+    /// execution (`Enter`/`Leave` issue up to two).
+    pub fn group_size(&self, pc: i64) -> Option<usize> {
+        let &(fi, lpc) = self.pc_index.get(&pc)?;
+        Some(match &self.program.funcs[fi].code[lpc] {
+            MInstr::Load { .. } | MInstr::Store { .. } => 1,
+            MInstr::Enter { save_ra, .. } => 1 + usize::from(*save_ra),
+            MInstr::Leave { save_ra, .. } => usize::from(*save_ra) + 1,
+            _ => 0,
+        })
+    }
+
+    /// The references issued by `(ctx, local pc)` given the register state
+    /// just before the instruction, with frame-relative addresses resolved
+    /// against the context's concrete FP.
+    fn raw_refs(&self, fi: usize, lpc: usize, regs: &[AbsVal]) -> Vec<RawRef> {
+        let f = &self.program.funcs[fi];
+        let info = &self.funcs[fi];
+        let addr_val = |addr: &MAddr| -> AbsVal {
+            match addr {
+                MAddr::Reg(r) => regs[*r as usize],
+                MAddr::FpOff(o) => AbsVal::FpRel(*o),
+                MAddr::SpOff(o) => AbsVal::FpRel(info.sp_minus_fp + o),
+                MAddr::Abs(a) => AbsVal::Const(*a),
+            }
+        };
+        match &f.code[lpc] {
+            MInstr::Load { addr, tag, .. } => vec![RawRef {
+                is_write: false,
+                addr: addr_val(addr),
+                tag: *tag,
+            }],
+            MInstr::Store { addr, tag, .. } => vec![RawRef {
+                is_write: true,
+                addr: addr_val(addr),
+                tag: *tag,
+            }],
+            MInstr::Enter { save_ra, tag, .. } => {
+                let mut v = vec![RawRef {
+                    is_write: true,
+                    addr: AbsVal::FpRel(-1),
+                    tag: *tag,
+                }];
+                if *save_ra {
+                    v.push(RawRef {
+                        is_write: true,
+                        addr: AbsVal::FpRel(-2),
+                        tag: *tag,
+                    });
+                }
+                v
+            }
+            MInstr::Leave { save_ra, tag, .. } => {
+                let mut v = Vec::new();
+                if *save_ra {
+                    v.push(RawRef {
+                        is_write: false,
+                        addr: AbsVal::FpRel(-2),
+                        tag: *tag,
+                    });
+                }
+                v.push(RawRef {
+                    is_write: false,
+                    addr: AbsVal::FpRel(-1),
+                    tag: *tag,
+                });
+                v
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Solves the must/may fixpoint for `config` and extracts per-site
+    /// verdicts.
+    ///
+    /// # Errors
+    ///
+    /// [`Unsupported::Policy`] for replacement policies without an exact
+    /// LRU age abstraction, [`Unsupported::Budget`] if the solver gives up.
+    pub fn classify(&self, config: &CacheConfig) -> Result<Classification, Unsupported> {
+        config.validate().map_err(|_| Unsupported::Config)?;
+        // Direct-mapped caches behave identically under every policy.
+        if config.policy != PolicyKind::Lru && config.associativity != 1 {
+            return Err(Unsupported::Policy);
+        }
+        let shape = CacheShape {
+            ways: config.associativity as u32,
+            num_sets: config.num_sets() as u32,
+        };
+        let geom = LineGeometry::new(config.line_words, config.num_sets());
+        // Build the supergraph: node (ctx, block) at ctx_base[ctx] + block.
+        let total: usize = self.ctx_base.last().map_or(0, |b| {
+            b + self.funcs[self.ctxs.last().unwrap().func].blocks.len()
+        });
+        let mut nodes: Vec<Vec<AbsRef>> = vec![Vec::new(); total];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); total];
+        // Sites per node, parallel to the node's AbsRef body.
+        let mut sites: Vec<NodeSites> = vec![Vec::new(); total];
+        for (cid, ctx) in self.ctxs.iter().enumerate() {
+            let cid = cid as CtxId;
+            let fi = ctx.func;
+            let f = &self.program.funcs[fi];
+            let info = &self.funcs[fi];
+            for (bi, block) in info.blocks.iter().enumerate() {
+                let node = self.node_of(cid, bi);
+                let mut regs = info.reg_in[bi].clone();
+                for lpc in block.start..block.end {
+                    for (sub, raw) in self.raw_refs(fi, lpc, &regs).into_iter().enumerate() {
+                        let resolved = match raw.addr {
+                            AbsVal::Const(a) => Some(a),
+                            AbsVal::FpRel(o) => Some(ctx.fp + o),
+                            AbsVal::NonConst => None,
+                        };
+                        let r = AbsRef {
+                            line: resolved.map(|a| geom.line_addr(a)),
+                            kind: abs_kind(raw.tag, raw.is_write, config),
+                        };
+                        let key = (cid, f.code_base + lpc as i64, sub as u8);
+                        nodes[node].push(r);
+                        sites[node].push((
+                            key,
+                            SiteSeed {
+                                resolved,
+                                is_write: raw.is_write,
+                                tag: raw.tag,
+                            },
+                        ));
+                    }
+                    step_val(&mut regs, &f.code[lpc], info.sp_minus_fp);
+                }
+                // Successors.
+                let last = &f.code[block.end - 1];
+                match last {
+                    MInstr::Jump { target } => {
+                        succs[node].push(self.node_of(cid, info.block_at[target]));
+                    }
+                    MInstr::BranchZero { target, .. } => {
+                        succs[node].push(self.node_of(cid, info.block_at[target]));
+                        succs[node].push(self.node_of(cid, info.block_at[&block.end]));
+                    }
+                    MInstr::Ret => {
+                        // Return edges: to every call site of this function
+                        // in the parent context (added below from the call
+                        // side's perspective is harder; do it here).
+                        if ctx.parent != NO_PARENT {
+                            let p = ctx.parent;
+                            let pf = self.ctxs[p as usize].func;
+                            let pinfo = &self.funcs[pf];
+                            let pcode = &self.program.funcs[pf].code;
+                            for pb in &pinfo.blocks {
+                                if let MInstr::Call { callee } = &pcode[pb.end - 1] {
+                                    if *callee == fi {
+                                        succs[node].push(self.node_of(p, pinfo.block_at[&pb.end]));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    MInstr::Call { callee } => {
+                        let chld = self.child[&(cid, *callee)];
+                        succs[node].push(self.node_of(chld, 0));
+                    }
+                    _ => {
+                        succs[node].push(self.node_of(cid, info.block_at[&block.end]));
+                    }
+                }
+            }
+        }
+        let prog = CacheProgram {
+            shape,
+            nodes,
+            succs,
+            entry: self.node_of(0, 0),
+        };
+        let solution = solve(&prog)?;
+        // Replay each reachable node's transfers, recording verdicts.
+        let mut verdicts = HashMap::new();
+        for (node, body) in prog.nodes.iter().enumerate() {
+            let Some(state) = &solution.node_in[node] else {
+                continue;
+            };
+            let mut st = state.clone();
+            for (r, (key, seed)) in body.iter().zip(&sites[node]) {
+                let (hit, dirty_before, wb_free) = match r.line {
+                    Some(line) => (
+                        st.hit(line),
+                        st.dirty(line),
+                        st.fill_writeback_free(line, &shape),
+                    ),
+                    None => (Tri::Sometimes, Tri::Sometimes, false),
+                };
+                verdicts.insert(
+                    *key,
+                    SiteVerdict {
+                        resolved: seed.resolved,
+                        hit,
+                        dirty_before,
+                        wb_free,
+                        kind: r.kind,
+                        is_write: seed.is_write,
+                        tag: seed.tag,
+                    },
+                );
+                st.transfer(r, &shape);
+            }
+        }
+        Ok(Classification {
+            config: *config,
+            verdicts,
+        })
+    }
+
+    #[inline]
+    fn node_of(&self, ctx: CtxId, block: usize) -> usize {
+        self.ctx_base[ctx as usize] + block
+    }
+
+    /// Derives the exact [`CacheStats`] a [`CacheSim`] replay of the
+    /// profiled run would produce, or `None` if any executed site's
+    /// verdict is not decisive enough (the caller then replays).
+    pub fn derive_stats(
+        &self,
+        class: &Classification,
+        profile: &SiteProfile,
+    ) -> Option<CacheStats> {
+        let mut stats = CacheStats::default();
+        self.accumulate(class, profile, Some(&mut stats), None)?;
+        Some(stats)
+    }
+
+    /// Coverage of `class` over the profiled run: how many dynamic
+    /// references (and static sites) have decisive verdicts. `None` when
+    /// the profile overflowed or cannot be mapped onto the model.
+    pub fn coverage(&self, class: &Classification, profile: &SiteProfile) -> Option<Coverage> {
+        let mut cov = Coverage::default();
+        self.accumulate(class, profile, None, Some(&mut cov))?;
+        Some(cov)
+    }
+
+    /// Shared walk over the profile. With `stats`, fails (`None`) on the
+    /// first indecisive site; with `cov`, tallies coverage instead.
+    fn accumulate(
+        &self,
+        class: &Classification,
+        profile: &SiteProfile,
+        mut stats: Option<&mut CacheStats>,
+        mut cov: Option<&mut Coverage>,
+    ) -> Option<()> {
+        if profile.overflowed() {
+            return None;
+        }
+        let mut ctx_map: HashMap<CtxId, CtxId> = HashMap::new();
+        for (&(pctx, pc), &count) in profile.counts() {
+            let ctx = match ctx_map.get(&pctx) {
+                Some(&c) => c,
+                None => {
+                    let c = self.ctx_of_chain(&profile.chain(pctx))?;
+                    ctx_map.insert(pctx, c);
+                    c
+                }
+            };
+            let gs = self.group_size(pc)? as u64;
+            if gs == 0 || count % gs != 0 {
+                return None;
+            }
+            let execs = count / gs;
+            for sub in 0..gs {
+                let decisive = match class.verdict(ctx, pc, sub as u8) {
+                    Some(v) => {
+                        let mut scratch = CacheStats::default();
+                        let target = match stats.as_deref_mut() {
+                            Some(s) => s,
+                            None => &mut scratch,
+                        };
+                        site_delta(target, v, execs, &class.config).is_some()
+                    }
+                    None => false,
+                };
+                match (&mut cov, decisive) {
+                    (Some(c), d) => {
+                        c.total_refs += execs;
+                        c.total_sites += 1;
+                        if d {
+                            c.classified_refs += execs;
+                            c.classified_sites += 1;
+                        }
+                    }
+                    (None, false) => return None,
+                    (None, true) => {}
+                }
+            }
+        }
+        Some(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SiteSeed {
+    resolved: Option<i64>,
+    is_write: bool,
+    tag: MemTag,
+}
+
+/// One supergraph node's reference sites: `(site key, seed)` pairs kept
+/// parallel to the node's [`AbsRef`] body.
+type NodeSites = Vec<((CtxId, i64, u8), SiteSeed)>;
+
+/// Maps a tagged reference to its effective abstract operation, mirroring
+/// [`CacheSim::access`]'s dispatch exactly.
+fn abs_kind(tag: MemTag, is_write: bool, config: &CacheConfig) -> AbsKind {
+    let flavour = if config.honor_tags {
+        tag.flavour
+    } else {
+        Flavour::Plain
+    };
+    let last_ref = config.honor_tags && config.honor_last_ref && tag.last_ref;
+    match (flavour, is_write) {
+        (Flavour::UmAmLoad, false) => {
+            if config.honor_last_ref {
+                AbsKind::TakeInvalidate
+            } else {
+                AbsKind::TakeKeep
+            }
+        }
+        (Flavour::UmAmStore, true) => AbsKind::BypassWrite,
+        (_, false) => AbsKind::Read { last_ref },
+        (_, true) => match config.write_policy {
+            WritePolicy::WriteBackAllocate => AbsKind::WriteAllocate { last_ref },
+            WritePolicy::WriteThroughNoAllocate => AbsKind::WriteThrough { last_ref },
+        },
+    }
+}
+
+/// Applies one site's counter delta for `n` executions, mirroring
+/// [`CacheSim::access`] branch for branch. `None` = the verdict is not
+/// decisive enough to price this site exactly.
+fn site_delta(stats: &mut CacheStats, v: &SiteVerdict, n: u64, config: &CacheConfig) -> Option<()> {
+    let lw = config.line_words as u64;
+    if v.is_write {
+        stats.writes += n;
+    } else {
+        stats.reads += n;
+    }
+    // Shared accounting for an invalidation (take, last-ref, defensive).
+    let dirty = v.dirty_before;
+    let invalidate = |stats: &mut CacheStats| -> Option<()> {
+        stats.invalidates += n;
+        match dirty {
+            Tri::Always => {
+                stats.dead_line_discards += n;
+                Some(())
+            }
+            Tri::Never => Some(()),
+            Tri::Sometimes => None,
+        }
+    };
+    let bypass_read = |stats: &mut CacheStats| {
+        stats.bypass_reads += n;
+        stats.words_from_memory += n;
+        stats.bypass_words_from_memory += n;
+    };
+    let bypass_write = |stats: &mut CacheStats| {
+        stats.bypass_writes += n;
+        stats.words_to_memory += n;
+        stats.bypass_words_to_memory += n;
+    };
+    match v.kind {
+        AbsKind::TakeInvalidate => match v.hit {
+            Tri::Always => {
+                stats.read_hits += n;
+                invalidate(stats)
+            }
+            Tri::Never => {
+                bypass_read(stats);
+                Some(())
+            }
+            Tri::Sometimes => None,
+        },
+        AbsKind::TakeKeep => match v.hit {
+            Tri::Always => {
+                stats.read_hits += n;
+                Some(())
+            }
+            Tri::Never => {
+                bypass_read(stats);
+                Some(())
+            }
+            Tri::Sometimes => None,
+        },
+        AbsKind::BypassWrite => {
+            bypass_write(stats);
+            match v.hit {
+                Tri::Always => invalidate(stats),
+                Tri::Never => Some(()),
+                Tri::Sometimes => None,
+            }
+        }
+        AbsKind::Read { last_ref } => match v.hit {
+            Tri::Always => {
+                stats.read_hits += n;
+                if last_ref {
+                    invalidate(stats)
+                } else {
+                    Some(())
+                }
+            }
+            Tri::Never if last_ref => {
+                bypass_read(stats);
+                Some(())
+            }
+            Tri::Never => {
+                stats.read_misses += n;
+                stats.fills += n;
+                stats.words_from_memory += lw * n;
+                // The fill must provably evict no dirty victim, or the
+                // write-back count is not derivable.
+                if v.wb_free {
+                    Some(())
+                } else {
+                    None
+                }
+            }
+            Tri::Sometimes => None,
+        },
+        AbsKind::WriteAllocate { last_ref } => match v.hit {
+            Tri::Always => {
+                stats.write_hits += n;
+                if last_ref {
+                    stats.dead_store_drops += n;
+                    invalidate(stats)
+                } else {
+                    Some(())
+                }
+            }
+            Tri::Never if last_ref => {
+                bypass_write(stats);
+                Some(())
+            }
+            Tri::Never => {
+                stats.write_misses += n;
+                stats.fills += n;
+                // Full-line writes fetch nothing; partial-line writes
+                // fetch the line.
+                if config.line_words > 1 {
+                    stats.words_from_memory += lw * n;
+                }
+                if v.wb_free {
+                    Some(())
+                } else {
+                    None
+                }
+            }
+            Tri::Sometimes => None,
+        },
+        AbsKind::WriteThrough { last_ref } => {
+            stats.words_to_memory += n;
+            match v.hit {
+                Tri::Always => {
+                    stats.write_hits += n;
+                    if last_ref {
+                        invalidate(stats)
+                    } else {
+                        Some(())
+                    }
+                }
+                Tri::Never => {
+                    stats.write_misses += n;
+                    Some(())
+                }
+                Tri::Sometimes => None,
+            }
+        }
+    }
+}
+
+/// Per-function CFG + value analysis, with the codegen-shape checks.
+fn build_func(f: &ucm_machine::MFunc, num_regs: usize) -> Result<FuncInfo, Unsupported> {
+    let code = &f.code;
+    let n = code.len();
+    if n == 0 {
+        return Err(Unsupported::IrregularShape);
+    }
+    // Shape contract: Enter exactly at 0, Leave immediately before Ret,
+    // no fall-through off the end, no branch back into the prologue.
+    match &code[0] {
+        MInstr::Enter { frame_words, .. } if *frame_words == f.frame_words => {}
+        _ => return Err(Unsupported::IrregularShape),
+    }
+    if !matches!(code[n - 1], MInstr::Ret | MInstr::Jump { .. }) {
+        return Err(Unsupported::IrregularShape);
+    }
+    for (i, instr) in code.iter().enumerate() {
+        match instr {
+            MInstr::Enter { .. } if i != 0 => return Err(Unsupported::IrregularShape),
+            MInstr::Leave { .. } if !matches!(code.get(i + 1), Some(MInstr::Ret)) => {
+                return Err(Unsupported::IrregularShape)
+            }
+            MInstr::Ret if !matches!(code.get(i.wrapping_sub(1)), Some(MInstr::Leave { .. })) => {
+                return Err(Unsupported::IrregularShape)
+            }
+            MInstr::Jump { target } | MInstr::BranchZero { target, .. }
+                if *target == 0 || *target >= n =>
+            {
+                return Err(Unsupported::IrregularShape)
+            }
+            _ => {}
+        }
+    }
+    // Leaders: entry, branch targets, instructions after a terminator.
+    let mut leader = vec![false; n];
+    leader[0] = true;
+    for (i, instr) in code.iter().enumerate() {
+        match instr {
+            MInstr::Jump { target } => {
+                leader[*target] = true;
+                if i + 1 < n {
+                    leader[i + 1] = true;
+                }
+            }
+            MInstr::BranchZero { target, .. } => {
+                leader[*target] = true;
+                leader[i + 1] = true;
+            }
+            MInstr::Ret if i + 1 < n => {
+                leader[i + 1] = true;
+            }
+            MInstr::Call { .. } => {
+                leader[i + 1] = true;
+            }
+            _ => {}
+        }
+    }
+    let mut blocks = Vec::new();
+    let mut block_at = HashMap::new();
+    let mut start = 0usize;
+    for (i, &lead) in leader.iter().enumerate().skip(1) {
+        if lead {
+            block_at.insert(start, blocks.len());
+            blocks.push(Block { start, end: i });
+            start = i;
+        }
+    }
+    block_at.insert(start, blocks.len());
+    blocks.push(Block { start, end: n });
+    let sp_minus_fp = -2 - f.frame_words as i64;
+    // Value analysis to a fixpoint over blocks.
+    let mut reg_in: Vec<Vec<AbsVal>> = vec![vec![AbsVal::NonConst; num_regs]; blocks.len()];
+    let mut work: Vec<usize> = vec![0];
+    let mut queued = vec![false; blocks.len()];
+    let mut reached = vec![false; blocks.len()];
+    queued[0] = true;
+    reached[0] = true;
+    while let Some(bi) = work.pop() {
+        queued[bi] = false;
+        let mut regs = reg_in[bi].clone();
+        let b = blocks[bi];
+        for instr in &code[b.start..b.end] {
+            step_val(&mut regs, instr, sp_minus_fp);
+        }
+        let push = |succ: usize,
+                    reg_in: &mut Vec<Vec<AbsVal>>,
+                    work: &mut Vec<usize>,
+                    queued: &mut Vec<bool>,
+                    reached: &mut Vec<bool>,
+                    regs: &[AbsVal]| {
+            let changed = if !reached[succ] {
+                reached[succ] = true;
+                reg_in[succ] = regs.to_vec();
+                true
+            } else {
+                let mut ch = false;
+                for (cur, new) in reg_in[succ].iter_mut().zip(regs) {
+                    let j = cur.join(*new);
+                    if j != *cur {
+                        *cur = j;
+                        ch = true;
+                    }
+                }
+                ch
+            };
+            if changed && !queued[succ] {
+                queued[succ] = true;
+                work.push(succ);
+            }
+        };
+        match &code[b.end - 1] {
+            MInstr::Jump { target } => push(
+                block_at[target],
+                &mut reg_in,
+                &mut work,
+                &mut queued,
+                &mut reached,
+                &regs,
+            ),
+            MInstr::BranchZero { target, .. } => {
+                push(
+                    block_at[target],
+                    &mut reg_in,
+                    &mut work,
+                    &mut queued,
+                    &mut reached,
+                    &regs,
+                );
+                push(
+                    block_at[&b.end],
+                    &mut reg_in,
+                    &mut work,
+                    &mut queued,
+                    &mut reached,
+                    &regs,
+                );
+            }
+            MInstr::Ret => {}
+            _ => push(
+                block_at[&b.end],
+                &mut reg_in,
+                &mut work,
+                &mut queued,
+                &mut reached,
+                &regs,
+            ),
+        }
+    }
+    Ok(FuncInfo {
+        blocks,
+        block_at,
+        reg_in,
+        sp_minus_fp,
+    })
+}
+
+/// One instruction's effect on the register value state.
+fn step_val(regs: &mut [AbsVal], instr: &MInstr, sp_minus_fp: i64) {
+    use ucm_ir::OpCode;
+    match instr {
+        MInstr::LoadImm { dst, value } => regs[*dst as usize] = AbsVal::Const(*value),
+        MInstr::Move { dst, src } => regs[*dst as usize] = regs[*src as usize],
+        MInstr::Op { op, dst, lhs, rhs } => {
+            let a = regs[*lhs as usize];
+            let b = match rhs {
+                MOperand::Reg(r) => regs[*r as usize],
+                MOperand::Imm(i) => AbsVal::Const(*i),
+            };
+            regs[*dst as usize] = match (a, op, b) {
+                (AbsVal::Const(x), _, AbsVal::Const(y)) => {
+                    op.eval(x, y).map_or(AbsVal::NonConst, AbsVal::Const)
+                }
+                (AbsVal::FpRel(x), OpCode::Add, AbsVal::Const(y))
+                | (AbsVal::Const(y), OpCode::Add, AbsVal::FpRel(x)) => {
+                    AbsVal::FpRel(x.wrapping_add(y))
+                }
+                (AbsVal::FpRel(x), OpCode::Sub, AbsVal::Const(y)) => {
+                    AbsVal::FpRel(x.wrapping_sub(y))
+                }
+                (AbsVal::FpRel(x), OpCode::Sub, AbsVal::FpRel(y)) => {
+                    AbsVal::Const(x.wrapping_sub(y))
+                }
+                _ => AbsVal::NonConst,
+            };
+        }
+        MInstr::Neg { dst, src } => {
+            regs[*dst as usize] = match regs[*src as usize] {
+                AbsVal::Const(x) => AbsVal::Const(x.wrapping_neg()),
+                _ => AbsVal::NonConst,
+            };
+        }
+        MInstr::Not { dst, src } => {
+            regs[*dst as usize] = match regs[*src as usize] {
+                AbsVal::Const(x) => AbsVal::Const(i64::from(x == 0)),
+                _ => AbsVal::NonConst,
+            };
+        }
+        MInstr::Lea { dst, addr } => {
+            regs[*dst as usize] = match addr {
+                MAddr::Reg(r) => regs[*r as usize],
+                MAddr::FpOff(o) => AbsVal::FpRel(*o),
+                MAddr::SpOff(o) => AbsVal::FpRel(sp_minus_fp + o),
+                MAddr::Abs(a) => AbsVal::Const(*a),
+            };
+        }
+        MInstr::Load { dst, .. } | MInstr::GetRv { dst } => {
+            regs[*dst as usize] = AbsVal::NonConst;
+        }
+        MInstr::Call { .. } => {
+            // Caller-save convention: every register is clobbered.
+            regs.fill(AbsVal::NonConst);
+        }
+        MInstr::Store { .. }
+        | MInstr::Enter { .. }
+        | MInstr::Leave { .. }
+        | MInstr::Ret
+        | MInstr::SetRv { .. }
+        | MInstr::Jump { .. }
+        | MInstr::BranchZero { .. }
+        | MInstr::Print { .. } => {}
+    }
+}
+
+fn callees_of(f: &ucm_machine::MFunc) -> Vec<usize> {
+    let mut v: Vec<usize> = f
+        .code
+        .iter()
+        .filter_map(|i| match i {
+            MInstr::Call { callee } => Some(*callee),
+            _ => None,
+        })
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Outcome of one [`cross_validate`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrossReport {
+    /// Whether the program was inside the analysis model at all. When
+    /// `false` (recursion, non-LRU policy, …) nothing was checked.
+    pub supported: bool,
+    /// Data references the run issued.
+    pub refs: u64,
+    /// References checked against a verdict.
+    pub checked: u64,
+    /// References whose verdict was always-hit.
+    pub always_hits: u64,
+    /// References whose verdict was never-hit.
+    pub never_hits: u64,
+}
+
+struct CrossChecker<'a> {
+    base: &'a ClassifyBase,
+    class: &'a Classification,
+    sim: CacheSim,
+    stack: Vec<CtxId>,
+    last: Option<(CtxId, i64)>,
+    sub: u64,
+    report: CrossReport,
+    error: Option<String>,
+}
+
+impl CrossChecker<'_> {
+    fn fail(&mut self, msg: String) {
+        if self.error.is_none() {
+            self.error = Some(msg);
+        }
+    }
+}
+
+impl TraceSink for CrossChecker<'_> {
+    fn data_ref(&mut self, _ev: MemEvent) {}
+
+    fn data_ref_checked(&mut self, ev: MemEvent, _value: i64, pc: i64) {
+        self.report.refs += 1;
+        let ctx = *self.stack.last().expect("context stack never empties");
+        let Some(gs) = self.base.group_size(pc) else {
+            self.fail(format!("pc {pc:#x} not a reference instruction"));
+            return;
+        };
+        let sub = match self.last {
+            Some(l) if l == (ctx, pc) => (self.sub + 1) % gs as u64,
+            _ => 0,
+        };
+        self.last = Some((ctx, pc));
+        self.sub = sub;
+        let Some(v) = self.class.verdict(ctx, pc, sub as u8) else {
+            self.fail(format!(
+                "executed site (ctx {ctx}, pc {pc:#x}, sub {sub}) missing from analysis"
+            ));
+            return;
+        };
+        self.report.checked += 1;
+        if v.tag != ev.tag {
+            self.fail(format!("tag mismatch at pc {pc:#x}"));
+        }
+        if let Some(a) = v.resolved {
+            if a != ev.addr {
+                self.fail(format!(
+                    "resolved address {a:#x} != actual {:#x} at pc {pc:#x}",
+                    ev.addr
+                ));
+            }
+        }
+        let cached = self.sim.contains(ev.addr);
+        match v.hit {
+            Tri::Always => {
+                self.report.always_hits += 1;
+                if !cached {
+                    self.fail(format!(
+                        "must-hit at pc {pc:#x} (ctx {ctx}) but line not cached"
+                    ));
+                }
+            }
+            Tri::Never => {
+                self.report.never_hits += 1;
+                if cached {
+                    self.fail(format!(
+                        "never-hit at pc {pc:#x} (ctx {ctx}) but line cached"
+                    ));
+                }
+            }
+            Tri::Sometimes => {}
+        }
+        let dirty = self.sim.is_dirty(ev.addr);
+        match v.dirty_before {
+            Tri::Always if !dirty => {
+                self.fail(format!("must-dirty at pc {pc:#x} but line clean"));
+            }
+            Tri::Never if dirty => {
+                self.fail(format!("never-dirty at pc {pc:#x} but line dirty"));
+            }
+            _ => {}
+        }
+        let xact = self.sim.access(ev);
+        if v.wb_free {
+            if let MemXact::Miss {
+                writeback: Some(_), ..
+            } = xact
+            {
+                self.fail(format!(
+                    "write-back-free fill at pc {pc:#x} evicted a dirty line"
+                ));
+            }
+        }
+    }
+
+    fn call(&mut self, callee: usize) {
+        let cur = *self.stack.last().expect("context stack never empties");
+        match self.base.child.get(&(cur, callee)) {
+            Some(&c) => self.stack.push(c),
+            None => {
+                self.fail(format!("call to {callee} outside the context tree"));
+                self.stack.push(cur);
+            }
+        }
+    }
+
+    fn ret(&mut self) {
+        self.stack.pop();
+    }
+}
+
+/// Runs `program` once, checking every analysis verdict against the
+/// concrete [`CacheSim`] as the run unfolds: must-hit sites must hit,
+/// never-hit sites must miss, dirty/write-back proofs must hold.
+///
+/// Programs outside the analysis model return `supported: false` with
+/// nothing checked.
+///
+/// # Errors
+///
+/// The first soundness violation (an analysis bug), or a VM failure.
+pub fn cross_validate(
+    program: &MachineProgram,
+    config: &CacheConfig,
+    vm: &VmConfig,
+) -> Result<CrossReport, String> {
+    let base = match ClassifyBase::new(program, vm.mem_words) {
+        Ok(b) => b,
+        Err(_) => return Ok(CrossReport::default()),
+    };
+    let class = match base.classify(config) {
+        Ok(c) => c,
+        Err(_) => return Ok(CrossReport::default()),
+    };
+    let mut checker = CrossChecker {
+        base: &base,
+        class: &class,
+        sim: CacheSim::new(*config),
+        stack: vec![0],
+        last: None,
+        sub: 0,
+        report: CrossReport {
+            supported: true,
+            ..CrossReport::default()
+        },
+        error: None,
+    };
+    run(program, &mut checker, vm).map_err(|e| e.to_string())?;
+    match checker.error {
+        Some(e) => Err(e),
+        None => Ok(checker.report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucm_machine::{MFunc, PReg};
+
+    const UTAG: MemTag = MemTag {
+        flavour: Flavour::Plain,
+        last_ref: false,
+        unambiguous: true,
+    };
+
+    fn tag(flavour: Flavour, last_ref: bool) -> MemTag {
+        MemTag {
+            flavour,
+            last_ref,
+            unambiguous: flavour.bypass_bit(),
+        }
+    }
+
+    fn func(
+        name: &str,
+        nargs: usize,
+        frame_words: usize,
+        is_leaf: bool,
+        body: Vec<MInstr>,
+    ) -> MFunc {
+        let mut code = vec![MInstr::Enter {
+            nargs,
+            frame_words,
+            save_ra: !is_leaf,
+            tag: UTAG,
+        }];
+        code.extend(body);
+        // Frame teardown reads are last references to the dying frame, as
+        // the unified tag synthesis marks them — that is what makes call
+        // traffic repeatable (and therefore decisive) under honored tags.
+        code.push(MInstr::Leave {
+            nargs,
+            save_ra: !is_leaf,
+            tag: MemTag {
+                flavour: Flavour::Plain,
+                last_ref: true,
+                unambiguous: true,
+            },
+        });
+        code.push(MInstr::Ret);
+        MFunc {
+            name: name.to_string(),
+            code,
+            nargs,
+            frame_words,
+            is_leaf,
+            code_base: 0,
+        }
+    }
+
+    fn program(mut funcs: Vec<MFunc>, globals: usize) -> MachineProgram {
+        let mut base = 0i64;
+        for f in &mut funcs {
+            f.code_base = base;
+            base += f.code.len() as i64;
+        }
+        MachineProgram {
+            funcs,
+            main: 0,
+            num_regs: 8,
+            globals_base: 0x1000,
+            globals_init: vec![0; globals],
+        }
+    }
+
+    fn load(dst: PReg, addr: i64, flavour: Flavour, last_ref: bool) -> MInstr {
+        MInstr::Load {
+            dst,
+            addr: MAddr::Abs(addr),
+            tag: tag(flavour, last_ref),
+        }
+    }
+
+    fn store(src: PReg, addr: i64, flavour: Flavour, last_ref: bool) -> MInstr {
+        MInstr::Store {
+            src,
+            addr: MAddr::Abs(addr),
+            tag: tag(flavour, last_ref),
+        }
+    }
+
+    fn small_lru() -> CacheConfig {
+        CacheConfig {
+            size_words: 8,
+            line_words: 1,
+            associativity: 4,
+            honor_tags: true,
+            honor_last_ref: true,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Cross-validates verdicts against a live simulator run, and — when
+    /// every executed site is decisive — asserts the derived stats match
+    /// the replayed stats exactly. Returns whether derivation succeeded.
+    fn check_program(p: &MachineProgram, config: &CacheConfig) -> bool {
+        let vm = VmConfig {
+            mem_words: 1 << 16,
+            ..VmConfig::default()
+        };
+        let mut sim = CacheSim::new(*config);
+        let mut prof = SiteProfile::new(p.main);
+        {
+            let mut tee = ucm_machine::TeeSink {
+                a: &mut sim,
+                b: &mut prof,
+            };
+            run(p, &mut tee, &vm).unwrap();
+        }
+        let base = ClassifyBase::new(p, vm.mem_words).unwrap();
+        let class = base.classify(config).unwrap();
+        let report = cross_validate(p, config, &vm).unwrap();
+        assert!(report.supported);
+        assert_eq!(report.refs, report.checked);
+        match base.derive_stats(&class, &prof) {
+            Some(derived) => {
+                assert_eq!(&derived, sim.stats(), "derived != replayed");
+                true
+            }
+            None => {
+                if std::env::var_os("CLASSIFY_DEBUG").is_some() {
+                    let mut keys: Vec<_> = class.verdicts().keys().collect();
+                    keys.sort();
+                    for k in keys {
+                        eprintln!("{:?} -> {:?}", k, class.verdicts()[k]);
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn assert_derivation_exact(p: &MachineProgram, config: &CacheConfig) {
+        assert!(check_program(p, config), "expected every site decisive");
+    }
+
+    #[test]
+    fn straight_line_globals_fully_classified() {
+        let g = 0x1000;
+        let p = program(
+            vec![func(
+                "main",
+                0,
+                0,
+                true,
+                vec![
+                    MInstr::LoadImm { dst: 0, value: 7 },
+                    store(0, g, Flavour::AmSpStore, false),
+                    load(1, g, Flavour::AmLoad, false),
+                    load(2, g + 1, Flavour::AmLoad, false),
+                    load(3, g, Flavour::AmLoad, true),
+                ],
+            )],
+            4,
+        );
+        let config = small_lru();
+        assert_derivation_exact(&p, &config);
+        let base = ClassifyBase::new(&p, 1 << 16).unwrap();
+        let class = base.classify(&config).unwrap();
+        // Store misses (fill), first load hits, last-ref load hits and
+        // invalidates a dirty line.
+        let cb = 0i64;
+        let v_store = class.verdict(0, cb + 2, 0).unwrap();
+        assert_eq!(v_store.hit, Tri::Never);
+        assert!(v_store.wb_free);
+        let v_load = class.verdict(0, cb + 3, 0).unwrap();
+        assert_eq!(v_load.hit, Tri::Always);
+        let v_last = class.verdict(0, cb + 5, 0).unwrap();
+        assert_eq!(v_last.hit, Tri::Always);
+        assert_eq!(v_last.dirty_before, Tri::Always);
+    }
+
+    #[test]
+    fn spill_reload_cycle_classifies_under_unified_tags() {
+        // fp-relative spill slot: store AmSpStore, reload UmAmLoad.
+        let p = program(
+            vec![func(
+                "main",
+                0,
+                2,
+                true,
+                vec![
+                    MInstr::LoadImm { dst: 0, value: 3 },
+                    MInstr::Store {
+                        src: 0,
+                        addr: MAddr::FpOff(-3),
+                        tag: tag(Flavour::AmSpStore, false),
+                    },
+                    MInstr::Load {
+                        dst: 1,
+                        addr: MAddr::FpOff(-3),
+                        tag: tag(Flavour::UmAmLoad, true),
+                    },
+                ],
+            )],
+            0,
+        );
+        let config = small_lru();
+        assert_derivation_exact(&p, &config);
+        let base = ClassifyBase::new(&p, 1 << 16).unwrap();
+        let class = base.classify(&config).unwrap();
+        let v_spill = class.verdict(0, 2, 0).unwrap();
+        assert_eq!(v_spill.hit, Tri::Never);
+        let v_reload = class.verdict(0, 3, 0).unwrap();
+        assert_eq!(v_reload.hit, Tri::Always, "reload takes the spilled line");
+        assert_eq!(v_reload.dirty_before, Tri::Always);
+        // Conventional mode reuses the same model with different honor
+        // flags: the reload is then a plain always-hit too, but nothing
+        // invalidates.
+        assert_derivation_exact(&p, &config.conventional());
+    }
+
+    #[test]
+    fn calls_resolve_frame_addresses_per_context() {
+        // main calls helper twice; helper touches its own frame and an
+        // argument slot.
+        let helper = func(
+            "helper",
+            1,
+            1,
+            true,
+            vec![
+                // Take the argument (its last use) and spill/reload the
+                // slot — the fully-invalidating idiom, so every call
+                // repeats the same cache behaviour.
+                MInstr::Load {
+                    dst: 0,
+                    addr: MAddr::FpOff(0),
+                    tag: tag(Flavour::UmAmLoad, true),
+                },
+                MInstr::Store {
+                    src: 0,
+                    addr: MAddr::FpOff(-3),
+                    tag: tag(Flavour::AmSpStore, false),
+                },
+                MInstr::Load {
+                    dst: 1,
+                    addr: MAddr::FpOff(-3),
+                    tag: tag(Flavour::UmAmLoad, true),
+                },
+            ],
+        );
+        let main = func(
+            "main",
+            0,
+            1,
+            false,
+            vec![
+                MInstr::LoadImm { dst: 0, value: 9 },
+                MInstr::Store {
+                    src: 0,
+                    addr: MAddr::SpOff(-1),
+                    tag: tag(Flavour::AmSpStore, false),
+                },
+                MInstr::Call { callee: 1 },
+                MInstr::Store {
+                    src: 0,
+                    addr: MAddr::SpOff(-1),
+                    tag: tag(Flavour::AmSpStore, false),
+                },
+                MInstr::Call { callee: 1 },
+            ],
+        );
+        let p = program(vec![main, helper], 0);
+        let config = small_lru();
+        assert_derivation_exact(&p, &config);
+        let base = ClassifyBase::new(&p, 1 << 16).unwrap();
+        assert_eq!(base.num_contexts(), 2);
+        assert_eq!(base.ctx_chain(1), vec![0, 1]);
+        // helper's FP: main fp = 2^16 - 8, body sp = fp - 2 - 1,
+        // helper fp = body sp - 1.
+        let main_fp = (1 << 16) - 8;
+        let class = base.classify(&config).unwrap();
+        let helper_code_base = p.funcs[1].code_base;
+        let v_arg = class.verdict(1, helper_code_base + 1, 0).unwrap();
+        assert_eq!(v_arg.resolved, Some(main_fp - 3 - 1));
+    }
+
+    #[test]
+    fn register_addresses_resolve_through_lea() {
+        let g = 0x1000;
+        let p = program(
+            vec![func(
+                "main",
+                0,
+                0,
+                true,
+                vec![
+                    MInstr::Lea {
+                        dst: 0,
+                        addr: MAddr::Abs(g),
+                    },
+                    MInstr::Op {
+                        op: ucm_ir::OpCode::Add,
+                        dst: 0,
+                        lhs: 0,
+                        rhs: MOperand::Imm(2),
+                    },
+                    MInstr::Load {
+                        dst: 1,
+                        addr: MAddr::Reg(0),
+                        tag: tag(Flavour::AmLoad, false),
+                    },
+                ],
+            )],
+            4,
+        );
+        let config = small_lru();
+        assert_derivation_exact(&p, &config);
+        let base = ClassifyBase::new(&p, 1 << 16).unwrap();
+        let class = base.classify(&config).unwrap();
+        let v = class.verdict(0, 3, 0).unwrap();
+        assert_eq!(v.resolved, Some(g + 2));
+        assert_eq!(v.hit, Tri::Never);
+    }
+
+    #[test]
+    fn unknown_addresses_stay_sound_but_indecisive() {
+        // Address loaded from memory: statically unknown.
+        let g = 0x1000;
+        let p = program(
+            vec![func(
+                "main",
+                0,
+                0,
+                true,
+                vec![
+                    MInstr::LoadImm {
+                        dst: 0,
+                        value: g + 1,
+                    },
+                    store(0, g, Flavour::AmSpStore, false),
+                    load(1, g, Flavour::AmLoad, false),
+                    MInstr::Load {
+                        dst: 2,
+                        addr: MAddr::Reg(1),
+                        tag: tag(Flavour::AmLoad, false),
+                    },
+                ],
+            )],
+            4,
+        );
+        let config = small_lru();
+        let vm = VmConfig {
+            mem_words: 1 << 16,
+            ..VmConfig::default()
+        };
+        let base = ClassifyBase::new(&p, vm.mem_words).unwrap();
+        let class = base.classify(&config).unwrap();
+        let v = class.verdict(0, 4, 0).unwrap();
+        assert_eq!(v.resolved, None);
+        assert_eq!(v.hit, Tri::Sometimes);
+        // Derivation declines; coverage reports the gap; soundness holds.
+        let mut prof = SiteProfile::new(p.main);
+        run(&p, &mut prof, &vm).unwrap();
+        assert!(base.derive_stats(&class, &prof).is_none());
+        let cov = base.coverage(&class, &prof).unwrap();
+        assert!(cov.classified_refs < cov.total_refs);
+        assert!(cov.classified_sites + 1 == cov.total_sites);
+        cross_validate(&p, &config, &vm).unwrap();
+    }
+
+    #[test]
+    fn loops_reach_a_sound_fixpoint() {
+        // A counted loop re-reading one global: first iteration misses,
+        // the rest hit — the header load must be Sometimes, and the
+        // whole program still cross-validates.
+        let g = 0x1000;
+        let p = program(
+            vec![func(
+                "main",
+                0,
+                0,
+                true,
+                vec![
+                    MInstr::LoadImm { dst: 0, value: 10 },
+                    // loop (function indices: Enter=0, so the load is 2):
+                    load(1, g, Flavour::AmLoad, false),
+                    MInstr::Op {
+                        op: ucm_ir::OpCode::Sub,
+                        dst: 0,
+                        lhs: 0,
+                        rhs: MOperand::Imm(1),
+                    },
+                    MInstr::BranchZero { cond: 0, target: 6 },
+                    MInstr::Jump { target: 2 },
+                ],
+            )],
+            4,
+        );
+        let config = small_lru();
+        let vm = VmConfig {
+            mem_words: 1 << 16,
+            ..VmConfig::default()
+        };
+        let base = ClassifyBase::new(&p, vm.mem_words).unwrap();
+        let class = base.classify(&config).unwrap();
+        let v = class.verdict(0, 2, 0).unwrap();
+        assert_eq!(v.hit, Tri::Sometimes, "cold miss then hits");
+        cross_validate(&p, &config, &vm).unwrap();
+        // The loop-carried spill/reload idiom *is* decisive: see
+        // cachedom's loop_spill_cycle test; here we only pin soundness.
+        let mut prof = SiteProfile::new(p.main);
+        run(&p, &mut prof, &vm).unwrap();
+        assert!(base.derive_stats(&class, &prof).is_none());
+    }
+
+    #[test]
+    fn recursion_is_unsupported() {
+        let mut f = func("f", 0, 0, false, vec![MInstr::Call { callee: 0 }]);
+        f.name = "f".into();
+        let p = program(vec![f], 0);
+        assert_eq!(
+            ClassifyBase::new(&p, 1 << 16).unwrap_err(),
+            Unsupported::Recursion
+        );
+    }
+
+    #[test]
+    fn non_lru_policies_rejected_unless_direct_mapped() {
+        let p = program(vec![func("main", 0, 0, true, vec![])], 0);
+        let base = ClassifyBase::new(&p, 1 << 16).unwrap();
+        let fifo = CacheConfig {
+            policy: PolicyKind::Fifo,
+            associativity: 4,
+            size_words: 8,
+            ..CacheConfig::default()
+        };
+        assert_eq!(base.classify(&fifo).unwrap_err(), Unsupported::Policy);
+        let dm = CacheConfig {
+            policy: PolicyKind::Random,
+            associativity: 1,
+            size_words: 8,
+            ..CacheConfig::default()
+        };
+        base.classify(&dm).unwrap();
+    }
+
+    #[test]
+    fn derivation_matches_replay_across_configs() {
+        // One program with every flavour, swept over honor flags, write
+        // policies, and geometries.
+        let g = 0x1000;
+        let body = vec![
+            MInstr::LoadImm { dst: 0, value: 5 },
+            store(0, g, Flavour::AmSpStore, false),
+            load(1, g, Flavour::UmAmLoad, false),
+            store(0, g + 1, Flavour::UmAmStore, false),
+            load(2, g + 1, Flavour::AmLoad, false),
+            load(3, g + 2, Flavour::AmLoad, true),
+            store(0, g + 3, Flavour::AmSpStore, true),
+            load(4, g + 1, Flavour::AmLoad, false),
+            store(0, g + 1, Flavour::AmSpStore, false),
+            load(5, g + 1, Flavour::UmAmLoad, true),
+        ];
+        let p = program(vec![func("main", 0, 0, true, body)], 8);
+        for honor in [(false, false), (true, false), (true, true)] {
+            for wp in [
+                WritePolicy::WriteBackAllocate,
+                WritePolicy::WriteThroughNoAllocate,
+            ] {
+                for (size, assoc, lw) in [(8, 4, 1), (4, 1, 1), (16, 2, 2), (8, 8, 1)] {
+                    let config = CacheConfig {
+                        size_words: size,
+                        line_words: lw,
+                        associativity: assoc,
+                        write_policy: wp,
+                        honor_tags: honor.0,
+                        honor_last_ref: honor.1,
+                        ..CacheConfig::default()
+                    };
+                    let decisive = check_program(&p, &config);
+                    // The tiny direct-mapped geometry provokes dirty
+                    // evictions (no write-back-freedom proof) when tags
+                    // are not fully honored; everything else must be
+                    // exactly derivable.
+                    if (size, assoc) != (4, 1) {
+                        assert!(
+                            decisive,
+                            "indecisive at {size}/{assoc}/{lw} {honor:?} {wp:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derivation_covers_call_heavy_programs() {
+        // Two levels of calls so Enter/Leave traffic dominates.
+        let leaf = func(
+            "leaf",
+            1,
+            0,
+            true,
+            vec![MInstr::Load {
+                dst: 0,
+                addr: MAddr::FpOff(0),
+                tag: tag(Flavour::UmAmLoad, true),
+            }],
+        );
+        let mid = func(
+            "mid",
+            0,
+            1,
+            false,
+            vec![
+                MInstr::LoadImm { dst: 0, value: 1 },
+                MInstr::Store {
+                    src: 0,
+                    addr: MAddr::SpOff(-1),
+                    tag: tag(Flavour::AmSpStore, false),
+                },
+                MInstr::Call { callee: 2 },
+            ],
+        );
+        let main = func(
+            "main",
+            0,
+            0,
+            false,
+            vec![MInstr::Call { callee: 1 }, MInstr::Call { callee: 1 }],
+        );
+        let p = program(vec![main, mid, leaf], 0);
+        assert_derivation_exact(&p, &small_lru());
+        // Without honored tags the first and second `mid` activations see
+        // different caches (cold vs warm frame lines), so some sites are
+        // Sometimes — sound, but not exactly derivable.
+        assert!(!check_program(&p, &small_lru().conventional()));
+        let base = ClassifyBase::new(&p, 1 << 16).unwrap();
+        assert_eq!(base.num_contexts(), 3);
+        assert_eq!(base.ctx_of_chain(&[0, 1, 2]), Some(2));
+        assert_eq!(base.ctx_of_chain(&[0, 2]), None);
+    }
+}

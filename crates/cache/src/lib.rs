@@ -42,6 +42,7 @@
 //! ```
 
 pub mod cache;
+pub mod classify;
 pub mod config;
 pub mod functional;
 pub mod geom;
@@ -53,6 +54,9 @@ pub mod system;
 pub mod timed;
 
 pub use cache::CacheSim;
+pub use classify::{
+    cross_validate, Classification, ClassifyBase, Coverage, CrossReport, SiteVerdict, Unsupported,
+};
 pub use config::{CacheConfig, ConfigError, PolicyKind, WritePolicy};
 pub use functional::{
     CoherenceOracle, CoherenceViolation, FunctionalCache, PagedMem, Served, ServedFrom,

@@ -7,6 +7,7 @@
 //! ucmc compare <file.mini>   unified vs conventional, Figure-5 style row
 //! ucmc ir <file.mini>        dump the lowered IR
 //! ucmc classify <file.mini>  per-reference ambiguity classification
+//! ucmc analyze <file.mini>   must/may cache analysis: verdict table + coverage
 //! ucmc trace <file.mini>     first memory references with their tags
 //! ucmc check <file.mini>     oracle-checked run: coherence report (JSON lines)
 //! ucmc faults <file.mini>    annotation fault-injection campaign (JSON lines)
@@ -57,14 +58,26 @@
 //! the minimizer on a healthy compiler), and `--min-out PATH` writes the
 //! minimized program to `PATH`.
 //!
+//! `analyze` solves the must/may LRU cache analysis for the compiled
+//! program under the given cache geometry and prints one row per static
+//! reference site (always-hit / never-hit / undecided, merged over call
+//! contexts) plus the dynamic coverage of one profiled run. `--check`
+//! cross-validates every verdict against `CacheSim` as the program runs
+//! (a soundness violation exits 3); `--guided` additionally compiles
+//! with analysis-guided bypass and reports the traffic deltas.
+//!
 //! `serve` binds a Unix socket and answers the JSON-lines protocol of
 //! [`ucm_serve`] until a client sends `{"op":"shutdown"}`; `--jobs N`
 //! pins its worker pool, `--cache-bytes N` budgets the content-addressed
-//! artifact cache, `--max-request-bytes N` caps a request line. `submit`
+//! artifact cache, `--max-request-bytes N` caps a request line, and
+//! `--cache-dir PATH` persists the replay-cell store across restarts
+//! (load-on-start, write-through, corrupt entry = miss). `submit`
 //! sends one sweep (`--full`, `--timed`, `--seed N`,
-//! `--no-stack-distance`, `--source FILE [--name NAME]` for a custom
+//! `--no-stack-distance`, `--no-static-analysis`,
+//! `--source FILE [--name NAME]` for a custom
 //! workload) and reassembles the streamed artifact — byte-identical to
-//! `ucmc sweep`'s — to stdout or `--out PATH`; `--shutdown` instead asks
+//! `ucmc sweep`'s — to stdout or `--out PATH`; `--stats` instead prints
+//! the server's store counters; `--shutdown` instead asks
 //! the server to exit (CI uses it to reap the background process).
 //! `loadgen` drives a server
 //! (`--socket PATH`, or a private self-hosted one) with a seeded mix of
@@ -189,10 +202,24 @@ struct SweepOpts {
     /// `--no-stack-distance`: force every cell through the fused
     /// replayer (escape hatch; results are pinned byte-identical).
     no_stack_distance: bool,
+    /// `--no-static-analysis`: disable the must/may classifier fast
+    /// path (escape hatch; results are pinned byte-identical).
+    no_static_analysis: bool,
     out: String,
     validate: Option<String>,
     seed: Option<u64>,
     jobs: Option<usize>,
+}
+
+/// Options of the `analyze` command.
+#[derive(Debug, Clone, Default)]
+struct AnalyzeOpts {
+    /// `--check`: cross-validate every verdict against `CacheSim` while
+    /// the program runs; any soundness violation exits 3.
+    check: bool,
+    /// `--guided`: also compile with analysis-guided bypass and report
+    /// the traffic deltas under the analyzed cache.
+    guided: bool,
 }
 
 /// Options of the file-less `serve`, `submit`, and `loadgen` commands.
@@ -213,6 +240,13 @@ struct ServeOpts {
     /// `submit --no-stack-distance`: engine escape hatch (deliberately
     /// not part of any cache key; results are pinned byte-identical).
     no_stack_distance: bool,
+    /// `submit --no-static-analysis`: disable the server's classifier
+    /// fast path for this request (same escape-hatch contract).
+    no_static_analysis: bool,
+    /// `submit --stats`: fetch server counters instead of sweeping.
+    stats: bool,
+    /// `serve --cache-dir PATH`: persist the artifact cache on disk.
+    cache_dir: Option<String>,
     /// `submit`/`loadgen` `--seed N`.
     seed: Option<u64>,
     /// `submit --name NAME`: workload name for a custom source.
@@ -243,26 +277,29 @@ pub struct Invocation {
     sweep: SweepOpts,
     fuzz: FuzzOpts,
     serve: ServeOpts,
+    analyze: AnalyzeOpts,
     obs_out: Option<String>,
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: ucmc <run|compare|ir|classify|trace|check|faults|timing> \
+pub const USAGE: &str = "usage: ucmc <run|compare|ir|classify|analyze|trace|check|faults|timing> \
 <file.mini> \
 [--regs N] [--paper] [--conventional] [--safe|--degrade-ambiguous] \
 [--cache-words N] [--line-words N] [--ways N] [--limit N] [--max-steps N] [--mem-words N] \
 [--seed N] [--flip-bypass] [--drop-last-ref] [--forge-last-ref] \
 [--swap-flavour] [--misclassify PCT] \
 [--wb-entries N] [--hit-cycles N] [--mem-cycles N]\n\
+\x20      ucmc analyze <file.mini> [--check] [--guided] [compiler/cache/VM flags]\n\
 \x20      ucmc sweep [--out PATH] [--quick] [--paper-sizes] [--seed N] \
-[--timing] [--jobs N] [--no-stack-distance] [--validate FILE]\n\
+[--timing] [--jobs N] [--no-stack-distance] [--no-static-analysis] [--validate FILE]\n\
 \x20      ucmc report <obs.jsonl>\n\
 \x20      ucmc fuzz [--seed N] [--count N] [--out DIR] [--emit SEED] \
 [--max-steps N] [--mem-words N] [--cache-words N] [--line-words N] [--ways N]\n\
 \x20      ucmc shrink <file.mini> [--inject] [--min-out PATH] [budget/cache flags]\n\
-\x20      ucmc serve --socket PATH [--jobs N] [--cache-bytes N] [--max-request-bytes N]\n\
+\x20      ucmc serve --socket PATH [--jobs N] [--cache-bytes N] [--max-request-bytes N] \
+[--cache-dir PATH]\n\
 \x20      ucmc submit --socket PATH [--full] [--timed] [--seed N] [--no-stack-distance] \
-[--source FILE] [--name NAME] [--out PATH] [--shutdown]\n\
+[--no-static-analysis] [--source FILE] [--name NAME] [--out PATH] [--stats] [--shutdown]\n\
 \x20      ucmc loadgen [--socket PATH] [--requests N] [--seed N] [--jobs N] \
 [--cache-bytes N] [--out PATH] [--min-warm-speedup X]\n\
 \x20      any command also accepts the global --obs-out FILE flag";
@@ -292,8 +329,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
     let mut it = args.iter();
     let command = it.next().ok_or_else(|| err("missing command"))?.clone();
     if ![
-        "run", "compare", "ir", "classify", "trace", "check", "faults", "timing", "sweep",
-        "report", "fuzz", "shrink", "serve", "submit", "loadgen",
+        "run", "compare", "ir", "classify", "analyze", "trace", "check", "faults", "timing",
+        "sweep", "report", "fuzz", "shrink", "serve", "submit", "loadgen",
     ]
     .contains(&command.as_str())
     {
@@ -336,6 +373,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
             sweep: SweepOpts::default(),
             fuzz: FuzzOpts::default(),
             serve: ServeOpts::default(),
+            analyze: AnalyzeOpts::default(),
             obs_out,
         });
     }
@@ -363,6 +401,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
     let mut kinds: Vec<FaultKind> = Vec::new();
     let mut timing = TimingConfig::default();
     let mut fuzz = FuzzOpts::default();
+    let mut analyze = AnalyzeOpts::default();
     while let Some(flag) = it.next() {
         let mut number = |what: &str| -> Result<usize, CliError> {
             it.next()
@@ -408,6 +447,18 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
                         .clone(),
                 );
             }
+            "--check" => {
+                if command != "analyze" {
+                    return Err(err("--check is an `analyze` flag"));
+                }
+                analyze.check = true;
+            }
+            "--guided" => {
+                if command != "analyze" {
+                    return Err(err("--guided is an `analyze` flag"));
+                }
+                analyze.guided = true;
+            }
             "--flip-bypass" => kinds.push(FaultKind::FlipBypass),
             "--drop-last-ref" => kinds.push(FaultKind::DropLastRef),
             "--forge-last-ref" => kinds.push(FaultKind::ForgeLastRef),
@@ -438,6 +489,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, CliError> {
         sweep: SweepOpts::default(),
         fuzz,
         serve: ServeOpts::default(),
+        analyze,
         obs_out,
     })
 }
@@ -505,6 +557,7 @@ fn parse_fuzz_args(
         sweep: SweepOpts::default(),
         fuzz,
         serve: ServeOpts::default(),
+        analyze: AnalyzeOpts::default(),
         obs_out: None,
     })
 }
@@ -525,6 +578,7 @@ fn parse_sweep_args(
             "--paper-sizes" => sweep.paper_sizes = true,
             "--timing" => sweep.timing = true,
             "--no-stack-distance" => sweep.no_stack_distance = true,
+            "--no-static-analysis" => sweep.no_static_analysis = true,
             "--out" => {
                 sweep.out = it.next().ok_or_else(|| err("--out needs a path"))?.clone();
             }
@@ -573,6 +627,7 @@ fn parse_sweep_args(
         sweep,
         fuzz: FuzzOpts::default(),
         serve: ServeOpts::default(),
+        analyze: AnalyzeOpts::default(),
         obs_out: None,
     })
 }
@@ -651,6 +706,22 @@ fn parse_serve_args(
                 only("submit", submit)?;
                 serve.no_stack_distance = true;
             }
+            "--no-static-analysis" => {
+                only("submit", submit)?;
+                serve.no_static_analysis = true;
+            }
+            "--stats" => {
+                only("submit", submit)?;
+                serve.stats = true;
+            }
+            "--cache-dir" => {
+                only("serve", !submit && !loadgen)?;
+                serve.cache_dir = Some(
+                    it.next()
+                        .ok_or_else(|| err("--cache-dir needs a path"))?
+                        .clone(),
+                );
+            }
             "--shutdown" => {
                 only("submit", submit)?;
                 serve.shutdown = true;
@@ -715,15 +786,18 @@ fn parse_serve_args(
     if serve.name.is_some() && source.is_empty() {
         return Err(err("--name needs --source FILE"));
     }
-    if serve.shutdown
-        && (serve.full
-            || serve.timed
-            || serve.no_stack_distance
-            || serve.seed.is_some()
-            || serve.out.is_some()
-            || !source.is_empty())
-    {
+    let sweep_flags = serve.full
+        || serve.timed
+        || serve.no_stack_distance
+        || serve.no_static_analysis
+        || serve.seed.is_some()
+        || serve.out.is_some()
+        || !source.is_empty();
+    if serve.shutdown && (sweep_flags || serve.stats) {
         return Err(err("--shutdown takes no sweep flags"));
+    }
+    if serve.stats && sweep_flags {
+        return Err(err("--stats takes no sweep flags"));
     }
     Ok(Invocation {
         command,
@@ -738,6 +812,7 @@ fn parse_serve_args(
         sweep: SweepOpts::default(),
         fuzz: FuzzOpts::default(),
         serve,
+        analyze: AnalyzeOpts::default(),
         obs_out: None,
     })
 }
@@ -776,6 +851,7 @@ fn dispatch(inv: &Invocation) -> Result<CmdOutput, CliError> {
         "compare" => cmd_compare(inv),
         "ir" => cmd_ir(inv),
         "classify" => cmd_classify(inv),
+        "analyze" => cmd_analyze(inv),
         "trace" => cmd_trace(inv),
         "check" => cmd_check(inv),
         "faults" => cmd_faults(inv),
@@ -999,6 +1075,9 @@ fn cmd_sweep(inv: &Invocation) -> Result<CmdOutput, CliError> {
     if inv.sweep.no_stack_distance {
         cfg.use_stack_distance = false;
     }
+    if inv.sweep.no_static_analysis {
+        cfg.use_static_analysis = false;
+    }
     let result = match inv.sweep.jobs {
         // A pinned pool makes perf measurements and CI smoke runs
         // reproducible on any core count. The grid result is identical
@@ -1040,11 +1119,12 @@ fn cmd_sweep(inv: &Invocation) -> Result<CmdOutput, CliError> {
     // the artifact, which stays machine-independent.
     let _ = writeln!(
         out,
-        r#"{{"event":"sweep-timing","record_s":{:.3},"replay_s":{:.3},"stack_cells":{},"fused_cells":{}}}"#,
+        r#"{{"event":"sweep-timing","record_s":{:.3},"replay_s":{:.3},"stack_cells":{},"fused_cells":{},"analysis_cells":{}}}"#,
         report.timings.record.as_secs_f64(),
         report.timings.replay.as_secs_f64(),
         report.timings.stack_cells,
         report.timings.fused_cells,
+        report.timings.analysis_cells,
     );
     Ok(CmdOutput::ok(out))
 }
@@ -1067,6 +1147,9 @@ fn cmd_serve(inv: &Invocation) -> Result<CmdOutput, CliError> {
     }
     if let Some(bytes) = inv.serve.max_request_bytes {
         cfg.max_request_bytes = bytes;
+    }
+    if let Some(dir) = &inv.serve.cache_dir {
+        cfg.cache_dir = Some(std::path::PathBuf::from(dir));
     }
     let server = Server::bind(cfg).map_err(|e| CliError {
         message: format!("cannot serve on `{socket}`: {e}"),
@@ -1108,6 +1191,22 @@ fn cmd_submit(inv: &Invocation) -> Result<CmdOutput, CliError> {
             json_escape(socket)
         )));
     }
+    if inv.serve.stats {
+        let s = client.stats().map_err(fail)?;
+        let mut out = format!(
+            r#"{{"event":"submit-stats","requests":{},"cells_hits":{},"cells_misses":{},"cells_entries":{}"#,
+            s.requests, s.cells.hits, s.cells.misses, s.cells.entries,
+        );
+        if let Some(d) = s.disk {
+            let _ = write!(
+                out,
+                r#","disk_loaded":{},"disk_hits":{},"disk_corrupt":{},"disk_write_errors":{}"#,
+                d.loaded, d.hits, d.corrupt, d.write_errors,
+            );
+        }
+        out.push_str("}\n");
+        return Ok(CmdOutput::ok(out));
+    }
     let request = SweepRequest {
         full: inv.serve.full,
         timing: inv.serve.timed,
@@ -1118,6 +1217,7 @@ fn cmd_submit(inv: &Invocation) -> Result<CmdOutput, CliError> {
         }),
         geometries: None,
         stack_distance: !inv.serve.no_stack_distance,
+        static_analysis: !inv.serve.no_static_analysis,
     };
     let reply = client.sweep(&request).map_err(fail)?;
     let mut out = String::new();
@@ -1550,6 +1650,173 @@ fn cmd_classify(inv: &Invocation) -> Result<CmdOutput, CliError> {
     Ok(CmdOutput::ok(out))
 }
 
+/// Per-reference must/may cache-analysis table, dynamic coverage, and
+/// (with `--check`) a live cross-validation against `CacheSim`.
+fn cmd_analyze(inv: &Invocation) -> Result<CmdOutput, CliError> {
+    use std::collections::BTreeMap;
+    use ucm_analysis::cachedom::Tri;
+    use ucm_cache::classify::{cross_validate, ClassifyBase};
+    use ucm_machine::SiteProfile;
+
+    let compiled = compile(&inv.source, &inv.options)?;
+    let mut out = String::new();
+    let unsupported = |reason: String, mut out: String| {
+        let _ = writeln!(
+            out,
+            r#"{{"event":"analyze","supported":false,"reason":"{}"}}"#,
+            json_escape(&reason),
+        );
+        Ok(CmdOutput::ok(out))
+    };
+    let base = match ClassifyBase::new(&compiled.program, inv.vm.mem_words) {
+        Ok(b) => b,
+        Err(e) => return unsupported(e.to_string(), out),
+    };
+    let class = match base.classify(&inv.cache) {
+        Ok(c) => c,
+        Err(e) => return unsupported(e.to_string(), out),
+    };
+
+    // One table row per static site, merged over call contexts: a
+    // verdict that differs by context prints as `varies`.
+    let merged: BTreeMap<(i64, u8), (Option<Tri>, &ucm_cache::classify::SiteVerdict)> = {
+        let mut m = BTreeMap::new();
+        for (&(_, pc, sub), v) in class.verdicts() {
+            m.entry((pc, sub))
+                .and_modify(|(tri, _): &mut (Option<Tri>, _)| {
+                    if *tri != Some(v.hit) {
+                        *tri = None;
+                    }
+                })
+                .or_insert((Some(v.hit), v));
+        }
+        m
+    };
+    let site_name = |pc: i64| -> String {
+        for f in &compiled.program.funcs {
+            let local = pc - f.code_base;
+            if local >= 0 && (local as usize) < f.code.len() {
+                return format!("{}+{local}", f.name);
+            }
+        }
+        format!("@{pc}")
+    };
+    let mut always = 0usize;
+    let mut never = 0usize;
+    let mut mixed = 0usize;
+    for (&(pc, sub), &(tri, v)) in &merged {
+        let verdict = match tri {
+            Some(Tri::Always) => {
+                always += 1;
+                "always-hit"
+            }
+            Some(Tri::Never) => {
+                never += 1;
+                "never-hit"
+            }
+            Some(Tri::Sometimes) => {
+                mixed += 1;
+                "sometimes"
+            }
+            None => {
+                mixed += 1;
+                "varies"
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} ref{:<2} {:<8} {:<12} addr={}",
+            site_name(pc),
+            sub,
+            if v.is_write { "store" } else { "load" },
+            verdict,
+            match v.resolved {
+                Some(a) => a.to_string(),
+                None => "?".into(),
+            },
+        );
+    }
+
+    // Dynamic coverage: profile one run, then ask the analysis how many
+    // of its references sit at decisive sites.
+    let mut profile = SiteProfile::new(compiled.program.main);
+    run(&compiled.program, &mut profile, &inv.vm)?;
+    let cov = base.coverage(&class, &profile).unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "-- {} sites: {} always-hit, {} never-hit, {} undecided; dynamic coverage {:.1}% ({}/{} refs)",
+        merged.len(),
+        always,
+        never,
+        mixed,
+        100.0 * cov.ref_fraction(),
+        cov.classified_refs,
+        cov.total_refs,
+    );
+
+    if inv.analyze.guided {
+        let guided = compile(
+            &inv.source,
+            &CompilerOptions {
+                guided_bypass: Some(ucm_core::GuidedBypassConfig {
+                    cache: inv.cache,
+                    mem_words: inv.vm.mem_words,
+                }),
+                ..inv.options
+            },
+        );
+        match guided {
+            Err(e) => {
+                let _ = writeln!(out, "-- guided bypass unavailable: {e}");
+            }
+            Ok(g) => {
+                let report = g.guided.unwrap_or_default();
+                let before = run_with_cache(&compiled, inv.cache, &inv.vm)?;
+                let after = run_with_cache(&g, inv.cache, &inv.vm)?;
+                let _ = writeln!(
+                    out,
+                    r#"{{"event":"analyze-guided","rewritten_loads":{},"rewritten_stores":{},"iterations":{},"shrunk":{},"vetoed":{},"fills":[{},{}],"writebacks":[{},{}],"words_from_memory":[{},{}],"words_to_memory":[{},{}]}}"#,
+                    report.rewritten_loads,
+                    report.rewritten_stores,
+                    report.iterations,
+                    report.shrunk,
+                    report.vetoed,
+                    before.cache.fills,
+                    after.cache.fills,
+                    before.cache.writebacks,
+                    after.cache.writebacks,
+                    before.cache.words_from_memory,
+                    after.cache.words_from_memory,
+                    before.cache.words_to_memory,
+                    after.cache.words_to_memory,
+                );
+            }
+        }
+    }
+
+    let checked = if inv.analyze.check {
+        let report =
+            cross_validate(&compiled.program, &inv.cache, &inv.vm).map_err(|e| CliError {
+                message: format!("analysis soundness violation: {e}"),
+                code: EXIT_INCOHERENT,
+            })?;
+        report.checked
+    } else {
+        0
+    };
+    let _ = writeln!(
+        out,
+        r#"{{"event":"analyze","supported":true,"sites":{},"always_hit":{},"never_hit":{},"undecided":{},"coverage_pct":{:.1},"checked_refs":{}}}"#,
+        merged.len(),
+        always,
+        never,
+        mixed,
+        100.0 * cov.ref_fraction(),
+        checked,
+    );
+    Ok(CmdOutput::ok(out))
+}
+
 fn cmd_trace(inv: &Invocation) -> Result<CmdOutput, CliError> {
     let compiled = compile(&inv.source, &inv.options)?;
     let mut sink = PackedTrace::new();
@@ -1741,6 +2008,77 @@ mod tests {
     }
 
     #[test]
+    fn analyze_command_reports_verdicts_and_coverage() {
+        let path = write_temp("analyze", KERNEL);
+        let inv = parse_args(&args(&["analyze", &path, "--paper", "--check"])).unwrap();
+        assert!(inv.analyze.check && !inv.analyze.guided);
+        let out = execute(&inv).unwrap();
+        assert_eq!(out.code, EXIT_OK);
+        assert!(out.text.contains("\"event\":\"analyze\""));
+        assert!(out.text.contains("\"supported\":true"));
+        assert!(out.text.contains("dynamic coverage"));
+        // --check really ran: the checked-reference count is nonzero.
+        assert!(!out.text.contains("\"checked_refs\":0"));
+    }
+
+    #[test]
+    fn analyze_command_declines_recursion_cleanly() {
+        let path = write_temp(
+            "analyze_rec",
+            "fn f(n: int) -> int { if n < 1 { return 0; } return f(n - 1) + n; } \
+             fn main() { print(f(5)); }",
+        );
+        let inv = parse_args(&args(&["analyze", &path])).unwrap();
+        let out = execute(&inv).unwrap();
+        assert_eq!(out.code, EXIT_OK);
+        assert!(out.text.contains("\"supported\":false"));
+        assert!(out.text.contains("recursive"));
+    }
+
+    #[test]
+    fn analyze_guided_reports_rewrites_on_a_tiny_cache() {
+        let path = write_temp(
+            "analyze_guided",
+            "global a: [int; 4]; global b: [int; 4]; \
+             fn main() { a[0] = 3; b[0] = 4; a[1] = a[0] + b[0]; print(a[1] * 2); }",
+        );
+        let inv = parse_args(&args(&[
+            "analyze",
+            &path,
+            "--paper",
+            "--guided",
+            "--cache-words",
+            "1",
+            "--line-words",
+            "1",
+            "--ways",
+            "1",
+        ]))
+        .unwrap();
+        let out = execute(&inv).unwrap();
+        assert_eq!(out.code, EXIT_OK);
+        assert!(out.text.contains("\"event\":\"analyze-guided\""));
+        assert!(
+            !out.text
+                .contains("\"rewritten_loads\":0,\"rewritten_stores\":0"),
+            "a 1-word cache must yield rewrites:\n{}",
+            out.text
+        );
+    }
+
+    #[test]
+    fn analyze_flags_are_command_scoped() {
+        let path = write_temp("analyze_scope", HELLO);
+        for bad in [
+            args(&["run", &path, "--check"]),
+            args(&["classify", &path, "--guided"]),
+        ] {
+            let e = parse_args(&bad).unwrap_err();
+            assert_eq!(e.code, EXIT_USAGE, "{}", e.message);
+        }
+    }
+
+    #[test]
     fn trace_command_respects_limit() {
         let path = write_temp(
             "trace",
@@ -1912,6 +2250,9 @@ mod tests {
         assert!(!inv.sweep.no_stack_distance);
         let inv = parse_args(&args(&["sweep", "--quick", "--no-stack-distance"])).unwrap();
         assert!(inv.sweep.no_stack_distance);
+        assert!(!inv.sweep.no_static_analysis);
+        let inv = parse_args(&args(&["sweep", "--quick", "--no-static-analysis"])).unwrap();
+        assert!(inv.sweep.no_static_analysis);
         let inv = parse_args(&args(&["sweep", "--seed", "42"])).unwrap();
         assert_eq!(inv.sweep.seed, Some(42));
         assert_eq!(inv.sweep.out, "BENCH_sweep.json");
@@ -1992,6 +2333,20 @@ mod tests {
         assert_eq!(inv.serve.socket.as_deref(), Some("/tmp/s.sock"));
         assert_eq!(inv.serve.jobs, 2);
         assert_eq!(inv.serve.cache_bytes, None);
+        assert_eq!(inv.serve.cache_dir, None);
+        let inv = parse_args(&args(&[
+            "serve",
+            "--socket",
+            "/tmp/s.sock",
+            "--cache-dir",
+            "/tmp/cells",
+        ]))
+        .unwrap();
+        assert_eq!(inv.serve.cache_dir.as_deref(), Some("/tmp/cells"));
+        let inv = parse_args(&args(&["submit", "--socket", "/s", "--no-static-analysis"])).unwrap();
+        assert!(inv.serve.no_static_analysis);
+        let inv = parse_args(&args(&["submit", "--socket", "/s", "--stats"])).unwrap();
+        assert!(inv.serve.stats);
 
         let src = write_temp("submit_parse", HELLO);
         let inv = parse_args(&args(&[
@@ -2047,6 +2402,9 @@ mod tests {
             args(&["serve", "--socket", "/s", "--bogus"]),
             args(&["submit", "--socket", "/s", "--shutdown", "--full"]), // no sweep flags
             args(&["loadgen", "--shutdown"]),                            // submit-only flag
+            args(&["submit", "--socket", "/s", "--cache-dir", "/d"]),    // serve-only flag
+            args(&["submit", "--socket", "/s", "--stats", "--full"]),    // no sweep flags
+            args(&["submit", "--socket", "/s", "--shutdown", "--stats"]), // pick one
         ] {
             let e = parse_args(&bad).unwrap_err();
             assert_eq!(e.code, EXIT_USAGE, "{}", e.message);

@@ -1,0 +1,517 @@
+//! Analysis-guided bypass: rewrite references the must/may cache
+//! analysis proves can never hit.
+//!
+//! The paper's rule bypasses a reference iff the *classifier* proves it
+//! unambiguous — an aliasing property. This pass extends the rule with
+//! a *cache-behaviour* property the 1989 authors couldn't compute: an
+//! ambiguous reference whose line is provably absent at every execution
+//! ([`ucm_cache::classify`], verdict `hit == Never` in every call
+//! context) gains nothing from the cache, so routing it straight to
+//! memory saves the fill (and the fill's eviction) without touching
+//! coherence — a never-hit line has no cached copy, so memory is
+//! authoritative in both directions:
+//!
+//! * `Am_LOAD → UmAm_LOAD`: the miss path reads memory directly, no
+//!   allocation;
+//! * `AmSp_STORE → UmAm_STORE`: the write goes straight to memory, no
+//!   write-allocate.
+//!
+//! The `last_ref`/`unambiguous` bits are preserved — only the flavour
+//! (the bypass bit) changes.
+//!
+//! ## The fixpoint
+//!
+//! Removing one site's fill changes the abstract cache everywhere
+//! downstream, in *both* directions: new never-hit sites can appear
+//! (the fill no longer feeds later hits) and — more subtly — an
+//! already-rewritten site can lose its proof (the fill no longer evicts
+//! a line that now survives to hit there). So the rewrite iterates to a
+//! fixpoint on the *set of rewritten sites*: each round classifies the
+//! current program and recomputes, from scratch, the set of
+//! originally-`Am` sites that are provably never-hit *now*. When the
+//! set stops changing, the final classification — solved on exactly the
+//! returned program — proves every applied rewrite.
+//!
+//! The grow phase can genuinely oscillate: rewriting a conflicting fill
+//! away lets a line survive to hit at a site that was proven never-hit,
+//! which un-proves the site, which restores the fill, which evicts the
+//! line again... After [`MAX_GUIDED_ITERATIONS`] rounds the pass stops
+//! chasing new proofs and switches to a *monotone shrink*: each round
+//! only removes applied sites whose proof no longer holds, ignoring
+//! growth candidates. Removal strictly shrinks the set, so this phase
+//! terminates, and it stops exactly when every still-applied site is
+//! proven `Never` on the program as rewritten — the correctness bar.
+//! The report flags the fallback via `shrunk`.
+//!
+//! ## The discard-safety bar
+//!
+//! Proving the rewritten sites never hit is necessary but *not*
+//! sufficient. The unified protocol discards cache lines without
+//! write-back — a last-ref hit invalidates the line (§3.2), a last-ref
+//! store hit drops the word with it, and an unambiguous load hit takes
+//! and invalidates — and the compiler's liveness claims that make those
+//! discards coherent were made against the *original* reference stream.
+//! Removing a fill changes which executions hit at every other site, so
+//! a discard-capable site can start hitting (and discarding dirty
+//! words that are still live) where the original schedule had it miss.
+//!
+//! Mini programs are closed and deterministic, so the bar is enforced
+//! the same way the rest of the repo judges coherence: once the proof
+//! fixpoint converges, the candidate program is replayed under the
+//! [`crate::check`] coherence oracle for the analyzed cache. A clean
+//! run certifies the rewrite. A violation names the damaged address;
+//! the applied sites sharing its cache set are banned (their restored
+//! fills re-evict the offending line) and the fixpoint re-runs. If no
+//! applied site can be blamed, the whole rewrite is abandoned
+//! (`vetoed`) and the program returned unmodified.
+//!
+//! The bar is judged against the *original* program, replayed once
+//! under the same oracle before any certification: the unified
+//! protocol is itself not coherent on every geometry (a multi-word
+//! line discarded by a last-reference invalidate takes co-resident
+//! live dirty words with it — e.g. a helper frame's saved registers
+//! sharing a line with a dead local), and no bypass choice can repair
+//! damage the input program already does. When the baseline violates
+//! at the analyzed cache, the geometry is outside the protocol's
+//! coherent envelope and the pass vetoes immediately rather than
+//! chasing culprits that do not exist.
+//!
+//! The proof is solved for **one** cache configuration
+//! ([`GuidedBypassConfig::cache`]): like scheduling for a specific
+//! microarchitecture, the emitted binary is specialised to that cache,
+//! and only there do the never-hit guarantees (and so the coherence
+//! argument) hold. Output equality still holds everywhere — flavours
+//! steer traffic, not architectural state — but a foreign geometry may
+//! see the rewritten sites hit, where take-and-invalidate can discard a
+//! dirty line the way any wrong bypass bit would.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ucm_analysis::cachedom::Tri;
+use ucm_cache::classify::{ClassifyBase, Unsupported};
+use ucm_cache::CacheConfig;
+use ucm_machine::{Flavour, MInstr, MachineProgram, VmConfig};
+
+/// Rounds of classify-and-rewrite before giving up on convergence.
+pub const MAX_GUIDED_ITERATIONS: usize = 8;
+
+/// What the guided rewrite is allowed to assume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuidedBypassConfig {
+    /// The cache the never-hit proofs are solved for. Must be an
+    /// honor-flags (unified) configuration — the proof machinery models
+    /// the unified protocol.
+    pub cache: CacheConfig,
+    /// VM memory size the program will run under; frame addresses (and
+    /// so the proofs) depend on it.
+    pub mem_words: usize,
+}
+
+impl Default for GuidedBypassConfig {
+    fn default() -> Self {
+        GuidedBypassConfig {
+            cache: CacheConfig::default(),
+            mem_words: VmConfig::default().mem_words,
+        }
+    }
+}
+
+/// What [`apply_guided_bypass`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuidedReport {
+    /// Classify-and-rewrite rounds run (≥ 1; the last round proves the
+    /// returned program).
+    pub iterations: usize,
+    /// `Am_LOAD` sites rewritten to `UmAm_LOAD`.
+    pub rewritten_loads: usize,
+    /// `AmSp_STORE` sites rewritten to `UmAm_STORE`.
+    pub rewritten_stores: usize,
+    /// Whether the grow phase oscillated past [`MAX_GUIDED_ITERATIONS`]
+    /// and the final set came from the monotone shrink fallback. The
+    /// result is still fully proven — just not maximal.
+    pub shrunk: bool,
+    /// Whether the discard-safety bar abandoned the rewrite: the
+    /// original program already violates at the analyzed cache, or a
+    /// violation appeared with no attributable applied site. The
+    /// program is returned unmodified (sound, just unoptimised).
+    pub vetoed: bool,
+}
+
+impl GuidedReport {
+    /// Total rewritten sites.
+    pub fn rewritten(&self) -> usize {
+        self.rewritten_loads + self.rewritten_stores
+    }
+}
+
+/// Rewrites `program` in place, bypassing every originally-ambiguous
+/// reference the analysis proves never hits under `cfg.cache`.
+///
+/// On success the final classification round was solved on exactly the
+/// returned program and showed `hit == Never` in every context for
+/// every rewritten site.
+///
+/// # Errors
+///
+/// [`Unsupported`] when the program or configuration is outside the
+/// analysis model (recursion, context explosion, non-LRU policy, ...);
+/// `program` is left unmodified.
+pub fn apply_guided_bypass(
+    program: &mut MachineProgram,
+    cfg: &GuidedBypassConfig,
+) -> Result<GuidedReport, Unsupported> {
+    let _s = ucm_obs::span("compile.guided_bypass");
+    let original = program.clone();
+    let mut applied: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut banned: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut report = GuidedReport::default();
+    let mut shrinking = false;
+    let mut baseline_coherent: Option<bool> = None;
+    let vm = VmConfig {
+        mem_words: cfg.mem_words,
+        ..VmConfig::default()
+    };
+    loop {
+        report.iterations += 1;
+        let class =
+            match ClassifyBase::new(program, cfg.mem_words).and_then(|b| b.classify(&cfg.cache)) {
+                Ok(c) => c,
+                Err(e) => {
+                    // Leave the caller's program untouched on any failure,
+                    // including one surfacing mid-iteration.
+                    *program = original;
+                    return Err(e);
+                }
+            };
+        // A site is provably never-hit when every context that reaches
+        // it says `Never`; a site without verdicts is unreachable in
+        // the supergraph and stays unproven.
+        let mut never: HashMap<i64, bool> = HashMap::new();
+        for (&(_, pc, _), v) in class.verdicts() {
+            let e = never.entry(pc).or_insert(true);
+            *e = *e && v.hit == Tri::Never;
+        }
+        // Eligibility is always judged on the ORIGINAL flavour, so the
+        // set can both grow (new proofs) and shrink (a rewritten site
+        // that lost its proof drops out and reverts). Banned sites —
+        // blamed by a failed oracle certification — never re-enter.
+        let mut next = BTreeSet::new();
+        for (fi, f) in original.funcs.iter().enumerate() {
+            for (pc, instr) in f.code.iter().enumerate() {
+                if never.get(&(f.code_base + pc as i64)) != Some(&true)
+                    || banned.contains(&(fi, pc))
+                {
+                    continue;
+                }
+                let eligible = match instr {
+                    MInstr::Load { tag, .. } => tag.flavour == Flavour::AmLoad,
+                    MInstr::Store { tag, .. } => tag.flavour == Flavour::AmSpStore,
+                    _ => false,
+                };
+                if eligible {
+                    next.insert((fi, pc));
+                }
+            }
+        }
+        let converged = if next == applied {
+            true
+        } else if shrinking {
+            // Only drop applied sites whose proof failed; growth
+            // candidates in `next ∖ applied` are deliberately ignored so
+            // the set strictly shrinks and the loop must terminate. Every
+            // surviving site was proven `Never` by the classification
+            // just solved on the current (surviving-sites) program, so
+            // stopping here meets the proof bar.
+            let keep: BTreeSet<(usize, usize)> = applied.intersection(&next).copied().collect();
+            if keep == applied {
+                true
+            } else {
+                applied = keep;
+                false
+            }
+        } else if report.iterations >= MAX_GUIDED_ITERATIONS {
+            shrinking = true;
+            report.shrunk = true;
+            applied = applied.intersection(&next).copied().collect();
+            false
+        } else {
+            applied = next;
+            false
+        };
+        if !converged {
+            *program = rewrite(&original, &applied);
+            continue;
+        }
+        if applied.is_empty() {
+            break;
+        }
+        // Proof fixpoint converged on a nonempty set: certify the
+        // discard-safety bar by replaying under the coherence oracle.
+        // The bar only means something if the unmodified program clears
+        // it — on geometries where the protocol itself violates (line
+        // discards dropping co-resident live words), veto outright.
+        let base_coherent = *baseline_coherent.get_or_insert_with(|| {
+            crate::check::run_program_with_oracle(&original, cfg.cache, &vm)
+                .map(|r| r.violations == 0)
+                .unwrap_or(false)
+        });
+        if !base_coherent {
+            applied.clear();
+            report.vetoed = true;
+            *program = original.clone();
+            break;
+        }
+        let certified = match crate::check::run_program_with_oracle(program, cfg.cache, &vm) {
+            Ok(r) if r.violations == 0 => true,
+            Ok(r) => {
+                // Blame the applied sites whose line shares a cache set
+                // with the damaged address — restoring their fills
+                // re-evicts the line that hit where it should not have.
+                // An applied site with an unresolved context is blamed
+                // too: it may touch any set.
+                let damaged_set = r.first.as_ref().map(|v| cache_set(&cfg.cache, v.addr));
+                let culprits: BTreeSet<(usize, usize)> = applied
+                    .iter()
+                    .copied()
+                    .filter(|&(fi, pc)| {
+                        let gpc = original.funcs[fi].code_base + pc as i64;
+                        class
+                            .verdicts()
+                            .iter()
+                            .filter(|(&(_, vpc, _), _)| vpc == gpc)
+                            .any(|(_, v)| match (v.resolved, damaged_set) {
+                                (Some(a), Some(s)) => cache_set(&cfg.cache, a) == s,
+                                _ => true,
+                            })
+                    })
+                    .collect();
+                if culprits.is_empty() {
+                    applied.clear();
+                    report.vetoed = true;
+                    *program = original.clone();
+                    break;
+                }
+                banned.extend(culprits.iter().copied());
+                for c in &culprits {
+                    applied.remove(c);
+                }
+                *program = rewrite(&original, &applied);
+                false
+            }
+            Err(_) => {
+                // A VM trap here is impossible in practice (flavours do
+                // not steer architectural execution), but stay sound.
+                applied.clear();
+                report.vetoed = true;
+                *program = original.clone();
+                break;
+            }
+        };
+        if certified {
+            break;
+        }
+    }
+    for &(fi, pc) in &applied {
+        match &original.funcs[fi].code[pc] {
+            MInstr::Load { .. } => report.rewritten_loads += 1,
+            MInstr::Store { .. } => report.rewritten_stores += 1,
+            _ => unreachable!("only loads and stores are ever applied"),
+        }
+    }
+    ucm_obs::counter("guided.rewritten_sites", report.rewritten() as u64);
+    Ok(report)
+}
+
+/// The cache set index `addr`'s line maps to under `config`.
+fn cache_set(config: &CacheConfig, addr: i64) -> usize {
+    let line_addr = (addr as u64) / config.line_words as u64;
+    (line_addr % config.num_sets() as u64) as usize
+}
+
+/// The original program with the chosen sites' bypass bits set.
+fn rewrite(original: &MachineProgram, sites: &BTreeSet<(usize, usize)>) -> MachineProgram {
+    let mut p = original.clone();
+    for &(fi, pc) in sites {
+        match &mut p.funcs[fi].code[pc] {
+            MInstr::Load { tag, .. } => tag.flavour = Flavour::UmAmLoad,
+            MInstr::Store { tag, .. } => tag.flavour = Flavour::UmAmStore,
+            other => unreachable!("site selection only picks loads/stores, got {other:?}"),
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{compile, CompilerOptions};
+    use ucm_machine::{run, NullSink};
+
+    fn flavour_histogram(p: &MachineProgram) -> HashMap<Flavour, usize> {
+        let mut h = HashMap::new();
+        for f in &p.funcs {
+            for i in &f.code {
+                if let MInstr::Load { tag, .. } | MInstr::Store { tag, .. } = i {
+                    *h.entry(tag.flavour).or_insert(0) += 1;
+                }
+            }
+        }
+        h
+    }
+
+    /// Constant-index accesses to global arrays give the analysis
+    /// resolvable addresses with *ambiguous* flavours (arrays are
+    /// aliasable) — prime rewrite candidates when the cache is too
+    /// small for them to ever hit.
+    const SRC: &str = "global a: [int; 4]; global b: [int; 4];
+        fn main() { a[0] = 3; b[0] = 4; a[1] = a[0] + b[0]; print(a[1] * 2); }";
+
+    #[test]
+    fn guided_bypass_rewrites_proven_sites_and_preserves_output() {
+        let opts = CompilerOptions::paper();
+        let c = compile(SRC, &opts).unwrap();
+        let vm = VmConfig::default();
+        let baseline = run(&c.program, &mut NullSink, &vm).unwrap();
+
+        let mut guided = c.program.clone();
+        // One-word direct-mapped cache: almost nothing can ever hit, so
+        // the proofs are plentiful.
+        let report = apply_guided_bypass(
+            &mut guided,
+            &GuidedBypassConfig {
+                cache: CacheConfig {
+                    size_words: 1,
+                    line_words: 1,
+                    associativity: 1,
+                    ..CacheConfig::default()
+                },
+                mem_words: vm.mem_words,
+            },
+        )
+        .unwrap();
+        assert!(!report.shrunk);
+        assert!(
+            report.rewritten() > 0,
+            "a 1-word cache must yield never-hit proofs: {report:?}"
+        );
+
+        // Flavours changed; architectural behaviour did not.
+        assert_ne!(flavour_histogram(&c.program), flavour_histogram(&guided));
+        let out = run(&guided, &mut NullSink, &vm).unwrap();
+        assert_eq!(out.output, baseline.output);
+        assert_eq!(out.steps, baseline.steps, "rewrite must not change code");
+    }
+
+    #[test]
+    fn guided_bypass_under_a_big_cache_leaves_warm_hits_alone() {
+        // With a default-size cache, repeated global reads hit — those
+        // sites must NOT be rewritten; but the rewrite is still allowed
+        // to claim provable never-hit sites (e.g. cold first touches
+        // are `Sometimes`, not `Never`, so they stay too).
+        let opts = CompilerOptions::paper();
+        let c = compile(SRC, &opts).unwrap();
+        let mut guided = c.program.clone();
+        let report = apply_guided_bypass(&mut guided, &GuidedBypassConfig::default()).unwrap();
+        assert!(!report.shrunk);
+        // Every remaining Am site must still be ambiguous-flavoured in
+        // the guided program unless it was proven; sanity-check via a
+        // replay-equality: both programs still print the same value.
+        let vm = VmConfig::default();
+        assert_eq!(
+            run(&guided, &mut NullSink, &vm).unwrap().output,
+            run(&c.program, &mut NullSink, &vm).unwrap().output,
+        );
+    }
+
+    #[test]
+    fn guided_compile_is_coherent_and_cuts_fills_under_the_analyzed_cache() {
+        // End-to-end through the pipeline option: the guided build must
+        // (a) stay coherent under the oracle for the cache it was
+        // specialised to, and (b) fill strictly fewer lines there —
+        // that traffic cut is the whole point of the rewrite.
+        let cache = CacheConfig {
+            size_words: 1,
+            line_words: 1,
+            associativity: 1,
+            ..CacheConfig::default()
+        };
+        let vm = VmConfig::default();
+        let baseline = compile(SRC, &CompilerOptions::paper()).unwrap();
+        let guided = compile(
+            SRC,
+            &CompilerOptions {
+                guided_bypass: Some(GuidedBypassConfig {
+                    cache,
+                    mem_words: vm.mem_words,
+                }),
+                ..CompilerOptions::paper()
+            },
+        )
+        .unwrap();
+        let report = guided.guided.expect("guided option must yield a report");
+        assert!(report.rewritten() > 0 && !report.shrunk);
+        assert!(baseline.guided.is_none());
+
+        let base = crate::check::run_with_oracle(&baseline, cache, &vm).unwrap();
+        let opt = crate::check::run_with_oracle(&guided, cache, &vm).unwrap();
+        assert_eq!(opt.violations, 0, "first: {:?}", opt.first);
+        assert_eq!(opt.outcome.output, base.outcome.output);
+        assert!(
+            opt.cache.fills < base.cache.fills,
+            "bypassing never-hit refs must cut fills: {} -> {}",
+            base.cache.fills,
+            opt.cache.fills
+        );
+    }
+
+    #[test]
+    fn incoherent_baseline_geometry_is_vetoed() {
+        // On a 16-word cache with 8-word lines the unified protocol is
+        // natively incoherent for call-bearing programs: the helper
+        // frame's dead-local last-reference invalidate discards the
+        // whole stack line, saved registers included, and the dirty
+        // saved-fp word never reaches memory. The guided pass must
+        // detect the dirty baseline and refuse to specialise rather
+        // than hunt for culprits among its own rewrites.
+        let src = "global a: [int; 8];
+            fn seed(base: int) { a[0] = base; a[1] = base + 1; a[2] = base * 2; a[3] = base - 1; }
+            fn main() { seed(3); print(a[0] + a[1] + a[2] + a[3]); }";
+        let cache = CacheConfig {
+            size_words: 16,
+            line_words: 8,
+            associativity: 1,
+            ..CacheConfig::default()
+        };
+        let vm = VmConfig::default();
+        let c = compile(src, &CompilerOptions::paper()).unwrap();
+        let base = crate::check::run_with_oracle(&c, cache, &vm).unwrap();
+        assert!(
+            base.violations > 0,
+            "this geometry must exhibit the native line-discard hazard"
+        );
+
+        let mut p = c.program.clone();
+        let report = apply_guided_bypass(
+            &mut p,
+            &GuidedBypassConfig {
+                cache,
+                mem_words: vm.mem_words,
+            },
+        )
+        .unwrap();
+        assert!(report.vetoed, "dirty baseline must veto: {report:?}");
+        assert_eq!(report.rewritten(), 0);
+        assert_eq!(p, c.program, "a vetoed rewrite must not mutate");
+    }
+
+    #[test]
+    fn unsupported_programs_are_left_untouched() {
+        let src = "fn f(n: int) -> int { if n < 1 { return 0; } return f(n - 1) + n; }
+                   fn main() { print(f(5)); }";
+        let c = compile(src, &CompilerOptions::paper()).unwrap();
+        let mut p = c.program.clone();
+        let err = apply_guided_bypass(&mut p, &GuidedBypassConfig::default()).unwrap_err();
+        assert_eq!(err, Unsupported::Recursion);
+        assert_eq!(p, c.program, "failed rewrites must not mutate");
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`faults`] — deterministic annotation fault injection and a campaign
 //!   runner classifying each mutant as benign, traffic-regressing, or
 //!   coherence-breaking
+//! * [`guided`] — analysis-guided bypass: the must/may cache analysis
+//!   (`ucm-cache::classify`) proves references that can never hit, and the
+//!   rewriter sets their bypass bits — cache knowledge the paper's
+//!   alias-only rule couldn't use
 //!
 //! ## Example: reproduce one Figure-5 style measurement
 //!
@@ -49,6 +53,7 @@ pub mod annotate;
 pub mod check;
 pub mod evaluate;
 pub mod faults;
+pub mod guided;
 pub mod mode;
 pub mod pipeline;
 pub mod promote;
@@ -62,6 +67,7 @@ pub use faults::{
     desync_stores, run_campaign, Campaign, CampaignConfig, FaultClass, FaultKind, FaultReport,
     FaultSite,
 };
+pub use guided::{apply_guided_bypass, GuidedBypassConfig, GuidedReport};
 pub use mode::ManagementMode;
 pub use pipeline::{compile, compile_module, CompileError, Compiled, CompilerOptions};
 pub use promote::{promote_locals, PromotionStats};

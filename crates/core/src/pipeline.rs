@@ -38,6 +38,11 @@ pub struct CompilerOptions {
     /// late-1980s compilers the paper measured, whose stack traffic
     /// dominates the dynamic reference mix (see [`CompilerOptions::paper`]).
     pub promote_scalars: bool,
+    /// Analysis-guided bypass: after codegen, rewrite ambiguous
+    /// references the must/may cache analysis proves can never hit
+    /// under the given cache (see [`crate::guided`]). `None` keeps the
+    /// paper's alias-only bypass rule.
+    pub guided_bypass: Option<crate::guided::GuidedBypassConfig>,
 }
 
 impl Default for CompilerOptions {
@@ -50,6 +55,7 @@ impl Default for CompilerOptions {
             loop_promotion: true,
             local_promotion: true,
             promote_scalars: true,
+            guided_bypass: None,
         }
     }
 }
@@ -82,6 +88,9 @@ pub enum CompileError {
     /// Machine-code generation rejected the allocated module (a compiler
     /// bug surfaced by codegen's pre-generation validation).
     Codegen(CodegenError),
+    /// Analysis-guided bypass was requested but the program or cache
+    /// configuration is outside the analysis model.
+    Guided(ucm_cache::classify::Unsupported),
 }
 
 impl fmt::Display for CompileError {
@@ -92,6 +101,7 @@ impl fmt::Display for CompileError {
             CompileError::Verify(e) => write!(f, "{e}"),
             CompileError::Alloc(e) => write!(f, "{e}"),
             CompileError::Codegen(e) => write!(f, "{e}"),
+            CompileError::Guided(e) => write!(f, "guided bypass: {e}"),
         }
     }
 }
@@ -104,6 +114,7 @@ impl Error for CompileError {
             CompileError::Verify(e) => Some(e),
             CompileError::Alloc(e) => Some(e),
             CompileError::Codegen(e) => Some(e),
+            CompileError::Guided(e) => Some(e),
         }
     }
 }
@@ -149,6 +160,9 @@ pub struct Compiled {
     pub module: Module,
     /// The options used.
     pub options: CompilerOptions,
+    /// What the analysis-guided bypass rewrite did (`None` when it
+    /// wasn't requested).
+    pub guided: Option<crate::guided::GuidedReport>,
 }
 
 /// Compiles Mini source text.
@@ -217,7 +231,7 @@ pub fn compile_module(
         let _s = ucm_obs::span("compile.alias_liveness");
         Annotations::compute(&allocated, options.mode)
     };
-    let program = {
+    let mut program = {
         let _s = ucm_obs::span("compile.codegen");
         codegen(
             &allocated,
@@ -234,11 +248,18 @@ pub fn compile_module(
             },
         )?
     };
+    let guided = match &options.guided_bypass {
+        None => None,
+        Some(g) => Some(
+            crate::guided::apply_guided_bypass(&mut program, g).map_err(CompileError::Guided)?,
+        ),
+    };
     Ok(Compiled {
         program,
         annotations,
         module: allocated,
         options: *options,
+        guided,
     })
 }
 

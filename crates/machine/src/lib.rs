@@ -41,11 +41,13 @@ pub mod codegen;
 pub mod encode;
 pub mod isa;
 pub mod packed;
+pub mod profile;
 pub mod trace;
 pub mod vm;
 
 pub use codegen::{codegen, CodegenConfig, CodegenError, MemTagger, PlainTagger, SynthTags};
 pub use isa::{Flavour, MAddr, MFunc, MInstr, MOperand, MachineProgram, MemTag, PReg};
 pub use packed::{PackedTrace, TraceRecord};
+pub use profile::{CtxId, SiteProfile};
 pub use trace::{CountSink, MemEvent, NullSink, TeeSink, TraceSink, VecSink};
 pub use vm::{run, run_boxed, run_with_globals, VmConfig, VmError, VmOutcome};

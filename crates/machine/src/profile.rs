@@ -1,0 +1,226 @@
+//! Per-site execution profiles for the static-analysis fast path.
+//!
+//! A [`SiteProfile`] counts, for every *(call context, instruction
+//! address)* pair, how many data references the VM issued from that site.
+//! The static must/may cache analysis classifies each site per context
+//! (always-hit / never-hit / …); multiplying a constant verdict by the
+//! profiled count reproduces the cache counters a full trace replay would
+//! produce — without replaying the trace.
+//!
+//! A *call context* is the chain of functions on the call stack, not the
+//! chain of call sites: within one function body the frame pointer (and
+//! therefore every `FpOff`/`SpOff` effective address) is the same
+//! regardless of which `Call` instruction entered it, so distinguishing
+//! call sites would multiply contexts without refining addresses.
+//!
+//! The profile piggybacks on the existing [`TraceSink`] stream via the
+//! [`TraceSink::call`]/[`TraceSink::ret`] hooks, so recording it costs one
+//! hash-map update per reference and leaves the packed trace — and every
+//! committed artifact derived from it — byte-identical.
+
+use crate::trace::{MemEvent, TraceSink};
+use std::collections::HashMap;
+
+/// A call-context identifier, dense from 0 (= the root context: `main`
+/// with an empty call stack).
+pub type CtxId = u32;
+
+/// Contexts are interned on the fly; a program that materialises more
+/// distinct function chains than this (deep recursion) overflows the
+/// profile, which marks it unusable — the fast path then simply declines
+/// and the sweep replays the trace as before.
+pub const MAX_CONTEXTS: usize = 1 << 16;
+
+/// Counts data references per *(call context, instruction address)*.
+///
+/// Build one with [`SiteProfile::new`], run the VM with it as (part of)
+/// the sink, then read it back via [`counts`](SiteProfile::counts) /
+/// [`chain`](SiteProfile::chain).
+#[derive(Debug, Clone)]
+pub struct SiteProfile {
+    /// `nodes[ctx] = (parent context, callee function index)`; the root is
+    /// `nodes[0] = (NO_PARENT, main)`.
+    nodes: Vec<(CtxId, usize)>,
+    intern: HashMap<(CtxId, usize), CtxId>,
+    /// Current context stack; never empty (bottom = root).
+    stack: Vec<CtxId>,
+    counts: HashMap<(CtxId, i64), u64>,
+    overflowed: bool,
+}
+
+const NO_PARENT: CtxId = CtxId::MAX;
+
+impl SiteProfile {
+    /// Creates an empty profile rooted at function index `main`.
+    pub fn new(main: usize) -> Self {
+        SiteProfile {
+            nodes: vec![(NO_PARENT, main)],
+            intern: HashMap::new(),
+            stack: vec![0],
+            counts: HashMap::new(),
+            overflowed: false,
+        }
+    }
+
+    /// `true` if the run materialised more than [`MAX_CONTEXTS`] contexts;
+    /// the counts are then incomplete and the profile must not be used.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Number of distinct call contexts observed (including the root).
+    pub fn num_contexts(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The function executing in context `ctx`.
+    pub fn callee(&self, ctx: CtxId) -> usize {
+        self.nodes[ctx as usize].1
+    }
+
+    /// The function chain of `ctx`, outermost (`main`) first.
+    pub fn chain(&self, ctx: CtxId) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = ctx;
+        loop {
+            let (parent, callee) = self.nodes[cur as usize];
+            out.push(callee);
+            if parent == NO_PARENT {
+                break;
+            }
+            cur = parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Reference counts per *(context, instruction address)*. Only pairs
+    /// with at least one reference appear.
+    pub fn counts(&self) -> &HashMap<(CtxId, i64), u64> {
+        &self.counts
+    }
+
+    /// Total data references counted (equals the VM's `data_refs` when the
+    /// profile has not overflowed).
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+impl TraceSink for SiteProfile {
+    fn data_ref(&mut self, _ev: MemEvent) {
+        // The VM only calls `data_ref_checked`; a caller replaying a bare
+        // event stream carries no site information, so there is nothing
+        // meaningful to count here.
+    }
+
+    fn data_ref_checked(&mut self, _ev: MemEvent, _value: i64, pc: i64) {
+        let ctx = *self.stack.last().expect("context stack never empties");
+        *self.counts.entry((ctx, pc)).or_insert(0) += 1;
+    }
+
+    fn call(&mut self, callee: usize) {
+        let parent = *self.stack.last().expect("context stack never empties");
+        let next_id = self.nodes.len();
+        let ctx = match self.intern.entry((parent, callee)) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                if next_id >= MAX_CONTEXTS {
+                    self.overflowed = true;
+                    // Keep the stack balanced so `ret` stays sound; the
+                    // profile is already marked unusable.
+                    self.stack.push(parent);
+                    return;
+                }
+                let id = next_id as CtxId;
+                e.insert(id);
+                self.nodes.push((parent, callee));
+                id
+            }
+        };
+        self.stack.push(ctx);
+    }
+
+    fn ret(&mut self) {
+        debug_assert!(self.stack.len() > 1, "ret without matching call");
+        self.stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Flavour, MemTag};
+
+    fn touch(p: &mut SiteProfile, pc: i64) {
+        p.data_ref_checked(
+            MemEvent {
+                addr: 0,
+                is_write: false,
+                tag: MemTag {
+                    flavour: Flavour::Plain,
+                    last_ref: false,
+                    unambiguous: false,
+                },
+            },
+            0,
+            pc,
+        );
+    }
+
+    #[test]
+    fn contexts_intern_by_function_chain() {
+        let mut p = SiteProfile::new(0);
+        touch(&mut p, 10);
+        p.call(1); // main -> f
+        touch(&mut p, 20);
+        p.ret();
+        p.call(1); // main -> f again: same context
+        touch(&mut p, 20);
+        p.call(2); // main -> f -> g
+        touch(&mut p, 30);
+        p.ret();
+        p.ret();
+        assert_eq!(p.num_contexts(), 3);
+        assert_eq!(p.chain(0), vec![0]);
+        assert_eq!(p.chain(1), vec![0, 1]);
+        assert_eq!(p.chain(2), vec![0, 1, 2]);
+        assert_eq!(p.counts()[&(0, 10)], 1);
+        assert_eq!(p.counts()[&(1, 20)], 2);
+        assert_eq!(p.counts()[&(2, 30)], 1);
+        assert_eq!(p.total(), 4);
+        assert!(!p.overflowed());
+    }
+
+    #[test]
+    fn distinct_call_sites_share_one_context() {
+        // Two different Call instructions in main to the same callee give
+        // the same context — the frame layout is identical.
+        let mut p = SiteProfile::new(0);
+        p.call(3);
+        touch(&mut p, 40);
+        p.ret();
+        p.call(3);
+        touch(&mut p, 40);
+        p.ret();
+        assert_eq!(p.num_contexts(), 2);
+        assert_eq!(p.counts()[&(1, 40)], 2);
+    }
+
+    #[test]
+    fn overflow_marks_profile_unusable_and_keeps_stack_balanced() {
+        let mut p = SiteProfile::new(0);
+        // Recursion materialises one new context per depth level.
+        for depth in 0..(MAX_CONTEXTS + 10) {
+            p.call(1);
+            let _ = depth;
+        }
+        assert!(p.overflowed());
+        for _ in 0..(MAX_CONTEXTS + 10) {
+            p.ret();
+        }
+        // Back at the root with the stack intact.
+        touch(&mut p, 5);
+        assert_eq!(p.counts()[&(0, 5)], 1);
+    }
+}

@@ -50,6 +50,25 @@ pub trait TraceSink {
     fn instr_fetch(&mut self, addr: i64) {
         let _ = addr;
     }
+
+    /// Called when the VM executes a `Call` to `callee` (a function index
+    /// into [`MachineProgram::funcs`]). The default ignores it, so the
+    /// packed-trace format and every recorded artifact are unaffected;
+    /// only context-sensitive observers (the per-site execution profile
+    /// behind the static-analysis fast path) override it.
+    ///
+    /// [`MachineProgram::funcs`]: crate::isa::MachineProgram::funcs
+    fn call(&mut self, callee: usize) {
+        let _ = callee;
+    }
+
+    /// Called when the VM executes a `Ret` that returns to a caller.
+    /// Strictly paired with [`call`]: the final `Ret` that ends the
+    /// program (no caller to return to) does not emit one. The default
+    /// ignores it.
+    ///
+    /// [`call`]: TraceSink::call
+    fn ret(&mut self) {}
 }
 
 /// Discards all events.
@@ -193,6 +212,16 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<'_, A, B> {
     fn instr_fetch(&mut self, addr: i64) {
         self.a.instr_fetch(addr);
         self.b.instr_fetch(addr);
+    }
+
+    fn call(&mut self, callee: usize) {
+        self.a.call(callee);
+        self.b.call(callee);
+    }
+
+    fn ret(&mut self) {
+        self.a.ret();
+        self.b.ret();
     }
 }
 

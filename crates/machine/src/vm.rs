@@ -314,12 +314,14 @@ impl<S: TraceSink + ?Sized> Vm<'_, S> {
                     self.fp = old_fp;
                 }
                 MInstr::Call { callee } => {
+                    self.sink.call(*callee);
                     frames.push((func, pc));
                     func = *callee;
                     pc = 0;
                 }
                 MInstr::Ret => match frames.pop() {
                     Some((f, p)) => {
+                        self.sink.ret();
                         func = f;
                         pc = p;
                     }

@@ -22,6 +22,8 @@
 //! cache-key hygiene tests pin.
 
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -30,6 +32,7 @@ use ucm_cache::CacheStats;
 use ucm_machine::MachineProgram;
 
 use crate::hash::Digest;
+use crate::persist::{DiskCache, DiskCounters};
 
 /// Counter snapshot of one store (or, summed, of the whole cache).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -184,6 +187,8 @@ pub struct ArtifactCacheStats {
     pub traces: CacheCounters,
     /// Replay-stage store.
     pub cells: CacheCounters,
+    /// Disk-layer counters, when `--cache-dir` is active.
+    pub disk: Option<DiskCounters>,
 }
 
 impl ArtifactCacheStats {
@@ -209,6 +214,9 @@ pub struct ArtifactCache {
     programs: Mutex<Store<CachedProgram>>,
     traces: Mutex<Store<CachedTraceGroup>>,
     cells: Mutex<Store<CachedCell>>,
+    /// Disk persistence for the cell store (`--cache-dir`); see
+    /// [`crate::persist`] for why only cells persist.
+    disk: Option<DiskCache>,
 }
 
 impl ArtifactCache {
@@ -218,7 +226,28 @@ impl ArtifactCache {
             programs: Mutex::new(Store::new(budget_bytes / 100 * 15)),
             traces: Mutex::new(Store::new(budget_bytes / 100 * 60)),
             cells: Mutex::new(Store::new(budget_bytes / 100 * 25)),
+            disk: None,
         }
+    }
+
+    /// A cache whose cell store persists under `dir`: every entry on
+    /// disk is loaded now (load-on-start), every insert writes through,
+    /// and a memory-evicted key can still be served by a disk read.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the cache directory.
+    pub fn with_disk(budget_bytes: usize, dir: &Path) -> io::Result<Self> {
+        let mut cache = Self::new(budget_bytes);
+        let disk = DiskCache::open(dir)?;
+        {
+            let mut cells = cache.cells.lock().unwrap();
+            for (key, cell) in disk.load() {
+                cells.insert(key, cell, CELL_BYTES);
+            }
+        }
+        cache.disk = Some(disk);
+        Ok(cache)
     }
 
     /// Compile-store lookup.
@@ -243,16 +272,23 @@ impl ArtifactCache {
         self.traces.lock().unwrap().insert(key, g, bytes);
     }
 
-    /// Cell-store lookup.
+    /// Cell-store lookup: memory first, then (when persistent) a disk
+    /// read-through that re-promotes the entry into memory.
     pub fn cell_get(&self, key: Digest) -> Option<CachedCell> {
-        self.cells.lock().unwrap().get(key)
+        if let Some(c) = self.cells.lock().unwrap().get(key) {
+            return Some(c);
+        }
+        let c = self.disk.as_ref()?.get(key)?;
+        self.cells.lock().unwrap().insert(key, c, CELL_BYTES);
+        Some(c)
     }
 
-    /// Cell-store insert.
+    /// Cell-store insert (write-through when persistent).
     pub fn cell_put(&self, key: Digest, c: CachedCell) {
-        // Key + entry bookkeeping dwarfs the value itself; charge both.
-        let bytes = std::mem::size_of::<CachedCell>() + 64;
-        self.cells.lock().unwrap().insert(key, c, bytes);
+        if let Some(disk) = &self.disk {
+            disk.put(key, &c);
+        }
+        self.cells.lock().unwrap().insert(key, c, CELL_BYTES);
     }
 
     /// Counter snapshot across all stores.
@@ -261,9 +297,14 @@ impl ArtifactCache {
             programs: self.programs.lock().unwrap().counters(),
             traces: self.traces.lock().unwrap().counters(),
             cells: self.cells.lock().unwrap().counters(),
+            disk: self.disk.as_ref().map(DiskCache::counters),
         }
     }
 }
+
+/// Resident-byte charge for one cell entry: key + entry bookkeeping
+/// dwarfs the value itself, so charge both.
+const CELL_BYTES: usize = std::mem::size_of::<CachedCell>() + 64;
 
 /// Estimated resident bytes of a compiled program.
 fn program_bytes(p: &MachineProgram) -> usize {

@@ -69,6 +69,22 @@ pub struct StoreStats {
     pub entries: u64,
 }
 
+/// Disk-layer counters out of a `stats` reply (present when the server
+/// runs with `--cache-dir`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiskStats {
+    /// Entries loaded into memory at server start.
+    pub loaded: u64,
+    /// Read-through lookups served from disk.
+    pub hits: u64,
+    /// Read-through lookups that found no file.
+    pub misses: u64,
+    /// Corrupt files dropped.
+    pub corrupt: u64,
+    /// Write-through attempts that failed.
+    pub write_errors: u64,
+}
+
 /// A `stats` reply.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StatsReply {
@@ -80,6 +96,8 @@ pub struct StatsReply {
     pub traces: StoreStats,
     /// Replay-stage store.
     pub cells: StoreStats,
+    /// Disk layer, when the server persists its cell store.
+    pub disk: Option<DiskStats>,
 }
 
 /// A reassembled sweep reply.
@@ -203,11 +221,22 @@ impl Client {
                 entries: Self::get_u64(s, "entries")?,
             })
         };
+        let disk = match cache.get("disk") {
+            None => None,
+            Some(d) => Some(DiskStats {
+                loaded: Self::get_u64(d, "loaded")?,
+                hits: Self::get_u64(d, "hits")?,
+                misses: Self::get_u64(d, "misses")?,
+                corrupt: Self::get_u64(d, "corrupt")?,
+                write_errors: Self::get_u64(d, "write_errors")?,
+            }),
+        };
         Ok(StatsReply {
             requests: Self::get_u64(&doc, "requests")?,
             programs: store("programs")?,
             traces: store("traces")?,
             cells: store("cells")?,
+            disk,
         })
     }
 

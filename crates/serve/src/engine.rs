@@ -167,6 +167,12 @@ impl Engine {
     /// An engine with `jobs` worker threads (`0` = all cores) and a
     /// `cache_bytes` artifact-cache budget.
     pub fn new(jobs: usize, cache_bytes: usize) -> Self {
+        Self::with_cache(jobs, ArtifactCache::new(cache_bytes))
+    }
+
+    /// [`Engine::new`] with a caller-built cache — how `--cache-dir`
+    /// hands in a disk-persistent one.
+    pub fn with_cache(jobs: usize, cache: ArtifactCache) -> Self {
         let pool = if jobs == 0 {
             None
         } else {
@@ -178,7 +184,7 @@ impl Engine {
             )
         };
         Engine {
-            cache: ArtifactCache::new(cache_bytes),
+            cache,
             pool,
             requests: AtomicU64::new(0),
             quick_template: std::sync::OnceLock::new(),
@@ -227,6 +233,7 @@ impl Engine {
         };
         cfg.timing = req.timing.then(TimingConfig::default);
         cfg.use_stack_distance = req.stack_distance;
+        cfg.use_static_analysis = req.static_analysis;
         if let Some(seed) = req.seed {
             cfg.seed = seed;
         }
@@ -347,7 +354,6 @@ impl Engine {
         let mut misses_by_trace: Vec<Vec<MissCell>> =
             (0..traces.len()).map(|_| Vec::new()).collect();
         let mut slot = 0;
-        let (mut stack_cells, mut fused_cells) = (0usize, 0usize);
         for (ti, t) in traces.iter().enumerate() {
             let gkey = groups[ti / n_modes].2;
             for &geom in &cfg.geometries {
@@ -360,11 +366,6 @@ impl Engine {
                             stats[slot] = Some(v);
                         } else {
                             tally.miss();
-                            if cfg.use_stack_distance && stack_eligible(cell) {
-                                stack_cells += 1;
-                            } else {
-                                fused_cells += 1;
-                            }
                             misses_by_trace[ti].push(MissCell { slot, cell, key });
                         }
                         slot += 1;
@@ -372,11 +373,66 @@ impl Engine {
                 }
             }
         }
-        let todo: Vec<(usize, Vec<MissCell>)> = misses_by_trace
+        let mut todo: Vec<(usize, Vec<MissCell>)> = misses_by_trace
             .into_iter()
             .enumerate()
             .filter(|(_, v)| !v.is_empty())
             .collect();
+        // The static-analysis fast path serves whatever missing untimed
+        // cells it can derive exactly; derived results enter the cell
+        // store like replayed ones (they are byte-identical by
+        // construction), and only the remainder replays.
+        let mut analysis_cells = 0usize;
+        if cfg.use_static_analysis && cfg.timing.is_none() && !todo.is_empty() {
+            let derived: Vec<(usize, Vec<Option<ucm_cache::CacheStats>>)> = self.install(|| {
+                todo.par_iter()
+                    .map(|(ti, cells)| {
+                        let t = &traces[*ti];
+                        let cfgs: Vec<CacheConfig> = cells.iter().map(|m| m.cell).collect();
+                        let _s = ucm_obs::span("serve.analyze.job")
+                            .with("workload", t.workload.as_str());
+                        (
+                            *ti,
+                            ucm_bench::analysis::derive_cells_with(
+                                &t.program,
+                                t.profile.as_ref(),
+                                t.mem_words,
+                                &cfgs,
+                            ),
+                        )
+                    })
+                    .collect()
+            });
+            let by_trace: std::collections::HashMap<usize, Vec<Option<ucm_cache::CacheStats>>> =
+                derived.into_iter().collect();
+            for (ti, cells) in &mut todo {
+                let ds = &by_trace[ti];
+                let mut remaining = Vec::with_capacity(cells.len());
+                for (m, d) in std::mem::take(cells).into_iter().zip(ds) {
+                    match d {
+                        Some(s) => {
+                            analysis_cells += 1;
+                            let r = (*s, None);
+                            self.cache.cell_put(m.key, r);
+                            stats[m.slot] = Some(r);
+                        }
+                        None => remaining.push(m),
+                    }
+                }
+                *cells = remaining;
+            }
+            todo.retain(|(_, v)| !v.is_empty());
+        }
+        let (mut stack_cells, mut fused_cells) = (0usize, 0usize);
+        for (_, cells) in &todo {
+            for m in cells {
+                if cfg.use_stack_distance && stack_eligible(m.cell) {
+                    stack_cells += 1;
+                } else {
+                    fused_cells += 1;
+                }
+            }
+        }
         if !todo.is_empty() {
             let replayed: Vec<(usize, Vec<CachedCell>)> = self.install(|| {
                 todo.par_iter()
@@ -424,6 +480,7 @@ impl Engine {
                 replay: replay_took,
                 stack_cells,
                 fused_cells,
+                analysis_cells,
             },
         );
         let (header, cells, footer) = report.to_json_parts();
@@ -517,9 +574,11 @@ impl Engine {
 // key; the hygiene tests pin both directions (formatting-only changes
 // collide, result-affecting changes do not).
 
-/// Compile-stage key: canonical source × every compiler option.
+/// Compile-stage key: canonical source × every compiler option. The
+/// guided-bypass option rewrites the emitted program, so its entire
+/// cache configuration is framed when present.
 pub fn program_key(canon_source: &str, o: &CompilerOptions) -> Digest {
-    KeyHasher::new("program")
+    let mut h = KeyHasher::new("program")
         .str("src", canon_source)
         .usize("num_regs", o.num_regs)
         .str("strategy", strategy_name(o.strategy))
@@ -528,7 +587,23 @@ pub fn program_key(canon_source: &str, o: &CompilerOptions) -> Digest {
         .bool("loop_promotion", o.loop_promotion)
         .bool("local_promotion", o.local_promotion)
         .bool("promote_scalars", o.promote_scalars)
-        .finish()
+        .bool("guided_bypass", o.guided_bypass.is_some());
+    if let Some(g) = &o.guided_bypass {
+        h = h
+            .usize("guided_size_words", g.cache.size_words)
+            .usize("guided_line_words", g.cache.line_words)
+            .usize("guided_associativity", g.cache.associativity)
+            .str("guided_policy", policy_name(g.cache.policy))
+            .str(
+                "guided_write_policy",
+                write_policy_name(g.cache.write_policy),
+            )
+            .bool("guided_honor_tags", g.cache.honor_tags)
+            .bool("guided_honor_last_ref", g.cache.honor_last_ref)
+            .u64("guided_seed", g.cache.seed)
+            .usize("guided_mem_words", g.mem_words);
+    }
+    h.finish()
 }
 
 /// Record-stage key: one (workload, codegen) trace group. The workload

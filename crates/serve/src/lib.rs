@@ -36,5 +36,6 @@ pub mod client;
 pub mod engine;
 pub mod hash;
 pub mod loadgen;
+pub mod persist;
 pub mod protocol;
 pub mod server;

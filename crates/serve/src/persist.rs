@@ -1,0 +1,387 @@
+//! Disk persistence for the cell store: the artifact cache survives
+//! restarts behind `ucmc serve --cache-dir`.
+//!
+//! Only the **cell** store persists. Cells are where the compute lives —
+//! a replayed cell is O(trace-length) to recompute but ~200 bytes to
+//! keep — while programs and trace groups are seconds to rebuild and
+//! would need a full serialisation story for [`ucm_machine`] types.
+//! A warm restart therefore re-records each workload's trace once and
+//! then serves every cell from disk.
+//!
+//! The layout is one file per cell under `<dir>/cells/`, named by the
+//! entry's content hash ([`Digest`], 32 hex digits), holding a small
+//! versioned binary record ([`encode_cell`]). Properties the server
+//! relies on:
+//!
+//! * **load-on-start** — [`DiskCache::load`] reads every entry into the
+//!   in-memory store, so a warm restart's first sweep is all hits;
+//! * **write-through** — every insert writes a temp file and renames it
+//!   into place, so readers (and a crash mid-write) never observe a
+//!   partial entry;
+//! * **corrupt entry = miss** — a file that fails the magic, version,
+//!   or length check is deleted and treated as absent, never an error:
+//!   the entry recomputes and overwrites it.
+//!
+//! Keys already capture every result-affecting input (see
+//! [`crate::hash`]), which is what makes cross-restart reuse sound: a
+//! stale binary or changed grid produces different keys, not wrong
+//! hits. The format version is bumped whenever the counter layout
+//! changes; old-version files simply miss.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ucm_bench::sweep::CellTiming;
+use ucm_cache::CacheStats;
+
+use crate::cache::CachedCell;
+use crate::hash::Digest;
+
+const MAGIC: &[u8; 4] = b"UCEL";
+const VERSION: u16 = 1;
+/// `u64` counters in [`CacheStats`], in declaration order.
+const STATS_WORDS: usize = 17;
+/// `u64`-sized fields in [`CellTiming`] (`cpi` travels as its bit
+/// pattern), in declaration order.
+const TIMING_WORDS: usize = 7;
+const HEADER_BYTES: usize = 4 + 2 + 1;
+
+/// Counters for the disk layer, reported alongside the store counters
+/// in the `stats` response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskCounters {
+    /// Entries loaded into memory at start.
+    pub loaded: u64,
+    /// Read-through lookups served from disk (memory had evicted).
+    pub hits: u64,
+    /// Read-through lookups that found no file.
+    pub misses: u64,
+    /// Files that failed validation and were dropped.
+    pub corrupt: u64,
+    /// Write-through attempts that failed (disk full, permissions);
+    /// the in-memory entry is unaffected.
+    pub write_errors: u64,
+}
+
+/// The disk layer behind `--cache-dir`.
+pub struct DiskCache {
+    cells: PathBuf,
+    loaded: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    write_errors: AtomicU64,
+    /// Distinguishes concurrent writers' temp files.
+    temp_seq: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating `<dir>/cells`.
+    pub fn open(dir: &Path) -> io::Result<DiskCache> {
+        let cells = dir.join("cells");
+        std::fs::create_dir_all(&cells)?;
+        Ok(DiskCache {
+            cells,
+            loaded: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            temp_seq: AtomicU64::new(0),
+        })
+    }
+
+    fn cell_path(&self, key: Digest) -> PathBuf {
+        self.cells.join(format!("{key}"))
+    }
+
+    /// Reads every valid entry off disk (for load-on-start). Unparsable
+    /// file names are ignored; corrupt contents are counted and the
+    /// files removed.
+    pub fn load(&self) -> Vec<(Digest, CachedCell)> {
+        let mut out = Vec::new();
+        let Ok(entries) = std::fs::read_dir(&self.cells) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(key) = parse_digest(&name.to_string_lossy()) else {
+                continue;
+            };
+            match std::fs::read(entry.path())
+                .ok()
+                .and_then(|b| decode_cell(&b))
+            {
+                Some(cell) => out.push((key, cell)),
+                None => {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        self.loaded.store(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Read-through lookup: the memory store evicted (or never saw)
+    /// this key but disk may still hold it.
+    pub fn get(&self, key: Digest) -> Option<CachedCell> {
+        let path = self.cell_path(key);
+        match std::fs::read(&path) {
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Ok(bytes) => match decode_cell(&bytes) {
+                Some(cell) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(cell)
+                }
+                None => {
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
+                    let _ = std::fs::remove_file(&path);
+                    None
+                }
+            },
+        }
+    }
+
+    /// Write-through insert: temp file + rename, so no reader and no
+    /// crash can observe a partial entry. Failures are counted, not
+    /// propagated — the in-memory entry still serves this process.
+    pub fn put(&self, key: Digest, cell: &CachedCell) {
+        let bytes = encode_cell(cell);
+        let tmp = self.cells.join(format!(
+            "{key}.tmp.{}",
+            self.temp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = std::fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(&bytes))
+            .and_then(|()| std::fs::rename(&tmp, self.cell_path(key)));
+        if written.is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> DiskCounters {
+        DiskCounters {
+            loaded: self.loaded.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn parse_digest(name: &str) -> Option<Digest> {
+    if name.len() != 32 {
+        return None;
+    }
+    u128::from_str_radix(name, 16).ok().map(Digest)
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serialises one cell entry. The counter order is the declaration
+/// order of [`CacheStats`] and [`CellTiming`]; the layout tests pin the
+/// field count so adding a counter forces a [`VERSION`] bump here.
+pub fn encode_cell(cell: &CachedCell) -> Vec<u8> {
+    let (s, timing) = cell;
+    let mut out = Vec::with_capacity(HEADER_BYTES + (STATS_WORDS + TIMING_WORDS) * 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(timing.is_some() as u8);
+    for v in [
+        s.reads,
+        s.writes,
+        s.read_hits,
+        s.write_hits,
+        s.read_misses,
+        s.write_misses,
+        s.bypass_reads,
+        s.bypass_writes,
+        s.invalidates,
+        s.dead_line_discards,
+        s.dead_store_drops,
+        s.fills,
+        s.writebacks,
+        s.words_from_memory,
+        s.words_to_memory,
+        s.bypass_words_from_memory,
+        s.bypass_words_to_memory,
+    ] {
+        push_u64(&mut out, v);
+    }
+    if let Some(t) = timing {
+        push_u64(&mut out, t.total_cycles);
+        push_u64(&mut out, t.cpi.to_bits());
+        push_u64(&mut out, t.bus_busy_cycles);
+        push_u64(&mut out, t.read_stall_cycles);
+        push_u64(&mut out, t.write_stall_cycles);
+        push_u64(&mut out, t.hazard_stall_cycles);
+        push_u64(&mut out, t.wb_peak);
+    }
+    out
+}
+
+/// Deserialises a cell entry; `None` (= corrupt, treated as a miss) on
+/// any magic, version, flag, or length mismatch.
+pub fn decode_cell(bytes: &[u8]) -> Option<CachedCell> {
+    let payload = bytes.strip_prefix(MAGIC.as_slice())?;
+    let (version, payload) = payload.split_first_chunk::<2>()?;
+    if u16::from_le_bytes(*version) != VERSION {
+        return None;
+    }
+    let (&flag, payload) = payload.split_first()?;
+    let timed = match flag {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let words = STATS_WORDS + if timed { TIMING_WORDS } else { 0 };
+    if payload.len() != words * 8 {
+        return None;
+    }
+    let mut it = payload
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")));
+    let mut next = || it.next().expect("length checked above");
+    let stats = CacheStats {
+        reads: next(),
+        writes: next(),
+        read_hits: next(),
+        write_hits: next(),
+        read_misses: next(),
+        write_misses: next(),
+        bypass_reads: next(),
+        bypass_writes: next(),
+        invalidates: next(),
+        dead_line_discards: next(),
+        dead_store_drops: next(),
+        fills: next(),
+        writebacks: next(),
+        words_from_memory: next(),
+        words_to_memory: next(),
+        bypass_words_from_memory: next(),
+        bypass_words_to_memory: next(),
+    };
+    let timing = timed.then(|| CellTiming {
+        total_cycles: next(),
+        cpi: f64::from_bits(next()),
+        bus_busy_cycles: next(),
+        read_stall_cycles: next(),
+        write_stall_cycles: next(),
+        hazard_stall_cycles: next(),
+        wb_peak: next(),
+    });
+    Some((stats, timing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(timed: bool) -> CachedCell {
+        // All-distinct values so a field-order slip cannot round-trip.
+        let s = CacheStats {
+            reads: 1,
+            writes: 2,
+            read_hits: 3,
+            write_hits: 4,
+            read_misses: 5,
+            write_misses: 6,
+            bypass_reads: 7,
+            bypass_writes: 8,
+            invalidates: 9,
+            dead_line_discards: 10,
+            dead_store_drops: 11,
+            fills: 12,
+            writebacks: 13,
+            words_from_memory: 14,
+            words_to_memory: 15,
+            bypass_words_from_memory: 16,
+            bypass_words_to_memory: 17,
+        };
+        let t = timed.then_some(CellTiming {
+            total_cycles: 100,
+            cpi: 1.25,
+            bus_busy_cycles: 101,
+            read_stall_cycles: 102,
+            write_stall_cycles: 103,
+            hazard_stall_cycles: 104,
+            wb_peak: 105,
+        });
+        (s, t)
+    }
+
+    #[test]
+    fn cells_round_trip_both_shapes() {
+        for timed in [false, true] {
+            let cell = sample(timed);
+            assert_eq!(decode_cell(&encode_cell(&cell)), Some(cell));
+        }
+    }
+
+    #[test]
+    fn struct_growth_forces_a_version_bump() {
+        // A new counter changes the struct size; this failing reminds
+        // whoever adds it to extend the codec and bump VERSION.
+        assert_eq!(std::mem::size_of::<CacheStats>(), STATS_WORDS * 8);
+        assert_eq!(std::mem::size_of::<CellTiming>(), TIMING_WORDS * 8);
+    }
+
+    #[test]
+    fn corruption_is_a_miss_not_a_panic() {
+        let good = encode_cell(&sample(true));
+        assert!(decode_cell(&[]).is_none());
+        assert!(decode_cell(b"JUNK").is_none());
+        assert!(decode_cell(&good[..good.len() - 1]).is_none(), "truncated");
+        let mut wrong_version = good.clone();
+        wrong_version[4] = 0xee;
+        assert!(decode_cell(&wrong_version).is_none());
+        let mut bad_flag = good.clone();
+        bad_flag[6] = 7;
+        assert!(decode_cell(&bad_flag).is_none());
+        let mut extra = good.clone();
+        extra.push(0);
+        assert!(decode_cell(&extra).is_none(), "trailing bytes");
+    }
+
+    #[test]
+    fn disk_cache_persists_and_survives_corruption() {
+        let dir = std::env::temp_dir().join(format!("ucm-persist-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = DiskCache::open(&dir).unwrap();
+        let (k1, k2) = (Digest(1), Digest(2));
+        disk.put(k1, &sample(false));
+        disk.put(k2, &sample(true));
+        assert_eq!(disk.get(k1), Some(sample(false)));
+        assert_eq!(disk.get(Digest(99)), None);
+
+        // A fresh handle (the restart) loads both entries.
+        let disk2 = DiskCache::open(&dir).unwrap();
+        let mut loaded = disk2.load();
+        loaded.sort_by_key(|(k, _)| k.0);
+        assert_eq!(loaded, vec![(k1, sample(false)), (k2, sample(true))]);
+        assert_eq!(disk2.counters().loaded, 2);
+
+        // Scribble over one entry: it misses, is deleted, and the next
+        // load only sees the survivor.
+        std::fs::write(dir.join("cells").join(format!("{k1}")), b"garbage").unwrap();
+        assert_eq!(disk2.get(k1), None);
+        assert_eq!(disk2.counters().corrupt, 1);
+        let disk3 = DiskCache::open(&dir).unwrap();
+        assert_eq!(disk3.load(), vec![(k2, sample(true))]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -50,6 +50,10 @@ pub struct SweepRequest {
     /// Drive stack-orderable cells through the stack-distance engine
     /// (the default; counters are identical either way).
     pub stack_distance: bool,
+    /// Derive decisively-classified cells from the static must/may
+    /// analysis instead of replay (the default; counters are identical
+    /// either way).
+    pub static_analysis: bool,
 }
 
 impl Default for SweepRequest {
@@ -61,6 +65,7 @@ impl Default for SweepRequest {
             source: None,
             geometries: None,
             stack_distance: true,
+            static_analysis: true,
         }
     }
 }
@@ -214,6 +219,7 @@ fn parse_sweep(doc: &Json) -> Result<SweepRequest, RequestError> {
             "source",
             "geometries",
             "stack_distance",
+            "static_analysis",
         ],
         "sweep",
     )?;
@@ -227,6 +233,7 @@ fn parse_sweep(doc: &Json) -> Result<SweepRequest, RequestError> {
     };
     let timing = get_bool(doc, "timing", false)?;
     let stack_distance = get_bool(doc, "stack_distance", true)?;
+    let static_analysis = get_bool(doc, "static_analysis", true)?;
     // The seed is an opaque u64, but JSON numbers live in f64: accept
     // only what f64 represents exactly so no request silently sweeps
     // with a rounded seed.
@@ -290,6 +297,7 @@ fn parse_sweep(doc: &Json) -> Result<SweepRequest, RequestError> {
         source,
         geometries,
         stack_distance,
+        static_analysis,
     })
 }
 
@@ -303,6 +311,7 @@ impl SweepRequest {
         ));
         s.push_str(&format!(",\"timing\":{}", self.timing));
         s.push_str(&format!(",\"stack_distance\":{}", self.stack_distance));
+        s.push_str(&format!(",\"static_analysis\":{}", self.static_analysis));
         if let Some(seed) = self.seed {
             s.push_str(&format!(",\"seed\":{seed}"));
         }
@@ -399,6 +408,7 @@ mod tests {
                 ways: 1,
             }]),
             stack_distance: false,
+            static_analysis: false,
         };
         let parsed = parse_request(&req.to_json_line()).unwrap();
         assert_eq!(parsed, Request::Sweep(req));

@@ -39,17 +39,21 @@ pub struct ServeConfig {
     pub cache_bytes: usize,
     /// Cap on one request line.
     pub max_request_bytes: usize,
+    /// Directory persisting the cell store across restarts (`None` =
+    /// memory only).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl ServeConfig {
     /// Defaults for `socket`: all cores, a 256 MiB cache, the 1 MiB
-    /// request cap.
+    /// request cap, no persistence.
     pub fn new(socket: impl Into<PathBuf>) -> Self {
         ServeConfig {
             socket: socket.into(),
             jobs: 0,
             cache_bytes: 256 << 20,
             max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+            cache_dir: None,
         }
     }
 }
@@ -80,7 +84,11 @@ impl Server {
             std::fs::remove_file(&cfg.socket)?;
         }
         let listener = UnixListener::bind(&cfg.socket)?;
-        let engine = Arc::new(Engine::new(cfg.jobs, cfg.cache_bytes));
+        let cache = match &cfg.cache_dir {
+            Some(dir) => crate::cache::ArtifactCache::with_disk(cfg.cache_bytes, dir)?,
+            None => crate::cache::ArtifactCache::new(cfg.cache_bytes),
+        };
+        let engine = Arc::new(Engine::with_cache(cfg.jobs, cache));
         Ok(Server {
             listener,
             engine,
@@ -342,13 +350,22 @@ pub fn stats_line(stats: &ArtifactCacheStats, requests: u64) -> String {
             c.hits, c.misses, c.evictions, c.rejected, c.resident_bytes, c.entries
         )
     };
+    let disk = match &stats.disk {
+        None => String::new(),
+        Some(d) => format!(
+            ",\"disk\":{{\"loaded\":{},\"hits\":{},\"misses\":{},\"corrupt\":{},\
+             \"write_errors\":{}}}",
+            d.loaded, d.hits, d.misses, d.corrupt, d.write_errors
+        ),
+    };
     format!(
         "{{\"ok\":true,\"op\":\"stats\",\"requests\":{},\"cache\":{{\"programs\":{},\
-         \"traces\":{},\"cells\":{}}}}}",
+         \"traces\":{},\"cells\":{}{}}}}}",
         requests,
         store(&stats.programs),
         store(&stats.traces),
-        store(&stats.cells)
+        store(&stats.cells),
+        disk
     )
 }
 

@@ -253,10 +253,43 @@ fn key_functions_frame_every_result_affecting_field() {
             promote_scalars: !base_opts.promote_scalars,
             ..base_opts
         },
+        CompilerOptions {
+            guided_bypass: Some(ucm_core::GuidedBypassConfig::default()),
+            ..base_opts
+        },
     ];
     for (i, v) in variants.iter().enumerate() {
         assert_ne!(k0, program_key(&canon, v), "option variant {i}");
     }
+
+    // The guided config's own fields are framed too — two guided
+    // builds for different caches are different programs.
+    let g0 = ucm_core::GuidedBypassConfig::default();
+    let small = ucm_core::GuidedBypassConfig {
+        cache: ucm_cache::CacheConfig {
+            size_words: 1,
+            line_words: 1,
+            associativity: 1,
+            ..ucm_cache::CacheConfig::default()
+        },
+        ..g0
+    };
+    assert_ne!(
+        program_key(
+            &canon,
+            &CompilerOptions {
+                guided_bypass: Some(g0),
+                ..base_opts
+            }
+        ),
+        program_key(
+            &canon,
+            &CompilerOptions {
+                guided_bypass: Some(small),
+                ..base_opts
+            }
+        ),
+    );
 
     // Trace keys see the workload identity, the mode list, and the VM.
     let cfg = SweepConfig::quick();
@@ -442,6 +475,58 @@ fn socket_roundtrip_parity_warmth_and_hostile_lines() {
     client.shutdown().expect("shutdown");
     handle.join().expect("join").expect("serve loop");
     assert!(!path.exists(), "socket file must be cleaned up");
+}
+
+#[test]
+fn cache_dir_survives_a_restart_with_byte_identical_artifacts() {
+    let dir = PathBuf::from(format!("/tmp/ucm-serve-cachedir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sock = |n: u32| PathBuf::from(format!("/tmp/ucm-serve-cd-{}-{n}.sock", std::process::id()));
+    let serve_once = |n: u32| -> (PathBuf, std::thread::JoinHandle<std::io::Result<()>>) {
+        let path = sock(n);
+        let mut cfg = ServeConfig::new(&path);
+        cfg.cache_dir = Some(dir.clone());
+        let server = Server::bind(cfg).expect("bind");
+        (path, std::thread::spawn(move || server.run()))
+    };
+
+    // Cold server: compute the quick grid, which write-through persists
+    // every cell.
+    let (path, handle) = serve_once(0);
+    let mut client = Client::connect(&path).expect("connect");
+    let cold = client.sweep(&SweepRequest::default()).expect("cold");
+    assert!(cold.cold);
+    let stats = client.stats().expect("stats");
+    let disk = stats
+        .disk
+        .expect("--cache-dir server must report disk stats");
+    assert_eq!(disk.loaded, 0, "first start finds an empty directory");
+    assert_eq!(disk.write_errors, 0);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join").expect("serve loop");
+
+    // Restarted server, same directory: the cells load on start, so the
+    // first sweep re-records traces but replays nothing — every cell
+    // hits — and the bytes match exactly.
+    let (path, handle) = serve_once(1);
+    let mut client = Client::connect(&path).expect("reconnect");
+    let stats = client.stats().expect("stats");
+    let disk = stats.disk.expect("disk stats");
+    assert!(disk.loaded > 0, "restart must load the persisted cells");
+    assert_eq!(disk.corrupt, 0);
+    let warm = client.sweep(&SweepRequest::default()).expect("warm");
+    assert_eq!(
+        warm.artifact, cold.artifact,
+        "restart must not change bytes"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.cells.misses, 0,
+        "a warm restart's first sweep must serve every cell from the loaded store"
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join").expect("serve loop");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

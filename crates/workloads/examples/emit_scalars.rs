@@ -1,0 +1,10 @@
+//! Emit the scalars kernel at sweep size to stdout. The committed
+//! snapshot is pinned to this generator by a unit test:
+//!
+//! ```sh
+//! cargo run -p ucm-workloads --example emit_scalars > examples/mini/scalars.mini
+//! ```
+
+fn main() {
+    print!("{}", ucm_workloads::scalars::source(96));
+}

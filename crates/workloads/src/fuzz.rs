@@ -17,7 +17,7 @@
 use crate::harness::Workload;
 
 /// `(name, source, golden expected output)` for the committed corpus.
-const CORPUS: [(&str, &str, &str); 10] = [
+const CORPUS: [(&str, &str, &str); 12] = [
     (
         "fuzz_s001",
         include_str!("../../../examples/fuzz/fuzz_s001.mini"),
@@ -68,6 +68,16 @@ const CORPUS: [(&str, &str, &str); 10] = [
         include_str!("../../../examples/fuzz/fuzz_s019.mini"),
         include_str!("../../../examples/fuzz/fuzz_s019.expected"),
     ),
+    (
+        "fuzz_s020",
+        include_str!("../../../examples/fuzz/fuzz_s020.mini"),
+        include_str!("../../../examples/fuzz/fuzz_s020.expected"),
+    ),
+    (
+        "fuzz_s021",
+        include_str!("../../../examples/fuzz/fuzz_s021.mini"),
+        include_str!("../../../examples/fuzz/fuzz_s021.expected"),
+    ),
 ];
 
 /// The committed fuzzer corpus as sweep-ready workloads.
@@ -102,9 +112,9 @@ mod tests {
     use ucm_machine::VmConfig;
 
     #[test]
-    fn corpus_has_ten_named_entries_with_golden_outputs() {
+    fn corpus_has_twelve_named_entries_with_golden_outputs() {
         let corpus = fuzz_corpus();
-        assert_eq!(corpus.len(), 10);
+        assert_eq!(corpus.len(), 12);
         for w in &corpus {
             assert!(w.name.starts_with("fuzz_s"), "{}", w.name);
             assert!(!w.expected.is_empty(), "{} has no golden output", w.name);

@@ -16,7 +16,10 @@
 //! [`harness::paper_suite`] assembles them at paper sizes;
 //! [`harness::quick_suite`] provides scaled-down variants for fast tests.
 //! [`fuzz::fuzz_corpus`] adds the committed fuzzer-generated programs
-//! from `examples/fuzz/` (golden outputs, no native reference).
+//! from `examples/fuzz/` (golden outputs, no native reference), and
+//! [`scalars`] a straight-line kernel built so the must/may cache
+//! analysis is fully decisive — the anchor workload for the sweep's
+//! simulation-free fast path.
 //!
 //! ## Example
 //!
@@ -40,6 +43,7 @@ pub mod harness;
 pub mod intmm;
 pub mod puzzle;
 pub mod queen;
+pub mod scalars;
 pub mod sieve;
 pub mod towers;
 
